@@ -1,0 +1,55 @@
+//! Criterion: bin-packing rewrite planning (§4.1/Iceberg
+//! `rewrite_data_files` equivalent) vs table fragmentation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lakesim_lst::{
+    plan_table_rewrite, BinPackConfig, ColumnType, DataFile, Field, OpKind, PartitionKey,
+    PartitionSpec, PartitionValue, Schema, Table, TableId, TableProperties, Transform,
+};
+use lakesim_storage::{FileId, MB};
+
+fn fragmented_table(files: u64, partitions: i32) -> Table {
+    let schema = Schema::new(vec![
+        Field::new(1, "k", ColumnType::Int64, true),
+        Field::new(2, "ds", ColumnType::Date, true),
+    ])
+    .expect("valid schema");
+    let mut table = Table::new(
+        TableId(1),
+        "bench",
+        "db",
+        schema,
+        PartitionSpec::single(2, Transform::Day, "ds"),
+        TableProperties::default(),
+        0,
+    );
+    let mut txn = table.begin(OpKind::Append);
+    for i in 0..files {
+        let partition = PartitionKey::single(PartitionValue::Date((i % partitions as u64) as i32));
+        // Mix of small and near-target files.
+        let size = if i % 5 == 0 { 400 * MB } else { (4 + i % 60) * MB };
+        txn.add_file(DataFile::data(FileId(i + 1), partition, 1000, size));
+    }
+    table.commit(txn, 0).expect("append commits");
+    table
+}
+
+fn bench_binpack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_table_rewrite");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let config = BinPackConfig::default();
+    for (files, partitions) in [(1_000u64, 24), (10_000, 24), (10_000, 365), (100_000, 365)] {
+        let table = fragmented_table(files, partitions);
+        group.bench_with_input(
+            BenchmarkId::new(format!("{partitions}parts"), files),
+            &files,
+            |b, _| b.iter(|| plan_table_rewrite(&table, &config)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_binpack);
+criterion_main!(benches);

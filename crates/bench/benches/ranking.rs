@@ -1,0 +1,105 @@
+//! Criterion: decide-phase ranking throughput (§4.3) vs candidate count —
+//! the fleet-scale scalability claim ("21K onboarded tables, projected to
+//! grow to 100K").
+
+use std::collections::BTreeMap;
+
+use autocomp::{
+    rank::rank_and_select, Candidate, CandidateId, CandidateStats, QuotaSignal, RankingPolicy,
+    TraitDirection, TraitWeight,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn candidates(n: u64) -> (Vec<Candidate>, Vec<BTreeMap<String, f64>>) {
+    let cands: Vec<Candidate> = (0..n)
+        .map(|i| Candidate {
+            id: CandidateId::table(i),
+            database: format!("db{}", i % 50),
+            table_name: format!("t{i}"),
+            compaction_enabled: true,
+            is_intermediate: false,
+            stats: CandidateStats {
+                small_file_count: (i * 37) % 5000,
+                small_bytes: ((i * 97) % 4096) << 20,
+                quota: Some(QuotaSignal {
+                    used: (i * 13) % 1000,
+                    total: 1000,
+                }),
+                ..CandidateStats::default()
+            },
+        })
+        .collect();
+    let traits = cands
+        .iter()
+        .map(|c| {
+            [
+                (
+                    "file_count_reduction".to_string(),
+                    c.stats.small_file_count as f64,
+                ),
+                (
+                    "compute_cost_gbhr".to_string(),
+                    c.stats.small_bytes as f64 / (500u64 << 30) as f64 * 64.0,
+                ),
+            ]
+            .into_iter()
+            .collect()
+        })
+        .collect();
+    (cands, traits)
+}
+
+fn directions() -> BTreeMap<String, TraitDirection> {
+    [
+        ("file_count_reduction".to_string(), TraitDirection::Benefit),
+        ("compute_cost_gbhr".to_string(), TraitDirection::Cost),
+    ]
+    .into_iter()
+    .collect()
+}
+
+fn bench_ranking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rank_and_select");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for n in [100u64, 1_000, 10_000, 100_000] {
+        let (cands, traits) = candidates(n);
+        let dirs = directions();
+        let moop = RankingPolicy::Moop {
+            weights: vec![
+                TraitWeight::new("file_count_reduction", 0.7),
+                TraitWeight::new("compute_cost_gbhr", 0.3),
+            ],
+            k: 100,
+        };
+        group.bench_with_input(BenchmarkId::new("moop_topk", n), &n, |b, _| {
+            b.iter(|| rank_and_select(&cands, &traits, &dirs, &moop).unwrap())
+        });
+        let budgeted = RankingPolicy::BudgetedMoop {
+            weights: vec![
+                TraitWeight::new("file_count_reduction", 0.7),
+                TraitWeight::new("compute_cost_gbhr", 0.3),
+            ],
+            cost_trait: "compute_cost_gbhr".to_string(),
+            budget: 226.0,
+            max_k: None,
+        };
+        group.bench_with_input(BenchmarkId::new("budgeted_dynamic_k", n), &n, |b, _| {
+            b.iter(|| rank_and_select(&cands, &traits, &dirs, &budgeted).unwrap())
+        });
+        let quota = RankingPolicy::QuotaAwareMoop {
+            benefit_trait: "file_count_reduction".to_string(),
+            cost_trait: "compute_cost_gbhr".to_string(),
+            k: Some(100),
+            budget: None,
+        };
+        group.bench_with_input(BenchmarkId::new("quota_aware", n), &n, |b, _| {
+            b.iter(|| rank_and_select(&cands, &traits, &dirs, &quota).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ranking);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion: scan planning cost vs metadata size — the paper's §1 claim
+//! that small files bloat metadata and slow query planning.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lakesim_lst::{
+    ColumnType, DataFile, Field, OpKind, PartitionFilter, PartitionKey, PartitionSpec,
+    PartitionValue, Schema, Table, TableId, TableProperties, Transform,
+};
+use lakesim_storage::{FileId, MB};
+
+fn table_with(files_per_partition: u64, partitions: i32) -> Table {
+    let schema = Schema::new(vec![
+        Field::new(1, "k", ColumnType::Int64, true),
+        Field::new(2, "ds", ColumnType::Date, true),
+    ])
+    .expect("valid schema");
+    let mut table = Table::new(
+        TableId(1),
+        "bench",
+        "db",
+        schema,
+        PartitionSpec::single(2, Transform::Day, "ds"),
+        TableProperties::default(),
+        0,
+    );
+    let mut next = 1u64;
+    for p in 0..partitions {
+        let mut txn = table.begin(OpKind::Append);
+        for _ in 0..files_per_partition {
+            txn.add_file(DataFile::data(
+                FileId(next),
+                PartitionKey::single(PartitionValue::Date(p)),
+                1000,
+                16 * MB,
+            ));
+            next += 1;
+        }
+        table.commit(txn, u64::from(p as u32)).expect("append commits");
+    }
+    table
+}
+
+fn bench_scan_planning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_scan");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for (files_per, partitions) in [(10u64, 100), (100, 100), (100, 1000)] {
+        let table = table_with(files_per, partitions);
+        let label = format!("{files_per}x{partitions}");
+        group.bench_function(BenchmarkId::new("full", label.clone()), |b| {
+            b.iter(|| table.plan_scan(&PartitionFilter::All))
+        });
+        group.bench_function(BenchmarkId::new("recent7", label.clone()), |b| {
+            b.iter(|| table.plan_scan(&PartitionFilter::Recent { count: 7 }))
+        });
+        group.bench_function(BenchmarkId::new("sample_quarter", label), |b| {
+            b.iter(|| {
+                table.plan_scan(&PartitionFilter::Sample {
+                    num: 1,
+                    den: 4,
+                    salt: 7,
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scan_planning);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Ablation: Strict (Iceberg v1.2.0) vs PartitionAware conflict
+//! resolution (§4.4 / DESIGN.md §5).
+//!
+//! The paper observed that "compaction operations executed concurrently
+//! could result in conflicts when targeting distinct partitions within a
+//! table" and worked around it by scheduling sequentially. This ablation
+//! quantifies what precise partition-level conflict filtering would buy:
+//! fewer dropped jobs and less wasted compute.
+
+use autocomp::ScopeStrategy;
+use autocomp_bench::experiments::cab::{run_cab, CabExperimentConfig, SchedulerKind, Strategy};
+use autocomp_bench::print;
+use lakesim_lst::ConflictMode;
+
+fn main() {
+    println!("# Ablation — conflict model x scheduler (hybrid top-500)\n");
+    let mut rows = Vec::new();
+    for (mode, mode_label) in [
+        (ConflictMode::Strict, "strict (v1.2.0)"),
+        (ConflictMode::PartitionAware, "partition-aware"),
+    ] {
+        for (scheduler, sched_label) in [
+            (SchedulerKind::ParallelTables, "sequential partitions"),
+            (SchedulerKind::AllParallel, "all parallel"),
+        ] {
+            let mut config = CabExperimentConfig::from_env(
+                13,
+                Strategy::Moop {
+                    scope: ScopeStrategy::Hybrid,
+                    k: 500,
+                },
+            );
+            config.cab.conflict_mode = mode;
+            config.scheduler = scheduler;
+            let r = run_cab(&config);
+            rows.push(vec![
+                mode_label.to_string(),
+                sched_label.to_string(),
+                r.jobs_succeeded.to_string(),
+                r.jobs_conflicted.to_string(),
+                r.files_reduced.to_string(),
+                format!("{:.2}", r.total_compaction_gbhr),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        print::table(
+            &[
+                "conflict model",
+                "scheduler",
+                "jobs ok",
+                "jobs conflicted",
+                "files reduced",
+                "total GBHr",
+            ],
+            &rows
+        )
+    );
+    println!("expected shape: strict + all-parallel drops same-table partition jobs");
+    println!("(the §4.4 observation); partition-aware tolerates parallelism; the");
+    println!("sequential scheduler avoids conflicts under either model.");
+}

@@ -1,0 +1,48 @@
+//! §7 "Model Accuracy and Estimation Errors": predicted vs actual file
+//! count reduction and compute cost.
+//!
+//! Paper: one task's cost was under-estimated by 19% while its file-count
+//! reduction was over-estimated by 28%, "particularly in accounting for
+//! partition boundaries, as table-level estimates may overestimate the
+//! number of small files that can be merged, since compaction does not
+//! cross partitions". This binary compares the naive table-level ΔF
+//! estimator with the partition-aware planned estimator.
+
+use autocomp_bench::experiments::production::{run_estimator_accuracy, ProductionScale};
+use autocomp_bench::print;
+
+fn main() {
+    let (scale, days) = match std::env::var("AUTOCOMP_SCALE").as_deref() {
+        Ok("test") => (ProductionScale::test_scale(12), 4),
+        _ => (ProductionScale::paper_scale(12), 8),
+    };
+    let (naive, planned) = run_estimator_accuracy(&scale, days);
+
+    println!("# §7 estimator accuracy — naive vs partition-aware ΔF\n");
+    let row = |label: &str, a: &lakesim_catalog::AccuracySummary| {
+        vec![
+            label.to_string(),
+            a.jobs.to_string(),
+            format!("{:+.1}%", a.reduction_bias * 100.0),
+            format!("{:.1}%", a.reduction_mape * 100.0),
+            format!("{:+.1}%", a.cost_bias * 100.0),
+            format!("{:.1}%", a.cost_mape * 100.0),
+        ]
+    };
+    println!(
+        "{}",
+        print::table(
+            &[
+                "estimator",
+                "jobs",
+                "ΔF bias",
+                "ΔF MAPE",
+                "cost bias",
+                "cost MAPE",
+            ],
+            &[row("naive table-level", &naive), row("partition-aware", &planned)]
+        )
+    );
+    println!("paper: ΔF over-estimated by ~28%, cost under-estimated by ~19%; the");
+    println!("partition-aware refinement (suggested in §7) removes most of the ΔF bias.");
+}

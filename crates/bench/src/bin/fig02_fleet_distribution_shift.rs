@@ -1,0 +1,38 @@
+//! Figure 2: fleet-wide file size distribution before and after
+//! compaction (§2/§7).
+//!
+//! Paper: "prior to compaction tasks being executed regularly, 83% of the
+//! system's files were smaller than 128MB. When we introduced manual
+//! compaction, we saw a significant shift […] dropping from 83% to 62%.
+//! We further reduced this number by gradually rolling out AutoComp."
+
+use autocomp_bench::experiments::production::{run_fig2, ProductionScale};
+use autocomp_bench::print;
+
+fn main() {
+    let scale = match std::env::var("AUTOCOMP_SCALE").as_deref() {
+        Ok("test") => ProductionScale::test_scale(2),
+        _ => ProductionScale::paper_scale(2),
+    };
+    let r = run_fig2(&scale);
+
+    println!("# Figure 2 — fleet file-size distribution across compaction regimes\n");
+    let mut rows = Vec::new();
+    for (i, label) in r.bucket_labels.iter().enumerate() {
+        let mut row = vec![label.clone()];
+        for (_, fractions, _) in &r.phases {
+            row.push(format!("{:.3}", fractions[i]));
+        }
+        rows.push(row);
+    }
+    let headers: Vec<&str> = std::iter::once("bucket")
+        .chain(r.phases.iter().map(|(l, _, _)| l.as_str()))
+        .collect();
+    println!("{}", print::table(&headers, &rows));
+
+    println!("fraction of files < 128MB per phase:");
+    for (label, _, small) in &r.phases {
+        println!("  {label}: {:.1}%", small * 100.0);
+    }
+    println!("\npaper: before 83% -> manual 62% -> auto keeps reducing (up to 44% reduction)");
+}

@@ -1,0 +1,52 @@
+//! Figure 6: compaction strategy impact on file count over time (§6.1).
+//!
+//! Paper: without compaction the file count climbs steadily (~2,640
+//! files/hour); every strategy cuts it sharply, table-scope fastest,
+//! hybrid more gradually and controlled.
+
+use autocomp_bench::experiments::cab::{paper_strategies, run_cab, CabExperimentConfig};
+use autocomp_bench::print;
+
+fn main() {
+    println!("# Figure 6 — file count over time per compaction strategy\n");
+    let mut columns = Vec::new();
+    for strategy in paper_strategies() {
+        let config = CabExperimentConfig::from_env(6, strategy);
+        let result = run_cab(&config);
+        eprintln!(
+            "[{}] jobs ok={} conflicted={} reduced={} makespan={}s",
+            result.label,
+            result.jobs_succeeded,
+            result.jobs_conflicted,
+            result.files_reduced,
+            result.makespan_ms / 1000
+        );
+        columns.push(result);
+    }
+    // All strategies share the sampling grid of the first run.
+    let grid: Vec<u64> = columns[0]
+        .file_count_series
+        .iter()
+        .map(|(t, _)| *t)
+        .collect();
+    let mut rows = Vec::new();
+    for (i, t) in grid.iter().enumerate() {
+        let mut row = vec![format!("{:.2}", *t as f64 / 3_600_000.0)];
+        for c in &columns {
+            row.push(
+                c.file_count_series
+                    .get(i)
+                    .map(|(_, v)| v.to_string())
+                    .unwrap_or_default(),
+            );
+        }
+        rows.push(row);
+    }
+    let labels: Vec<String> = columns.iter().map(|c| c.label.clone()).collect();
+    let headers: Vec<&str> = std::iter::once("hour")
+        .chain(labels.iter().map(String::as_str))
+        .collect();
+    println!("{}", print::table(&headers, &rows));
+    println!("paper shape: baseline grows steadily; compaction drops sharply then flattens;");
+    println!("hybrid declines more gradually than table scope.");
+}

@@ -1,0 +1,36 @@
+//! Figure 7: mean GBHr per compaction application per strategy (§6.1).
+//!
+//! Paper: table-level compaction jobs are heavyweight; the hybrid
+//! (partition-level) strategy yields smaller, more stable per-application
+//! cost — "balancing resource usage for compaction over time".
+
+use autocomp_bench::experiments::cab::{paper_strategies, run_cab, CabExperimentConfig, Strategy};
+use autocomp_bench::print;
+
+fn main() {
+    println!("# Figure 7 — mean GBHr per compaction application\n");
+    let mut rows = Vec::new();
+    for strategy in paper_strategies() {
+        if strategy == Strategy::NoCompaction {
+            continue;
+        }
+        let config = CabExperimentConfig::from_env(7, strategy);
+        let r = run_cab(&config);
+        rows.push(vec![
+            r.label.clone(),
+            r.compaction_apps.to_string(),
+            format!("{:.4}", r.mean_compaction_gbhr),
+            format!("{:.2}", r.total_compaction_gbhr),
+            r.files_reduced.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        print::table(
+            &["strategy", "apps", "mean GBHr/app", "total GBHr", "files reduced"],
+            &rows
+        )
+    );
+    println!("paper shape: table scope = few, expensive apps; hybrid = many small,");
+    println!("stable apps (finer-grained control of resource use).");
+}

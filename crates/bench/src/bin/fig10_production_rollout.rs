@@ -1,0 +1,111 @@
+//! Figure 10: AutoComp behaviour and impact on file count in production
+//! (§7): (a) manual k=100 → auto k=10 transition, (b) static → dynamic k
+//! under a compute budget, (c) 12-month deployment timeline.
+
+use autocomp_bench::experiments::production::{
+    run_fig10ab, run_production_timeline, ProductionScale, TimelineConfig,
+};
+use autocomp_bench::print;
+
+fn main() {
+    let (scale, days_per_week, budget, timeline) =
+        match std::env::var("AUTOCOMP_SCALE").as_deref() {
+            Ok("test") => (
+                ProductionScale::test_scale(10),
+                2,
+                20.0,
+                TimelineConfig::test_scale(10),
+            ),
+            _ => (
+                ProductionScale::paper_scale(10),
+                5,
+                60.0,
+                TimelineConfig::paper_scale(10),
+            ),
+        };
+
+    println!("# Figure 10a/b — rollout: files reduced and compaction cost per week\n");
+    let rollout = run_fig10ab(&scale, days_per_week, budget);
+    let render = |rows: &[autocomp_bench::experiments::production::WeekRow]| {
+        let reduced: Vec<f64> = rows.iter().map(|w| w.files_reduced as f64).collect();
+        let gbhr: Vec<f64> = rows.iter().map(|w| w.gbhr).collect();
+        let reduced_n = print::normalize(&reduced);
+        let gbhr_n = print::normalize(&gbhr);
+        let table_rows: Vec<Vec<String>> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                vec![
+                    w.week.to_string(),
+                    w.regime.clone(),
+                    w.files_reduced.to_string(),
+                    format!("{:.3}", reduced_n[i]),
+                    format!("{:.2}", w.gbhr),
+                    format!("{:.3}", gbhr_n[i]),
+                    format!("{:.1}", w.k_effective),
+                ]
+            })
+            .collect();
+        print::table(
+            &[
+                "week",
+                "regime",
+                "files reduced",
+                "(norm)",
+                "GBHr",
+                "(norm)",
+                "k effective",
+            ],
+            &table_rows,
+        )
+    };
+    println!("## (a) manual top-k -> AutoComp top-(k/10) at week 3");
+    println!("{}", render(&rollout.segment_a));
+    println!("## (b) static k -> dynamic (budgeted) k at week 23");
+    println!("{}", render(&rollout.segment_b));
+
+    println!("\n# Figure 10c — deployment timeline: file count vs deployment size\n");
+    let t = run_production_timeline(&timeline);
+    let files: Vec<f64> = t.monthly.iter().map(|m| m.file_count as f64).collect();
+    let tables: Vec<f64> = t
+        .monthly
+        .iter()
+        .map(|m| m.deployment_tables as f64)
+        .collect();
+    let files_n = print::normalize(&files);
+    let tables_n = print::normalize(&tables);
+    let rows: Vec<Vec<String>> = t
+        .monthly
+        .iter()
+        .enumerate()
+        .map(|(i, m)| {
+            vec![
+                m.month.to_string(),
+                m.regime.clone(),
+                m.file_count.to_string(),
+                format!("{:.3}", files_n[i]),
+                m.deployment_tables.to_string(),
+                format!("{:.3}", tables_n[i]),
+                m.files_reduced.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        print::table(
+            &[
+                "month",
+                "regime",
+                "file count",
+                "(norm)",
+                "tables",
+                "(norm)",
+                "files reduced",
+            ],
+            &rows
+        )
+    );
+    println!("paper shape: (a) auto top-10 beats manual top-100 on reduction (+12%) at");
+    println!("higher cost; (b) dynamic k >> static k under budget; (c) file count bends");
+    println!("down after the compaction onsets despite deployment growth.");
+}

@@ -1,0 +1,82 @@
+//! Table 1: client- and cluster-side write-write conflicts per hour (§6.2).
+//!
+//! Paper: conflicts exist even without compaction (concurrent user
+//! writes); table-scope compaction adds early cluster-side conflicts from
+//! stale metadata; the hybrid strategy shows **zero** cluster-side
+//! conflicts because partition-scope rewrites have tiny vulnerability
+//! windows.
+
+use autocomp::ScopeStrategy;
+use autocomp_bench::experiments::cab::{run_cab, CabExperimentConfig, Strategy};
+use autocomp_bench::print;
+
+fn main() {
+    println!("# Table 1 — write-write conflicts per execution hour\n");
+    let runs = vec![
+        ("NoComp", Strategy::NoCompaction),
+        (
+            "Table-10",
+            Strategy::Moop {
+                scope: ScopeStrategy::Table,
+                k: 10,
+            },
+        ),
+        (
+            "Hybrid-500",
+            Strategy::Moop {
+                scope: ScopeStrategy::Hybrid,
+                k: 500,
+            },
+        ),
+    ];
+    let results: Vec<_> = runs
+        .iter()
+        .map(|(label, s)| {
+            (
+                *label,
+                run_cab(&CabExperimentConfig::from_env(100, s.clone())),
+            )
+        })
+        .collect();
+
+    let hours = results[0].1.hourly.len();
+    let mut rows = Vec::new();
+    for h in 0..hours {
+        let mut row = vec![
+            (h + 1).to_string(),
+            results[0].1.hourly[h].write_queries.to_string(),
+        ];
+        for (_, r) in &results {
+            row.push(r.hourly[h].client_conflicts.to_string());
+        }
+        for (label, r) in &results {
+            if *label != "NoComp" {
+                row.push(r.hourly[h].cluster_conflicts.to_string());
+            }
+        }
+        rows.push(row);
+    }
+    println!(
+        "{}",
+        print::table(
+            &[
+                "hour",
+                "# write queries",
+                "client NoComp",
+                "client Table-10",
+                "client Hybrid-500",
+                "cluster Table-10",
+                "cluster Hybrid-500",
+            ],
+            &rows
+        )
+    );
+    for (label, r) in &results {
+        println!(
+            "{label}: compaction jobs ok={} conflicted={}",
+            r.jobs_succeeded, r.jobs_conflicted
+        );
+    }
+    println!("\npaper shape: conflicts track write bursts; Table-10 shows early cluster-side");
+    println!("conflicts (stale metadata on long table rewrites); Hybrid-500 shows none.");
+}

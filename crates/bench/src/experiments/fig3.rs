@@ -1,0 +1,257 @@
+//! Figure 3: TPC-DS single-user runtime before / after maintenance /
+//! after compaction (§2).
+//!
+//! "During the data maintenance phase, about 3% of the data is modified
+//! via delete and insert operations, resulting in new files being added
+//! to the table. This significantly degrades performance in the
+//! subsequent single-user phase, increasing execution time by a factor of
+//! 1.53×. However, manually triggering compaction restored performance to
+//! levels comparable to the initial execution of the workload."
+//!
+//! The simulator's maintenance applies the modification as the engines in
+//! the paper do: row-level deletes become MoR delete files, and the
+//! re-inserted rows land via copy-on-write of the touched partitions with
+//! a misconfigured writer — the write path that "results in new files
+//! being added" and fragments the previously well-sized layout.
+
+use lakesim_engine::{
+    EnvConfig, FileSizePlan, RewriteOptions, SimEnv, SimRng, WriteOp, WriteSpec,
+    MS_PER_MIN,
+};
+use lakesim_lst::{plan_table_rewrite, BinPackConfig, PartitionKey};
+use lakesim_storage::MB;
+use lakesim_workload::driver::OpSpec;
+use lakesim_workload::tpcds::{build_tpcds, single_user_ops, TpcdsConfig, TpcdsDatabase};
+
+/// Experiment configuration.
+#[derive(Debug, Clone)]
+pub struct Fig3Config {
+    /// Master seed.
+    pub seed: u64,
+    /// Database scale and query count.
+    pub tpcds: TpcdsConfig,
+    /// Fraction of rows modified by maintenance (paper: 3%).
+    pub modified_fraction: f64,
+    /// Fraction of each fact table's partitions the modification touches
+    /// (CoW rewrites whole partitions containing modified rows).
+    pub touched_partition_fraction: f64,
+}
+
+impl Default for Fig3Config {
+    fn default() -> Self {
+        Fig3Config {
+            seed: 0,
+            tpcds: TpcdsConfig::default(),
+            modified_fraction: 0.03,
+            touched_partition_fraction: 0.25,
+        }
+    }
+}
+
+/// The three bars of Fig. 3.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig3Result {
+    /// Single-user runtime on the freshly loaded tables (seconds).
+    pub initial_s: f64,
+    /// Runtime after the maintenance phase (seconds).
+    pub after_maintenance_s: f64,
+    /// Runtime after compaction (seconds).
+    pub after_compaction_s: f64,
+}
+
+impl Fig3Result {
+    /// Degradation factor (paper: ≈1.53×).
+    pub fn degradation(&self) -> f64 {
+        self.after_maintenance_s / self.initial_s.max(1e-9)
+    }
+
+    /// Post-compaction runtime relative to the initial run (paper: ≈1×).
+    pub fn recovery(&self) -> f64 {
+        self.after_compaction_s / self.initial_s.max(1e-9)
+    }
+}
+
+/// Runs one single-user phase *sequentially* (the paper's single-user
+/// stream: each query starts when the previous one finishes) and returns
+/// `(duration_ms, end_ms)`.
+fn run_single_user(
+    env: &mut SimEnv,
+    db: &TpcdsDatabase,
+    config: &TpcdsConfig,
+    start_ms: u64,
+    query_seed: u64,
+) -> (f64, u64) {
+    // Same seed every phase: all three bars run the *identical* query
+    // stream, so runtime differences come from the data layout alone.
+    let mut rng = SimRng::seed_from_u64(query_seed);
+    let ops = single_user_ops(db, config, 0, 0, "query", &mut rng);
+    let mut t = start_ms;
+    for op in ops {
+        if let OpSpec::Read(spec) = op.op {
+            env.drain_due(t);
+            let result = env
+                .submit_read(&spec, t)
+                .expect("single-user reads target live tables");
+            t = result.finished_ms + 100;
+        }
+    }
+    ((t - start_ms) as f64, t)
+}
+
+/// Runs the full Fig. 3 experiment.
+pub fn run_fig3(config: &Fig3Config) -> Fig3Result {
+    let mut env = SimEnv::new(EnvConfig {
+        seed: config.seed,
+        ..EnvConfig::default()
+    });
+    let db = build_tpcds(&mut env, "tpcds", "tenant", &config.tpcds)
+        .expect("fresh database name never collides");
+    env.drain_all();
+
+    // Phase 1: initial single-user run.
+    let start = env.clock.now() + MS_PER_MIN;
+    let query_seed = config.seed ^ 0x51_0513;
+    let (initial_ms, t) = run_single_user(&mut env, &db, &config.tpcds, start, query_seed);
+
+    // Phase 2: data maintenance — MoR deletes + CoW re-inserts over the
+    // most recent partitions, fragmenting them.
+    let mut t = t + MS_PER_MIN;
+    for table in db.facts() {
+        let (total_bytes, keys) = {
+            let entry = env.catalog.table(table).expect("fact table exists");
+            (entry.table.total_bytes(), entry.table.partition_keys())
+        };
+        let take = ((keys.len() as f64 * config.touched_partition_fraction) as usize).max(1);
+        let recent: Vec<PartitionKey> = keys.into_iter().rev().take(take).collect();
+        let modified = (total_bytes as f64 * config.modified_fraction) as u64;
+        // Delete side: MoR delete files.
+        let delete = WriteSpec {
+            table,
+            op: WriteOp::MergeOnReadDelta,
+            partitions: recent.clone(),
+            total_bytes: (modified / 20).max(MB),
+            file_size: FileSizePlan {
+                median_bytes: MB,
+                sigma: 0.4,
+            },
+            partition_skew: 0.0,
+            cluster: "query".to_string(),
+            parallelism: 4,
+        };
+        env.submit_write(&delete, t).expect("maintenance delete");
+        t += 30_000;
+        env.drain_due(t);
+        // Insert side: CoW rewrite of the touched partitions with a
+        // misconfigured writer (the small-file source).
+        let touched_bytes: u64 = {
+            let entry = env.catalog.table(table).expect("fact table exists");
+            recent
+                .iter()
+                .filter_map(|k| entry.table.files_in_partition(k))
+                .flatten()
+                .filter_map(|id| entry.table.file(*id))
+                .map(|f| f.file_size_bytes)
+                .sum()
+        };
+        let overwrite = WriteSpec {
+            table,
+            op: WriteOp::CopyOnWriteOverwrite,
+            partitions: recent,
+            total_bytes: touched_bytes.max(modified),
+            file_size: FileSizePlan::trickle(),
+            partition_skew: 0.0,
+            cluster: "query".to_string(),
+            parallelism: 8,
+        };
+        let w = env.submit_write(&overwrite, t).expect("maintenance insert");
+        t = w.finished_ms + MS_PER_MIN;
+        env.drain_due(t);
+    }
+
+    // Phase 3: degraded single-user run.
+    let (after_maintenance_ms, t) = run_single_user(&mut env, &db, &config.tpcds, t, query_seed);
+
+    // Phase 4: manual compaction of every table (§2: "manually triggering
+    // compaction restored performance").
+    let mut t = t + MS_PER_MIN;
+    for (_, table, _) in &db.tables {
+        let plan = {
+            let entry = env.catalog.table(*table).expect("table exists");
+            plan_table_rewrite(&entry.table, &BinPackConfig::default())
+        };
+        if plan.is_empty() {
+            continue;
+        }
+        let predicted = env.cost().estimate_gbhr(64.0, plan.input_bytes());
+        let opts = RewriteOptions {
+            cluster: "compaction".to_string(),
+            parallelism: 3,
+            trigger: "manual".to_string(),
+            predicted_reduction: plan.expected_reduction(),
+            predicted_gbhr: predicted,
+        };
+        if let Some(job) = env
+            .submit_rewrite(&plan, &opts, t)
+            .expect("rewrite submission")
+        {
+            t = job.commit_due_ms + 1;
+            env.drain_due(t);
+        }
+    }
+
+    // Phase 5: recovered single-user run.
+    let (after_compaction_ms, _) = run_single_user(&mut env, &db, &config.tpcds, t, query_seed);
+
+    Fig3Result {
+        initial_s: initial_ms / 1000.0,
+        after_maintenance_s: after_maintenance_ms / 1000.0,
+        after_compaction_s: after_compaction_ms / 1000.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lakesim_storage::GB;
+
+    fn test_config() -> Fig3Config {
+        Fig3Config {
+            seed: 9,
+            tpcds: TpcdsConfig {
+                scale_bytes: 4 * GB,
+                date_partitions: 12,
+                queries_per_phase: 25,
+                ..TpcdsConfig::default()
+            },
+            ..Fig3Config::default()
+        }
+    }
+
+    #[test]
+    fn maintenance_degrades_and_compaction_recovers() {
+        let r = run_fig3(&test_config());
+        assert!(
+            r.degradation() > 1.15,
+            "maintenance must degrade noticeably: {:.3}",
+            r.degradation()
+        );
+        assert!(
+            r.recovery() < r.degradation(),
+            "compaction must claw back time: rec {:.3} deg {:.3}",
+            r.recovery(),
+            r.degradation()
+        );
+        assert!(
+            r.recovery() < 1.25,
+            "post-compaction should be near the initial run: {:.3}",
+            r.recovery()
+        );
+    }
+
+    #[test]
+    fn result_is_deterministic() {
+        let a = run_fig3(&test_config());
+        let b = run_fig3(&test_config());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,6 @@
+//! Experiment implementations, one module per paper section.
+
+pub mod cab;
+pub mod fig3;
+pub mod production;
+pub mod tuning;

@@ -1,0 +1,373 @@
+//! Figure 9: auto-tuning compaction triggers (§6.3).
+//!
+//! "We experiment with an auto-tuning framework in conjunction with
+//! AutoComp, using a simplified optimize-after-write hook setup, i.e.,
+//! unlimited compaction resources. We use two compaction traits — small
+//! file count and file entropy — and tune the thresholds that determine
+//! when compaction is triggered." Workloads: TPC-DS WP1 (long-running,
+//! frequent modifications), TPC-DS WP3 (split read/write clusters), and
+//! TPC-H (long modification phase, costly whole-table rewrites → the
+//! default no-compaction setting wins, Fig. 9b).
+
+use autocomp::{AfterWriteHook, FileCountReduction, FileEntropy, HookAction, HookMode};
+use autocomp_lakesim::hooks::evaluate_hook_direct;
+use autocomp_tuner::{CfoSearch, Param, ParamSpace, Tuner, TuningTrace};
+use lakesim_engine::{
+    ClusterConfig, EnvConfig, RewriteOptions, SimEnv, SimRng, MS_PER_MIN,
+};
+use lakesim_lst::{plan_table_rewrite, BinPackConfig, TableId};
+use lakesim_storage::GB;
+use lakesim_workload::driver::OpSpec;
+use lakesim_workload::tpcds::{build_tpcds, maintenance_ops, single_user_ops, TpcdsConfig};
+use lakesim_workload::tpch::{build_tpch_database, read_query, write_query, TpchConfig};
+
+/// Workloads of the §6.3 study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TuneWorkload {
+    /// LST-Bench TPC-DS WP1: long-running with frequent modifications,
+    /// reads and writes share one cluster.
+    TpcdsWp1,
+    /// LST-Bench TPC-DS WP3: writes on a sidecar cluster, reads on the
+    /// main cluster — compaction contention is decoupled.
+    TpcdsWp3,
+    /// TPC-H: non-partitioned tables make rewrites costly; the data
+    /// modification phase dominates.
+    Tpch,
+}
+
+impl TuneWorkload {
+    /// Label for figure output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TuneWorkload::TpcdsWp1 => "TPC-DS WP1",
+            TuneWorkload::TpcdsWp3 => "TPC-DS WP3",
+            TuneWorkload::Tpch => "TPC-H",
+        }
+    }
+}
+
+/// Tunable trigger traits of the §6.3 study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TuneTrait {
+    /// Trigger on small-file count exceeding the threshold.
+    SmallFileCount,
+    /// Trigger on file entropy exceeding the threshold.
+    FileEntropy,
+}
+
+impl TuneTrait {
+    /// Label for figure output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TuneTrait::SmallFileCount => "small-file count",
+            TuneTrait::FileEntropy => "file entropy",
+        }
+    }
+
+    fn hook(&self, threshold: f64) -> AfterWriteHook {
+        match self {
+            TuneTrait::SmallFileCount => AfterWriteHook::new(
+                HookMode::Immediate,
+                Box::new(FileCountReduction::default()),
+                threshold,
+            ),
+            TuneTrait::FileEntropy => {
+                AfterWriteHook::new(HookMode::Immediate, Box::new(FileEntropy), threshold)
+            }
+        }
+    }
+
+    fn space(&self) -> ParamSpace {
+        match self {
+            TuneTrait::SmallFileCount => {
+                ParamSpace::new(vec![Param::new("threshold", 1.0, 400.0)])
+            }
+            TuneTrait::FileEntropy => ParamSpace::new(vec![Param::new("threshold", 0.01, 1.0)]),
+        }
+    }
+}
+
+/// Result of tuning one Fig. 9 panel.
+#[derive(Debug, Clone)]
+pub struct TunePanelResult {
+    /// Workload label.
+    pub workload: String,
+    /// Trait label.
+    pub trait_name: String,
+    /// Duration with compaction disabled (the "default" line).
+    pub default_duration_s: f64,
+    /// `(iteration, threshold, duration_s)` per trial.
+    pub trials: Vec<(usize, f64, f64)>,
+    /// Best tuned duration.
+    pub best_duration_s: f64,
+}
+
+/// Immediately submits compaction of `table` on `cluster` (unlimited
+/// budget). The job runs *concurrently* with the workload: on a shared
+/// cluster its executor time contends with queries (the WP1/TPC-H cost),
+/// on a decoupled cluster it does not (the WP3 benefit). Its commit is
+/// drained as the workload's own time advances.
+fn compact_now(env: &mut SimEnv, table: TableId, cluster: &str, t: u64) {
+    let plan = {
+        let Ok(entry) = env.catalog.table(table) else {
+            return;
+        };
+        plan_table_rewrite(
+            &entry.table,
+            &BinPackConfig {
+                target_file_size: entry.policy.target_file_size,
+                small_file_fraction: 0.75,
+                min_input_files: entry.policy.min_input_files,
+            },
+        )
+    };
+    if plan.is_empty() {
+        return;
+    }
+    let predicted = env.cost().estimate_gbhr(64.0, plan.input_bytes());
+    let opts = RewriteOptions {
+        cluster: cluster.to_string(),
+        parallelism: 4,
+        trigger: "after-write".to_string(),
+        predicted_reduction: plan.expected_reduction(),
+        predicted_gbhr: predicted,
+    };
+    let _ = env.submit_rewrite(&plan, &opts, t);
+}
+
+/// Runs one workload end-to-end with the given trigger threshold
+/// (`f64::INFINITY` = compaction disabled) and returns the duration in
+/// seconds — the Fig. 9 y-axis.
+pub fn run_tuned_workload(
+    workload: TuneWorkload,
+    tune_trait: TuneTrait,
+    threshold: f64,
+    seed: u64,
+) -> f64 {
+    let clusters = vec![
+        ClusterConfig {
+            name: "query".to_string(),
+            executors: 8,
+            executor_memory_gb: 64.0,
+        },
+        ClusterConfig {
+            name: "sidecar".to_string(),
+            executors: 4,
+            executor_memory_gb: 64.0,
+        },
+        ClusterConfig::compaction_default("compaction"),
+    ];
+    let mut env = SimEnv::new(EnvConfig {
+        seed,
+        clusters,
+        cost: lakesim_engine::CostModel {
+            // LST-Bench sessions reuse a warm application: per-write
+            // coordination is seconds, not the cold-start minutes of the
+            // ad-hoc fleet jobs. Keeping it small lets the read-phase
+            // layout effect (what the threshold controls) dominate the
+            // end-to-end duration, as in Fig. 9.
+            write_job_overhead_ms: 5_000,
+            ..lakesim_engine::CostModel::default()
+        },
+        ..EnvConfig::default()
+    });
+    let mut rng = SimRng::seed_from_u64(seed ^ 0xF19);
+    let hook = tune_trait.hook(threshold);
+    // WP3's writes (and hook compactions) run on the sidecar; WP1/TPC-H
+    // share the query cluster — the §6.3 contention difference.
+    let (read_cluster, write_cluster) = match workload {
+        TuneWorkload::TpcdsWp3 => ("query", "sidecar"),
+        _ => ("query", "query"),
+    };
+
+    let start = MS_PER_MIN;
+    let mut t = start;
+    match workload {
+        TuneWorkload::TpcdsWp1 | TuneWorkload::TpcdsWp3 => {
+            let config = TpcdsConfig {
+                scale_bytes: 3 * GB,
+                date_partitions: 12,
+                queries_per_phase: 25,
+                // LST-Bench WP runs accumulate fragmentation from the
+                // first session onward; start from the untuned-writer
+                // state so the trigger threshold has a real signal.
+                load_writer: lakesim_engine::FileSizePlan::misconfigured(),
+                ..TpcdsConfig::default()
+            };
+            let db = build_tpcds(&mut env, "tpcds", "tenant", &config)
+                .expect("fresh database name never collides");
+            env.drain_all();
+            for _cycle in 0..3 {
+                // Modification phase.
+                let ops = maintenance_ops(&db, &env, 0.05, t, write_cluster, &mut rng);
+                let mut written: Vec<TableId> = Vec::new();
+                for op in ops {
+                    if let OpSpec::Write(spec) = op.op {
+                        written.push(spec.table);
+                        if let Ok(w) = env.submit_write(&spec, t) {
+                            t = w.finished_ms + 1_000;
+                        }
+                        env.drain_due(t);
+                    }
+                }
+                // Hook evaluation at the end of the write session — the
+                // quiet window a real optimize-after-write hook sees once
+                // the writer's session commits (firing mid-session would
+                // lose every optimistic race against the next write).
+                written.dedup();
+                for table in written {
+                    if let Some(HookAction::TriggerNow) =
+                        evaluate_hook_direct(&mut env, &hook, table)
+                    {
+                        compact_now(&mut env, table, write_cluster, t);
+                    }
+                }
+                // Read phase (sequential single-user).
+                for op in single_user_ops(&db, &config, 0, 0, read_cluster, &mut rng) {
+                    if let OpSpec::Read(spec) = op.op {
+                        env.drain_due(t);
+                        if let Ok(r) = env.submit_read(&spec, t) {
+                            t = r.finished_ms + 100;
+                        }
+                    }
+                }
+            }
+        }
+        TuneWorkload::Tpch => {
+            let config = TpchConfig {
+                scale_bytes: 2 * GB,
+                months: 8,
+                ..TpchConfig::default()
+            };
+            let db = build_tpch_database(&mut env, "tpch", "tenant", None, &config, &mut rng)
+                .expect("fresh database name never collides");
+            env.drain_all();
+            for _cycle in 0..3 {
+                // Long data-modification phase (dominates TPC-H runs).
+                let mut written: Vec<TableId> = Vec::new();
+                for _ in 0..8 {
+                    let spec = write_query(&db, &mut rng, write_cluster);
+                    written.push(spec.table);
+                    if let Ok(w) = env.submit_write(&spec, t) {
+                        t = w.finished_ms + 1_000;
+                    }
+                    env.drain_due(t);
+                }
+                written.sort();
+                written.dedup();
+                for table in written {
+                    if let Some(HookAction::TriggerNow) =
+                        evaluate_hook_direct(&mut env, &hook, table)
+                    {
+                        // Non-partitioned tables rewrite wholesale — the
+                        // §6.3 reason compaction rarely pays off here.
+                        compact_now(&mut env, table, write_cluster, t);
+                    }
+                }
+                for _ in 0..6 {
+                    let spec = read_query(&db, &mut rng, read_cluster);
+                    env.drain_due(t);
+                    if let Ok(r) = env.submit_read(&spec, t) {
+                        t = r.finished_ms + 100;
+                    }
+                }
+            }
+        }
+    }
+    env.drain_all();
+    (t - start) as f64 / 1000.0
+}
+
+/// Runs one Fig. 9 panel: CFO-tunes the trigger threshold for
+/// `iterations` trials and reports the default (no compaction) baseline.
+pub fn run_fig9_panel(
+    workload: TuneWorkload,
+    tune_trait: TuneTrait,
+    iterations: usize,
+    seed: u64,
+) -> TunePanelResult {
+    let default_duration_s = run_tuned_workload(workload, tune_trait, f64::INFINITY, seed);
+    let mut tuner = Tuner::new(CfoSearch::new(tune_trait.space(), seed), iterations);
+    let trace: TuningTrace = tuner.run(|assignment| {
+        let threshold = assignment.get("threshold").expect("single-param space");
+        run_tuned_workload(workload, tune_trait, threshold, seed)
+    });
+    let trials = trace
+        .trials
+        .iter()
+        .map(|t| {
+            (
+                t.iteration,
+                t.assignment.get("threshold").expect("single-param space"),
+                t.value,
+            )
+        })
+        .collect();
+    let best = trace.best().map(|t| t.value).unwrap_or(default_duration_s);
+    TunePanelResult {
+        workload: workload.label().to_string(),
+        trait_name: tune_trait.label().to_string(),
+        default_duration_s,
+        trials,
+        best_duration_s: best,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wp1_benefits_from_tuned_compaction() {
+        let panel = run_fig9_panel(TuneWorkload::TpcdsWp1, TuneTrait::SmallFileCount, 6, 70);
+        assert_eq!(panel.trials.len(), 6);
+        assert!(
+            panel.best_duration_s < panel.default_duration_s,
+            "WP1 tuned {:.1}s should beat default {:.1}s",
+            panel.best_duration_s,
+            panel.default_duration_s
+        );
+    }
+
+    #[test]
+    fn tpch_default_stays_competitive() {
+        // §6.3: "For TPC-H, the default setting (no auto-compaction)
+        // performs best, as compaction rewrites entire non-partitioned
+        // tables". Allow small wins from noise but no large improvement.
+        let panel = run_fig9_panel(TuneWorkload::Tpch, TuneTrait::SmallFileCount, 5, 71);
+        assert!(
+            panel.best_duration_s > panel.default_duration_s * 0.9,
+            "TPC-H best {:.1}s vs default {:.1}s",
+            panel.best_duration_s,
+            panel.default_duration_s
+        );
+    }
+
+    #[test]
+    fn entropy_and_count_triggers_both_work_on_wp1() {
+        // §6.3 observation (ii): both decision functions can yield
+        // comparable results with appropriate thresholds.
+        let count = run_fig9_panel(TuneWorkload::TpcdsWp1, TuneTrait::SmallFileCount, 5, 72);
+        let entropy = run_fig9_panel(TuneWorkload::TpcdsWp1, TuneTrait::FileEntropy, 5, 72);
+        let ratio = count.best_duration_s / entropy.best_duration_s.max(1e-9);
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "triggers should be comparable: count {:.1}s entropy {:.1}s",
+            count.best_duration_s,
+            entropy.best_duration_s
+        );
+    }
+
+    #[test]
+    fn wp3_sees_consistent_benefit() {
+        let panel = run_fig9_panel(TuneWorkload::TpcdsWp3, TuneTrait::SmallFileCount, 5, 73);
+        assert!(panel.best_duration_s <= panel.default_duration_s * 1.02);
+    }
+
+    #[test]
+    fn panels_are_deterministic() {
+        let a = run_fig9_panel(TuneWorkload::TpcdsWp1, TuneTrait::SmallFileCount, 3, 74);
+        let b = run_fig9_panel(TuneWorkload::TpcdsWp1, TuneTrait::SmallFileCount, 3, 74);
+        assert_eq!(a.trials, b.trials);
+    }
+}

@@ -1,0 +1,21 @@
+//! # autocomp-bench
+//!
+//! Experiment harnesses regenerating every table and figure of the
+//! AutoComp paper's evaluation (§2, §6, §7), plus ablations of the design
+//! choices DESIGN.md calls out. Each `src/bin/*.rs` binary runs one
+//! experiment and prints the same rows/series the paper reports;
+//! `EXPERIMENTS.md` records paper-vs-measured values.
+//!
+//! The harness code lives in [`experiments`] so integration tests can run
+//! scaled-down versions of the same code paths the binaries use.
+
+pub mod experiments;
+pub mod print;
+
+pub use experiments::cab::{run_cab, CabExperimentConfig, CabRunResult, Strategy};
+pub use experiments::fig3::{run_fig3, Fig3Config, Fig3Result};
+pub use experiments::production::{
+    run_fig2, run_fig10ab, run_fig11a, run_production_timeline, Fig2Result, RolloutResult,
+    TimelineConfig, TimelineResult, WorkloadMetricsResult,
+};
+pub use experiments::tuning::{run_fig9_panel, TunePanelResult, TuneTrait, TuneWorkload};

@@ -1,0 +1,89 @@
+//! Output helpers shared by the experiment binaries.
+
+/// Renders an aligned plain-text table (re-exported from the core crate's
+/// report module so all output shares one look).
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    autocomp::report::render_table(headers, rows)
+}
+
+/// Prints a `(x, y)` series as two aligned columns under a title.
+pub fn series_u64(title: &str, x_label: &str, y_label: &str, points: &[(u64, u64)]) {
+    println!("## {title}");
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|(x, y)| vec![x.to_string(), y.to_string()])
+        .collect();
+    println!("{}", table(&[x_label, y_label], &rows));
+}
+
+/// Prints a `(x, f64)` series with three decimals.
+pub fn series_f64(title: &str, x_label: &str, y_label: &str, points: &[(u64, f64)]) {
+    println!("## {title}");
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|(x, y)| vec![x.to_string(), format!("{y:.3}")])
+        .collect();
+    println!("{}", table(&[x_label, y_label], &rows));
+}
+
+/// Min–max normalizes values to `[0,1]` (constant series → 0.5), matching
+/// the "Normalized Value" axes of the paper's Figs. 10–11.
+pub fn normalize(values: &[f64]) -> Vec<f64> {
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = max - min;
+    values
+        .iter()
+        .map(|v| {
+            if span.abs() < f64::EPSILON {
+                0.5
+            } else {
+                (v - min) / span
+            }
+        })
+        .collect()
+}
+
+/// Centered moving average used for the "smoothed" curves of Fig. 11a.
+pub fn smooth(values: &[f64], window: usize) -> Vec<f64> {
+    if values.is_empty() || window <= 1 {
+        return values.to_vec();
+    }
+    let half = window / 2;
+    (0..values.len())
+        .map(|i| {
+            let lo = i.saturating_sub(half);
+            let hi = (i + half + 1).min(values.len());
+            values[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+        })
+        .collect()
+}
+
+/// Formats milliseconds as seconds with one decimal.
+pub fn ms_to_s(ms: f64) -> String {
+    format!("{:.1}", ms / 1000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_and_smooth() {
+        assert_eq!(normalize(&[1.0, 3.0, 2.0]), vec![0.0, 1.0, 0.5]);
+        assert_eq!(normalize(&[2.0, 2.0]), vec![0.5, 0.5]);
+        let s = smooth(&[0.0, 10.0, 0.0], 3);
+        assert!((s[1] - 10.0 / 3.0).abs() < 1e-9);
+        assert_eq!(smooth(&[1.0, 2.0], 1), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(ms_to_s(1500.0), "1.5");
+        let t = table(&["a"], &[vec!["1".to_string()]]);
+        assert!(t.contains('a'));
+    }
+}

@@ -1,0 +1,280 @@
+//! The catalog: registry of databases and tables.
+
+use std::collections::BTreeMap;
+
+use crate::database::DatabaseEntry;
+use crate::error::CatalogError;
+use crate::policy::TablePolicy;
+use crate::usage::TableUsage;
+use crate::Result;
+use lakesim_lst::{PartitionSpec, Schema, Table, TableId, TableProperties};
+
+/// Default rolling window for write-frequency tracking: one hour.
+const USAGE_WINDOW_MS: u64 = 3_600_000;
+
+/// A table plus its control-plane state.
+#[derive(Debug, Clone)]
+pub struct CatalogTable {
+    /// The LST table itself.
+    pub table: Table,
+    /// Maintenance policy.
+    pub policy: TablePolicy,
+    /// Usage statistics.
+    pub usage: TableUsage,
+}
+
+/// The catalog of databases and tables.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    databases: BTreeMap<String, DatabaseEntry>,
+    tables: BTreeMap<TableId, CatalogTable>,
+    by_name: BTreeMap<(String, String), TableId>,
+    next_table_id: u64,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Catalog {
+            databases: BTreeMap::new(),
+            tables: BTreeMap::new(),
+            by_name: BTreeMap::new(),
+            next_table_id: 1,
+        }
+    }
+
+    /// Registers a database.
+    pub fn create_database(&mut self, name: &str, tenant: &str) -> Result<()> {
+        if self.databases.contains_key(name) {
+            return Err(CatalogError::DatabaseExists(name.to_string()));
+        }
+        self.databases
+            .insert(name.to_string(), DatabaseEntry::new(name, tenant));
+        Ok(())
+    }
+
+    /// Creates and registers a table, validating the schema/spec pairing.
+    #[allow(clippy::too_many_arguments)]
+    pub fn create_table(
+        &mut self,
+        database: &str,
+        name: &str,
+        schema: Schema,
+        spec: PartitionSpec,
+        properties: TableProperties,
+        policy: TablePolicy,
+        now_ms: u64,
+    ) -> Result<TableId> {
+        if !self.databases.contains_key(database) {
+            return Err(CatalogError::DatabaseNotFound(database.to_string()));
+        }
+        let key = (database.to_string(), name.to_string());
+        if self.by_name.contains_key(&key) {
+            return Err(CatalogError::TableExists {
+                database: database.to_string(),
+                table: name.to_string(),
+            });
+        }
+        schema
+            .validate_spec(&spec)
+            .map_err(|e| CatalogError::InvalidTable(e.to_string()))?;
+        let id = TableId(self.next_table_id);
+        self.next_table_id += 1;
+        let table = Table::new(id, name, database, schema, spec, properties, now_ms);
+        self.tables.insert(
+            id,
+            CatalogTable {
+                table,
+                policy,
+                usage: TableUsage::new(now_ms, USAGE_WINDOW_MS),
+            },
+        );
+        self.databases
+            .get_mut(database)
+            .expect("checked above")
+            .tables
+            .insert(id);
+        self.by_name.insert(key, id);
+        Ok(id)
+    }
+
+    /// Drops a table, returning its final state so the engine can reclaim
+    /// the physical files.
+    pub fn drop_table(&mut self, id: TableId) -> Result<CatalogTable> {
+        let entry = self
+            .tables
+            .remove(&id)
+            .ok_or(CatalogError::TableNotFound(id))?;
+        let db = entry.table.database().to_string();
+        let name = entry.table.name().to_string();
+        if let Some(d) = self.databases.get_mut(&db) {
+            d.tables.remove(&id);
+        }
+        self.by_name.remove(&(db, name));
+        Ok(entry)
+    }
+
+    /// Resolves a table by qualified name.
+    pub fn resolve(&self, database: &str, name: &str) -> Option<TableId> {
+        self.by_name
+            .get(&(database.to_string(), name.to_string()))
+            .copied()
+    }
+
+    /// Immutable access to a table entry.
+    pub fn table(&self, id: TableId) -> Result<&CatalogTable> {
+        self.tables.get(&id).ok_or(CatalogError::TableNotFound(id))
+    }
+
+    /// Mutable access to a table entry.
+    pub fn table_mut(&mut self, id: TableId) -> Result<&mut CatalogTable> {
+        self.tables
+            .get_mut(&id)
+            .ok_or(CatalogError::TableNotFound(id))
+    }
+
+    /// All table ids, ascending (deterministic iteration for NFR2).
+    pub fn table_ids(&self) -> Vec<TableId> {
+        self.tables.keys().copied().collect()
+    }
+
+    /// All database entries, by name.
+    pub fn databases(&self) -> impl Iterator<Item = &DatabaseEntry> {
+        self.databases.values()
+    }
+
+    /// One database entry.
+    pub fn database(&self, name: &str) -> Result<&DatabaseEntry> {
+        self.databases
+            .get(name)
+            .ok_or_else(|| CatalogError::DatabaseNotFound(name.to_string()))
+    }
+
+    /// Table ids in one database, ascending.
+    pub fn tables_in_database(&self, name: &str) -> Result<Vec<TableId>> {
+        Ok(self.database(name)?.tables.iter().copied().collect())
+    }
+
+    /// Number of registered tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lakesim_lst::{ColumnType, Field};
+
+    fn schema() -> Schema {
+        Schema::new(vec![Field::new(1, "k", ColumnType::Int64, true)]).unwrap()
+    }
+
+    fn catalog_with_table() -> (Catalog, TableId) {
+        let mut c = Catalog::new();
+        c.create_database("db1", "tenant-a").unwrap();
+        let id = c
+            .create_table(
+                "db1",
+                "events",
+                schema(),
+                PartitionSpec::unpartitioned(),
+                TableProperties::default(),
+                TablePolicy::default(),
+                100,
+            )
+            .unwrap();
+        (c, id)
+    }
+
+    #[test]
+    fn create_resolve_drop_lifecycle() {
+        let (mut c, id) = catalog_with_table();
+        assert_eq!(c.resolve("db1", "events"), Some(id));
+        assert_eq!(c.table(id).unwrap().table.name(), "events");
+        assert_eq!(c.tables_in_database("db1").unwrap(), vec![id]);
+        let dropped = c.drop_table(id).unwrap();
+        assert_eq!(dropped.table.id(), id);
+        assert_eq!(c.resolve("db1", "events"), None);
+        assert!(c.table(id).is_err());
+        assert_eq!(c.database("db1").unwrap().table_count(), 0);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let (mut c, _) = catalog_with_table();
+        let err = c
+            .create_table(
+                "db1",
+                "events",
+                schema(),
+                PartitionSpec::unpartitioned(),
+                TableProperties::default(),
+                TablePolicy::default(),
+                0,
+            )
+            .unwrap_err();
+        assert!(matches!(err, CatalogError::TableExists { .. }));
+        assert!(matches!(
+            c.create_database("db1", "x"),
+            Err(CatalogError::DatabaseExists(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_database_rejected() {
+        let mut c = Catalog::new();
+        let err = c
+            .create_table(
+                "missing",
+                "t",
+                schema(),
+                PartitionSpec::unpartitioned(),
+                TableProperties::default(),
+                TablePolicy::default(),
+                0,
+            )
+            .unwrap_err();
+        assert!(matches!(err, CatalogError::DatabaseNotFound(_)));
+    }
+
+    #[test]
+    fn invalid_spec_rejected() {
+        let mut c = Catalog::new();
+        c.create_database("db", "t").unwrap();
+        let err = c
+            .create_table(
+                "db",
+                "t",
+                schema(),
+                PartitionSpec::single(9, lakesim_lst::Transform::Identity, "x"),
+                TableProperties::default(),
+                TablePolicy::default(),
+                0,
+            )
+            .unwrap_err();
+        assert!(matches!(err, CatalogError::InvalidTable(_)));
+    }
+
+    #[test]
+    fn ids_are_sequential_and_sorted() {
+        let mut c = Catalog::new();
+        c.create_database("db", "t").unwrap();
+        for i in 0..5 {
+            c.create_table(
+                "db",
+                &format!("t{i}"),
+                schema(),
+                PartitionSpec::unpartitioned(),
+                TableProperties::default(),
+                TablePolicy::default(),
+                0,
+            )
+            .unwrap();
+        }
+        let ids = c.table_ids();
+        assert_eq!(ids.len(), 5);
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(c.table_count(), 5);
+    }
+}

@@ -1,0 +1,50 @@
+//! Database (tenant) entries.
+
+use std::collections::BTreeSet;
+
+use lakesim_lst::TableId;
+
+/// A database: a logical group of tables belonging to one tenant, mapped
+/// 1:1 onto a storage namespace with an object quota (§7: "Each database
+/// represents a logical group of tables associated with a specific
+/// tenant").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatabaseEntry {
+    /// Database name; equals the storage namespace name.
+    pub name: String,
+    /// Owning tenant / line of business.
+    pub tenant: String,
+    /// Tables registered in this database.
+    pub tables: BTreeSet<TableId>,
+}
+
+impl DatabaseEntry {
+    /// Creates an empty database entry.
+    pub fn new(name: impl Into<String>, tenant: impl Into<String>) -> Self {
+        DatabaseEntry {
+            name: name.into(),
+            tenant: tenant.into(),
+            tables: BTreeSet::new(),
+        }
+    }
+
+    /// Number of registered tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_membership() {
+        let mut db = DatabaseEntry::new("db_metrics", "growth-team");
+        db.tables.insert(TableId(1));
+        db.tables.insert(TableId(2));
+        db.tables.insert(TableId(1));
+        assert_eq!(db.table_count(), 2);
+        assert_eq!(db.tenant, "growth-team");
+    }
+}

@@ -1,0 +1,59 @@
+//! Catalog error type.
+
+use std::fmt;
+
+use lakesim_lst::TableId;
+
+/// Errors raised by catalog operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatalogError {
+    /// The referenced database does not exist.
+    DatabaseNotFound(String),
+    /// A database with this name already exists.
+    DatabaseExists(String),
+    /// The referenced table id does not exist.
+    TableNotFound(TableId),
+    /// A table with this name already exists in the database.
+    TableExists {
+        /// Database name.
+        database: String,
+        /// Table name.
+        table: String,
+    },
+    /// Schema/spec validation failed at table creation.
+    InvalidTable(String),
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatalogError::DatabaseNotFound(db) => write!(f, "database not found: '{db}'"),
+            CatalogError::DatabaseExists(db) => write!(f, "database already exists: '{db}'"),
+            CatalogError::TableNotFound(id) => write!(f, "table not found: {id}"),
+            CatalogError::TableExists { database, table } => {
+                write!(f, "table already exists: '{database}.{table}'")
+            }
+            CatalogError::InvalidTable(msg) => write!(f, "invalid table definition: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_object() {
+        assert!(CatalogError::DatabaseNotFound("x".into())
+            .to_string()
+            .contains("'x'"));
+        assert!(CatalogError::TableExists {
+            database: "db".into(),
+            table: "t".into()
+        }
+        .to_string()
+        .contains("db.t"));
+    }
+}

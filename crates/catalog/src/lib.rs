@@ -1,0 +1,43 @@
+//! # lakesim-catalog
+//!
+//! An OpenHouse-like control plane for the simulated lake: a declarative
+//! catalog of databases and tables, per-table maintenance policies, usage
+//! tracking, a telemetry store, and a maintenance-job log.
+//!
+//! In the paper, OpenHouse "provides a declarative catalog for table
+//! definitions, schema management, and metadata maintenance, along with
+//! data services to reconcile observed and desired states" (§2), and it is
+//! the control plane AutoComp plugs into (Fig. 5). The signals AutoComp
+//! consumes all live here:
+//!
+//! * **Databases as tenants** with HDFS namespace quotas — the
+//!   `UsedQuota/TotalQuota` ratio feeds the production MOOP weight
+//!   `w1 = 0.5 × (1 + Used/Total)` (§7).
+//! * **Table policies** — target file size, retention, whether compaction
+//!   is enabled, and the "recently created" grace window used as a
+//!   candidate filter (§4.1).
+//! * **Usage tracking** — creation time, last read/write, and write
+//!   frequency, feeding the conflict-avoidance filters (§4.1).
+//! * **Maintenance log** — per-job predicted vs. actual benefit/cost, the
+//!   data behind §7's "Model Accuracy and Estimation Errors".
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod database;
+pub mod error;
+pub mod maintenance;
+pub mod policy;
+pub mod telemetry;
+pub mod usage;
+
+pub use crate::catalog::{Catalog, CatalogTable};
+pub use database::DatabaseEntry;
+pub use error::CatalogError;
+pub use maintenance::{AccuracySummary, JobStatus, MaintenanceLog, MaintenanceRecord};
+pub use policy::TablePolicy;
+pub use telemetry::TelemetryStore;
+pub use usage::TableUsage;
+
+/// Crate-level result alias.
+pub type Result<T> = std::result::Result<T, CatalogError>;

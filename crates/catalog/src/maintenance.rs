@@ -1,0 +1,214 @@
+//! Maintenance-job log: predicted vs. actual benefit and cost.
+//!
+//! §7 ("Model Accuracy and Estimation Errors"): *"We evaluated the accuracy
+//! of our estimators by comparing predicted and actual values for file
+//! count reduction and compute cost."* Every compaction job the engine
+//! executes is recorded here with both sides of that comparison, giving the
+//! feedback loop (and the `estimator_accuracy` experiment) its data.
+
+use std::fmt;
+
+use lakesim_lst::TableId;
+
+/// Terminal status of a maintenance job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Rewrite committed.
+    Succeeded,
+    /// Rewrite lost an optimistic-concurrency race (cluster-side conflict,
+    /// Table 1 of the paper).
+    Conflicted,
+    /// Rewrite failed for another reason (e.g. quota exceeded writing
+    /// outputs).
+    Failed,
+}
+
+impl fmt::Display for JobStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            JobStatus::Succeeded => "succeeded",
+            JobStatus::Conflicted => "conflicted",
+            JobStatus::Failed => "failed",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One executed maintenance (compaction) job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaintenanceRecord {
+    /// Monotonic job id.
+    pub job_id: u64,
+    /// Table the job targeted.
+    pub table: TableId,
+    /// Human-readable scope, e.g. `"table"` or `"partition (d402)"`.
+    pub scope: String,
+    /// What triggered the job, e.g. `"periodic"` or `"after-write"`.
+    pub trigger: String,
+    /// Scheduling timestamp.
+    pub scheduled_at_ms: u64,
+    /// Completion timestamp.
+    pub finished_at_ms: u64,
+    /// Terminal status.
+    pub status: JobStatus,
+    /// Predicted file-count reduction (the decide-phase ΔF).
+    pub predicted_reduction: i64,
+    /// Actual file-count reduction achieved.
+    pub actual_reduction: i64,
+    /// Predicted compute cost in GB·hours.
+    pub predicted_gbhr: f64,
+    /// Actual compute cost in GB·hours.
+    pub actual_gbhr: f64,
+}
+
+/// Aggregated estimator-accuracy statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AccuracySummary {
+    /// Jobs included (succeeded only — conflicted jobs have no actuals).
+    pub jobs: u64,
+    /// Mean signed relative error of the reduction estimate
+    /// (positive = over-estimate, the direction §7 reports: +28%).
+    pub reduction_bias: f64,
+    /// Mean signed relative error of the cost estimate
+    /// (negative = under-estimate, §7 reports −19%).
+    pub cost_bias: f64,
+    /// Mean absolute percentage error of the reduction estimate.
+    pub reduction_mape: f64,
+    /// Mean absolute percentage error of the cost estimate.
+    pub cost_mape: f64,
+}
+
+/// Append-only log of maintenance jobs.
+#[derive(Debug, Clone, Default)]
+pub struct MaintenanceLog {
+    records: Vec<MaintenanceRecord>,
+    next_job_id: u64,
+}
+
+impl MaintenanceLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates the next job id.
+    pub fn next_job_id(&mut self) -> u64 {
+        self.next_job_id += 1;
+        self.next_job_id
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, record: MaintenanceRecord) {
+        self.records.push(record);
+    }
+
+    /// All records, oldest first.
+    pub fn records(&self) -> &[MaintenanceRecord] {
+        &self.records
+    }
+
+    /// Records with the given status.
+    pub fn with_status(&self, status: JobStatus) -> impl Iterator<Item = &MaintenanceRecord> {
+        self.records.iter().filter(move |r| r.status == status)
+    }
+
+    /// Count of records with the given status.
+    pub fn count(&self, status: JobStatus) -> u64 {
+        self.with_status(status).count() as u64
+    }
+
+    /// Estimator accuracy over succeeded jobs (skips jobs whose actuals
+    /// are zero to keep relative errors defined).
+    pub fn accuracy(&self) -> AccuracySummary {
+        let mut n = 0u64;
+        let (mut rb, mut cb, mut rm, mut cm) = (0.0, 0.0, 0.0, 0.0);
+        for r in self.with_status(JobStatus::Succeeded) {
+            if r.actual_reduction == 0 || r.actual_gbhr <= 0.0 {
+                continue;
+            }
+            n += 1;
+            let red_err =
+                (r.predicted_reduction - r.actual_reduction) as f64 / r.actual_reduction as f64;
+            let cost_err = (r.predicted_gbhr - r.actual_gbhr) / r.actual_gbhr;
+            rb += red_err;
+            cb += cost_err;
+            rm += red_err.abs();
+            cm += cost_err.abs();
+        }
+        if n == 0 {
+            return AccuracySummary::default();
+        }
+        let nf = n as f64;
+        AccuracySummary {
+            jobs: n,
+            reduction_bias: rb / nf,
+            cost_bias: cb / nf,
+            reduction_mape: rm / nf,
+            cost_mape: cm / nf,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(job_id: u64, status: JobStatus, pred_red: i64, act_red: i64, pred_c: f64, act_c: f64) -> MaintenanceRecord {
+        MaintenanceRecord {
+            job_id,
+            table: TableId(1),
+            scope: "table".into(),
+            trigger: "periodic".into(),
+            scheduled_at_ms: 0,
+            finished_at_ms: 10,
+            status,
+            predicted_reduction: pred_red,
+            actual_reduction: act_red,
+            predicted_gbhr: pred_c,
+            actual_gbhr: act_c,
+        }
+    }
+
+    #[test]
+    fn status_counting() {
+        let mut log = MaintenanceLog::new();
+        let id = log.next_job_id();
+        log.push(record(id, JobStatus::Succeeded, 10, 10, 1.0, 1.0));
+        let id = log.next_job_id();
+        log.push(record(id, JobStatus::Conflicted, 5, 0, 1.0, 0.5));
+        assert_eq!(log.count(JobStatus::Succeeded), 1);
+        assert_eq!(log.count(JobStatus::Conflicted), 1);
+        assert_eq!(log.count(JobStatus::Failed), 0);
+        assert_eq!(log.records().len(), 2);
+    }
+
+    #[test]
+    fn accuracy_reproduces_paper_biases() {
+        // §7's example: cost 108 predicted vs 129 actual (−16% signed),
+        // reduction over-estimated by 28%.
+        let mut log = MaintenanceLog::new();
+        let id = log.next_job_id();
+        log.push(record(id, JobStatus::Succeeded, 128, 100, 108.0, 129.0));
+        let a = log.accuracy();
+        assert_eq!(a.jobs, 1);
+        assert!(a.reduction_bias > 0.27 && a.reduction_bias < 0.29);
+        assert!(a.cost_bias < -0.15 && a.cost_bias > -0.17);
+        assert!(a.reduction_mape > 0.0);
+    }
+
+    #[test]
+    fn conflicted_jobs_excluded_from_accuracy() {
+        let mut log = MaintenanceLog::new();
+        let id = log.next_job_id();
+        log.push(record(id, JobStatus::Conflicted, 100, 0, 10.0, 2.0));
+        assert_eq!(log.accuracy().jobs, 0);
+    }
+
+    #[test]
+    fn job_ids_are_monotonic() {
+        let mut log = MaintenanceLog::new();
+        let a = log.next_job_id();
+        let b = log.next_job_id();
+        assert!(b > a);
+    }
+}

@@ -1,0 +1,87 @@
+//! Per-table maintenance policies.
+
+use lakesim_storage::MB;
+
+/// Declarative maintenance policy attached to each table, in the spirit of
+/// OpenHouse table policies (§2: "a control plane that provides a
+/// declarative catalog for table definitions, schema management, and
+/// metadata maintenance").
+#[derive(Debug, Clone, PartialEq)]
+pub struct TablePolicy {
+    /// Whether AutoComp may compact this table at all.
+    pub compaction_enabled: bool,
+    /// Target data-file size for compaction; LinkedIn uses 512MB (§2).
+    pub target_file_size: u64,
+    /// Minimum qualifying input files for a rewrite group.
+    pub min_input_files: usize,
+    /// Grace window after creation during which the table is skipped by
+    /// candidate filters — "we ensure that tables are not compacted if they
+    /// have been created recently, i.e., within a preset time window"
+    /// (§4.1).
+    pub min_age_ms: u64,
+    /// Snapshot retention horizon for expiry, `None` = keep forever.
+    pub snapshot_retention_ms: Option<u64>,
+    /// Marks short-lived intermediate tables, filtered out so the
+    /// "computation budget" is not spent on tables that "are not going to
+    /// affect the long-term health of the system" (§4.1).
+    pub is_intermediate: bool,
+}
+
+impl Default for TablePolicy {
+    fn default() -> Self {
+        TablePolicy {
+            compaction_enabled: true,
+            target_file_size: 512 * MB,
+            min_input_files: 2,
+            min_age_ms: 24 * 3600 * 1000, // one day
+            snapshot_retention_ms: Some(3 * 24 * 3600 * 1000), // three days (§2)
+            is_intermediate: false,
+        }
+    }
+}
+
+impl TablePolicy {
+    /// Policy for a short-lived intermediate table.
+    pub fn intermediate() -> Self {
+        TablePolicy {
+            is_intermediate: true,
+            compaction_enabled: false,
+            ..TablePolicy::default()
+        }
+    }
+
+    /// Policy with a custom target file size.
+    pub fn with_target(target_file_size: u64) -> Self {
+        TablePolicy {
+            target_file_size,
+            ..TablePolicy::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_linkedin_deployment() {
+        let p = TablePolicy::default();
+        assert_eq!(p.target_file_size, 512 * MB);
+        assert!(p.compaction_enabled);
+        assert_eq!(p.snapshot_retention_ms, Some(259_200_000));
+    }
+
+    #[test]
+    fn intermediate_tables_are_not_compacted() {
+        let p = TablePolicy::intermediate();
+        assert!(p.is_intermediate);
+        assert!(!p.compaction_enabled);
+    }
+
+    #[test]
+    fn custom_target() {
+        let p = TablePolicy::with_target(128 * MB);
+        assert_eq!(p.target_file_size, 128 * MB);
+        assert!(p.compaction_enabled);
+    }
+}

@@ -1,0 +1,102 @@
+//! Telemetry time series, standing in for the paper's Logs Analytics
+//! monitoring ("we leveraged Logs Analytics to monitor telemetry data
+//! across different services", §6).
+
+use std::collections::BTreeMap;
+
+/// A named collection of `(timestamp, value)` series.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryStore {
+    series: BTreeMap<String, Vec<(u64, f64)>>,
+}
+
+impl TelemetryStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a sample to a metric series.
+    pub fn record(&mut self, metric: &str, timestamp_ms: u64, value: f64) {
+        self.series
+            .entry(metric.to_string())
+            .or_default()
+            .push((timestamp_ms, value));
+    }
+
+    /// Full series for a metric, in recording order.
+    pub fn series(&self, metric: &str) -> &[(u64, f64)] {
+        self.series.get(metric).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Most recent sample of a metric.
+    pub fn last(&self, metric: &str) -> Option<(u64, f64)> {
+        self.series(metric).last().copied()
+    }
+
+    /// Metric names, sorted.
+    pub fn metrics(&self) -> Vec<&str> {
+        self.series.keys().map(String::as_str).collect()
+    }
+
+    /// Min–max normalizes a series to `[0, 1]`, the presentation used by
+    /// the paper's production charts (Figs. 10–11 all plot "Normalized
+    /// Value"). Constant series normalize to 0.5.
+    pub fn normalized(&self, metric: &str) -> Vec<(u64, f64)> {
+        let s = self.series(metric);
+        if s.is_empty() {
+            return Vec::new();
+        }
+        let min = s.iter().map(|(_, v)| *v).fold(f64::INFINITY, f64::min);
+        let max = s.iter().map(|(_, v)| *v).fold(f64::NEG_INFINITY, f64::max);
+        let span = max - min;
+        s.iter()
+            .map(|(t, v)| {
+                let n = if span.abs() < f64::EPSILON {
+                    0.5
+                } else {
+                    (v - min) / span
+                };
+                (*t, n)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_reads_series() {
+        let mut t = TelemetryStore::new();
+        t.record("file_count", 0, 100.0);
+        t.record("file_count", 10, 80.0);
+        t.record("gbhr", 0, 1.5);
+        assert_eq!(t.series("file_count").len(), 2);
+        assert_eq!(t.last("file_count"), Some((10, 80.0)));
+        assert_eq!(t.metrics(), vec!["file_count", "gbhr"]);
+        assert!(t.series("missing").is_empty());
+    }
+
+    #[test]
+    fn normalization_maps_to_unit_interval() {
+        let mut t = TelemetryStore::new();
+        t.record("m", 0, 50.0);
+        t.record("m", 1, 100.0);
+        t.record("m", 2, 75.0);
+        let n = t.normalized("m");
+        assert_eq!(n[0].1, 0.0);
+        assert_eq!(n[1].1, 1.0);
+        assert!((n[2].1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_series_normalize_to_half() {
+        let mut t = TelemetryStore::new();
+        t.record("m", 0, 7.0);
+        t.record("m", 1, 7.0);
+        assert!(t.normalized("m").iter().all(|(_, v)| (*v - 0.5).abs() < 1e-12));
+        assert!(t.normalized("absent").is_empty());
+    }
+}

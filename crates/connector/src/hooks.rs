@@ -1,0 +1,190 @@
+//! Optimize-after-write hook evaluation (§5 push mode).
+//!
+//! "Several existing architectures leverage hooks integrated within the
+//! engine to enable automatic compaction in response to write
+//! modifications, 'pushing' the compaction decision onto the engine."
+//! The driver collects the tables touched by drained commits and asks the
+//! hook whether each crossed its trigger threshold.
+
+use autocomp::{AfterWriteHook, HookAction};
+use lakesim_engine::SimEnv;
+use lakesim_lst::TableId;
+
+use crate::observe::LakesimConnector;
+use crate::SharedEnv;
+
+/// Evaluates an after-write hook against the given just-written tables,
+/// returning each table's action (tables that vanished are skipped).
+pub fn evaluate_hook(
+    env: &SharedEnv,
+    hook: &AfterWriteHook,
+    written_tables: &[TableId],
+) -> Vec<(TableId, HookAction)> {
+    let connector = LakesimConnector::new(env.clone());
+    let mut out = Vec::new();
+    let mut seen = std::collections::BTreeSet::new();
+    for id in written_tables {
+        if !seen.insert(*id) {
+            continue;
+        }
+        if let Some(stats) = autocomp::LakeConnector::table_stats(&connector, id.0) {
+            out.push((*id, hook.on_write(&stats)));
+        }
+    }
+    out
+}
+
+/// Convenience: extracts the distinct tables written by a batch of commit
+/// events (successful writes only).
+pub fn written_tables(events: &[lakesim_engine::CommitEvent]) -> Vec<TableId> {
+    let mut seen = std::collections::BTreeSet::new();
+    events
+        .iter()
+        .filter(|e| e.succeeded)
+        .filter(|e| seen.insert(e.table))
+        .map(|e| e.table)
+        .collect()
+}
+
+/// Evaluates a hook directly against a mutable environment (used by
+/// drivers that do not share the env).
+pub fn evaluate_hook_direct(
+    env: &mut SimEnv,
+    hook: &AfterWriteHook,
+    table: TableId,
+) -> Option<HookAction> {
+    let now = env.clock.now();
+    let (created, last_write, freq) = {
+        let entry = env.catalog.table_mut(table).ok()?;
+        (
+            entry.usage.created_at_ms,
+            entry.usage.last_write_ms,
+            entry.usage.write_frequency_per_hour(now),
+        )
+    };
+    let entry = env.catalog.table(table).ok()?;
+    let target = entry.policy.target_file_size;
+    let table_stats = entry.table.stats(target);
+    let mut histogram: Vec<autocomp::SizeBucket> = table_stats
+        .histogram
+        .edges()
+        .iter()
+        .zip(table_stats.histogram.counts())
+        .map(|(edge, count)| autocomp::SizeBucket {
+            upper_bytes: Some(*edge),
+            count: *count,
+        })
+        .collect();
+    if let Some(overflow) = table_stats
+        .histogram
+        .counts()
+        .get(table_stats.histogram.edges().len())
+    {
+        histogram.push(autocomp::SizeBucket {
+            upper_bytes: None,
+            count: *overflow,
+        });
+    }
+    let stats = autocomp::CandidateStats {
+        file_count: table_stats.file_count,
+        small_file_count: table_stats.small_file_count,
+        small_bytes: table_stats.small_bytes,
+        total_bytes: table_stats.total_bytes,
+        delete_file_count: table_stats.delete_file_count,
+        partition_count: table_stats.partition_count,
+        target_file_size: target,
+        created_at_ms: created,
+        last_write_ms: last_write,
+        write_frequency_per_hour: freq,
+        quota: None,
+        size_histogram: histogram,
+        custom: Default::default(),
+    };
+    Some(hook.on_write(&stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::share;
+    use autocomp::{FileCountReduction, HookMode};
+    use lakesim_catalog::TablePolicy;
+    use lakesim_engine::{EnvConfig, FileSizePlan, WriteSpec};
+    use lakesim_lst::{ColumnType, Field, PartitionKey, PartitionSpec, Schema, TableProperties};
+    use lakesim_storage::MB;
+
+    fn setup() -> (SimEnv, TableId) {
+        let mut env = SimEnv::new(EnvConfig {
+            seed: 8,
+            ..EnvConfig::default()
+        });
+        env.create_database("db", "tenant", None).unwrap();
+        let schema = Schema::new(vec![Field::new(1, "k", ColumnType::Int64, true)]).unwrap();
+        let t = env
+            .create_table(
+                "db",
+                "t",
+                schema,
+                PartitionSpec::unpartitioned(),
+                TableProperties::default(),
+                TablePolicy::default(),
+            )
+            .unwrap();
+        (env, t)
+    }
+
+    fn hook(threshold: f64) -> AfterWriteHook {
+        AfterWriteHook::new(
+            HookMode::Immediate,
+            Box::new(FileCountReduction::default()),
+            threshold,
+        )
+    }
+
+    #[test]
+    fn hook_fires_after_enough_small_files() {
+        let (mut env, t) = setup();
+        let spec = WriteSpec::insert(
+            t,
+            PartitionKey::unpartitioned(),
+            128 * MB,
+            FileSizePlan::trickle(),
+            "query",
+        );
+        env.submit_write(&spec, 0).unwrap();
+        let events = env.drain_all();
+        let written = written_tables(&events);
+        assert_eq!(written, vec![t]);
+
+        let action = evaluate_hook_direct(&mut env, &hook(5.0), t).unwrap();
+        assert_eq!(action, HookAction::TriggerNow);
+        let quiet = evaluate_hook_direct(&mut env, &hook(10_000.0), t).unwrap();
+        assert_eq!(quiet, HookAction::Ignore);
+    }
+
+    #[test]
+    fn shared_evaluation_deduplicates_tables() {
+        let (mut env, t) = setup();
+        let spec = WriteSpec::insert(
+            t,
+            PartitionKey::unpartitioned(),
+            64 * MB,
+            FileSizePlan::trickle(),
+            "query",
+        );
+        env.submit_write(&spec, 0).unwrap();
+        env.drain_all();
+        let shared = share(env);
+        let results = evaluate_hook(&shared, &hook(1.0), &[t, t, t]);
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].1, HookAction::TriggerNow);
+    }
+
+    #[test]
+    fn vanished_tables_are_skipped() {
+        let (env, _) = setup();
+        let shared = share(env);
+        let results = evaluate_hook(&shared, &hook(1.0), &[TableId(99)]);
+        assert!(results.is_empty());
+    }
+}

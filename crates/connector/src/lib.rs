@@ -1,0 +1,69 @@
+//! # autocomp-lakesim
+//!
+//! Connector binding the platform-agnostic [`autocomp`] pipeline to the
+//! lakesim substrate (storage + LST + catalog + engine) — the Fig. 5
+//! integration: AutoComp as "a standalone component that supports both
+//! push and pull operations" against the control plane.
+//!
+//! * [`LakesimConnector`] implements [`autocomp::LakeConnector`]: it lists
+//!   catalog tables and converts LST/catalog/storage state into the
+//!   standardized [`autocomp::CandidateStats`] layout, including the
+//!   quota signal (§7) and the optional partition-aware
+//!   `planned_reduction` estimate (§7's estimator refinement).
+//! * [`LakesimExecutor`] implements [`autocomp::CompactionExecutor`]: it
+//!   plans bin-pack rewrites at the candidate's scope and submits them to
+//!   the engine's compaction cluster.
+//! * [`FeedbackBridge`] streams completed maintenance records back into
+//!   the pipeline's estimation feedback (§3.3's act→observe loop).
+//! * [`hooks`] evaluates optimize-after-write hooks against just-written
+//!   tables (§5 push mode).
+//!
+//! Both halves share the [`SimEnv`] through an `Rc<RefCell<_>>`: the
+//! pipeline's observe phase reads while the act phase mutates, strictly
+//! sequentially (single-threaded simulation, NFR2).
+
+#![warn(missing_docs)]
+
+pub mod executor;
+pub mod feedback;
+pub mod hooks;
+pub mod observe;
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use lakesim_engine::SimEnv;
+
+pub use executor::{ExecutorOptions, LakesimExecutor};
+pub use feedback::FeedbackBridge;
+pub use hooks::evaluate_hook;
+pub use observe::{LakesimConnector, ObserveOptions};
+
+/// Shared handle to the simulation environment.
+pub type SharedEnv = Rc<RefCell<SimEnv>>;
+
+/// Wraps an environment for sharing between connector and executor.
+pub fn share(env: SimEnv) -> SharedEnv {
+    Rc::new(RefCell::new(env))
+}
+
+/// Temporarily shares an exclusively borrowed environment so connector +
+/// executor pairs can run against it, then returns ownership.
+///
+/// This is the glue for drivers that own `&mut SimEnv` (e.g. the workload
+/// stream runner's tick callback) and want to run an AutoComp cycle inside
+/// the callback. The closure must drop every `SharedEnv` clone it creates
+/// before returning.
+///
+/// # Panics
+/// Panics if the closure leaks a clone of the shared handle.
+pub fn with_shared_env<R>(env: &mut SimEnv, f: impl FnOnce(&SharedEnv) -> R) -> R {
+    let owned = std::mem::replace(env, SimEnv::new(lakesim_engine::EnvConfig::default()));
+    let shared = share(owned);
+    let result = f(&shared);
+    let owned = Rc::try_unwrap(shared)
+        .unwrap_or_else(|_| panic!("with_shared_env closure leaked a SharedEnv clone"))
+        .into_inner();
+    *env = owned;
+    result
+}

@@ -1,0 +1,393 @@
+//! The observe-side connector: catalog/LST/storage → `CandidateStats`.
+
+use autocomp::{CandidateStats, LakeConnector, QuotaSignal, SizeBucket, TableRef};
+use lakesim_lst::{plan_partition_rewrite, plan_table_rewrite, BinPackConfig, TableId, TableStats};
+
+use crate::SharedEnv;
+
+/// Options controlling stats production.
+#[derive(Debug, Clone)]
+pub struct ObserveOptions {
+    /// Also compute the partition-aware `planned_reduction` custom metric
+    /// by dry-running the bin-packing planner (§7's estimator refinement).
+    /// Costs a planning pass per candidate.
+    pub compute_planned_estimates: bool,
+    /// Fraction of the target size below which a file counts as rewrite
+    /// input for the planned estimate (Iceberg default 0.75).
+    pub small_file_fraction: f64,
+}
+
+impl Default for ObserveOptions {
+    fn default() -> Self {
+        ObserveOptions {
+            compute_planned_estimates: false,
+            small_file_fraction: 0.75,
+        }
+    }
+}
+
+/// [`LakeConnector`] implementation over the simulated lake.
+pub struct LakesimConnector {
+    env: SharedEnv,
+    options: ObserveOptions,
+}
+
+impl LakesimConnector {
+    /// Creates a connector over a shared environment.
+    pub fn new(env: SharedEnv) -> Self {
+        LakesimConnector {
+            env,
+            options: ObserveOptions::default(),
+        }
+    }
+
+    /// Creates a connector with custom options.
+    pub fn with_options(env: SharedEnv, options: ObserveOptions) -> Self {
+        LakesimConnector { env, options }
+    }
+
+    fn convert(
+        &self,
+        table_stats: &TableStats,
+        created_at_ms: u64,
+        last_write_ms: Option<u64>,
+        write_frequency: f64,
+        quota: Option<QuotaSignal>,
+        planned_reduction: Option<f64>,
+    ) -> CandidateStats {
+        let mut histogram: Vec<SizeBucket> = table_stats
+            .histogram
+            .edges()
+            .iter()
+            .zip(table_stats.histogram.counts())
+            .map(|(edge, count)| SizeBucket {
+                upper_bytes: Some(*edge),
+                count: *count,
+            })
+            .collect();
+        if let Some(overflow) = table_stats
+            .histogram
+            .counts()
+            .get(table_stats.histogram.edges().len())
+        {
+            histogram.push(SizeBucket {
+                upper_bytes: None,
+                count: *overflow,
+            });
+        }
+        let mut stats = CandidateStats {
+            file_count: table_stats.file_count,
+            small_file_count: table_stats.small_file_count,
+            small_bytes: table_stats.small_bytes,
+            total_bytes: table_stats.total_bytes,
+            delete_file_count: table_stats.delete_file_count,
+            partition_count: table_stats.partition_count,
+            target_file_size: table_stats.target_file_size,
+            created_at_ms,
+            last_write_ms,
+            write_frequency_per_hour: write_frequency,
+            quota,
+            size_histogram: histogram,
+            custom: Default::default(),
+        };
+        if let Some(planned) = planned_reduction {
+            stats = stats.with_custom(autocomp::traits::PLANNED_REDUCTION_METRIC, planned);
+        }
+        stats
+    }
+
+    fn bin_pack_config(&self, target_file_size: u64, min_input_files: usize) -> BinPackConfig {
+        BinPackConfig {
+            target_file_size,
+            small_file_fraction: self.options.small_file_fraction,
+            min_input_files,
+        }
+    }
+}
+
+impl LakeConnector for LakesimConnector {
+    fn list_tables(&self) -> Vec<TableRef> {
+        let env = self.env.borrow();
+        env.catalog
+            .table_ids()
+            .into_iter()
+            .filter_map(|id| {
+                let entry = env.catalog.table(id).ok()?;
+                Some(TableRef {
+                    table_uid: id.0,
+                    database: entry.table.database().to_string(),
+                    name: entry.table.name().to_string(),
+                    partitioned: entry.table.spec().is_partitioned(),
+                    compaction_enabled: entry.policy.compaction_enabled,
+                    is_intermediate: entry.policy.is_intermediate,
+                })
+            })
+            .collect()
+    }
+
+    fn table_stats(&self, table_uid: u64) -> Option<CandidateStats> {
+        let mut env = self.env.borrow_mut();
+        let now = env.clock.now();
+        let id = TableId(table_uid);
+        // Pull usage with mutable access first (frequency pruning), then
+        // read the rest immutably.
+        let (created, last_write, freq) = {
+            let entry = env.catalog.table_mut(id).ok()?;
+            (
+                entry.usage.created_at_ms,
+                entry.usage.last_write_ms,
+                entry.usage.write_frequency_per_hour(now),
+            )
+        };
+        let entry = env.catalog.table(id).ok()?;
+        let target = entry.policy.target_file_size;
+        let stats = entry.table.stats(target);
+        let planned = self.options.compute_planned_estimates.then(|| {
+            let cfg = self.bin_pack_config(target, entry.policy.min_input_files);
+            plan_table_rewrite(&entry.table, &cfg).expected_reduction() as f64
+        });
+        let quota = env
+            .fs
+            .quota_usage(entry.table.database())
+            .ok()
+            .map(|q| QuotaSignal {
+                used: q.used,
+                total: q.quota,
+            });
+        Some(self.convert(&stats, created, last_write, freq, quota, planned))
+    }
+
+    fn partition_stats(&self, table_uid: u64) -> Vec<(String, CandidateStats)> {
+        let mut env = self.env.borrow_mut();
+        let now = env.clock.now();
+        let id = TableId(table_uid);
+        let (created, last_write, freq) = match env.catalog.table_mut(id) {
+            Ok(entry) => (
+                entry.usage.created_at_ms,
+                entry.usage.last_write_ms,
+                entry.usage.write_frequency_per_hour(now),
+            ),
+            Err(_) => return Vec::new(),
+        };
+        let Ok(entry) = env.catalog.table(id) else {
+            return Vec::new();
+        };
+        let target = entry.policy.target_file_size;
+        let quota = env
+            .fs
+            .quota_usage(entry.table.database())
+            .ok()
+            .map(|q| QuotaSignal {
+                used: q.used,
+                total: q.quota,
+            });
+        entry
+            .table
+            .partition_keys()
+            .into_iter()
+            .map(|key| {
+                let stats = entry.table.partition_stats(&key, target);
+                let planned = self.options.compute_planned_estimates.then(|| {
+                    let cfg = self.bin_pack_config(target, entry.policy.min_input_files);
+                    plan_partition_rewrite(&entry.table, &key, &cfg).expected_reduction() as f64
+                });
+                (
+                    key.to_string(),
+                    self.convert(&stats, created, last_write, freq, quota, planned),
+                )
+            })
+            .collect()
+    }
+
+    fn snapshot_stats(&self, table_uid: u64, window_ms: u64) -> Option<CandidateStats> {
+        let mut env = self.env.borrow_mut();
+        let now = env.clock.now();
+        let id = TableId(table_uid);
+        let (created, last_write, freq) = {
+            let entry = env.catalog.table_mut(id).ok()?;
+            (
+                entry.usage.created_at_ms,
+                entry.usage.last_write_ms,
+                entry.usage.write_frequency_per_hour(now),
+            )
+        };
+        let entry = env.catalog.table(id).ok()?;
+        let target = entry.policy.target_file_size;
+        let cutoff = now.saturating_sub(window_ms);
+        // Files added by snapshots inside the freshness window, still live.
+        let mut fresh: std::collections::BTreeSet<lakesim_storage::FileId> = Default::default();
+        for snap in entry.table.snapshots() {
+            if snap.timestamp_ms >= cutoff {
+                fresh.extend(snap.added.iter().copied());
+            }
+        }
+        let mut histogram = lakesim_storage::SizeHistogram::new();
+        let mut stats = TableStats {
+            file_count: 0,
+            small_file_count: 0,
+            small_bytes: 0,
+            total_bytes: 0,
+            delete_file_count: 0,
+            partition_count: 0,
+            manifest_count: entry.table.manifests().len() as u64,
+            snapshot_count: entry.table.snapshots().len() as u64,
+            histogram: histogram.clone(),
+            target_file_size: target,
+        };
+        let mut partitions = std::collections::BTreeSet::new();
+        for f in entry.table.live_files() {
+            if !fresh.contains(&f.file_id) {
+                continue;
+            }
+            stats.file_count += 1;
+            stats.total_bytes += f.file_size_bytes;
+            partitions.insert(f.partition.clone());
+            if f.content.is_deletes() {
+                stats.delete_file_count += 1;
+            } else {
+                histogram.record(f.file_size_bytes);
+                if f.file_size_bytes < target {
+                    stats.small_file_count += 1;
+                    stats.small_bytes += f.file_size_bytes;
+                }
+            }
+        }
+        stats.partition_count = partitions.len() as u64;
+        stats.histogram = histogram;
+        let quota = env
+            .fs
+            .quota_usage(entry.table.database())
+            .ok()
+            .map(|q| QuotaSignal {
+                used: q.used,
+                total: q.quota,
+            });
+        Some(self.convert(&stats, created, last_write, freq, quota, None))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::share;
+    use lakesim_catalog::TablePolicy;
+    use lakesim_engine::{EnvConfig, FileSizePlan, SimEnv, WriteSpec};
+    use lakesim_lst::{
+        ColumnType, Field, PartitionKey, PartitionSpec, PartitionValue, Schema, TableProperties,
+        Transform,
+    };
+    use lakesim_storage::MB;
+
+    fn setup() -> (SharedEnv, u64) {
+        let mut env = SimEnv::new(EnvConfig {
+            seed: 3,
+            ..EnvConfig::default()
+        });
+        env.create_database("db", "tenant", Some(100_000)).unwrap();
+        let schema = Schema::new(vec![
+            Field::new(1, "k", ColumnType::Int64, true),
+            Field::new(2, "ds", ColumnType::Date, true),
+        ])
+        .unwrap();
+        let t = env
+            .create_table(
+                "db",
+                "events",
+                schema,
+                PartitionSpec::single(2, Transform::Month, "m"),
+                TableProperties::default(),
+                TablePolicy::default(),
+            )
+            .unwrap();
+        for p in 0..3 {
+            let spec = WriteSpec::insert(
+                t,
+                PartitionKey::single(PartitionValue::Date(p)),
+                64 * MB,
+                FileSizePlan::trickle(),
+                "query",
+            );
+            env.submit_write(&spec, (p as u64) * 100_000).unwrap();
+        }
+        env.drain_all();
+        (share(env), t.0)
+    }
+
+    #[test]
+    fn lists_tables_with_flags() {
+        let (env, uid) = setup();
+        let connector = LakesimConnector::new(env);
+        let tables = connector.list_tables();
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].table_uid, uid);
+        assert!(tables[0].partitioned);
+        assert!(tables[0].compaction_enabled);
+    }
+
+    #[test]
+    fn table_stats_carry_quota_and_histogram() {
+        let (env, uid) = setup();
+        let connector = LakesimConnector::new(env);
+        let stats = connector.table_stats(uid).unwrap();
+        assert!(stats.file_count > 3);
+        assert_eq!(stats.small_file_count, stats.file_count); // all trickle files small
+        assert_eq!(stats.partition_count, 3);
+        let quota = stats.quota.unwrap();
+        assert!(quota.used > 0 && quota.total == 100_000);
+        assert!(!stats.size_histogram.is_empty());
+        let total_in_hist: u64 = stats.size_histogram.iter().map(|b| b.count).sum();
+        assert_eq!(total_in_hist, stats.file_count); // no delete files here
+    }
+
+    #[test]
+    fn partition_stats_sum_to_table_stats() {
+        let (env, uid) = setup();
+        let connector = LakesimConnector::new(env);
+        let table = connector.table_stats(uid).unwrap();
+        let parts = connector.partition_stats(uid);
+        assert_eq!(parts.len(), 3);
+        let sum_files: u64 = parts.iter().map(|(_, s)| s.file_count).sum();
+        assert_eq!(sum_files, table.file_count);
+        // Labels are the partition display strings.
+        assert!(parts.iter().all(|(label, _)| label.starts_with('(')));
+    }
+
+    #[test]
+    fn planned_estimates_respect_partitions() {
+        let (env, uid) = setup();
+        let connector = LakesimConnector::with_options(
+            env,
+            ObserveOptions {
+                compute_planned_estimates: true,
+                small_file_fraction: 0.75,
+            },
+        );
+        let stats = connector.table_stats(uid).unwrap();
+        let planned = stats
+            .custom_metric(autocomp::traits::PLANNED_REDUCTION_METRIC)
+            .unwrap();
+        // Partition-aware estimate never exceeds the naive count.
+        assert!(planned <= stats.small_file_count as f64);
+        assert!(planned > 0.0);
+    }
+
+    #[test]
+    fn snapshot_stats_cover_only_fresh_files() {
+        let (env, uid) = setup();
+        let connector = LakesimConnector::new(env.clone());
+        let now = env.borrow().clock.now();
+        // Window covering only the last write.
+        let fresh = connector.snapshot_stats(uid, 1).unwrap();
+        let all = connector.snapshot_stats(uid, now + 1).unwrap();
+        assert!(fresh.file_count < all.file_count);
+        assert!(all.file_count > 0);
+    }
+
+    #[test]
+    fn missing_table_yields_none() {
+        let (env, _) = setup();
+        let connector = LakesimConnector::new(env);
+        assert!(connector.table_stats(999).is_none());
+        assert!(connector.partition_stats(999).is_empty());
+    }
+}

@@ -1,0 +1,162 @@
+//! Candidates: the fine-grained work units of FR1.
+//!
+//! §4.1: "we term a *candidate* a collection of files to be compacted.
+//! While this could represent an entire table, the scope of candidates can
+//! be adjusted to fit partitions or snapshots." Sub-table candidates are
+//! what make compaction schedulable in small increments (FR1).
+
+use std::fmt;
+
+use crate::stats::CandidateStats;
+
+/// Candidate scope granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ScopeKind {
+    /// Whole table.
+    Table,
+    /// One partition.
+    Partition,
+    /// Recent snapshots only (fresh data needing frequent access, §4.1).
+    Snapshot,
+}
+
+impl ScopeKind {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ScopeKind::Table => "table",
+            ScopeKind::Partition => "partition",
+            ScopeKind::Snapshot => "snapshot",
+        }
+    }
+}
+
+/// Platform-agnostic table descriptor delivered by the connector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    /// Connector-scoped unique table id.
+    pub table_uid: u64,
+    /// Owning database.
+    pub database: String,
+    /// Table name.
+    pub name: String,
+    /// Whether the table is partitioned (drives hybrid scoping).
+    pub partitioned: bool,
+    /// Whether the table's policy allows compaction.
+    pub compaction_enabled: bool,
+    /// Whether the table is a short-lived intermediate.
+    pub is_intermediate: bool,
+}
+
+/// Identity of one candidate: a table plus an optional sub-scope.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CandidateId {
+    /// Table the candidate belongs to.
+    pub table_uid: u64,
+    /// Scope granularity.
+    pub scope: ScopeKind,
+    /// Opaque partition label for partition-scope candidates. Kept as a
+    /// display string so the core stays independent of any partition-value
+    /// representation (NFR3); connectors map it back.
+    pub partition: Option<String>,
+}
+
+impl CandidateId {
+    /// Table-scope id.
+    pub fn table(table_uid: u64) -> Self {
+        CandidateId {
+            table_uid,
+            scope: ScopeKind::Table,
+            partition: None,
+        }
+    }
+
+    /// Partition-scope id.
+    pub fn partition(table_uid: u64, partition: impl Into<String>) -> Self {
+        CandidateId {
+            table_uid,
+            scope: ScopeKind::Partition,
+            partition: Some(partition.into()),
+        }
+    }
+}
+
+impl fmt::Display for CandidateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.scope, &self.partition) {
+            (ScopeKind::Partition, Some(p)) => write!(f, "t{}/{}", self.table_uid, p),
+            (scope, _) => write!(f, "t{}[{}]", self.table_uid, scope.label()),
+        }
+    }
+}
+
+/// A generated candidate flowing through the OODA phases.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// Identity.
+    pub id: CandidateId,
+    /// Owning database (for quota-aware ranking).
+    pub database: String,
+    /// Table name (for reports).
+    pub table_name: String,
+    /// Whether the table's policy allows compaction.
+    pub compaction_enabled: bool,
+    /// Whether the table is a short-lived intermediate.
+    pub is_intermediate: bool,
+    /// Observe-phase statistics.
+    pub stats: CandidateStats,
+}
+
+impl Candidate {
+    /// Builds a candidate from a table descriptor and its stats.
+    pub fn new(id: CandidateId, table: &TableRef, stats: CandidateStats) -> Self {
+        Candidate {
+            id,
+            database: table.database.clone(),
+            table_name: table.name.clone(),
+            compaction_enabled: table.compaction_enabled,
+            is_intermediate: table.is_intermediate,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display_their_scope() {
+        assert_eq!(CandidateId::table(3).to_string(), "t3[table]");
+        assert_eq!(
+            CandidateId::partition(3, "(d402)").to_string(),
+            "t3/(d402)"
+        );
+    }
+
+    #[test]
+    fn ids_order_deterministically() {
+        let a = CandidateId::table(1);
+        let b = CandidateId::partition(1, "(a)");
+        let c = CandidateId::partition(2, "(a)");
+        let mut v = vec![c.clone(), b.clone(), a.clone()];
+        v.sort();
+        assert_eq!(v, vec![a, b, c]);
+    }
+
+    #[test]
+    fn candidate_copies_table_flags() {
+        let t = TableRef {
+            table_uid: 9,
+            database: "db".into(),
+            name: "events".into(),
+            partitioned: true,
+            compaction_enabled: false,
+            is_intermediate: true,
+        };
+        let c = Candidate::new(CandidateId::table(9), &t, CandidateStats::default());
+        assert!(!c.compaction_enabled);
+        assert!(c.is_intermediate);
+        assert_eq!(c.table_name, "events");
+    }
+}

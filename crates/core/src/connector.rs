@@ -1,0 +1,161 @@
+//! Connector traits: AutoComp's only window onto a concrete lake.
+//!
+//! NFR3 (cross-platform compatibility): "AutoComp can interface with
+//! different catalogs or LSTs through connectors that feed data into the
+//! system according to a consistent data model." These two traits *are*
+//! that consistent data model: one for observation, one for action.
+
+use crate::candidate::{Candidate, TableRef};
+use crate::stats::CandidateStats;
+
+/// Read-side connector: lists tables and produces candidate statistics.
+pub trait LakeConnector {
+    /// All tables AutoComp may consider, in a deterministic order.
+    fn list_tables(&self) -> Vec<TableRef>;
+
+    /// Table-scope statistics; `None` if the table vanished.
+    fn table_stats(&self, table_uid: u64) -> Option<CandidateStats>;
+
+    /// Per-partition statistics for a partitioned table, keyed by an
+    /// opaque partition label the connector can map back. Empty for
+    /// unpartitioned tables.
+    fn partition_stats(&self, table_uid: u64) -> Vec<(String, CandidateStats)>;
+
+    /// Statistics restricted to data written within `window_ms` of now —
+    /// the snapshot scope of §4.1. Default: unsupported.
+    fn snapshot_stats(&self, _table_uid: u64, _window_ms: u64) -> Option<CandidateStats> {
+        None
+    }
+}
+
+/// Decide-phase prediction attached to an execution request, recorded so
+/// the feedback loop can compare prediction vs. outcome (§7).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// Predicted file-count reduction (ΔF).
+    pub reduction: i64,
+    /// Predicted compute cost (GBHr).
+    pub gbhr: f64,
+    /// Trigger label for the maintenance log.
+    pub trigger: String,
+}
+
+/// Result of asking the platform to execute one compaction job.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ExecutionResult {
+    /// Whether a job was actually scheduled (false = nothing to do).
+    pub scheduled: bool,
+    /// Platform job id, if scheduled.
+    pub job_id: Option<u64>,
+    /// Cost the job will consume (GBHr), as accounted by the platform.
+    pub gbhr: f64,
+    /// When the job's commit is expected to land (drives sequential
+    /// scheduling of subsequent waves).
+    pub commit_due_ms: Option<u64>,
+    /// Error description if scheduling failed.
+    pub error: Option<String>,
+}
+
+/// Write-side connector: executes compaction for a candidate.
+pub trait CompactionExecutor {
+    /// Schedules compaction of `candidate` at `now_ms`. Implementations
+    /// plan the rewrite (bin-packing), submit it to their compute layer,
+    /// and return scheduling info without blocking on completion.
+    fn execute(
+        &mut self,
+        candidate: &Candidate,
+        prediction: &Prediction,
+        now_ms: u64,
+    ) -> ExecutionResult;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidate::CandidateId;
+
+    /// A minimal in-memory connector proving the traits are object-safe
+    /// and implementable without any lake at all.
+    struct StaticLake {
+        tables: Vec<TableRef>,
+    }
+
+    impl LakeConnector for StaticLake {
+        fn list_tables(&self) -> Vec<TableRef> {
+            self.tables.clone()
+        }
+        fn table_stats(&self, table_uid: u64) -> Option<CandidateStats> {
+            self.tables.iter().find(|t| t.table_uid == table_uid).map(|_| {
+                CandidateStats {
+                    file_count: 10,
+                    small_file_count: 8,
+                    ..CandidateStats::default()
+                }
+            })
+        }
+        fn partition_stats(&self, _table_uid: u64) -> Vec<(String, CandidateStats)> {
+            Vec::new()
+        }
+    }
+
+    struct CountingExecutor {
+        calls: u32,
+    }
+
+    impl CompactionExecutor for CountingExecutor {
+        fn execute(
+            &mut self,
+            _candidate: &Candidate,
+            _prediction: &Prediction,
+            now_ms: u64,
+        ) -> ExecutionResult {
+            self.calls += 1;
+            ExecutionResult {
+                scheduled: true,
+                job_id: Some(u64::from(self.calls)),
+                gbhr: 1.0,
+                commit_due_ms: Some(now_ms + 1000),
+                error: None,
+            }
+        }
+    }
+
+    #[test]
+    fn traits_are_object_safe_and_usable() {
+        let lake = StaticLake {
+            tables: vec![TableRef {
+                table_uid: 1,
+                database: "db".into(),
+                name: "t".into(),
+                partitioned: false,
+                compaction_enabled: true,
+                is_intermediate: false,
+            }],
+        };
+        let dyn_lake: &dyn LakeConnector = &lake;
+        assert_eq!(dyn_lake.list_tables().len(), 1);
+        assert!(dyn_lake.table_stats(1).is_some());
+        assert!(dyn_lake.table_stats(2).is_none());
+        assert!(dyn_lake.snapshot_stats(1, 1000).is_none());
+
+        let mut exec = CountingExecutor { calls: 0 };
+        let table = &dyn_lake.list_tables()[0];
+        let cand = Candidate::new(
+            CandidateId::table(1),
+            table,
+            dyn_lake.table_stats(1).unwrap(),
+        );
+        let result = exec.execute(
+            &cand,
+            &Prediction {
+                reduction: 7,
+                gbhr: 0.5,
+                trigger: "test".into(),
+            },
+            0,
+        );
+        assert!(result.scheduled);
+        assert_eq!(result.commit_due_ms, Some(1000));
+        assert_eq!(exec.calls, 1);
+    }
+}

@@ -1,0 +1,46 @@
+//! AutoComp error type.
+
+use std::fmt;
+
+/// Errors raised by the AutoComp pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AutoCompError {
+    /// A ranking policy references a trait no computer produced.
+    UnknownTrait(String),
+    /// MOOP weights are invalid (must be positive and sum to 1).
+    InvalidWeights(String),
+    /// The pipeline was built without any trait computers.
+    NoTraits,
+    /// The pipeline configuration is inconsistent.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for AutoCompError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AutoCompError::UnknownTrait(name) => {
+                write!(f, "ranking references unknown trait '{name}'")
+            }
+            AutoCompError::InvalidWeights(msg) => write!(f, "invalid MOOP weights: {msg}"),
+            AutoCompError::NoTraits => write!(f, "pipeline has no trait computers"),
+            AutoCompError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AutoCompError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_specific() {
+        assert!(AutoCompError::UnknownTrait("delta_f".into())
+            .to_string()
+            .contains("delta_f"));
+        assert!(AutoCompError::InvalidWeights("sum 0.9".into())
+            .to_string()
+            .contains("0.9"));
+    }
+}

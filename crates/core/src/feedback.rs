@@ -1,0 +1,158 @@
+//! The feedback loop (§3.3, §7): predicted vs. actual outcomes.
+//!
+//! "AutoComp also supports an optional feedback loop from the act phase
+//! back to the observe phase" (§3.3). §7 quantifies why it matters: a
+//! compaction task's cost was under-estimated by 19% and its file-count
+//! reduction over-estimated by 28%. This module accumulates those
+//! comparisons and derives multiplicative calibration factors the
+//! pipeline can optionally apply to future predictions — the "further
+//! refinement" the paper calls for.
+
+use crate::candidate::CandidateId;
+
+/// One prediction-vs-outcome observation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeedbackRecord {
+    /// Candidate the job compacted.
+    pub candidate: CandidateId,
+    /// When the job finished.
+    pub at_ms: u64,
+    /// Predicted file-count reduction.
+    pub predicted_reduction: i64,
+    /// Achieved file-count reduction.
+    pub actual_reduction: i64,
+    /// Predicted cost (GBHr).
+    pub predicted_gbhr: f64,
+    /// Actual cost (GBHr).
+    pub actual_gbhr: f64,
+}
+
+/// Accumulated estimator feedback with calibration.
+#[derive(Debug, Clone, Default)]
+pub struct EstimationFeedback {
+    records: Vec<FeedbackRecord>,
+}
+
+impl EstimationFeedback {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingests one observation.
+    pub fn record(&mut self, record: FeedbackRecord) {
+        self.records.push(record);
+    }
+
+    /// All observations.
+    pub fn records(&self) -> &[FeedbackRecord] {
+        &self.records
+    }
+
+    /// Mean signed relative error of the reduction estimator (positive =
+    /// over-estimation, the §7 direction). `None` without usable data.
+    pub fn reduction_bias(&self) -> Option<f64> {
+        mean(self.records.iter().filter_map(|r| {
+            (r.actual_reduction != 0).then(|| {
+                (r.predicted_reduction - r.actual_reduction) as f64 / r.actual_reduction as f64
+            })
+        }))
+    }
+
+    /// Mean signed relative error of the cost estimator (negative =
+    /// under-estimation, the §7 direction).
+    pub fn cost_bias(&self) -> Option<f64> {
+        mean(self.records.iter().filter_map(|r| {
+            (r.actual_gbhr > 0.0).then(|| (r.predicted_gbhr - r.actual_gbhr) / r.actual_gbhr)
+        }))
+    }
+
+    /// Multiplicative calibration factor for future reduction estimates:
+    /// `actual ≈ factor × predicted`. 1.0 without data.
+    pub fn reduction_calibration(&self) -> f64 {
+        ratio_calibration(self.records.iter().filter_map(|r| {
+            (r.predicted_reduction > 0)
+                .then(|| r.actual_reduction as f64 / r.predicted_reduction as f64)
+        }))
+    }
+
+    /// Multiplicative calibration factor for future cost estimates.
+    pub fn cost_calibration(&self) -> f64 {
+        ratio_calibration(
+            self.records
+                .iter()
+                .filter_map(|r| (r.predicted_gbhr > 0.0).then(|| r.actual_gbhr / r.predicted_gbhr)),
+        )
+    }
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> Option<f64> {
+    let mut n = 0u64;
+    let mut sum = 0.0;
+    for v in values {
+        n += 1;
+        sum += v;
+    }
+    (n > 0).then(|| sum / n as f64)
+}
+
+fn ratio_calibration(ratios: impl Iterator<Item = f64>) -> f64 {
+    // Clamp individual ratios to a sane band so one pathological job
+    // cannot swing the calibration, then average.
+    mean(ratios.map(|r| r.clamp(0.1, 10.0))).unwrap_or(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(pred_red: i64, act_red: i64, pred_cost: f64, act_cost: f64) -> FeedbackRecord {
+        FeedbackRecord {
+            candidate: CandidateId::table(1),
+            at_ms: 0,
+            predicted_reduction: pred_red,
+            actual_reduction: act_red,
+            predicted_gbhr: pred_cost,
+            actual_gbhr: act_cost,
+        }
+    }
+
+    #[test]
+    fn biases_match_paper_directions() {
+        let mut f = EstimationFeedback::new();
+        // §7: reduction over-estimated 28%, cost under-estimated (108 vs 129).
+        f.record(record(128, 100, 108.0, 129.0));
+        let rb = f.reduction_bias().unwrap();
+        let cb = f.cost_bias().unwrap();
+        assert!(rb > 0.0, "over-estimation is positive bias");
+        assert!(cb < 0.0, "under-estimation is negative bias");
+    }
+
+    #[test]
+    fn calibration_corrects_systematic_error() {
+        let mut f = EstimationFeedback::new();
+        // Predictions consistently 2× too high on reduction, 20% low on cost.
+        for _ in 0..10 {
+            f.record(record(100, 50, 80.0, 100.0));
+        }
+        assert!((f.reduction_calibration() - 0.5).abs() < 1e-9);
+        assert!((f.cost_calibration() - 1.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_feedback_is_neutral() {
+        let f = EstimationFeedback::new();
+        assert_eq!(f.reduction_bias(), None);
+        assert_eq!(f.cost_bias(), None);
+        assert_eq!(f.reduction_calibration(), 1.0);
+        assert_eq!(f.cost_calibration(), 1.0);
+    }
+
+    #[test]
+    fn pathological_ratios_are_clamped() {
+        let mut f = EstimationFeedback::new();
+        f.record(record(1, 1_000_000, 0.001, 1000.0));
+        assert!(f.reduction_calibration() <= 10.0);
+        assert!(f.cost_calibration() <= 10.0);
+    }
+}

@@ -1,0 +1,318 @@
+//! Candidate filters (§4.1).
+//!
+//! "Once candidates are generated, filtering mechanisms are applied
+//! throughout the workflow to refine the exhaustively generated candidate
+//! pool based on statistics and current table usage. […] Example filters
+//! might check the table size to skip tables that are too small or verify
+//! whether a compaction candidate has undergone recent frequent writes to
+//! avoid potential conflicts during compaction."
+
+use crate::candidate::Candidate;
+
+/// Outcome of evaluating one filter against one candidate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FilterDecision {
+    /// Candidate proceeds to the next phase.
+    Keep,
+    /// Candidate is dropped, with the reason recorded in the cycle report
+    /// (NFR2 explainability).
+    Drop(String),
+}
+
+/// A candidate filter.
+pub trait CandidateFilter {
+    /// Filter name for reports.
+    fn name(&self) -> &str;
+    /// Evaluates the candidate at `now_ms`.
+    fn evaluate(&self, candidate: &Candidate, now_ms: u64) -> FilterDecision;
+}
+
+/// Drops candidates whose table policy disables compaction.
+#[derive(Debug, Default)]
+pub struct CompactionDisabledFilter;
+
+impl CandidateFilter for CompactionDisabledFilter {
+    fn name(&self) -> &str {
+        "compaction-disabled"
+    }
+    fn evaluate(&self, candidate: &Candidate, _now_ms: u64) -> FilterDecision {
+        if candidate.compaction_enabled {
+            FilterDecision::Keep
+        } else {
+            FilterDecision::Drop("policy disables compaction".to_string())
+        }
+    }
+}
+
+/// Drops recently created tables: "we ensure that tables are not compacted
+/// if they have been created recently, i.e., within a preset time window"
+/// (§4.1 — avoids spending budget on tables that won't affect long-term
+/// system health).
+#[derive(Debug)]
+pub struct RecentlyCreatedFilter {
+    /// Grace window after creation.
+    pub grace_ms: u64,
+}
+
+impl CandidateFilter for RecentlyCreatedFilter {
+    fn name(&self) -> &str {
+        "recently-created"
+    }
+    fn evaluate(&self, candidate: &Candidate, now_ms: u64) -> FilterDecision {
+        let age = now_ms.saturating_sub(candidate.stats.created_at_ms);
+        if age < self.grace_ms {
+            FilterDecision::Drop(format!(
+                "created {age}ms ago (< grace {}ms)",
+                self.grace_ms
+            ))
+        } else {
+            FilterDecision::Keep
+        }
+    }
+}
+
+/// Drops short-lived intermediate tables (§4.1: table created as an
+/// "intermediate table" should not receive compaction effort).
+#[derive(Debug, Default)]
+pub struct IntermediateTableFilter;
+
+impl CandidateFilter for IntermediateTableFilter {
+    fn name(&self) -> &str {
+        "intermediate-table"
+    }
+    fn evaluate(&self, candidate: &Candidate, _now_ms: u64) -> FilterDecision {
+        if candidate.is_intermediate {
+            FilterDecision::Drop("intermediate table".to_string())
+        } else {
+            FilterDecision::Keep
+        }
+    }
+}
+
+/// Drops candidates that are too small to matter.
+#[derive(Debug)]
+pub struct MinSizeFilter {
+    /// Minimum total bytes in scope.
+    pub min_total_bytes: u64,
+    /// Minimum file count in scope.
+    pub min_file_count: u64,
+}
+
+impl CandidateFilter for MinSizeFilter {
+    fn name(&self) -> &str {
+        "min-size"
+    }
+    fn evaluate(&self, candidate: &Candidate, _now_ms: u64) -> FilterDecision {
+        if candidate.stats.total_bytes < self.min_total_bytes {
+            return FilterDecision::Drop(format!(
+                "total bytes {} < {}",
+                candidate.stats.total_bytes, self.min_total_bytes
+            ));
+        }
+        if candidate.stats.file_count < self.min_file_count {
+            return FilterDecision::Drop(format!(
+                "file count {} < {}",
+                candidate.stats.file_count, self.min_file_count
+            ));
+        }
+        FilterDecision::Keep
+    }
+}
+
+/// Drops candidates written very recently — conflict avoidance ("verify
+/// whether a compaction candidate has undergone recent frequent writes to
+/// avoid potential conflicts during compaction", §4.1).
+#[derive(Debug)]
+pub struct RecentWriteActivityFilter {
+    /// Quiet period required since the last write.
+    pub quiet_ms: u64,
+    /// Alternatively, drop when write frequency exceeds this (writes/hr).
+    pub max_writes_per_hour: f64,
+}
+
+impl CandidateFilter for RecentWriteActivityFilter {
+    fn name(&self) -> &str {
+        "recent-write-activity"
+    }
+    fn evaluate(&self, candidate: &Candidate, now_ms: u64) -> FilterDecision {
+        if let Some(last) = candidate.stats.last_write_ms {
+            let since = now_ms.saturating_sub(last);
+            if since < self.quiet_ms {
+                return FilterDecision::Drop(format!(
+                    "written {since}ms ago (< quiet {}ms)",
+                    self.quiet_ms
+                ));
+            }
+        }
+        if candidate.stats.write_frequency_per_hour > self.max_writes_per_hour {
+            return FilterDecision::Drop(format!(
+                "write frequency {:.1}/h > {:.1}/h",
+                candidate.stats.write_frequency_per_hour, self.max_writes_per_hour
+            ));
+        }
+        FilterDecision::Keep
+    }
+}
+
+/// Drops candidates that are already well-compacted — the inefficiency §2
+/// observed with static schedules: "subsequent compaction runs often
+/// processed files that were already well-sized and balanced, yielding
+/// minimal improvements".
+#[derive(Debug)]
+pub struct AlreadyCompactFilter {
+    /// Minimum small files for the candidate to be worth compacting.
+    pub min_small_files: u64,
+    /// Minimum small-file fraction.
+    pub min_small_fraction: f64,
+}
+
+impl CandidateFilter for AlreadyCompactFilter {
+    fn name(&self) -> &str {
+        "already-compact"
+    }
+    fn evaluate(&self, candidate: &Candidate, _now_ms: u64) -> FilterDecision {
+        let s = &candidate.stats;
+        if s.small_file_count < self.min_small_files {
+            return FilterDecision::Drop(format!(
+                "only {} small files (< {})",
+                s.small_file_count, self.min_small_files
+            ));
+        }
+        if s.small_file_fraction() < self.min_small_fraction {
+            return FilterDecision::Drop(format!(
+                "small-file fraction {:.2} < {:.2}",
+                s.small_file_fraction(),
+                self.min_small_fraction
+            ));
+        }
+        FilterDecision::Keep
+    }
+}
+
+/// Applies a filter chain, returning surviving candidates and the dropped
+/// ones with reasons.
+pub fn apply_filters(
+    candidates: Vec<Candidate>,
+    filters: &[Box<dyn CandidateFilter>],
+    now_ms: u64,
+) -> (Vec<Candidate>, Vec<(Candidate, String)>) {
+    let mut kept = Vec::with_capacity(candidates.len());
+    let mut dropped = Vec::new();
+    'outer: for candidate in candidates {
+        for filter in filters {
+            if let FilterDecision::Drop(reason) = filter.evaluate(&candidate, now_ms) {
+                dropped.push((candidate, format!("{}: {}", filter.name(), reason)));
+                continue 'outer;
+            }
+        }
+        kept.push(candidate);
+    }
+    (kept, dropped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidate::CandidateId;
+    use crate::stats::CandidateStats;
+
+    fn candidate(stats: CandidateStats) -> Candidate {
+        Candidate {
+            id: CandidateId::table(1),
+            database: "db".into(),
+            table_name: "t".into(),
+            compaction_enabled: true,
+            is_intermediate: false,
+            stats,
+        }
+    }
+
+    #[test]
+    fn recently_created_filter() {
+        let f = RecentlyCreatedFilter { grace_ms: 1000 };
+        let c = candidate(CandidateStats {
+            created_at_ms: 500,
+            ..CandidateStats::default()
+        });
+        assert!(matches!(f.evaluate(&c, 900), FilterDecision::Drop(_)));
+        assert_eq!(f.evaluate(&c, 2000), FilterDecision::Keep);
+    }
+
+    #[test]
+    fn write_activity_filter() {
+        let f = RecentWriteActivityFilter {
+            quiet_ms: 1000,
+            max_writes_per_hour: 10.0,
+        };
+        let mut c = candidate(CandidateStats {
+            last_write_ms: Some(100),
+            ..CandidateStats::default()
+        });
+        assert!(matches!(f.evaluate(&c, 500), FilterDecision::Drop(_)));
+        assert_eq!(f.evaluate(&c, 5000), FilterDecision::Keep);
+        c.stats.write_frequency_per_hour = 50.0;
+        assert!(matches!(f.evaluate(&c, 5000), FilterDecision::Drop(_)));
+    }
+
+    #[test]
+    fn already_compact_filter() {
+        let f = AlreadyCompactFilter {
+            min_small_files: 5,
+            min_small_fraction: 0.2,
+        };
+        let compact = candidate(CandidateStats {
+            file_count: 100,
+            small_file_count: 2,
+            ..CandidateStats::default()
+        });
+        assert!(matches!(f.evaluate(&compact, 0), FilterDecision::Drop(_)));
+        let fragmented = candidate(CandidateStats {
+            file_count: 100,
+            small_file_count: 80,
+            ..CandidateStats::default()
+        });
+        assert_eq!(f.evaluate(&fragmented, 0), FilterDecision::Keep);
+    }
+
+    #[test]
+    fn chain_records_drop_reasons() {
+        let filters: Vec<Box<dyn CandidateFilter>> = vec![
+            Box::new(CompactionDisabledFilter),
+            Box::new(MinSizeFilter {
+                min_total_bytes: 100,
+                min_file_count: 2,
+            }),
+        ];
+        let mut disabled = candidate(CandidateStats {
+            total_bytes: 1000,
+            file_count: 10,
+            ..CandidateStats::default()
+        });
+        disabled.compaction_enabled = false;
+        let tiny = candidate(CandidateStats {
+            total_bytes: 10,
+            file_count: 10,
+            ..CandidateStats::default()
+        });
+        let good = candidate(CandidateStats {
+            total_bytes: 1000,
+            file_count: 10,
+            ..CandidateStats::default()
+        });
+        let (kept, dropped) = apply_filters(vec![disabled, tiny, good], &filters, 0);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(dropped.len(), 2);
+        assert!(dropped[0].1.contains("compaction-disabled"));
+        assert!(dropped[1].1.contains("min-size"));
+    }
+
+    #[test]
+    fn intermediate_filter() {
+        let mut c = candidate(CandidateStats::default());
+        c.is_intermediate = true;
+        assert!(matches!(
+            IntermediateTableFilter.evaluate(&c, 0),
+            FilterDecision::Drop(_)
+        ));
+    }
+}

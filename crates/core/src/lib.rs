@@ -1,0 +1,68 @@
+//! # autocomp
+//!
+//! The paper's primary contribution: **AutoComp**, a framework for
+//! automatic, scalable data compaction of log-structured tables,
+//! structured as an 'Observe, Orient, Decide, Act' (OODA) loop (§3.3):
+//!
+//! * **Observe** — [`scope`] generates compaction *candidates* (table /
+//!   partition / hybrid scope, FR1) and fills them with a standardized
+//!   statistics layout ([`stats::CandidateStats`], §4.1) fetched through a
+//!   platform-agnostic [`connector::LakeConnector`] (NFR3).
+//! * **Orient** — [`traits`] computes decision *traits* from those
+//!   statistics: benefit traits (file-count reduction ΔF, file entropy)
+//!   and cost traits (compute cost GBHr), §4.2.
+//! * **Decide** — [`rank`] ranks candidates: threshold policies for the
+//!   unconstrained scenario, weighted-sum MOOP scalarization with min–max
+//!   normalization for the resource-constrained scenario, top-k and
+//!   budget-constrained (dynamic-k) selection, and the production
+//!   quota-aware weighting `w1 = 0.5 × (1 + Used/Total)` (§4.3, §7).
+//! * **Act** — [`schedule`] orders the selected work units (parallel
+//!   across tables, sequential within a table, §4.4/§6) and
+//!   [`pipeline::AutoComp`] submits them through a
+//!   [`connector::CompactionExecutor`].
+//!
+//! [`trigger`] provides the two §5 execution modes (periodic and
+//! optimize-after-write); [`feedback`] closes the loop with predicted-vs-
+//! actual estimator accuracy (§7). Every phase is deterministic and every
+//! cycle produces an explainable [`pipeline::CycleReport`] (NFR2).
+//!
+//! This crate depends only on `std`: it talks to a concrete lake purely
+//! through the connector traits, which is what lets the same pipeline run
+//! against the simulated lake here, or any other LST/catalog (NFR3).
+
+#![warn(missing_docs)]
+
+pub mod candidate;
+pub mod connector;
+pub mod error;
+pub mod feedback;
+pub mod filter;
+pub mod pipeline;
+pub mod rank;
+pub mod report;
+pub mod schedule;
+pub mod scope;
+pub mod stats;
+pub mod traits;
+pub mod trigger;
+
+pub use candidate::{Candidate, CandidateId, ScopeKind, TableRef};
+pub use connector::{CompactionExecutor, ExecutionResult, LakeConnector, Prediction};
+pub use error::AutoCompError;
+pub use feedback::{EstimationFeedback, FeedbackRecord};
+pub use filter::{
+    AlreadyCompactFilter, CandidateFilter, CompactionDisabledFilter, FilterDecision,
+    IntermediateTableFilter, MinSizeFilter, RecentWriteActivityFilter, RecentlyCreatedFilter,
+};
+pub use pipeline::{AutoComp, AutoCompConfig, CycleReport};
+pub use rank::{RankedEntry, RankingPolicy, TraitWeight};
+pub use schedule::{AllParallelScheduler, ParallelTablesScheduler, ScheduledJob, Scheduler, StrictSequentialScheduler};
+pub use scope::ScopeStrategy;
+pub use stats::{CandidateStats, QuotaSignal, SizeBucket};
+pub use traits::{
+    ComputeCostGbhr, FileCountReduction, FileEntropy, TraitComputer, TraitDirection,
+};
+pub use trigger::{AfterWriteHook, HookAction, HookMode, PeriodicTrigger};
+
+/// Crate-level result alias.
+pub type Result<T> = std::result::Result<T, AutoCompError>;

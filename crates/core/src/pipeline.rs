@@ -1,0 +1,488 @@
+//! The assembled OODA pipeline (§3.3, Fig. 4).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::candidate::{Candidate, CandidateId};
+use crate::connector::{CompactionExecutor, ExecutionResult, LakeConnector, Prediction};
+use crate::error::AutoCompError;
+use crate::feedback::{EstimationFeedback, FeedbackRecord};
+use crate::filter::{apply_filters, CandidateFilter};
+use crate::rank::{rank_and_select, RankedEntry, RankingPolicy};
+use crate::report::{fmt_f64, render_table};
+use crate::schedule::{waves, ParallelTablesScheduler, Scheduler};
+use crate::scope::{generate_candidates, ScopeStrategy};
+use crate::traits::{TraitComputer, TraitDirection};
+use crate::Result;
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct AutoCompConfig {
+    /// Candidate scoping strategy (FR1).
+    pub scope: ScopeStrategy,
+    /// Ranking/selection policy (FR2).
+    pub policy: RankingPolicy,
+    /// Label recorded as the trigger of executed jobs (e.g. `"periodic"`).
+    pub trigger_label: String,
+    /// Apply feedback-derived calibration to predictions (§7 extension).
+    pub calibrate: bool,
+}
+
+/// One executed (scheduled) job in a cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutedJob {
+    /// Candidate compacted.
+    pub id: CandidateId,
+    /// Prediction handed to the platform.
+    pub prediction: Prediction,
+    /// Platform scheduling result.
+    pub result: ExecutionResult,
+    /// Wave the job ran in.
+    pub wave: usize,
+}
+
+/// Full decision trail of one pipeline cycle (NFR2: "deterministic
+/// decision-making simplifies debugging, testing, benchmarking, and
+/// documenting the optimizer's behavior").
+#[derive(Debug, Clone)]
+pub struct CycleReport {
+    /// Cycle timestamp.
+    pub at_ms: u64,
+    /// Scope label.
+    pub scope: String,
+    /// Candidates generated in the observe phase.
+    pub generated: usize,
+    /// Candidates dropped by filters, with reasons.
+    pub dropped: Vec<(CandidateId, String)>,
+    /// Ranked candidates (best first) with scores, traits and selection.
+    pub ranked: Vec<RankedEntry>,
+    /// Jobs handed to the executor.
+    pub executed: Vec<ExecutedJob>,
+    /// Sum of predicted file-count reductions over executed jobs.
+    pub total_predicted_reduction: i64,
+    /// Sum of predicted GBHr over executed jobs.
+    pub total_predicted_gbhr: f64,
+}
+
+impl CycleReport {
+    /// Number of selected candidates (the cycle's effective k).
+    pub fn selected_count(&self) -> usize {
+        self.ranked.iter().filter(|e| e.selected).count()
+    }
+}
+
+impl fmt::Display for CycleReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "AutoComp cycle @ {}ms | scope={} | generated={} | dropped={} | selected={} | predicted ΔF={} GBHr={}",
+            self.at_ms,
+            self.scope,
+            self.generated,
+            self.dropped.len(),
+            self.selected_count(),
+            self.total_predicted_reduction,
+            fmt_f64(self.total_predicted_gbhr),
+        )?;
+        let rows: Vec<Vec<String>> = self
+            .ranked
+            .iter()
+            .take(20)
+            .map(|e| {
+                let traits = e
+                    .traits
+                    .iter()
+                    .map(|(k, v)| format!("{k}={}", fmt_f64(*v)))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                vec![
+                    e.id.to_string(),
+                    fmt_f64(e.score),
+                    if e.selected { "yes" } else { "no" }.to_string(),
+                    traits,
+                    e.note.clone(),
+                ]
+            })
+            .collect();
+        write!(
+            f,
+            "{}",
+            render_table(&["candidate", "score", "selected", "traits", "note"], &rows)
+        )
+    }
+}
+
+/// The AutoComp pipeline: filters + trait computers + policy + scheduler.
+pub struct AutoComp {
+    config: AutoCompConfig,
+    filters: Vec<Box<dyn CandidateFilter>>,
+    traits: Vec<Box<dyn TraitComputer>>,
+    scheduler: Box<dyn Scheduler>,
+    feedback: EstimationFeedback,
+}
+
+impl AutoComp {
+    /// Creates a pipeline with no filters, no traits, and the paper's
+    /// production scheduler (parallel tables, sequential partitions).
+    pub fn new(config: AutoCompConfig) -> Self {
+        AutoComp {
+            config,
+            filters: Vec::new(),
+            traits: Vec::new(),
+            scheduler: Box::new(ParallelTablesScheduler),
+            feedback: EstimationFeedback::new(),
+        }
+    }
+
+    /// Adds a candidate filter (applied in insertion order).
+    pub fn with_filter(mut self, filter: Box<dyn CandidateFilter>) -> Self {
+        self.filters.push(filter);
+        self
+    }
+
+    /// Registers a trait computer (NFR1: mix-and-match components).
+    pub fn with_trait(mut self, computer: Box<dyn TraitComputer>) -> Self {
+        self.traits.push(computer);
+        self
+    }
+
+    /// Replaces the scheduler.
+    pub fn with_scheduler(mut self, scheduler: Box<dyn Scheduler>) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Current configuration.
+    pub fn config(&self) -> &AutoCompConfig {
+        &self.config
+    }
+
+    /// Mutable configuration (e.g. to switch policies between cycles).
+    pub fn config_mut(&mut self) -> &mut AutoCompConfig {
+        &mut self.config
+    }
+
+    /// Accumulated estimator feedback.
+    pub fn feedback(&self) -> &EstimationFeedback {
+        &self.feedback
+    }
+
+    /// Ingests one prediction-vs-outcome observation (the act→observe
+    /// feedback loop of §3.3).
+    pub fn ingest_feedback(&mut self, record: FeedbackRecord) {
+        self.feedback.record(record);
+    }
+
+    /// Runs one full OODA cycle at `now_ms`.
+    pub fn run_cycle(
+        &mut self,
+        connector: &dyn LakeConnector,
+        executor: &mut dyn CompactionExecutor,
+        now_ms: u64,
+    ) -> Result<CycleReport> {
+        if self.traits.is_empty() {
+            return Err(AutoCompError::NoTraits);
+        }
+        // Observe.
+        let candidates = generate_candidates(connector, self.config.scope);
+        let generated = candidates.len();
+        let (kept, dropped_pairs) = apply_filters(candidates, &self.filters, now_ms);
+        let dropped: Vec<(CandidateId, String)> = dropped_pairs
+            .into_iter()
+            .map(|(c, reason)| (c.id, reason))
+            .collect();
+
+        // Orient.
+        let mut directions: BTreeMap<String, TraitDirection> = BTreeMap::new();
+        for t in &self.traits {
+            directions.insert(t.name().to_string(), t.direction());
+        }
+        let trait_values: Vec<BTreeMap<String, f64>> = kept
+            .iter()
+            .map(|c| {
+                self.traits
+                    .iter()
+                    .map(|t| (t.name().to_string(), t.compute(&c.stats)))
+                    .collect()
+            })
+            .collect();
+
+        // Decide.
+        let ranked = rank_and_select(&kept, &trait_values, &directions, &self.config.policy)?;
+
+        // Act.
+        let by_id: BTreeMap<&CandidateId, &Candidate> =
+            kept.iter().map(|c| (&c.id, c)).collect();
+        let selected: Vec<&Candidate> = ranked
+            .iter()
+            .filter(|e| e.selected)
+            .map(|e| *by_id.get(&e.id).expect("ranked ids come from kept"))
+            .collect();
+        let jobs = self.scheduler.plan(&selected);
+        let entry_by_id: BTreeMap<&CandidateId, &RankedEntry> =
+            ranked.iter().map(|e| (&e.id, e)).collect();
+
+        let (reduction_cal, cost_cal) = if self.config.calibrate {
+            (
+                self.feedback.reduction_calibration(),
+                self.feedback.cost_calibration(),
+            )
+        } else {
+            (1.0, 1.0)
+        };
+
+        let mut executed = Vec::new();
+        let mut total_predicted_reduction = 0i64;
+        let mut total_predicted_gbhr = 0.0;
+        let mut wave_start = now_ms;
+        for wave_jobs in waves(&jobs) {
+            let mut wave_due = wave_start;
+            for job in wave_jobs {
+                let candidate = by_id[&job.id];
+                let entry = entry_by_id[&job.id];
+                let raw_reduction = entry
+                    .traits
+                    .get("file_count_reduction")
+                    .copied()
+                    .unwrap_or(candidate.stats.small_file_count as f64);
+                let raw_gbhr = entry
+                    .traits
+                    .get("compute_cost_gbhr")
+                    .copied()
+                    .unwrap_or(0.0);
+                let prediction = Prediction {
+                    reduction: (raw_reduction * reduction_cal).round() as i64,
+                    gbhr: raw_gbhr * cost_cal,
+                    trigger: self.config.trigger_label.clone(),
+                };
+                let result = executor.execute(candidate, &prediction, wave_start);
+                if result.scheduled {
+                    total_predicted_reduction += prediction.reduction;
+                    total_predicted_gbhr += prediction.gbhr;
+                    if let Some(due) = result.commit_due_ms {
+                        wave_due = wave_due.max(due);
+                    }
+                }
+                executed.push(ExecutedJob {
+                    id: job.id.clone(),
+                    prediction,
+                    result,
+                    wave: job.wave,
+                });
+            }
+            // The next wave starts only after this wave's commits are due
+            // (sequential partition compaction, §6).
+            wave_start = wave_due.max(wave_start) + 1;
+        }
+
+        Ok(CycleReport {
+            at_ms: now_ms,
+            scope: self.config.scope.label(),
+            generated,
+            dropped,
+            ranked,
+            executed,
+            total_predicted_reduction,
+            total_predicted_gbhr,
+        })
+    }
+}
+
+impl fmt::Debug for AutoComp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AutoComp")
+            .field("scope", &self.config.scope.label())
+            .field("filters", &self.filters.len())
+            .field("traits", &self.traits.len())
+            .field("scheduler", &self.scheduler.name())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidate::TableRef;
+    use crate::filter::MinSizeFilter;
+    use crate::rank::TraitWeight;
+    use crate::stats::CandidateStats;
+    use crate::traits::{ComputeCostGbhr, FileCountReduction};
+
+    /// In-memory lake with configurable per-table small-file counts.
+    struct MemoryLake {
+        tables: Vec<(TableRef, CandidateStats)>,
+    }
+
+    impl MemoryLake {
+        fn with_tables(specs: &[(u64, u64, u64)]) -> Self {
+            // (uid, small_files, total_bytes)
+            let tables = specs
+                .iter()
+                .map(|(uid, small, bytes)| {
+                    (
+                        TableRef {
+                            table_uid: *uid,
+                            database: "db".into(),
+                            name: format!("t{uid}"),
+                            partitioned: false,
+                            compaction_enabled: true,
+                            is_intermediate: false,
+                        },
+                        CandidateStats {
+                            file_count: small + 2,
+                            small_file_count: *small,
+                            small_bytes: *bytes / 2,
+                            total_bytes: *bytes,
+                            target_file_size: 512 << 20,
+                            ..CandidateStats::default()
+                        },
+                    )
+                })
+                .collect();
+            MemoryLake { tables }
+        }
+    }
+
+    impl LakeConnector for MemoryLake {
+        fn list_tables(&self) -> Vec<TableRef> {
+            self.tables.iter().map(|(t, _)| t.clone()).collect()
+        }
+        fn table_stats(&self, uid: u64) -> Option<CandidateStats> {
+            self.tables
+                .iter()
+                .find(|(t, _)| t.table_uid == uid)
+                .map(|(_, s)| s.clone())
+        }
+        fn partition_stats(&self, _uid: u64) -> Vec<(String, CandidateStats)> {
+            Vec::new()
+        }
+    }
+
+    #[derive(Default)]
+    struct RecordingExecutor {
+        calls: Vec<(CandidateId, i64, u64)>,
+    }
+
+    impl CompactionExecutor for RecordingExecutor {
+        fn execute(
+            &mut self,
+            candidate: &Candidate,
+            prediction: &Prediction,
+            now_ms: u64,
+        ) -> ExecutionResult {
+            self.calls
+                .push((candidate.id.clone(), prediction.reduction, now_ms));
+            ExecutionResult {
+                scheduled: true,
+                job_id: Some(self.calls.len() as u64),
+                gbhr: prediction.gbhr,
+                commit_due_ms: Some(now_ms + 10_000),
+                error: None,
+            }
+        }
+    }
+
+    fn pipeline(k: usize) -> AutoComp {
+        AutoComp::new(AutoCompConfig {
+            scope: ScopeStrategy::Table,
+            policy: RankingPolicy::Moop {
+                weights: vec![
+                    TraitWeight::new("file_count_reduction", 0.7),
+                    TraitWeight::new("compute_cost_gbhr", 0.3),
+                ],
+                k,
+            },
+            trigger_label: "periodic".into(),
+            calibrate: false,
+        })
+        .with_trait(Box::new(FileCountReduction::default()))
+        .with_trait(Box::new(ComputeCostGbhr::default()))
+    }
+
+    #[test]
+    fn full_cycle_selects_and_executes_top_k() {
+        let lake = MemoryLake::with_tables(&[
+            (1, 100, 10 << 30),
+            (2, 500, 10 << 30),
+            (3, 10, 10 << 30),
+        ]);
+        let mut exec = RecordingExecutor::default();
+        let mut ac = pipeline(2);
+        let report = ac.run_cycle(&lake, &mut exec, 1000).unwrap();
+        assert_eq!(report.generated, 3);
+        assert_eq!(report.selected_count(), 2);
+        assert_eq!(exec.calls.len(), 2);
+        // Most fragmented table first.
+        assert_eq!(exec.calls[0].0, CandidateId::table(2));
+        assert!(report.total_predicted_reduction >= 500);
+        let text = report.to_string();
+        assert!(text.contains("selected"));
+        assert!(text.contains("t2[table]"));
+    }
+
+    #[test]
+    fn filters_drop_with_reasons() {
+        let lake = MemoryLake::with_tables(&[(1, 100, 10), (2, 100, 10 << 30)]);
+        let mut exec = RecordingExecutor::default();
+        let mut ac = pipeline(5).with_filter(Box::new(MinSizeFilter {
+            min_total_bytes: 1 << 20,
+            min_file_count: 0,
+        }));
+        let report = ac.run_cycle(&lake, &mut exec, 0).unwrap();
+        assert_eq!(report.dropped.len(), 1);
+        assert_eq!(report.dropped[0].0, CandidateId::table(1));
+        assert!(report.dropped[0].1.contains("min-size"));
+        assert_eq!(report.selected_count(), 1);
+    }
+
+    #[test]
+    fn no_traits_is_an_error() {
+        let lake = MemoryLake::with_tables(&[(1, 1, 1)]);
+        let mut exec = RecordingExecutor::default();
+        let mut ac = AutoComp::new(AutoCompConfig {
+            scope: ScopeStrategy::Table,
+            policy: RankingPolicy::Threshold {
+                trait_name: "x".into(),
+                min_value: 0.0,
+                max_k: None,
+            },
+            trigger_label: "t".into(),
+            calibrate: false,
+        });
+        assert!(matches!(
+            ac.run_cycle(&lake, &mut exec, 0),
+            Err(AutoCompError::NoTraits)
+        ));
+    }
+
+    #[test]
+    fn calibration_scales_predictions() {
+        let lake = MemoryLake::with_tables(&[(1, 100, 10 << 30)]);
+        let mut exec = RecordingExecutor::default();
+        let mut ac = pipeline(1);
+        ac.config_mut().calibrate = true;
+        // Feedback says reductions are 2× over-estimated.
+        ac.ingest_feedback(FeedbackRecord {
+            candidate: CandidateId::table(1),
+            at_ms: 0,
+            predicted_reduction: 100,
+            actual_reduction: 50,
+            predicted_gbhr: 1.0,
+            actual_gbhr: 1.0,
+        });
+        let report = ac.run_cycle(&lake, &mut exec, 0).unwrap();
+        assert_eq!(report.executed[0].prediction.reduction, 50);
+    }
+
+    #[test]
+    fn cycles_are_deterministic() {
+        let lake = MemoryLake::with_tables(&[(1, 10, 1 << 30), (2, 20, 1 << 30)]);
+        let run = || {
+            let mut exec = RecordingExecutor::default();
+            let mut ac = pipeline(1);
+            let r = ac.run_cycle(&lake, &mut exec, 42).unwrap();
+            format!("{r}")
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,553 @@
+//! Candidate ranking and selection (the decide phase, §4.3).
+//!
+//! Two scenarios from the paper:
+//!
+//! * **Unconstrained resources** — a threshold decision function: any
+//!   candidate whose trait exceeds the threshold is compacted.
+//! * **Resource-constrained** — the MOOP formulation: min–max normalize
+//!   each trait over the candidate set, scalarize with weights summing to
+//!   1 (`S_c = w1·T'₁ − w2·T'₂`), rank descending, then select top-k or
+//!   greedily fit a compute budget (dynamic k, §7).
+//!
+//! The production deployment's quota-aware weighting (§7),
+//! `w1 = 0.5 × (1 + UsedQuota/TotalQuota)`, is a per-candidate weight
+//! variant.
+
+use std::collections::BTreeMap;
+
+use crate::candidate::{Candidate, CandidateId};
+use crate::error::AutoCompError;
+use crate::traits::TraitDirection;
+use crate::Result;
+
+/// One weighted objective in a MOOP policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraitWeight {
+    /// Trait name (must match a registered computer).
+    pub trait_name: String,
+    /// Weight; all weights must be positive and sum to 1.
+    pub weight: f64,
+}
+
+impl TraitWeight {
+    /// Convenience constructor.
+    pub fn new(trait_name: impl Into<String>, weight: f64) -> Self {
+        TraitWeight {
+            trait_name: trait_name.into(),
+            weight,
+        }
+    }
+}
+
+/// Ranking and selection policy.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RankingPolicy {
+    /// Unconstrained scenario (§4.3): select every candidate whose trait
+    /// value meets the threshold, ranked by that value.
+    Threshold {
+        /// Trait to test.
+        trait_name: String,
+        /// Minimum value for selection.
+        min_value: f64,
+        /// Optional cap on selections (safety valve).
+        max_k: Option<usize>,
+    },
+    /// Weighted-sum MOOP with top-k selection (§4.3 / §6: k=10 table
+    /// scope, k=50/500 hybrid).
+    Moop {
+        /// Objective weights (positive, summing to 1).
+        weights: Vec<TraitWeight>,
+        /// Number of candidates to select.
+        k: usize,
+    },
+    /// Weighted-sum MOOP with a compute budget instead of a fixed k: the
+    /// dynamic-k selection the production deployment moved to in week 22
+    /// (§7, 226 TBHr budget → k≈2500).
+    BudgetedMoop {
+        /// Objective weights (positive, summing to 1).
+        weights: Vec<TraitWeight>,
+        /// Trait holding each candidate's cost (raw, unnormalized units).
+        cost_trait: String,
+        /// Total budget in the cost trait's units (e.g. GBHr).
+        budget: f64,
+        /// Optional cap on selections.
+        max_k: Option<usize>,
+    },
+    /// Production quota-aware weighting (§7): per-candidate
+    /// `w1 = 0.5 × (1 + quota utilization)`, `w2 = 1 − w1`, scored as
+    /// `w1·benefit' − w2·cost'`.
+    QuotaAwareMoop {
+        /// Benefit trait name.
+        benefit_trait: String,
+        /// Cost trait name.
+        cost_trait: String,
+        /// Fixed k (`None` = select by `budget`).
+        k: Option<usize>,
+        /// Budget in raw cost units (used when `k` is `None`).
+        budget: Option<f64>,
+    },
+}
+
+/// One ranked candidate with its decision trail (NFR2 explainability).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedEntry {
+    /// Candidate identity.
+    pub id: CandidateId,
+    /// Scalarized score (or raw trait value for threshold policies).
+    pub score: f64,
+    /// The trait values that produced the score.
+    pub traits: BTreeMap<String, f64>,
+    /// Whether the decide phase selected this candidate.
+    pub selected: bool,
+    /// Why it was (not) selected.
+    pub note: String,
+}
+
+/// Min–max normalizes `values`; constant inputs map to 0.5 (§4.3's
+/// normalization, with the degenerate case pinned deterministically).
+pub fn min_max_normalize(values: &[f64]) -> Vec<f64> {
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = max - min;
+    values
+        .iter()
+        .map(|v| {
+            if span.abs() < f64::EPSILON {
+                0.5
+            } else {
+                (v - min) / span
+            }
+        })
+        .collect()
+}
+
+fn validate_weights(weights: &[TraitWeight]) -> Result<()> {
+    if weights.is_empty() {
+        return Err(AutoCompError::InvalidWeights("no weights given".into()));
+    }
+    let sum: f64 = weights.iter().map(|w| w.weight).sum();
+    if weights.iter().any(|w| w.weight <= 0.0) {
+        return Err(AutoCompError::InvalidWeights(
+            "weights must be positive".into(),
+        ));
+    }
+    if (sum - 1.0).abs() > 1e-6 {
+        return Err(AutoCompError::InvalidWeights(format!(
+            "weights sum to {sum}, expected 1"
+        )));
+    }
+    Ok(())
+}
+
+fn trait_column(
+    candidates: &[Candidate],
+    trait_values: &[BTreeMap<String, f64>],
+    name: &str,
+) -> Result<Vec<f64>> {
+    debug_assert_eq!(candidates.len(), trait_values.len());
+    trait_values
+        .iter()
+        .map(|m| {
+            m.get(name)
+                .copied()
+                .ok_or_else(|| AutoCompError::UnknownTrait(name.to_string()))
+        })
+        .collect()
+}
+
+/// Ranks candidates under `policy` given their computed trait values and
+/// each trait's direction. Returns entries sorted by rank (best first);
+/// selection flags and notes record the decision trail.
+pub fn rank_and_select(
+    candidates: &[Candidate],
+    trait_values: &[BTreeMap<String, f64>],
+    directions: &BTreeMap<String, TraitDirection>,
+    policy: &RankingPolicy,
+) -> Result<Vec<RankedEntry>> {
+    if candidates.is_empty() {
+        return Ok(Vec::new());
+    }
+    match policy {
+        RankingPolicy::Threshold {
+            trait_name,
+            min_value,
+            max_k,
+        } => {
+            let column = trait_column(candidates, trait_values, trait_name)?;
+            let mut entries = build_entries(candidates, trait_values, &column);
+            sort_entries(&mut entries);
+            let cap = max_k.unwrap_or(usize::MAX);
+            let mut taken = 0;
+            for e in entries.iter_mut() {
+                if e.score >= *min_value && taken < cap {
+                    e.selected = true;
+                    taken += 1;
+                    e.note = format!("{trait_name} {:.3} >= {min_value:.3}", e.score);
+                } else {
+                    e.note = format!("{trait_name} {:.3} < {min_value:.3}", e.score);
+                }
+            }
+            Ok(entries)
+        }
+        RankingPolicy::Moop { weights, k } => {
+            validate_weights(weights)?;
+            let scores = moop_scores(candidates, trait_values, directions, weights)?;
+            let mut entries = build_entries(candidates, trait_values, &scores);
+            sort_entries(&mut entries);
+            for (rank, e) in entries.iter_mut().enumerate() {
+                e.selected = rank < *k;
+                e.note = if e.selected {
+                    format!("rank {} <= k={k}", rank + 1)
+                } else {
+                    format!("rank {} > k={k}", rank + 1)
+                };
+            }
+            Ok(entries)
+        }
+        RankingPolicy::BudgetedMoop {
+            weights,
+            cost_trait,
+            budget,
+            max_k,
+        } => {
+            validate_weights(weights)?;
+            let scores = moop_scores(candidates, trait_values, directions, weights)?;
+            let costs = trait_column(candidates, trait_values, cost_trait)?;
+            let mut entries = build_entries(candidates, trait_values, &scores);
+            // Carry raw costs through the sort via the traits map.
+            let cost_by_id: BTreeMap<CandidateId, f64> = candidates
+                .iter()
+                .zip(costs)
+                .map(|(c, cost)| (c.id.clone(), cost))
+                .collect();
+            sort_entries(&mut entries);
+            let cap = max_k.unwrap_or(usize::MAX);
+            let mut spent = 0.0;
+            let mut taken = 0;
+            for e in entries.iter_mut() {
+                let cost = cost_by_id[&e.id];
+                if taken < cap && spent + cost <= *budget {
+                    e.selected = true;
+                    spent += cost;
+                    taken += 1;
+                    e.note = format!("fits budget ({spent:.2}/{budget:.2})");
+                } else {
+                    e.note = format!("over budget (cost {cost:.2}, spent {spent:.2}/{budget:.2})");
+                }
+            }
+            Ok(entries)
+        }
+        RankingPolicy::QuotaAwareMoop {
+            benefit_trait,
+            cost_trait,
+            k,
+            budget,
+        } => {
+            let benefit_raw = trait_column(candidates, trait_values, benefit_trait)?;
+            let cost_raw = trait_column(candidates, trait_values, cost_trait)?;
+            let benefit_n = min_max_normalize(&benefit_raw);
+            let cost_n = min_max_normalize(&cost_raw);
+            let scores: Vec<f64> = candidates
+                .iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    let util = c.stats.quota.map(|q| q.utilization()).unwrap_or(0.0);
+                    // §7: w1 = 0.5 × (1 + Used/Total). Clamp so w2 ≥ 0 even
+                    // for over-quota databases.
+                    let w1 = (0.5 * (1.0 + util)).min(1.0);
+                    let w2 = 1.0 - w1;
+                    w1 * benefit_n[i] - w2 * cost_n[i]
+                })
+                .collect();
+            let cost_by_id: BTreeMap<CandidateId, f64> = candidates
+                .iter()
+                .zip(cost_raw)
+                .map(|(c, cost)| (c.id.clone(), cost))
+                .collect();
+            let mut entries = build_entries(candidates, trait_values, &scores);
+            sort_entries(&mut entries);
+            match (k, budget) {
+                (Some(k), _) => {
+                    for (rank, e) in entries.iter_mut().enumerate() {
+                        e.selected = rank < *k;
+                        e.note = format!("quota-aware rank {}", rank + 1);
+                    }
+                }
+                (None, Some(budget)) => {
+                    let mut spent = 0.0;
+                    for e in entries.iter_mut() {
+                        let cost = cost_by_id[&e.id];
+                        if spent + cost <= *budget {
+                            e.selected = true;
+                            spent += cost;
+                            e.note = format!("fits budget ({spent:.2}/{budget:.2})");
+                        } else {
+                            e.note = "over budget".to_string();
+                        }
+                    }
+                }
+                (None, None) => {
+                    return Err(AutoCompError::InvalidConfig(
+                        "QuotaAwareMoop needs k or budget".into(),
+                    ))
+                }
+            }
+            Ok(entries)
+        }
+    }
+}
+
+fn moop_scores(
+    candidates: &[Candidate],
+    trait_values: &[BTreeMap<String, f64>],
+    directions: &BTreeMap<String, TraitDirection>,
+    weights: &[TraitWeight],
+) -> Result<Vec<f64>> {
+    let mut scores = vec![0.0; candidates.len()];
+    for w in weights {
+        let direction = directions
+            .get(&w.trait_name)
+            .copied()
+            .ok_or_else(|| AutoCompError::UnknownTrait(w.trait_name.clone()))?;
+        let raw = trait_column(candidates, trait_values, &w.trait_name)?;
+        let normalized = min_max_normalize(&raw);
+        let sign = match direction {
+            TraitDirection::Benefit => 1.0,
+            TraitDirection::Cost => -1.0,
+        };
+        for (s, n) in scores.iter_mut().zip(normalized) {
+            *s += sign * w.weight * n;
+        }
+    }
+    Ok(scores)
+}
+
+fn build_entries(
+    candidates: &[Candidate],
+    trait_values: &[BTreeMap<String, f64>],
+    scores: &[f64],
+) -> Vec<RankedEntry> {
+    candidates
+        .iter()
+        .zip(trait_values)
+        .zip(scores)
+        .map(|((c, tv), &score)| RankedEntry {
+            id: c.id.clone(),
+            score,
+            traits: tv.clone(),
+            selected: false,
+            note: String::new(),
+        })
+        .collect()
+}
+
+/// Sorts by score descending, ties broken by candidate id (NFR2).
+fn sort_entries(entries: &mut [RankedEntry]) {
+    entries.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("scores are never NaN")
+            .then_with(|| a.id.cmp(&b.id))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{CandidateStats, QuotaSignal};
+
+    fn candidate(uid: u64, quota_util: Option<f64>) -> Candidate {
+        Candidate {
+            id: CandidateId::table(uid),
+            database: "db".into(),
+            table_name: format!("t{uid}"),
+            compaction_enabled: true,
+            is_intermediate: false,
+            stats: CandidateStats {
+                quota: quota_util.map(|u| QuotaSignal {
+                    used: (u * 100.0) as u64,
+                    total: 100,
+                }),
+                ..CandidateStats::default()
+            },
+        }
+    }
+
+    fn traits(pairs: &[(&str, f64)]) -> BTreeMap<String, f64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    fn directions() -> BTreeMap<String, TraitDirection> {
+        [
+            ("benefit".to_string(), TraitDirection::Benefit),
+            ("cost".to_string(), TraitDirection::Cost),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn normalization_handles_constant_and_spread() {
+        assert_eq!(min_max_normalize(&[5.0, 5.0]), vec![0.5, 0.5]);
+        let n = min_max_normalize(&[0.0, 5.0, 10.0]);
+        assert_eq!(n, vec![0.0, 0.5, 1.0]);
+        assert!(min_max_normalize(&[]).is_empty());
+    }
+
+    #[test]
+    fn threshold_selects_above_minimum() {
+        let cands = vec![candidate(1, None), candidate(2, None), candidate(3, None)];
+        let tv = vec![
+            traits(&[("benefit", 5.0)]),
+            traits(&[("benefit", 15.0)]),
+            traits(&[("benefit", 25.0)]),
+        ];
+        let policy = RankingPolicy::Threshold {
+            trait_name: "benefit".into(),
+            min_value: 10.0,
+            max_k: None,
+        };
+        let ranked = rank_and_select(&cands, &tv, &directions(), &policy).unwrap();
+        assert_eq!(ranked[0].id, CandidateId::table(3));
+        assert!(ranked[0].selected && ranked[1].selected);
+        assert!(!ranked[2].selected);
+    }
+
+    #[test]
+    fn moop_balances_benefit_against_cost() {
+        // The §4.2 motivating example: candidate 1 yields nearly the same
+        // benefit as candidate 2 at a tenth of the cost, so it must rank
+        // first. Candidate 3 anchors the min–max normalization (with only
+        // two candidates every trait normalizes to {0,1}, which is the
+        // known degenerate case of min–max scalarization).
+        let cands = vec![candidate(1, None), candidate(2, None), candidate(3, None)];
+        let tv = vec![
+            traits(&[("benefit", 200.0), ("cost", 10.0)]),
+            traits(&[("benefit", 210.0), ("cost", 100.0)]),
+            traits(&[("benefit", 0.0), ("cost", 0.0)]),
+        ];
+        let policy = RankingPolicy::Moop {
+            weights: vec![
+                TraitWeight::new("benefit", 0.7),
+                TraitWeight::new("cost", 0.3),
+            ],
+            k: 1,
+        };
+        let ranked = rank_and_select(&cands, &tv, &directions(), &policy).unwrap();
+        assert_eq!(ranked[0].id, CandidateId::table(1), "ratio should win");
+        assert!(ranked[0].selected);
+        assert!(!ranked[1].selected);
+    }
+
+    #[test]
+    fn moop_rejects_bad_weights() {
+        let cands = vec![candidate(1, None)];
+        let tv = vec![traits(&[("benefit", 1.0)])];
+        let bad_sum = RankingPolicy::Moop {
+            weights: vec![TraitWeight::new("benefit", 0.5)],
+            k: 1,
+        };
+        assert!(matches!(
+            rank_and_select(&cands, &tv, &directions(), &bad_sum),
+            Err(AutoCompError::InvalidWeights(_))
+        ));
+        let unknown = RankingPolicy::Moop {
+            weights: vec![TraitWeight::new("nope", 1.0)],
+            k: 1,
+        };
+        assert!(matches!(
+            rank_and_select(&cands, &tv, &directions(), &unknown),
+            Err(AutoCompError::UnknownTrait(_))
+        ));
+    }
+
+    #[test]
+    fn budget_selection_is_dynamic_k() {
+        let cands: Vec<Candidate> = (1..=4).map(|i| candidate(i, None)).collect();
+        let tv = vec![
+            traits(&[("benefit", 100.0), ("cost", 60.0)]),
+            traits(&[("benefit", 90.0), ("cost", 30.0)]),
+            traits(&[("benefit", 80.0), ("cost", 30.0)]),
+            traits(&[("benefit", 10.0), ("cost", 1.0)]),
+        ];
+        let policy = RankingPolicy::BudgetedMoop {
+            weights: vec![
+                TraitWeight::new("benefit", 0.7),
+                TraitWeight::new("cost", 0.3),
+            ],
+            cost_trait: "cost".into(),
+            budget: 65.0,
+            max_k: None,
+        };
+        let ranked = rank_and_select(&cands, &tv, &directions(), &policy).unwrap();
+        let selected: Vec<u64> = ranked
+            .iter()
+            .filter(|e| e.selected)
+            .map(|e| e.id.table_uid)
+            .collect();
+        // Greedy fit: best-scored first while budget lasts; candidate 1
+        // (cost 60) takes most of the budget, then only candidate 4 fits.
+        let spent: f64 = ranked
+            .iter()
+            .filter(|e| e.selected)
+            .map(|e| match e.id.table_uid {
+                1 => 60.0,
+                2 | 3 => 30.0,
+                _ => 1.0,
+            })
+            .sum();
+        assert!(spent <= 65.0, "spent {spent}");
+        assert!(!selected.is_empty());
+    }
+
+    #[test]
+    fn quota_pressure_boosts_priority() {
+        // Same traits, different quota pressure: the fuller database's
+        // candidate must rank first (§7's w1 formula).
+        let cands = vec![candidate(1, Some(0.1)), candidate(2, Some(0.9))];
+        let tv = vec![
+            traits(&[("benefit", 50.0), ("cost", 50.0)]),
+            traits(&[("benefit", 50.0), ("cost", 50.0)]),
+        ];
+        let policy = RankingPolicy::QuotaAwareMoop {
+            benefit_trait: "benefit".into(),
+            cost_trait: "cost".into(),
+            k: Some(1),
+            budget: None,
+        };
+        let ranked = rank_and_select(&cands, &tv, &directions(), &policy).unwrap();
+        assert_eq!(ranked[0].id, CandidateId::table(2));
+        assert!(ranked[0].selected);
+    }
+
+    #[test]
+    fn quota_policy_requires_k_or_budget() {
+        let cands = vec![candidate(1, None)];
+        let tv = vec![traits(&[("benefit", 1.0), ("cost", 1.0)])];
+        let policy = RankingPolicy::QuotaAwareMoop {
+            benefit_trait: "benefit".into(),
+            cost_trait: "cost".into(),
+            k: None,
+            budget: None,
+        };
+        assert!(matches!(
+            rank_and_select(&cands, &tv, &directions(), &policy),
+            Err(AutoCompError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn ties_break_on_candidate_id() {
+        let cands = vec![candidate(2, None), candidate(1, None)];
+        let tv = vec![traits(&[("benefit", 5.0)]), traits(&[("benefit", 5.0)])];
+        let policy = RankingPolicy::Moop {
+            weights: vec![TraitWeight::new("benefit", 1.0)],
+            k: 1,
+        };
+        let ranked = rank_and_select(&cands, &tv, &directions(), &policy).unwrap();
+        assert_eq!(ranked[0].id, CandidateId::table(1), "lower id wins ties");
+    }
+}

@@ -1,0 +1,170 @@
+//! Compaction scheduling (the act phase, §4.4).
+//!
+//! "Candidates are compacted in parallel on the table level but
+//! sequentially on the partition level as we have noticed compaction
+//! operations getting dropped due to conflicts even for distinct
+//! partitions otherwise" (§6). Schedulers arrange selected candidates
+//! into *waves*: jobs within a wave run concurrently; the next wave is
+//! submitted only after the previous wave's commits are due.
+
+use std::collections::BTreeMap;
+
+use crate::candidate::{Candidate, CandidateId};
+
+/// One scheduled job: a candidate assigned to a wave.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduledJob {
+    /// The candidate to compact.
+    pub id: CandidateId,
+    /// Wave index (0 = first). Waves execute sequentially.
+    pub wave: usize,
+}
+
+/// Arranges selected candidates into execution waves.
+pub trait Scheduler {
+    /// Scheduler name for reports.
+    fn name(&self) -> &str;
+    /// Produces the wave assignment. Order within the slice is ranking
+    /// order (best first); schedulers must preserve determinism.
+    fn plan(&self, selected: &[&Candidate]) -> Vec<ScheduledJob>;
+}
+
+/// Everything in one wave — the configuration that §4.4/§6 observed
+/// causing conflicts for same-table partitions under strict conflict
+/// resolution. Kept for ablations.
+#[derive(Debug, Default)]
+pub struct AllParallelScheduler;
+
+impl Scheduler for AllParallelScheduler {
+    fn name(&self) -> &str {
+        "all-parallel"
+    }
+    fn plan(&self, selected: &[&Candidate]) -> Vec<ScheduledJob> {
+        selected
+            .iter()
+            .map(|c| ScheduledJob {
+                id: c.id.clone(),
+                wave: 0,
+            })
+            .collect()
+    }
+}
+
+/// One job per wave — maximally conservative.
+#[derive(Debug, Default)]
+pub struct StrictSequentialScheduler;
+
+impl Scheduler for StrictSequentialScheduler {
+    fn name(&self) -> &str {
+        "strict-sequential"
+    }
+    fn plan(&self, selected: &[&Candidate]) -> Vec<ScheduledJob> {
+        selected
+            .iter()
+            .enumerate()
+            .map(|(i, c)| ScheduledJob {
+                id: c.id.clone(),
+                wave: i,
+            })
+            .collect()
+    }
+}
+
+/// The paper's production arrangement: different tables in parallel, but
+/// candidates of the *same* table strictly sequential (§6).
+#[derive(Debug, Default)]
+pub struct ParallelTablesScheduler;
+
+impl Scheduler for ParallelTablesScheduler {
+    fn name(&self) -> &str {
+        "parallel-tables-sequential-partitions"
+    }
+    fn plan(&self, selected: &[&Candidate]) -> Vec<ScheduledJob> {
+        let mut per_table_next_wave: BTreeMap<u64, usize> = BTreeMap::new();
+        selected
+            .iter()
+            .map(|c| {
+                let wave_slot = per_table_next_wave.entry(c.id.table_uid).or_insert(0);
+                let wave = *wave_slot;
+                *wave_slot += 1;
+                ScheduledJob {
+                    id: c.id.clone(),
+                    wave,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Groups a wave plan into per-wave job lists, in wave order.
+pub fn waves(jobs: &[ScheduledJob]) -> Vec<Vec<&ScheduledJob>> {
+    let max_wave = jobs.iter().map(|j| j.wave).max().map_or(0, |w| w + 1);
+    let mut out: Vec<Vec<&ScheduledJob>> = vec![Vec::new(); max_wave];
+    for job in jobs {
+        out[job.wave].push(job);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::CandidateStats;
+
+    fn candidate(table: u64, partition: &str) -> Candidate {
+        Candidate {
+            id: CandidateId::partition(table, partition),
+            database: "db".into(),
+            table_name: format!("t{table}"),
+            compaction_enabled: true,
+            is_intermediate: false,
+            stats: CandidateStats::default(),
+        }
+    }
+
+    #[test]
+    fn parallel_tables_serializes_same_table_partitions() {
+        let c1 = candidate(1, "(a)");
+        let c2 = candidate(1, "(b)");
+        let c3 = candidate(2, "(a)");
+        let selected = vec![&c1, &c2, &c3];
+        let jobs = ParallelTablesScheduler.plan(&selected);
+        // Table 1's two partitions get waves 0 and 1; table 2 runs in
+        // wave 0 alongside table 1's first.
+        assert_eq!(jobs[0].wave, 0);
+        assert_eq!(jobs[1].wave, 1);
+        assert_eq!(jobs[2].wave, 0);
+        let w = waves(&jobs);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0].len(), 2);
+        assert_eq!(w[1].len(), 1);
+    }
+
+    #[test]
+    fn all_parallel_uses_one_wave() {
+        let c1 = candidate(1, "(a)");
+        let c2 = candidate(1, "(b)");
+        let jobs = AllParallelScheduler.plan(&vec![&c1, &c2]);
+        assert!(jobs.iter().all(|j| j.wave == 0));
+        assert_eq!(waves(&jobs).len(), 1);
+    }
+
+    #[test]
+    fn strict_sequential_uses_one_job_per_wave() {
+        let c1 = candidate(1, "(a)");
+        let c2 = candidate(2, "(a)");
+        let c3 = candidate(3, "(a)");
+        let jobs = StrictSequentialScheduler.plan(&vec![&c1, &c2, &c3]);
+        assert_eq!(
+            jobs.iter().map(|j| j.wave).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+    }
+
+    #[test]
+    fn empty_selection_yields_no_waves() {
+        let jobs = ParallelTablesScheduler.plan(&[]);
+        assert!(jobs.is_empty());
+        assert!(waves(&jobs).is_empty());
+    }
+}

@@ -1,0 +1,155 @@
+//! The standardized observe-phase statistics layout.
+//!
+//! §4.1: "we propose a standardized layout for statistics that
+//! accommodates both generic and custom metrics. Examples of generic
+//! statistics include the number of files in a candidate as well as their
+//! corresponding file sizes. Custom statistics […] could include candidate
+//! access patterns and usage metrics."
+//!
+//! The layout is deliberately platform-agnostic (plain counts, bytes and
+//! an optional bucketed histogram) so any LST/catalog connector can fill
+//! it (NFR3).
+
+use std::collections::BTreeMap;
+
+/// Namespace-quota signal for the candidate's database (§7's
+/// `UsedQuota / TotalQuota`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuotaSignal {
+    /// Objects currently used.
+    pub used: u64,
+    /// Total quota; `u64::MAX` = unlimited.
+    pub total: u64,
+}
+
+impl QuotaSignal {
+    /// Utilization in `[0, ∞)`; unlimited quotas report 0.
+    pub fn utilization(&self) -> f64 {
+        if self.total == 0 || self.total == u64::MAX {
+            0.0
+        } else {
+            self.used as f64 / self.total as f64
+        }
+    }
+}
+
+/// One bucket of a file-size histogram: `count` files with sizes at or
+/// below `upper_bytes` (and above the previous bucket's edge). `None`
+/// marks the unbounded overflow bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeBucket {
+    /// Inclusive upper edge in bytes; `None` = overflow bucket.
+    pub upper_bytes: Option<u64>,
+    /// Files in the bucket.
+    pub count: u64,
+}
+
+/// Generic + custom statistics for one compaction candidate.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CandidateStats {
+    /// Live files in scope (data + delete files).
+    pub file_count: u64,
+    /// Data files strictly smaller than the target size.
+    pub small_file_count: u64,
+    /// Bytes in those small files (what a rewrite would process).
+    pub small_bytes: u64,
+    /// Total live bytes in scope.
+    pub total_bytes: u64,
+    /// Merge-on-Read delete files in scope.
+    pub delete_file_count: u64,
+    /// Partitions in scope.
+    pub partition_count: u64,
+    /// Target file size the small-file metrics were computed against.
+    pub target_file_size: u64,
+    /// Table creation timestamp.
+    pub created_at_ms: u64,
+    /// Last write commit, if any.
+    pub last_write_ms: Option<u64>,
+    /// Recent write frequency (writes/hour).
+    pub write_frequency_per_hour: f64,
+    /// Database quota signal, if the platform exposes one.
+    pub quota: Option<QuotaSignal>,
+    /// Bucketed file-size histogram (ascending edges), if available.
+    pub size_histogram: Vec<SizeBucket>,
+    /// Custom platform-specific metrics (§4.1), keyed by name.
+    pub custom: BTreeMap<String, f64>,
+}
+
+impl CandidateStats {
+    /// Fraction of data files that are small; 0.0 when empty.
+    pub fn small_file_fraction(&self) -> f64 {
+        let data_files = self.file_count.saturating_sub(self.delete_file_count);
+        if data_files == 0 {
+            0.0
+        } else {
+            self.small_file_count as f64 / data_files as f64
+        }
+    }
+
+    /// Mean data-file size in bytes; 0 when empty.
+    pub fn avg_file_size(&self) -> u64 {
+        let data_files = self.file_count.saturating_sub(self.delete_file_count);
+        if data_files == 0 {
+            0
+        } else {
+            self.total_bytes / data_files
+        }
+    }
+
+    /// Reads a custom metric.
+    pub fn custom_metric(&self, name: &str) -> Option<f64> {
+        self.custom.get(name).copied()
+    }
+
+    /// Sets a custom metric (builder style).
+    pub fn with_custom(mut self, name: &str, value: f64) -> Self {
+        self.custom.insert(name.to_string(), value);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_handle_empty_and_delete_files() {
+        let mut s = CandidateStats::default();
+        assert_eq!(s.small_file_fraction(), 0.0);
+        assert_eq!(s.avg_file_size(), 0);
+        s.file_count = 10;
+        s.delete_file_count = 2;
+        s.small_file_count = 4;
+        s.total_bytes = 800;
+        assert!((s.small_file_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(s.avg_file_size(), 100);
+    }
+
+    #[test]
+    fn quota_utilization() {
+        assert_eq!(
+            QuotaSignal {
+                used: 50,
+                total: 100
+            }
+            .utilization(),
+            0.5
+        );
+        assert_eq!(
+            QuotaSignal {
+                used: 50,
+                total: u64::MAX
+            }
+            .utilization(),
+            0.0
+        );
+        assert_eq!(QuotaSignal { used: 5, total: 0 }.utilization(), 0.0);
+    }
+
+    #[test]
+    fn custom_metrics_round_trip() {
+        let s = CandidateStats::default().with_custom("scan_count_7d", 42.0);
+        assert_eq!(s.custom_metric("scan_count_7d"), Some(42.0));
+        assert_eq!(s.custom_metric("missing"), None);
+    }
+}

@@ -1,0 +1,175 @@
+//! Execution triggers (§5): periodic and optimize-after-write.
+//!
+//! "Automatic compaction can be implemented in two different ways:
+//! (i) Optimize-After-Write, where a candidate's potential for compaction
+//! is evaluated each time its files are modified, and (ii) Periodic
+//! Compaction, which runs the compaction workflow at regular intervals."
+
+use crate::stats::CandidateStats;
+use crate::traits::TraitComputer;
+
+/// Periodic trigger: fires once per interval boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeriodicTrigger {
+    /// Interval between firings.
+    pub every_ms: u64,
+    last_fired_ms: Option<u64>,
+}
+
+impl PeriodicTrigger {
+    /// Creates a trigger with the given period.
+    pub fn new(every_ms: u64) -> Self {
+        PeriodicTrigger {
+            every_ms: every_ms.max(1),
+            last_fired_ms: None,
+        }
+    }
+
+    /// Whether the trigger should fire at `now_ms`. The first poll always
+    /// fires (bootstrap).
+    pub fn should_fire(&self, now_ms: u64) -> bool {
+        match self.last_fired_ms {
+            None => true,
+            Some(last) => now_ms.saturating_sub(last) >= self.every_ms,
+        }
+    }
+
+    /// Records a firing.
+    pub fn fired(&mut self, now_ms: u64) {
+        self.last_fired_ms = Some(now_ms);
+    }
+
+    /// Last firing time.
+    pub fn last_fired(&self) -> Option<u64> {
+        self.last_fired_ms
+    }
+}
+
+/// How an after-write hook reacts when its threshold is crossed (§5):
+/// immediate triggering "requires an unlimited compaction budget"; the
+/// deferred alternative "decouples the hook from scheduling".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HookMode {
+    /// Compact right now.
+    Immediate,
+    /// Notify the service to recalculate the candidate's traits and let
+    /// the next scheduled cycle decide.
+    Deferred,
+}
+
+/// Action the hook requests from the caller.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HookAction {
+    /// Trigger compaction of the written candidate immediately.
+    TriggerNow,
+    /// Mark the candidate dirty for the next periodic cycle.
+    MarkDirty,
+    /// Below threshold — nothing to do.
+    Ignore,
+}
+
+/// Optimize-after-write hook: evaluates one trait against a threshold
+/// whenever a table is written ("the same traits described earlier can be
+/// used as triggers; if a trait value surpasses a defined threshold, a
+/// compaction operation can either be triggered immediately or […]
+/// notify the auto-compaction service", §5).
+pub struct AfterWriteHook {
+    /// Reaction mode.
+    pub mode: HookMode,
+    /// Trait evaluated on each write.
+    pub trait_computer: Box<dyn TraitComputer>,
+    /// Firing threshold (§6.3 tunes exactly this value).
+    pub threshold: f64,
+}
+
+impl AfterWriteHook {
+    /// Creates a hook.
+    pub fn new(mode: HookMode, trait_computer: Box<dyn TraitComputer>, threshold: f64) -> Self {
+        AfterWriteHook {
+            mode,
+            trait_computer,
+            threshold,
+        }
+    }
+
+    /// Evaluates the hook against post-write candidate statistics.
+    pub fn on_write(&self, stats: &CandidateStats) -> HookAction {
+        let value = self.trait_computer.compute(stats);
+        if value < self.threshold {
+            return HookAction::Ignore;
+        }
+        match self.mode {
+            HookMode::Immediate => HookAction::TriggerNow,
+            HookMode::Deferred => HookAction::MarkDirty,
+        }
+    }
+
+    /// The trait value the hook currently sees (for logging/tuning).
+    pub fn observe(&self, stats: &CandidateStats) -> f64 {
+        self.trait_computer.compute(stats)
+    }
+}
+
+impl std::fmt::Debug for AfterWriteHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AfterWriteHook")
+            .field("mode", &self.mode)
+            .field("trait", &self.trait_computer.name())
+            .field("threshold", &self.threshold)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::FileCountReduction;
+
+    #[test]
+    fn periodic_fires_on_boundaries() {
+        let mut t = PeriodicTrigger::new(3_600_000);
+        assert!(t.should_fire(0), "bootstrap fire");
+        t.fired(0);
+        assert!(!t.should_fire(1_000_000));
+        assert!(t.should_fire(3_600_000));
+        t.fired(3_600_000);
+        assert_eq!(t.last_fired(), Some(3_600_000));
+        assert!(!t.should_fire(7_199_999));
+        assert!(t.should_fire(7_200_000));
+    }
+
+    #[test]
+    fn hook_threshold_gates_action() {
+        let hook = AfterWriteHook::new(
+            HookMode::Immediate,
+            Box::new(FileCountReduction::default()),
+            10.0,
+        );
+        let low = CandidateStats {
+            small_file_count: 5,
+            ..CandidateStats::default()
+        };
+        let high = CandidateStats {
+            small_file_count: 50,
+            ..CandidateStats::default()
+        };
+        assert_eq!(hook.on_write(&low), HookAction::Ignore);
+        assert_eq!(hook.on_write(&high), HookAction::TriggerNow);
+        assert_eq!(hook.observe(&high), 50.0);
+    }
+
+    #[test]
+    fn deferred_mode_marks_dirty() {
+        let hook = AfterWriteHook::new(
+            HookMode::Deferred,
+            Box::new(FileCountReduction::default()),
+            10.0,
+        );
+        let high = CandidateStats {
+            small_file_count: 50,
+            ..CandidateStats::default()
+        };
+        assert_eq!(hook.on_write(&high), HookAction::MarkDirty);
+        assert!(format!("{hook:?}").contains("file_count_reduction"));
+    }
+}

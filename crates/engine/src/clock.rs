@@ -1,0 +1,72 @@
+//! Simulated wall clock and time constants.
+
+/// Milliseconds per second.
+pub const MS_PER_SEC: u64 = 1_000;
+/// Milliseconds per minute.
+pub const MS_PER_MIN: u64 = 60 * MS_PER_SEC;
+/// Milliseconds per hour.
+pub const MS_PER_HOUR: u64 = 60 * MS_PER_MIN;
+/// Milliseconds per day.
+pub const MS_PER_DAY: u64 = 24 * MS_PER_HOUR;
+
+/// A monotonically advancing simulated clock.
+///
+/// The experiment driver owns time: it advances the clock and passes
+/// explicit `now` values into engine calls. The clock only enforces
+/// monotonicity, which keeps every component's view of time consistent
+/// (paper NFR2: deterministic, explainable behaviour).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimClock {
+    now_ms: u64,
+}
+
+impl SimClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulated time in milliseconds.
+    pub fn now(&self) -> u64 {
+        self.now_ms
+    }
+
+    /// Advances the clock by `delta_ms`.
+    pub fn advance(&mut self, delta_ms: u64) {
+        self.now_ms += delta_ms;
+    }
+
+    /// Moves the clock forward to `t_ms`; never moves backwards.
+    pub fn advance_to(&mut self, t_ms: u64) {
+        if t_ms > self.now_ms {
+            self.now_ms = t_ms;
+        }
+    }
+
+    /// Current time expressed in fractional hours.
+    pub fn hours(&self) -> f64 {
+        self.now_ms as f64 / MS_PER_HOUR as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_monotonically() {
+        let mut c = SimClock::new();
+        c.advance(500);
+        c.advance_to(300); // ignored: would move backwards
+        assert_eq!(c.now(), 500);
+        c.advance_to(2 * MS_PER_HOUR);
+        assert_eq!(c.now(), 2 * MS_PER_HOUR);
+        assert!((c.hours() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constants_compose() {
+        assert_eq!(MS_PER_DAY, 24 * 60 * 60 * 1000);
+        assert_eq!(MS_PER_HOUR, 3_600_000);
+    }
+}

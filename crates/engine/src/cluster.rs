@@ -1,0 +1,289 @@
+//! Cluster model: executors, queueing, and GB·hr accounting.
+//!
+//! Mirrors the paper's §6 setup: a query-processing cluster (1 driver + 15
+//! executors) and a compaction cluster (1 driver + 3 executors), each node
+//! an E8s v3 (8 cores, 64GB). The model keeps one availability horizon per
+//! executor: submitting a task splits its work across the least-loaded
+//! executors and pushes their horizons forward, which produces queueing
+//! delay under contention — the effect behind the no-compaction baseline's
+//! "additional 25 minutes of overhead" (§6.2).
+
+use crate::clock::MS_PER_HOUR;
+
+/// What an application does, for per-kind accounting (Fig. 7 reports the
+/// mean GBHr of compaction applications).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AppKind {
+    /// Read-only query.
+    Query,
+    /// User write job.
+    Write,
+    /// Compaction (rewrite) job.
+    Compaction,
+    /// Other maintenance (snapshot expiry, orphan cleanup).
+    Maintenance,
+}
+
+/// Static cluster configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterConfig {
+    /// Cluster name, referenced by workloads and the scheduler.
+    pub name: String,
+    /// Number of executors.
+    pub executors: usize,
+    /// Memory per executor in GB (the paper's `ExecutorMemoryGB`).
+    pub executor_memory_gb: f64,
+}
+
+impl ClusterConfig {
+    /// The paper's 15-executor query cluster of 64GB nodes.
+    pub fn query_default(name: impl Into<String>) -> Self {
+        ClusterConfig {
+            name: name.into(),
+            executors: 15,
+            executor_memory_gb: 64.0,
+        }
+    }
+
+    /// The paper's 3-executor compaction cluster.
+    pub fn compaction_default(name: impl Into<String>) -> Self {
+        ClusterConfig {
+            name: name.into(),
+            executors: 3,
+            executor_memory_gb: 64.0,
+        }
+    }
+}
+
+/// Completed-application record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AppMetrics {
+    /// Application id (unique per environment).
+    pub app_id: u64,
+    /// Application kind.
+    pub kind: AppKind,
+    /// Submission time.
+    pub submitted_ms: u64,
+    /// Start of execution (after queueing).
+    pub started_ms: u64,
+    /// Completion time.
+    pub finished_ms: u64,
+    /// GB·hours consumed (executor-ms × memory).
+    pub gbhr: f64,
+}
+
+impl AppMetrics {
+    /// Queueing delay experienced before execution started.
+    pub fn queue_ms(&self) -> u64 {
+        self.started_ms - self.submitted_ms
+    }
+
+    /// End-to-end latency.
+    pub fn latency_ms(&self) -> u64 {
+        self.finished_ms - self.submitted_ms
+    }
+}
+
+/// Outcome of submitting one task to a cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskOutcome {
+    /// When execution began (≥ submission time).
+    pub started_ms: u64,
+    /// When execution finished.
+    pub finished_ms: u64,
+    /// GB·hours consumed.
+    pub gbhr: f64,
+}
+
+/// A simulated compute cluster.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    config: ClusterConfig,
+    /// Per-executor availability horizon (ms).
+    available_at: Vec<u64>,
+    apps: Vec<AppMetrics>,
+    next_app: u64,
+}
+
+impl Cluster {
+    /// Creates an idle cluster.
+    pub fn new(config: ClusterConfig) -> Self {
+        let executors = config.executors.max(1);
+        Cluster {
+            config,
+            available_at: vec![0; executors],
+            apps: Vec::new(),
+            next_app: 1,
+        }
+    }
+
+    /// Cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Submits a task of `work_ms` total single-executor work, splittable
+    /// across up to `parallelism` executors. Returns when it starts and
+    /// finishes and what it costs.
+    ///
+    /// Scheduling picks the `p` least-loaded executors (deterministic:
+    /// ties broken by executor index), gives each an equal slice, and
+    /// moves their availability horizons to their slice end.
+    pub fn submit(
+        &mut self,
+        now_ms: u64,
+        work_ms: f64,
+        parallelism: usize,
+        kind: AppKind,
+    ) -> TaskOutcome {
+        let p = parallelism.clamp(1, self.available_at.len());
+        // Least-loaded executors first; stable tie-break on index.
+        let mut order: Vec<usize> = (0..self.available_at.len()).collect();
+        order.sort_by_key(|&i| (self.available_at[i], i));
+        let chosen = &order[..p];
+        let slice_ms = (work_ms / p as f64).max(0.0);
+        let mut started = u64::MAX;
+        let mut finished = 0u64;
+        for &i in chosen {
+            let start = self.available_at[i].max(now_ms);
+            let end = start + slice_ms.ceil() as u64;
+            self.available_at[i] = end;
+            started = started.min(start);
+            finished = finished.max(end);
+        }
+        if started == u64::MAX {
+            started = now_ms;
+            finished = now_ms;
+        }
+        let gbhr =
+            self.config.executor_memory_gb * (work_ms / MS_PER_HOUR as f64);
+        let app_id = self.next_app;
+        self.next_app += 1;
+        self.apps.push(AppMetrics {
+            app_id,
+            kind,
+            submitted_ms: now_ms,
+            started_ms: started,
+            finished_ms: finished,
+            gbhr,
+        });
+        TaskOutcome {
+            started_ms: started,
+            finished_ms: finished,
+            gbhr,
+        }
+    }
+
+    /// Earliest time any executor is free at or after `now_ms`.
+    pub fn earliest_available(&self, now_ms: u64) -> u64 {
+        self.available_at
+            .iter()
+            .map(|&a| a.max(now_ms))
+            .min()
+            .unwrap_or(now_ms)
+    }
+
+    /// All completed application records.
+    pub fn apps(&self) -> &[AppMetrics] {
+        &self.apps
+    }
+
+    /// Applications of one kind.
+    pub fn apps_of_kind(&self, kind: AppKind) -> impl Iterator<Item = &AppMetrics> {
+        self.apps.iter().filter(move |a| a.kind == kind)
+    }
+
+    /// Mean GBHr of applications of one kind — the Fig. 7 metric
+    /// (`GBHrApp`). Returns 0.0 when there are none.
+    pub fn mean_gbhr(&self, kind: AppKind) -> f64 {
+        let mut n = 0u64;
+        let mut total = 0.0;
+        for a in self.apps_of_kind(kind) {
+            n += 1;
+            total += a.gbhr;
+        }
+        if n == 0 {
+            0.0
+        } else {
+            total / n as f64
+        }
+    }
+
+    /// Total GBHr consumed by applications of one kind.
+    pub fn total_gbhr(&self, kind: AppKind) -> f64 {
+        self.apps_of_kind(kind).map(|a| a.gbhr).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(executors: usize) -> Cluster {
+        Cluster::new(ClusterConfig {
+            name: "test".into(),
+            executors,
+            executor_memory_gb: 64.0,
+        })
+    }
+
+    #[test]
+    fn parallelism_shortens_latency_not_cost() {
+        let mut serial = cluster(4);
+        let s = serial.submit(0, 40_000.0, 1, AppKind::Query);
+        let mut parallel = cluster(4);
+        let p = parallel.submit(0, 40_000.0, 4, AppKind::Query);
+        assert_eq!(s.finished_ms, 40_000);
+        assert_eq!(p.finished_ms, 10_000);
+        assert!((s.gbhr - p.gbhr).abs() < 1e-9, "cost is work × memory");
+    }
+
+    #[test]
+    fn contention_queues_tasks() {
+        let mut c = cluster(1);
+        let a = c.submit(0, 10_000.0, 1, AppKind::Query);
+        let b = c.submit(1_000, 10_000.0, 1, AppKind::Query);
+        assert_eq!(a.finished_ms, 10_000);
+        assert_eq!(b.started_ms, 10_000, "must wait for the busy executor");
+        assert_eq!(b.finished_ms, 20_000);
+        let m = &c.apps()[1];
+        assert_eq!(m.queue_ms(), 9_000);
+        assert_eq!(m.latency_ms(), 19_000);
+    }
+
+    #[test]
+    fn picks_least_loaded_executors() {
+        let mut c = cluster(2);
+        c.submit(0, 20_000.0, 1, AppKind::Query); // executor 0 busy to 20s
+        let b = c.submit(0, 5_000.0, 1, AppKind::Query); // goes to executor 1
+        assert_eq!(b.started_ms, 0);
+        assert_eq!(b.finished_ms, 5_000);
+    }
+
+    #[test]
+    fn gbhr_accounting_matches_formula() {
+        let mut c = cluster(3);
+        c.submit(0, MS_PER_HOUR as f64, 3, AppKind::Compaction);
+        // One hour of 64GB executor work = 64 GBHr regardless of split.
+        assert!((c.total_gbhr(AppKind::Compaction) - 64.0).abs() < 1e-9);
+        assert!((c.mean_gbhr(AppKind::Compaction) - 64.0).abs() < 1e-9);
+        assert_eq!(c.mean_gbhr(AppKind::Query), 0.0);
+    }
+
+    #[test]
+    fn default_configs_match_paper_topology() {
+        let q = ClusterConfig::query_default("q");
+        let c = ClusterConfig::compaction_default("c");
+        assert_eq!(q.executors, 15);
+        assert_eq!(c.executors, 3);
+        assert_eq!(q.executor_memory_gb, 64.0);
+    }
+
+    #[test]
+    fn earliest_available_reflects_load() {
+        let mut c = cluster(2);
+        assert_eq!(c.earliest_available(5), 5);
+        c.submit(0, 10_000.0, 2, AppKind::Write);
+        assert_eq!(c.earliest_available(0), 5_000);
+    }
+}

@@ -1,0 +1,209 @@
+//! The engine cost model.
+//!
+//! Latency and resource figures in the paper's evaluation derive from a
+//! handful of physical drivers; this module makes each explicit:
+//!
+//! * **per-file open overhead** — the core small-file penalty. Each data
+//!   file adds fixed work (NameNode RPC, footer read, decoder setup),
+//!   multiplied by the storage congestion factor.
+//! * **per-byte scan/write work** — bandwidth-bound processing.
+//! * **manifest planning overhead** — metadata bloat slows planning
+//!   ("causing metadata size to grow and increasing the time required for
+//!   query processing", §1).
+//! * **task startup** — FR1's caveat: "we must remain aware of the
+//!   start-up cost of instantiating more compaction tasks".
+//! * **GBHr estimation** — the paper's §4.2 compute-cost trait:
+//!   `GBHr_c = ExecutorMemoryGB × DataSize_c / RewriteBytesPerHour`.
+
+use lakesim_lst::ScanPlan;
+use lakesim_storage::GB;
+
+/// Tunable cost-model parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Fixed driver-side planning cost per manifest opened (ms).
+    pub per_manifest_open_ms: f64,
+    /// Driver-side planning cost per manifest entry (ms).
+    pub per_manifest_entry_ms: f64,
+    /// Executor work per data file opened (ms), before congestion.
+    pub per_file_open_ms: f64,
+    /// Executor work per GB scanned (ms).
+    pub per_gb_scan_ms: f64,
+    /// Executor work per GB written (ms).
+    pub per_gb_write_ms: f64,
+    /// Extra read work per delete file that must be merged (ms).
+    pub per_delete_file_ms: f64,
+    /// Fixed startup cost per submitted task (ms).
+    pub task_startup_ms: f64,
+    /// Commit round-trip latency (ms).
+    pub commit_ms: u64,
+    /// Driver-side coordination overhead of a write job (app spin-up,
+    /// shuffle planning, commit protocol) added to its end-to-end window.
+    /// Real Spark writes run minutes even for modest data; this is what
+    /// makes concurrent writes' optimistic windows overlap (Table 1).
+    pub write_job_overhead_ms: u64,
+    /// Backoff before a conflicted client retries (ms).
+    pub retry_backoff_ms: u64,
+    /// Penalty added per NameNode read timeout (client retry latency, ms).
+    pub timeout_retry_ms: f64,
+    /// Maximum client-side retries before a write fails permanently.
+    pub max_retries: u32,
+    /// Throughput assumed by the §4.2 GBHr estimator (bytes/hour).
+    pub rewrite_bytes_per_hour: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            per_manifest_open_ms: 5.0,
+            per_manifest_entry_ms: 0.05,
+            // Per-file fixed work: NameNode RPC + footer read + decoder +
+            // task scheduling. Small files pay this per task and it does
+            // not amortize — the paper's core penalty.
+            per_file_open_ms: 110.0,
+            per_gb_scan_ms: 3_000.0,
+            per_gb_write_ms: 6_000.0,
+            per_delete_file_ms: 300.0,
+            task_startup_ms: 800.0,
+            commit_ms: 500,
+            write_job_overhead_ms: 60_000,
+            retry_backoff_ms: 5_000,
+            timeout_retry_ms: 2_000.0,
+            max_retries: 3,
+            // The estimator's assumed throughput. Actual jobs achieve
+            // ~400GB/h of pure byte work minus per-file overheads, so this
+            // slightly optimistic figure under-estimates cost by ~15-25%
+            // — the direction and magnitude §7 reports (−19%).
+            rewrite_bytes_per_hour: 500 * GB,
+        }
+    }
+}
+
+impl CostModel {
+    /// Driver-side planning time for a scan (ms).
+    pub fn planning_ms(&self, plan: &ScanPlan) -> f64 {
+        self.per_manifest_open_ms * plan.manifests_opened as f64
+            + self.per_manifest_entry_ms * plan.manifest_entries as f64
+    }
+
+    /// Total executor work to execute a scan (ms of single-executor time),
+    /// given the storage congestion factor at plan time.
+    pub fn scan_work_ms(&self, plan: &ScanPlan, congestion: f64) -> f64 {
+        let opens = self.per_file_open_ms * congestion * plan.file_count() as f64;
+        let deletes = self.per_delete_file_ms * congestion * plan.delete_files as f64;
+        let bytes = self.per_gb_scan_ms * (plan.bytes as f64 / GB as f64);
+        opens + deletes + bytes
+    }
+
+    /// Total executor work to write `bytes` across `files` files (ms).
+    pub fn write_work_ms(&self, bytes: u64, files: u64, congestion: f64) -> f64 {
+        self.per_gb_write_ms * (bytes as f64 / GB as f64)
+            + self.per_file_open_ms * congestion * files as f64
+    }
+
+    /// Total executor work for a rewrite that reads `input_bytes` over
+    /// `input_files` files and writes the same bytes into `output_files`.
+    pub fn rewrite_work_ms(
+        &self,
+        input_bytes: u64,
+        input_files: u64,
+        output_files: u64,
+        congestion: f64,
+    ) -> f64 {
+        let read = self.per_gb_scan_ms * (input_bytes as f64 / GB as f64)
+            + self.per_file_open_ms * congestion * input_files as f64;
+        let write = self.per_gb_write_ms * (input_bytes as f64 / GB as f64)
+            + self.per_file_open_ms * congestion * output_files as f64;
+        read + write
+    }
+
+    /// The paper's compute-cost estimator (§4.2):
+    /// `GBHr = ExecutorMemoryGB × (DataSize / RewriteBytesPerHour)`.
+    pub fn estimate_gbhr(&self, executor_memory_gb: f64, data_size_bytes: u64) -> f64 {
+        executor_memory_gb * (data_size_bytes as f64 / self.rewrite_bytes_per_hour as f64)
+    }
+}
+
+/// Reference workload sanity anchor used in tests: scanning 1GB in one
+/// 512MB-target file layout must be much cheaper than in a 4MB-file layout.
+pub fn small_file_penalty_example(model: &CostModel) -> (f64, f64) {
+    use lakesim_lst::PartitionFilter;
+    let _ = PartitionFilter::All; // anchor the import for doc purposes
+    let compact_files = 2.0; // 2 × 512MB
+    let fragmented_files = 256.0; // 256 × 4MB
+    let per_byte = model.per_gb_scan_ms;
+    let compact = per_byte + model.per_file_open_ms * compact_files;
+    let fragmented = per_byte + model.per_file_open_ms * fragmented_files;
+    (compact, fragmented)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lakesim_lst::ScanPlan;
+
+    fn plan(files: usize, bytes: u64, manifests: u64, entries: u64) -> ScanPlan {
+        use lakesim_lst::{DataFile, PartitionKey};
+        use lakesim_storage::FileId;
+        let per = if files > 0 { bytes / files as u64 } else { 0 };
+        ScanPlan {
+            files: (0..files)
+                .map(|i| DataFile::data(FileId(i as u64 + 1), PartitionKey::unpartitioned(), 1, per.max(1)))
+                .collect(),
+            delete_files: 0,
+            bytes,
+            manifests_opened: manifests,
+            manifest_entries: entries,
+            partitions: 1,
+        }
+    }
+
+    #[test]
+    fn small_files_cost_more_for_equal_bytes() {
+        let m = CostModel::default();
+        let compact = plan(2, GB, 1, 2);
+        let fragmented = plan(256, GB, 10, 256);
+        let c = m.scan_work_ms(&compact, 1.0);
+        let f = m.scan_work_ms(&fragmented, 1.0);
+        assert!(f > 2.0 * c, "fragmented {f} vs compact {c}");
+        assert!(m.planning_ms(&fragmented) > m.planning_ms(&compact));
+    }
+
+    #[test]
+    fn congestion_amplifies_open_cost_only() {
+        let m = CostModel::default();
+        let p = plan(100, GB, 1, 100);
+        let base = m.scan_work_ms(&p, 1.0);
+        let congested = m.scan_work_ms(&p, 2.0);
+        let open_part = m.per_file_open_ms * 100.0;
+        assert!((congested - base - open_part).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gbhr_matches_paper_formula() {
+        let m = CostModel::default();
+        // 64GB executor memory, data = one hour of throughput → 64 GBHr.
+        let gbhr = m.estimate_gbhr(64.0, m.rewrite_bytes_per_hour);
+        assert!((gbhr - 64.0).abs() < 1e-9);
+        // Half the data → half the cost.
+        let gbhr2 = m.estimate_gbhr(64.0, m.rewrite_bytes_per_hour / 2);
+        assert!((gbhr2 - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rewrite_work_scales_with_inputs_and_bytes() {
+        let m = CostModel::default();
+        let small = m.rewrite_work_ms(256 * (1 << 20), 4, 1, 1.0);
+        let large = m.rewrite_work_ms(GB, 256, 2, 1.0);
+        assert!(large > small);
+        // Write side dominates read side for equal file counts.
+        assert!(m.per_gb_write_ms > m.per_gb_scan_ms);
+    }
+
+    #[test]
+    fn penalty_example_is_monotone() {
+        let m = CostModel::default();
+        let (compact, fragmented) = small_file_penalty_example(&m);
+        assert!(fragmented > compact);
+    }
+}

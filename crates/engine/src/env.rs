@@ -1,0 +1,832 @@
+//! The simulation environment: storage + catalog + clusters + cost model
+//! + the deferred-commit queue.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, BTreeMap};
+
+use crate::clock::SimClock;
+use crate::cluster::{AppKind, Cluster, ClusterConfig};
+use crate::cost::CostModel;
+use crate::error::EngineError;
+use crate::metrics::{
+    CommitEvent, ConflictEvent, ConflictSide, EngineMetrics, LatencySample, QueryClass,
+};
+use crate::pending::{PendingCommit, PendingEntry, PendingKind};
+use crate::query::{QueryResult, ReadSpec, WriteOp, WriteSpec};
+use crate::rng::SimRng;
+use crate::writer::{chunk_bytes, split_across_partitions};
+use crate::Result;
+use lakesim_catalog::{Catalog, JobStatus, MaintenanceLog, MaintenanceRecord, TablePolicy, TelemetryStore};
+use lakesim_lst::{
+    DataFile, OpKind, PartitionSpec, Schema, TableId, TableProperties, Transaction,
+};
+use lakesim_storage::{FileId, FileKind, FsConfig, SimFileSystem, KB};
+
+/// Size of each LST metadata object materialized in storage.
+const METADATA_OBJECT_BYTES: u64 = 64 * KB;
+
+/// Environment construction parameters.
+#[derive(Debug, Clone)]
+pub struct EnvConfig {
+    /// Master seed; every stochastic choice derives from it.
+    pub seed: u64,
+    /// Storage configuration.
+    pub fs: FsConfig,
+    /// Cost model.
+    pub cost: CostModel,
+    /// Clusters to provision.
+    pub clusters: Vec<ClusterConfig>,
+}
+
+impl Default for EnvConfig {
+    fn default() -> Self {
+        EnvConfig {
+            seed: 0,
+            fs: FsConfig::default(),
+            cost: CostModel::default(),
+            clusters: vec![
+                ClusterConfig::query_default("query"),
+                ClusterConfig::compaction_default("compaction"),
+            ],
+        }
+    }
+}
+
+/// The complete simulated lake environment.
+///
+/// Owns every substrate exclusively — no interior mutability, no threads —
+/// so a run is a pure function of `(EnvConfig, driver calls)` (NFR2).
+#[derive(Debug, Clone)]
+pub struct SimEnv {
+    /// Simulated clock (driver-advanced).
+    pub clock: SimClock,
+    /// Deterministic RNG.
+    pub rng: SimRng,
+    /// Simulated HDFS.
+    pub fs: SimFileSystem,
+    /// OpenHouse-like catalog.
+    pub catalog: Catalog,
+    /// Telemetry store.
+    pub telemetry: TelemetryStore,
+    /// Maintenance-job log.
+    pub maintenance: MaintenanceLog,
+    /// Engine metrics.
+    pub metrics: EngineMetrics,
+    cost: CostModel,
+    clusters: BTreeMap<String, Cluster>,
+    pending: BinaryHeap<Reverse<PendingEntry>>,
+    next_seq: u64,
+    /// Metadata objects per table, oldest first (reclaimed by expiry).
+    table_meta_files: BTreeMap<TableId, Vec<FileId>>,
+    seed: u64,
+}
+
+impl SimEnv {
+    /// Builds an environment from configuration.
+    pub fn new(config: EnvConfig) -> Self {
+        let clusters = config
+            .clusters
+            .into_iter()
+            .map(|c| (c.name.clone(), Cluster::new(c)))
+            .collect();
+        SimEnv {
+            clock: SimClock::new(),
+            rng: SimRng::seed_from_u64(config.seed),
+            fs: SimFileSystem::new(config.fs),
+            catalog: Catalog::new(),
+            telemetry: TelemetryStore::new(),
+            maintenance: MaintenanceLog::new(),
+            metrics: EngineMetrics::default(),
+            cost: config.cost,
+            clusters,
+            pending: BinaryHeap::new(),
+            next_seq: 0,
+            table_meta_files: BTreeMap::new(),
+            seed: config.seed,
+        }
+    }
+
+    /// The master seed this environment was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The cost model.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Immutable access to a cluster.
+    pub fn cluster(&self, name: &str) -> Option<&Cluster> {
+        self.clusters.get(name)
+    }
+
+    /// Cluster names, sorted.
+    pub fn cluster_names(&self) -> Vec<&str> {
+        self.clusters.keys().map(String::as_str).collect()
+    }
+
+    pub(crate) fn cluster_mut(&mut self, name: &str) -> Result<&mut Cluster> {
+        self.clusters
+            .get_mut(name)
+            .ok_or_else(|| EngineError::UnknownCluster(name.to_string()))
+    }
+
+    /// Creates a database in the catalog and its backing namespace with an
+    /// optional object quota.
+    pub fn create_database(&mut self, name: &str, tenant: &str, quota: Option<u64>) -> Result<()> {
+        self.catalog.create_database(name, tenant)?;
+        self.fs.create_namespace(name, quota)?;
+        Ok(())
+    }
+
+    /// Creates a table under an existing database.
+    pub fn create_table(
+        &mut self,
+        database: &str,
+        name: &str,
+        schema: Schema,
+        spec: PartitionSpec,
+        properties: TableProperties,
+        policy: TablePolicy,
+    ) -> Result<TableId> {
+        let now = self.clock.now();
+        Ok(self
+            .catalog
+            .create_table(database, name, schema, spec, properties, policy, now)?)
+    }
+
+    /// Executes a read query at `now_ms`. Completes synchronously (reads
+    /// commit nothing); contention is reflected through cluster queueing.
+    pub fn submit_read(&mut self, spec: &ReadSpec, now_ms: u64) -> Result<QueryResult> {
+        self.clock.advance_to(now_ms);
+        // A reader starting at `now` sees every commit completed by `now`.
+        let _ = self.drain_up_to(now_ms);
+        let plan = {
+            let entry = self.catalog.table_mut(spec.table)?;
+            entry.usage.record_read(now_ms);
+            entry.table.plan_scan(&spec.filter)
+        };
+        let open_count = plan.file_count() + plan.delete_files;
+        let (congestion, timeouts) = self.fs.open_files_batch(open_count, now_ms);
+        self.metrics.read_timeouts += timeouts;
+        let planning_ms = self.cost.planning_ms(&plan);
+        let work = self.cost.scan_work_ms(&plan, congestion)
+            + timeouts as f64 * self.cost.timeout_retry_ms
+            + self.cost.task_startup_ms;
+        let parallelism = spec.parallelism.max(1).min(plan.files.len().max(1));
+        let start = now_ms + planning_ms.ceil() as u64;
+        let outcome =
+            self.cluster_mut(&spec.cluster)?
+                .submit(start, work, parallelism, AppKind::Query);
+        let latency = (outcome.finished_ms - now_ms) as f64;
+        self.metrics.latencies.push(LatencySample {
+            at_ms: now_ms,
+            class: QueryClass::ReadOnly,
+            latency_ms: latency,
+            table: spec.table,
+        });
+        Ok(QueryResult {
+            submitted_ms: now_ms,
+            finished_ms: outcome.finished_ms,
+            latency_ms: latency,
+            files_scanned: plan.file_count(),
+            bytes_scanned: plan.bytes,
+            planning_ms,
+            read_timeouts: timeouts,
+            files_written: 0,
+            class: QueryClass::ReadOnly,
+        })
+    }
+
+    /// Submits a write query at `now_ms`. The transaction begins now (base
+    /// snapshot captured) and is queued to commit when its job finishes;
+    /// call [`Self::drain_due`] as time advances to apply it.
+    pub fn submit_write(&mut self, spec: &WriteSpec, now_ms: u64) -> Result<QueryResult> {
+        self.clock.advance_to(now_ms);
+        // A transaction beginning at `now` reads the table state as of
+        // `now`: apply commits that completed earlier first.
+        let _ = self.drain_up_to(now_ms);
+        if spec.total_bytes == 0 {
+            return Err(EngineError::EmptyWrite);
+        }
+        if spec.partitions.is_empty() {
+            return Err(EngineError::EmptyWrite);
+        }
+        self.metrics.write_queries.push((now_ms, spec.table));
+        let (database, row_width, base, op_kind, removed) = {
+            let entry = self.catalog.table(spec.table)?;
+            let op_kind = match spec.op {
+                WriteOp::Insert => OpKind::Append,
+                WriteOp::MergeOnReadDelta => OpKind::RowDelta,
+                WriteOp::CopyOnWriteOverwrite => OpKind::OverwritePartitions,
+            };
+            let removed: Vec<FileId> = if spec.op == WriteOp::CopyOnWriteOverwrite {
+                spec.partitions
+                    .iter()
+                    .filter_map(|p| entry.table.files_in_partition(p))
+                    .flatten()
+                    .copied()
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            (
+                entry.table.database().to_string(),
+                entry.table.schema().estimated_row_width(),
+                entry.table.current_snapshot_id(),
+                op_kind,
+                removed,
+            )
+        };
+
+        // Materialize output files in storage (quota enforced here).
+        let per_partition = split_across_partitions(
+            spec.total_bytes,
+            spec.partitions.len(),
+            spec.partition_skew,
+        );
+        let mut txn = Transaction::new(base, op_kind);
+        let mut written = Vec::new();
+        let mut total_files = 0u64;
+        for (partition, bytes) in spec.partitions.iter().zip(per_partition) {
+            if bytes == 0 {
+                continue;
+            }
+            for size in chunk_bytes(bytes, &spec.file_size, &mut self.rng) {
+                let created = self.fs.create_file(&database, FileKind::Data, size, now_ms);
+                let id = match created {
+                    Ok(id) => id,
+                    Err(e) => {
+                        // Quota breach: roll back partial outputs, fail the
+                        // query (the §7 "frequent breaches of user HDFS
+                        // namespace quotas" failure mode).
+                        self.metrics.quota_failures += 1;
+                        self.cleanup_orphans(&written, now_ms);
+                        return Err(e.into());
+                    }
+                };
+                written.push(id);
+                total_files += 1;
+                let rows = (size / row_width).max(1);
+                let file = if spec.op == WriteOp::MergeOnReadDelta {
+                    DataFile::position_deletes(id, partition.clone(), rows, size)
+                } else {
+                    DataFile::data(id, partition.clone(), rows, size)
+                };
+                txn.add_file(file);
+            }
+        }
+        if written.is_empty() {
+            return Err(EngineError::EmptyWrite);
+        }
+        for id in &removed {
+            txn.remove_file(*id);
+        }
+        for p in &spec.partitions {
+            txn.declare_partition(p.clone());
+        }
+
+        let congestion = self.fs.congestion_factor();
+        let mut work = self.cost.write_work_ms(spec.total_bytes, total_files, congestion)
+            + self.cost.task_startup_ms;
+        if spec.op == WriteOp::CopyOnWriteOverwrite {
+            // CoW must read the replaced files too.
+            let replaced_bytes: u64 = {
+                let entry = self.catalog.table(spec.table)?;
+                removed
+                    .iter()
+                    .filter_map(|id| entry.table.file(*id))
+                    .map(|f| f.file_size_bytes)
+                    .sum()
+            };
+            work += self.cost.per_gb_scan_ms * (replaced_bytes as f64 / lakesim_storage::GB as f64);
+        }
+        let parallelism = spec.parallelism.max(1);
+        let outcome =
+            self.cluster_mut(&spec.cluster)?
+                .submit(now_ms, work, parallelism, AppKind::Write);
+        let due = outcome.finished_ms + self.cost.write_job_overhead_ms + self.cost.commit_ms;
+        let commit = PendingCommit {
+            table: spec.table,
+            txn,
+            kind: PendingKind::UserWrite {
+                op: spec.op,
+                partitions: spec.partitions.clone(),
+                retries_left: self.cost.max_retries,
+            },
+            written_files: written,
+            inputs_to_delete: Vec::new(),
+            submitted_ms: now_ms,
+            gbhr: outcome.gbhr,
+        };
+        self.enqueue(due, commit);
+        Ok(QueryResult {
+            submitted_ms: now_ms,
+            finished_ms: due,
+            latency_ms: (due - now_ms) as f64,
+            files_scanned: 0,
+            bytes_scanned: 0,
+            planning_ms: 0.0,
+            read_timeouts: 0,
+            files_written: total_files,
+            class: QueryClass::ReadWrite,
+        })
+    }
+
+    /// Enqueues a pending commit at `due_ms`.
+    pub(crate) fn enqueue(&mut self, due_ms: u64, commit: PendingCommit) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending.push(Reverse(PendingEntry {
+            due_ms,
+            seq,
+            commit,
+        }));
+    }
+
+    /// Applies every pending commit due at or before `now_ms`, in
+    /// completion order, then advances the clock to `now_ms`. The driver
+    /// must call this before reading table state at a new timestamp.
+    pub fn drain_due(&mut self, now_ms: u64) -> Vec<CommitEvent> {
+        let events = self.drain_up_to(now_ms);
+        self.clock.advance_to(now_ms);
+        events
+    }
+
+    /// Applies all remaining pending commits (end of experiment). The
+    /// clock advances only to the last commit's due time, not to infinity.
+    pub fn drain_all(&mut self) -> Vec<CommitEvent> {
+        let events = self.drain_up_to(u64::MAX);
+        if let Some(last) = events.last() {
+            self.clock.advance_to(last.at_ms);
+        }
+        events
+    }
+
+    fn drain_up_to(&mut self, deadline_ms: u64) -> Vec<CommitEvent> {
+        let mut events = Vec::new();
+        while let Some(Reverse(entry)) = self.pending.peek() {
+            if entry.due_ms > deadline_ms {
+                break;
+            }
+            let Reverse(entry) = self.pending.pop().expect("peeked");
+            let event = self.apply_commit(entry);
+            events.push(event);
+        }
+        events
+    }
+
+    /// Number of commits still pending.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn apply_commit(&mut self, entry: PendingEntry) -> CommitEvent {
+        let PendingEntry {
+            due_ms,
+            seq: _,
+            commit,
+        } = entry;
+        let table_id = commit.table;
+        let op = commit.txn.kind();
+        // Table may have been dropped while the commit was in flight.
+        if self.catalog.table(table_id).is_err() {
+            self.cleanup_orphans(&commit.written_files, due_ms);
+            return CommitEvent {
+                at_ms: due_ms,
+                table: table_id,
+                op,
+                succeeded: false,
+                conflicted: false,
+                job_id: None,
+            };
+        }
+        let attempt = commit.txn.clone();
+        let result = self
+            .catalog
+            .table_mut(table_id)
+            .expect("checked above")
+            .table
+            .commit(attempt, due_ms);
+        match result {
+            Ok(outcome) => {
+                self.on_commit_success(due_ms, commit, outcome.new_metadata_objects)
+            }
+            Err(e) if e.is_retryable() || matches!(e, lakesim_lst::CommitError::UnknownBaseSnapshot(_)) => {
+                self.on_commit_conflict(due_ms, commit)
+            }
+            Err(_) => {
+                // Structural failure: abandon and clean up.
+                self.cleanup_orphans(&commit.written_files, due_ms);
+                if let PendingKind::Rewrite { job_id, scope, trigger, predicted_reduction, predicted_gbhr } = &commit.kind {
+                    self.maintenance.push(MaintenanceRecord {
+                        job_id: *job_id,
+                        table: table_id,
+                        scope: scope.clone(),
+                        trigger: trigger.clone(),
+                        scheduled_at_ms: commit.submitted_ms,
+                        finished_at_ms: due_ms,
+                        status: JobStatus::Failed,
+                        predicted_reduction: *predicted_reduction,
+                        actual_reduction: 0,
+                        predicted_gbhr: *predicted_gbhr,
+                        actual_gbhr: commit.gbhr,
+                    });
+                }
+                CommitEvent {
+                    at_ms: due_ms,
+                    table: table_id,
+                    op,
+                    succeeded: false,
+                    conflicted: false,
+                    job_id: None,
+                }
+            }
+        }
+    }
+
+    fn on_commit_success(
+        &mut self,
+        due_ms: u64,
+        commit: PendingCommit,
+        new_metadata_objects: u32,
+    ) -> CommitEvent {
+        let table_id = commit.table;
+        let op = commit.txn.kind();
+        // Materialize metadata objects (cause iv of small-file growth).
+        let database = self
+            .catalog
+            .table(table_id)
+            .expect("exists")
+            .table
+            .database()
+            .to_string();
+        for _ in 0..new_metadata_objects {
+            match self
+                .fs
+                .create_file(&database, FileKind::Metadata, METADATA_OBJECT_BYTES, due_ms)
+            {
+                Ok(id) => self.table_meta_files.entry(table_id).or_default().push(id),
+                Err(_) => {
+                    self.metrics.quota_failures += 1;
+                }
+            }
+        }
+        let entry = self.catalog.table_mut(table_id).expect("exists");
+        entry.usage.record_write(due_ms);
+
+        let mut job_id_out = None;
+        match &commit.kind {
+            PendingKind::UserWrite { .. } => {
+                self.metrics.latencies.push(LatencySample {
+                    at_ms: commit.submitted_ms,
+                    class: QueryClass::ReadWrite,
+                    latency_ms: (due_ms - commit.submitted_ms) as f64,
+                    table: table_id,
+                });
+            }
+            PendingKind::Rewrite {
+                job_id,
+                scope,
+                trigger,
+                predicted_reduction,
+                predicted_gbhr,
+            } => {
+                job_id_out = Some(*job_id);
+                // Physically delete replaced inputs.
+                let inputs = commit.inputs_to_delete.clone();
+                for id in &inputs {
+                    let _ = self.fs.delete_file(*id, due_ms);
+                }
+                let actual_reduction =
+                    inputs.len() as i64 - commit.written_files.len() as i64;
+                self.maintenance.push(MaintenanceRecord {
+                    job_id: *job_id,
+                    table: table_id,
+                    scope: scope.clone(),
+                    trigger: trigger.clone(),
+                    scheduled_at_ms: commit.submitted_ms,
+                    finished_at_ms: due_ms,
+                    status: JobStatus::Succeeded,
+                    predicted_reduction: *predicted_reduction,
+                    actual_reduction,
+                    predicted_gbhr: *predicted_gbhr,
+                    actual_gbhr: commit.gbhr,
+                });
+            }
+        }
+        CommitEvent {
+            at_ms: due_ms,
+            table: table_id,
+            op,
+            succeeded: true,
+            conflicted: false,
+            job_id: job_id_out,
+        }
+    }
+
+    fn on_commit_conflict(&mut self, due_ms: u64, mut commit: PendingCommit) -> CommitEvent {
+        let table_id = commit.table;
+        let op = commit.txn.kind();
+        match &mut commit.kind {
+            PendingKind::UserWrite {
+                op: write_op,
+                partitions,
+                retries_left,
+            } => {
+                self.metrics.conflicts.push(ConflictEvent {
+                    at_ms: due_ms,
+                    table: table_id,
+                    side: ConflictSide::Client,
+                });
+                if *retries_left == 0 {
+                    // Terminal failure: the user query errors out.
+                    self.cleanup_orphans(&commit.written_files, due_ms);
+                    return CommitEvent {
+                        at_ms: due_ms,
+                        table: table_id,
+                        op,
+                        succeeded: false,
+                        conflicted: true,
+                        job_id: None,
+                    };
+                }
+                *retries_left -= 1;
+                // Rebase onto the current snapshot; overwrites must also
+                // re-plan which files they replace.
+                let entry = self.catalog.table(table_id).expect("exists");
+                let current = entry.table.current_snapshot_id();
+                if *write_op == WriteOp::CopyOnWriteOverwrite {
+                    let mut fresh = Transaction::new(current, OpKind::OverwritePartitions);
+                    for f in commit.txn.added() {
+                        fresh.add_file(f.clone());
+                    }
+                    let removed: Vec<FileId> = partitions
+                        .iter()
+                        .filter_map(|p| entry.table.files_in_partition(p))
+                        .flatten()
+                        .copied()
+                        .collect();
+                    for id in removed {
+                        fresh.remove_file(id);
+                    }
+                    for p in partitions.iter() {
+                        fresh.declare_partition(p.clone());
+                    }
+                    commit.txn = fresh;
+                } else {
+                    commit.txn.rebase(current);
+                }
+                let retry_due = due_ms + self.cost.retry_backoff_ms + self.cost.commit_ms;
+                self.enqueue(retry_due, commit);
+                CommitEvent {
+                    at_ms: due_ms,
+                    table: table_id,
+                    op,
+                    succeeded: false,
+                    conflicted: true,
+                    job_id: None,
+                }
+            }
+            PendingKind::Rewrite {
+                job_id,
+                scope,
+                trigger,
+                predicted_reduction,
+                predicted_gbhr,
+            } => {
+                // Cluster-side conflict: the compaction job is dropped and
+                // its outputs become orphans (Table 1; §4.4).
+                self.metrics.conflicts.push(ConflictEvent {
+                    at_ms: due_ms,
+                    table: table_id,
+                    side: ConflictSide::Cluster,
+                });
+                let job = *job_id;
+                self.maintenance.push(MaintenanceRecord {
+                    job_id: job,
+                    table: table_id,
+                    scope: scope.clone(),
+                    trigger: trigger.clone(),
+                    scheduled_at_ms: commit.submitted_ms,
+                    finished_at_ms: due_ms,
+                    status: JobStatus::Conflicted,
+                    predicted_reduction: *predicted_reduction,
+                    actual_reduction: 0,
+                    predicted_gbhr: *predicted_gbhr,
+                    actual_gbhr: commit.gbhr,
+                });
+                self.cleanup_orphans(&commit.written_files, due_ms);
+                CommitEvent {
+                    at_ms: due_ms,
+                    table: table_id,
+                    op,
+                    succeeded: false,
+                    conflicted: true,
+                    job_id: Some(job),
+                }
+            }
+        }
+    }
+
+    fn cleanup_orphans(&mut self, files: &[FileId], now_ms: u64) {
+        for id in files {
+            let _ = self.fs.delete_file(*id, now_ms);
+        }
+    }
+
+    /// Oldest metadata file ids of a table (used by snapshot expiry).
+    pub(crate) fn take_oldest_metadata(&mut self, table: TableId, count: u64) -> Vec<FileId> {
+        let list = self.table_meta_files.entry(table).or_default();
+        let n = (count as usize).min(list.len());
+        list.drain(..n).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lakesim_lst::{ColumnType, Field, PartitionFilter, PartitionKey};
+    use lakesim_storage::MB;
+
+    fn test_env() -> SimEnv {
+        let mut env = SimEnv::new(EnvConfig {
+            seed: 1,
+            ..EnvConfig::default()
+        });
+        env.create_database("db", "tenant", None).unwrap();
+        env
+    }
+
+    fn simple_table(env: &mut SimEnv) -> TableId {
+        let schema = Schema::new(vec![Field::new(1, "k", ColumnType::Int64, true)]).unwrap();
+        env.create_table(
+            "db",
+            "t",
+            schema,
+            PartitionSpec::unpartitioned(),
+            TableProperties::default(),
+            TablePolicy::default(),
+        )
+        .unwrap()
+    }
+
+    fn insert(env: &mut SimEnv, table: TableId, mb: u64, now: u64) -> QueryResult {
+        let spec = WriteSpec::insert(
+            table,
+            PartitionKey::unpartitioned(),
+            mb * MB,
+            crate::writer::FileSizePlan::trickle(),
+            "query",
+        );
+        env.submit_write(&spec, now).unwrap()
+    }
+
+    #[test]
+    fn write_then_drain_then_read() {
+        let mut env = test_env();
+        let t = simple_table(&mut env);
+        let w = insert(&mut env, t, 64, 0);
+        assert!(w.files_written > 1, "trickle writer splits into files");
+        // Nothing visible until drained.
+        assert_eq!(env.catalog.table(t).unwrap().table.file_count(), 0);
+        let events = env.drain_due(w.finished_ms);
+        assert_eq!(events.len(), 1);
+        assert!(events[0].succeeded);
+        let count = env.catalog.table(t).unwrap().table.file_count();
+        assert_eq!(count, w.files_written);
+        // Metadata objects materialized too.
+        assert!(env.fs.total_files_of_kind(FileKind::Metadata) >= 3);
+
+        let read = env
+            .submit_read(
+                &ReadSpec {
+                    table: t,
+                    filter: PartitionFilter::All,
+                    cluster: "query".into(),
+                    parallelism: 8,
+                },
+                w.finished_ms + 1,
+            )
+            .unwrap();
+        assert_eq!(read.files_scanned, w.files_written);
+        assert!(read.latency_ms > 0.0);
+    }
+
+    #[test]
+    fn more_small_files_mean_slower_reads() {
+        let mut env = test_env();
+        let t = simple_table(&mut env);
+        insert(&mut env, t, 256, 0);
+        env.drain_all();
+        let fragmented = env
+            .submit_read(
+                &ReadSpec {
+                    table: t,
+                    filter: PartitionFilter::All,
+                    cluster: "query".into(),
+                    parallelism: 1,
+                },
+                10_000_000,
+            )
+            .unwrap();
+
+        let mut env2 = test_env();
+        let t2 = simple_table(&mut env2);
+        let spec = WriteSpec::insert(
+            t2,
+            PartitionKey::unpartitioned(),
+            256 * MB,
+            crate::writer::FileSizePlan::well_tuned(),
+            "query",
+        );
+        env2.submit_write(&spec, 0).unwrap();
+        env2.drain_all();
+        let compact = env2
+            .submit_read(
+                &ReadSpec {
+                    table: t2,
+                    filter: PartitionFilter::All,
+                    cluster: "query".into(),
+                    parallelism: 1,
+                },
+                10_000_000,
+            )
+            .unwrap();
+        assert!(
+            fragmented.latency_ms > compact.latency_ms,
+            "fragmented {} <= compact {}",
+            fragmented.latency_ms,
+            compact.latency_ms
+        );
+    }
+
+    #[test]
+    fn quota_breach_fails_write_and_rolls_back() {
+        let mut env = SimEnv::new(EnvConfig {
+            seed: 2,
+            ..EnvConfig::default()
+        });
+        env.create_database("db", "tenant", Some(6)).unwrap();
+        let t = simple_table(&mut env);
+        let spec = WriteSpec::insert(
+            t,
+            PartitionKey::unpartitioned(),
+            256 * MB,
+            crate::writer::FileSizePlan::trickle(),
+            "query",
+        );
+        let err = env.submit_write(&spec, 0).unwrap_err();
+        assert!(matches!(err, EngineError::Storage(_)));
+        assert_eq!(env.metrics.quota_failures, 1);
+        // Partial outputs rolled back.
+        assert_eq!(env.fs.total_files(), 0);
+    }
+
+    #[test]
+    fn cow_overwrite_replaces_partition_contents() {
+        let mut env = test_env();
+        let t = simple_table(&mut env);
+        insert(&mut env, t, 64, 0);
+        env.drain_all();
+        let before = env.catalog.table(t).unwrap().table.file_count();
+        assert!(before > 0);
+        let spec = WriteSpec {
+            table: t,
+            op: WriteOp::CopyOnWriteOverwrite,
+            partitions: vec![PartitionKey::unpartitioned()],
+            total_bytes: 64 * MB,
+            file_size: crate::writer::FileSizePlan::well_tuned(),
+            partition_skew: 0.0,
+            cluster: "query".into(),
+            parallelism: 4,
+        };
+        let w = env.submit_write(&spec, 1_000_000).unwrap();
+        env.drain_due(w.finished_ms);
+        let after = env.catalog.table(t).unwrap().table.file_count();
+        assert_eq!(after, w.files_written, "old files replaced");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed: u64| {
+            let mut env = SimEnv::new(EnvConfig {
+                seed,
+                ..EnvConfig::default()
+            });
+            env.create_database("db", "t", None).unwrap();
+            let t = simple_table(&mut env);
+            for i in 0..5 {
+                insert(&mut env, t, 32, i * 60_000);
+            }
+            env.drain_all();
+            (
+                env.fs.total_files(),
+                env.catalog.table(t).unwrap().table.file_count(),
+            )
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

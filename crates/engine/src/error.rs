@@ -1,0 +1,72 @@
+//! Engine error type, aggregating substrate errors.
+
+use std::fmt;
+
+use lakesim_catalog::CatalogError;
+use lakesim_lst::CommitError;
+use lakesim_storage::StorageError;
+
+/// Errors surfaced by engine operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// Storage-layer failure (quota, timeout, missing file).
+    Storage(StorageError),
+    /// Catalog failure (unknown table/database).
+    Catalog(CatalogError),
+    /// Commit failed terminally (retries exhausted or non-retryable).
+    Commit(CommitError),
+    /// The named cluster is not registered in the environment.
+    UnknownCluster(String),
+    /// A write produced no files (zero bytes requested).
+    EmptyWrite,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Storage(e) => write!(f, "storage: {e}"),
+            EngineError::Catalog(e) => write!(f, "catalog: {e}"),
+            EngineError::Commit(e) => write!(f, "commit: {e}"),
+            EngineError::UnknownCluster(name) => write!(f, "unknown cluster '{name}'"),
+            EngineError::EmptyWrite => write!(f, "write specifies zero bytes"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<StorageError> for EngineError {
+    fn from(e: StorageError) -> Self {
+        EngineError::Storage(e)
+    }
+}
+
+impl From<CatalogError> for EngineError {
+    fn from(e: CatalogError) -> Self {
+        EngineError::Catalog(e)
+    }
+}
+
+impl From<CommitError> for EngineError {
+    fn from(e: CommitError) -> Self {
+        EngineError::Commit(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lakesim_lst::TableId;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: EngineError = CatalogError::TableNotFound(TableId(3)).into();
+        assert!(e.to_string().contains("table#3"));
+        let e: EngineError = StorageError::EmptyFile.into();
+        assert!(e.to_string().starts_with("storage:"));
+        assert_eq!(
+            EngineError::UnknownCluster("c".into()).to_string(),
+            "unknown cluster 'c'"
+        );
+    }
+}

@@ -1,0 +1,200 @@
+//! Engine-level metrics: latency samples, conflicts, commit events.
+//!
+//! These are the client/server-side statistics §6 collects: "On the client
+//! side, we focus primarily on workload query execution times and the
+//! number of errors observed during execution. On the server side, we
+//! gather several compaction-related metrics."
+
+use lakesim_lst::{OpKind, TableId};
+
+/// Read-only vs. read-write classification (the two columns of Fig. 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryClass {
+    /// Pure scan.
+    ReadOnly,
+    /// Query that commits a write.
+    ReadWrite,
+}
+
+/// One completed query latency observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySample {
+    /// Submission time.
+    pub at_ms: u64,
+    /// Query class.
+    pub class: QueryClass,
+    /// End-to-end latency (queueing + planning + execution + commit).
+    pub latency_ms: f64,
+    /// Table the query targeted.
+    pub table: TableId,
+}
+
+/// Which side of the system observed a write-write conflict (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConflictSide {
+    /// A user transaction aborted and retried ("client-side conflict").
+    Client,
+    /// A compaction job was dropped ("cluster-side conflict").
+    Cluster,
+}
+
+/// One observed conflict.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConflictEvent {
+    /// When the conflicting commit was attempted.
+    pub at_ms: u64,
+    /// Table involved.
+    pub table: TableId,
+    /// Side that lost the race.
+    pub side: ConflictSide,
+}
+
+/// Outcome of draining one pending commit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommitEvent {
+    /// Commit (attempt) time.
+    pub at_ms: u64,
+    /// Table involved.
+    pub table: TableId,
+    /// Operation kind.
+    pub op: OpKind,
+    /// Whether the commit landed.
+    pub succeeded: bool,
+    /// Whether the failure (if any) was an optimistic-concurrency conflict.
+    pub conflicted: bool,
+    /// Maintenance job id for rewrites.
+    pub job_id: Option<u64>,
+}
+
+/// Five-point summary used for the candlestick bars of Fig. 8.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Candlestick {
+    /// Minimum.
+    pub min: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Sample count.
+    pub count: u64,
+}
+
+impl Candlestick {
+    /// Builds the summary from unsorted samples; `None` when empty.
+    pub fn from_samples(mut samples: Vec<f64>) -> Option<Candlestick> {
+        if samples.is_empty() {
+            return None;
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN latencies"));
+        let q = |p: f64| -> f64 {
+            let idx = (p * (samples.len() - 1) as f64).round() as usize;
+            samples[idx]
+        };
+        Some(Candlestick {
+            min: samples[0],
+            p25: q(0.25),
+            median: q(0.5),
+            p75: q(0.75),
+            max: *samples.last().expect("non-empty"),
+            count: samples.len() as u64,
+        })
+    }
+}
+
+/// Aggregated engine metrics.
+#[derive(Debug, Clone, Default)]
+pub struct EngineMetrics {
+    /// All completed-query latency samples.
+    pub latencies: Vec<LatencySample>,
+    /// All observed conflicts.
+    pub conflicts: Vec<ConflictEvent>,
+    /// Write queries submitted, with submission time (Table 1's
+    /// "# Write Queries" column).
+    pub write_queries: Vec<(u64, TableId)>,
+    /// Writes that failed on namespace quota (§7 user pain point).
+    pub quota_failures: u64,
+    /// NameNode read timeouts observed by queries.
+    pub read_timeouts: u64,
+}
+
+impl EngineMetrics {
+    /// Latency candlestick over `[from_ms, to_ms)` for one query class.
+    pub fn candlestick(&self, from_ms: u64, to_ms: u64, class: QueryClass) -> Option<Candlestick> {
+        let samples: Vec<f64> = self
+            .latencies
+            .iter()
+            .filter(|s| s.class == class && s.at_ms >= from_ms && s.at_ms < to_ms)
+            .map(|s| s.latency_ms)
+            .collect();
+        Candlestick::from_samples(samples)
+    }
+
+    /// Conflicts on one side within `[from_ms, to_ms)`.
+    pub fn conflicts_in(&self, from_ms: u64, to_ms: u64, side: ConflictSide) -> u64 {
+        self.conflicts
+            .iter()
+            .filter(|c| c.side == side && c.at_ms >= from_ms && c.at_ms < to_ms)
+            .count() as u64
+    }
+
+    /// Write queries submitted within `[from_ms, to_ms)`.
+    pub fn write_queries_in(&self, from_ms: u64, to_ms: u64) -> u64 {
+        self.write_queries
+            .iter()
+            .filter(|(t, _)| *t >= from_ms && *t < to_ms)
+            .count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn candlestick_orders_quantiles() {
+        let c = Candlestick::from_samples(vec![5.0, 1.0, 3.0, 2.0, 4.0]).unwrap();
+        assert_eq!(c.min, 1.0);
+        assert_eq!(c.p25, 2.0);
+        assert_eq!(c.median, 3.0);
+        assert_eq!(c.p75, 4.0);
+        assert_eq!(c.max, 5.0);
+        assert_eq!(c.count, 5);
+        assert!(Candlestick::from_samples(vec![]).is_none());
+    }
+
+    #[test]
+    fn windowed_queries() {
+        let mut m = EngineMetrics::default();
+        m.latencies.push(LatencySample {
+            at_ms: 100,
+            class: QueryClass::ReadOnly,
+            latency_ms: 10.0,
+            table: TableId(1),
+        });
+        m.latencies.push(LatencySample {
+            at_ms: 200,
+            class: QueryClass::ReadWrite,
+            latency_ms: 20.0,
+            table: TableId(1),
+        });
+        m.conflicts.push(ConflictEvent {
+            at_ms: 150,
+            table: TableId(1),
+            side: ConflictSide::Client,
+        });
+        m.write_queries.push((200, TableId(1)));
+        assert_eq!(
+            m.candlestick(0, 300, QueryClass::ReadOnly).unwrap().count,
+            1
+        );
+        assert!(m.candlestick(0, 50, QueryClass::ReadOnly).is_none());
+        assert_eq!(m.conflicts_in(0, 300, ConflictSide::Client), 1);
+        assert_eq!(m.conflicts_in(0, 300, ConflictSide::Cluster), 0);
+        assert_eq!(m.write_queries_in(0, 300), 1);
+        assert_eq!(m.write_queries_in(250, 300), 0);
+    }
+}

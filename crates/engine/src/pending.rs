@@ -1,0 +1,139 @@
+//! Deferred commits: the mechanism that makes optimistic-concurrency
+//! races observable in a single-threaded simulation.
+//!
+//! A transaction *begins* when its job is submitted (capturing a base
+//! snapshot) and *commits* at the job's computed completion time. Between
+//! those two instants other commits may land; applying pending commits in
+//! completion order (see [`crate::SimEnv::drain_due`]) therefore produces
+//! exactly the conflict behaviour of a real optimistic protocol — long
+//! jobs have wide vulnerability windows (table-scope compaction in
+//! Table 1), short jobs narrow ones (partition-scope, zero cluster-side
+//! conflicts).
+
+use crate::query::WriteOp;
+use lakesim_lst::{PartitionKey, TableId, Transaction};
+use lakesim_storage::FileId;
+
+/// Discriminates user writes from compaction rewrites in the pending
+/// queue; they differ in retry policy and failure accounting.
+#[derive(Debug, Clone)]
+pub enum PendingKind {
+    /// A user write: retried on conflict (client-side conflict), counted
+    /// against `max_retries`.
+    UserWrite {
+        /// The original operation (needed to re-plan overwrites on retry).
+        op: WriteOp,
+        /// Target partitions (for overwrite re-planning).
+        partitions: Vec<PartitionKey>,
+        /// Retries remaining.
+        retries_left: u32,
+    },
+    /// A compaction rewrite: dropped on conflict (cluster-side conflict),
+    /// its outputs deleted as orphans.
+    Rewrite {
+        /// Maintenance job id.
+        job_id: u64,
+        /// Human-readable scope for the maintenance log.
+        scope: String,
+        /// What triggered the job.
+        trigger: String,
+        /// Decide-phase predicted file-count reduction.
+        predicted_reduction: i64,
+        /// Decide-phase predicted cost (GBHr).
+        predicted_gbhr: f64,
+    },
+}
+
+/// A commit waiting for its due time.
+#[derive(Debug, Clone)]
+pub struct PendingCommit {
+    /// Table the transaction targets.
+    pub table: TableId,
+    /// The staged transaction (cloned per attempt so retries can rebase).
+    pub txn: Transaction,
+    /// Commit kind and its retry policy.
+    pub kind: PendingKind,
+    /// Physical files already written to storage for this commit; deleted
+    /// as orphans if the commit is abandoned.
+    pub written_files: Vec<FileId>,
+    /// Physical input files a rewrite will delete on success.
+    pub inputs_to_delete: Vec<FileId>,
+    /// Original submission time (for end-to-end latency accounting).
+    pub submitted_ms: u64,
+    /// GBHr consumed by the producing job (spent even if the commit is
+    /// dropped — the paper counts wasted compaction resources, §2).
+    pub gbhr: f64,
+}
+
+/// Heap entry ordering pending commits by `(due_ms, seq)`.
+///
+/// `seq` breaks ties deterministically in submission order (NFR2).
+#[derive(Debug, Clone)]
+pub struct PendingEntry {
+    /// When the commit is due.
+    pub due_ms: u64,
+    /// Tie-breaking sequence number.
+    pub seq: u64,
+    /// The commit itself.
+    pub commit: PendingCommit,
+}
+
+impl PartialEq for PendingEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.due_ms == other.due_ms && self.seq == other.seq
+    }
+}
+
+impl Eq for PendingEntry {}
+
+impl PartialOrd for PendingEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for PendingEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.due_ms, self.seq).cmp(&(other.due_ms, other.seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lakesim_lst::OpKind;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    fn entry(due: u64, seq: u64) -> PendingEntry {
+        PendingEntry {
+            due_ms: due,
+            seq,
+            commit: PendingCommit {
+                table: TableId(1),
+                txn: Transaction::new(None, OpKind::Append),
+                kind: PendingKind::UserWrite {
+                    op: WriteOp::Insert,
+                    partitions: vec![],
+                    retries_left: 1,
+                },
+                written_files: vec![],
+                inputs_to_delete: vec![],
+                submitted_ms: 0,
+                gbhr: 0.0,
+            },
+        }
+    }
+
+    #[test]
+    fn heap_pops_in_due_then_seq_order() {
+        let mut heap = BinaryHeap::new();
+        heap.push(Reverse(entry(200, 1)));
+        heap.push(Reverse(entry(100, 3)));
+        heap.push(Reverse(entry(100, 2)));
+        let order: Vec<(u64, u64)> = std::iter::from_fn(|| heap.pop())
+            .map(|Reverse(e)| (e.due_ms, e.seq))
+            .collect();
+        assert_eq!(order, vec![(100, 2), (100, 3), (200, 1)]);
+    }
+}

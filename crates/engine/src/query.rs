@@ -1,0 +1,121 @@
+//! Query and write specifications plus result types.
+
+use crate::metrics::QueryClass;
+pub use crate::writer::FileSizePlan;
+use lakesim_lst::{PartitionFilter, PartitionKey, TableId};
+
+/// A read query against one table.
+#[derive(Debug, Clone)]
+pub struct ReadSpec {
+    /// Target table.
+    pub table: TableId,
+    /// Partition predicate.
+    pub filter: PartitionFilter,
+    /// Cluster to run on.
+    pub cluster: String,
+    /// Maximum executor parallelism for the scan.
+    pub parallelism: usize,
+}
+
+/// The write operation a query performs, mapping to the §2 causes of
+/// small-file creation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteOp {
+    /// Bulk or incremental insert (appends new files).
+    Insert,
+    /// Merge-on-Read update/delete: appends small delete files that
+    /// accumulate as MoR debt.
+    MergeOnReadDelta,
+    /// Copy-on-Write overwrite: replaces the target partitions' files.
+    CopyOnWriteOverwrite,
+}
+
+/// A write query against one table.
+#[derive(Debug, Clone)]
+pub struct WriteSpec {
+    /// Target table.
+    pub table: TableId,
+    /// Operation semantics.
+    pub op: WriteOp,
+    /// Target partitions (use `[PartitionKey::unpartitioned()]` for
+    /// unpartitioned tables).
+    pub partitions: Vec<PartitionKey>,
+    /// Total data bytes written.
+    pub total_bytes: u64,
+    /// How the writer chunks bytes into files — the small-file knob.
+    pub file_size: FileSizePlan,
+    /// Byte skew towards the first listed partition (0 = even).
+    pub partition_skew: f64,
+    /// Cluster to run on.
+    pub cluster: String,
+    /// Maximum executor parallelism.
+    pub parallelism: usize,
+}
+
+impl WriteSpec {
+    /// Convenience constructor for a single-partition insert.
+    pub fn insert(
+        table: TableId,
+        partition: PartitionKey,
+        total_bytes: u64,
+        file_size: FileSizePlan,
+        cluster: impl Into<String>,
+    ) -> Self {
+        WriteSpec {
+            table,
+            op: WriteOp::Insert,
+            partitions: vec![partition],
+            total_bytes,
+            file_size,
+            partition_skew: 0.0,
+            cluster: cluster.into(),
+            parallelism: 4,
+        }
+    }
+}
+
+/// Completed (read) or scheduled (write) query outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Submission time.
+    pub submitted_ms: u64,
+    /// Completion time. For writes this is the *scheduled* commit time;
+    /// conflicts discovered at drain time may push the real completion
+    /// later (retries) — the final figure lands in the latency metrics.
+    pub finished_ms: u64,
+    /// End-to-end latency in ms (as of scheduling, see `finished_ms`).
+    pub latency_ms: f64,
+    /// Data files scanned (reads).
+    pub files_scanned: u64,
+    /// Bytes scanned (reads).
+    pub bytes_scanned: u64,
+    /// Driver planning time (reads).
+    pub planning_ms: f64,
+    /// NameNode read timeouts absorbed (each adds retry latency).
+    pub read_timeouts: u64,
+    /// Files written (writes).
+    pub files_written: u64,
+    /// Query class.
+    pub class: QueryClass,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lakesim_storage::MB;
+
+    #[test]
+    fn insert_constructor_defaults() {
+        let spec = WriteSpec::insert(
+            TableId(1),
+            PartitionKey::unpartitioned(),
+            100 * MB,
+            FileSizePlan::trickle(),
+            "main",
+        );
+        assert_eq!(spec.op, WriteOp::Insert);
+        assert_eq!(spec.partitions.len(), 1);
+        assert_eq!(spec.cluster, "main");
+        assert!(spec.parallelism > 0);
+    }
+}

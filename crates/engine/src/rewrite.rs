@@ -1,0 +1,401 @@
+//! Compaction-job execution (the act phase's engine side) and snapshot
+//! expiry maintenance.
+
+use crate::cluster::AppKind;
+use crate::env::SimEnv;
+use crate::pending::{PendingCommit, PendingKind};
+use crate::Result;
+use lakesim_lst::{synthesize_outputs, DataFile, ExpireResult, OpKind, RewritePlan, TableId, Transaction};
+use lakesim_storage::{FileId, FileKind};
+
+/// Options for submitting one rewrite job.
+#[derive(Debug, Clone)]
+pub struct RewriteOptions {
+    /// Cluster to run the job on. The paper offloads compaction to a
+    /// dedicated cluster "to minimize the impact on user performance"
+    /// (§4.4); pass the query cluster's name to model co-located runs.
+    pub cluster: String,
+    /// Executor parallelism for the job.
+    pub parallelism: usize,
+    /// What triggered the job (for the maintenance log).
+    pub trigger: String,
+    /// Decide-phase predicted file-count reduction; recorded so the
+    /// feedback loop can compare against actuals (§7).
+    pub predicted_reduction: i64,
+    /// Decide-phase predicted cost (GBHr).
+    pub predicted_gbhr: f64,
+}
+
+impl RewriteOptions {
+    /// Options for a manually triggered job on the given cluster, with
+    /// predictions derived from the plan itself.
+    pub fn manual(cluster: impl Into<String>, plan: &RewritePlan, predicted_gbhr: f64) -> Self {
+        RewriteOptions {
+            cluster: cluster.into(),
+            parallelism: 3,
+            trigger: "manual".to_string(),
+            predicted_reduction: plan.expected_reduction(),
+            predicted_gbhr,
+        }
+    }
+}
+
+/// Description of a scheduled rewrite job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RewriteJobOutcome {
+    /// Maintenance job id.
+    pub job_id: u64,
+    /// Submission time.
+    pub scheduled_at_ms: u64,
+    /// When the job's commit becomes due.
+    pub commit_due_ms: u64,
+    /// GBHr the job consumes (spent even if it later conflicts).
+    pub gbhr: f64,
+    /// Input files (data + delete) to be replaced.
+    pub input_files: u64,
+    /// Output files to be produced.
+    pub output_files: u64,
+    /// Input bytes rewritten.
+    pub input_bytes: u64,
+}
+
+impl SimEnv {
+    /// Submits a rewrite job for one candidate plan at `now_ms`.
+    ///
+    /// The job's transaction begins immediately (base snapshot captured —
+    /// the start of its conflict-vulnerability window) and commits when
+    /// the compaction cluster finishes the work; [`SimEnv::drain_due`]
+    /// resolves it. Returns `None` for empty plans.
+    pub fn submit_rewrite(
+        &mut self,
+        plan: &RewritePlan,
+        opts: &RewriteOptions,
+        now_ms: u64,
+    ) -> Result<Option<RewriteJobOutcome>> {
+        self.clock.advance_to(now_ms);
+        // The rewrite's base snapshot must reflect every commit completed
+        // by `now` — without this, sequentially scheduled waves would read
+        // stale bases and self-conflict (§4.4's workaround would be moot).
+        let _ = self.drain_due(now_ms);
+        if plan.is_empty() {
+            return Ok(None);
+        }
+        let table_id = plan.table;
+        let (database, row_width, target_size, base) = {
+            let entry = self.catalog.table(table_id)?;
+            (
+                entry.table.database().to_string(),
+                entry.table.schema().estimated_row_width(),
+                entry.table.properties().target_file_size,
+                entry.table.current_snapshot_id(),
+            )
+        };
+
+        let mut txn = Transaction::new(base, OpKind::RewriteFiles);
+        let mut outputs: Vec<FileId> = Vec::new();
+        let mut inputs_to_delete: Vec<FileId> = Vec::new();
+        let mut input_files = 0u64;
+        let mut output_files = 0u64;
+        let congestion = self.fs.congestion_factor();
+        let mut work_ms = 0.0;
+        for group in &plan.groups {
+            for id in group.inputs.iter().chain(group.delete_inputs.iter()) {
+                txn.remove_file(*id);
+                inputs_to_delete.push(*id);
+                input_files += 1;
+            }
+            let sizes = synthesize_outputs(group.input_bytes, target_size);
+            for size in sizes {
+                let created = self
+                    .fs
+                    .create_file(&database, FileKind::Data, size, now_ms);
+                let id = match created {
+                    Ok(id) => id,
+                    Err(e) => {
+                        self.metrics.quota_failures += 1;
+                        self.cleanup_rewrite_orphans(&outputs, now_ms);
+                        return Err(e.into());
+                    }
+                };
+                outputs.push(id);
+                output_files += 1;
+                let rows = (size / row_width).max(1);
+                txn.add_file(DataFile::data(id, group.partition.clone(), rows, size));
+            }
+            work_ms += self.cost().rewrite_work_ms(
+                group.input_bytes,
+                (group.inputs.len() + group.delete_inputs.len()) as u64,
+                output_files,
+                congestion,
+            ) + self.cost().task_startup_ms;
+        }
+
+        let parallelism = opts.parallelism.max(1);
+        let outcome =
+            self.cluster_mut(&opts.cluster)?
+                .submit(now_ms, work_ms, parallelism, AppKind::Compaction);
+        let commit_due = outcome.finished_ms + self.cost().commit_ms;
+        let job_id = self.maintenance.next_job_id();
+        let scope = if plan.groups.len() == 1 && !plan.groups[0].partition.is_unpartitioned() {
+            format!("partition {}", plan.groups[0].partition)
+        } else {
+            "table".to_string()
+        };
+        let input_bytes = plan.input_bytes();
+        self.enqueue(
+            commit_due,
+            PendingCommit {
+                table: table_id,
+                txn,
+                kind: PendingKind::Rewrite {
+                    job_id,
+                    scope,
+                    trigger: opts.trigger.clone(),
+                    predicted_reduction: opts.predicted_reduction,
+                    predicted_gbhr: opts.predicted_gbhr,
+                },
+                written_files: outputs,
+                inputs_to_delete,
+                submitted_ms: now_ms,
+                gbhr: outcome.gbhr,
+            },
+        );
+        Ok(Some(RewriteJobOutcome {
+            job_id,
+            scheduled_at_ms: now_ms,
+            commit_due_ms: commit_due,
+            gbhr: outcome.gbhr,
+            input_files,
+            output_files,
+            input_bytes,
+        }))
+    }
+
+    /// Runs snapshot expiry for a table according to its policy, deleting
+    /// the reclaimed metadata objects from storage. No-op when the policy
+    /// has no retention configured.
+    pub fn run_snapshot_expiry(&mut self, table: TableId, now_ms: u64) -> Result<ExpireResult> {
+        let retention = {
+            let entry = self.catalog.table(table)?;
+            entry.policy.snapshot_retention_ms
+        };
+        let Some(retention) = retention else {
+            return Ok(ExpireResult::default());
+        };
+        let older_than = now_ms.saturating_sub(retention);
+        let result = {
+            let entry = self.catalog.table_mut(table)?;
+            entry.table.expire_snapshots(older_than)
+        };
+        let to_delete = self.take_oldest_metadata(table, result.metadata_objects_freed);
+        for id in to_delete {
+            let _ = self.fs.delete_file(id, now_ms);
+        }
+        Ok(result)
+    }
+
+    fn cleanup_rewrite_orphans(&mut self, files: &[FileId], now_ms: u64) {
+        for id in files {
+            let _ = self.fs.delete_file(*id, now_ms);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::EnvConfig;
+    use crate::query::{FileSizePlan, WriteSpec};
+    use crate::SimRng;
+    use lakesim_catalog::{JobStatus, TablePolicy};
+    use lakesim_lst::{
+        plan_table_rewrite, BinPackConfig, ColumnType, ConflictMode, Field, PartitionKey,
+        PartitionSpec, Schema, TableProperties,
+    };
+    use lakesim_storage::MB;
+
+    fn setup(conflict_mode: ConflictMode) -> (SimEnv, TableId) {
+        let mut env = SimEnv::new(EnvConfig {
+            seed: 5,
+            cost: crate::CostModel {
+                // Zero write-coordination overhead: these tests reason
+                // about exact commit-window overlaps.
+                write_job_overhead_ms: 0,
+                ..crate::CostModel::default()
+            },
+            ..EnvConfig::default()
+        });
+        env.create_database("db", "tenant", None).unwrap();
+        let schema = Schema::new(vec![Field::new(1, "k", ColumnType::Int64, true)]).unwrap();
+        let t = env
+            .create_table(
+                "db",
+                "t",
+                schema,
+                PartitionSpec::unpartitioned(),
+                TableProperties {
+                    conflict_mode,
+                    ..TableProperties::default()
+                },
+                TablePolicy::default(),
+            )
+            .unwrap();
+        let spec = WriteSpec::insert(
+            t,
+            PartitionKey::unpartitioned(),
+            512 * MB,
+            FileSizePlan::trickle(),
+            "query",
+        );
+        env.submit_write(&spec, 0).unwrap();
+        env.drain_all();
+        (env, t)
+    }
+
+    fn bin_pack() -> BinPackConfig {
+        BinPackConfig::default()
+    }
+
+    #[test]
+    fn successful_rewrite_reduces_file_count() {
+        let (mut env, t) = setup(ConflictMode::Strict);
+        let before = env.catalog.table(t).unwrap().table.file_count();
+        let plan = plan_table_rewrite(&env.catalog.table(t).unwrap().table, &bin_pack());
+        assert!(!plan.is_empty());
+        let expected = plan.expected_reduction();
+        let opts = RewriteOptions::manual("compaction", &plan, 1.0);
+        let job = env
+            .submit_rewrite(&plan, &opts, 1_000_000)
+            .unwrap()
+            .unwrap();
+        env.drain_due(job.commit_due_ms);
+        let after = env.catalog.table(t).unwrap().table.file_count();
+        assert_eq!(before as i64 - after as i64, expected);
+        assert_eq!(env.maintenance.count(JobStatus::Succeeded), 1);
+        let rec = &env.maintenance.records()[0];
+        assert_eq!(rec.actual_reduction, expected);
+        assert!(rec.actual_gbhr > 0.0);
+        // Replaced inputs physically deleted; outputs live.
+        assert_eq!(env.fs.total_files_of_kind(lakesim_storage::FileKind::Data), after);
+    }
+
+    #[test]
+    fn concurrent_write_kills_strict_rewrite() {
+        let (mut env, t) = setup(ConflictMode::Strict);
+        let plan = plan_table_rewrite(&env.catalog.table(t).unwrap().table, &bin_pack());
+        let opts = RewriteOptions::manual("compaction", &plan, 1.0);
+        let job = env.submit_rewrite(&plan, &opts, 1_000_000).unwrap().unwrap();
+        // A user append commits while the rewrite is running.
+        let spec = WriteSpec::insert(
+            t,
+            PartitionKey::unpartitioned(),
+            8 * MB,
+            FileSizePlan::trickle(),
+            "query",
+        );
+        let w = env.submit_write(&spec, 1_000_100).unwrap();
+        assert!(
+            w.finished_ms < job.commit_due_ms,
+            "user write must land inside the rewrite window"
+        );
+        let data_before_drain = env.fs.total_files_of_kind(lakesim_storage::FileKind::Data);
+        env.drain_due(job.commit_due_ms);
+        assert_eq!(env.maintenance.count(JobStatus::Conflicted), 1);
+        assert_eq!(
+            env.metrics
+                .conflicts_in(0, u64::MAX, crate::ConflictSide::Cluster),
+            1
+        );
+        // Orphan outputs cleaned up; the rewrite's inputs stay live.
+        assert_eq!(
+            env.fs.total_files_of_kind(lakesim_storage::FileKind::Data),
+            data_before_drain - job.output_files
+        );
+    }
+
+    #[test]
+    fn partition_aware_rewrite_survives_disjoint_write() {
+        // Partitioned table: write to partition B while compacting A.
+        let mut env = SimEnv::new(EnvConfig {
+            seed: 6,
+            ..EnvConfig::default()
+        });
+        env.create_database("db", "tenant", None).unwrap();
+        let schema = Schema::new(vec![
+            Field::new(1, "k", ColumnType::Int64, true),
+            Field::new(2, "ds", ColumnType::Date, true),
+        ])
+        .unwrap();
+        let t = env
+            .create_table(
+                "db",
+                "t",
+                schema,
+                PartitionSpec::single(2, lakesim_lst::Transform::Month, "m"),
+                TableProperties {
+                    conflict_mode: ConflictMode::PartitionAware,
+                    ..TableProperties::default()
+                },
+                TablePolicy::default(),
+            )
+            .unwrap();
+        let pa = PartitionKey::single(lakesim_lst::PartitionValue::Date(1));
+        let pb = PartitionKey::single(lakesim_lst::PartitionValue::Date(2));
+        let spec = WriteSpec::insert(t, pa.clone(), 256 * MB, FileSizePlan::trickle(), "query");
+        env.submit_write(&spec, 0).unwrap();
+        env.drain_all();
+
+        let plan = lakesim_lst::plan_partition_rewrite(
+            &env.catalog.table(t).unwrap().table,
+            &pa,
+            &bin_pack(),
+        );
+        let opts = RewriteOptions::manual("compaction", &plan, 1.0);
+        let job = env.submit_rewrite(&plan, &opts, 1_000_000).unwrap().unwrap();
+        let spec_b = WriteSpec::insert(t, pb, 8 * MB, FileSizePlan::trickle(), "query");
+        env.submit_write(&spec_b, 1_000_100).unwrap();
+        env.drain_due(job.commit_due_ms.max(2_000_000));
+        assert_eq!(env.maintenance.count(JobStatus::Succeeded), 1);
+        assert_eq!(env.maintenance.count(JobStatus::Conflicted), 0);
+    }
+
+    #[test]
+    fn expiry_reclaims_metadata_objects() {
+        let (mut env, t) = setup(ConflictMode::Strict);
+        // Several commits → several metadata objects.
+        for i in 1..5 {
+            let spec = WriteSpec::insert(
+                t,
+                PartitionKey::unpartitioned(),
+                8 * MB,
+                FileSizePlan::trickle(),
+                "query",
+            );
+            env.submit_write(&spec, i * 100_000).unwrap();
+        }
+        env.drain_all();
+        let meta_before = env.fs.total_files_of_kind(lakesim_storage::FileKind::Metadata);
+        // Policy retention is 3 days; jump far ahead so everything expires.
+        let res = env
+            .run_snapshot_expiry(t, 10 * 24 * 3_600_000)
+            .unwrap();
+        assert!(res.snapshots_removed > 0);
+        let meta_after = env.fs.total_files_of_kind(lakesim_storage::FileKind::Metadata);
+        assert_eq!(
+            meta_before - meta_after,
+            res.metadata_objects_freed.min(meta_before)
+        );
+    }
+
+    #[test]
+    fn empty_plan_is_a_noop() {
+        let (mut env, t) = setup(ConflictMode::Strict);
+        let plan = RewritePlan {
+            table: t,
+            groups: vec![],
+        };
+        let opts = RewriteOptions::manual("compaction", &plan, 0.0);
+        assert!(env.submit_rewrite(&plan, &opts, 0).unwrap().is_none());
+        let _ = SimRng::seed_from_u64(0); // keep import used in cfg(test)
+    }
+}

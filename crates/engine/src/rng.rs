@@ -1,0 +1,230 @@
+//! Self-contained deterministic RNG: xoshiro256\*\* seeded via SplitMix64.
+//!
+//! The simulator deliberately does not depend on the `rand` crate for its
+//! core randomness: the paper's NFR2 requires bit-identical decisions under
+//! identical inputs, and pinning the generator in-tree guarantees streams
+//! never shift under dependency upgrades (see DESIGN.md, Substitutions).
+//! `proptest` still drives randomized *testing* at the workspace level.
+
+/// Deterministic pseudo-random number generator (xoshiro256\*\*).
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    s: [u64; 4],
+    /// Cached second output of the Box–Muller transform.
+    spare_normal: Option<f64>,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed (SplitMix64 expansion).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next_sm = || {
+            sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        let s = [next_sm(), next_sm(), next_sm(), next_sm()];
+        SimRng {
+            s,
+            spare_normal: None,
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[lo, hi)`. Panics if `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        // Multiply-shift bounded sampling; bias is negligible for the
+        // simulator's ranges (< 2^53).
+        lo + (self.next_f64() * (hi - lo) as f64) as u64
+    }
+
+    /// Uniform index in `[0, n)`. Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        self.range_u64(0, n as u64) as usize
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Standard-normal draw via Box–Muller (cached pair).
+    pub fn normal(&mut self) -> f64 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        // Avoid ln(0).
+        let u1 = loop {
+            let u = self.next_f64();
+            if u > 1e-12 {
+                break u;
+            }
+        };
+        let u2 = self.next_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare_normal = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal draw with the given mean and standard deviation.
+    pub fn normal_with(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.normal()
+    }
+
+    /// Log-normal draw parameterized by the *median* and the log-space
+    /// sigma: `exp(ln(median) + sigma·Z)`. Medians parameterize file-size
+    /// models intuitively (half the files smaller, half larger).
+    pub fn log_normal(&mut self, median: f64, sigma: f64) -> f64 {
+        (median.max(1e-9).ln() + sigma * self.normal()).exp()
+    }
+
+    /// Poisson draw (Knuth's algorithm; intended for small λ such as
+    /// per-minute arrival counts).
+    pub fn poisson(&mut self, lambda: f64) -> u64 {
+        if lambda <= 0.0 {
+            return 0;
+        }
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= self.next_f64();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+            // Guard pathological λ misuse.
+            if k > 10_000_000 {
+                return k;
+            }
+        }
+    }
+
+    /// Picks a uniformly random element of a non-empty slice.
+    pub fn choice<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.index(items.len())]
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Derives an independent child generator; used to give each table /
+    /// stream its own stream so insertion order does not perturb others.
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::seed_from_u64(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = SimRng::seed_from_u64(42);
+        let mut b = SimRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SimRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let mut r = SimRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.range_u64(10, 20);
+            assert!((10..20).contains(&v));
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn normal_moments_are_sane() {
+        let mut r = SimRng::seed_from_u64(11);
+        let n = 20_000;
+        let mut sum = 0.0;
+        let mut sq = 0.0;
+        for _ in 0..n {
+            let z = r.normal();
+            sum += z;
+            sq += z * z;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn log_normal_median_is_close() {
+        let mut r = SimRng::seed_from_u64(13);
+        let mut samples: Vec<f64> = (0..4001).map(|_| r.log_normal(64.0, 0.8)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[2000];
+        assert!(median > 50.0 && median < 80.0, "median {median}");
+    }
+
+    #[test]
+    fn poisson_mean_tracks_lambda() {
+        let mut r = SimRng::seed_from_u64(17);
+        let n = 5000;
+        let total: u64 = (0..n).map(|_| r.poisson(3.0)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 3.0).abs() < 0.15, "mean {mean}");
+        assert_eq!(r.poisson(0.0), 0);
+    }
+
+    #[test]
+    fn shuffle_and_choice_are_deterministic() {
+        let mut a = SimRng::seed_from_u64(5);
+        let mut b = SimRng::seed_from_u64(5);
+        let mut va: Vec<u32> = (0..20).collect();
+        let mut vb: Vec<u32> = (0..20).collect();
+        a.shuffle(&mut va);
+        b.shuffle(&mut vb);
+        assert_eq!(va, vb);
+        assert_eq!(a.choice(&va), b.choice(&vb));
+    }
+
+    #[test]
+    fn forked_streams_diverge_but_are_reproducible() {
+        let mut a = SimRng::seed_from_u64(1);
+        let mut fork1 = a.fork();
+        let mut a2 = SimRng::seed_from_u64(1);
+        let mut fork2 = a2.fork();
+        assert_eq!(fork1.next_u64(), fork2.next_u64());
+        assert_ne!(fork1.next_u64(), a.next_u64());
+    }
+}

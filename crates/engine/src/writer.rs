@@ -1,0 +1,173 @@
+//! Writer behaviour: how engines chunk bytes into files.
+//!
+//! §2 of the paper attributes small files to "engine configuration, degree
+//! of parallelism, and memory constraints" on inserts, and §8 notes Spark's
+//! AQE "may inadvertently choose an excessively small shuffle partition
+//! size for final writes". [`FileSizePlan`] captures exactly that: a
+//! (mis)configured writer's target output size and its spread.
+
+use crate::rng::SimRng;
+use lakesim_storage::{GB, KB, MB};
+
+/// How a writer sizes its output files: log-normal around a median.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FileSizePlan {
+    /// Median output file size in bytes.
+    pub median_bytes: u64,
+    /// Log-space sigma; 0 = all files the median size.
+    pub sigma: f64,
+}
+
+impl FileSizePlan {
+    /// A well-tuned writer producing ~512MB files (the ingestion pipeline
+    /// of §2 / Fig. 1 "raw").
+    pub fn well_tuned() -> Self {
+        FileSizePlan {
+            median_bytes: 512 * MB,
+            sigma: 0.15,
+        }
+    }
+
+    /// A misconfigured end-user job producing small files (Fig. 1
+    /// "user-derived": high concentration below 128MB).
+    pub fn misconfigured() -> Self {
+        FileSizePlan {
+            median_bytes: 16 * MB,
+            sigma: 0.9,
+        }
+    }
+
+    /// A trickle/CDC writer producing very small incremental files.
+    pub fn trickle() -> Self {
+        FileSizePlan {
+            median_bytes: 4 * MB,
+            sigma: 0.6,
+        }
+    }
+
+    /// Samples one file size, clamped to `[64KB, 4GB]` so a single draw
+    /// can neither vanish nor blow past any realistic output file.
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
+        let raw = rng.log_normal(self.median_bytes as f64, self.sigma);
+        let min = 64.0 * KB as f64;
+        let max = (4 * GB) as f64;
+        raw.clamp(min, max) as u64
+    }
+}
+
+/// Chunks `total_bytes` into file sizes according to the plan. The last
+/// chunk absorbs the remainder, so bytes are conserved exactly.
+pub fn chunk_bytes(total_bytes: u64, plan: &FileSizePlan, rng: &mut SimRng) -> Vec<u64> {
+    if total_bytes == 0 {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut remaining = total_bytes;
+    while remaining > 0 {
+        let size = plan.sample(rng).min(remaining).max(1);
+        // Avoid a dust-sized trailing file: fold remainders smaller than
+        // 1/4 of the median into the previous chunk.
+        if remaining - size > 0 && remaining - size < plan.median_bytes / 4 {
+            out.push(remaining);
+            remaining = 0;
+        } else {
+            out.push(size);
+            remaining -= size;
+        }
+    }
+    out
+}
+
+/// Splits `total_bytes` across `n_partitions` targets. `skew = 0` is an
+/// even split; larger skews concentrate bytes on the first partitions
+/// (recent partitions receive most writes in time-partitioned tables).
+pub fn split_across_partitions(total_bytes: u64, n_partitions: usize, skew: f64) -> Vec<u64> {
+    let n = n_partitions.max(1);
+    if n == 1 {
+        return vec![total_bytes];
+    }
+    // Geometric weights (1+skew)^-i, normalized; deterministic.
+    let ratio = 1.0 / (1.0 + skew.max(0.0));
+    let weights: Vec<f64> = (0..n).map(|i| ratio.powi(i as i32)).collect();
+    let total_w: f64 = weights.iter().sum();
+    let mut out: Vec<u64> = weights
+        .iter()
+        .map(|w| ((total_bytes as f64) * w / total_w) as u64)
+        .collect();
+    // Repair f64 rounding drift: push any remainder onto the first
+    // partition, or shave any excess off the largest entries (totals above
+    // 2^53 round when converted to f64).
+    let assigned: u64 = out.iter().sum();
+    if assigned <= total_bytes {
+        out[0] += total_bytes - assigned;
+    } else {
+        let mut excess = assigned - total_bytes;
+        for slot in out.iter_mut() {
+            let take = excess.min(*slot);
+            *slot -= take;
+            excess -= take;
+            if excess == 0 {
+                break;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn presets_have_expected_magnitudes() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let tuned: Vec<u64> = (0..200).map(|_| FileSizePlan::well_tuned().sample(&mut rng)).collect();
+        let trickle: Vec<u64> = (0..200).map(|_| FileSizePlan::trickle().sample(&mut rng)).collect();
+        let tuned_mean = tuned.iter().sum::<u64>() / 200;
+        let trickle_mean = trickle.iter().sum::<u64>() / 200;
+        assert!(tuned_mean > 300 * MB, "{tuned_mean}");
+        assert!(trickle_mean < 16 * MB, "{trickle_mean}");
+    }
+
+    #[test]
+    fn misconfigured_writers_produce_mostly_small_files() {
+        let mut rng = SimRng::seed_from_u64(9);
+        let plan = FileSizePlan::misconfigured();
+        let small = (0..500)
+            .filter(|_| plan.sample(&mut rng) < 128 * MB)
+            .count();
+        // Fig. 1: the vast majority of user-derived files are small.
+        assert!(small > 450, "{small}/500 small");
+    }
+
+    #[test]
+    fn split_is_even_without_skew_and_skewed_with() {
+        let even = split_across_partitions(1000, 4, 0.0);
+        assert_eq!(even.iter().sum::<u64>(), 1000);
+        assert!(even.iter().all(|&b| b >= 249));
+        let skewed = split_across_partitions(1000, 4, 1.0);
+        assert_eq!(skewed.iter().sum::<u64>(), 1000);
+        assert!(skewed[0] > skewed[1] && skewed[1] > skewed[2]);
+    }
+
+    proptest! {
+        /// Chunking conserves bytes and produces no zero-sized files.
+        #[test]
+        fn chunking_conserves_bytes(total in 1u64..20_000_000_000u64, median_mb in 1u64..600) {
+            let mut rng = SimRng::seed_from_u64(total ^ median_mb);
+            let plan = FileSizePlan { median_bytes: median_mb * MB, sigma: 0.7 };
+            let chunks = chunk_bytes(total, &plan, &mut rng);
+            prop_assert_eq!(chunks.iter().sum::<u64>(), total);
+            prop_assert!(chunks.iter().all(|&c| c > 0));
+        }
+
+        /// Partition splitting conserves bytes for any skew.
+        #[test]
+        fn splitting_conserves_bytes(total in 0u64..u64::MAX / 2, n in 1usize..50, skew in 0.0f64..4.0) {
+            let parts = split_across_partitions(total, n, skew);
+            prop_assert_eq!(parts.len(), n.max(1));
+            prop_assert_eq!(parts.iter().sum::<u64>(), total);
+        }
+    }
+}

@@ -1,0 +1,354 @@
+//! Bin-packing compaction planning, with the paper's ΔF estimator.
+//!
+//! §4.2: *"For a given compaction candidate c, we estimate file count
+//! reduction after compaction as ΔF_c = Σ 1[FileSize_i < TargetFileSize]"*.
+//! §7 then observes that table-level estimates "may overestimate the number
+//! of small files that can be merged, since compaction does not cross
+//! partitions". Both the naive and the partition-aware estimators live
+//! here, so the feedback loop can quantify exactly that error.
+
+use std::collections::BTreeSet;
+
+use crate::datafile::DataFile;
+use crate::table::Table;
+use crate::types::{PartitionKey, TableId};
+use lakesim_storage::{FileId, MB};
+
+/// Configuration for bin-pack rewrite planning, mirroring Iceberg's
+/// `rewrite_data_files` knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BinPackConfig {
+    /// Desired output file size.
+    pub target_file_size: u64,
+    /// Files at or above `small_file_fraction * target` are left alone.
+    /// Iceberg's default min-file-size threshold is 75% of the target.
+    pub small_file_fraction: f64,
+    /// Minimum number of qualifying input files before a group is worth
+    /// rewriting (avoids churning nearly-compact partitions).
+    pub min_input_files: usize,
+}
+
+impl Default for BinPackConfig {
+    fn default() -> Self {
+        BinPackConfig {
+            target_file_size: 512 * MB,
+            small_file_fraction: 0.75,
+            min_input_files: 2,
+        }
+    }
+}
+
+impl BinPackConfig {
+    /// The size below which a file qualifies as rewrite input.
+    pub fn small_threshold(&self) -> u64 {
+        (self.target_file_size as f64 * self.small_file_fraction) as u64
+    }
+}
+
+/// One group of files rewritten together (never crosses partitions).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileGroup {
+    /// Partition the group belongs to.
+    pub partition: PartitionKey,
+    /// Input file ids.
+    pub inputs: Vec<FileId>,
+    /// Delete files removed alongside (MoR debt cleared by the rewrite).
+    pub delete_inputs: Vec<FileId>,
+    /// Total input bytes (data files only).
+    pub input_bytes: u64,
+    /// Expected output file count: `ceil(input_bytes / target)`.
+    pub expected_outputs: u64,
+}
+
+impl FileGroup {
+    /// Expected file-count reduction for this group (inputs − outputs,
+    /// including cleared delete files).
+    pub fn expected_reduction(&self) -> i64 {
+        (self.inputs.len() + self.delete_inputs.len()) as i64 - self.expected_outputs as i64
+    }
+}
+
+/// A complete rewrite plan for a candidate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RewritePlan {
+    /// Table being rewritten.
+    pub table: TableId,
+    /// Groups, in partition order (deterministic).
+    pub groups: Vec<FileGroup>,
+}
+
+impl RewritePlan {
+    /// Total input bytes across groups.
+    pub fn input_bytes(&self) -> u64 {
+        self.groups.iter().map(|g| g.input_bytes).sum()
+    }
+
+    /// Total input files across groups.
+    pub fn input_files(&self) -> u64 {
+        self.groups
+            .iter()
+            .map(|g| (g.inputs.len() + g.delete_inputs.len()) as u64)
+            .sum()
+    }
+
+    /// Expected file-count reduction across groups — the *partition-aware*
+    /// ΔF estimator (§7's suggested refinement).
+    pub fn expected_reduction(&self) -> i64 {
+        self.groups.iter().map(FileGroup::expected_reduction).sum()
+    }
+
+    /// Whether there is anything to do.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+}
+
+/// Plans a bin-pack rewrite of every partition in the table.
+pub fn plan_table_rewrite(table: &Table, config: &BinPackConfig) -> RewritePlan {
+    let groups = table
+        .partition_keys()
+        .into_iter()
+        .filter_map(|key| plan_group(table, &key, config))
+        .collect();
+    RewritePlan {
+        table: table.id(),
+        groups,
+    }
+}
+
+/// Plans a bin-pack rewrite of one partition; `None` when the partition
+/// does not meet the rewrite criteria.
+pub fn plan_partition_rewrite(
+    table: &Table,
+    partition: &PartitionKey,
+    config: &BinPackConfig,
+) -> RewritePlan {
+    RewritePlan {
+        table: table.id(),
+        groups: plan_group(table, partition, config).into_iter().collect(),
+    }
+}
+
+fn plan_group(table: &Table, key: &PartitionKey, config: &BinPackConfig) -> Option<FileGroup> {
+    let ids: &BTreeSet<FileId> = table.files_in_partition(key)?;
+    let threshold = config.small_threshold();
+    let mut inputs = Vec::new();
+    let mut delete_inputs = Vec::new();
+    let mut input_bytes = 0;
+    let mut has_deletes = false;
+    for id in ids {
+        let f: &DataFile = table.file(*id).expect("index consistent");
+        if f.content.is_deletes() {
+            delete_inputs.push(*id);
+            has_deletes = true;
+        } else if f.file_size_bytes < threshold {
+            inputs.push(*id);
+            input_bytes += f.file_size_bytes;
+        }
+    }
+    // Delete files force their partition's data files into the rewrite so
+    // the merged output is delete-free (MoR compaction semantics).
+    if has_deletes {
+        for id in ids {
+            let f = table.file(*id).expect("index consistent");
+            if !f.content.is_deletes() && f.file_size_bytes >= threshold {
+                inputs.push(*id);
+                input_bytes += f.file_size_bytes;
+            }
+        }
+        inputs.sort();
+    }
+    if inputs.len() < config.min_input_files.max(1) {
+        return None;
+    }
+    let expected_outputs = input_bytes.div_ceil(config.target_file_size).max(1);
+    // Rewriting is only useful if it reduces the file count.
+    let group = FileGroup {
+        partition: key.clone(),
+        inputs,
+        delete_inputs,
+        input_bytes,
+        expected_outputs,
+    };
+    if group.expected_reduction() <= 0 {
+        return None;
+    }
+    Some(group)
+}
+
+/// Sizes of the output files a rewrite of `input_bytes` produces: full
+/// target-size files plus one remainder.
+pub fn synthesize_outputs(input_bytes: u64, target_file_size: u64) -> Vec<u64> {
+    let target = target_file_size.max(1);
+    let full = input_bytes / target;
+    let rem = input_bytes % target;
+    let mut out = vec![target; full as usize];
+    if rem > 0 {
+        out.push(rem);
+    }
+    if out.is_empty() {
+        out.push(input_bytes.max(1));
+    }
+    out
+}
+
+/// The paper's *table-level* ΔF estimator: number of live data files
+/// smaller than the target (§4.2). Over-estimates when small files are
+/// spread one-per-partition (§7) — compare with
+/// [`RewritePlan::expected_reduction`].
+pub fn naive_delta_f(table: &Table, target_file_size: u64) -> u64 {
+    table
+        .live_files()
+        .filter(|f| !f.content.is_deletes() && f.is_small(target_file_size))
+        .count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnType, Field, Schema};
+    use crate::table::TableProperties;
+    use crate::transaction::OpKind;
+    use crate::types::{PartitionSpec, PartitionValue, Transform};
+    use proptest::prelude::*;
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            Field::new(1, "k", ColumnType::Int64, true),
+            Field::new(2, "ds", ColumnType::Date, true),
+        ])
+        .unwrap();
+        Table::new(
+            TableId(7),
+            "t",
+            "db",
+            schema,
+            PartitionSpec::single(2, Transform::Month, "m"),
+            TableProperties::default(),
+            0,
+        )
+    }
+
+    fn pkey(i: i32) -> PartitionKey {
+        PartitionKey::single(PartitionValue::Date(i))
+    }
+
+    fn with_files(sizes_mb_per_partition: &[(i32, &[u64])]) -> Table {
+        let mut t = table();
+        let mut next = 1;
+        for (p, sizes) in sizes_mb_per_partition {
+            let mut txn = t.begin(OpKind::Append);
+            for mb in *sizes {
+                txn.add_file(DataFile::data(FileId(next), pkey(*p), 100, mb * MB));
+                next += 1;
+            }
+            t.commit(txn, 0).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn packs_small_files_per_partition() {
+        let t = with_files(&[(1, &[64, 64, 64, 64]), (2, &[600])]);
+        let cfg = BinPackConfig::default();
+        let plan = plan_table_rewrite(&t, &cfg);
+        assert_eq!(plan.groups.len(), 1); // partition 2 already compact
+        let g = &plan.groups[0];
+        assert_eq!(g.inputs.len(), 4);
+        assert_eq!(g.input_bytes, 256 * MB);
+        assert_eq!(g.expected_outputs, 1);
+        assert_eq!(g.expected_reduction(), 3);
+    }
+
+    #[test]
+    fn respects_min_input_files() {
+        let t = with_files(&[(1, &[64])]);
+        let plan = plan_table_rewrite(&t, &BinPackConfig::default());
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn skips_groups_without_reduction() {
+        // Two 500MB files bin into two outputs (ceil(1000/512)=2): no win.
+        let t = with_files(&[(1, &[300, 300])]);
+        let plan = plan_table_rewrite(
+            &t,
+            &BinPackConfig {
+                target_file_size: 512 * MB,
+                small_file_fraction: 1.0,
+                min_input_files: 2,
+            },
+        );
+        assert!(plan.is_empty(), "{plan:?}");
+    }
+
+    #[test]
+    fn naive_estimator_overestimates_across_partitions() {
+        // One small file per partition: naive ΔF counts them all, but no
+        // partition has enough inputs to rewrite — the §7 estimation error.
+        let t = with_files(&[(1, &[64]), (2, &[64]), (3, &[64])]);
+        let cfg = BinPackConfig::default();
+        assert_eq!(naive_delta_f(&t, cfg.target_file_size), 3);
+        let plan = plan_table_rewrite(&t, &cfg);
+        assert_eq!(plan.expected_reduction(), 0);
+    }
+
+    #[test]
+    fn delete_files_pull_in_large_data_files() {
+        let mut t = with_files(&[(1, &[600, 64, 64])]);
+        let mut delta = t.begin(OpKind::RowDelta);
+        delta.add_file(DataFile::position_deletes(FileId(50), pkey(1), 5, MB));
+        t.commit(delta, 1).unwrap();
+        let plan = plan_table_rewrite(&t, &BinPackConfig::default());
+        let g = &plan.groups[0];
+        assert_eq!(g.delete_inputs, vec![FileId(50)]);
+        // All three data files rewritten because deletes must be applied.
+        assert_eq!(g.inputs.len(), 3);
+    }
+
+    #[test]
+    fn partition_scope_planning() {
+        let t = with_files(&[(1, &[64, 64]), (2, &[64, 64])]);
+        let plan = plan_partition_rewrite(&t, &pkey(1), &BinPackConfig::default());
+        assert_eq!(plan.groups.len(), 1);
+        assert_eq!(plan.groups[0].partition, pkey(1));
+        let missing = plan_partition_rewrite(&t, &pkey(9), &BinPackConfig::default());
+        assert!(missing.is_empty());
+    }
+
+    proptest! {
+        /// Output synthesis conserves bytes and caps file sizes at target.
+        #[test]
+        fn outputs_conserve_bytes(input in 1u64..50_000_000_000u64, target_mb in 1u64..2048) {
+            let target = target_mb * MB;
+            let outs = synthesize_outputs(input, target);
+            prop_assert_eq!(outs.iter().sum::<u64>(), input);
+            prop_assert!(outs.iter().all(|&s| s <= target));
+            // Only the last file may be a remainder.
+            for s in &outs[..outs.len().saturating_sub(1)] {
+                prop_assert_eq!(*s, target);
+            }
+        }
+
+        /// The partition-aware estimator never exceeds the naive one
+        /// (it is the refinement §7 calls for).
+        #[test]
+        fn partition_aware_bounded_by_naive(
+            layout in proptest::collection::vec(
+                (0i32..6, proptest::collection::vec(1u64..700, 1..8)),
+                1..6,
+            )
+        ) {
+            let rows: Vec<(i32, &[u64])> = layout
+                .iter()
+                .map(|(p, sizes)| (*p, sizes.as_slice()))
+                .collect();
+            let t = with_files(&rows);
+            let cfg = BinPackConfig::default();
+            let plan = plan_table_rewrite(&t, &cfg);
+            let naive = naive_delta_f(&t, cfg.target_file_size) as i64;
+            prop_assert!(plan.expected_reduction() <= naive,
+                "plan {} > naive {}", plan.expected_reduction(), naive);
+        }
+    }
+}

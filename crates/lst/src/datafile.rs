@@ -1,0 +1,100 @@
+//! Data and delete files tracked by the table format.
+
+use crate::types::PartitionKey;
+use lakesim_storage::FileId;
+
+/// What a tracked file contains, mirroring Iceberg's content types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FileContent {
+    /// Row data.
+    Data,
+    /// Merge-on-Read positional delete file (§2, cause *ii*: "MoR
+    /// configurations generate delta files that accumulate over time").
+    PositionDeletes,
+    /// Merge-on-Read equality delete file.
+    EqualityDeletes,
+}
+
+impl FileContent {
+    /// True for either delete-file variant.
+    pub fn is_deletes(self) -> bool {
+        !matches!(self, FileContent::Data)
+    }
+}
+
+/// An immutable file registered in a table snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataFile {
+    /// Storage-layer id of the physical file.
+    pub file_id: FileId,
+    /// Content type.
+    pub content: FileContent,
+    /// Partition the file belongs to.
+    pub partition: PartitionKey,
+    /// Estimated record count.
+    pub record_count: u64,
+    /// Physical size in bytes.
+    pub file_size_bytes: u64,
+}
+
+impl DataFile {
+    /// Convenience constructor for a row-data file.
+    pub fn data(
+        file_id: FileId,
+        partition: PartitionKey,
+        record_count: u64,
+        file_size_bytes: u64,
+    ) -> Self {
+        DataFile {
+            file_id,
+            content: FileContent::Data,
+            partition,
+            record_count,
+            file_size_bytes,
+        }
+    }
+
+    /// Convenience constructor for a positional-delete file.
+    pub fn position_deletes(
+        file_id: FileId,
+        partition: PartitionKey,
+        record_count: u64,
+        file_size_bytes: u64,
+    ) -> Self {
+        DataFile {
+            file_id,
+            content: FileContent::PositionDeletes,
+            partition,
+            record_count,
+            file_size_bytes,
+        }
+    }
+
+    /// Whether the file is smaller than the given target size — the
+    /// indicator inside the paper's ΔF estimator (§4.2).
+    pub fn is_small(&self, target_file_size: u64) -> bool {
+        self.file_size_bytes < target_file_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lakesim_storage::MB;
+
+    #[test]
+    fn small_file_indicator_matches_paper_definition() {
+        let f = DataFile::data(FileId(1), PartitionKey::unpartitioned(), 10, 100 * MB);
+        assert!(f.is_small(512 * MB));
+        assert!(!f.is_small(100 * MB)); // strict inequality
+        assert!(!f.is_small(64 * MB));
+    }
+
+    #[test]
+    fn delete_files_flagged() {
+        let d = DataFile::position_deletes(FileId(2), PartitionKey::unpartitioned(), 5, MB);
+        assert!(d.content.is_deletes());
+        assert!(!FileContent::Data.is_deletes());
+        assert!(FileContent::EqualityDeletes.is_deletes());
+    }
+}

@@ -1,0 +1,144 @@
+//! Error types: commit conflicts and structural errors.
+
+use std::fmt;
+
+use crate::types::{PartitionKey, SnapshotId};
+use lakesim_storage::FileId;
+
+/// Why a commit conflicted with concurrent activity.
+///
+/// §4.4 and Table 1 of the paper distinguish *client-side* conflicts
+/// (user transactions aborted and retried) from *cluster-side* conflicts
+/// (compaction jobs dropped). Both surface here as [`CommitError::Conflict`];
+/// the engine layer attributes them to a side.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConflictKind {
+    /// Strict-mode rewrite: some other commit (any kind, any partition)
+    /// landed since the rewrite's base snapshot. This is the Iceberg
+    /// v1.2.0 behaviour the paper observed: concurrent compactions of
+    /// *distinct* partitions still fail (§4.4).
+    StaleTableForRewrite {
+        /// The intervening snapshot that invalidated the rewrite.
+        intervening: SnapshotId,
+    },
+    /// Files this transaction intended to remove were already removed by a
+    /// concurrent commit (e.g. another compaction rewrote them).
+    RemovedFilesMissing {
+        /// Example missing file (first detected).
+        file: FileId,
+    },
+    /// A concurrent commit touched a partition this transaction overwrites
+    /// or deletes from.
+    PartitionOverlap {
+        /// Example overlapping partition (first detected).
+        partition: PartitionKey,
+        /// The intervening snapshot.
+        intervening: SnapshotId,
+    },
+}
+
+impl fmt::Display for ConflictKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConflictKind::StaleTableForRewrite { intervening } => {
+                write!(f, "rewrite base is stale (intervening {intervening})")
+            }
+            ConflictKind::RemovedFilesMissing { file } => {
+                write!(f, "file to remove is gone ({file})")
+            }
+            ConflictKind::PartitionOverlap {
+                partition,
+                intervening,
+            } => write!(
+                f,
+                "concurrent commit {intervening} touched partition {partition}"
+            ),
+        }
+    }
+}
+
+/// Errors returned by [`crate::Table::commit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommitError {
+    /// Optimistic concurrency conflict; the transaction must be retried
+    /// from a fresh base snapshot.
+    Conflict(ConflictKind),
+    /// The transaction's base snapshot id is unknown to the table.
+    UnknownBaseSnapshot(SnapshotId),
+    /// The transaction removes a file the table has never contained.
+    UnknownFile(FileId),
+    /// The transaction adds a file id that is already live in the table.
+    DuplicateFile(FileId),
+    /// Empty transaction: nothing to commit.
+    EmptyTransaction,
+}
+
+impl fmt::Display for CommitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommitError::Conflict(kind) => write!(f, "commit conflict: {kind}"),
+            CommitError::UnknownBaseSnapshot(id) => write!(f, "unknown base snapshot {id}"),
+            CommitError::UnknownFile(id) => write!(f, "unknown file {id}"),
+            CommitError::DuplicateFile(id) => write!(f, "duplicate file {id}"),
+            CommitError::EmptyTransaction => write!(f, "empty transaction"),
+        }
+    }
+}
+
+impl std::error::Error for CommitError {}
+
+impl CommitError {
+    /// Whether retrying from a refreshed base snapshot may succeed.
+    ///
+    /// Conflicts are retryable (the paper's clients retry, §6.2); the
+    /// structural errors are not.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, CommitError::Conflict(_))
+    }
+}
+
+/// Structural errors outside the commit path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LstError {
+    /// Schema construction failed.
+    InvalidSchema(String),
+    /// Partition spec validation failed.
+    InvalidSpec(String),
+}
+
+impl fmt::Display for LstError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LstError::InvalidSchema(msg) => write!(f, "invalid schema: {msg}"),
+            LstError::InvalidSpec(msg) => write!(f, "invalid partition spec: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LstError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conflicts_are_retryable_structural_errors_are_not() {
+        let c = CommitError::Conflict(ConflictKind::StaleTableForRewrite {
+            intervening: SnapshotId(3),
+        });
+        assert!(c.is_retryable());
+        assert!(!CommitError::EmptyTransaction.is_retryable());
+        assert!(!CommitError::UnknownFile(FileId(1)).is_retryable());
+    }
+
+    #[test]
+    fn displays_mention_cause() {
+        let c = CommitError::Conflict(ConflictKind::PartitionOverlap {
+            partition: PartitionKey::unpartitioned(),
+            intervening: SnapshotId(9),
+        });
+        let s = c.to_string();
+        assert!(s.contains("conflict"));
+        assert!(s.contains("snap#9"));
+    }
+}

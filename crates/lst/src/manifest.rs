@@ -1,0 +1,77 @@
+//! Manifest summaries: the metadata layer whose growth the paper tracks.
+//!
+//! Real Iceberg manifests list file entries; the simulator keeps per-
+//! manifest *summaries* (entry count + partition coverage) because scan
+//! planning cost and metadata bloat depend only on those aggregates. The
+//! live file set itself is materialized on [`crate::Table`].
+
+use std::collections::BTreeSet;
+
+use crate::types::{PartitionKey, SnapshotId};
+
+/// Identifier of a manifest within a table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ManifestId(pub u64);
+
+/// Summary of one manifest file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Manifest id.
+    pub id: ManifestId,
+    /// Snapshot that added this manifest.
+    pub added_snapshot: SnapshotId,
+    /// Number of file entries tracked by the manifest.
+    pub entry_count: u64,
+    /// Partitions covered, used for manifest-level pruning during planning.
+    pub partitions: BTreeSet<PartitionKey>,
+}
+
+impl Manifest {
+    /// Whether a scan restricted to `keys` must open this manifest.
+    ///
+    /// An empty coverage set means the manifest covers the implicit
+    /// unpartitioned partition and must always be opened.
+    pub fn overlaps(&self, keys: &BTreeSet<PartitionKey>) -> bool {
+        if self.partitions.is_empty() {
+            return true;
+        }
+        self.partitions.iter().any(|p| keys.contains(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::PartitionValue;
+
+    fn key(i: i64) -> PartitionKey {
+        PartitionKey::single(PartitionValue::Int(i))
+    }
+
+    #[test]
+    fn pruning_by_partition_overlap() {
+        let m = Manifest {
+            id: ManifestId(1),
+            added_snapshot: SnapshotId(1),
+            entry_count: 10,
+            partitions: [key(1), key(2)].into_iter().collect(),
+        };
+        let want: BTreeSet<_> = [key(2), key(3)].into_iter().collect();
+        assert!(m.overlaps(&want));
+        let miss: BTreeSet<_> = [key(9)].into_iter().collect();
+        assert!(!m.overlaps(&miss));
+    }
+
+    #[test]
+    fn unpartitioned_manifest_always_opened() {
+        let m = Manifest {
+            id: ManifestId(1),
+            added_snapshot: SnapshotId(1),
+            entry_count: 3,
+            partitions: BTreeSet::new(),
+        };
+        let want: BTreeSet<_> = [key(1)].into_iter().collect();
+        assert!(m.overlaps(&want));
+        assert!(m.overlaps(&BTreeSet::new()));
+    }
+}

@@ -1,0 +1,240 @@
+//! Scan planning: which files a query reads, and what planning costs.
+//!
+//! The paper's query-performance results (Fig. 3, Fig. 8, Fig. 11a) hinge
+//! on two effects of small files: more per-file open overhead at execution
+//! time, and more manifest entries to process at planning time. A
+//! [`ScanPlan`] carries exactly those quantities; the engine layer turns
+//! them into latency via its cost model.
+
+use std::collections::BTreeSet;
+
+use crate::datafile::DataFile;
+use crate::table::Table;
+use crate::types::PartitionKey;
+
+/// Which partitions a scan targets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionFilter {
+    /// Full table scan.
+    All,
+    /// An explicit set of partitions.
+    In(BTreeSet<PartitionKey>),
+    /// The `count` most recent partitions in key order — models the
+    /// freshness-skewed access of dashboard workloads (§4.1: snapshot
+    /// scope for "reasonably fresh data needs more frequent access").
+    Recent {
+        /// How many trailing partitions to scan.
+        count: usize,
+    },
+    /// A deterministic pseudo-random subset: partition `p` is selected when
+    /// `p.stable_hash(salt) % den < num`. Stable across runs (NFR2).
+    Sample {
+        /// Selected numerator.
+        num: u32,
+        /// Denominator.
+        den: u32,
+        /// Hash salt, varied per query for diversity.
+        salt: u64,
+    },
+}
+
+impl PartitionFilter {
+    /// Resolves the filter to a concrete partition set for a table.
+    pub fn resolve(&self, table: &Table) -> BTreeSet<PartitionKey> {
+        let all = table.partition_keys();
+        match self {
+            PartitionFilter::All => all.into_iter().collect(),
+            PartitionFilter::In(keys) => keys.clone(),
+            PartitionFilter::Recent { count } => {
+                let skip = all.len().saturating_sub(*count);
+                all.into_iter().skip(skip).collect()
+            }
+            PartitionFilter::Sample { num, den, salt } => {
+                let den = (*den).max(1);
+                all.into_iter()
+                    .filter(|k| (k.stable_hash(*salt) % u64::from(den)) < u64::from(*num))
+                    .collect()
+            }
+        }
+    }
+}
+
+/// The result of planning a scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanPlan {
+    /// Data files to read.
+    pub files: Vec<DataFile>,
+    /// Delete files that must be merged at read time (MoR read
+    /// amplification).
+    pub delete_files: u64,
+    /// Total data bytes to read.
+    pub bytes: u64,
+    /// Manifests opened during planning.
+    pub manifests_opened: u64,
+    /// Manifest entries processed during planning (metadata bloat cost).
+    pub manifest_entries: u64,
+    /// Partitions matched.
+    pub partitions: u64,
+}
+
+impl ScanPlan {
+    /// Number of data files in the plan.
+    pub fn file_count(&self) -> u64 {
+        self.files.len() as u64
+    }
+}
+
+impl Table {
+    /// Plans a scan over the partitions selected by `filter`.
+    pub fn plan_scan(&self, filter: &PartitionFilter) -> ScanPlan {
+        let wanted = filter.resolve(self);
+        // Manifest-level pruning: open only manifests whose partition
+        // summary intersects the wanted set; pay per entry in each.
+        let mut manifests_opened = 0;
+        let mut manifest_entries = 0;
+        for m in self.manifests() {
+            if m.overlaps(&wanted) {
+                manifests_opened += 1;
+                manifest_entries += m.entry_count;
+            }
+        }
+        let mut files = Vec::new();
+        let mut delete_files = 0;
+        let mut bytes = 0;
+        for key in &wanted {
+            if let Some(ids) = self.files_in_partition(key) {
+                for id in ids {
+                    let f = self.file(*id).expect("partition index consistent");
+                    if f.content.is_deletes() {
+                        delete_files += 1;
+                    } else {
+                        bytes += f.file_size_bytes;
+                        files.push(f.clone());
+                    }
+                }
+            }
+        }
+        ScanPlan {
+            files,
+            delete_files,
+            bytes,
+            manifests_opened,
+            manifest_entries,
+            partitions: wanted.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datafile::DataFile;
+    use crate::schema::{ColumnType, Field, Schema};
+    use crate::table::TableProperties;
+    use crate::transaction::OpKind;
+    use crate::types::{PartitionSpec, PartitionValue, TableId, Transform};
+    use lakesim_storage::{FileId, MB};
+
+    fn table_with_partitions(n: i32, files_per: u64) -> Table {
+        let schema = Schema::new(vec![
+            Field::new(1, "k", ColumnType::Int64, true),
+            Field::new(2, "ds", ColumnType::Date, true),
+        ])
+        .unwrap();
+        let mut t = Table::new(
+            TableId(1),
+            "t",
+            "db",
+            schema,
+            PartitionSpec::single(2, Transform::Month, "m"),
+            TableProperties::default(),
+            0,
+        );
+        let mut next = 1;
+        for p in 0..n {
+            let mut txn = t.begin(OpKind::Append);
+            for _ in 0..files_per {
+                txn.add_file(DataFile::data(
+                    FileId(next),
+                    PartitionKey::single(PartitionValue::Date(p)),
+                    100,
+                    16 * MB,
+                ));
+                next += 1;
+            }
+            t.commit(txn, u64::from(p as u32)).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn full_scan_reads_everything() {
+        let t = table_with_partitions(4, 3);
+        let plan = t.plan_scan(&PartitionFilter::All);
+        assert_eq!(plan.file_count(), 12);
+        assert_eq!(plan.partitions, 4);
+        assert_eq!(plan.bytes, 12 * 16 * MB);
+        assert_eq!(plan.manifests_opened, 4);
+        assert_eq!(plan.manifest_entries, 12);
+    }
+
+    #[test]
+    fn recent_filter_takes_trailing_partitions() {
+        let t = table_with_partitions(6, 2);
+        let plan = t.plan_scan(&PartitionFilter::Recent { count: 2 });
+        assert_eq!(plan.partitions, 2);
+        assert_eq!(plan.file_count(), 4);
+        // Only the manifests covering those partitions open.
+        assert_eq!(plan.manifests_opened, 2);
+    }
+
+    #[test]
+    fn in_filter_is_exact() {
+        let t = table_with_partitions(5, 1);
+        let wanted: BTreeSet<_> = [PartitionKey::single(PartitionValue::Date(2))]
+            .into_iter()
+            .collect();
+        let plan = t.plan_scan(&PartitionFilter::In(wanted));
+        assert_eq!(plan.partitions, 1);
+        assert_eq!(plan.file_count(), 1);
+    }
+
+    #[test]
+    fn sample_filter_is_deterministic_and_proportional() {
+        let t = table_with_partitions(64, 1);
+        let f = PartitionFilter::Sample {
+            num: 1,
+            den: 4,
+            salt: 7,
+        };
+        let a = t.plan_scan(&f);
+        let b = t.plan_scan(&f);
+        assert_eq!(a.partitions, b.partitions);
+        // Roughly a quarter; allow generous slack for hash variance.
+        assert!(a.partitions >= 4 && a.partitions <= 32, "{}", a.partitions);
+        // Different salt gives a (very likely) different subset.
+        let c = t.plan_scan(&PartitionFilter::Sample {
+            num: 1,
+            den: 4,
+            salt: 8,
+        });
+        assert!(c.partitions >= 1);
+    }
+
+    #[test]
+    fn delete_files_counted_separately() {
+        let mut t = table_with_partitions(1, 2);
+        let mut delta = t.begin(OpKind::RowDelta);
+        delta.add_file(DataFile::position_deletes(
+            FileId(1000),
+            PartitionKey::single(PartitionValue::Date(0)),
+            5,
+            MB,
+        ));
+        t.commit(delta, 10).unwrap();
+        let plan = t.plan_scan(&PartitionFilter::All);
+        assert_eq!(plan.file_count(), 2);
+        assert_eq!(plan.delete_files, 1);
+        assert_eq!(plan.bytes, 2 * 16 * MB); // delete file bytes not data bytes
+    }
+}

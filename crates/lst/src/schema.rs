@@ -1,0 +1,220 @@
+//! Table schemas: typed columns with estimated physical widths.
+//!
+//! The simulator never materializes rows; schemas exist so that tables can
+//! estimate row counts from byte sizes (and vice versa), mirror the paper's
+//! TPC-H/TPC-DS setups faithfully, and validate partition specs.
+
+use crate::error::LstError;
+use crate::types::{PartitionSpec, Transform};
+
+/// Column types, with estimated encoded width in a columnar file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColumnType {
+    /// Boolean (1 byte estimated after encoding).
+    Bool,
+    /// 32-bit integer.
+    Int32,
+    /// 64-bit integer.
+    Int64,
+    /// 64-bit float.
+    Float64,
+    /// Decimal with precision/scale (stored as 16 bytes).
+    Decimal(u8, u8),
+    /// Days-since-epoch date.
+    Date,
+    /// Microsecond timestamp.
+    Timestamp,
+    /// Variable-length string with an assumed average length.
+    Utf8 {
+        /// Assumed average encoded length in bytes.
+        avg_len: u32,
+    },
+}
+
+impl ColumnType {
+    /// Estimated encoded bytes per value. Columnar encodings compress well;
+    /// these are deliberately conservative post-encoding estimates.
+    pub fn estimated_width(&self) -> u64 {
+        match self {
+            ColumnType::Bool => 1,
+            ColumnType::Int32 | ColumnType::Date => 4,
+            ColumnType::Int64 | ColumnType::Float64 | ColumnType::Timestamp => 8,
+            ColumnType::Decimal(_, _) => 16,
+            ColumnType::Utf8 { avg_len } => u64::from(*avg_len),
+        }
+    }
+}
+
+/// One schema field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Unique field id within the schema.
+    pub id: u32,
+    /// Field name, unique within the schema.
+    pub name: String,
+    /// Column type.
+    pub ty: ColumnType,
+    /// Whether the field is required (non-null).
+    pub required: bool,
+}
+
+impl Field {
+    /// Creates a field.
+    pub fn new(id: u32, name: impl Into<String>, ty: ColumnType, required: bool) -> Self {
+        Field {
+            id,
+            name: name.into(),
+            ty,
+            required,
+        }
+    }
+}
+
+/// A validated table schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Builds a schema, validating that field ids and names are unique.
+    pub fn new(fields: Vec<Field>) -> Result<Self, LstError> {
+        if fields.is_empty() {
+            return Err(LstError::InvalidSchema("schema has no fields".into()));
+        }
+        for i in 0..fields.len() {
+            for j in (i + 1)..fields.len() {
+                if fields[i].id == fields[j].id {
+                    return Err(LstError::InvalidSchema(format!(
+                        "duplicate field id {}",
+                        fields[i].id
+                    )));
+                }
+                if fields[i].name == fields[j].name {
+                    return Err(LstError::InvalidSchema(format!(
+                        "duplicate field name '{}'",
+                        fields[i].name
+                    )));
+                }
+            }
+        }
+        Ok(Schema { fields })
+    }
+
+    /// All fields, in declaration order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Looks up a field by name.
+    pub fn field_by_name(&self, name: &str) -> Option<&Field> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+
+    /// Looks up a field by id.
+    pub fn field_by_id(&self, id: u32) -> Option<&Field> {
+        self.fields.iter().find(|f| f.id == id)
+    }
+
+    /// Estimated encoded row width in bytes (≥ 1).
+    pub fn estimated_row_width(&self) -> u64 {
+        self.fields
+            .iter()
+            .map(|f| f.ty.estimated_width())
+            .sum::<u64>()
+            .max(1)
+    }
+
+    /// Estimated rows in a file of `bytes` size.
+    pub fn estimate_rows(&self, bytes: u64) -> u64 {
+        bytes / self.estimated_row_width()
+    }
+
+    /// Validates a partition spec against this schema: every source column
+    /// must exist, and `Month`/`Day` transforms require `Date`/`Timestamp`
+    /// sources.
+    pub fn validate_spec(&self, spec: &PartitionSpec) -> Result<(), LstError> {
+        for pf in &spec.fields {
+            let field = self.field_by_id(pf.source_column).ok_or_else(|| {
+                LstError::InvalidSpec(format!(
+                    "partition field '{}' references unknown column id {}",
+                    pf.name, pf.source_column
+                ))
+            })?;
+            let temporal = matches!(field.ty, ColumnType::Date | ColumnType::Timestamp);
+            if matches!(pf.transform, Transform::Month | Transform::Day) && !temporal {
+                return Err(LstError::InvalidSpec(format!(
+                    "transform {} on non-temporal column '{}'",
+                    pf.transform.name(),
+                    field.name
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::PartitionSpec;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new(1, "orderkey", ColumnType::Int64, true),
+            Field::new(2, "shipdate", ColumnType::Date, true),
+            Field::new(3, "comment", ColumnType::Utf8 { avg_len: 27 }, false),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_duplicates_and_empty() {
+        assert!(Schema::new(vec![]).is_err());
+        let dup_id = Schema::new(vec![
+            Field::new(1, "a", ColumnType::Bool, true),
+            Field::new(1, "b", ColumnType::Bool, true),
+        ]);
+        assert!(dup_id.is_err());
+        let dup_name = Schema::new(vec![
+            Field::new(1, "a", ColumnType::Bool, true),
+            Field::new(2, "a", ColumnType::Bool, true),
+        ]);
+        assert!(dup_name.is_err());
+    }
+
+    #[test]
+    fn lookups_work() {
+        let s = schema();
+        assert_eq!(s.field_by_name("shipdate").unwrap().id, 2);
+        assert_eq!(s.field_by_id(3).unwrap().name, "comment");
+        assert!(s.field_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn row_width_and_row_estimates() {
+        let s = schema();
+        assert_eq!(s.estimated_row_width(), 8 + 4 + 27);
+        assert_eq!(s.estimate_rows(390), 10);
+    }
+
+    #[test]
+    fn spec_validation() {
+        let s = schema();
+        assert!(s
+            .validate_spec(&PartitionSpec::single(2, Transform::Month, "m"))
+            .is_ok());
+        // Month of an int column is invalid.
+        assert!(s
+            .validate_spec(&PartitionSpec::single(1, Transform::Month, "m"))
+            .is_err());
+        // Unknown column.
+        assert!(s
+            .validate_spec(&PartitionSpec::single(9, Transform::Identity, "x"))
+            .is_err());
+        // Bucket of anything is fine.
+        assert!(s
+            .validate_spec(&PartitionSpec::single(1, Transform::Bucket(16), "b"))
+            .is_ok());
+    }
+}

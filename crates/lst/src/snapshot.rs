@@ -1,0 +1,112 @@
+//! Table snapshots: the versioned commit log.
+
+use std::collections::BTreeSet;
+
+use crate::manifest::ManifestId;
+use crate::transaction::OpKind;
+use crate::types::{PartitionKey, SnapshotId};
+use lakesim_storage::FileId;
+
+/// Aggregate statistics of one commit, mirroring Iceberg's snapshot
+/// summary map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SnapshotSummary {
+    /// Data/delete files added by the commit.
+    pub added_files: u64,
+    /// Files logically removed by the commit.
+    pub removed_files: u64,
+    /// Bytes added.
+    pub added_bytes: u64,
+    /// Bytes removed.
+    pub removed_bytes: u64,
+}
+
+/// One committed table version.
+///
+/// Snapshots retain their change sets (`added`, `removed`,
+/// `touched_partitions`) because the optimistic commit protocol validates
+/// a transaction against every snapshot that landed after its base
+/// (§4.4 of the paper; see [`crate::transaction`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Snapshot id (monotonically increasing per table).
+    pub id: SnapshotId,
+    /// Parent snapshot, `None` for the first commit.
+    pub parent: Option<SnapshotId>,
+    /// Monotonic sequence number.
+    pub sequence_number: u64,
+    /// Commit timestamp (simulation ms).
+    pub timestamp_ms: u64,
+    /// The operation that produced this snapshot.
+    pub operation: OpKind,
+    /// Files added by this commit.
+    pub added: Vec<FileId>,
+    /// Files removed by this commit.
+    pub removed: Vec<FileId>,
+    /// Partitions touched by this commit.
+    pub touched_partitions: BTreeSet<PartitionKey>,
+    /// Manifest written by this commit.
+    pub manifest: ManifestId,
+    /// Aggregate statistics.
+    pub summary: SnapshotSummary,
+}
+
+impl Snapshot {
+    /// Whether this snapshot removed the given file.
+    pub fn removed_file(&self, file: FileId) -> bool {
+        self.removed.contains(&file)
+    }
+
+    /// Whether this snapshot touched any of the given partitions.
+    pub fn touches_any(&self, partitions: &BTreeSet<PartitionKey>) -> bool {
+        // Unpartitioned commits (empty key) are encoded as the empty key in
+        // the set, so plain intersection is correct for both cases.
+        self.touched_partitions
+            .iter()
+            .any(|p| partitions.contains(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::PartitionValue;
+
+    fn snap(removed: Vec<FileId>, parts: Vec<i64>) -> Snapshot {
+        Snapshot {
+            id: SnapshotId(1),
+            parent: None,
+            sequence_number: 1,
+            timestamp_ms: 0,
+            operation: OpKind::Append,
+            added: vec![],
+            removed,
+            touched_partitions: parts
+                .into_iter()
+                .map(|i| PartitionKey::single(PartitionValue::Int(i)))
+                .collect(),
+            manifest: ManifestId(1),
+            summary: SnapshotSummary::default(),
+        }
+    }
+
+    #[test]
+    fn removed_file_lookup() {
+        let s = snap(vec![FileId(5)], vec![]);
+        assert!(s.removed_file(FileId(5)));
+        assert!(!s.removed_file(FileId(6)));
+    }
+
+    #[test]
+    fn partition_touch_intersection() {
+        let s = snap(vec![], vec![1, 2]);
+        let probe: BTreeSet<_> = [PartitionKey::single(PartitionValue::Int(2))]
+            .into_iter()
+            .collect();
+        assert!(s.touches_any(&probe));
+        let miss: BTreeSet<_> = [PartitionKey::single(PartitionValue::Int(7))]
+            .into_iter()
+            .collect();
+        assert!(!s.touches_any(&miss));
+    }
+}

@@ -1,0 +1,198 @@
+//! Table statistics: the standardized observe-phase payload.
+//!
+//! §4.1 of the paper proposes "a standardized layout for statistics that
+//! accommodates both generic and custom metrics"; generic statistics
+//! include "the number of files in a candidate as well as their
+//! corresponding file sizes". [`TableStats`] is that generic layout,
+//! computable for a whole table or any partition subset.
+
+use std::collections::BTreeSet;
+
+use crate::table::Table;
+use crate::types::PartitionKey;
+use lakesim_storage::SizeHistogram;
+
+/// Generic statistics over a candidate's files.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableStats {
+    /// Live file count (data + delete files).
+    pub file_count: u64,
+    /// Data files strictly smaller than the target size.
+    pub small_file_count: u64,
+    /// Bytes in those small data files (what a rewrite would process).
+    pub small_bytes: u64,
+    /// Total live bytes.
+    pub total_bytes: u64,
+    /// Live delete files (MoR debt).
+    pub delete_file_count: u64,
+    /// Number of live partitions in scope.
+    pub partition_count: u64,
+    /// Manifests in the current snapshot (planning cost driver).
+    pub manifest_count: u64,
+    /// Snapshots retained in the log.
+    pub snapshot_count: u64,
+    /// Size histogram of data files in scope.
+    pub histogram: SizeHistogram,
+    /// The target size the small-file metrics were computed against.
+    pub target_file_size: u64,
+}
+
+impl TableStats {
+    /// Average data-file size in bytes; 0 when empty.
+    pub fn avg_file_size(&self) -> u64 {
+        let data_files = self.histogram.total();
+        if data_files == 0 {
+            0
+        } else {
+            self.histogram.total_bytes() / data_files
+        }
+    }
+
+    /// Fraction of data files that are small; 0.0 when empty.
+    pub fn small_file_fraction(&self) -> f64 {
+        let data_files = self.histogram.total();
+        if data_files == 0 {
+            0.0
+        } else {
+            self.small_file_count as f64 / data_files as f64
+        }
+    }
+}
+
+impl Table {
+    /// Computes statistics over the whole table, with small-file metrics
+    /// relative to `target_file_size`.
+    pub fn stats(&self, target_file_size: u64) -> TableStats {
+        self.stats_inner(target_file_size, None)
+    }
+
+    /// Computes statistics over one partition.
+    pub fn partition_stats(
+        &self,
+        key: &PartitionKey,
+        target_file_size: u64,
+    ) -> TableStats {
+        let keys: BTreeSet<PartitionKey> = [key.clone()].into_iter().collect();
+        self.stats_inner(target_file_size, Some(&keys))
+    }
+
+    fn stats_inner(
+        &self,
+        target_file_size: u64,
+        scope: Option<&BTreeSet<PartitionKey>>,
+    ) -> TableStats {
+        let mut histogram = SizeHistogram::new();
+        let mut file_count = 0;
+        let mut small_file_count = 0;
+        let mut small_bytes = 0;
+        let mut total_bytes = 0;
+        let mut delete_file_count = 0;
+        let mut partitions: BTreeSet<&PartitionKey> = BTreeSet::new();
+        for f in self.live_files() {
+            if let Some(keys) = scope {
+                if !keys.contains(&f.partition) {
+                    continue;
+                }
+            }
+            file_count += 1;
+            total_bytes += f.file_size_bytes;
+            partitions.insert(&f.partition);
+            if f.content.is_deletes() {
+                delete_file_count += 1;
+            } else {
+                histogram.record(f.file_size_bytes);
+                if f.is_small(target_file_size) {
+                    small_file_count += 1;
+                    small_bytes += f.file_size_bytes;
+                }
+            }
+        }
+        TableStats {
+            file_count,
+            small_file_count,
+            small_bytes,
+            total_bytes,
+            delete_file_count,
+            partition_count: partitions.len() as u64,
+            manifest_count: self.manifests().len() as u64,
+            snapshot_count: self.snapshots().len() as u64,
+            histogram,
+            target_file_size,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datafile::DataFile;
+    use crate::schema::{ColumnType, Field, Schema};
+    use crate::table::TableProperties;
+    use crate::transaction::OpKind;
+    use crate::types::{PartitionSpec, PartitionValue, TableId, Transform};
+    use lakesim_storage::{FileId, MB};
+
+    fn pkey(i: i32) -> PartitionKey {
+        PartitionKey::single(PartitionValue::Date(i))
+    }
+
+    fn build() -> Table {
+        let schema = Schema::new(vec![
+            Field::new(1, "k", ColumnType::Int64, true),
+            Field::new(2, "ds", ColumnType::Date, true),
+        ])
+        .unwrap();
+        let mut t = Table::new(
+            TableId(1),
+            "t",
+            "db",
+            schema,
+            PartitionSpec::single(2, Transform::Month, "m"),
+            TableProperties::default(),
+            0,
+        );
+        let mut txn = t.begin(OpKind::Append);
+        txn.add_file(DataFile::data(FileId(1), pkey(1), 10, 64 * MB));
+        txn.add_file(DataFile::data(FileId(2), pkey(1), 10, 600 * MB));
+        txn.add_file(DataFile::data(FileId(3), pkey(2), 10, 32 * MB));
+        t.commit(txn, 0).unwrap();
+        let mut delta = t.begin(OpKind::RowDelta);
+        delta.add_file(DataFile::position_deletes(FileId(4), pkey(2), 2, MB));
+        t.commit(delta, 1).unwrap();
+        t
+    }
+
+    #[test]
+    fn table_stats_cover_all_dimensions() {
+        let t = build();
+        let s = t.stats(512 * MB);
+        assert_eq!(s.file_count, 4);
+        assert_eq!(s.small_file_count, 2);
+        assert_eq!(s.small_bytes, 96 * MB);
+        assert_eq!(s.delete_file_count, 1);
+        assert_eq!(s.partition_count, 2);
+        assert_eq!(s.snapshot_count, 2);
+        assert_eq!(s.histogram.total(), 3); // data files only
+        assert!((s.small_file_fraction() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.avg_file_size(), (64 + 600 + 32) * MB / 3);
+    }
+
+    #[test]
+    fn partition_stats_scope_correctly() {
+        let t = build();
+        let s = t.partition_stats(&pkey(2), 512 * MB);
+        assert_eq!(s.file_count, 2); // one data + one delete
+        assert_eq!(s.small_file_count, 1);
+        assert_eq!(s.delete_file_count, 1);
+        assert_eq!(s.partition_count, 1);
+    }
+
+    #[test]
+    fn empty_scope_yields_zeroes() {
+        let t = build();
+        let s = t.partition_stats(&pkey(99), 512 * MB);
+        assert_eq!(s.file_count, 0);
+        assert_eq!(s.avg_file_size(), 0);
+        assert_eq!(s.small_file_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Transactions and the optimistic-concurrency conflict model.
+
+use std::collections::BTreeSet;
+
+use crate::datafile::DataFile;
+use crate::types::{PartitionKey, SnapshotId};
+use lakesim_storage::FileId;
+
+/// The kind of operation a transaction performs, determining its conflict
+/// validation rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OpKind {
+    /// Fast append of new files. Never conflicts (Iceberg's fast-append).
+    Append,
+    /// Replace the full contents of the touched partitions (INSERT
+    /// OVERWRITE, CoW deletes). Conflicts with any concurrent commit that
+    /// touched the same partitions.
+    OverwritePartitions,
+    /// Row-level delta (MoR update/delete adding delete files, possibly
+    /// removing data files). Conflicts with concurrent commits that removed
+    /// the files it depends on or rewrote its partitions.
+    RowDelta,
+    /// Compaction: replace a set of files with their merged equivalents.
+    /// Validation depends on [`ConflictMode`].
+    RewriteFiles,
+}
+
+impl OpKind {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            OpKind::Append => "append",
+            OpKind::OverwritePartitions => "overwrite",
+            OpKind::RowDelta => "row-delta",
+            OpKind::RewriteFiles => "rewrite",
+        }
+    }
+}
+
+/// How strictly rewrites are validated against concurrent commits.
+///
+/// §4.4 of the paper: *"in our experiments with Apache Iceberg v1.2.0 and
+/// OpenHouse, we observed that, counterintuitively, compaction operations
+/// executed concurrently could result in conflicts when targeting distinct
+/// partitions within a table."* [`ConflictMode::Strict`] reproduces that
+/// behaviour; [`ConflictMode::PartitionAware`] models an implementation
+/// with precise partition-level conflict filtering, used for ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConflictMode {
+    /// Iceberg v1.2.0-like: a rewrite fails if *any* commit landed on the
+    /// table after its base snapshot, regardless of partition overlap.
+    #[default]
+    Strict,
+    /// Precise validation: a rewrite fails only if a concurrent commit
+    /// removed files it rewrites or touched the partitions it rewrites.
+    PartitionAware,
+}
+
+/// A pending transaction against a table.
+///
+/// Captures the base snapshot at `begin` time; the table validates the
+/// transaction against all commits that landed after the base when
+/// `commit` is called (optimistic concurrency control).
+#[derive(Debug, Clone)]
+pub struct Transaction {
+    /// Base snapshot observed when the transaction began.
+    pub(crate) base_snapshot: Option<SnapshotId>,
+    /// Operation kind.
+    pub(crate) kind: OpKind,
+    /// Files to add.
+    pub(crate) added: Vec<DataFile>,
+    /// Files to remove (by id).
+    pub(crate) removed: BTreeSet<FileId>,
+    /// Partitions this transaction explicitly declares it touches, beyond
+    /// those implied by added/removed files (used by overwrites of
+    /// partitions that become empty).
+    pub(crate) declared_partitions: BTreeSet<PartitionKey>,
+}
+
+impl Transaction {
+    /// Creates a transaction; normally obtained via [`crate::Table::begin`].
+    pub fn new(base_snapshot: Option<SnapshotId>, kind: OpKind) -> Self {
+        Transaction {
+            base_snapshot,
+            kind,
+            added: Vec::new(),
+            removed: BTreeSet::new(),
+            declared_partitions: BTreeSet::new(),
+        }
+    }
+
+    /// The base snapshot this transaction reads from.
+    pub fn base_snapshot(&self) -> Option<SnapshotId> {
+        self.base_snapshot
+    }
+
+    /// The operation kind.
+    pub fn kind(&self) -> OpKind {
+        self.kind
+    }
+
+    /// Stages a file addition.
+    pub fn add_file(&mut self, file: DataFile) -> &mut Self {
+        self.added.push(file);
+        self
+    }
+
+    /// Stages a file removal.
+    pub fn remove_file(&mut self, file: FileId) -> &mut Self {
+        self.removed.insert(file);
+        self
+    }
+
+    /// Declares a touched partition explicitly.
+    pub fn declare_partition(&mut self, key: PartitionKey) -> &mut Self {
+        self.declared_partitions.insert(key);
+        self
+    }
+
+    /// Re-bases the transaction onto a fresh snapshot for a retry after a
+    /// conflict. The staged file set is kept: for appends and row deltas
+    /// the written files remain valid; rewrites must be re-planned by the
+    /// caller instead (their inputs may be gone).
+    pub fn rebase(&mut self, new_base: Option<SnapshotId>) {
+        self.base_snapshot = new_base;
+    }
+
+    /// Files staged for addition.
+    pub fn added(&self) -> &[DataFile] {
+        &self.added
+    }
+
+    /// Files staged for removal.
+    pub fn removed(&self) -> &BTreeSet<FileId> {
+        &self.removed
+    }
+
+    /// Whether the transaction stages no changes.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+
+    /// All partitions touched: declared plus those of added files.
+    /// (Removed files' partitions are resolved by the table at commit.)
+    pub fn staged_partitions(&self) -> BTreeSet<PartitionKey> {
+        let mut set = self.declared_partitions.clone();
+        for f in &self.added {
+            set.insert(f.partition.clone());
+        }
+        set
+    }
+
+    /// Total bytes staged for addition.
+    pub fn added_bytes(&self) -> u64 {
+        self.added.iter().map(|f| f.file_size_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::PartitionValue;
+    use lakesim_storage::MB;
+
+    #[test]
+    fn staged_partitions_union_declared_and_added() {
+        let mut txn = Transaction::new(None, OpKind::OverwritePartitions);
+        txn.declare_partition(PartitionKey::single(PartitionValue::Int(1)));
+        txn.add_file(DataFile::data(
+            FileId(1),
+            PartitionKey::single(PartitionValue::Int(2)),
+            10,
+            MB,
+        ));
+        let parts = txn.staged_partitions();
+        assert_eq!(parts.len(), 2);
+        assert_eq!(txn.added_bytes(), MB);
+    }
+
+    #[test]
+    fn rebase_updates_base_only() {
+        let mut txn = Transaction::new(Some(SnapshotId(1)), OpKind::Append);
+        txn.add_file(DataFile::data(FileId(1), PartitionKey::unpartitioned(), 1, MB));
+        txn.rebase(Some(SnapshotId(5)));
+        assert_eq!(txn.base_snapshot(), Some(SnapshotId(5)));
+        assert_eq!(txn.added().len(), 1);
+    }
+
+    #[test]
+    fn emptiness() {
+        let txn = Transaction::new(None, OpKind::Append);
+        assert!(txn.is_empty());
+        let mut txn2 = Transaction::new(None, OpKind::RewriteFiles);
+        txn2.remove_file(FileId(4));
+        assert!(!txn2.is_empty());
+    }
+
+    #[test]
+    fn op_labels() {
+        assert_eq!(OpKind::RewriteFiles.label(), "rewrite");
+        assert_eq!(OpKind::Append.label(), "append");
+    }
+}

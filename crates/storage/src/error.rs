@@ -1,0 +1,113 @@
+//! Error type for the simulated storage layer.
+
+use std::fmt;
+
+use crate::file::FileId;
+
+/// Errors surfaced by the simulated file system.
+///
+/// These mirror the failure modes the paper attributes to small-file
+/// proliferation: quota breaches and RPC read timeouts (§2, §7).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// The namespace object quota would be exceeded by the operation.
+    QuotaExceeded {
+        /// Namespace (database) whose quota was hit.
+        namespace: String,
+        /// Objects currently in use.
+        used: u64,
+        /// Configured object quota.
+        quota: u64,
+        /// Objects the rejected operation would have added.
+        requested: u64,
+    },
+    /// The namespace does not exist.
+    NamespaceNotFound(String),
+    /// A namespace with this name already exists.
+    NamespaceExists(String),
+    /// The file id is unknown (possibly already deleted).
+    FileNotFound(FileId),
+    /// The NameNode was overloaded and the read RPC timed out.
+    ///
+    /// The paper reports HDFS read timeouts under excessive RPC traffic that
+    /// trigger client retries and a thundering-herd effect (§7).
+    ReadTimeout {
+        /// File whose open timed out.
+        file: FileId,
+        /// RPC operations observed in the current window when the call was
+        /// rejected (for diagnostics).
+        window_ops: u64,
+        /// The window capacity that was exceeded.
+        capacity: u64,
+    },
+    /// A file of size zero was requested; the simulator requires positive sizes.
+    EmptyFile,
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::QuotaExceeded {
+                namespace,
+                used,
+                quota,
+                requested,
+            } => write!(
+                f,
+                "namespace quota exceeded in '{namespace}': used {used} + requested {requested} > quota {quota}"
+            ),
+            StorageError::NamespaceNotFound(ns) => write!(f, "namespace not found: '{ns}'"),
+            StorageError::NamespaceExists(ns) => write!(f, "namespace already exists: '{ns}'"),
+            StorageError::FileNotFound(id) => write!(f, "file not found: {id}"),
+            StorageError::ReadTimeout {
+                file,
+                window_ops,
+                capacity,
+            } => write!(
+                f,
+                "read timeout opening {file}: namenode window ops {window_ops} exceeded capacity {capacity}"
+            ),
+            StorageError::EmptyFile => write!(f, "cannot create a zero-byte file"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StorageError::QuotaExceeded {
+            namespace: "db1".into(),
+            used: 90,
+            quota: 100,
+            requested: 20,
+        };
+        let s = e.to_string();
+        assert!(s.contains("db1"));
+        assert!(s.contains("90"));
+        assert!(s.contains("100"));
+
+        let e = StorageError::ReadTimeout {
+            file: FileId(7),
+            window_ops: 1000,
+            capacity: 800,
+        };
+        assert!(e.to_string().contains("timeout"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            StorageError::NamespaceNotFound("a".into()),
+            StorageError::NamespaceNotFound("a".into())
+        );
+        assert_ne!(
+            StorageError::NamespaceNotFound("a".into()),
+            StorageError::NamespaceExists("a".into())
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! File identifiers and metadata records.
+
+use std::fmt;
+
+/// Stable identifier for a file within one [`crate::SimFileSystem`].
+///
+/// Ids are assigned by a monotonically increasing counter, so iteration
+/// ordered by `FileId` is creation order — a property the deterministic
+/// decision pipeline (paper NFR2) relies on for stable tie-breaking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FileId(pub u64);
+
+impl fmt::Display for FileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "file#{}", self.0)
+    }
+}
+
+/// Broad classification of what a file stores.
+///
+/// The paper distinguishes data files from the LST *metadata* files
+/// (manifests, manifest lists, metadata JSON) that themselves contribute to
+/// small-file proliferation (§2, cause *iv*), and from short-lived
+/// checkpoint files written by the ingestion pipeline (§2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FileKind {
+    /// Columnar data file (Parquet/ORC in the real system).
+    Data,
+    /// LST metadata object: manifest, manifest list, or metadata JSON.
+    Metadata,
+    /// Ingestion checkpoint file, expired after a retention window.
+    Checkpoint,
+}
+
+impl FileKind {
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FileKind::Data => "data",
+            FileKind::Metadata => "meta",
+            FileKind::Checkpoint => "ckpt",
+        }
+    }
+}
+
+/// Metadata the simulated NameNode keeps for each file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileMeta {
+    /// Unique file id.
+    pub id: FileId,
+    /// Owning namespace (database).
+    pub namespace: String,
+    /// What the file stores.
+    pub kind: FileKind,
+    /// Logical size in bytes.
+    pub size_bytes: u64,
+    /// Number of HDFS blocks the file occupies (`ceil(size / block_size)`).
+    pub block_count: u64,
+    /// Simulation timestamp (ms) at which the file was created.
+    pub created_at_ms: u64,
+}
+
+impl FileMeta {
+    /// Number of namespace objects this file accounts for: the file entry
+    /// itself plus one object per block, matching how HDFS namespace quotas
+    /// count inodes + blocks.
+    pub fn object_count(&self) -> u64 {
+        1 + self.block_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_id_orders_by_creation() {
+        assert!(FileId(1) < FileId(2));
+        assert_eq!(FileId(3).to_string(), "file#3");
+    }
+
+    #[test]
+    fn object_count_includes_blocks() {
+        let meta = FileMeta {
+            id: FileId(1),
+            namespace: "db".into(),
+            kind: FileKind::Data,
+            size_bytes: 1,
+            block_count: 4,
+            created_at_ms: 0,
+        };
+        assert_eq!(meta.object_count(), 5);
+    }
+
+    #[test]
+    fn kind_labels_are_distinct() {
+        let labels = [
+            FileKind::Data.label(),
+            FileKind::Metadata.label(),
+            FileKind::Checkpoint.label(),
+        ];
+        assert_eq!(
+            labels.len(),
+            labels.iter().collect::<std::collections::BTreeSet<_>>().len()
+        );
+    }
+}

@@ -1,0 +1,456 @@
+//! The simulated distributed file system.
+
+use std::collections::BTreeMap;
+
+use crate::error::StorageError;
+use crate::file::{FileId, FileKind, FileMeta};
+use crate::histogram::SizeHistogram;
+use crate::metrics::StorageMetrics;
+use crate::namenode::{NameNode, NameNodeConfig, RpcKind, RpcTicket};
+use crate::namespace::{Namespace, QuotaUsage};
+use crate::units::MB;
+use crate::Result;
+
+/// File-system configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FsConfig {
+    /// HDFS block size; files occupy `ceil(size / block_size)` block objects.
+    /// LinkedIn's deployment uses 128MB blocks with a 512MB target file size.
+    pub block_size: u64,
+    /// NameNode model parameters.
+    pub namenode: NameNodeConfig,
+}
+
+impl Default for FsConfig {
+    fn default() -> Self {
+        Self {
+            block_size: 128 * MB,
+            namenode: NameNodeConfig::default(),
+        }
+    }
+}
+
+/// In-memory simulation of an HDFS-like file system.
+///
+/// Tracks file metadata, per-namespace quotas, and NameNode RPC load.
+/// All operations are deterministic; see the crate docs for the modelled
+/// failure modes.
+#[derive(Debug, Clone)]
+pub struct SimFileSystem {
+    config: FsConfig,
+    next_file_id: u64,
+    files: BTreeMap<FileId, FileMeta>,
+    namespaces: BTreeMap<String, Namespace>,
+    namenode: NameNode,
+    /// Cumulative count of deleted files (objects reclaimed).
+    deleted_files: u64,
+}
+
+impl SimFileSystem {
+    /// Creates an empty file system.
+    pub fn new(config: FsConfig) -> Self {
+        let namenode = NameNode::new(config.namenode);
+        Self {
+            config,
+            next_file_id: 1,
+            files: BTreeMap::new(),
+            namespaces: BTreeMap::new(),
+            namenode,
+            deleted_files: 0,
+        }
+    }
+
+    /// The configured block size in bytes.
+    pub fn block_size(&self) -> u64 {
+        self.config.block_size
+    }
+
+    /// Registers a namespace (database). `quota = None` means unlimited.
+    pub fn create_namespace(&mut self, name: &str, quota: Option<u64>) -> Result<()> {
+        if self.namespaces.contains_key(name) {
+            return Err(StorageError::NamespaceExists(name.to_string()));
+        }
+        self.namespaces
+            .insert(name.to_string(), Namespace::new(name, quota));
+        Ok(())
+    }
+
+    /// Updates the object quota of an existing namespace.
+    pub fn set_quota(&mut self, name: &str, quota: Option<u64>) -> Result<()> {
+        let ns = self
+            .namespaces
+            .get_mut(name)
+            .ok_or_else(|| StorageError::NamespaceNotFound(name.to_string()))?;
+        ns.object_quota = quota.unwrap_or(u64::MAX);
+        Ok(())
+    }
+
+    /// Creates a file of `size_bytes` in `namespace` at time `now_ms`.
+    ///
+    /// Fails with [`StorageError::QuotaExceeded`] when the namespace cannot
+    /// absorb the new objects — the quota-breach failure users hit before
+    /// compaction was deployed (§7).
+    pub fn create_file(
+        &mut self,
+        namespace: &str,
+        kind: FileKind,
+        size_bytes: u64,
+        now_ms: u64,
+    ) -> Result<FileId> {
+        if size_bytes == 0 {
+            return Err(StorageError::EmptyFile);
+        }
+        let block_size = self.config.block_size;
+        let blocks = size_bytes.div_ceil(block_size);
+        let ns = self
+            .namespaces
+            .get_mut(namespace)
+            .ok_or_else(|| StorageError::NamespaceNotFound(namespace.to_string()))?;
+        ns.check_quota(1 + blocks)?;
+        ns.add_file(blocks, size_bytes);
+
+        let id = FileId(self.next_file_id);
+        self.next_file_id += 1;
+        let meta = FileMeta {
+            id,
+            namespace: namespace.to_string(),
+            kind,
+            size_bytes,
+            block_count: blocks,
+            created_at_ms: now_ms,
+        };
+        self.files.insert(id, meta);
+        let objects = self.total_objects();
+        self.namenode.record(RpcKind::Create, now_ms, objects);
+        Ok(id)
+    }
+
+    /// Opens a file for reading, recording `open` + block-location RPCs.
+    ///
+    /// Returns the RPC ticket (latency factor, timeout flag) along with the
+    /// metadata; callers that model retries re-issue the open, which lands
+    /// in a later RPC window.
+    pub fn open_file(&mut self, id: FileId, now_ms: u64) -> Result<(FileMeta, RpcTicket)> {
+        let meta = self
+            .files
+            .get(&id)
+            .cloned()
+            .ok_or(StorageError::FileNotFound(id))?;
+        let objects = self.total_objects();
+        let ticket = self.namenode.record(RpcKind::Open, now_ms, objects);
+        self.namenode
+            .record(RpcKind::GetBlockLocations, now_ms, objects);
+        if ticket.timed_out {
+            return Err(StorageError::ReadTimeout {
+                file: id,
+                window_ops: ticket.window_ops,
+                capacity: self.namenode.config().ops_capacity_per_window,
+            });
+        }
+        Ok((meta, ticket))
+    }
+
+    /// Convenience wrapper over [`Self::open_file`] that ignores RPC effects.
+    /// Useful for metadata inspection in tests and reports.
+    pub fn file(&self, id: FileId) -> Option<&FileMeta> {
+        self.files.get(&id)
+    }
+
+    /// Batch-records the RPC load of opening `count` files at `now_ms`
+    /// (one `open` + one `getBlockLocations` each) without touching file
+    /// metadata — the fast path used by the query engine for large scans.
+    ///
+    /// Returns `(latency_factor, timeouts)`: the congestion-derived latency
+    /// multiplier and how many opens timed out in the current window.
+    pub fn open_files_batch(&mut self, count: u64, now_ms: u64) -> (f64, u64) {
+        let objects = self.total_objects();
+        let (factor, timeouts) = self
+            .namenode
+            .record_batch(RpcKind::Open, count, now_ms, objects);
+        self.namenode
+            .record_batch(RpcKind::GetBlockLocations, count, now_ms, objects);
+        (factor, timeouts)
+    }
+
+    /// Deletes a file, releasing its quota objects.
+    pub fn delete_file(&mut self, id: FileId, now_ms: u64) -> Result<FileMeta> {
+        let meta = self
+            .files
+            .remove(&id)
+            .ok_or(StorageError::FileNotFound(id))?;
+        if let Some(ns) = self.namespaces.get_mut(&meta.namespace) {
+            ns.remove_file(meta.block_count, meta.size_bytes);
+        }
+        self.deleted_files += 1;
+        let objects = self.total_objects();
+        self.namenode.record(RpcKind::Delete, now_ms, objects);
+        Ok(meta)
+    }
+
+    /// Lists live file ids in a namespace (creation order), recording a
+    /// `List` RPC.
+    pub fn list_namespace(&mut self, namespace: &str, now_ms: u64) -> Result<Vec<FileId>> {
+        if !self.namespaces.contains_key(namespace) {
+            return Err(StorageError::NamespaceNotFound(namespace.to_string()));
+        }
+        let objects = self.total_objects();
+        self.namenode.record(RpcKind::List, now_ms, objects);
+        Ok(self
+            .files
+            .values()
+            .filter(|m| m.namespace == namespace)
+            .map(|m| m.id)
+            .collect())
+    }
+
+    /// Quota usage for a namespace.
+    pub fn quota_usage(&self, namespace: &str) -> Result<QuotaUsage> {
+        self.namespaces
+            .get(namespace)
+            .map(|ns| ns.quota_usage())
+            .ok_or_else(|| StorageError::NamespaceNotFound(namespace.to_string()))
+    }
+
+    /// Registered namespace names, sorted.
+    pub fn namespaces(&self) -> Vec<&str> {
+        self.namespaces.keys().map(String::as_str).collect()
+    }
+
+    /// Total live files.
+    pub fn total_files(&self) -> u64 {
+        self.files.len() as u64
+    }
+
+    /// Total live files of a given kind.
+    pub fn total_files_of_kind(&self, kind: FileKind) -> u64 {
+        self.files.values().filter(|m| m.kind == kind).count() as u64
+    }
+
+    /// Total live namespace objects (files + blocks) across all namespaces.
+    pub fn total_objects(&self) -> u64 {
+        self.namespaces.values().map(|ns| ns.used_objects()).sum()
+    }
+
+    /// Total live bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.namespaces.values().map(|ns| ns.bytes).sum()
+    }
+
+    /// Size histogram over live files, optionally filtered to one kind.
+    pub fn size_histogram(&self, kind: Option<FileKind>) -> SizeHistogram {
+        let mut h = SizeHistogram::new();
+        for meta in self.files.values() {
+            if kind.is_none_or(|k| meta.kind == k) {
+                h.record(meta.size_bytes);
+            }
+        }
+        h
+    }
+
+    /// Number of live data files strictly smaller than `threshold` bytes.
+    /// This is the §7 "files smaller than 128MB" metric.
+    pub fn small_file_count(&self, threshold: u64) -> u64 {
+        self.files
+            .values()
+            .filter(|m| m.kind == FileKind::Data && m.size_bytes < threshold)
+            .count() as u64
+    }
+
+    /// Current congestion factor (see [`NameNode::congestion_factor`]).
+    pub fn congestion_factor(&self) -> f64 {
+        self.namenode.congestion_factor(self.total_objects())
+    }
+
+    /// Mutable access to the NameNode (window queries in experiments).
+    pub fn namenode_mut(&mut self) -> &mut NameNode {
+        &mut self.namenode
+    }
+
+    /// Snapshot of storage metrics.
+    pub fn metrics(&self) -> StorageMetrics {
+        StorageMetrics {
+            total_files: self.total_files(),
+            total_objects: self.total_objects(),
+            total_bytes: self.total_bytes(),
+            deleted_files: self.deleted_files,
+            rpc: self.namenode.counters(),
+            congestion_factor: self.congestion_factor(),
+        }
+    }
+}
+
+impl Default for SimFileSystem {
+    fn default() -> Self {
+        Self::new(FsConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn fs() -> SimFileSystem {
+        let mut fs = SimFileSystem::new(FsConfig::default());
+        fs.create_namespace("db", None).unwrap();
+        fs
+    }
+
+    #[test]
+    fn create_open_delete_lifecycle() {
+        let mut fs = fs();
+        let id = fs.create_file("db", FileKind::Data, 300 * MB, 5).unwrap();
+        let (meta, ticket) = fs.open_file(id, 10).unwrap();
+        assert_eq!(meta.size_bytes, 300 * MB);
+        assert_eq!(meta.block_count, 3); // ceil(300/128)
+        assert!(ticket.latency_factor >= 1.0);
+        let removed = fs.delete_file(id, 20).unwrap();
+        assert_eq!(removed.id, id);
+        assert_eq!(fs.total_files(), 0);
+        assert_eq!(fs.total_objects(), 0);
+        assert!(matches!(
+            fs.open_file(id, 30),
+            Err(StorageError::FileNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn quota_blocks_small_file_floods() {
+        let mut fs = SimFileSystem::new(FsConfig::default());
+        // Room for exactly 5 small files (1 file + 1 block object each).
+        fs.create_namespace("tenant", Some(10)).unwrap();
+        for _ in 0..5 {
+            fs.create_file("tenant", FileKind::Data, MB, 0).unwrap();
+        }
+        let err = fs.create_file("tenant", FileKind::Data, MB, 0).unwrap_err();
+        assert!(matches!(err, StorageError::QuotaExceeded { .. }));
+        // Deleting one frees room again.
+        let ids = fs.list_namespace("tenant", 0).unwrap();
+        fs.delete_file(ids[0], 0).unwrap();
+        assert!(fs.create_file("tenant", FileKind::Data, MB, 0).is_ok());
+    }
+
+    #[test]
+    fn large_files_use_fewer_objects_per_byte() {
+        let mut fs = fs();
+        // 4 × 128MB small files: 4 files + 4 blocks = 8 objects.
+        for _ in 0..4 {
+            fs.create_file("db", FileKind::Data, 128 * MB, 0).unwrap();
+        }
+        let small_objects = fs.total_objects();
+        let mut fs2 = SimFileSystem::new(FsConfig::default());
+        fs2.create_namespace("db", None).unwrap();
+        // Same bytes in one 512MB file: 1 file + 4 blocks = 5 objects.
+        fs2.create_file("db", FileKind::Data, 512 * MB, 0).unwrap();
+        assert!(fs2.total_objects() < small_objects);
+    }
+
+    #[test]
+    fn duplicate_namespace_rejected() {
+        let mut fs = fs();
+        assert!(matches!(
+            fs.create_namespace("db", None),
+            Err(StorageError::NamespaceExists(_))
+        ));
+    }
+
+    #[test]
+    fn histogram_and_small_file_metrics() {
+        let mut fs = fs();
+        fs.create_file("db", FileKind::Data, 10 * MB, 0).unwrap();
+        fs.create_file("db", FileKind::Data, 600 * MB, 0).unwrap();
+        fs.create_file("db", FileKind::Metadata, 64 * 1024, 0).unwrap();
+        assert_eq!(fs.small_file_count(128 * MB), 1); // metadata excluded
+        let all = fs.size_histogram(None);
+        assert_eq!(all.total(), 3);
+        let data = fs.size_histogram(Some(FileKind::Data));
+        assert_eq!(data.total(), 2);
+    }
+
+    #[test]
+    fn read_timeouts_under_rpc_pressure() {
+        let mut fs = SimFileSystem::new(FsConfig {
+            block_size: 128 * MB,
+            namenode: NameNodeConfig {
+                object_capacity: 1000,
+                window_ms: 1000,
+                ops_capacity_per_window: 3,
+                congestion_alpha: 3.0,
+            },
+        });
+        fs.create_namespace("db", None).unwrap();
+        let id = fs.create_file("db", FileKind::Data, MB, 0).unwrap();
+        // The create consumed one window op; each open consumes two
+        // (open + block locations), so the second open is op 4 > capacity 3.
+        assert!(fs.open_file(id, 100).is_ok());
+        let err = fs.open_file(id, 150).unwrap_err();
+        assert!(matches!(err, StorageError::ReadTimeout { .. }));
+        // Retrying in the next window succeeds (herd drains).
+        assert!(fs.open_file(id, 1200).is_ok());
+    }
+
+    #[test]
+    fn batch_open_accounts_rpcs_and_timeouts() {
+        let mut fs = SimFileSystem::new(FsConfig {
+            block_size: 128 * MB,
+            namenode: NameNodeConfig {
+                object_capacity: 1000,
+                window_ms: 1000,
+                ops_capacity_per_window: 10,
+                congestion_alpha: 3.0,
+            },
+        });
+        fs.create_namespace("db", None).unwrap();
+        let (factor, timeouts) = fs.open_files_batch(8, 100);
+        assert!(factor >= 1.0);
+        assert_eq!(timeouts, 0);
+        // Window already has 16 ops (8 opens + 8 blocklocs); 6 more opens
+        // overflow the 10-op capacity entirely.
+        let (_, timeouts) = fs.open_files_batch(6, 200);
+        assert_eq!(timeouts, 6);
+        assert_eq!(fs.metrics().rpc.opens, 14);
+        assert_eq!(fs.metrics().rpc.timeouts, 6);
+        // Next window is clean.
+        let (_, timeouts) = fs.open_files_batch(5, 1500);
+        assert_eq!(timeouts, 0);
+    }
+
+    #[test]
+    fn metrics_snapshot_consistent() {
+        let mut fs = fs();
+        fs.create_file("db", FileKind::Data, 100 * MB, 0).unwrap();
+        let id = fs.create_file("db", FileKind::Data, 100 * MB, 0).unwrap();
+        fs.delete_file(id, 1).unwrap();
+        let m = fs.metrics();
+        assert_eq!(m.total_files, 1);
+        assert_eq!(m.deleted_files, 1);
+        assert_eq!(m.rpc.creates, 2);
+        assert_eq!(m.rpc.deletes, 1);
+        assert!(m.congestion_factor >= 1.0);
+    }
+
+    proptest! {
+        /// Object accounting is conserved across arbitrary create/delete
+        /// interleavings: total_objects == Σ (1 + blocks) over live files.
+        #[test]
+        fn object_accounting_conserved(ops in proptest::collection::vec((1u64..2048, any::<bool>()), 1..100)) {
+            let mut fs = fs();
+            let mut live: Vec<FileId> = Vec::new();
+            for (mb, delete) in ops {
+                if delete && !live.is_empty() {
+                    let id = live.remove(0);
+                    fs.delete_file(id, 0).unwrap();
+                } else {
+                    let id = fs.create_file("db", FileKind::Data, mb * MB, 0).unwrap();
+                    live.push(id);
+                }
+                let expected: u64 = live
+                    .iter()
+                    .map(|id| fs.file(*id).unwrap().object_count())
+                    .sum();
+                prop_assert_eq!(fs.total_objects(), expected);
+                prop_assert_eq!(fs.total_files(), live.len() as u64);
+            }
+        }
+    }
+}

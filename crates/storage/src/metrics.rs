@@ -1,0 +1,59 @@
+//! Storage-layer metric snapshots.
+
+use std::fmt;
+
+use crate::namenode::RpcCounters;
+
+/// Point-in-time snapshot of storage health, as sampled by experiments
+/// (e.g. the monthly series of Fig. 10c / Fig. 11b).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StorageMetrics {
+    /// Live file count.
+    pub total_files: u64,
+    /// Live namespace objects (files + blocks).
+    pub total_objects: u64,
+    /// Live bytes.
+    pub total_bytes: u64,
+    /// Cumulative deleted files.
+    pub deleted_files: u64,
+    /// Cumulative RPC counters.
+    pub rpc: RpcCounters,
+    /// Current NameNode congestion factor (≥ 1.0).
+    pub congestion_factor: f64,
+}
+
+impl fmt::Display for StorageMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "files={} objects={} bytes={} deleted={} congestion={:.3} rpc[{}]",
+            self.total_files,
+            self.total_objects,
+            self.total_bytes,
+            self.deleted_files,
+            self.congestion_factor,
+            self.rpc
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_all_fields() {
+        let m = StorageMetrics {
+            total_files: 3,
+            total_objects: 7,
+            total_bytes: 1024,
+            deleted_files: 1,
+            rpc: RpcCounters::default(),
+            congestion_factor: 1.25,
+        };
+        let s = m.to_string();
+        assert!(s.contains("files=3"));
+        assert!(s.contains("objects=7"));
+        assert!(s.contains("congestion=1.250"));
+    }
+}

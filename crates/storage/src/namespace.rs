@@ -1,0 +1,143 @@
+//! Namespaces (databases) with object quotas.
+//!
+//! LinkedIn's OpenHouse deployment maps each database (tenant) to an HDFS
+//! namespace with an object quota; §7 of the paper folds the quota
+//! utilization into the MOOP weight `w1 = 0.5 × (1 + Used/Total)`. This
+//! module tracks per-namespace object/byte usage and exposes
+//! [`QuotaUsage`], the signal that weight formula consumes.
+
+use crate::error::StorageError;
+
+/// Quota utilization snapshot for a namespace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuotaUsage {
+    /// Objects (files + blocks) currently in use.
+    pub used: u64,
+    /// Configured quota; `u64::MAX` when unlimited.
+    pub quota: u64,
+}
+
+impl QuotaUsage {
+    /// Utilization in `[0, 1]`-ish (can exceed 1.0 if the quota was lowered
+    /// after files were created). Unlimited quotas report 0.0 so that the
+    /// quota-aware weight degrades to the paper's base weight.
+    pub fn utilization(&self) -> f64 {
+        if self.quota == u64::MAX || self.quota == 0 {
+            return 0.0;
+        }
+        self.used as f64 / self.quota as f64
+    }
+}
+
+/// Per-namespace bookkeeping.
+#[derive(Debug, Clone)]
+pub struct Namespace {
+    /// Namespace (database) name.
+    pub name: String,
+    /// Object quota (files + blocks); `u64::MAX` = unlimited.
+    pub object_quota: u64,
+    /// Live file count.
+    pub file_count: u64,
+    /// Live block count.
+    pub block_count: u64,
+    /// Live bytes.
+    pub bytes: u64,
+}
+
+impl Namespace {
+    /// Creates an empty namespace. `quota = None` means unlimited.
+    pub fn new(name: impl Into<String>, quota: Option<u64>) -> Self {
+        Self {
+            name: name.into(),
+            object_quota: quota.unwrap_or(u64::MAX),
+            file_count: 0,
+            block_count: 0,
+            bytes: 0,
+        }
+    }
+
+    /// Objects currently used (files + blocks).
+    pub fn used_objects(&self) -> u64 {
+        self.file_count + self.block_count
+    }
+
+    /// Current quota usage snapshot.
+    pub fn quota_usage(&self) -> QuotaUsage {
+        QuotaUsage {
+            used: self.used_objects(),
+            quota: self.object_quota,
+        }
+    }
+
+    /// Checks whether `additional_objects` more objects fit under the quota.
+    pub fn check_quota(&self, additional_objects: u64) -> Result<(), StorageError> {
+        let used = self.used_objects();
+        if self.object_quota != u64::MAX && used + additional_objects > self.object_quota {
+            return Err(StorageError::QuotaExceeded {
+                namespace: self.name.clone(),
+                used,
+                quota: self.object_quota,
+                requested: additional_objects,
+            });
+        }
+        Ok(())
+    }
+
+    /// Accounts a created file.
+    pub fn add_file(&mut self, blocks: u64, bytes: u64) {
+        self.file_count += 1;
+        self.block_count += blocks;
+        self.bytes += bytes;
+    }
+
+    /// Accounts a deleted file.
+    pub fn remove_file(&mut self, blocks: u64, bytes: u64) {
+        self.file_count = self.file_count.saturating_sub(1);
+        self.block_count = self.block_count.saturating_sub(blocks);
+        self.bytes = self.bytes.saturating_sub(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quota_enforced_on_check() {
+        let mut ns = Namespace::new("db", Some(10));
+        ns.add_file(4, 100); // 5 objects
+        assert!(ns.check_quota(5).is_ok());
+        let err = ns.check_quota(6).unwrap_err();
+        match err {
+            StorageError::QuotaExceeded { used, quota, .. } => {
+                assert_eq!(used, 5);
+                assert_eq!(quota, 10);
+            }
+            other => panic!("unexpected error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unlimited_namespace_never_rejects() {
+        let ns = Namespace::new("db", None);
+        assert!(ns.check_quota(u64::MAX / 2).is_ok());
+        assert_eq!(ns.quota_usage().utilization(), 0.0);
+    }
+
+    #[test]
+    fn utilization_tracks_usage() {
+        let mut ns = Namespace::new("db", Some(100));
+        ns.add_file(49, 0); // 50 objects
+        assert!((ns.quota_usage().utilization() - 0.5).abs() < 1e-12);
+        ns.remove_file(49, 0);
+        assert_eq!(ns.used_objects(), 0);
+    }
+
+    #[test]
+    fn remove_saturates() {
+        let mut ns = Namespace::new("db", Some(100));
+        ns.remove_file(10, 10);
+        assert_eq!(ns.used_objects(), 0);
+        assert_eq!(ns.bytes, 0);
+    }
+}

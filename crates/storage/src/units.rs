@@ -1,0 +1,68 @@
+//! Byte-size units and formatting helpers shared across the workspace.
+
+/// One kibibyte (2^10 bytes).
+pub const KB: u64 = 1 << 10;
+/// One mebibyte (2^20 bytes).
+pub const MB: u64 = 1 << 20;
+/// One gibibyte (2^30 bytes).
+pub const GB: u64 = 1 << 30;
+/// One tebibyte (2^40 bytes).
+pub const TB: u64 = 1 << 40;
+
+/// Formats a byte count with a binary-unit suffix, e.g. `512.0MB`.
+///
+/// Used by decision reports and experiment output; one decimal place keeps
+/// output deterministic and diff-friendly.
+pub fn fmt_bytes(bytes: u64) -> String {
+    let b = bytes as f64;
+    if bytes >= TB {
+        format!("{:.1}TB", b / TB as f64)
+    } else if bytes >= GB {
+        format!("{:.1}GB", b / GB as f64)
+    } else if bytes >= MB {
+        format!("{:.1}MB", b / MB as f64)
+    } else if bytes >= KB {
+        format!("{:.1}KB", b / KB as f64)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+/// Converts a byte count to fractional gigabytes.
+pub fn bytes_to_gb(bytes: u64) -> f64 {
+    bytes as f64 / GB as f64
+}
+
+/// Converts a byte count to fractional terabytes.
+pub fn bytes_to_tb(bytes: u64) -> f64 {
+    bytes as f64 / TB as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_constants_are_powers_of_two() {
+        assert_eq!(KB, 1024);
+        assert_eq!(MB, 1024 * KB);
+        assert_eq!(GB, 1024 * MB);
+        assert_eq!(TB, 1024 * GB);
+    }
+
+    #[test]
+    fn formats_each_magnitude() {
+        assert_eq!(fmt_bytes(17), "17B");
+        assert_eq!(fmt_bytes(2 * KB), "2.0KB");
+        assert_eq!(fmt_bytes(512 * MB), "512.0MB");
+        assert_eq!(fmt_bytes(3 * GB + GB / 2), "3.5GB");
+        assert_eq!(fmt_bytes(2 * TB), "2.0TB");
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        assert!((bytes_to_gb(GB) - 1.0).abs() < 1e-12);
+        assert!((bytes_to_tb(TB) - 1.0).abs() < 1e-12);
+        assert!((bytes_to_gb(512 * MB) - 0.5).abs() < 1e-12);
+    }
+}

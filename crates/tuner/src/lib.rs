@@ -1,0 +1,138 @@
+//! # autocomp-tuner
+//!
+//! Auto-tuning of compaction triggers (§6.3 of the AutoComp paper).
+//!
+//! The paper couples AutoComp with MLOS running the FLAML optimizer to
+//! "iteratively refine threshold values" for compaction triggers (small
+//! file count and file entropy), measuring end-to-end workload duration
+//! per iteration (Fig. 9). This crate provides that loop:
+//!
+//! * a [`space::ParamSpace`] of named bounded parameters,
+//! * two optimizers — [`optimizer::RandomSearch`] and
+//!   [`optimizer::CfoSearch`], a cost-frugal local search in the spirit of
+//!   FLAML's CFO (start from a low-cost point, expand/shrink a step
+//!   radius, keep the incumbent),
+//! * a [`Tuner`] driving any `FnMut(&Assignment) -> f64` objective and
+//!   recording a full [`TuningTrace`] for Fig.-9-style plots.
+//!
+//! Everything is deterministic given the seed (paper NFR2).
+
+#![warn(missing_docs)]
+
+pub mod optimizer;
+pub mod space;
+
+pub use optimizer::{CfoSearch, Optimizer, RandomSearch};
+pub use space::{Assignment, Param, ParamSpace};
+
+/// One evaluated trial.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trial {
+    /// Iteration index (0-based).
+    pub iteration: usize,
+    /// Parameter assignment evaluated.
+    pub assignment: Assignment,
+    /// Objective value (lower is better, e.g. workload duration).
+    pub value: f64,
+}
+
+/// Full optimization history.
+#[derive(Debug, Clone, Default)]
+pub struct TuningTrace {
+    /// Trials in evaluation order.
+    pub trials: Vec<Trial>,
+}
+
+impl TuningTrace {
+    /// The best (lowest-value) trial, if any.
+    pub fn best(&self) -> Option<&Trial> {
+        self.trials
+            .iter()
+            .min_by(|a, b| a.value.partial_cmp(&b.value).expect("no NaN objectives"))
+    }
+
+    /// Objective values in iteration order (the Fig. 9 y-series).
+    pub fn values(&self) -> Vec<f64> {
+        self.trials.iter().map(|t| t.value).collect()
+    }
+}
+
+/// Drives an optimizer against an objective for a fixed iteration budget.
+pub struct Tuner<O: Optimizer> {
+    optimizer: O,
+    budget: usize,
+}
+
+impl<O: Optimizer> Tuner<O> {
+    /// Creates a tuner with an iteration budget.
+    pub fn new(optimizer: O, budget: usize) -> Self {
+        Tuner { optimizer, budget }
+    }
+
+    /// Runs the loop: ask → evaluate → tell, `budget` times.
+    pub fn run(&mut self, mut objective: impl FnMut(&Assignment) -> f64) -> TuningTrace {
+        let mut trace = TuningTrace::default();
+        for iteration in 0..self.budget {
+            let assignment = self.optimizer.ask();
+            let value = objective(&assignment);
+            self.optimizer.tell(&assignment, value);
+            trace.trials.push(Trial {
+                iteration,
+                assignment,
+                value,
+            });
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> ParamSpace {
+        ParamSpace::new(vec![
+            Param::new("threshold", 0.0, 100.0),
+            Param::new("entropy", 0.0, 1.0),
+        ])
+    }
+
+    /// Quadratic bowl with minimum at (30, 0.4).
+    fn bowl(a: &Assignment) -> f64 {
+        let x = a.get("threshold").unwrap();
+        let y = a.get("entropy").unwrap();
+        (x - 30.0).powi(2) + 100.0 * (y - 0.4).powi(2)
+    }
+
+    #[test]
+    fn random_search_improves_over_iterations() {
+        let mut tuner = Tuner::new(RandomSearch::new(space(), 7), 60);
+        let trace = tuner.run(bowl);
+        assert_eq!(trace.trials.len(), 60);
+        let best = trace.best().unwrap();
+        let first = &trace.trials[0];
+        assert!(best.value <= first.value);
+        assert!(best.value < 400.0, "best {}", best.value);
+    }
+
+    #[test]
+    fn cfo_converges_tighter_than_random_on_smooth_objective() {
+        let mut random = Tuner::new(RandomSearch::new(space(), 11), 40);
+        let r = random.run(bowl).best().unwrap().value;
+        let mut cfo = Tuner::new(CfoSearch::new(space(), 11), 40);
+        let c = cfo.run(bowl).best().unwrap().value;
+        assert!(c <= r * 1.5, "cfo {c} vs random {r}");
+        assert!(c < 100.0, "cfo best {c}");
+    }
+
+    #[test]
+    fn traces_are_deterministic() {
+        let run = |seed| {
+            Tuner::new(CfoSearch::new(space(), seed), 25)
+                .run(bowl)
+                .values()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+}

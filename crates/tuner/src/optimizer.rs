@@ -1,0 +1,218 @@
+//! Optimizers: random search and cost-frugal local search.
+
+use crate::space::{Assignment, ParamSpace};
+
+/// Ask/tell optimizer interface.
+pub trait Optimizer {
+    /// Proposes the next assignment to evaluate.
+    fn ask(&mut self) -> Assignment;
+    /// Reports the objective value of an evaluated assignment
+    /// (lower is better).
+    fn tell(&mut self, assignment: &Assignment, value: f64);
+}
+
+/// Deterministic xorshift-based uniform sampler (self-contained so the
+/// tuner has no dependencies; see DESIGN.md on pinned randomness).
+#[derive(Debug, Clone)]
+struct Prng(u64);
+
+impl Prng {
+    fn new(seed: u64) -> Self {
+        Prng(seed.wrapping_mul(0x9E3779B97F4A7C15) | 1)
+    }
+    fn next_f64(&mut self) -> f64 {
+        // xorshift64*
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        let y = x.wrapping_mul(0x2545F4914F6CDD1D);
+        (y >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Uniform random search over the space.
+#[derive(Debug, Clone)]
+pub struct RandomSearch {
+    space: ParamSpace,
+    rng: Prng,
+}
+
+impl RandomSearch {
+    /// Creates a random searcher.
+    pub fn new(space: ParamSpace, seed: u64) -> Self {
+        RandomSearch {
+            space,
+            rng: Prng::new(seed),
+        }
+    }
+}
+
+impl Optimizer for RandomSearch {
+    fn ask(&mut self) -> Assignment {
+        let mut a = Assignment::default();
+        for p in self.space.params() {
+            let v = p.min + self.rng.next_f64() * p.span();
+            a = a.with(&p.name, v);
+        }
+        a
+    }
+    fn tell(&mut self, _assignment: &Assignment, _value: f64) {}
+}
+
+/// Cost-frugal local search in the spirit of FLAML's CFO [Wang et al.,
+/// MLSys'21], which the paper tunes with (§6.3):
+///
+/// * start from the low corner of the space (low-cost configurations
+///   first),
+/// * propose a random direction at the current step radius,
+/// * move on improvement and grow the radius; on failure shrink it,
+/// * restart from a random point when the radius collapses.
+#[derive(Debug, Clone)]
+pub struct CfoSearch {
+    space: ParamSpace,
+    rng: Prng,
+    incumbent: Assignment,
+    incumbent_value: Option<f64>,
+    /// Step radius as a fraction of each parameter's span.
+    radius: f64,
+    pending: Option<Assignment>,
+}
+
+impl CfoSearch {
+    /// Creates a CFO-style searcher.
+    pub fn new(space: ParamSpace, seed: u64) -> Self {
+        let incumbent = space.low_corner();
+        CfoSearch {
+            space,
+            rng: Prng::new(seed ^ 0xC0FFEE),
+            incumbent,
+            incumbent_value: None,
+            radius: 0.25,
+            pending: None,
+        }
+    }
+
+    fn propose_near(&mut self, base: &Assignment) -> Assignment {
+        let mut a = Assignment::default();
+        for p in self.space.params() {
+            let current = base.get(&p.name).unwrap_or(p.min);
+            let delta = (self.rng.next_f64() * 2.0 - 1.0) * self.radius * p.span();
+            a = a.with(&p.name, p.clamp(current + delta));
+        }
+        a
+    }
+
+    fn random_point(&mut self) -> Assignment {
+        let mut a = Assignment::default();
+        for p in self.space.params() {
+            a = a.with(&p.name, p.min + self.rng.next_f64() * p.span());
+        }
+        a
+    }
+}
+
+impl Optimizer for CfoSearch {
+    fn ask(&mut self) -> Assignment {
+        let proposal = if self.incumbent_value.is_none() {
+            self.incumbent.clone()
+        } else {
+            let base = self.incumbent.clone();
+            self.propose_near(&base)
+        };
+        self.pending = Some(proposal.clone());
+        proposal
+    }
+
+    fn tell(&mut self, assignment: &Assignment, value: f64) {
+        let expected = self.pending.take();
+        debug_assert!(
+            expected.as_ref() == Some(assignment),
+            "tell must report the last ask"
+        );
+        match self.incumbent_value {
+            None => {
+                self.incumbent = assignment.clone();
+                self.incumbent_value = Some(value);
+            }
+            Some(best) if value < best => {
+                self.incumbent = assignment.clone();
+                self.incumbent_value = Some(value);
+                self.radius = (self.radius * 1.6).min(0.5);
+            }
+            Some(_) => {
+                self.radius *= 0.7;
+                if self.radius < 0.01 {
+                    // Restart: keep the incumbent but search elsewhere.
+                    self.radius = 0.25;
+                    let p = self.random_point();
+                    self.incumbent = match self.incumbent_value {
+                        Some(_) => self.incumbent.clone(),
+                        None => p,
+                    };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::Param;
+
+    fn space() -> ParamSpace {
+        ParamSpace::new(vec![Param::new("x", -10.0, 10.0)])
+    }
+
+    #[test]
+    fn random_search_stays_in_bounds() {
+        let mut rs = RandomSearch::new(space(), 1);
+        for _ in 0..100 {
+            let a = rs.ask();
+            let x = a.get("x").unwrap();
+            assert!((-10.0..=10.0).contains(&x));
+            rs.tell(&a, x);
+        }
+    }
+
+    #[test]
+    fn cfo_first_ask_is_low_corner() {
+        let mut cfo = CfoSearch::new(space(), 1);
+        let a = cfo.ask();
+        assert_eq!(a.get("x"), Some(-10.0));
+        cfo.tell(&a, 100.0);
+        let b = cfo.ask();
+        assert!(b.get("x").unwrap() >= -10.0);
+    }
+
+    #[test]
+    fn cfo_tracks_incumbent() {
+        let mut cfo = CfoSearch::new(space(), 2);
+        let mut best = f64::INFINITY;
+        for _ in 0..50 {
+            let a = cfo.ask();
+            let x = a.get("x").unwrap();
+            let v = (x - 3.0).powi(2);
+            best = best.min(v);
+            cfo.tell(&a, v);
+        }
+        // Incumbent value must equal the observed best.
+        assert_eq!(cfo.incumbent_value.unwrap(), best);
+        assert!(best < 5.0, "best {best}");
+    }
+
+    #[test]
+    fn radius_shrinks_on_failures() {
+        let mut cfo = CfoSearch::new(space(), 3);
+        let a = cfo.ask();
+        cfo.tell(&a, 0.0); // incumbent value 0 — unbeatable
+        let r0 = cfo.radius;
+        for _ in 0..5 {
+            let a = cfo.ask();
+            cfo.tell(&a, 1.0); // always worse
+        }
+        assert!(cfo.radius < r0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Parameter spaces for trigger tuning.
+
+use std::collections::BTreeMap;
+
+/// One bounded continuous parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Inclusive lower bound.
+    pub min: f64,
+    /// Inclusive upper bound.
+    pub max: f64,
+}
+
+impl Param {
+    /// Creates a parameter; panics if the bounds are inverted.
+    pub fn new(name: impl Into<String>, min: f64, max: f64) -> Self {
+        assert!(min <= max, "inverted bounds for parameter");
+        Param {
+            name: name.into(),
+            min,
+            max,
+        }
+    }
+
+    /// Clamps a value into the parameter's range.
+    pub fn clamp(&self, v: f64) -> f64 {
+        v.clamp(self.min, self.max)
+    }
+
+    /// Range width.
+    pub fn span(&self) -> f64 {
+        self.max - self.min
+    }
+}
+
+/// An ordered set of parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamSpace {
+    params: Vec<Param>,
+}
+
+impl ParamSpace {
+    /// Builds a space; panics on duplicate names.
+    pub fn new(params: Vec<Param>) -> Self {
+        for i in 0..params.len() {
+            for j in (i + 1)..params.len() {
+                assert_ne!(params[i].name, params[j].name, "duplicate parameter name");
+            }
+        }
+        ParamSpace { params }
+    }
+
+    /// Parameters in declaration order.
+    pub fn params(&self) -> &[Param] {
+        &self.params
+    }
+
+    /// Number of dimensions.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Whether the space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// The midpoint assignment (used as a deterministic starting point).
+    pub fn midpoint(&self) -> Assignment {
+        Assignment {
+            values: self
+                .params
+                .iter()
+                .map(|p| (p.name.clone(), (p.min + p.max) / 2.0))
+                .collect(),
+        }
+    }
+
+    /// The low-corner assignment (CFO starts from low-cost points).
+    pub fn low_corner(&self) -> Assignment {
+        Assignment {
+            values: self
+                .params
+                .iter()
+                .map(|p| (p.name.clone(), p.min))
+                .collect(),
+        }
+    }
+
+    /// Clamps every value of an assignment into range.
+    pub fn clamp(&self, mut a: Assignment) -> Assignment {
+        for p in &self.params {
+            if let Some(v) = a.values.get_mut(&p.name) {
+                *v = p.clamp(*v);
+            }
+        }
+        a
+    }
+}
+
+/// A concrete parameter assignment.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Assignment {
+    /// Values keyed by parameter name.
+    pub values: BTreeMap<String, f64>,
+}
+
+impl Assignment {
+    /// Reads one value.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.values.get(name).copied()
+    }
+
+    /// Sets one value (builder style).
+    pub fn with(mut self, name: &str, value: f64) -> Self {
+        self.values.insert(name.to_string(), value);
+        self
+    }
+
+    /// Compact display for logs: `name=value` pairs.
+    pub fn describe(&self) -> String {
+        self.values
+            .iter()
+            .map(|(k, v)| format!("{k}={v:.3}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corners_and_midpoints() {
+        let s = ParamSpace::new(vec![Param::new("a", 0.0, 10.0), Param::new("b", -1.0, 1.0)]);
+        assert_eq!(s.midpoint().get("a"), Some(5.0));
+        assert_eq!(s.midpoint().get("b"), Some(0.0));
+        assert_eq!(s.low_corner().get("a"), Some(0.0));
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn clamping() {
+        let s = ParamSpace::new(vec![Param::new("a", 0.0, 10.0)]);
+        let a = Assignment::default().with("a", 99.0);
+        assert_eq!(s.clamp(a).get("a"), Some(10.0));
+        assert_eq!(Param::new("a", 0.0, 1.0).clamp(-5.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate parameter name")]
+    fn duplicate_names_rejected() {
+        let _ = ParamSpace::new(vec![Param::new("a", 0.0, 1.0), Param::new("a", 0.0, 2.0)]);
+    }
+
+    #[test]
+    fn describe_is_sorted_and_stable() {
+        let a = Assignment::default().with("b", 2.0).with("a", 1.0);
+        assert_eq!(a.describe(), "a=1.000 b=2.000");
+    }
+}

@@ -1,0 +1,297 @@
+//! CAB-like multi-database query streams (§6).
+//!
+//! "The query streams mimic usage patterns such as constant demand with
+//! sinusoidal variations (e.g., dashboards), short bursts (e.g.,
+//! interactive queries), large bursts (e.g., daily maintenance jobs), and
+//! predictable workloads triggered at specific times (e.g., hourly jobs).
+//! For our test scenario, we set the parameters to 500GB of data, 20
+//! databases, 1 total CPU hours, and 5 hours of experiment time."
+
+use crate::driver::{OpSpec, ScheduledOp};
+use crate::tpch::{build_tpch_database, read_query, write_query, TpchConfig, TpchDatabase};
+use lakesim_engine::{SimEnv, SimRng, MS_PER_HOUR, MS_PER_MIN};
+
+/// Arrival pattern of one database's query stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StreamPattern {
+    /// Constant demand with sinusoidal variation (dashboards).
+    Sinusoid {
+        /// Mean queries per hour.
+        base_per_hour: f64,
+        /// Relative amplitude in `[0, 1]`.
+        amplitude: f64,
+        /// Period in hours.
+        period_h: f64,
+    },
+    /// Short bursts of interactive queries.
+    ShortBurst {
+        /// Expected bursts per hour.
+        bursts_per_hour: f64,
+        /// Queries per burst.
+        burst_size: u32,
+    },
+    /// One large burst (daily maintenance job).
+    LargeBurst {
+        /// Hour at which the burst fires.
+        at_hour: u64,
+        /// Queries in the burst.
+        size: u32,
+    },
+    /// Fixed-cadence jobs (hourly pipelines).
+    Periodic {
+        /// Cadence in minutes.
+        every_min: u64,
+        /// Queries per firing.
+        size: u32,
+    },
+}
+
+impl StreamPattern {
+    /// The four-pattern rotation used to assign databases.
+    pub fn rotation(i: usize) -> StreamPattern {
+        match i % 4 {
+            0 => StreamPattern::Sinusoid {
+                base_per_hour: 14.0,
+                amplitude: 0.5,
+                period_h: 2.5,
+            },
+            1 => StreamPattern::ShortBurst {
+                bursts_per_hour: 3.0,
+                burst_size: 4,
+            },
+            2 => StreamPattern::LargeBurst {
+                at_hour: 3,
+                size: 30,
+            },
+            _ => StreamPattern::Periodic {
+                every_min: 60,
+                size: 8,
+            },
+        }
+    }
+
+    /// Arrival offsets (ms within the hour) for hour index `hour`.
+    pub fn arrivals(&self, hour: u64, rng: &mut SimRng) -> Vec<u64> {
+        let mut offsets = Vec::new();
+        match *self {
+            StreamPattern::Sinusoid {
+                base_per_hour,
+                amplitude,
+                period_h,
+            } => {
+                let phase = (hour as f64 / period_h) * std::f64::consts::TAU;
+                let rate = base_per_hour * (1.0 + amplitude * phase.sin());
+                let n = rng.poisson(rate.max(0.0));
+                for _ in 0..n {
+                    offsets.push(rng.range_u64(0, MS_PER_HOUR));
+                }
+            }
+            StreamPattern::ShortBurst {
+                bursts_per_hour,
+                burst_size,
+            } => {
+                let bursts = rng.poisson(bursts_per_hour);
+                for _ in 0..bursts {
+                    let start = rng.range_u64(0, MS_PER_HOUR);
+                    for i in 0..burst_size {
+                        offsets.push((start + u64::from(i) * 2_000).min(MS_PER_HOUR - 1));
+                    }
+                }
+            }
+            StreamPattern::LargeBurst { at_hour, size } => {
+                if hour == at_hour {
+                    let start = rng.range_u64(0, MS_PER_HOUR / 2);
+                    for i in 0..size {
+                        offsets.push((start + u64::from(i) * 5_000).min(MS_PER_HOUR - 1));
+                    }
+                }
+            }
+            StreamPattern::Periodic { every_min, size } => {
+                let every = every_min.max(1) * MS_PER_MIN;
+                let mut t = 0;
+                while t < MS_PER_HOUR {
+                    for i in 0..size {
+                        offsets.push((t + u64::from(i) * 1_000).min(MS_PER_HOUR - 1));
+                    }
+                    t += every;
+                }
+            }
+        }
+        offsets.sort_unstable();
+        offsets
+    }
+}
+
+/// CAB experiment configuration.
+#[derive(Debug, Clone)]
+pub struct CabConfig {
+    /// Number of databases (paper: 20).
+    pub databases: usize,
+    /// Experiment duration in hours (paper: 5).
+    pub duration_hours: u64,
+    /// Raw data per database (paper: 500GB total over 20 DBs).
+    pub bytes_per_database: u64,
+    /// Fraction of queries that write (the remainder read).
+    pub write_fraction: f64,
+    /// Monthly lineitem partitions per database.
+    pub months: u32,
+    /// Conflict mode (Strict = Iceberg v1.2.0 as deployed in §6).
+    pub conflict_mode: lakesim_lst::ConflictMode,
+    /// Cluster queries run on.
+    pub query_cluster: String,
+}
+
+impl Default for CabConfig {
+    fn default() -> Self {
+        CabConfig {
+            databases: 20,
+            duration_hours: 5,
+            bytes_per_database: 25 << 30,
+            write_fraction: 0.2,
+            months: 24,
+            conflict_mode: lakesim_lst::ConflictMode::Strict,
+            query_cluster: "query".to_string(),
+        }
+    }
+}
+
+/// A generated CAB workload: built databases plus the scheduled stream.
+#[derive(Debug, Clone)]
+pub struct CabWorkload {
+    /// The databases, in creation order.
+    pub databases: Vec<TpchDatabase>,
+    /// All scheduled operations, sorted by time.
+    pub ops: Vec<ScheduledOp>,
+}
+
+/// Builds the CAB databases inside `env` (bulk loads included — caller
+/// drains) and generates the multi-stream workload.
+pub fn generate_cab(env: &mut SimEnv, config: &CabConfig, rng: &mut SimRng) -> CabWorkload {
+    let mut databases = Vec::new();
+    for i in 0..config.databases {
+        let tpch_config = TpchConfig {
+            scale_bytes: config.bytes_per_database,
+            months: config.months,
+            conflict_mode: config.conflict_mode,
+            ..TpchConfig::default()
+        };
+        let mut db_rng = rng.fork();
+        let db = build_tpch_database(
+            env,
+            &format!("cab_db{i:02}"),
+            &format!("tenant{i:02}"),
+            None,
+            &tpch_config,
+            &mut db_rng,
+        )
+        .expect("fresh database names never collide");
+        databases.push(db);
+    }
+    env.drain_all();
+
+    let mut ops = Vec::new();
+    for (i, db) in databases.iter().enumerate() {
+        let pattern = StreamPattern::rotation(i);
+        let mut stream_rng = rng.fork();
+        for hour in 0..config.duration_hours {
+            for offset in pattern.arrivals(hour, &mut stream_rng) {
+                let at_ms = hour * MS_PER_HOUR + offset;
+                let op = if stream_rng.chance(config.write_fraction) {
+                    OpSpec::Write(write_query(db, &mut stream_rng, &config.query_cluster))
+                } else {
+                    OpSpec::Read(read_query(db, &mut stream_rng, &config.query_cluster))
+                };
+                ops.push(ScheduledOp { at_ms, op });
+            }
+        }
+    }
+    ops.sort_by_key(|op| op.at_ms);
+    CabWorkload { databases, ops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lakesim_engine::EnvConfig;
+    use lakesim_storage::GB;
+
+    #[test]
+    fn patterns_produce_expected_shapes() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let sin = StreamPattern::Sinusoid {
+            base_per_hour: 20.0,
+            amplitude: 0.5,
+            period_h: 2.0,
+        };
+        let total: usize = (0..8).map(|h| sin.arrivals(h, &mut rng).len()).sum();
+        assert!(total > 100 && total < 250, "sinusoid total {total}");
+
+        let burst = StreamPattern::LargeBurst {
+            at_hour: 3,
+            size: 25,
+        };
+        assert!(burst.arrivals(2, &mut rng).is_empty());
+        assert_eq!(burst.arrivals(3, &mut rng).len(), 25);
+
+        let periodic = StreamPattern::Periodic {
+            every_min: 30,
+            size: 2,
+        };
+        assert_eq!(periodic.arrivals(0, &mut rng).len(), 4);
+    }
+
+    #[test]
+    fn arrivals_are_sorted_within_hour() {
+        let mut rng = SimRng::seed_from_u64(2);
+        for i in 0..4 {
+            let arr = StreamPattern::rotation(i).arrivals(3, &mut rng);
+            assert!(arr.windows(2).all(|w| w[0] <= w[1]));
+            assert!(arr.iter().all(|&o| o < MS_PER_HOUR));
+        }
+    }
+
+    #[test]
+    fn generates_scaled_down_cab() {
+        let mut env = SimEnv::new(EnvConfig {
+            seed: 21,
+            ..EnvConfig::default()
+        });
+        let mut rng = SimRng::seed_from_u64(21);
+        let config = CabConfig {
+            databases: 4,
+            duration_hours: 2,
+            bytes_per_database: GB,
+            months: 6,
+            ..CabConfig::default()
+        };
+        let workload = generate_cab(&mut env, &config, &mut rng);
+        assert_eq!(workload.databases.len(), 4);
+        assert!(!workload.ops.is_empty());
+        assert!(workload.ops.windows(2).all(|w| w[0].at_ms <= w[1].at_ms));
+        let max_t = workload.ops.last().unwrap().at_ms;
+        assert!(max_t < 2 * MS_PER_HOUR);
+        // Databases actually materialized with files.
+        assert!(env.fs.total_files() > 100);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let gen = |seed| {
+            let mut env = SimEnv::new(EnvConfig {
+                seed,
+                ..EnvConfig::default()
+            });
+            let mut rng = SimRng::seed_from_u64(seed);
+            let config = CabConfig {
+                databases: 2,
+                duration_hours: 1,
+                bytes_per_database: GB / 2,
+                months: 4,
+                ..CabConfig::default()
+            };
+            let w = generate_cab(&mut env, &config, &mut rng);
+            w.ops.iter().map(|o| o.at_ms).collect::<Vec<_>>()
+        };
+        assert_eq!(gen(5), gen(5));
+    }
+}

@@ -1,0 +1,387 @@
+//! LinkedIn-fleet synthesizer (§2, §7; Figs. 2, 10, 11).
+//!
+//! Models a growing population of OpenHouse-managed tables across tenant
+//! databases with quotas. Three archetypes reproduce the §2 dichotomy:
+//!
+//! * **RawEvent** — fed by the tuned managed pipeline, large files;
+//! * **Derived** — end-user Spark/Trino/Flink jobs "neither designed nor
+//!   tuned for generating optimal file sizes", producing the small-file
+//!   concentration of Fig. 1;
+//! * **Intermediate** — short-lived scratch tables, excluded from
+//!   compaction effort by policy (§4.1).
+//!
+//! The fleet advances day by day; the bench layer interleaves manual or
+//! automatic compaction between days to regenerate the production charts.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use lakesim_catalog::TablePolicy;
+use lakesim_engine::{
+    EnvConfig, FileSizePlan, SimEnv, SimRng, WriteOp, WriteSpec, MS_PER_DAY, MS_PER_HOUR,
+};
+use lakesim_lst::{
+    ColumnType, ConflictMode, Field, PartitionKey, PartitionSpec, PartitionValue, Schema, TableId,
+    TableProperties, Transform,
+};
+use lakesim_storage::{SizeHistogram, FileKind, GB, MB};
+
+/// Table archetypes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Archetype {
+    /// Managed-ingestion table: well-sized files.
+    RawEvent,
+    /// User-derived table: small files accumulate.
+    Derived,
+    /// Short-lived intermediate table.
+    Intermediate,
+}
+
+/// Fleet configuration.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of tenant databases.
+    pub databases: usize,
+    /// Tables per database at build time.
+    pub tables_per_db: usize,
+    /// Fraction of tables that are user-derived.
+    pub derived_fraction: f64,
+    /// Fraction of tables that are intermediates.
+    pub intermediate_fraction: f64,
+    /// Namespace object quota per database (`None` = unlimited).
+    pub quota_per_db: Option<u64>,
+    /// Warm-up days of writes executed during `build`.
+    pub initial_days: u64,
+    /// Conflict mode for all tables.
+    pub conflict_mode: ConflictMode,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            databases: 10,
+            tables_per_db: 30,
+            derived_fraction: 0.7,
+            intermediate_fraction: 0.1,
+            quota_per_db: None,
+            initial_days: 3,
+            conflict_mode: ConflictMode::Strict,
+            seed: 0,
+        }
+    }
+}
+
+/// The synthesized fleet.
+pub struct Fleet {
+    /// Shared simulation environment (the bench layer plugs AutoComp's
+    /// connector/executor into the same handle).
+    pub env: Rc<RefCell<SimEnv>>,
+    /// All tables with their archetypes, in creation order.
+    pub tables: Vec<(TableId, Archetype)>,
+    /// Per-table daily write-volume multiplier. File populations in the
+    /// paper's fleet are heavy-tailed — §7 describes manually compacted
+    /// tables "each comprising an average of 42M small files" while most
+    /// tables are modest — so a minority of hot tables dominate.
+    volume: std::collections::BTreeMap<TableId, f64>,
+    rng: SimRng,
+    day: u64,
+    next_table_idx: usize,
+}
+
+impl Fleet {
+    /// Builds the fleet: databases, tables, and `initial_days` of writes.
+    pub fn build(config: &FleetConfig) -> Fleet {
+        let env = SimEnv::new(EnvConfig {
+            seed: config.seed,
+            ..EnvConfig::default()
+        });
+        let mut fleet = Fleet {
+            env: Rc::new(RefCell::new(env)),
+            tables: Vec::new(),
+            volume: std::collections::BTreeMap::new(),
+            rng: SimRng::seed_from_u64(config.seed ^ 0xF1EE7),
+            day: 0,
+            next_table_idx: 0,
+        };
+        {
+            let mut env = fleet.env.borrow_mut();
+            for d in 0..config.databases {
+                env.create_database(
+                    &format!("fleet_db{d:03}"),
+                    &format!("tenant{d:03}"),
+                    config.quota_per_db,
+                )
+                .expect("fresh database names never collide");
+            }
+        }
+        for d in 0..config.databases {
+            for _ in 0..config.tables_per_db {
+                fleet.create_table(&format!("fleet_db{d:03}"), config);
+            }
+        }
+        for _ in 0..config.initial_days {
+            fleet.advance_day();
+        }
+        fleet
+    }
+
+    fn pick_archetype(&mut self, config: &FleetConfig) -> Archetype {
+        let roll = self.rng.next_f64();
+        if roll < config.intermediate_fraction {
+            Archetype::Intermediate
+        } else if roll < config.intermediate_fraction + config.derived_fraction {
+            Archetype::Derived
+        } else {
+            Archetype::RawEvent
+        }
+    }
+
+    fn create_table(&mut self, database: &str, config: &FleetConfig) -> TableId {
+        let archetype = self.pick_archetype(config);
+        let idx = self.next_table_idx;
+        self.next_table_idx += 1;
+        let partitioned = matches!(archetype, Archetype::RawEvent | Archetype::Derived)
+            && self.rng.chance(0.6);
+        let schema = Schema::new(vec![
+            Field::new(1, "key", ColumnType::Int64, true),
+            Field::new(2, "ds", ColumnType::Date, true),
+            Field::new(3, "payload", ColumnType::Utf8 { avg_len: 64 }, false),
+        ])
+        .expect("static schema is valid");
+        let spec = if partitioned {
+            PartitionSpec::single(2, Transform::Day, "ds")
+        } else {
+            PartitionSpec::unpartitioned()
+        };
+        let policy = match archetype {
+            Archetype::Intermediate => TablePolicy::intermediate(),
+            _ => TablePolicy {
+                min_age_ms: MS_PER_DAY,
+                ..TablePolicy::default()
+            },
+        };
+        let mut env = self.env.borrow_mut();
+        let id = env
+            .create_table(
+                database,
+                &format!("tbl{idx:05}"),
+                schema,
+                spec,
+                TableProperties {
+                    conflict_mode: config.conflict_mode,
+                    ..TableProperties::default()
+                },
+                policy,
+            )
+            .expect("fresh table names never collide");
+        drop(env);
+        // Heavy tail: ~12% of derived tables are hot pipelines writing an
+        // order of magnitude more data (and files) per day.
+        let multiplier = if archetype == Archetype::Derived && self.rng.chance(0.12) {
+            12.0
+        } else {
+            1.0
+        };
+        self.volume.insert(id, multiplier);
+        self.tables.push((id, archetype));
+        id
+    }
+
+    /// Adds `n` tables round-robin across databases (fleet growth,
+    /// Fig. 10c's "Deployment Size" series).
+    pub fn add_tables(&mut self, n: usize, config: &FleetConfig) {
+        for i in 0..n {
+            let db = format!("fleet_db{:03}", i % config.databases);
+            self.create_table(&db, config);
+        }
+    }
+
+    /// Current simulated day (completed days).
+    pub fn day(&self) -> u64 {
+        self.day
+    }
+
+    /// Simulation time at the start of the current day.
+    pub fn now_ms(&self) -> u64 {
+        self.day * MS_PER_DAY
+    }
+
+    /// Runs one day of fleet writes and drains all commits.
+    pub fn advance_day(&mut self) {
+        let day_start = self.day * MS_PER_DAY;
+        let tables = self.tables.clone();
+        for (table, archetype) in tables {
+            let writes: u64 = match archetype {
+                // The managed pipeline lands several well-sized batches a
+                // day; §2's Fig. 2 fleet is ~17% large files.
+                Archetype::RawEvent => 4,
+                Archetype::Derived => 1 + self.rng.range_u64(0, 2),
+                Archetype::Intermediate => 1,
+            };
+            for _ in 0..writes {
+                let at = day_start + self.rng.range_u64(0, 20 * MS_PER_HOUR);
+                let spec = self.write_for(table, archetype, at);
+                let mut env = self.env.borrow_mut();
+                // Quota breaches are part of the phenomenon (§7) — count
+                // and continue.
+                let _ = env.submit_write(&spec, at);
+            }
+        }
+        let mut env = self.env.borrow_mut();
+        env.drain_due((self.day + 1) * MS_PER_DAY);
+        self.day += 1;
+        // Weekly metadata hygiene, as the managed pipeline does.
+        if self.day % 7 == 0 {
+            let ids: Vec<TableId> = env.catalog.table_ids();
+            let now = self.day * MS_PER_DAY;
+            for id in ids {
+                let _ = env.run_snapshot_expiry(id, now);
+            }
+        }
+    }
+
+    fn write_for(&mut self, table: TableId, archetype: Archetype, at: u64) -> WriteSpec {
+        let partitioned = {
+            let env = self.env.borrow();
+            env.catalog
+                .table(table)
+                .map(|e| e.table.spec().is_partitioned())
+                .unwrap_or(false)
+        };
+        let partition = if partitioned {
+            PartitionKey::single(PartitionValue::Date((at / MS_PER_DAY) as i32))
+        } else {
+            PartitionKey::unpartitioned()
+        };
+        let multiplier = self.volume.get(&table).copied().unwrap_or(1.0);
+        let (bytes, plan, op) = match archetype {
+            Archetype::RawEvent => (
+                GB + self.rng.range_u64(0, 2 * GB),
+                FileSizePlan::well_tuned(),
+                WriteOp::Insert,
+            ),
+            Archetype::Derived => {
+                let op = if self.rng.chance(0.15) {
+                    WriteOp::MergeOnReadDelta
+                } else {
+                    WriteOp::Insert
+                };
+                (
+                    16 * MB + self.rng.range_u64(0, 112 * MB),
+                    FileSizePlan::misconfigured(),
+                    op,
+                )
+            }
+            Archetype::Intermediate => (
+                8 * MB + self.rng.range_u64(0, 32 * MB),
+                FileSizePlan::trickle(),
+                WriteOp::Insert,
+            ),
+        };
+        WriteSpec {
+            table,
+            op,
+            partitions: vec![partition],
+            total_bytes: (bytes as f64 * multiplier) as u64,
+            file_size: plan,
+            partition_skew: 0.0,
+            cluster: "query".to_string(),
+            parallelism: 4,
+        }
+    }
+
+    /// Data-file size histogram across the fleet (Fig. 2's x-axis).
+    pub fn data_histogram(&self) -> SizeHistogram {
+        self.env.borrow().fs.size_histogram(Some(FileKind::Data))
+    }
+
+    /// Fraction of data files smaller than 128MB — §7's headline metric
+    /// ("83% of the system's files were smaller than 128MB").
+    pub fn small_file_fraction(&self) -> f64 {
+        self.data_histogram().fraction_at_or_below(128 * MB)
+    }
+
+    /// Total live data files.
+    pub fn data_file_count(&self) -> u64 {
+        self.env.borrow().fs.total_files_of_kind(FileKind::Data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> FleetConfig {
+        FleetConfig {
+            databases: 3,
+            tables_per_db: 6,
+            initial_days: 2,
+            seed: 50,
+            ..FleetConfig::default()
+        }
+    }
+
+    #[test]
+    fn builds_and_fragments_over_time() {
+        let fleet = Fleet::build(&small_config());
+        assert_eq!(fleet.tables.len(), 18);
+        assert_eq!(fleet.day(), 2);
+        // Derived-dominated fleet: most data files are small.
+        assert!(
+            fleet.small_file_fraction() > 0.5,
+            "small fraction {}",
+            fleet.small_file_fraction()
+        );
+        assert!(fleet.data_file_count() > 50);
+    }
+
+    #[test]
+    fn fragmentation_grows_without_compaction() {
+        let mut fleet = Fleet::build(&small_config());
+        let before = fleet.data_file_count();
+        fleet.advance_day();
+        fleet.advance_day();
+        assert!(fleet.data_file_count() > before);
+    }
+
+    #[test]
+    fn growth_adds_tables_across_databases() {
+        let config = small_config();
+        let mut fleet = Fleet::build(&config);
+        fleet.add_tables(5, &config);
+        assert_eq!(fleet.tables.len(), 23);
+        let env = fleet.env.borrow();
+        assert_eq!(env.catalog.table_count(), 23);
+    }
+
+    #[test]
+    fn archetype_mix_matches_config() {
+        let fleet = Fleet::build(&FleetConfig {
+            databases: 4,
+            tables_per_db: 50,
+            initial_days: 0,
+            seed: 51,
+            ..FleetConfig::default()
+        });
+        let derived = fleet
+            .tables
+            .iter()
+            .filter(|(_, a)| *a == Archetype::Derived)
+            .count();
+        let frac = derived as f64 / fleet.tables.len() as f64;
+        assert!((0.55..0.85).contains(&frac), "derived fraction {frac}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut cfg = small_config();
+            cfg.seed = seed;
+            let fleet = Fleet::build(&cfg);
+            (fleet.data_file_count(), fleet.small_file_fraction())
+        };
+        assert_eq!(run(7), run(7));
+    }
+}

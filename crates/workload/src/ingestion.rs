@@ -1,0 +1,258 @@
+//! The managed raw-ingestion pipeline of §2 (Fig. 1 "raw").
+//!
+//! "The central pipeline follows a well-defined pattern, writing raw event
+//! data from Kafka to HDFS every five minutes and incrementally compacting
+//! and deduplicating it into hourly partitions, resulting in files of
+//! approximately 512MB in size […] smaller checkpoint files are expired
+//! after three days."
+
+use lakesim_catalog::TablePolicy;
+use lakesim_engine::{FileSizePlan, SimEnv, SimRng, WriteOp, WriteSpec, MS_PER_HOUR, MS_PER_MIN};
+use lakesim_lst::{
+    plan_partition_rewrite, BinPackConfig, ColumnType, Field, PartitionKey, PartitionSpec,
+    PartitionValue, Schema, TableId, TableProperties, Transform,
+};
+use lakesim_storage::MB;
+
+/// Samples `n` file sizes as the tuned ingestion pipeline produces them —
+/// tight around 512MB (Fig. 1 "raw ingestion").
+pub fn sample_raw_sizes(rng: &mut SimRng, n: usize) -> Vec<u64> {
+    let plan = FileSizePlan::well_tuned();
+    (0..n).map(|_| plan.sample(rng)).collect()
+}
+
+/// Samples `n` file sizes as misconfigured end-user jobs produce them —
+/// heavily concentrated below 128MB (Fig. 1 "user-derived").
+pub fn sample_user_derived_sizes(rng: &mut SimRng, n: usize) -> Vec<u64> {
+    let plan = FileSizePlan::misconfigured();
+    (0..n).map(|_| plan.sample(rng)).collect()
+}
+
+/// Configuration of the simulated ingestion pipeline.
+#[derive(Debug, Clone)]
+pub struct RawPipelineConfig {
+    /// Bytes of raw events arriving per hour.
+    pub bytes_per_hour: u64,
+    /// Checkpoint cadence (paper: 5 minutes).
+    pub checkpoint_every_min: u64,
+    /// Hourly roll-up target size (paper: ~512MB).
+    pub target_file_size: u64,
+    /// Checkpoint retention (paper: 3 days).
+    pub checkpoint_retention_ms: u64,
+    /// Cluster the pipeline runs on.
+    pub cluster: String,
+}
+
+impl Default for RawPipelineConfig {
+    fn default() -> Self {
+        RawPipelineConfig {
+            bytes_per_hour: 4 << 30,
+            checkpoint_every_min: 5,
+            target_file_size: 512 * MB,
+            checkpoint_retention_ms: 3 * 24 * MS_PER_HOUR,
+            cluster: "query".to_string(),
+        }
+    }
+}
+
+/// The Gobblin-like managed ingestion pipeline writing one raw-events
+/// table partitioned hourly.
+pub struct RawPipeline {
+    /// The raw-events table.
+    pub table: TableId,
+    config: RawPipelineConfig,
+}
+
+impl RawPipeline {
+    /// Creates the pipeline's table inside `database` (must exist).
+    pub fn create(
+        env: &mut SimEnv,
+        database: &str,
+        table_name: &str,
+        config: RawPipelineConfig,
+    ) -> lakesim_engine::Result<RawPipeline> {
+        let schema = Schema::new(vec![
+            Field::new(1, "event_id", ColumnType::Int64, true),
+            Field::new(2, "event_time", ColumnType::Date, true),
+            Field::new(3, "payload", ColumnType::Utf8 { avg_len: 256 }, false),
+        ])
+        .expect("static schema is valid");
+        let properties = TableProperties {
+            target_file_size: config.target_file_size,
+            ..TableProperties::default()
+        };
+        let policy = TablePolicy {
+            target_file_size: config.target_file_size,
+            min_age_ms: 0,
+            ..TablePolicy::default()
+        };
+        let table = env.create_table(
+            database,
+            table_name,
+            schema,
+            PartitionSpec::single(2, Transform::Day, "hour"),
+            properties,
+            policy,
+        )?;
+        Ok(RawPipeline { table, config })
+    }
+
+    /// Partition key for hour index `h`.
+    pub fn hour_key(h: u64) -> PartitionKey {
+        PartitionKey::single(PartitionValue::Date(h as i32))
+    }
+
+    /// Runs one hour of ingestion starting at `hour_start_ms`:
+    /// 5-minute checkpoint appends, then the incremental roll-up compacting
+    /// the hour's partition to ~target-size files. Returns the roll-up's
+    /// commit due time (caller drains).
+    pub fn run_hour(
+        &self,
+        env: &mut SimEnv,
+        hour_index: u64,
+        hour_start_ms: u64,
+        rng: &mut SimRng,
+    ) -> lakesim_engine::Result<u64> {
+        let checkpoints = 60 / self.config.checkpoint_every_min.max(1);
+        let bytes_per_checkpoint = self.config.bytes_per_hour / checkpoints.max(1);
+        let key = Self::hour_key(hour_index);
+        for c in 0..checkpoints {
+            let at = hour_start_ms + c * self.config.checkpoint_every_min * MS_PER_MIN;
+            let spec = WriteSpec {
+                table: self.table,
+                op: WriteOp::Insert,
+                partitions: vec![key.clone()],
+                total_bytes: bytes_per_checkpoint.max(1),
+                // Checkpoints are whatever five minutes of Kafka yields.
+                file_size: FileSizePlan {
+                    median_bytes: (bytes_per_checkpoint / 2).max(MB),
+                    sigma: 0.3,
+                },
+                partition_skew: 0.0,
+                cluster: self.config.cluster.clone(),
+                parallelism: 4,
+            };
+            env.submit_write(&spec, at)?;
+            let _ = rng.next_u64();
+        }
+        // End of hour: drain checkpoints, then roll up the partition.
+        let rollup_at = hour_start_ms + MS_PER_HOUR - MS_PER_MIN;
+        env.drain_due(rollup_at);
+        let plan = {
+            let entry = env.catalog.table(self.table)?;
+            plan_partition_rewrite(
+                &entry.table,
+                &key,
+                &BinPackConfig {
+                    target_file_size: self.config.target_file_size,
+                    small_file_fraction: 0.9,
+                    min_input_files: 2,
+                },
+            )
+        };
+        if plan.is_empty() {
+            return Ok(rollup_at);
+        }
+        let predicted_gbhr = env
+            .cost()
+            .estimate_gbhr(64.0, plan.input_bytes());
+        let opts = lakesim_engine::RewriteOptions {
+            cluster: self.config.cluster.clone(),
+            parallelism: 4,
+            trigger: "ingestion-rollup".to_string(),
+            predicted_reduction: plan.expected_reduction(),
+            predicted_gbhr,
+        };
+        let due = env
+            .submit_rewrite(&plan, &opts, rollup_at)?
+            .map(|j| j.commit_due_ms)
+            .unwrap_or(rollup_at);
+        Ok(due)
+    }
+
+    /// Expires old snapshots (checkpoint metadata) per the retention.
+    pub fn expire(&self, env: &mut SimEnv, now_ms: u64) -> lakesim_engine::Result<()> {
+        let _ = self.config.checkpoint_retention_ms;
+        env.run_snapshot_expiry(self.table, now_ms)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lakesim_engine::EnvConfig;
+    use lakesim_storage::GB;
+
+    #[test]
+    fn size_samples_match_figure_1_shapes() {
+        let mut rng = SimRng::seed_from_u64(40);
+        let raw = sample_raw_sizes(&mut rng, 500);
+        let derived = sample_user_derived_sizes(&mut rng, 500);
+        let small = |v: &[u64]| v.iter().filter(|&&s| s < 128 * MB).count() as f64 / v.len() as f64;
+        assert!(small(&raw) < 0.05, "raw small fraction {}", small(&raw));
+        assert!(
+            small(&derived) > 0.85,
+            "derived small fraction {}",
+            small(&derived)
+        );
+    }
+
+    #[test]
+    fn hourly_rollup_consolidates_checkpoints() {
+        let mut env = SimEnv::new(EnvConfig {
+            seed: 41,
+            ..EnvConfig::default()
+        });
+        env.create_database("raw", "ingestion", None).unwrap();
+        let pipeline = RawPipeline::create(
+            &mut env,
+            "raw",
+            "events",
+            RawPipelineConfig {
+                bytes_per_hour: 2 * GB,
+                ..RawPipelineConfig::default()
+            },
+        )
+        .unwrap();
+        let mut rng = SimRng::seed_from_u64(41);
+        let due = pipeline.run_hour(&mut env, 0, 0, &mut rng).unwrap();
+        env.drain_due(due + 1);
+        let entry = env.catalog.table(pipeline.table).unwrap();
+        let stats = entry.table.stats(512 * MB);
+        // 12 checkpoints rolled into ~4 files of ≈512MB.
+        assert!(
+            stats.file_count <= 6,
+            "expected consolidation, got {} files",
+            stats.file_count
+        );
+        assert!(stats.histogram.fraction_at_or_below(128 * MB) < 0.5);
+    }
+
+    #[test]
+    fn multi_hour_run_keeps_partitions_separate() {
+        let mut env = SimEnv::new(EnvConfig {
+            seed: 42,
+            ..EnvConfig::default()
+        });
+        env.create_database("raw", "ingestion", None).unwrap();
+        let pipeline =
+            RawPipeline::create(&mut env, "raw", "events", RawPipelineConfig::default()).unwrap();
+        let mut rng = SimRng::seed_from_u64(42);
+        for h in 0..3 {
+            let due = pipeline
+                .run_hour(&mut env, h, h * MS_PER_HOUR, &mut rng)
+                .unwrap();
+            env.drain_due(due.max((h + 1) * MS_PER_HOUR));
+        }
+        let entry = env.catalog.table(pipeline.table).unwrap();
+        assert_eq!(entry.table.partition_keys().len(), 3);
+        // Expiry drops old snapshots without touching live data.
+        let files = entry.table.file_count();
+        pipeline.expire(&mut env, 30 * 24 * MS_PER_HOUR).unwrap();
+        assert_eq!(
+            env.catalog.table(pipeline.table).unwrap().table.file_count(),
+            files
+        );
+    }
+}

@@ -1,0 +1,387 @@
+//! TPC-DS-like workload phases.
+//!
+//! Two uses in the paper:
+//!
+//! * **Fig. 3** — TPC-DS at SF1000: a single-user phase (all queries),
+//!   a data-maintenance phase modifying ~3% of the data ("resulting in
+//!   new files being added to the table", degrading the next single-user
+//!   run by 1.53×), then compaction restoring performance.
+//! * **§6.3 auto-tuning** — LST-Bench workload phases: *WP1*
+//!   ("long-running workload with frequent data modifications") and *WP3*
+//!   ("one compute cluster handles all writes while another handles all
+//!   reads"), plus TPC-H as the third workload.
+
+use crate::driver::{OpSpec, ScheduledOp};
+use lakesim_catalog::TablePolicy;
+use lakesim_engine::{
+    FileSizePlan, ReadSpec, SimEnv, SimRng, WriteOp, WriteSpec, MS_PER_MIN,
+};
+use lakesim_lst::{
+    ColumnType, Field, PartitionFilter, PartitionKey, PartitionSpec, PartitionValue, Schema,
+    TableId, TableProperties, Transform,
+};
+use lakesim_storage::{GB, MB};
+
+/// Simplified TPC-DS table set: two date-partitioned fact tables that
+/// dominate the bytes plus a set of unpartitioned dimensions.
+const FACTS: [(&str, f64); 2] = [("store_sales", 0.45), ("catalog_sales", 0.30)];
+const DIMS: [(&str, f64); 6] = [
+    ("inventory", 0.12),
+    ("customer", 0.05),
+    ("item", 0.03),
+    ("store", 0.02),
+    ("date_dim", 0.02),
+    ("promotion", 0.01),
+];
+
+/// Configuration of a TPC-DS-like database.
+#[derive(Debug, Clone)]
+pub struct TpcdsConfig {
+    /// Total data volume.
+    pub scale_bytes: u64,
+    /// Date partitions per fact table.
+    pub date_partitions: u32,
+    /// Initial-load writer (well-tuned: Fig. 3 starts from a clean state).
+    pub load_writer: FileSizePlan,
+    /// Number of read queries in one single-user phase (the paper runs
+    /// all 99; scaled runs use fewer).
+    pub queries_per_phase: u32,
+    /// Conflict mode.
+    pub conflict_mode: lakesim_lst::ConflictMode,
+}
+
+impl Default for TpcdsConfig {
+    fn default() -> Self {
+        TpcdsConfig {
+            scale_bytes: 10 * GB,
+            date_partitions: 30,
+            load_writer: FileSizePlan::well_tuned(),
+            queries_per_phase: 99,
+            conflict_mode: lakesim_lst::ConflictMode::Strict,
+        }
+    }
+}
+
+/// A built TPC-DS-like database.
+#[derive(Debug, Clone)]
+pub struct TpcdsDatabase {
+    /// Database name.
+    pub db: String,
+    /// All tables (name, id, partitioned).
+    pub tables: Vec<(&'static str, TableId, bool)>,
+    /// Date partitions per fact table.
+    pub date_partitions: u32,
+}
+
+impl TpcdsDatabase {
+    /// Fact tables (partitioned).
+    pub fn facts(&self) -> Vec<TableId> {
+        self.tables
+            .iter()
+            .filter(|(_, _, p)| *p)
+            .map(|(_, id, _)| *id)
+            .collect()
+    }
+
+    /// Partition key for a date-partition index.
+    pub fn date_key(i: u32) -> PartitionKey {
+        PartitionKey::single(PartitionValue::Date(i as i32))
+    }
+}
+
+fn fact_schema() -> Schema {
+    Schema::new(vec![
+        Field::new(1, "item_sk", ColumnType::Int64, true),
+        Field::new(2, "customer_sk", ColumnType::Int64, true),
+        Field::new(3, "sold_date", ColumnType::Date, true),
+        Field::new(4, "quantity", ColumnType::Int32, true),
+        Field::new(5, "sales_price", ColumnType::Decimal(7, 2), true),
+        Field::new(6, "ext_amount", ColumnType::Decimal(7, 2), true),
+    ])
+    .expect("static schema is valid")
+}
+
+fn dim_schema() -> Schema {
+    Schema::new(vec![
+        Field::new(1, "sk", ColumnType::Int64, true),
+        Field::new(2, "id", ColumnType::Utf8 { avg_len: 16 }, true),
+        Field::new(3, "name", ColumnType::Utf8 { avg_len: 32 }, false),
+        Field::new(4, "value", ColumnType::Decimal(7, 2), false),
+    ])
+    .expect("static schema is valid")
+}
+
+/// Builds the TPC-DS-like database and bulk-loads it (caller drains).
+pub fn build_tpcds(
+    env: &mut SimEnv,
+    db: &str,
+    tenant: &str,
+    config: &TpcdsConfig,
+) -> lakesim_engine::Result<TpcdsDatabase> {
+    env.create_database(db, tenant, None)?;
+    let mut tables = Vec::new();
+    for (name, share) in FACTS {
+        let properties = TableProperties {
+            conflict_mode: config.conflict_mode,
+            ..TableProperties::default()
+        };
+        let policy = TablePolicy {
+            min_age_ms: 0,
+            ..TablePolicy::default()
+        };
+        let id = env.create_table(
+            db,
+            name,
+            fact_schema(),
+            PartitionSpec::single(3, Transform::Day, "sold_date"),
+            properties,
+            policy,
+        )?;
+        tables.push((name, id, true));
+        let partitions: Vec<PartitionKey> = (0..config.date_partitions)
+            .map(TpcdsDatabase::date_key)
+            .collect();
+        env.submit_write(
+            &WriteSpec {
+                table: id,
+                op: WriteOp::Insert,
+                partitions,
+                total_bytes: (config.scale_bytes as f64 * share) as u64,
+                file_size: config.load_writer,
+                partition_skew: 0.0,
+                cluster: "query".to_string(),
+                parallelism: 8,
+            },
+            env.clock.now(),
+        )?;
+    }
+    for (name, share) in DIMS {
+        let properties = TableProperties {
+            conflict_mode: config.conflict_mode,
+            ..TableProperties::default()
+        };
+        let policy = TablePolicy {
+            min_age_ms: 0,
+            ..TablePolicy::default()
+        };
+        let id = env.create_table(
+            db,
+            name,
+            dim_schema(),
+            PartitionSpec::unpartitioned(),
+            properties,
+            policy,
+        )?;
+        tables.push((name, id, false));
+        env.submit_write(
+            &WriteSpec::insert(
+                id,
+                PartitionKey::unpartitioned(),
+                ((config.scale_bytes as f64 * share) as u64).max(MB),
+                config.load_writer,
+                "query",
+            ),
+            env.clock.now(),
+        )?;
+    }
+    Ok(TpcdsDatabase {
+        db: db.to_string(),
+        tables,
+        date_partitions: config.date_partitions,
+    })
+}
+
+/// Generates one single-user phase: `queries_per_phase` reads arriving
+/// back-to-back (spacing `gap_ms`) from `start_ms`, weighted toward fact
+/// scans with date predicates. Returns the ops.
+pub fn single_user_ops(
+    db: &TpcdsDatabase,
+    config: &TpcdsConfig,
+    start_ms: u64,
+    gap_ms: u64,
+    cluster: &str,
+    rng: &mut SimRng,
+) -> Vec<ScheduledOp> {
+    let facts = db.facts();
+    let mut ops = Vec::new();
+    for q in 0..config.queries_per_phase {
+        let at_ms = start_ms + u64::from(q) * gap_ms;
+        let roll = rng.next_f64();
+        let spec = if roll < 0.7 {
+            // Fact scan over a date range.
+            let table = facts[rng.index(facts.len())];
+            let span = 1 + rng.index((db.date_partitions as usize).min(10));
+            ReadSpec {
+                table,
+                filter: PartitionFilter::Recent { count: span },
+                cluster: cluster.to_string(),
+                parallelism: 8,
+            }
+        } else if roll < 0.85 {
+            // Full fact scan (heavy reporting query).
+            let table = facts[rng.index(facts.len())];
+            ReadSpec {
+                table,
+                filter: PartitionFilter::All,
+                cluster: cluster.to_string(),
+                parallelism: 8,
+            }
+        } else {
+            // Dimension scan.
+            let dims: Vec<TableId> = db
+                .tables
+                .iter()
+                .filter(|(_, _, p)| !*p)
+                .map(|(_, id, _)| *id)
+                .collect();
+            ReadSpec {
+                table: dims[rng.index(dims.len())],
+                filter: PartitionFilter::All,
+                cluster: cluster.to_string(),
+                parallelism: 4,
+            }
+        };
+        ops.push(ScheduledOp {
+            at_ms,
+            op: OpSpec::Read(spec),
+        });
+    }
+    ops
+}
+
+/// Generates the data-maintenance phase: modifies ~`fraction` of the fact
+/// data via MoR deletes plus inserts of new (small) files — "about 3% of
+/// the data is modified via delete and insert operations" (§2/Fig. 3).
+pub fn maintenance_ops(
+    db: &TpcdsDatabase,
+    env: &SimEnv,
+    fraction: f64,
+    start_ms: u64,
+    cluster: &str,
+    rng: &mut SimRng,
+) -> Vec<ScheduledOp> {
+    let mut ops = Vec::new();
+    let mut at_ms = start_ms;
+    for table in db.facts() {
+        let Ok(entry) = env.catalog.table(table) else {
+            continue;
+        };
+        let modified_bytes = (entry.table.total_bytes() as f64 * fraction) as u64;
+        if modified_bytes == 0 {
+            continue;
+        }
+        // Touch the most recent quarter of partitions.
+        let keys = entry.table.partition_keys();
+        let take = (keys.len() / 4).max(1);
+        let recent: Vec<PartitionKey> = keys.into_iter().rev().take(take).collect();
+        // Delete side: MoR delete files referencing the modified rows.
+        ops.push(ScheduledOp {
+            at_ms,
+            op: OpSpec::Write(WriteSpec {
+                table,
+                op: WriteOp::MergeOnReadDelta,
+                partitions: recent.clone(),
+                total_bytes: (modified_bytes / 20).max(MB),
+                file_size: FileSizePlan {
+                    median_bytes: MB,
+                    sigma: 0.4,
+                },
+                partition_skew: 0.0,
+                cluster: cluster.to_string(),
+                parallelism: 4,
+            }),
+        });
+        at_ms += 30_000 + rng.range_u64(0, 30_000);
+        // Insert side: replacement rows land as small files.
+        ops.push(ScheduledOp {
+            at_ms,
+            op: OpSpec::Write(WriteSpec {
+                table,
+                op: WriteOp::Insert,
+                partitions: recent,
+                total_bytes: modified_bytes,
+                file_size: FileSizePlan::misconfigured(),
+                partition_skew: 0.3,
+                cluster: cluster.to_string(),
+                parallelism: 4,
+            }),
+        });
+        at_ms += MS_PER_MIN;
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lakesim_engine::EnvConfig;
+
+    fn scaled_config() -> TpcdsConfig {
+        TpcdsConfig {
+            scale_bytes: 4 * GB,
+            date_partitions: 10,
+            queries_per_phase: 20,
+            ..TpcdsConfig::default()
+        }
+    }
+
+    #[test]
+    fn builds_facts_and_dims() {
+        let mut env = SimEnv::new(EnvConfig {
+            seed: 30,
+            ..EnvConfig::default()
+        });
+        let db = build_tpcds(&mut env, "tpcds", "tenant", &scaled_config()).unwrap();
+        env.drain_all();
+        assert_eq!(db.tables.len(), 8);
+        assert_eq!(db.facts().len(), 2);
+        let ss = env.catalog.table(db.facts()[0]).unwrap();
+        assert_eq!(ss.table.partition_keys().len(), 10);
+        assert!(ss.table.total_bytes() > GB);
+    }
+
+    #[test]
+    fn single_user_phase_targets_real_tables() {
+        let mut env = SimEnv::new(EnvConfig {
+            seed: 31,
+            ..EnvConfig::default()
+        });
+        let config = scaled_config();
+        let db = build_tpcds(&mut env, "tpcds", "tenant", &config).unwrap();
+        env.drain_all();
+        let mut rng = SimRng::seed_from_u64(31);
+        let ops = single_user_ops(&db, &config, 0, 1000, "query", &mut rng);
+        assert_eq!(ops.len(), 20);
+        for op in &ops {
+            match &op.op {
+                OpSpec::Read(spec) => assert!(env.catalog.table(spec.table).is_ok()),
+                OpSpec::Write(_) => panic!("single-user phase is read-only"),
+            }
+        }
+    }
+
+    #[test]
+    fn maintenance_modifies_three_percent() {
+        let mut env = SimEnv::new(EnvConfig {
+            seed: 32,
+            ..EnvConfig::default()
+        });
+        let config = scaled_config();
+        let db = build_tpcds(&mut env, "tpcds", "tenant", &config).unwrap();
+        env.drain_all();
+        let files_before = env.fs.total_files();
+        let mut rng = SimRng::seed_from_u64(32);
+        let ops = maintenance_ops(&db, &env, 0.03, 1_000_000, "query", &mut rng);
+        assert_eq!(ops.len(), 4); // delete + insert per fact table
+        for op in ops {
+            if let OpSpec::Write(spec) = op.op {
+                env.submit_write(&spec, op.at_ms).unwrap();
+            }
+        }
+        env.drain_all();
+        // Maintenance added (small) files.
+        assert!(env.fs.total_files() > files_before);
+        let ss = env.catalog.table(db.facts()[0]).unwrap();
+        assert!(ss.table.delete_file_count() > 0, "MoR debt accumulated");
+    }
+}

@@ -1,0 +1,37 @@
+//! Auto-tuning compaction trigger thresholds (§6.3): a cost-frugal local
+//! search over the small-file-count threshold of an optimize-after-write
+//! hook, with full end-to-end workload runs as the objective.
+//!
+//! Run with: `cargo run --release --example autotune_thresholds`
+
+use autocomp_bench::experiments::tuning::{
+    run_fig9_panel, run_tuned_workload, TuneTrait, TuneWorkload,
+};
+
+fn main() {
+    // Baseline: no compaction at all (threshold = infinity).
+    let default_s =
+        run_tuned_workload(TuneWorkload::TpcdsWp1, TuneTrait::SmallFileCount, f64::INFINITY, 5);
+    println!("TPC-DS WP1, compaction disabled: {default_s:.1}s\n");
+
+    // Tune the threshold with 15 CFO iterations.
+    let panel = run_fig9_panel(TuneWorkload::TpcdsWp1, TuneTrait::SmallFileCount, 15, 5);
+    println!("iter  threshold  duration(s)");
+    for (i, threshold, duration) in &panel.trials {
+        let marker = if *duration <= panel.best_duration_s + 1e-9 {
+            "  <- best so far"
+        } else {
+            ""
+        };
+        println!("{i:>4}  {threshold:>9.1}  {duration:>10.1}{marker}");
+    }
+    println!(
+        "\nbest tuned: {:.1}s vs default {:.1}s ({:+.1}%)",
+        panel.best_duration_s,
+        panel.default_duration_s,
+        (panel.best_duration_s / panel.default_duration_s - 1.0) * 100.0
+    );
+    println!("\nthe paper's takeaway (§6.3): thresholds are workload-specific —");
+    println!("the same search on TPC-H keeps compaction off (its rewrites are");
+    println!("whole-table), while WP1/WP3 benefit from a tuned trigger.");
+}

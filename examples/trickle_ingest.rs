@@ -1,0 +1,117 @@
+//! Trickle/CDC ingestion with an optimize-after-write hook (§5 push mode).
+//!
+//! A CDC stream appends tiny files every few minutes. An after-write hook
+//! watches the small-file count; when it crosses the tuned threshold the
+//! hook triggers immediate compaction, keeping the table's file count
+//! bounded while a hook-less twin table fragments without limit.
+//!
+//! Run with: `cargo run --release --example trickle_ingest`
+
+use autocomp::{AfterWriteHook, FileCountReduction, HookAction, HookMode};
+use autocomp_lakesim::hooks::evaluate_hook_direct;
+use lakesim_catalog::TablePolicy;
+use lakesim_engine::{
+    EnvConfig, FileSizePlan, RewriteOptions, SimEnv, WriteSpec, MS_PER_MIN,
+};
+use lakesim_lst::{
+    plan_table_rewrite, BinPackConfig, ColumnType, Field, PartitionKey, PartitionSpec, Schema,
+    TableId, TableProperties,
+};
+use lakesim_storage::MB;
+
+fn make_table(env: &mut SimEnv, name: &str) -> TableId {
+    let schema = Schema::new(vec![
+        Field::new(1, "op_seq", ColumnType::Int64, true),
+        Field::new(2, "row", ColumnType::Utf8 { avg_len: 120 }, false),
+    ])
+    .expect("valid schema");
+    env.create_table(
+        "cdc",
+        name,
+        schema,
+        PartitionSpec::unpartitioned(),
+        TableProperties::default(),
+        TablePolicy {
+            min_age_ms: 0,
+            ..TablePolicy::default()
+        },
+    )
+    .expect("fresh table")
+}
+
+fn main() {
+    let mut env = SimEnv::new(EnvConfig {
+        seed: 7,
+        ..EnvConfig::default()
+    });
+    env.create_database("cdc", "stream-tenant", None)
+        .expect("fresh database");
+    let hooked = make_table(&mut env, "orders_cdc_hooked");
+    let unhooked = make_table(&mut env, "orders_cdc_plain");
+
+    let hook = AfterWriteHook::new(
+        HookMode::Immediate,
+        Box::new(FileCountReduction::default()),
+        40.0, // compact once 40 small files accumulate
+    );
+
+    println!("minute  hooked-files  plain-files  action");
+    for tick in 0..120u64 {
+        let now = tick * 5 * MS_PER_MIN; // one CDC batch every 5 minutes
+        for table in [hooked, unhooked] {
+            let spec = WriteSpec::insert(
+                table,
+                PartitionKey::unpartitioned(),
+                8 * MB,
+                FileSizePlan::trickle(),
+                "query",
+            );
+            env.submit_write(&spec, now).expect("cdc append");
+        }
+        env.drain_due(now + 2 * MS_PER_MIN);
+
+        // The hook only watches the hooked table.
+        let mut action_str = "";
+        if let Some(HookAction::TriggerNow) = evaluate_hook_direct(&mut env, &hook, hooked) {
+            let plan = {
+                let entry = env.catalog.table(hooked).expect("exists");
+                plan_table_rewrite(&entry.table, &BinPackConfig::default())
+            };
+            if !plan.is_empty() {
+                let predicted = env.cost().estimate_gbhr(64.0, plan.input_bytes());
+                let opts = RewriteOptions {
+                    cluster: "compaction".to_string(),
+                    parallelism: 3,
+                    trigger: "after-write".to_string(),
+                    predicted_reduction: plan.expected_reduction(),
+                    predicted_gbhr: predicted,
+                };
+                env.submit_rewrite(&plan, &opts, now + 2 * MS_PER_MIN)
+                    .expect("rewrite submitted");
+                action_str = "<- hook fired, compaction scheduled";
+            }
+        }
+        if tick % 12 == 0 || !action_str.is_empty() {
+            let h = env.catalog.table(hooked).expect("exists").table.file_count();
+            let p = env
+                .catalog
+                .table(unhooked)
+                .expect("exists")
+                .table
+                .file_count();
+            println!("{:>6}  {:>12}  {:>11}  {action_str}", tick * 5, h, p);
+        }
+    }
+    env.drain_all();
+    let h = env.catalog.table(hooked).expect("exists").table.file_count();
+    let p = env
+        .catalog
+        .table(unhooked)
+        .expect("exists")
+        .table
+        .file_count();
+    println!("\nafter {} hours of CDC:", 120 * 5 / 60);
+    println!("  hooked table:   {h} files (bounded by the after-write hook)");
+    println!("  unhooked table: {p} files (unbounded fragmentation)");
+    assert!(h < p, "the hook must keep the file count bounded");
+}

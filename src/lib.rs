@@ -1,0 +1,26 @@
+//! # autocomp-repro
+//!
+//! Umbrella crate for the AutoComp (SIGMOD 2025) reproduction. Re-exports
+//! every workspace crate under one roof so that examples and integration
+//! tests can address the full system through a single dependency.
+//!
+//! Crate map:
+//!
+//! * [`autocomp`] — the paper's contribution: the OODA compaction pipeline.
+//! * [`connector`] — binds AutoComp to the simulated lake.
+//! * [`tuner`] — §6.3 auto-tuning of compaction triggers.
+//! * [`storage`] / [`lst`] / [`catalog`] / [`engine`] / [`workload`] — the
+//!   simulated substrate (HDFS, Iceberg-like tables, OpenHouse-like control
+//!   plane, Spark-like engine, benchmark workloads).
+//! * [`bench`] — experiment harnesses regenerating the paper's tables and
+//!   figures.
+
+pub use autocomp;
+pub use autocomp_bench as bench;
+pub use autocomp_lakesim as connector;
+pub use autocomp_tuner as tuner;
+pub use lakesim_catalog as catalog;
+pub use lakesim_engine as engine;
+pub use lakesim_lst as lst;
+pub use lakesim_storage as storage;
+pub use lakesim_workload as workload;

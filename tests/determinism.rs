@@ -1,0 +1,62 @@
+//! NFR2 end to end: identical inputs produce byte-identical decisions and
+//! outcomes across the full stack; different seeds diverge.
+
+use autocomp::ScopeStrategy;
+use autocomp_bench::experiments::cab::{run_cab, CabExperimentConfig, Strategy};
+use autocomp_bench::experiments::fig3::{run_fig3, Fig3Config};
+use autocomp_bench::experiments::production::{run_fig2, ProductionScale};
+use lakesim_storage::GB;
+use lakesim_workload::tpcds::TpcdsConfig;
+
+fn strategy() -> Strategy {
+    Strategy::Moop {
+        scope: ScopeStrategy::Hybrid,
+        k: 25,
+    }
+}
+
+#[test]
+fn cab_runs_are_bit_stable() {
+    let a = run_cab(&CabExperimentConfig::test_scale(31, strategy()));
+    let b = run_cab(&CabExperimentConfig::test_scale(31, strategy()));
+    assert_eq!(a.file_count_series, b.file_count_series);
+    assert_eq!(a.files_reduced, b.files_reduced);
+    assert_eq!(a.jobs_succeeded, b.jobs_succeeded);
+    assert_eq!(a.jobs_conflicted, b.jobs_conflicted);
+    assert_eq!(a.makespan_ms, b.makespan_ms);
+    assert_eq!(a.selected_per_cycle, b.selected_per_cycle);
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let a = run_cab(&CabExperimentConfig::test_scale(32, strategy()));
+    let b = run_cab(&CabExperimentConfig::test_scale(33, strategy()));
+    assert_ne!(
+        a.file_count_series, b.file_count_series,
+        "different seeds must explore different workloads"
+    );
+}
+
+#[test]
+fn fig3_and_fig2_are_deterministic() {
+    let fig3_config = Fig3Config {
+        seed: 34,
+        tpcds: TpcdsConfig {
+            scale_bytes: 2 * GB,
+            date_partitions: 8,
+            queries_per_phase: 10,
+            ..TpcdsConfig::default()
+        },
+        ..Fig3Config::default()
+    };
+    assert_eq!(run_fig3(&fig3_config), run_fig3(&fig3_config));
+
+    let scale = ProductionScale::test_scale(35);
+    let a = run_fig2(&scale);
+    let b = run_fig2(&scale);
+    for (pa, pb) in a.phases.iter().zip(b.phases.iter()) {
+        assert_eq!(pa.0, pb.0);
+        assert_eq!(pa.1, pb.1);
+        assert_eq!(pa.2, pb.2);
+    }
+}

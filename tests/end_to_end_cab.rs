@@ -1,0 +1,83 @@
+//! Cross-crate integration: the full §6 CAB experiment at test scale,
+//! exercising workload generation → engine execution → AutoComp cycles →
+//! metrics collection end to end.
+
+use autocomp::ScopeStrategy;
+use autocomp_bench::experiments::cab::{run_cab, CabExperimentConfig, Strategy};
+
+#[test]
+fn compaction_reduces_files_and_latency() {
+    let baseline = run_cab(&CabExperimentConfig::test_scale(21, Strategy::NoCompaction));
+    let compacted = run_cab(&CabExperimentConfig::test_scale(
+        21,
+        Strategy::Moop {
+            scope: ScopeStrategy::Table,
+            k: 10,
+        },
+    ));
+
+    // Fig. 6: compaction cuts the file count sharply.
+    let b = baseline.file_count_series.last().unwrap().1;
+    let c = compacted.file_count_series.last().unwrap().1;
+    assert!(c < b, "compacted {c} vs baseline {b}");
+
+    // Fig. 8: from hour 2 onward, read-only latencies improve.
+    let last = baseline.hourly.len() - 1;
+    let b_ro = baseline.hourly[last].read_only.as_ref();
+    let c_ro = compacted.hourly[last].read_only.as_ref();
+    if let (Some(b_ro), Some(c_ro)) = (b_ro, c_ro) {
+        assert!(
+            c_ro.median <= b_ro.median * 1.05,
+            "median latency should not regress: {} vs {}",
+            c_ro.median,
+            b_ro.median
+        );
+    }
+
+    // Fig. 7: compaction applications consumed resources and paid off.
+    assert!(compacted.total_compaction_gbhr > 0.0);
+    assert!(compacted.files_reduced > 0);
+}
+
+#[test]
+fn hybrid_scope_compacts_with_fewer_cluster_conflicts_per_job() {
+    let table = run_cab(&CabExperimentConfig::test_scale(
+        22,
+        Strategy::Moop {
+            scope: ScopeStrategy::Table,
+            k: 10,
+        },
+    ));
+    let hybrid = run_cab(&CabExperimentConfig::test_scale(
+        22,
+        Strategy::Moop {
+            scope: ScopeStrategy::Hybrid,
+            k: 500,
+        },
+    ));
+    let rate = |r: &autocomp_bench::experiments::cab::CabRunResult| {
+        r.jobs_conflicted as f64 / (r.jobs_succeeded + r.jobs_conflicted).max(1) as f64
+    };
+    // Table 1's shape: partition-scope jobs have much smaller conflict
+    // windows than table-scope jobs.
+    assert!(
+        rate(&hybrid) <= rate(&table) + 1e-9,
+        "hybrid conflict rate {} vs table {}",
+        rate(&hybrid),
+        rate(&table)
+    );
+    // Hybrid runs many more, smaller applications (Fig. 7).
+    assert!(hybrid.compaction_apps >= table.compaction_apps);
+    if hybrid.mean_compaction_gbhr > 0.0 && table.mean_compaction_gbhr > 0.0 {
+        assert!(hybrid.mean_compaction_gbhr < table.mean_compaction_gbhr);
+    }
+}
+
+#[test]
+fn write_queries_and_conflicts_are_tracked_hourly() {
+    let r = run_cab(&CabExperimentConfig::test_scale(23, Strategy::NoCompaction));
+    let writes: u64 = r.hourly.iter().map(|h| h.write_queries).sum();
+    assert!(writes > 0, "the CAB stream must include writes");
+    // Without compaction there are no cluster-side conflicts by definition.
+    assert!(r.hourly.iter().all(|h| h.cluster_conflicts == 0));
+}

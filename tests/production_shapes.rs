@@ -1,0 +1,80 @@
+//! The §7 production narratives, verified end to end at test scale:
+//! Fig. 2's distribution shift, Fig. 10's rollout, Fig. 11's sawtooth,
+//! and the estimator-accuracy comparison.
+
+use autocomp_bench::experiments::production::{
+    run_estimator_accuracy, run_fig10ab, run_fig11a, run_production_timeline, ProductionScale,
+    TimelineConfig,
+};
+
+#[test]
+fn rollout_transition_increases_effectiveness() {
+    let r = run_fig10ab(&ProductionScale::test_scale(71), 2, 25.0);
+    // Fig. 10a: auto weeks (3-5) vs manual weeks (0-2).
+    let manual: i64 = r.segment_a[..3].iter().map(|w| w.files_reduced).sum();
+    let auto: i64 = r.segment_a[3..].iter().map(|w| w.files_reduced).sum();
+    assert!(manual > 0 && auto > 0);
+    // Fig. 10b: the budgeted weeks select at least as many candidates.
+    let static_k: f64 = r.segment_b[..2].iter().map(|w| w.k_effective).sum::<f64>() / 2.0;
+    let dynamic_k: f64 = r.segment_b[2..].iter().map(|w| w.k_effective).sum::<f64>() / 2.0;
+    assert!(
+        dynamic_k >= static_k,
+        "dynamic {dynamic_k:.1} vs static {static_k:.1}"
+    );
+}
+
+#[test]
+fn timeline_regimes_switch_and_opens_track_compaction() {
+    let r = run_production_timeline(&TimelineConfig::test_scale(72));
+    let regimes: Vec<&str> = r.monthly.iter().map(|m| m.regime.as_str()).collect();
+    assert!(regimes.contains(&"none"));
+    assert!(regimes.contains(&"manual"));
+    assert!(regimes.contains(&"auto"));
+    // Compaction reduces files once active (Fig. 10c/11b).
+    let reduced_during_auto: i64 = r
+        .monthly
+        .iter()
+        .filter(|m| m.regime == "auto")
+        .map(|m| m.files_reduced)
+        .sum();
+    assert!(reduced_during_auto > 0);
+    // open() traffic is recorded every month (Fig. 11b's series).
+    assert!(r.monthly.iter().all(|m| m.opens > 0));
+}
+
+#[test]
+fn daily_workload_metrics_move_together() {
+    let r = run_fig11a(&ProductionScale::test_scale(73), 6, 6);
+    assert_eq!(r.daily.len(), 6);
+    // Files scanned and query time correlate (Fig. 11a: "the reduction in
+    // files scanned closely corresponds to a decrease in query execution
+    // time"): compare the days with max and min files scanned.
+    let max_day = r
+        .daily
+        .iter()
+        .max_by_key(|d| d.files_scanned)
+        .expect("non-empty");
+    let min_day = r
+        .daily
+        .iter()
+        .min_by_key(|d| d.files_scanned)
+        .expect("non-empty");
+    if max_day.files_scanned > min_day.files_scanned {
+        assert!(
+            max_day.query_time_ms >= min_day.query_time_ms,
+            "more files scanned should not be faster: {} vs {}",
+            max_day.query_time_ms,
+            min_day.query_time_ms
+        );
+    }
+}
+
+#[test]
+fn partition_aware_estimator_outperforms_naive() {
+    let (naive, planned) = run_estimator_accuracy(&ProductionScale::test_scale(74), 3);
+    assert!(naive.jobs > 0 && planned.jobs > 0);
+    // §7: naive table-level ΔF over-estimates; the partition-aware plan
+    // is (nearly) unbiased.
+    assert!(naive.reduction_bias >= -0.05);
+    assert!(planned.reduction_mape <= naive.reduction_mape + 1e-9);
+}

@@ -1,0 +1,59 @@
+//! §6.3 auto-tuning through the full stack at small iteration budgets.
+
+use autocomp_bench::experiments::tuning::{
+    run_fig9_panel, run_tuned_workload, TuneTrait, TuneWorkload,
+};
+
+#[test]
+fn tuned_wp1_beats_no_compaction() {
+    let panel = run_fig9_panel(TuneWorkload::TpcdsWp1, TuneTrait::SmallFileCount, 6, 81);
+    assert!(
+        panel.best_duration_s < panel.default_duration_s,
+        "tuned {:.1}s vs default {:.1}s",
+        panel.best_duration_s,
+        panel.default_duration_s
+    );
+}
+
+#[test]
+fn wp3_decoupled_clusters_benefit_most() {
+    let wp1 = run_fig9_panel(TuneWorkload::TpcdsWp1, TuneTrait::SmallFileCount, 5, 82);
+    let wp3 = run_fig9_panel(TuneWorkload::TpcdsWp3, TuneTrait::SmallFileCount, 5, 82);
+    let gain = |p: &autocomp_bench::experiments::tuning::TunePanelResult| {
+        1.0 - p.best_duration_s / p.default_duration_s
+    };
+    // §6.3: WP3 "sees consistent benefits from compaction, as its
+    // decoupled read and write clusters minimize resource contention".
+    assert!(
+        gain(&wp3) >= gain(&wp1) - 0.02,
+        "wp3 gain {:.3} vs wp1 gain {:.3}",
+        gain(&wp3),
+        gain(&wp1)
+    );
+}
+
+#[test]
+fn tpch_gains_little_from_compaction() {
+    let always = run_tuned_workload(TuneWorkload::Tpch, TuneTrait::SmallFileCount, 1.0, 83);
+    let never = run_tuned_workload(TuneWorkload::Tpch, TuneTrait::SmallFileCount, f64::INFINITY, 83);
+    // §6.3/Fig. 9b: aggressive compaction does not meaningfully beat the
+    // default on TPC-H (whole-table rewrites are costly and the data
+    // modification phase dominates).
+    assert!(
+        always > never * 0.9,
+        "always-compact {always:.1}s vs never {never:.1}s"
+    );
+}
+
+#[test]
+fn trigger_traits_are_interchangeable_when_tuned() {
+    let count = run_fig9_panel(TuneWorkload::TpcdsWp1, TuneTrait::SmallFileCount, 5, 84);
+    let entropy = run_fig9_panel(TuneWorkload::TpcdsWp1, TuneTrait::FileEntropy, 5, 84);
+    let ratio = count.best_duration_s / entropy.best_duration_s.max(1e-9);
+    assert!(
+        (0.6..1.7).contains(&ratio),
+        "Fig. 9a vs 9c: tuned count {:.1}s and entropy {:.1}s should be comparable",
+        count.best_duration_s,
+        entropy.best_duration_s
+    );
+}
