@@ -27,7 +27,11 @@ fn fragmented_table(files: u64, partitions: i32) -> Table {
     for i in 0..files {
         let partition = PartitionKey::single(PartitionValue::Date((i % partitions as u64) as i32));
         // Mix of small and near-target files.
-        let size = if i % 5 == 0 { 400 * MB } else { (4 + i % 60) * MB };
+        let size = if i % 5 == 0 {
+            400 * MB
+        } else {
+            (4 + i % 60) * MB
+        };
         txn.add_file(DataFile::data(FileId(i + 1), partition, 1000, size));
     }
     table.commit(txn, 0).expect("append commits");

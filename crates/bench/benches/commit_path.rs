@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lakesim_lst::{
-    ColumnType, ConflictMode, DataFile, Field, OpKind, PartitionKey, PartitionSpec,
-    PartitionValue, Schema, Table, TableId, TableProperties, Transaction, Transform,
+    ColumnType, ConflictMode, DataFile, Field, OpKind, PartitionKey, PartitionSpec, PartitionValue,
+    Schema, Table, TableId, TableProperties, Transaction, Transform,
 };
 use lakesim_storage::{FileId, MB};
 

@@ -22,8 +22,8 @@ impl SyntheticLake {
             tables: (0..n)
                 .map(|i| TableRef {
                     table_uid: i,
-                    database: format!("db{}", i % 64),
-                    name: format!("t{i}"),
+                    database: format!("db{}", i % 64).into(),
+                    name: format!("t{i}").into(),
                     partitioned: i % 2 == 0,
                     compaction_enabled: i % 17 != 0,
                     is_intermediate: i % 23 == 0,

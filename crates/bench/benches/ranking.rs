@@ -6,7 +6,7 @@ use std::collections::BTreeMap;
 
 use autocomp::{
     rank::rank_and_select, Candidate, CandidateId, CandidateStats, QuotaSignal, RankingPolicy,
-    TraitDirection, TraitWeight,
+    TraitDirection, TraitMatrix, TraitWeight,
 };
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -14,8 +14,8 @@ fn candidates(n: u64) -> (Vec<Candidate>, Vec<BTreeMap<String, f64>>) {
     let cands: Vec<Candidate> = (0..n)
         .map(|i| Candidate {
             id: CandidateId::table(i),
-            database: format!("db{}", i % 50),
-            table_name: format!("t{i}"),
+            database: format!("db{}", i % 50).into(),
+            table_name: format!("t{i}").into(),
             compaction_enabled: true,
             is_intermediate: false,
             stats: CandidateStats {
@@ -66,6 +66,9 @@ fn bench_ranking(c: &mut Criterion) {
     for n in [100u64, 1_000, 10_000, 100_000] {
         let (cands, traits) = candidates(n);
         let dirs = directions();
+        // The orient phase builds the columnar matrix once per cycle;
+        // ranking consumes it, so the conversion sits outside the loops.
+        let matrix = TraitMatrix::from_maps(&traits, &dirs).expect("uniform trait maps");
         let moop = RankingPolicy::Moop {
             weights: vec![
                 TraitWeight::new("file_count_reduction", 0.7),
@@ -74,7 +77,7 @@ fn bench_ranking(c: &mut Criterion) {
             k: 100,
         };
         group.bench_with_input(BenchmarkId::new("moop_topk", n), &n, |b, _| {
-            b.iter(|| rank_and_select(&cands, &traits, &dirs, &moop).unwrap())
+            b.iter(|| rank_and_select(&cands, &matrix, &moop).unwrap())
         });
         let budgeted = RankingPolicy::BudgetedMoop {
             weights: vec![
@@ -86,7 +89,7 @@ fn bench_ranking(c: &mut Criterion) {
             max_k: None,
         };
         group.bench_with_input(BenchmarkId::new("budgeted_dynamic_k", n), &n, |b, _| {
-            b.iter(|| rank_and_select(&cands, &traits, &dirs, &budgeted).unwrap())
+            b.iter(|| rank_and_select(&cands, &matrix, &budgeted).unwrap())
         });
         let quota = RankingPolicy::QuotaAwareMoop {
             benefit_trait: "file_count_reduction".to_string(),
@@ -95,7 +98,7 @@ fn bench_ranking(c: &mut Criterion) {
             budget: None,
         };
         group.bench_with_input(BenchmarkId::new("quota_aware", n), &n, |b, _| {
-            b.iter(|| rank_and_select(&cands, &traits, &dirs, &quota).unwrap())
+            b.iter(|| rank_and_select(&cands, &matrix, &quota).unwrap())
         });
     }
     group.finish();

@@ -35,7 +35,9 @@ fn table_with(files_per_partition: u64, partitions: i32) -> Table {
             ));
             next += 1;
         }
-        table.commit(txn, u64::from(p as u32)).expect("append commits");
+        table
+            .commit(txn, u64::from(p as u32))
+            .expect("append commits");
     }
     table
 }

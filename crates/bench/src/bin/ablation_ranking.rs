@@ -4,8 +4,8 @@
 use autocomp::{RankingPolicy, TraitWeight};
 use autocomp_bench::experiments::production::{auto_cycle, production_pipeline, ProductionScale};
 use autocomp_bench::print;
-use lakesim_engine::AppKind;
 use lakesim_catalog::JobStatus;
+use lakesim_engine::AppKind;
 use lakesim_workload::fleet::{Fleet, FleetConfig};
 
 fn policies() -> Vec<(&'static str, RankingPolicy)> {

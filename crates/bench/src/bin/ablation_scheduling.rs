@@ -10,7 +10,10 @@ fn main() {
     println!("# Ablation — schedulers (strict conflict model, hybrid top-500)\n");
     let mut rows = Vec::new();
     for (scheduler, label) in [
-        (SchedulerKind::ParallelTables, "parallel tables / sequential partitions"),
+        (
+            SchedulerKind::ParallelTables,
+            "parallel tables / sequential partitions",
+        ),
         (SchedulerKind::AllParallel, "all parallel"),
         (SchedulerKind::StrictSequential, "strict sequential"),
     ] {

@@ -40,7 +40,10 @@ fn main() {
                 "cost bias",
                 "cost MAPE",
             ],
-            &[row("naive table-level", &naive), row("partition-aware", &planned)]
+            &[
+                row("naive table-level", &naive),
+                row("partition-aware", &planned)
+            ]
         )
     );
     println!("paper: ΔF over-estimated by ~28%, cost under-estimated by ~19%; the");

@@ -46,7 +46,5 @@ fn main() {
         raw_h.fraction_at_or_below(128 * MB),
         derived_h.fraction_at_or_below(128 * MB)
     );
-    println!(
-        "\npaper shape: raw concentrated at ~512MB; user-derived heavily below 128MB"
-    );
+    println!("\npaper shape: raw concentrated at ~512MB; user-derived heavily below 128MB");
 }

@@ -27,7 +27,13 @@ fn main() {
     println!(
         "{}",
         print::table(
-            &["strategy", "apps", "mean GBHr/app", "total GBHr", "files reduced"],
+            &[
+                "strategy",
+                "apps",
+                "mean GBHr/app",
+                "total GBHr",
+                "files reduced"
+            ],
             &rows
         )
     );

@@ -19,7 +19,14 @@ fn candle_cells(c: &Option<Candlestick>) -> Vec<String> {
             format!("{:.1}", c.max / 1000.0),
             c.count.to_string(),
         ],
-        None => vec!["-".into(), "-".into(), "-".into(), "-".into(), "-".into(), "0".into()],
+        None => vec![
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "0".into(),
+        ],
     }
 }
 
@@ -39,10 +46,7 @@ fn main() {
     for strategy in strategies {
         let config = CabExperimentConfig::from_env(8, strategy);
         let r = run_cab(&config);
-        for (class, pick) in [
-            ("read-only", true),
-            ("read-write", false),
-        ] {
+        for (class, pick) in [("read-only", true), ("read-write", false)] {
             println!("## {} — {}", r.label, class);
             let rows: Vec<Vec<String>> = r
                 .hourly

@@ -8,21 +8,21 @@ use autocomp_bench::experiments::production::{
 use autocomp_bench::print;
 
 fn main() {
-    let (scale, days_per_week, budget, timeline) =
-        match std::env::var("AUTOCOMP_SCALE").as_deref() {
-            Ok("test") => (
-                ProductionScale::test_scale(10),
-                2,
-                20.0,
-                TimelineConfig::test_scale(10),
-            ),
-            _ => (
-                ProductionScale::paper_scale(10),
-                5,
-                60.0,
-                TimelineConfig::paper_scale(10),
-            ),
-        };
+    let (scale, days_per_week, budget, timeline) = match std::env::var("AUTOCOMP_SCALE").as_deref()
+    {
+        Ok("test") => (
+            ProductionScale::test_scale(10),
+            2,
+            20.0,
+            TimelineConfig::test_scale(10),
+        ),
+        _ => (
+            ProductionScale::paper_scale(10),
+            5,
+            60.0,
+            TimelineConfig::paper_scale(10),
+        ),
+    };
 
     println!("# Figure 10a/b — rollout: files reduced and compaction cost per week\n");
     let rollout = run_fig10ab(&scale, days_per_week, budget);

@@ -99,7 +99,13 @@ fn main() {
     println!(
         "{}",
         print::table(
-            &["month", "regime", "open() calls", "(norm)", "deployment (norm)"],
+            &[
+                "month",
+                "regime",
+                "open() calls",
+                "(norm)",
+                "deployment (norm)"
+            ],
             &rows
         )
     );

@@ -1,0 +1,120 @@
+//! Phase-level timing probe for one OODA cycle over a synthetic 100K-table
+//! lake: where does the framework overhead actually go? Prints per-phase
+//! wall times so decide-path optimization targets facts, not guesses.
+
+use std::time::Instant;
+
+use autocomp::rank::rank_and_select;
+use autocomp::scope::generate_candidates;
+use autocomp::{
+    filter::apply_filters, AlreadyCompactFilter, CandidateFilter, CandidateStats,
+    CompactionDisabledFilter, ComputeCostGbhr, FileCountReduction, LakeConnector, RankingPolicy,
+    ScopeStrategy, TableRef, TraitComputer, TraitMatrix, TraitWeight,
+};
+
+struct SyntheticLake {
+    tables: Vec<TableRef>,
+}
+
+impl SyntheticLake {
+    fn new(n: u64) -> Self {
+        SyntheticLake {
+            tables: (0..n)
+                .map(|i| TableRef {
+                    table_uid: i,
+                    database: format!("db{}", i % 64).into(),
+                    name: format!("t{i}").into(),
+                    partitioned: i % 2 == 0,
+                    compaction_enabled: i % 17 != 0,
+                    is_intermediate: i % 23 == 0,
+                })
+                .collect(),
+        }
+    }
+}
+
+impl LakeConnector for SyntheticLake {
+    fn list_tables(&self) -> Vec<TableRef> {
+        self.tables.clone()
+    }
+    fn table_stats(&self, uid: u64) -> Option<CandidateStats> {
+        Some(CandidateStats {
+            file_count: 10 + (uid * 31) % 4000,
+            small_file_count: (uid * 31) % 4000,
+            small_bytes: ((uid * 71) % 2048) << 20,
+            total_bytes: ((uid * 131) % 8192) << 20,
+            target_file_size: 512 << 20,
+            ..CandidateStats::default()
+        })
+    }
+    fn partition_stats(&self, _uid: u64) -> Vec<(String, CandidateStats)> {
+        Vec::new()
+    }
+}
+
+fn main() {
+    let n: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(100_000);
+    let lake = SyntheticLake::new(n);
+    let filters: Vec<Box<dyn CandidateFilter>> = vec![
+        Box::new(CompactionDisabledFilter),
+        Box::new(AlreadyCompactFilter {
+            min_small_files: 2,
+            min_small_fraction: 0.0,
+        }),
+    ];
+    let computers: Vec<Box<dyn TraitComputer>> = vec![
+        Box::new(FileCountReduction::default()),
+        Box::new(ComputeCostGbhr::default()),
+    ];
+    let policy = RankingPolicy::Moop {
+        weights: vec![
+            TraitWeight::new("file_count_reduction", 0.7),
+            TraitWeight::new("compute_cost_gbhr", 0.3),
+        ],
+        k: 100,
+    };
+
+    for round in 0..5 {
+        let t0 = Instant::now();
+        let candidates = generate_candidates(&lake, ScopeStrategy::Table);
+        let t1 = Instant::now();
+        // Sub-probe: predicate evaluation alone vs the partition move.
+        let eval_only = Instant::now();
+        let n_drop = candidates
+            .iter()
+            .filter(|c| {
+                filters
+                    .iter()
+                    .any(|f| f.evaluate(c, 0) != autocomp::FilterDecision::Keep)
+            })
+            .count();
+        let eval_ms = eval_only.elapsed();
+        let (kept, dropped) = apply_filters(candidates, &filters, 0);
+        assert_eq!(n_drop, dropped.len());
+        let t2 = Instant::now();
+        let mut matrix = TraitMatrix::new(kept.len());
+        for t in &computers {
+            let id = matrix.intern(t.name(), Some(t.direction()));
+            let col = matrix.col_mut(id);
+            for (slot, c) in col.iter_mut().zip(&kept) {
+                *slot = t.compute(&c.stats);
+            }
+        }
+        let t3 = Instant::now();
+        let ranked = rank_and_select(&kept, &matrix, &policy).unwrap();
+        let t4 = Instant::now();
+        println!(
+            "round {round}: generate={:>7.2?} filter={:>7.2?} (seq-eval={eval_ms:>7.2?}) orient(seq)={:>7.2?} decide={:>7.2?} | kept={} dropped={} ranked={}",
+            t1 - t0,
+            (t2 - t1) - eval_ms,
+            t3 - t2,
+            t4 - t3,
+            kept.len(),
+            dropped.len(),
+            ranked.len(),
+        );
+    }
+}

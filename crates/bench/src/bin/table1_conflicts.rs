@@ -12,7 +12,7 @@ use autocomp_bench::print;
 
 fn main() {
     println!("# Table 1 — write-write conflicts per execution hour\n");
-    let runs = vec![
+    let runs = [
         ("NoComp", Strategy::NoCompaction),
         (
             "Table-10",

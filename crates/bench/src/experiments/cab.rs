@@ -8,10 +8,9 @@
 //! our OpenHouse deployment".
 
 use autocomp::{
-    AllParallelScheduler, AlreadyCompactFilter, AutoComp, AutoCompConfig,
-    CompactionDisabledFilter, ComputeCostGbhr, FileCountReduction, IntermediateTableFilter,
-    ParallelTablesScheduler, RankingPolicy, ScopeStrategy, StrictSequentialScheduler,
-    TraitWeight,
+    AllParallelScheduler, AlreadyCompactFilter, AutoComp, AutoCompConfig, CompactionDisabledFilter,
+    ComputeCostGbhr, FileCountReduction, IntermediateTableFilter, ParallelTablesScheduler,
+    RankingPolicy, ScopeStrategy, StrictSequentialScheduler, TraitWeight,
 };
 use autocomp_lakesim::{with_shared_env, LakesimConnector, LakesimExecutor};
 use lakesim_catalog::JobStatus;
@@ -363,10 +362,13 @@ mod tests {
 
     #[test]
     fn runs_are_deterministic() {
-        let cfg = CabExperimentConfig::test_scale(4, Strategy::Moop {
-            scope: ScopeStrategy::Hybrid,
-            k: 20,
-        });
+        let cfg = CabExperimentConfig::test_scale(
+            4,
+            Strategy::Moop {
+                scope: ScopeStrategy::Hybrid,
+                k: 20,
+            },
+        );
         let a = run_cab(&cfg);
         let b = run_cab(&cfg);
         assert_eq!(a.file_count_series, b.file_count_series);

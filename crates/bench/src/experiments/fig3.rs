@@ -15,8 +15,7 @@
 //! being added" and fragments the previously well-sized layout.
 
 use lakesim_engine::{
-    EnvConfig, FileSizePlan, RewriteOptions, SimEnv, SimRng, WriteOp, WriteSpec,
-    MS_PER_MIN,
+    EnvConfig, FileSizePlan, RewriteOptions, SimEnv, SimRng, WriteOp, WriteSpec, MS_PER_MIN,
 };
 use lakesim_lst::{plan_table_rewrite, BinPackConfig, PartitionKey};
 use lakesim_storage::MB;

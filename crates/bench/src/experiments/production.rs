@@ -145,7 +145,12 @@ pub fn manual_cycle(fleet: &Fleet, targets: &[TableId]) -> usize {
             predicted_reduction: plan.expected_reduction(),
             predicted_gbhr,
         };
-        if env.submit_rewrite(&plan, &opts, now).ok().flatten().is_some() {
+        if env
+            .submit_rewrite(&plan, &opts, now)
+            .ok()
+            .flatten()
+            .is_some()
+        {
             jobs += 1;
         }
     }
@@ -692,8 +697,7 @@ mod tests {
         // Files grow before compaction starts…
         assert!(r.monthly[1].file_count > r.monthly[0].file_count);
         // …and the growth slows or reverses once compaction runs.
-        let growth_before: i64 =
-            r.monthly[1].file_count as i64 - r.monthly[0].file_count as i64;
+        let growth_before: i64 = r.monthly[1].file_count as i64 - r.monthly[0].file_count as i64;
         let last = r.monthly.len() - 1;
         let growth_after: i64 =
             r.monthly[last].file_count as i64 - r.monthly[last - 1].file_count as i64;

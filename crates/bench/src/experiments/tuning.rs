@@ -12,9 +12,7 @@
 use autocomp::{AfterWriteHook, FileCountReduction, FileEntropy, HookAction, HookMode};
 use autocomp_lakesim::hooks::evaluate_hook_direct;
 use autocomp_tuner::{CfoSearch, Param, ParamSpace, Tuner, TuningTrace};
-use lakesim_engine::{
-    ClusterConfig, EnvConfig, RewriteOptions, SimEnv, SimRng, MS_PER_MIN,
-};
+use lakesim_engine::{ClusterConfig, EnvConfig, RewriteOptions, SimEnv, SimRng, MS_PER_MIN};
 use lakesim_lst::{plan_table_rewrite, BinPackConfig, TableId};
 use lakesim_storage::GB;
 use lakesim_workload::driver::OpSpec;
@@ -79,9 +77,7 @@ impl TuneTrait {
 
     fn space(&self) -> ParamSpace {
         match self {
-            TuneTrait::SmallFileCount => {
-                ParamSpace::new(vec![Param::new("threshold", 1.0, 400.0)])
-            }
+            TuneTrait::SmallFileCount => ParamSpace::new(vec![Param::new("threshold", 1.0, 400.0)]),
             TuneTrait::FileEntropy => ParamSpace::new(vec![Param::new("threshold", 0.01, 1.0)]),
         }
     }

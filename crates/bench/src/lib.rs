@@ -15,7 +15,7 @@ pub mod print;
 pub use experiments::cab::{run_cab, CabExperimentConfig, CabRunResult, Strategy};
 pub use experiments::fig3::{run_fig3, Fig3Config, Fig3Result};
 pub use experiments::production::{
-    run_fig2, run_fig10ab, run_fig11a, run_production_timeline, Fig2Result, RolloutResult,
+    run_fig10ab, run_fig11a, run_fig2, run_production_timeline, Fig2Result, RolloutResult,
     TimelineConfig, TimelineResult, WorkloadMetricsResult,
 };
 pub use experiments::tuning::{run_fig9_panel, TunePanelResult, TuneTrait, TuneWorkload};

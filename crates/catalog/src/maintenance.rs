@@ -153,7 +153,14 @@ impl MaintenanceLog {
 mod tests {
     use super::*;
 
-    fn record(job_id: u64, status: JobStatus, pred_red: i64, act_red: i64, pred_c: f64, act_c: f64) -> MaintenanceRecord {
+    fn record(
+        job_id: u64,
+        status: JobStatus,
+        pred_red: i64,
+        act_red: i64,
+        pred_c: f64,
+        act_c: f64,
+    ) -> MaintenanceRecord {
         MaintenanceRecord {
             job_id,
             table: TableId(1),

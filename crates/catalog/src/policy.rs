@@ -33,7 +33,7 @@ impl Default for TablePolicy {
             compaction_enabled: true,
             target_file_size: 512 * MB,
             min_input_files: 2,
-            min_age_ms: 24 * 3600 * 1000, // one day
+            min_age_ms: 24 * 3600 * 1000,                      // one day
             snapshot_retention_ms: Some(3 * 24 * 3600 * 1000), // three days (§2)
             is_intermediate: false,
         }

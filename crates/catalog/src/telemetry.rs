@@ -96,7 +96,10 @@ mod tests {
         let mut t = TelemetryStore::new();
         t.record("m", 0, 7.0);
         t.record("m", 1, 7.0);
-        assert!(t.normalized("m").iter().all(|(_, v)| (*v - 0.5).abs() < 1e-12));
+        assert!(t
+            .normalized("m")
+            .iter()
+            .all(|(_, v)| (*v - 0.5).abs() < 1e-12));
         assert!(t.normalized("absent").is_empty());
     }
 }

@@ -197,9 +197,21 @@ mod tests {
         assert!(result.scheduled, "{:?}", result.error);
         assert!(result.gbhr > 0.0);
         let due = result.commit_due_ms.unwrap();
-        let before = env.borrow().catalog.table(TableId(uid)).unwrap().table.file_count();
+        let before = env
+            .borrow()
+            .catalog
+            .table(TableId(uid))
+            .unwrap()
+            .table
+            .file_count();
         env.borrow_mut().drain_due(due);
-        let after = env.borrow().catalog.table(TableId(uid)).unwrap().table.file_count();
+        let after = env
+            .borrow()
+            .catalog
+            .table(TableId(uid))
+            .unwrap()
+            .table
+            .file_count();
         assert!(after < before);
         assert_eq!(env.borrow().maintenance.count(JobStatus::Succeeded), 1);
     }

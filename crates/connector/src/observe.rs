@@ -1,5 +1,7 @@
 //! The observe-side connector: catalog/LST/storage → `CandidateStats`.
 
+use std::sync::Arc;
+
 use autocomp::{CandidateStats, LakeConnector, QuotaSignal, SizeBucket, TableRef};
 use lakesim_lst::{plan_partition_rewrite, plan_table_rewrite, BinPackConfig, TableId, TableStats};
 
@@ -115,8 +117,8 @@ impl LakeConnector for LakesimConnector {
                 let entry = env.catalog.table(id).ok()?;
                 Some(TableRef {
                     table_uid: id.0,
-                    database: entry.table.database().to_string(),
-                    name: entry.table.name().to_string(),
+                    database: Arc::from(entry.table.database()),
+                    name: Arc::from(entry.table.name()),
                     partitioned: entry.table.spec().is_partitioned(),
                     compaction_enabled: entry.policy.compaction_enabled,
                     is_intermediate: entry.policy.is_intermediate,

@@ -6,6 +6,7 @@
 //! what make compaction schedulable in small increments (FR1).
 
 use std::fmt;
+use std::sync::Arc;
 
 use crate::stats::CandidateStats;
 
@@ -32,14 +33,19 @@ impl ScopeKind {
 }
 
 /// Platform-agnostic table descriptor delivered by the connector.
+///
+/// Names are shared `Arc<str>`s: connectors list the fleet every cycle,
+/// and at 100K tables per-descriptor `String` clones were a measurable
+/// slice of observe-phase overhead — cloning a descriptor is now two
+/// refcount bumps.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TableRef {
     /// Connector-scoped unique table id.
     pub table_uid: u64,
     /// Owning database.
-    pub database: String,
+    pub database: Arc<str>,
     /// Table name.
-    pub name: String,
+    pub name: Arc<str>,
     /// Whether the table is partitioned (drives hybrid scoping).
     pub partitioned: bool,
     /// Whether the table's policy allows compaction.
@@ -95,10 +101,11 @@ impl fmt::Display for CandidateId {
 pub struct Candidate {
     /// Identity.
     pub id: CandidateId,
-    /// Owning database (for quota-aware ranking).
-    pub database: String,
-    /// Table name (for reports).
-    pub table_name: String,
+    /// Owning database (for quota-aware ranking); shared with the
+    /// originating [`TableRef`].
+    pub database: Arc<str>,
+    /// Table name (for reports); shared with the originating [`TableRef`].
+    pub table_name: Arc<str>,
     /// Whether the table's policy allows compaction.
     pub compaction_enabled: bool,
     /// Whether the table is a short-lived intermediate.
@@ -119,6 +126,21 @@ impl Candidate {
             stats,
         }
     }
+
+    /// Builds a candidate by consuming the table descriptor — the
+    /// single-candidate-per-table scopes use this to move the name
+    /// strings instead of cloning them (two allocations per table saved,
+    /// which matters at 100K-table fleet scale).
+    pub fn from_table(id: CandidateId, table: TableRef, stats: CandidateStats) -> Self {
+        Candidate {
+            id,
+            database: table.database,
+            table_name: table.name,
+            compaction_enabled: table.compaction_enabled,
+            is_intermediate: table.is_intermediate,
+            stats,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -128,10 +150,7 @@ mod tests {
     #[test]
     fn ids_display_their_scope() {
         assert_eq!(CandidateId::table(3).to_string(), "t3[table]");
-        assert_eq!(
-            CandidateId::partition(3, "(d402)").to_string(),
-            "t3/(d402)"
-        );
+        assert_eq!(CandidateId::partition(3, "(d402)").to_string(), "t3/(d402)");
     }
 
     #[test]
@@ -157,6 +176,6 @@ mod tests {
         let c = Candidate::new(CandidateId::table(9), &t, CandidateStats::default());
         assert!(!c.compaction_enabled);
         assert!(c.is_intermediate);
-        assert_eq!(c.table_name, "events");
+        assert_eq!(&*c.table_name, "events");
     }
 }

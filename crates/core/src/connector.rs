@@ -85,13 +85,14 @@ mod tests {
             self.tables.clone()
         }
         fn table_stats(&self, table_uid: u64) -> Option<CandidateStats> {
-            self.tables.iter().find(|t| t.table_uid == table_uid).map(|_| {
-                CandidateStats {
+            self.tables
+                .iter()
+                .find(|t| t.table_uid == table_uid)
+                .map(|_| CandidateStats {
                     file_count: 10,
                     small_file_count: 8,
                     ..CandidateStats::default()
-                }
-            })
+                })
         }
         fn partition_stats(&self, _table_uid: u64) -> Vec<(String, CandidateStats)> {
             Vec::new()

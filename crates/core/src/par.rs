@@ -1,0 +1,77 @@
+//! Scoped-thread data parallelism for the orient phase.
+//!
+//! The environment has no registry access, so `rayon` is unavailable;
+//! these helpers provide the same chunked fork-join shape on
+//! `std::thread::scope`. Work is split into one contiguous chunk per
+//! worker, so results are position-stable and bit-identical to the
+//! sequential path regardless of thread count (NFR2 determinism).
+
+use std::thread;
+
+/// Below this many items the spawn overhead outweighs the win and the
+/// helpers run sequentially (also keeps unit-test-sized cycles on one
+/// thread).
+pub(crate) const PAR_MIN_LEN: usize = 4096;
+
+/// Upper bound on worker threads; OODA cycles are memory-bound well
+/// before this.
+const MAX_WORKERS: usize = 16;
+
+fn workers_for(len: usize) -> usize {
+    let available = thread::available_parallelism().map_or(1, |p| p.get());
+    available
+        .min(MAX_WORKERS)
+        .min(len.div_ceil(PAR_MIN_LEN))
+        .max(1)
+}
+
+/// Fills one `width`-wide output row per item: `f(&items[i],
+/// &mut out[i*width .. (i+1)*width])`, in parallel chunks. Lets the
+/// orient phase compute every trait for a candidate in one pass (one
+/// stats access, one parallel section) before the row-major scratch is
+/// transposed into matrix columns.
+pub(crate) fn par_fill_rows<T, F>(items: &[T], width: usize, out: &mut [f64], f: F)
+where
+    T: Sync,
+    F: Fn(&T, &mut [f64]) + Sync,
+{
+    debug_assert_eq!(items.len() * width, out.len());
+    let fill = |in_chunk: &[T], out_chunk: &mut [f64]| {
+        for (item, row) in in_chunk.iter().zip(out_chunk.chunks_mut(width)) {
+            f(item, row);
+        }
+    };
+    let workers = workers_for(items.len());
+    if workers <= 1 || width == 0 {
+        fill(items, out);
+        return;
+    }
+    let chunk = items.len().div_ceil(workers);
+    thread::scope(|scope| {
+        for (in_chunk, out_chunk) in items.chunks(chunk).zip(out.chunks_mut(chunk * width)) {
+            let fill = &fill;
+            scope.spawn(move || fill(in_chunk, out_chunk));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_fill_matches_sequential_at_any_size() {
+        for n in [0usize, 1, 7, PAR_MIN_LEN - 1, PAR_MIN_LEN * 3 + 5] {
+            let items: Vec<u64> = (0..n as u64).collect();
+            let mut out = vec![0.0; n * 2];
+            par_fill_rows(&items, 2, &mut out, |x, row| {
+                row[0] = *x as f64;
+                row[1] = (*x as f64) * 0.5;
+            });
+            for (i, x) in items.iter().enumerate() {
+                assert_eq!(out[i * 2], *x as f64);
+                assert_eq!(out[i * 2 + 1], (*x as f64) * 0.5);
+            }
+        }
+    }
+}

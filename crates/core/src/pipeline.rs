@@ -1,6 +1,11 @@
 //! The assembled OODA pipeline (§3.3, Fig. 4).
+//!
+//! The orient and decide phases are columnar: trait computers fill a
+//! [`TraitMatrix`] (one contiguous `f64` column per trait, filled in
+//! parallel chunks for large fleets), NaN trait values are sanitized into
+//! dropped candidates, and ranking consumes the matrix by index — no
+//! per-candidate maps, no id-keyed side tables, no full fleet sort.
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::candidate::{Candidate, CandidateId};
@@ -8,11 +13,13 @@ use crate::connector::{CompactionExecutor, ExecutionResult, LakeConnector, Predi
 use crate::error::AutoCompError;
 use crate::feedback::{EstimationFeedback, FeedbackRecord};
 use crate::filter::{apply_filters, CandidateFilter};
-use crate::rank::{rank_and_select, RankedEntry, RankingPolicy};
-use crate::report::{fmt_f64, render_table};
+use crate::matrix::TraitMatrix;
+use crate::par;
+use crate::rank::{rank_and_select, DecisionNote, RankedEntry, RankingPolicy, RANKED_PREFIX_MIN};
+use crate::report::{decision_rows, render_table};
 use crate::schedule::{waves, ParallelTablesScheduler, Scheduler};
 use crate::scope::{generate_candidates, ScopeStrategy};
-use crate::traits::{TraitComputer, TraitDirection};
+use crate::traits::TraitComputer;
 use crate::Result;
 
 /// Pipeline configuration.
@@ -52,9 +59,14 @@ pub struct CycleReport {
     pub scope: String,
     /// Candidates generated in the observe phase.
     pub generated: usize,
-    /// Candidates dropped by filters, with reasons.
+    /// Candidates dropped by filters or orient sanitization, with reasons.
     pub dropped: Vec<(CandidateId, String)>,
-    /// Ranked candidates (best first) with scores, traits and selection.
+    /// Columnar trait values for the ranked candidates; `ranked` entries
+    /// index into its rows.
+    pub traits: TraitMatrix,
+    /// Ranked candidates with scores and selection: best-first for the
+    /// materialized prefix (all selected rows plus the first
+    /// [`RANKED_PREFIX_MIN`] report rows), then candidate order.
     pub ranked: Vec<RankedEntry>,
     /// Jobs handed to the executor.
     pub executed: Vec<ExecutedJob>,
@@ -82,28 +94,9 @@ impl fmt::Display for CycleReport {
             self.dropped.len(),
             self.selected_count(),
             self.total_predicted_reduction,
-            fmt_f64(self.total_predicted_gbhr),
+            crate::report::fmt_f64(self.total_predicted_gbhr),
         )?;
-        let rows: Vec<Vec<String>> = self
-            .ranked
-            .iter()
-            .take(20)
-            .map(|e| {
-                let traits = e
-                    .traits
-                    .iter()
-                    .map(|(k, v)| format!("{k}={}", fmt_f64(*v)))
-                    .collect::<Vec<_>>()
-                    .join(" ");
-                vec![
-                    e.id.to_string(),
-                    fmt_f64(e.score),
-                    if e.selected { "yes" } else { "no" }.to_string(),
-                    traits,
-                    e.note.clone(),
-                ]
-            })
-            .collect();
+        let rows = decision_rows(&self.traits, &self.ranked, RANKED_PREFIX_MIN);
         write!(
             f,
             "{}",
@@ -187,41 +180,28 @@ impl AutoComp {
         let candidates = generate_candidates(connector, self.config.scope);
         let generated = candidates.len();
         let (kept, dropped_pairs) = apply_filters(candidates, &self.filters, now_ms);
-        let dropped: Vec<(CandidateId, String)> = dropped_pairs
+        let mut dropped: Vec<(CandidateId, String)> = dropped_pairs
             .into_iter()
             .map(|(c, reason)| (c.id, reason))
             .collect();
 
-        // Orient.
-        let mut directions: BTreeMap<String, TraitDirection> = BTreeMap::new();
-        for t in &self.traits {
-            directions.insert(t.name().to_string(), t.direction());
-        }
-        let trait_values: Vec<BTreeMap<String, f64>> = kept
-            .iter()
-            .map(|c| {
-                self.traits
-                    .iter()
-                    .map(|t| (t.name().to_string(), t.compute(&c.stats)))
-                    .collect()
-            })
-            .collect();
+        // Orient: intern each computer's trait once, then fill its
+        // contiguous column (in parallel chunks for large fleets — the
+        // fill is position-stable, so results are identical to the
+        // sequential path).
+        let (kept, matrix) = self.orient(kept, &mut dropped);
 
         // Decide.
-        let ranked = rank_and_select(&kept, &trait_values, &directions, &self.config.policy)?;
+        let ranked = rank_and_select(&kept, &matrix, &self.config.policy)?;
 
-        // Act.
-        let by_id: BTreeMap<&CandidateId, &Candidate> =
-            kept.iter().map(|c| (&c.id, c)).collect();
-        let selected: Vec<&Candidate> = ranked
-            .iter()
-            .filter(|e| e.selected)
-            .map(|e| *by_id.get(&e.id).expect("ranked ids come from kept"))
-            .collect();
+        // Act: selected entries carry their candidate index, so job
+        // planning needs no id-keyed lookup tables.
+        let selected_entries: Vec<&RankedEntry> = ranked.iter().filter(|e| e.selected).collect();
+        let selected: Vec<&Candidate> = selected_entries.iter().map(|e| &kept[e.index]).collect();
         let jobs = self.scheduler.plan(&selected);
-        let entry_by_id: BTreeMap<&CandidateId, &RankedEntry> =
-            ranked.iter().map(|e| (&e.id, e)).collect();
 
+        let reduction_id = matrix.trait_id("file_count_reduction");
+        let gbhr_id = matrix.trait_id("compute_cost_gbhr");
         let (reduction_cal, cost_cal) = if self.config.calibrate {
             (
                 self.feedback.reduction_calibration(),
@@ -238,17 +218,13 @@ impl AutoComp {
         for wave_jobs in waves(&jobs) {
             let mut wave_due = wave_start;
             for job in wave_jobs {
-                let candidate = by_id[&job.id];
-                let entry = entry_by_id[&job.id];
-                let raw_reduction = entry
-                    .traits
-                    .get("file_count_reduction")
-                    .copied()
+                let entry = selected_entries[job.index];
+                let candidate = &kept[entry.index];
+                let raw_reduction = reduction_id
+                    .map(|id| matrix.value(entry.index, id))
                     .unwrap_or(candidate.stats.small_file_count as f64);
-                let raw_gbhr = entry
-                    .traits
-                    .get("compute_cost_gbhr")
-                    .copied()
+                let raw_gbhr = gbhr_id
+                    .map(|id| matrix.value(entry.index, id))
                     .unwrap_or(0.0);
                 let prediction = Prediction {
                     reduction: (raw_reduction * reduction_cal).round() as i64,
@@ -280,11 +256,67 @@ impl AutoComp {
             scope: self.config.scope.label(),
             generated,
             dropped,
+            traits: matrix,
             ranked,
             executed,
             total_predicted_reduction,
             total_predicted_gbhr,
         })
+    }
+
+    /// Computes the cycle's trait matrix and sanitizes NaN trait values
+    /// into dropped candidates (a single NaN from a connector must not
+    /// poison ranking for the whole fleet).
+    fn orient(
+        &self,
+        kept: Vec<Candidate>,
+        dropped: &mut Vec<(CandidateId, String)>,
+    ) -> (Vec<Candidate>, TraitMatrix) {
+        let mut matrix = TraitMatrix::new(kept.len());
+        let slots: Vec<usize> = self
+            .traits
+            .iter()
+            .map(|t| matrix.intern(t.name(), Some(t.direction())).index())
+            .collect();
+        let width = matrix.width();
+        // One parallel pass computes every trait for a candidate into a
+        // row-major scratch (single stats access per candidate, one
+        // thread fan-out per cycle); the scratch is then transposed into
+        // the matrix's contiguous columns. Duplicate trait names share a
+        // slot, so the last computer wins like the seed's map inserts.
+        let mut scratch = vec![0.0; kept.len() * width];
+        let computers = &self.traits;
+        par::par_fill_rows(&kept, width, &mut scratch, |c, row| {
+            for (t, slot) in computers.iter().zip(&slots) {
+                row[*slot] = t.compute(&c.stats);
+            }
+        });
+        for id in matrix.trait_ids().collect::<Vec<_>>() {
+            let slot = id.index();
+            let col = matrix.col_mut(id);
+            for (row, value) in col.iter_mut().enumerate() {
+                *value = scratch[row * width + slot];
+            }
+        }
+        let nan_rows = matrix.nan_rows();
+        if nan_rows.is_empty() {
+            return (kept, matrix);
+        }
+        let mut keep = vec![true; kept.len()];
+        for (row, id) in &nan_rows {
+            keep[*row] = false;
+            let note = DecisionNote::NanTrait {
+                trait_name: matrix.trait_name(*id).into(),
+            };
+            dropped.push((kept[*row].id.clone(), note.to_string()));
+        }
+        matrix.retain_rows(&keep);
+        let kept = kept
+            .into_iter()
+            .zip(keep)
+            .filter_map(|(c, k)| k.then_some(c))
+            .collect();
+        (kept, matrix)
     }
 }
 
@@ -306,7 +338,7 @@ mod tests {
     use crate::filter::MinSizeFilter;
     use crate::rank::TraitWeight;
     use crate::stats::CandidateStats;
-    use crate::traits::{ComputeCostGbhr, FileCountReduction};
+    use crate::traits::{ComputeCostGbhr, FileCountReduction, TraitDirection};
 
     /// In-memory lake with configurable per-table small-file counts.
     struct MemoryLake {
@@ -323,7 +355,7 @@ mod tests {
                         TableRef {
                             table_uid: *uid,
                             database: "db".into(),
-                            name: format!("t{uid}"),
+                            name: format!("t{uid}").into(),
                             partitioned: false,
                             compaction_enabled: true,
                             is_intermediate: false,
@@ -401,11 +433,8 @@ mod tests {
 
     #[test]
     fn full_cycle_selects_and_executes_top_k() {
-        let lake = MemoryLake::with_tables(&[
-            (1, 100, 10 << 30),
-            (2, 500, 10 << 30),
-            (3, 10, 10 << 30),
-        ]);
+        let lake =
+            MemoryLake::with_tables(&[(1, 100, 10 << 30), (2, 500, 10 << 30), (3, 10, 10 << 30)]);
         let mut exec = RecordingExecutor::default();
         let mut ac = pipeline(2);
         let report = ac.run_cycle(&lake, &mut exec, 1000).unwrap();
@@ -484,5 +513,51 @@ mod tests {
             format!("{r}")
         };
         assert_eq!(run(), run());
+    }
+
+    /// A trait computer that yields NaN for one specific table.
+    struct PoisonTrait;
+
+    impl TraitComputer for PoisonTrait {
+        fn name(&self) -> &str {
+            "poison"
+        }
+        fn direction(&self) -> TraitDirection {
+            TraitDirection::Benefit
+        }
+        fn compute(&self, stats: &CandidateStats) -> f64 {
+            if stats.small_file_count == 13 {
+                f64::NAN
+            } else {
+                stats.small_file_count as f64
+            }
+        }
+    }
+
+    #[test]
+    fn nan_traits_drop_the_candidate_not_the_cycle() {
+        let lake = MemoryLake::with_tables(&[
+            (1, 100, 10 << 30),
+            (2, 13, 10 << 30), // poisoned
+            (3, 50, 10 << 30),
+        ]);
+        let mut exec = RecordingExecutor::default();
+        let mut ac = AutoComp::new(AutoCompConfig {
+            scope: ScopeStrategy::Table,
+            policy: RankingPolicy::Moop {
+                weights: vec![TraitWeight::new("poison", 1.0)],
+                k: 1,
+            },
+            trigger_label: "t".into(),
+            calibrate: false,
+        })
+        .with_trait(Box::new(PoisonTrait));
+        let report = ac.run_cycle(&lake, &mut exec, 0).unwrap();
+        assert_eq!(report.dropped.len(), 1);
+        assert_eq!(report.dropped[0].0, CandidateId::table(2));
+        assert!(report.dropped[0].1.contains("NaN"));
+        assert_eq!(report.ranked.len(), 2);
+        assert_eq!(report.selected_count(), 1);
+        assert_eq!(exec.calls[0].0, CandidateId::table(1));
     }
 }

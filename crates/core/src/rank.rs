@@ -12,13 +12,42 @@
 //! The production deployment's quota-aware weighting (§7),
 //! `w1 = 0.5 × (1 + UsedQuota/TotalQuota)`, is a per-candidate weight
 //! variant.
+//!
+//! # Columnar decide path
+//!
+//! Trait values arrive as a [`TraitMatrix`] — interned trait names,
+//! contiguous `f64` columns — so scalarization is index arithmetic, not
+//! string-keyed map probes. Selection uses partial ordering
+//! (`select_nth_unstable_by` plus a sort of the selected head) instead of
+//! a full fleet sort: for a fixed k the decide phase is **O(n + k log k)**
+//! in the candidate count n. Returned entries carry their candidate
+//! `index` so downstream phases address the matrix and candidate slice
+//! directly, with no id-keyed side tables.
+//!
+//! ## Ordering contract
+//!
+//! Entries are returned best-first for the *materialized prefix* — at
+//! least every selected candidate plus the first
+//! [`RANKED_PREFIX_MIN`] rows (what [`CycleReport`] renders). Entries past
+//! the prefix follow in candidate order and their notes carry no exact
+//! rank; nothing renders them. The seed sorted the entire fleet for every
+//! cycle, which is exactly the O(n log n) framework overhead §7 warns
+//! about.
+//!
+//! [`CycleReport`]: crate::pipeline::CycleReport
 
-use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
 
 use crate::candidate::{Candidate, CandidateId};
 use crate::error::AutoCompError;
-use crate::traits::TraitDirection;
+use crate::matrix::TraitMatrix;
 use crate::Result;
+
+/// Number of best-first rows always materialized in exact rank order —
+/// the decision-report prefix ([`CycleReport`](crate::pipeline::CycleReport)
+/// renders this many rows).
+pub const RANKED_PREFIX_MIN: usize = 20;
 
 /// One weighted objective in a MOOP policy.
 #[derive(Debug, Clone, PartialEq)]
@@ -88,19 +117,167 @@ pub enum RankingPolicy {
     },
 }
 
+/// Why the decide phase did (not) select a candidate — rendered lazily on
+/// [`Display`], so unselected fleet-tail candidates cost no formatting or
+/// allocation (NFR2 explainability without O(n) `format!` calls).
+#[derive(Debug, Clone, PartialEq)]
+pub enum DecisionNote {
+    /// No decision recorded (entries outside any policy run).
+    None,
+    /// Threshold met and selected.
+    ThresholdMet {
+        /// Tested trait.
+        trait_name: Arc<str>,
+        /// Observed value.
+        value: f64,
+        /// Selection threshold.
+        min_value: f64,
+    },
+    /// Below the selection threshold.
+    ThresholdBelow {
+        /// Tested trait.
+        trait_name: Arc<str>,
+        /// Observed value.
+        value: f64,
+        /// Selection threshold.
+        min_value: f64,
+    },
+    /// Above threshold but dropped by the `max_k` safety cap. (The seed
+    /// mislabeled these with the below-threshold note.)
+    ThresholdOverCap {
+        /// Tested trait.
+        trait_name: Arc<str>,
+        /// Observed value.
+        value: f64,
+        /// Selection threshold.
+        min_value: f64,
+        /// The cap that excluded the candidate.
+        cap: usize,
+    },
+    /// Ranked within the top-k.
+    RankWithinK {
+        /// 1-based rank.
+        rank: usize,
+        /// Selection size.
+        k: usize,
+    },
+    /// Ranked beyond the top-k (exact rank known: prefix row).
+    RankBeyondK {
+        /// 1-based rank.
+        rank: usize,
+        /// Selection size.
+        k: usize,
+    },
+    /// Beyond both the top-k and the materialized prefix; exact rank not
+    /// computed (the whole point of partial selection).
+    BeyondPrefix {
+        /// Selection size.
+        k: usize,
+    },
+    /// Selected under a compute budget; `spent` is the running total
+    /// after this selection.
+    FitsBudget {
+        /// Budget consumed so far.
+        spent: f64,
+        /// Total budget.
+        budget: f64,
+    },
+    /// Not selected: would overshoot the budget.
+    OverBudget {
+        /// This candidate's cost.
+        cost: f64,
+        /// Budget consumed when the candidate was considered.
+        spent: f64,
+        /// Total budget.
+        budget: f64,
+    },
+    /// Not selected under a quota-aware budget (§7 reports no figures).
+    OverBudgetBare,
+    /// Quota-aware rank (exact rank known: prefix row).
+    QuotaRank {
+        /// 1-based rank.
+        rank: usize,
+    },
+    /// Quota-aware, beyond the materialized prefix.
+    QuotaBeyondPrefix,
+    /// Dropped during orient because a trait computer produced NaN.
+    NanTrait {
+        /// The offending trait.
+        trait_name: Arc<str>,
+    },
+}
+
+impl fmt::Display for DecisionNote {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecisionNote::None => Ok(()),
+            DecisionNote::ThresholdMet {
+                trait_name,
+                value,
+                min_value,
+            } => write!(f, "{trait_name} {value:.3} >= {min_value:.3}"),
+            DecisionNote::ThresholdBelow {
+                trait_name,
+                value,
+                min_value,
+            } => write!(f, "{trait_name} {value:.3} < {min_value:.3}"),
+            DecisionNote::ThresholdOverCap {
+                trait_name,
+                value,
+                min_value,
+                cap,
+            } => write!(
+                f,
+                "{trait_name} {value:.3} >= {min_value:.3} but over cap k={cap}"
+            ),
+            DecisionNote::RankWithinK { rank, k } => write!(f, "rank {rank} <= k={k}"),
+            DecisionNote::RankBeyondK { rank, k } => write!(f, "rank {rank} > k={k}"),
+            DecisionNote::BeyondPrefix { k } => write!(f, "rank > k={k}"),
+            DecisionNote::FitsBudget { spent, budget } => {
+                write!(f, "fits budget ({spent:.2}/{budget:.2})")
+            }
+            DecisionNote::OverBudget {
+                cost,
+                spent,
+                budget,
+            } => write!(
+                f,
+                "over budget (cost {cost:.2}, spent {spent:.2}/{budget:.2})"
+            ),
+            DecisionNote::OverBudgetBare => write!(f, "over budget"),
+            DecisionNote::QuotaRank { rank } => write!(f, "quota-aware rank {rank}"),
+            DecisionNote::QuotaBeyondPrefix => write!(f, "quota-aware rank > prefix"),
+            DecisionNote::NanTrait { trait_name } => {
+                write!(f, "orient: trait '{trait_name}' is NaN")
+            }
+        }
+    }
+}
+
 /// One ranked candidate with its decision trail (NFR2 explainability).
+///
+/// Entries are columnar-friendly: they carry the candidate's `index` into
+/// the cycle's candidate slice / [`TraitMatrix`] rows instead of cloned
+/// trait maps, and the `note` is a lazy [`DecisionNote`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct RankedEntry {
     /// Candidate identity.
     pub id: CandidateId,
+    /// Row index into the cycle's candidate slice and trait matrix.
+    pub index: usize,
     /// Scalarized score (or raw trait value for threshold policies).
     pub score: f64,
-    /// The trait values that produced the score.
-    pub traits: BTreeMap<String, f64>,
     /// Whether the decide phase selected this candidate.
     pub selected: bool,
-    /// Why it was (not) selected.
-    pub note: String,
+    /// Why it was (not) selected; rendered on [`Display`].
+    pub note: DecisionNote,
+}
+
+impl RankedEntry {
+    /// Looks up one of this entry's trait values in the cycle matrix.
+    pub fn trait_value(&self, matrix: &TraitMatrix, name: &str) -> Option<f64> {
+        matrix.trait_id(name).map(|id| matrix.value(self.index, id))
+    }
 }
 
 /// Min–max normalizes `values`; constant inputs map to 0.5 (§4.3's
@@ -109,19 +286,27 @@ pub fn min_max_normalize(values: &[f64]) -> Vec<f64> {
     if values.is_empty() {
         return Vec::new();
     }
+    let (min, max) = column_min_max(values);
+    let span = max - min;
+    values.iter().map(|v| normalize(*v, min, span)).collect()
+}
+
+/// The §4.3 min–max rule for one value given its column's min and span:
+/// constant columns (span below epsilon) pin to 0.5. Single source of
+/// truth for every scalarization site in this module.
+#[inline]
+fn normalize(v: f64, min: f64, span: f64) -> f64 {
+    if span.abs() < f64::EPSILON {
+        0.5
+    } else {
+        (v - min) / span
+    }
+}
+
+fn column_min_max(values: &[f64]) -> (f64, f64) {
     let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    let span = max - min;
-    values
-        .iter()
-        .map(|v| {
-            if span.abs() < f64::EPSILON {
-                0.5
-            } else {
-                (v - min) / span
-            }
-        })
-        .collect()
+    (min, max)
 }
 
 fn validate_weights(weights: &[TraitWeight]) -> Result<()> {
@@ -142,70 +327,209 @@ fn validate_weights(weights: &[TraitWeight]) -> Result<()> {
     Ok(())
 }
 
-fn trait_column(
-    candidates: &[Candidate],
-    trait_values: &[BTreeMap<String, f64>],
-    name: &str,
-) -> Result<Vec<f64>> {
-    debug_assert_eq!(candidates.len(), trait_values.len());
-    trait_values
-        .iter()
-        .map(|m| {
-            m.get(name)
-                .copied()
-                .ok_or_else(|| AutoCompError::UnknownTrait(name.to_string()))
-        })
-        .collect()
+/// Sort key mapping that keeps ordering total and seed-compatible:
+/// NaN ranks last on a descending sort, and ±0.0 compare equal so ties
+/// still break on candidate id (like the seed's `partial_cmp`).
+#[inline]
+fn sort_key(score: f64) -> f64 {
+    if score.is_nan() {
+        f64::NEG_INFINITY
+    } else if score == 0.0 {
+        0.0
+    } else {
+        score
+    }
 }
 
-/// Ranks candidates under `policy` given their computed trait values and
-/// each trait's direction. Returns entries sorted by rank (best first);
-/// selection flags and notes record the decision trail.
+/// Lazily materializes the fleet's rank order (score descending, ties by
+/// candidate id): `ensure(upto)` extends the sorted prefix by partial
+/// selection — `select_nth_unstable_by` to split off the next chunk, then
+/// a sort of just that chunk — with doubling chunk growth, so consuming k
+/// of n candidates costs O(n + k log k) instead of a full O(n log n) sort.
+struct RankOrder<'a> {
+    indices: Vec<u32>,
+    sorted_upto: usize,
+    scores: &'a [f64],
+    candidates: &'a [Candidate],
+}
+
+impl<'a> RankOrder<'a> {
+    fn new(scores: &'a [f64], candidates: &'a [Candidate]) -> Self {
+        debug_assert_eq!(scores.len(), candidates.len());
+        RankOrder {
+            indices: (0..candidates.len() as u32).collect(),
+            sorted_upto: 0,
+            scores,
+            candidates,
+        }
+    }
+
+    /// Guarantees `indices[..upto]` is in exact rank order.
+    fn ensure(&mut self, upto: usize) {
+        let n = self.indices.len();
+        let upto = upto.min(n);
+        while self.sorted_upto < upto {
+            let target = upto.max(self.sorted_upto * 2).max(64).min(n);
+            let scores = self.scores;
+            let candidates = self.candidates;
+            let key = |a: &u32, b: &u32| {
+                sort_key(scores[*b as usize])
+                    .total_cmp(&sort_key(scores[*a as usize]))
+                    .then_with(|| candidates[*a as usize].id.cmp(&candidates[*b as usize].id))
+            };
+            let tail = &mut self.indices[self.sorted_upto..];
+            let pivot = target - self.sorted_upto;
+            if pivot < tail.len() {
+                tail.select_nth_unstable_by(pivot, key);
+            }
+            self.indices[self.sorted_upto..target].sort_unstable_by(key);
+            self.sorted_upto = target;
+        }
+    }
+
+    #[inline]
+    fn at(&self, pos: usize) -> usize {
+        self.indices[pos] as usize
+    }
+
+    fn len(&self) -> usize {
+        self.indices.len()
+    }
+}
+
+/// Assembles the output vector: the materialized rank-order prefix first
+/// (with per-position notes), then every remaining candidate in candidate
+/// order (with a shared tail note).
+fn assemble_entries(
+    candidates: &[Candidate],
+    scores: &[f64],
+    order: &RankOrder<'_>,
+    prefix: usize,
+    mut prefix_entry: impl FnMut(usize, usize) -> (bool, DecisionNote),
+    mut tail_note: impl FnMut(usize) -> (bool, DecisionNote),
+) -> Vec<RankedEntry> {
+    let n = candidates.len();
+    let mut entries = Vec::with_capacity(n);
+    let mut in_prefix = vec![false; n];
+    for pos in 0..prefix {
+        let index = order.at(pos);
+        in_prefix[index] = true;
+        let (selected, note) = prefix_entry(pos, index);
+        entries.push(RankedEntry {
+            id: candidates[index].id.clone(),
+            index,
+            score: scores[index],
+            selected,
+            note,
+        });
+    }
+    for index in 0..n {
+        if in_prefix[index] {
+            continue;
+        }
+        let (selected, note) = tail_note(index);
+        entries.push(RankedEntry {
+            id: candidates[index].id.clone(),
+            index,
+            score: scores[index],
+            selected,
+            note,
+        });
+    }
+    entries
+}
+
+/// Ranks candidates under `policy` given their columnar trait matrix.
+/// Returns entries best-first for the materialized prefix (all selected
+/// candidates plus at least [`RANKED_PREFIX_MIN`] rows), then remaining
+/// candidates in candidate order; selection flags and notes record the
+/// decision trail.
 pub fn rank_and_select(
     candidates: &[Candidate],
-    trait_values: &[BTreeMap<String, f64>],
-    directions: &BTreeMap<String, TraitDirection>,
+    matrix: &TraitMatrix,
     policy: &RankingPolicy,
 ) -> Result<Vec<RankedEntry>> {
     if candidates.is_empty() {
         return Ok(Vec::new());
     }
+    debug_assert_eq!(matrix.rows(), candidates.len());
     match policy {
         RankingPolicy::Threshold {
             trait_name,
             min_value,
             max_k,
         } => {
-            let column = trait_column(candidates, trait_values, trait_name)?;
-            let mut entries = build_entries(candidates, trait_values, &column);
-            sort_entries(&mut entries);
+            let id = matrix
+                .trait_id(trait_name)
+                .ok_or_else(|| AutoCompError::UnknownTrait(trait_name.clone()))?;
+            let scores = matrix.col(id);
+            let name: Arc<str> = Arc::from(trait_name.as_str());
             let cap = max_k.unwrap_or(usize::MAX);
-            let mut taken = 0;
-            for e in entries.iter_mut() {
-                if e.score >= *min_value && taken < cap {
-                    e.selected = true;
-                    taken += 1;
-                    e.note = format!("{trait_name} {:.3} >= {min_value:.3}", e.score);
+            let above = scores.iter().filter(|s| **s >= *min_value).count();
+            let sel = above.min(cap);
+            let mut order = RankOrder::new(scores, candidates);
+            let prefix = sel.max(RANKED_PREFIX_MIN).min(candidates.len());
+            order.ensure(prefix);
+            let note_for = |index: usize, ranked_in: Option<usize>| {
+                let value = scores[index];
+                if value >= *min_value {
+                    match ranked_in {
+                        Some(pos) if pos < sel => DecisionNote::ThresholdMet {
+                            trait_name: name.clone(),
+                            value,
+                            min_value: *min_value,
+                        },
+                        _ => DecisionNote::ThresholdOverCap {
+                            trait_name: name.clone(),
+                            value,
+                            min_value: *min_value,
+                            cap,
+                        },
+                    }
                 } else {
-                    e.note = format!("{trait_name} {:.3} < {min_value:.3}", e.score);
+                    DecisionNote::ThresholdBelow {
+                        trait_name: name.clone(),
+                        value,
+                        min_value: *min_value,
+                    }
                 }
-            }
-            Ok(entries)
+            };
+            Ok(assemble_entries(
+                candidates,
+                scores,
+                &order,
+                prefix,
+                |pos, index| {
+                    (
+                        pos < sel && scores[index] >= *min_value,
+                        note_for(index, Some(pos)),
+                    )
+                },
+                |index| (false, note_for(index, None)),
+            ))
         }
         RankingPolicy::Moop { weights, k } => {
             validate_weights(weights)?;
-            let scores = moop_scores(candidates, trait_values, directions, weights)?;
-            let mut entries = build_entries(candidates, trait_values, &scores);
-            sort_entries(&mut entries);
-            for (rank, e) in entries.iter_mut().enumerate() {
-                e.selected = rank < *k;
-                e.note = if e.selected {
-                    format!("rank {} <= k={k}", rank + 1)
-                } else {
-                    format!("rank {} > k={k}", rank + 1)
-                };
-            }
-            Ok(entries)
+            let scores = moop_scores(matrix, weights)?;
+            let sel = (*k).min(candidates.len());
+            let mut order = RankOrder::new(&scores, candidates);
+            let prefix = sel.max(RANKED_PREFIX_MIN).min(candidates.len());
+            order.ensure(prefix);
+            Ok(assemble_entries(
+                candidates,
+                &scores,
+                &order,
+                prefix,
+                |pos, _| {
+                    let rank = pos + 1;
+                    if pos < *k {
+                        (true, DecisionNote::RankWithinK { rank, k: *k })
+                    } else {
+                        (false, DecisionNote::RankBeyondK { rank, k: *k })
+                    }
+                },
+                |_| (false, DecisionNote::BeyondPrefix { k: *k }),
+            ))
         }
         RankingPolicy::BudgetedMoop {
             weights,
@@ -214,31 +538,21 @@ pub fn rank_and_select(
             max_k,
         } => {
             validate_weights(weights)?;
-            let scores = moop_scores(candidates, trait_values, directions, weights)?;
-            let costs = trait_column(candidates, trait_values, cost_trait)?;
-            let mut entries = build_entries(candidates, trait_values, &scores);
-            // Carry raw costs through the sort via the traits map.
-            let cost_by_id: BTreeMap<CandidateId, f64> = candidates
-                .iter()
-                .zip(costs)
-                .map(|(c, cost)| (c.id.clone(), cost))
-                .collect();
-            sort_entries(&mut entries);
-            let cap = max_k.unwrap_or(usize::MAX);
-            let mut spent = 0.0;
-            let mut taken = 0;
-            for e in entries.iter_mut() {
-                let cost = cost_by_id[&e.id];
-                if taken < cap && spent + cost <= *budget {
-                    e.selected = true;
-                    spent += cost;
-                    taken += 1;
-                    e.note = format!("fits budget ({spent:.2}/{budget:.2})");
-                } else {
-                    e.note = format!("over budget (cost {cost:.2}, spent {spent:.2}/{budget:.2})");
-                }
-            }
-            Ok(entries)
+            let cost_id = matrix
+                .trait_id(cost_trait)
+                .ok_or_else(|| AutoCompError::UnknownTrait(cost_trait.clone()))?;
+            let scores = moop_scores(matrix, weights)?;
+            let costs = matrix.col(cost_id);
+            let order = RankOrder::new(&scores, candidates);
+            Ok(budget_scan(
+                candidates,
+                &scores,
+                costs,
+                order,
+                *budget,
+                max_k.unwrap_or(usize::MAX),
+                BudgetNotes::Detailed,
+            ))
         }
         RankingPolicy::QuotaAwareMoop {
             benefit_trait,
@@ -246,10 +560,18 @@ pub fn rank_and_select(
             k,
             budget,
         } => {
-            let benefit_raw = trait_column(candidates, trait_values, benefit_trait)?;
-            let cost_raw = trait_column(candidates, trait_values, cost_trait)?;
-            let benefit_n = min_max_normalize(&benefit_raw);
-            let cost_n = min_max_normalize(&cost_raw);
+            let benefit_id = matrix
+                .trait_id(benefit_trait)
+                .ok_or_else(|| AutoCompError::UnknownTrait(benefit_trait.clone()))?;
+            let cost_id = matrix
+                .trait_id(cost_trait)
+                .ok_or_else(|| AutoCompError::UnknownTrait(cost_trait.clone()))?;
+            let benefit_col = matrix.col(benefit_id);
+            let cost_col = matrix.col(cost_id);
+            let (bmin, bmax) = column_min_max(benefit_col);
+            let (cmin, cmax) = column_min_max(cost_col);
+            let bspan = bmax - bmin;
+            let cspan = cmax - cmin;
             let scores: Vec<f64> = candidates
                 .iter()
                 .enumerate()
@@ -259,111 +581,176 @@ pub fn rank_and_select(
                     // for over-quota databases.
                     let w1 = (0.5 * (1.0 + util)).min(1.0);
                     let w2 = 1.0 - w1;
-                    w1 * benefit_n[i] - w2 * cost_n[i]
+                    w1 * normalize(benefit_col[i], bmin, bspan)
+                        - w2 * normalize(cost_col[i], cmin, cspan)
                 })
                 .collect();
-            let cost_by_id: BTreeMap<CandidateId, f64> = candidates
-                .iter()
-                .zip(cost_raw)
-                .map(|(c, cost)| (c.id.clone(), cost))
-                .collect();
-            let mut entries = build_entries(candidates, trait_values, &scores);
-            sort_entries(&mut entries);
             match (k, budget) {
                 (Some(k), _) => {
-                    for (rank, e) in entries.iter_mut().enumerate() {
-                        e.selected = rank < *k;
-                        e.note = format!("quota-aware rank {}", rank + 1);
-                    }
-                }
-                (None, Some(budget)) => {
-                    let mut spent = 0.0;
-                    for e in entries.iter_mut() {
-                        let cost = cost_by_id[&e.id];
-                        if spent + cost <= *budget {
-                            e.selected = true;
-                            spent += cost;
-                            e.note = format!("fits budget ({spent:.2}/{budget:.2})");
-                        } else {
-                            e.note = "over budget".to_string();
-                        }
-                    }
-                }
-                (None, None) => {
-                    return Err(AutoCompError::InvalidConfig(
-                        "QuotaAwareMoop needs k or budget".into(),
+                    let sel = (*k).min(candidates.len());
+                    let mut order = RankOrder::new(&scores, candidates);
+                    let prefix = sel.max(RANKED_PREFIX_MIN).min(candidates.len());
+                    order.ensure(prefix);
+                    Ok(assemble_entries(
+                        candidates,
+                        &scores,
+                        &order,
+                        prefix,
+                        |pos, _| (pos < *k, DecisionNote::QuotaRank { rank: pos + 1 }),
+                        |_| (false, DecisionNote::QuotaBeyondPrefix),
                     ))
                 }
+                (None, Some(budget)) => {
+                    let order = RankOrder::new(&scores, candidates);
+                    Ok(budget_scan(
+                        candidates,
+                        &scores,
+                        cost_col,
+                        order,
+                        *budget,
+                        usize::MAX,
+                        BudgetNotes::Bare,
+                    ))
+                }
+                (None, None) => Err(AutoCompError::InvalidConfig(
+                    "QuotaAwareMoop needs k or budget".into(),
+                )),
             }
-            Ok(entries)
         }
     }
 }
 
-fn moop_scores(
+/// Which note flavor a budget scan writes for unselected candidates: the
+/// BudgetedMoop policy reports figures, the quota-aware §7 variant does
+/// not (seed behavior preserved for both).
+#[derive(Clone, Copy)]
+enum BudgetNotes {
+    Detailed,
+    Bare,
+}
+
+/// Greedy budget fit over lazily materialized rank order. The scan walks
+/// best-first exactly like the seed, but stops expanding the sorted
+/// region once the selection cap is hit or once not even the cheapest
+/// unprocessed candidate fits the remaining budget — after that point no
+/// further selection (and no rank-dependent note) is possible, so the
+/// rest of the fleet never needs ordering.
+fn budget_scan(
     candidates: &[Candidate],
-    trait_values: &[BTreeMap<String, f64>],
-    directions: &BTreeMap<String, TraitDirection>,
-    weights: &[TraitWeight],
-) -> Result<Vec<f64>> {
-    let mut scores = vec![0.0; candidates.len()];
+    scores: &[f64],
+    costs: &[f64],
+    mut order: RankOrder<'_>,
+    budget: f64,
+    cap: usize,
+    notes: BudgetNotes,
+) -> Vec<RankedEntry> {
+    let n = order.len();
+    // f64::min ignores NaN, so a NaN cost can't poison the bound.
+    let min_cost = costs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let mut spent = 0.0;
+    let mut taken = 0usize;
+    let mut walked = 0usize;
+    let mut decisions: Vec<(bool, DecisionNote)> = Vec::new();
+    while walked < n {
+        // min_cost is +∞ when every cost is NaN (the NaN-ignoring fold
+        // below), so this comparison never sees NaN.
+        if taken >= cap || spent + min_cost > budget {
+            break;
+        }
+        order.ensure(walked + 1);
+        let index = order.at(walked);
+        let cost = costs[index];
+        if taken < cap && spent + cost <= budget {
+            spent += cost;
+            taken += 1;
+            decisions.push((true, DecisionNote::FitsBudget { spent, budget }));
+        } else {
+            decisions.push((
+                false,
+                match notes {
+                    BudgetNotes::Detailed => DecisionNote::OverBudget {
+                        cost,
+                        spent,
+                        budget,
+                    },
+                    BudgetNotes::Bare => DecisionNote::OverBudgetBare,
+                },
+            ));
+        }
+        walked += 1;
+    }
+    // Materialize the report prefix even when the budget exhausted early.
+    let prefix = walked.max(RANKED_PREFIX_MIN.min(n));
+    order.ensure(prefix);
+    let unprocessed_note = |index: usize| match notes {
+        BudgetNotes::Detailed => DecisionNote::OverBudget {
+            cost: costs[index],
+            spent,
+            budget,
+        },
+        BudgetNotes::Bare => DecisionNote::OverBudgetBare,
+    };
+    assemble_entries(
+        candidates,
+        scores,
+        &order,
+        prefix,
+        |pos, index| {
+            if pos < decisions.len() {
+                decisions[pos].clone()
+            } else {
+                (false, unprocessed_note(index))
+            }
+        },
+        |index| (false, unprocessed_note(index)),
+    )
+}
+
+/// Weighted-sum scalarization over matrix columns: one fused
+/// normalize-and-accumulate pass per weight, no intermediate columns.
+fn moop_scores(matrix: &TraitMatrix, weights: &[TraitWeight]) -> Result<Vec<f64>> {
+    let mut scores = vec![0.0; matrix.rows()];
     for w in weights {
-        let direction = directions
-            .get(&w.trait_name)
-            .copied()
+        let id = matrix
+            .trait_id(&w.trait_name)
             .ok_or_else(|| AutoCompError::UnknownTrait(w.trait_name.clone()))?;
-        let raw = trait_column(candidates, trait_values, &w.trait_name)?;
-        let normalized = min_max_normalize(&raw);
+        let direction = matrix
+            .direction(id)
+            .ok_or_else(|| AutoCompError::UnknownTrait(w.trait_name.clone()))?;
+        let col = matrix.col(id);
+        let (min, max) = column_min_max(col);
+        let span = max - min;
         let sign = match direction {
-            TraitDirection::Benefit => 1.0,
-            TraitDirection::Cost => -1.0,
+            crate::traits::TraitDirection::Benefit => 1.0,
+            crate::traits::TraitDirection::Cost => -1.0,
         };
-        for (s, n) in scores.iter_mut().zip(normalized) {
-            *s += sign * w.weight * n;
+        // The constant-column branch is hoisted out of the row loop; both
+        // arms apply the shared `normalize` rule.
+        if span.abs() < f64::EPSILON {
+            for s in scores.iter_mut() {
+                *s += sign * w.weight * 0.5;
+            }
+        } else {
+            for (s, v) in scores.iter_mut().zip(col) {
+                *s += sign * w.weight * normalize(*v, min, span);
+            }
         }
     }
     Ok(scores)
-}
-
-fn build_entries(
-    candidates: &[Candidate],
-    trait_values: &[BTreeMap<String, f64>],
-    scores: &[f64],
-) -> Vec<RankedEntry> {
-    candidates
-        .iter()
-        .zip(trait_values)
-        .zip(scores)
-        .map(|((c, tv), &score)| RankedEntry {
-            id: c.id.clone(),
-            score,
-            traits: tv.clone(),
-            selected: false,
-            note: String::new(),
-        })
-        .collect()
-}
-
-/// Sorts by score descending, ties broken by candidate id (NFR2).
-fn sort_entries(entries: &mut [RankedEntry]) {
-    entries.sort_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .expect("scores are never NaN")
-            .then_with(|| a.id.cmp(&b.id))
-    });
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::stats::{CandidateStats, QuotaSignal};
+    use crate::traits::TraitDirection;
+    use std::collections::BTreeMap;
 
     fn candidate(uid: u64, quota_util: Option<f64>) -> Candidate {
         Candidate {
             id: CandidateId::table(uid),
             database: "db".into(),
-            table_name: format!("t{uid}"),
+            table_name: format!("t{uid}").into(),
             compaction_enabled: true,
             is_intermediate: false,
             stats: CandidateStats {
@@ -389,6 +776,10 @@ mod tests {
         .collect()
     }
 
+    fn matrix(tv: &[BTreeMap<String, f64>]) -> TraitMatrix {
+        TraitMatrix::from_maps(tv, &directions()).unwrap()
+    }
+
     #[test]
     fn normalization_handles_constant_and_spread() {
         assert_eq!(min_max_normalize(&[5.0, 5.0]), vec![0.5, 0.5]);
@@ -410,10 +801,38 @@ mod tests {
             min_value: 10.0,
             max_k: None,
         };
-        let ranked = rank_and_select(&cands, &tv, &directions(), &policy).unwrap();
+        let ranked = rank_and_select(&cands, &matrix(&tv), &policy).unwrap();
         assert_eq!(ranked[0].id, CandidateId::table(3));
         assert!(ranked[0].selected && ranked[1].selected);
         assert!(!ranked[2].selected);
+        assert_eq!(ranked[0].note.to_string(), "benefit 25.000 >= 10.000");
+        assert_eq!(ranked[2].note.to_string(), "benefit 5.000 < 10.000");
+    }
+
+    #[test]
+    fn threshold_cap_gets_a_distinct_note() {
+        // Three candidates above threshold, cap of 1: the two dropped by
+        // the cap must say so, not pretend they were below threshold (the
+        // seed bug).
+        let cands = vec![candidate(1, None), candidate(2, None), candidate(3, None)];
+        let tv = vec![
+            traits(&[("benefit", 30.0)]),
+            traits(&[("benefit", 20.0)]),
+            traits(&[("benefit", 5.0)]),
+        ];
+        let policy = RankingPolicy::Threshold {
+            trait_name: "benefit".into(),
+            min_value: 10.0,
+            max_k: Some(1),
+        };
+        let ranked = rank_and_select(&cands, &matrix(&tv), &policy).unwrap();
+        assert!(ranked[0].selected);
+        assert!(!ranked[1].selected);
+        assert_eq!(
+            ranked[1].note.to_string(),
+            "benefit 20.000 >= 10.000 but over cap k=1"
+        );
+        assert_eq!(ranked[2].note.to_string(), "benefit 5.000 < 10.000");
     }
 
     #[test]
@@ -436,10 +855,12 @@ mod tests {
             ],
             k: 1,
         };
-        let ranked = rank_and_select(&cands, &tv, &directions(), &policy).unwrap();
+        let ranked = rank_and_select(&cands, &matrix(&tv), &policy).unwrap();
         assert_eq!(ranked[0].id, CandidateId::table(1), "ratio should win");
         assert!(ranked[0].selected);
         assert!(!ranked[1].selected);
+        assert_eq!(ranked[0].note.to_string(), "rank 1 <= k=1");
+        assert_eq!(ranked[1].note.to_string(), "rank 2 > k=1");
     }
 
     #[test]
@@ -451,7 +872,7 @@ mod tests {
             k: 1,
         };
         assert!(matches!(
-            rank_and_select(&cands, &tv, &directions(), &bad_sum),
+            rank_and_select(&cands, &matrix(&tv), &bad_sum),
             Err(AutoCompError::InvalidWeights(_))
         ));
         let unknown = RankingPolicy::Moop {
@@ -459,7 +880,24 @@ mod tests {
             k: 1,
         };
         assert!(matches!(
-            rank_and_select(&cands, &tv, &directions(), &unknown),
+            rank_and_select(&cands, &matrix(&tv), &unknown),
+            Err(AutoCompError::UnknownTrait(_))
+        ));
+    }
+
+    #[test]
+    fn moop_requires_a_direction_for_weighted_traits() {
+        // A trait present in the matrix but with no declared direction
+        // cannot be scalarized (seed: missing `directions` entry).
+        let cands = vec![candidate(1, None), candidate(2, None)];
+        let tv = vec![traits(&[("mystery", 1.0)]), traits(&[("mystery", 2.0)])];
+        let m = TraitMatrix::from_maps(&tv, &BTreeMap::new()).unwrap();
+        let policy = RankingPolicy::Moop {
+            weights: vec![TraitWeight::new("mystery", 1.0)],
+            k: 1,
+        };
+        assert!(matches!(
+            rank_and_select(&cands, &m, &policy),
             Err(AutoCompError::UnknownTrait(_))
         ));
     }
@@ -482,7 +920,7 @@ mod tests {
             budget: 65.0,
             max_k: None,
         };
-        let ranked = rank_and_select(&cands, &tv, &directions(), &policy).unwrap();
+        let ranked = rank_and_select(&cands, &matrix(&tv), &policy).unwrap();
         let selected: Vec<u64> = ranked
             .iter()
             .filter(|e| e.selected)
@@ -518,9 +956,10 @@ mod tests {
             k: Some(1),
             budget: None,
         };
-        let ranked = rank_and_select(&cands, &tv, &directions(), &policy).unwrap();
+        let ranked = rank_and_select(&cands, &matrix(&tv), &policy).unwrap();
         assert_eq!(ranked[0].id, CandidateId::table(2));
         assert!(ranked[0].selected);
+        assert_eq!(ranked[0].note.to_string(), "quota-aware rank 1");
     }
 
     #[test]
@@ -534,7 +973,7 @@ mod tests {
             budget: None,
         };
         assert!(matches!(
-            rank_and_select(&cands, &tv, &directions(), &policy),
+            rank_and_select(&cands, &matrix(&tv), &policy),
             Err(AutoCompError::InvalidConfig(_))
         ));
     }
@@ -547,7 +986,59 @@ mod tests {
             weights: vec![TraitWeight::new("benefit", 1.0)],
             k: 1,
         };
-        let ranked = rank_and_select(&cands, &tv, &directions(), &policy).unwrap();
+        let ranked = rank_and_select(&cands, &matrix(&tv), &policy).unwrap();
         assert_eq!(ranked[0].id, CandidateId::table(1), "lower id wins ties");
+    }
+
+    #[test]
+    fn nan_scores_rank_last_without_panicking() {
+        // The seed's `partial_cmp(...).expect(...)` turned one NaN trait
+        // into a fleet-wide cycle abort; the columnar path totals the
+        // order instead.
+        let cands = vec![candidate(1, None), candidate(2, None), candidate(3, None)];
+        let tv = vec![
+            traits(&[("benefit", f64::NAN)]),
+            traits(&[("benefit", 15.0)]),
+            traits(&[("benefit", 25.0)]),
+        ];
+        let policy = RankingPolicy::Threshold {
+            trait_name: "benefit".into(),
+            min_value: 10.0,
+            max_k: None,
+        };
+        let ranked = rank_and_select(&cands, &matrix(&tv), &policy).unwrap();
+        assert_eq!(ranked[0].id, CandidateId::table(3));
+        assert_eq!(ranked[1].id, CandidateId::table(2));
+        assert_eq!(ranked[2].id, CandidateId::table(1));
+        assert!(!ranked[2].selected, "NaN never satisfies a threshold");
+    }
+
+    #[test]
+    fn tail_entries_follow_in_candidate_order() {
+        // 50 candidates, k=2: the first max(k, RANKED_PREFIX_MIN) entries
+        // are in exact rank order; the tail is in candidate order.
+        let cands: Vec<Candidate> = (1..=50).map(|i| candidate(i, None)).collect();
+        let tv: Vec<BTreeMap<String, f64>> = (1..=50)
+            .map(|i| traits(&[("benefit", f64::from(i % 17) * 3.0)]))
+            .collect();
+        let policy = RankingPolicy::Moop {
+            weights: vec![TraitWeight::new("benefit", 1.0)],
+            k: 2,
+        };
+        let ranked = rank_and_select(&cands, &matrix(&tv), &policy).unwrap();
+        assert_eq!(ranked.len(), 50);
+        assert_eq!(ranked.iter().filter(|e| e.selected).count(), 2);
+        // Prefix in strict rank order.
+        for w in ranked[..RANKED_PREFIX_MIN].windows(2) {
+            assert!(w[0].score > w[1].score || (w[0].score == w[1].score && w[0].id < w[1].id));
+        }
+        // Tail in candidate-index order.
+        for w in ranked[RANKED_PREFIX_MIN..].windows(2) {
+            assert!(w[0].index < w[1].index);
+        }
+        // Every candidate appears exactly once.
+        let mut seen: Vec<usize> = ranked.iter().map(|e| e.index).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..50).collect::<Vec<_>>());
     }
 }

@@ -1,5 +1,8 @@
 //! Plain-text table rendering for explainable decision reports (NFR2).
 
+use crate::matrix::TraitMatrix;
+use crate::rank::RankedEntry;
+
 /// Renders an aligned plain-text table. Columns are sized to their widest
 /// cell; the header is underlined with dashes.
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
@@ -38,6 +41,42 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
 /// reports so diffs stay stable.
 pub fn fmt_f64(v: f64) -> String {
     format!("{v:.3}")
+}
+
+/// Builds the decision-table rows for the report's top `limit` ranked
+/// entries. Trait cells list columns alphabetically (the order the seed's
+/// `BTreeMap` iteration produced); notes render lazily here — only these
+/// rows ever pay the formatting cost.
+pub fn decision_rows(
+    matrix: &TraitMatrix,
+    ranked: &[RankedEntry],
+    limit: usize,
+) -> Vec<Vec<String>> {
+    let name_order = matrix.trait_ids_by_name();
+    ranked
+        .iter()
+        .take(limit)
+        .map(|e| {
+            let traits = name_order
+                .iter()
+                .map(|id| {
+                    format!(
+                        "{}={}",
+                        matrix.trait_name(*id),
+                        fmt_f64(matrix.value(e.index, *id))
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(" ");
+            vec![
+                e.id.to_string(),
+                fmt_f64(e.score),
+                if e.selected { "yes" } else { "no" }.to_string(),
+                traits,
+                e.note.to_string(),
+            ]
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -16,6 +16,10 @@ use crate::candidate::{Candidate, CandidateId};
 pub struct ScheduledJob {
     /// The candidate to compact.
     pub id: CandidateId,
+    /// Position of the candidate in the `selected` slice handed to
+    /// [`Scheduler::plan`] — lets the pipeline reach the candidate and
+    /// its ranked entry by index, with no id-keyed lookup tables.
+    pub index: usize,
     /// Wave index (0 = first). Waves execute sequentially.
     pub wave: usize,
 }
@@ -25,7 +29,8 @@ pub trait Scheduler {
     /// Scheduler name for reports.
     fn name(&self) -> &str;
     /// Produces the wave assignment. Order within the slice is ranking
-    /// order (best first); schedulers must preserve determinism.
+    /// order (best first); schedulers must preserve determinism and set
+    /// each job's `index` to the candidate's position in `selected`.
     fn plan(&self, selected: &[&Candidate]) -> Vec<ScheduledJob>;
 }
 
@@ -42,8 +47,10 @@ impl Scheduler for AllParallelScheduler {
     fn plan(&self, selected: &[&Candidate]) -> Vec<ScheduledJob> {
         selected
             .iter()
-            .map(|c| ScheduledJob {
+            .enumerate()
+            .map(|(index, c)| ScheduledJob {
                 id: c.id.clone(),
+                index,
                 wave: 0,
             })
             .collect()
@@ -64,6 +71,7 @@ impl Scheduler for StrictSequentialScheduler {
             .enumerate()
             .map(|(i, c)| ScheduledJob {
                 id: c.id.clone(),
+                index: i,
                 wave: i,
             })
             .collect()
@@ -83,12 +91,14 @@ impl Scheduler for ParallelTablesScheduler {
         let mut per_table_next_wave: BTreeMap<u64, usize> = BTreeMap::new();
         selected
             .iter()
-            .map(|c| {
+            .enumerate()
+            .map(|(index, c)| {
                 let wave_slot = per_table_next_wave.entry(c.id.table_uid).or_insert(0);
                 let wave = *wave_slot;
                 *wave_slot += 1;
                 ScheduledJob {
                     id: c.id.clone(),
+                    index,
                     wave,
                 }
             })
@@ -115,7 +125,7 @@ mod tests {
         Candidate {
             id: CandidateId::partition(table, partition),
             database: "db".into(),
-            table_name: format!("t{table}"),
+            table_name: format!("t{table}").into(),
             compaction_enabled: true,
             is_intermediate: false,
             stats: CandidateStats::default(),
@@ -144,7 +154,7 @@ mod tests {
     fn all_parallel_uses_one_wave() {
         let c1 = candidate(1, "(a)");
         let c2 = candidate(1, "(b)");
-        let jobs = AllParallelScheduler.plan(&vec![&c1, &c2]);
+        let jobs = AllParallelScheduler.plan(&[&c1, &c2]);
         assert!(jobs.iter().all(|j| j.wave == 0));
         assert_eq!(waves(&jobs).len(), 1);
     }
@@ -154,7 +164,7 @@ mod tests {
         let c1 = candidate(1, "(a)");
         let c2 = candidate(2, "(a)");
         let c3 = candidate(3, "(a)");
-        let jobs = StrictSequentialScheduler.plan(&vec![&c1, &c2, &c3]);
+        let jobs = StrictSequentialScheduler.plan(&[&c1, &c2, &c3]);
         assert_eq!(
             jobs.iter().map(|j| j.wave).collect::<Vec<_>>(),
             vec![0, 1, 2]

@@ -45,14 +45,19 @@ pub fn generate_candidates(
     connector: &dyn LakeConnector,
     strategy: ScopeStrategy,
 ) -> Vec<Candidate> {
-    let mut out = Vec::new();
-    for table in connector.list_tables() {
+    let tables = connector.list_tables();
+    // Table scope yields at most one candidate per table; partitioned
+    // scopes grow past this, but it is the right floor either way.
+    let mut out = Vec::with_capacity(tables.len());
+    for table in tables {
         match strategy {
+            // Single-candidate scopes consume the descriptor (moving the
+            // name strings); partition scopes clone per partition.
             ScopeStrategy::Table => {
                 if let Some(stats) = connector.table_stats(table.table_uid) {
-                    out.push(Candidate::new(
+                    out.push(Candidate::from_table(
                         CandidateId::table(table.table_uid),
-                        &table,
+                        table,
                         stats,
                     ));
                 }
@@ -76,27 +81,21 @@ pub fn generate_candidates(
                         ));
                     }
                 } else if let Some(stats) = connector.table_stats(table.table_uid) {
-                    out.push(Candidate::new(
+                    out.push(Candidate::from_table(
                         CandidateId::table(table.table_uid),
-                        &table,
+                        table,
                         stats,
                     ));
                 }
             }
             ScopeStrategy::Snapshot { window_ms } => {
                 if let Some(stats) = connector.snapshot_stats(table.table_uid, window_ms) {
-                    out.push(Candidate {
-                        id: CandidateId {
-                            table_uid: table.table_uid,
-                            scope: ScopeKind::Snapshot,
-                            partition: None,
-                        },
-                        database: table.database.clone(),
-                        table_name: table.name.clone(),
-                        compaction_enabled: table.compaction_enabled,
-                        is_intermediate: table.is_intermediate,
-                        stats,
-                    });
+                    let id = CandidateId {
+                        table_uid: table.table_uid,
+                        scope: ScopeKind::Snapshot,
+                        partition: None,
+                    };
+                    out.push(Candidate::from_table(id, table, stats));
                 }
             }
         }
@@ -171,7 +170,9 @@ mod tests {
         let c = generate_candidates(&FakeLake, ScopeStrategy::Hybrid);
         assert_eq!(c.len(), 3);
         assert_eq!(
-            c.iter().filter(|c| c.id.scope == ScopeKind::Partition).count(),
+            c.iter()
+                .filter(|c| c.id.scope == ScopeKind::Partition)
+                .count(),
             2
         );
         assert_eq!(

@@ -89,11 +89,7 @@ impl CandidateStats {
     /// Mean data-file size in bytes; 0 when empty.
     pub fn avg_file_size(&self) -> u64 {
         let data_files = self.file_count.saturating_sub(self.delete_file_count);
-        if data_files == 0 {
-            0
-        } else {
-            self.total_bytes / data_files
-        }
+        self.total_bytes.checked_div(data_files).unwrap_or(0)
     }
 
     /// Reads a custom metric.

@@ -21,8 +21,11 @@ pub enum TraitDirection {
 ///
 /// Trait computers are independent of one another and freely combinable
 /// during ranking (§4.2) — that independence is what lets AutoComp switch
-/// optimization objectives without re-engineering (FR2/NFR1).
-pub trait TraitComputer {
+/// optimization objectives without re-engineering (FR2/NFR1). They are
+/// `Send + Sync` so the orient phase can fill trait columns across
+/// worker threads at fleet scale; computers are pure functions of the
+/// statistics, so this costs implementations nothing.
+pub trait TraitComputer: Send + Sync {
     /// Trait name, referenced by ranking policies.
     fn name(&self) -> &str;
     /// Benefit or cost.
@@ -219,10 +222,7 @@ mod tests {
         let e = FileEntropy;
         // 10 files in the 0–8MB bucket vs 10 files in the 256–512MB bucket.
         let tiny = histogram_stats(vec![(Some(8 * MB), 10), (Some(512 * MB), 0)], 512 * MB);
-        let nearly = histogram_stats(
-            vec![(Some(256 * MB), 0), (Some(512 * MB), 10)],
-            512 * MB,
-        );
+        let nearly = histogram_stats(vec![(Some(256 * MB), 0), (Some(512 * MB), 10)], 512 * MB);
         assert!(e.compute(&tiny) > e.compute(&nearly));
         assert!(e.compute(&tiny) <= 1.0);
         // Degenerate inputs.

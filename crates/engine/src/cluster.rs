@@ -155,8 +155,7 @@ impl Cluster {
             started = now_ms;
             finished = now_ms;
         }
-        let gbhr =
-            self.config.executor_memory_gb * (work_ms / MS_PER_HOUR as f64);
+        let gbhr = self.config.executor_memory_gb * (work_ms / MS_PER_HOUR as f64);
         let app_id = self.next_app;
         self.next_app += 1;
         self.apps.push(AppMetrics {

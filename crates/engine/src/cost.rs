@@ -148,7 +148,14 @@ mod tests {
         let per = if files > 0 { bytes / files as u64 } else { 0 };
         ScanPlan {
             files: (0..files)
-                .map(|i| DataFile::data(FileId(i as u64 + 1), PartitionKey::unpartitioned(), 1, per.max(1)))
+                .map(|i| {
+                    DataFile::data(
+                        FileId(i as u64 + 1),
+                        PartitionKey::unpartitioned(),
+                        1,
+                        per.max(1),
+                    )
+                })
                 .collect(),
             delete_files: 0,
             bytes,

@@ -2,7 +2,7 @@
 //! + the deferred-commit queue.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, BTreeMap};
+use std::collections::{BTreeMap, BinaryHeap};
 
 use crate::clock::SimClock;
 use crate::cluster::{AppKind, Cluster, ClusterConfig};
@@ -16,10 +16,10 @@ use crate::query::{QueryResult, ReadSpec, WriteOp, WriteSpec};
 use crate::rng::SimRng;
 use crate::writer::{chunk_bytes, split_across_partitions};
 use crate::Result;
-use lakesim_catalog::{Catalog, JobStatus, MaintenanceLog, MaintenanceRecord, TablePolicy, TelemetryStore};
-use lakesim_lst::{
-    DataFile, OpKind, PartitionSpec, Schema, TableId, TableProperties, Transaction,
+use lakesim_catalog::{
+    Catalog, JobStatus, MaintenanceLog, MaintenanceRecord, TablePolicy, TelemetryStore,
 };
+use lakesim_lst::{DataFile, OpKind, PartitionSpec, Schema, TableId, TableProperties, Transaction};
 use lakesim_storage::{FileId, FileKind, FsConfig, SimFileSystem, KB};
 
 /// Size of each LST metadata object materialized in storage.
@@ -241,11 +241,8 @@ impl SimEnv {
         };
 
         // Materialize output files in storage (quota enforced here).
-        let per_partition = split_across_partitions(
-            spec.total_bytes,
-            spec.partitions.len(),
-            spec.partition_skew,
-        );
+        let per_partition =
+            split_across_partitions(spec.total_bytes, spec.partitions.len(), spec.partition_skew);
         let mut txn = Transaction::new(base, op_kind);
         let mut written = Vec::new();
         let mut total_files = 0u64;
@@ -288,7 +285,9 @@ impl SimEnv {
         }
 
         let congestion = self.fs.congestion_factor();
-        let mut work = self.cost.write_work_ms(spec.total_bytes, total_files, congestion)
+        let mut work = self
+            .cost
+            .write_work_ms(spec.total_bytes, total_files, congestion)
             + self.cost.task_startup_ms;
         if spec.op == WriteOp::CopyOnWriteOverwrite {
             // CoW must read the replaced files too.
@@ -410,16 +409,24 @@ impl SimEnv {
             .table
             .commit(attempt, due_ms);
         match result {
-            Ok(outcome) => {
-                self.on_commit_success(due_ms, commit, outcome.new_metadata_objects)
-            }
-            Err(e) if e.is_retryable() || matches!(e, lakesim_lst::CommitError::UnknownBaseSnapshot(_)) => {
+            Ok(outcome) => self.on_commit_success(due_ms, commit, outcome.new_metadata_objects),
+            Err(e)
+                if e.is_retryable()
+                    || matches!(e, lakesim_lst::CommitError::UnknownBaseSnapshot(_)) =>
+            {
                 self.on_commit_conflict(due_ms, commit)
             }
             Err(_) => {
                 // Structural failure: abandon and clean up.
                 self.cleanup_orphans(&commit.written_files, due_ms);
-                if let PendingKind::Rewrite { job_id, scope, trigger, predicted_reduction, predicted_gbhr } = &commit.kind {
+                if let PendingKind::Rewrite {
+                    job_id,
+                    scope,
+                    trigger,
+                    predicted_reduction,
+                    predicted_gbhr,
+                } = &commit.kind
+                {
                     self.maintenance.push(MaintenanceRecord {
                         job_id: *job_id,
                         table: table_id,
@@ -499,8 +506,7 @@ impl SimEnv {
                 for id in &inputs {
                     let _ = self.fs.delete_file(*id, due_ms);
                 }
-                let actual_reduction =
-                    inputs.len() as i64 - commit.written_files.len() as i64;
+                let actual_reduction = inputs.len() as i64 - commit.written_files.len() as i64;
                 self.maintenance.push(MaintenanceRecord {
                     job_id: *job_id,
                     table: table_id,

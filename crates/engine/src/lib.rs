@@ -50,7 +50,9 @@ pub use cluster::{AppKind, AppMetrics, Cluster, ClusterConfig, TaskOutcome};
 pub use cost::CostModel;
 pub use env::{EnvConfig, SimEnv};
 pub use error::EngineError;
-pub use metrics::{Candlestick, CommitEvent, ConflictSide, EngineMetrics, LatencySample, QueryClass};
+pub use metrics::{
+    Candlestick, CommitEvent, ConflictSide, EngineMetrics, LatencySample, QueryClass,
+};
 pub use pending::PendingCommit;
 pub use query::{FileSizePlan, QueryResult, ReadSpec, WriteOp, WriteSpec};
 pub use rewrite::{RewriteJobOutcome, RewriteOptions};

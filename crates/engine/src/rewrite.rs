@@ -5,7 +5,9 @@ use crate::cluster::AppKind;
 use crate::env::SimEnv;
 use crate::pending::{PendingCommit, PendingKind};
 use crate::Result;
-use lakesim_lst::{synthesize_outputs, DataFile, ExpireResult, OpKind, RewritePlan, TableId, Transaction};
+use lakesim_lst::{
+    synthesize_outputs, DataFile, ExpireResult, OpKind, RewritePlan, TableId, Transaction,
+};
 use lakesim_storage::{FileId, FileKind};
 
 /// Options for submitting one rewrite job.
@@ -106,9 +108,7 @@ impl SimEnv {
             }
             let sizes = synthesize_outputs(group.input_bytes, target_size);
             for size in sizes {
-                let created = self
-                    .fs
-                    .create_file(&database, FileKind::Data, size, now_ms);
+                let created = self.fs.create_file(&database, FileKind::Data, size, now_ms);
                 let id = match created {
                     Ok(id) => id,
                     Err(e) => {
@@ -131,9 +131,12 @@ impl SimEnv {
         }
 
         let parallelism = opts.parallelism.max(1);
-        let outcome =
-            self.cluster_mut(&opts.cluster)?
-                .submit(now_ms, work_ms, parallelism, AppKind::Compaction);
+        let outcome = self.cluster_mut(&opts.cluster)?.submit(
+            now_ms,
+            work_ms,
+            parallelism,
+            AppKind::Compaction,
+        );
         let commit_due = outcome.finished_ms + self.cost().commit_ms;
         let job_id = self.maintenance.next_job_id();
         let scope = if plan.groups.len() == 1 && !plan.groups[0].partition.is_unpartitioned() {
@@ -276,7 +279,10 @@ mod tests {
         assert_eq!(rec.actual_reduction, expected);
         assert!(rec.actual_gbhr > 0.0);
         // Replaced inputs physically deleted; outputs live.
-        assert_eq!(env.fs.total_files_of_kind(lakesim_storage::FileKind::Data), after);
+        assert_eq!(
+            env.fs.total_files_of_kind(lakesim_storage::FileKind::Data),
+            after
+        );
     }
 
     #[test]
@@ -284,7 +290,10 @@ mod tests {
         let (mut env, t) = setup(ConflictMode::Strict);
         let plan = plan_table_rewrite(&env.catalog.table(t).unwrap().table, &bin_pack());
         let opts = RewriteOptions::manual("compaction", &plan, 1.0);
-        let job = env.submit_rewrite(&plan, &opts, 1_000_000).unwrap().unwrap();
+        let job = env
+            .submit_rewrite(&plan, &opts, 1_000_000)
+            .unwrap()
+            .unwrap();
         // A user append commits while the rewrite is running.
         let spec = WriteSpec::insert(
             t,
@@ -351,7 +360,10 @@ mod tests {
             &bin_pack(),
         );
         let opts = RewriteOptions::manual("compaction", &plan, 1.0);
-        let job = env.submit_rewrite(&plan, &opts, 1_000_000).unwrap().unwrap();
+        let job = env
+            .submit_rewrite(&plan, &opts, 1_000_000)
+            .unwrap()
+            .unwrap();
         let spec_b = WriteSpec::insert(t, pb, 8 * MB, FileSizePlan::trickle(), "query");
         env.submit_write(&spec_b, 1_000_100).unwrap();
         env.drain_due(job.commit_due_ms.max(2_000_000));
@@ -374,13 +386,15 @@ mod tests {
             env.submit_write(&spec, i * 100_000).unwrap();
         }
         env.drain_all();
-        let meta_before = env.fs.total_files_of_kind(lakesim_storage::FileKind::Metadata);
+        let meta_before = env
+            .fs
+            .total_files_of_kind(lakesim_storage::FileKind::Metadata);
         // Policy retention is 3 days; jump far ahead so everything expires.
-        let res = env
-            .run_snapshot_expiry(t, 10 * 24 * 3_600_000)
-            .unwrap();
+        let res = env.run_snapshot_expiry(t, 10 * 24 * 3_600_000).unwrap();
         assert!(res.snapshots_removed > 0);
-        let meta_after = env.fs.total_files_of_kind(lakesim_storage::FileKind::Metadata);
+        let meta_after = env
+            .fs
+            .total_files_of_kind(lakesim_storage::FileKind::Metadata);
         assert_eq!(
             meta_before - meta_after,
             res.metadata_objects_freed.min(meta_before)

@@ -122,8 +122,12 @@ mod tests {
     #[test]
     fn presets_have_expected_magnitudes() {
         let mut rng = SimRng::seed_from_u64(3);
-        let tuned: Vec<u64> = (0..200).map(|_| FileSizePlan::well_tuned().sample(&mut rng)).collect();
-        let trickle: Vec<u64> = (0..200).map(|_| FileSizePlan::trickle().sample(&mut rng)).collect();
+        let tuned: Vec<u64> = (0..200)
+            .map(|_| FileSizePlan::well_tuned().sample(&mut rng))
+            .collect();
+        let trickle: Vec<u64> = (0..200)
+            .map(|_| FileSizePlan::trickle().sample(&mut rng))
+            .collect();
         let tuned_mean = tuned.iter().sum::<u64>() / 200;
         let trickle_mean = trickle.iter().sum::<u64>() / 200;
         assert!(tuned_mean > 300 * MB, "{tuned_mean}");

@@ -41,11 +41,10 @@ impl TableStats {
     /// Average data-file size in bytes; 0 when empty.
     pub fn avg_file_size(&self) -> u64 {
         let data_files = self.histogram.total();
-        if data_files == 0 {
-            0
-        } else {
-            self.histogram.total_bytes() / data_files
-        }
+        self.histogram
+            .total_bytes()
+            .checked_div(data_files)
+            .unwrap_or(0)
     }
 
     /// Fraction of data files that are small; 0.0 when empty.
@@ -67,11 +66,7 @@ impl Table {
     }
 
     /// Computes statistics over one partition.
-    pub fn partition_stats(
-        &self,
-        key: &PartitionKey,
-        target_file_size: u64,
-    ) -> TableStats {
+    pub fn partition_stats(&self, key: &PartitionKey, target_file_size: u64) -> TableStats {
         let keys: BTreeSet<PartitionKey> = [key.clone()].into_iter().collect();
         self.stats_inner(target_file_size, Some(&keys))
     }

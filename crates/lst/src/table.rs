@@ -384,9 +384,9 @@ impl Table {
                 for s in intermediates {
                     for id in txn.removed() {
                         if s.removed_file(*id) {
-                            return Err(CommitError::Conflict(
-                                ConflictKind::RemovedFilesMissing { file: *id },
-                            ));
+                            return Err(CommitError::Conflict(ConflictKind::RemovedFilesMissing {
+                                file: *id,
+                            }));
                         }
                     }
                     let rewriting = matches!(
@@ -409,11 +409,11 @@ impl Table {
                 Ok(())
             }
             OpKind::RewriteFiles => match self.properties.conflict_mode {
-                ConflictMode::Strict => Err(CommitError::Conflict(
-                    ConflictKind::StaleTableForRewrite {
+                ConflictMode::Strict => {
+                    Err(CommitError::Conflict(ConflictKind::StaleTableForRewrite {
                         intervening: intermediates[0].id,
-                    },
-                )),
+                    }))
+                }
                 ConflictMode::PartitionAware => {
                     let mine = self.partitions_of(txn);
                     for s in intermediates {
@@ -434,12 +434,10 @@ impl Table {
                                 .find(|p| mine.contains(*p))
                                 .cloned()
                                 .unwrap_or_default();
-                            return Err(CommitError::Conflict(
-                                ConflictKind::PartitionOverlap {
-                                    partition,
-                                    intervening: s.id,
-                                },
-                            ));
+                            return Err(CommitError::Conflict(ConflictKind::PartitionOverlap {
+                                partition,
+                                intervening: s.id,
+                            }));
                         }
                     }
                     Ok(())

@@ -180,7 +180,12 @@ mod tests {
     #[test]
     fn rebase_updates_base_only() {
         let mut txn = Transaction::new(Some(SnapshotId(1)), OpKind::Append);
-        txn.add_file(DataFile::data(FileId(1), PartitionKey::unpartitioned(), 1, MB));
+        txn.add_file(DataFile::data(
+            FileId(1),
+            PartitionKey::unpartitioned(),
+            1,
+            MB,
+        ));
         txn.rebase(Some(SnapshotId(5)));
         assert_eq!(txn.base_snapshot(), Some(SnapshotId(5)));
         assert_eq!(txn.added().len(), 1);

@@ -207,12 +207,13 @@ mod tests {
 
     #[test]
     fn partition_values_order_totally() {
-        let mut vals = vec![
+        let mut vals = [
             PartitionValue::Str("b".into()),
             PartitionValue::Int(3),
             PartitionValue::Null,
             PartitionValue::Int(1),
         ];
+
         vals.sort();
         assert_eq!(vals[0], PartitionValue::Null);
         assert_eq!(vals[1], PartitionValue::Int(1));
@@ -221,7 +222,10 @@ mod tests {
     #[test]
     fn display_forms() {
         assert_eq!(PartitionKey::unpartitioned().to_string(), "()");
-        let k = PartitionKey(vec![PartitionValue::Date(400), PartitionValue::Str("us".into())]);
+        let k = PartitionKey(vec![
+            PartitionValue::Date(400),
+            PartitionValue::Str("us".into()),
+        ]);
         assert_eq!(k.to_string(), "(d400,us)");
     }
 

@@ -101,7 +101,10 @@ mod tests {
         ];
         assert_eq!(
             labels.len(),
-            labels.iter().collect::<std::collections::BTreeSet<_>>().len()
+            labels
+                .iter()
+                .collect::<std::collections::BTreeSet<_>>()
+                .len()
         );
     }
 }

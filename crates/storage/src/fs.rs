@@ -359,7 +359,8 @@ mod tests {
         let mut fs = fs();
         fs.create_file("db", FileKind::Data, 10 * MB, 0).unwrap();
         fs.create_file("db", FileKind::Data, 600 * MB, 0).unwrap();
-        fs.create_file("db", FileKind::Metadata, 64 * 1024, 0).unwrap();
+        fs.create_file("db", FileKind::Metadata, 64 * 1024, 0)
+            .unwrap();
         assert_eq!(fs.small_file_count(128 * MB), 1); // metadata excluded
         let all = fs.size_histogram(None);
         assert_eq!(all.total(), 3);

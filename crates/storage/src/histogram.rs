@@ -88,7 +88,10 @@ impl SizeHistogram {
     /// # Panics
     /// Panics if the edge vectors differ.
     pub fn merge(&mut self, other: &SizeHistogram) {
-        assert_eq!(self.edges, other.edges, "cannot merge mismatched histograms");
+        assert_eq!(
+            self.edges, other.edges,
+            "cannot merge mismatched histograms"
+        );
         for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
             *a += b;
         }

@@ -24,7 +24,7 @@ use lakesim_lst::{
     ColumnType, ConflictMode, Field, PartitionKey, PartitionSpec, PartitionValue, Schema, TableId,
     TableProperties, Transform,
 };
-use lakesim_storage::{SizeHistogram, FileKind, GB, MB};
+use lakesim_storage::{FileKind, SizeHistogram, GB, MB};
 
 /// Table archetypes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -142,8 +142,8 @@ impl Fleet {
         let archetype = self.pick_archetype(config);
         let idx = self.next_table_idx;
         self.next_table_idx += 1;
-        let partitioned = matches!(archetype, Archetype::RawEvent | Archetype::Derived)
-            && self.rng.chance(0.6);
+        let partitioned =
+            matches!(archetype, Archetype::RawEvent | Archetype::Derived) && self.rng.chance(0.6);
         let schema = Schema::new(vec![
             Field::new(1, "key", ColumnType::Int64, true),
             Field::new(2, "ds", ColumnType::Date, true),
@@ -233,7 +233,7 @@ impl Fleet {
         env.drain_due((self.day + 1) * MS_PER_DAY);
         self.day += 1;
         // Weekly metadata hygiene, as the managed pipeline does.
-        if self.day % 7 == 0 {
+        if self.day.is_multiple_of(7) {
             let ids: Vec<TableId> = env.catalog.table_ids();
             let now = self.day * MS_PER_DAY;
             for id in ids {

@@ -153,9 +153,7 @@ impl RawPipeline {
         if plan.is_empty() {
             return Ok(rollup_at);
         }
-        let predicted_gbhr = env
-            .cost()
-            .estimate_gbhr(64.0, plan.input_bytes());
+        let predicted_gbhr = env.cost().estimate_gbhr(64.0, plan.input_bytes());
         let opts = lakesim_engine::RewriteOptions {
             cluster: self.config.cluster.clone(),
             parallelism: 4,
@@ -251,7 +249,11 @@ mod tests {
         let files = entry.table.file_count();
         pipeline.expire(&mut env, 30 * 24 * MS_PER_HOUR).unwrap();
         assert_eq!(
-            env.catalog.table(pipeline.table).unwrap().table.file_count(),
+            env.catalog
+                .table(pipeline.table)
+                .unwrap()
+                .table
+                .file_count(),
             files
         );
     }

@@ -13,9 +13,7 @@
 
 use crate::driver::{OpSpec, ScheduledOp};
 use lakesim_catalog::TablePolicy;
-use lakesim_engine::{
-    FileSizePlan, ReadSpec, SimEnv, SimRng, WriteOp, WriteSpec, MS_PER_MIN,
-};
+use lakesim_engine::{FileSizePlan, ReadSpec, SimEnv, SimRng, WriteOp, WriteSpec, MS_PER_MIN};
 use lakesim_lst::{
     ColumnType, Field, PartitionFilter, PartitionKey, PartitionSpec, PartitionValue, Schema,
     TableId, TableProperties, Transform,

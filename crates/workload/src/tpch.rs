@@ -8,9 +8,7 @@
 //! (their footnote 1); the write generator here follows that.
 
 use lakesim_catalog::TablePolicy;
-use lakesim_engine::{
-    FileSizePlan, ReadSpec, SimEnv, SimRng, WriteOp, WriteSpec,
-};
+use lakesim_engine::{FileSizePlan, ReadSpec, SimEnv, SimRng, WriteOp, WriteSpec};
 use lakesim_lst::{
     ColumnType, Field, PartitionFilter, PartitionKey, PartitionSpec, PartitionValue, Schema,
     TableId, TableProperties, Transform,
@@ -168,9 +166,8 @@ pub fn build_tpch_database(
             continue;
         }
         if partitioned {
-            let partitions: Vec<PartitionKey> = (0..config.months)
-                .map(TpchDatabase::month_key)
-                .collect();
+            let partitions: Vec<PartitionKey> =
+                (0..config.months).map(TpchDatabase::month_key).collect();
             let spec = WriteSpec {
                 table: id,
                 op: WriteOp::Insert,
@@ -253,7 +250,9 @@ pub fn write_query(db: &TpchDatabase, rng: &mut SimRng, cluster: &str) -> WriteS
     let roll = rng.next_f64();
     if roll < 0.45 {
         // Incremental insert into the most recent months (trickle).
-        let month = db.months.saturating_sub(1 + rng.index(3.min(db.months as usize)) as u32);
+        let month = db
+            .months
+            .saturating_sub(1 + rng.index(3.min(db.months as usize)) as u32);
         WriteSpec {
             table: db.lineitem(),
             op: WriteOp::Insert,
@@ -278,7 +277,9 @@ pub fn write_query(db: &TpchDatabase, rng: &mut SimRng, cluster: &str) -> WriteS
         }
     } else if roll < 0.82 {
         // MoR delete/update on a recent lineitem month.
-        let month = db.months.saturating_sub(1 + rng.index(6.min(db.months as usize)) as u32);
+        let month = db
+            .months
+            .saturating_sub(1 + rng.index(6.min(db.months as usize)) as u32);
         WriteSpec {
             table: db.lineitem(),
             op: WriteOp::MergeOnReadDelta,
@@ -297,7 +298,9 @@ pub fn write_query(db: &TpchDatabase, rng: &mut SimRng, cluster: &str) -> WriteS
         // Spark SQL uses for partitioned corrections; these conflict with
         // any concurrent commit to the same partition (Table 1's
         // no-compaction client-side conflicts come from exactly this).
-        let month = db.months.saturating_sub(1 + rng.index(3.min(db.months as usize)) as u32);
+        let month = db
+            .months
+            .saturating_sub(1 + rng.index(3.min(db.months as usize)) as u32);
         WriteSpec {
             table: db.lineitem(),
             op: WriteOp::CopyOnWriteOverwrite,
@@ -382,6 +385,10 @@ mod tests {
             let w = write_query(&db, &mut rng, "query");
             kinds.insert(format!("{:?}", w.op));
         }
-        assert_eq!(kinds.len(), 3, "insert, MoR delta, CoW overwrite: {kinds:?}");
+        assert_eq!(
+            kinds.len(),
+            3,
+            "insert, MoR delta, CoW overwrite: {kinds:?}"
+        );
     }
 }

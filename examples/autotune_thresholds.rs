@@ -10,8 +10,12 @@ use autocomp_bench::experiments::tuning::{
 
 fn main() {
     // Baseline: no compaction at all (threshold = infinity).
-    let default_s =
-        run_tuned_workload(TuneWorkload::TpcdsWp1, TuneTrait::SmallFileCount, f64::INFINITY, 5);
+    let default_s = run_tuned_workload(
+        TuneWorkload::TpcdsWp1,
+        TuneTrait::SmallFileCount,
+        f64::INFINITY,
+        5,
+    );
     println!("TPC-DS WP1, compaction disabled: {default_s:.1}s\n");
 
     // Tune the threshold with 15 CFO iterations.

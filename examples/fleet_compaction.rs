@@ -78,5 +78,8 @@ fn main() {
         env.maintenance.accuracy().cost_bias * 100.0,
         env.maintenance.accuracy().jobs,
     );
-    println!("quota-breach write failures so far: {}", env.metrics.quota_failures);
+    println!(
+        "quota-breach write failures so far: {}",
+        env.metrics.quota_failures
+    );
 }

@@ -97,8 +97,7 @@ fn main() {
 
     // 5. Let the compaction job finish and compare.
     let mut env = std::rc::Rc::try_unwrap(shared)
-        .ok()
-        .expect("no lingering refs")
+        .unwrap_or_else(|_| panic!("no lingering refs"))
         .into_inner();
     env.drain_all();
     println!(

@@ -10,9 +10,7 @@
 use autocomp::{AfterWriteHook, FileCountReduction, HookAction, HookMode};
 use autocomp_lakesim::hooks::evaluate_hook_direct;
 use lakesim_catalog::TablePolicy;
-use lakesim_engine::{
-    EnvConfig, FileSizePlan, RewriteOptions, SimEnv, WriteSpec, MS_PER_MIN,
-};
+use lakesim_engine::{EnvConfig, FileSizePlan, RewriteOptions, SimEnv, WriteSpec, MS_PER_MIN};
 use lakesim_lst::{
     plan_table_rewrite, BinPackConfig, ColumnType, Field, PartitionKey, PartitionSpec, Schema,
     TableId, TableProperties,
@@ -92,7 +90,12 @@ fn main() {
             }
         }
         if tick % 12 == 0 || !action_str.is_empty() {
-            let h = env.catalog.table(hooked).expect("exists").table.file_count();
+            let h = env
+                .catalog
+                .table(hooked)
+                .expect("exists")
+                .table
+                .file_count();
             let p = env
                 .catalog
                 .table(unhooked)
@@ -103,7 +106,12 @@ fn main() {
         }
     }
     env.drain_all();
-    let h = env.catalog.table(hooked).expect("exists").table.file_count();
+    let h = env
+        .catalog
+        .table(hooked)
+        .expect("exists")
+        .table
+        .file_count();
     let p = env
         .catalog
         .table(unhooked)

@@ -26,11 +26,7 @@ fn all_parallel_scheduling_conflicts_under_strict_mode() {
     // Iceberg v1.2.0 semantics. All-parallel scheduling triggers exactly
     // that; partition-aware validation tolerates it.
     let (_, strict_conflicts) = run(ConflictMode::Strict, SchedulerKind::AllParallel, 41);
-    let (_, precise_conflicts) = run(
-        ConflictMode::PartitionAware,
-        SchedulerKind::AllParallel,
-        41,
-    );
+    let (_, precise_conflicts) = run(ConflictMode::PartitionAware, SchedulerKind::AllParallel, 41);
     assert!(
         strict_conflicts > precise_conflicts,
         "strict {strict_conflicts} vs partition-aware {precise_conflicts}"

@@ -70,7 +70,11 @@ fn check_invariants(table: &Table) {
             indexed += 1;
         }
     }
-    assert_eq!(indexed, table.file_count(), "index covers exactly the live set");
+    assert_eq!(
+        indexed,
+        table.file_count(),
+        "index covers exactly the live set"
+    );
 
     // 2. Byte accounting.
     let total: u64 = table.live_files().map(|f| f.file_size_bytes).sum();

@@ -39,14 +39,16 @@ fn compaction_frees_quota_headroom() {
     // objects (§7: quota breaches were a pre-compaction pain point).
     let utilization = |compact: bool| {
         let mut fleet = quota_fleet(52, 400_000);
-        let mut pipeline =
-            production_pipeline(RankingPolicy::Moop {
+        let mut pipeline = production_pipeline(
+            RankingPolicy::Moop {
                 weights: vec![
                     autocomp::TraitWeight::new("file_count_reduction", 0.7),
                     autocomp::TraitWeight::new("compute_cost_gbhr", 0.3),
                 ],
                 k: 24,
-            }, false);
+            },
+            false,
+        );
         for _ in 0..3 {
             fleet.advance_day();
             if compact {

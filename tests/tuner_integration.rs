@@ -35,7 +35,12 @@ fn wp3_decoupled_clusters_benefit_most() {
 #[test]
 fn tpch_gains_little_from_compaction() {
     let always = run_tuned_workload(TuneWorkload::Tpch, TuneTrait::SmallFileCount, 1.0, 83);
-    let never = run_tuned_workload(TuneWorkload::Tpch, TuneTrait::SmallFileCount, f64::INFINITY, 83);
+    let never = run_tuned_workload(
+        TuneWorkload::Tpch,
+        TuneTrait::SmallFileCount,
+        f64::INFINITY,
+        83,
+    );
     // §6.3/Fig. 9b: aggressive compaction does not meaningfully beat the
     // default on TPC-H (whole-table rewrites are costly and the data
     // modification phase dominates).

@@ -1,0 +1,123 @@
+//! Offline stand-in for the [proptest](https://docs.rs/proptest) crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! this minimal, API-compatible subset: the `proptest!` macro (with
+//! optional `#![proptest_config(...)]`), `prop_assert!`/`prop_assert_eq!`,
+//! `prop_oneof!`, integer-range / tuple / `collection::vec` strategies,
+//! `any::<bool>()`, and `Strategy::prop_map`.
+//!
+//! Differences from real proptest: cases are generated from a fixed
+//! deterministic seed (reproducible by construction) and failing cases are
+//! reported with their generated inputs but **not shrunk**.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-importable surface mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Declares deterministic property tests, mirroring `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal expansion of [`proptest!`] — not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident(
+        $($arg:ident in $strat:expr),+ $(,)?
+    ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::for_case(case);
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng);
+                    )+
+                    // Rendered before the body runs: the body takes the
+                    // values by move, and there is no shrinking pass to
+                    // re-derive them afterwards.
+                    let mut dump = ::std::string::String::new();
+                    $(
+                        dump.push_str(&::std::format!(
+                            "\n  {} = {:?}", stringify!($arg), $arg
+                        ));
+                    )+
+                    let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    if let ::std::result::Result::Err(e) = result {
+                        ::std::panic!(
+                            "proptest case {}/{} failed: {}{}",
+                            case + 1, config.cases, e, dump
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fallible assertion usable inside [`proptest!`] bodies.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fallible equality assertion usable inside [`proptest!`] bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left != right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    left,
+                    right
+                ),
+            ));
+        }
+    }};
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(::std::vec![
+            $( $crate::strategy::boxed($strat) ),+
+        ])
+    };
+}
