@@ -1,0 +1,186 @@
+//! Criterion: the observe phase at fleet scale — per-table pull baseline
+//! vs. the batched tier, cold vs. incremental (cursor/dirty-set) observe.
+//!
+//! The synthetic lake models what a real connector pays per stats
+//! round-trip: a catalog-session lookup (`SESSION_STEPS`, paid *per
+//! call* by the chatty per-table protocol, amortized away by the
+//! batch-tier connector, which holds its session across the batch) plus
+//! a manifest walk (`MANIFEST_STEPS`, paid per fetched table by both).
+//! On multi-core machines the batch tier additionally fans the fetches
+//! out over scoped threads; the recorded numbers in `BENCH_ooda.json`
+//! note the harness core count.
+//!
+//! Acceptance (tracked in `BENCH_ooda.json`): `observe/tables/100000`
+//! (cold batched) beats `observe/tables_pull/100000`, and
+//! `observe/tables_incremental/100000` (1% dirty) is ≥5× faster than the
+//! cold batched observe.
+
+use autocomp::{
+    BatchLakeConnector, CandidateStats, ChangeCursor, LakeConnector, ObserveRequest, ScopeStrategy,
+    SizeBucket, TableRef,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Catalog-session work per chatty round-trip (resolve table, auth,
+/// route) — the per-call overhead the batched protocol amortizes.
+const SESSION_STEPS: u64 = 96;
+
+/// Manifest-walk work per fetched table — paid by every fetch in both
+/// tiers, skipped entirely for tables an incremental observe reuses.
+const MANIFEST_STEPS: u64 = 96;
+
+/// Fraction of the fleet written between incremental cycles: 1%.
+const DIRTY_DIVISOR: u64 = 100;
+
+struct SyntheticLake {
+    tables: Vec<TableRef>,
+}
+
+impl SyntheticLake {
+    fn new(n: u64) -> Self {
+        SyntheticLake {
+            tables: (0..n)
+                .map(|i| TableRef {
+                    table_uid: i,
+                    database: format!("db{}", i % 64).into(),
+                    name: format!("t{i}").into(),
+                    partitioned: false,
+                    compaction_enabled: i % 17 != 0,
+                    is_intermediate: i % 23 == 0,
+                })
+                .collect(),
+        }
+    }
+
+    /// Deterministic pseudo-manifest walk: derive per-file sizes and fold
+    /// them into counts + an 8-bucket histogram.
+    fn fetch(&self, uid: u64, extra_steps: u64) -> CandidateStats {
+        let target = 512u64 << 20;
+        let mut buckets = [0u64; 8];
+        let mut file_count = 0;
+        let mut small = 0u64;
+        let mut small_bytes = 0u64;
+        let mut total = 0u64;
+        let mut state = uid.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        // Session steps burn the same per-step work as manifest steps but
+        // contribute nothing to the stats (pure round-trip overhead).
+        for _ in 0..extra_steps {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+        }
+        for _ in 0..MANIFEST_STEPS {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let size = (state % (target * 2)).max(1);
+            file_count += 1;
+            total += size;
+            if size < target {
+                small += 1;
+                small_bytes += size;
+            }
+            let bucket = ((size * 8) / (target * 2)).min(7) as usize;
+            buckets[bucket] += 1;
+        }
+        CandidateStats {
+            file_count,
+            small_file_count: small,
+            small_bytes,
+            total_bytes: total,
+            target_file_size: target,
+            size_histogram: buckets
+                .iter()
+                .enumerate()
+                .map(|(i, count)| SizeBucket {
+                    upper_bytes: (i < 7).then(|| (i as u64 + 1) * target / 4),
+                    count: *count,
+                })
+                .collect(),
+            ..CandidateStats::default()
+        }
+    }
+
+    fn dirty_set(&self) -> Vec<u64> {
+        let n = self.tables.len() as u64;
+        (0..n / DIRTY_DIVISOR)
+            .map(|i| i * DIRTY_DIVISOR % n)
+            .collect()
+    }
+}
+
+/// The chatty tier: every stats call is a fresh round-trip paying the
+/// catalog-session overhead.
+struct PerCallLake<'a>(&'a SyntheticLake);
+
+impl LakeConnector for PerCallLake<'_> {
+    fn list_tables(&self) -> Vec<TableRef> {
+        self.0.tables.clone()
+    }
+    fn table_stats(&self, uid: u64) -> Option<CandidateStats> {
+        Some(self.0.fetch(uid, SESSION_STEPS))
+    }
+    fn partition_stats(&self, _uid: u64) -> Vec<(String, CandidateStats)> {
+        Vec::new()
+    }
+    fn fleet_cursor(&self) -> Option<ChangeCursor> {
+        Some(ChangeCursor(0))
+    }
+    fn changes_since(&self, _cursor: ChangeCursor) -> Option<Vec<u64>> {
+        Some(self.0.dirty_set())
+    }
+}
+
+/// The batch tier: the connector holds its catalog session across the
+/// batch, so fetches pay only the manifest walk (and fan out over scoped
+/// threads where cores allow).
+struct SessionLake<'a>(&'a SyntheticLake);
+
+impl BatchLakeConnector for SessionLake<'_> {
+    fn list_tables(&self) -> Vec<TableRef> {
+        self.0.tables.clone()
+    }
+    fn table_stats(&self, uid: u64) -> Option<CandidateStats> {
+        Some(self.0.fetch(uid, 0))
+    }
+    fn partition_stats(&self, _uid: u64) -> Vec<(String, CandidateStats)> {
+        Vec::new()
+    }
+    fn fleet_cursor(&self) -> Option<ChangeCursor> {
+        Some(ChangeCursor(0))
+    }
+    fn changes_since(&self, _cursor: ChangeCursor) -> Option<Vec<u64>> {
+        Some(self.0.dirty_set())
+    }
+}
+
+fn bench_observe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("observe");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let n = 100_000u64;
+    let lake = SyntheticLake::new(n);
+
+    // Baseline: the historical chatty per-table pull protocol.
+    let chatty = PerCallLake(&lake);
+    group.bench_with_input(BenchmarkId::new("tables_pull", n), &n, |b, _| {
+        b.iter(|| chatty.observe(&ObserveRequest::fresh(ScopeStrategy::Table)))
+    });
+
+    // Cold batched observe: session amortized, fetches fan out.
+    let batch = SessionLake(&lake);
+    group.bench_with_input(BenchmarkId::new("tables", n), &n, |b, _| {
+        b.iter(|| batch.observe(&ObserveRequest::fresh(ScopeStrategy::Table)))
+    });
+
+    // Incremental observe: 1% dirty, the rest reused from the prior.
+    let prior = batch.observe(&ObserveRequest::fresh(ScopeStrategy::Table));
+    group.bench_with_input(BenchmarkId::new("tables_incremental", n), &n, |b, _| {
+        b.iter(|| batch.observe(&ObserveRequest::incremental(ScopeStrategy::Table, &prior)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_observe);
+criterion_main!(benches);

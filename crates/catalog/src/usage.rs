@@ -62,9 +62,26 @@ impl TableUsage {
         self.recent_writes.len() as u64
     }
 
+    /// Read-only twin of [`writes_in_window`](Self::writes_in_window):
+    /// counts against the cutoff without pruning, for shared (`&self`)
+    /// readers like the batch-tier connector. Always agrees with the
+    /// mutating version for the same `now_ms`.
+    pub fn writes_in_window_at(&self, now_ms: u64) -> u64 {
+        let cutoff = now_ms.saturating_sub(self.window_ms);
+        self.recent_writes.iter().filter(|&&w| w >= cutoff).count() as u64
+    }
+
     /// Write frequency in writes/hour over the rolling window.
     pub fn write_frequency_per_hour(&mut self, now_ms: u64) -> f64 {
-        let writes = self.writes_in_window(now_ms) as f64;
+        self.prune(now_ms);
+        self.write_frequency_per_hour_at(now_ms)
+    }
+
+    /// Read-only twin of
+    /// [`write_frequency_per_hour`](Self::write_frequency_per_hour) for
+    /// shared readers; identical result, no pruning.
+    pub fn write_frequency_per_hour_at(&self, now_ms: u64) -> f64 {
+        let writes = self.writes_in_window_at(now_ms) as f64;
         let hours = self.window_ms as f64 / 3_600_000.0;
         if hours <= 0.0 {
             0.0
@@ -134,6 +151,22 @@ mod tests {
         }
         let f = u.write_frequency_per_hour(60 * 60_000);
         assert!((f - 3.0).abs() < 1e-12, "{f}");
+    }
+
+    #[test]
+    fn read_only_twins_agree_with_mutating_accessors() {
+        let mut u = TableUsage::new(0, HOUR);
+        for i in 0..5 {
+            u.record_write(i * 20 * 60_000);
+        }
+        for now in [0, 30 * 60_000, HOUR, 2 * HOUR, 3 * HOUR] {
+            let frozen = u.clone();
+            assert_eq!(frozen.writes_in_window_at(now), u.writes_in_window(now));
+            assert_eq!(
+                frozen.write_frequency_per_hour_at(now),
+                u.write_frequency_per_hour(now)
+            );
+        }
     }
 
     #[test]

@@ -5,38 +5,63 @@
 //! integration: AutoComp as "a standalone component that supports both
 //! push and pull operations" against the control plane.
 //!
-//! * [`LakesimConnector`] implements [`autocomp::LakeConnector`]: it lists
-//!   catalog tables and converts LST/catalog/storage state into the
-//!   standardized [`autocomp::CandidateStats`] layout, including the
-//!   quota signal (§7) and the optional partition-aware
-//!   `planned_reduction` estimate (§7's estimator refinement).
+//! The observe side comes in the two tiers of the batched API:
+//!
+//! * [`LakesimConnector`] implements [`autocomp::LakeConnector`]
+//!   (single-threaded tier over `Rc<RefCell<SimEnv>>`): it lists catalog
+//!   tables and converts LST/catalog/storage state into the standardized
+//!   [`autocomp::CandidateStats`] layout — quota signal (§7) memoized
+//!   once per database per batch, database names interned — and surfaces
+//!   the engine's commit changelog as a change cursor, so
+//!   `observe(&ObserveRequest)` with a prior observation re-fetches only
+//!   the tables written since the last cycle (§5's optimize-after-write
+//!   mode without full-fleet observe cost). Incremental caveat: reused
+//!   entries keep the prior cycle's quota signal and write-frequency
+//!   values for quiet tables (bounded staleness, see
+//!   `autocomp::observe`'s staleness contract); interleave cold observes
+//!   when exact fleetwide quota pressure matters.
+//! * [`BatchLakesimConnector`] implements
+//!   [`autocomp::BatchLakeConnector`] (the `Sync` tier over
+//!   [`SyncSharedEnv`], an `Arc<RwLock<SimEnv>>`): identical stats,
+//!   produced under read locks so `observe()` fans stats production out
+//!   over scoped threads. Both tiers share the read-only builders in the
+//!   private `stats` module and are parity-tested bit-identical.
+//!
+//! The act side is unchanged in shape:
+//!
 //! * [`LakesimExecutor`] implements [`autocomp::CompactionExecutor`]: it
 //!   plans bin-pack rewrites at the candidate's scope and submits them to
-//!   the engine's compaction cluster.
+//!   the engine's compaction cluster. Executed rewrites land in the
+//!   engine changelog, so incremental observers automatically re-fetch
+//!   compacted tables next cycle.
 //! * [`FeedbackBridge`] streams completed maintenance records back into
 //!   the pipeline's estimation feedback (§3.3's act→observe loop).
 //! * [`hooks`] evaluates optimize-after-write hooks against just-written
-//!   tables (§5 push mode).
+//!   tables (§5 push mode) and can feed `MarkDirty` decisions straight
+//!   into a [`autocomp::FleetObserver`].
 //!
-//! Both halves share the [`SimEnv`] through an `Rc<RefCell<_>>`: the
-//! pipeline's observe phase reads while the act phase mutates, strictly
-//! sequentially (single-threaded simulation, NFR2).
+//! The sequential tier shares the [`SimEnv`] through an `Rc<RefCell<_>>`:
+//! the pipeline's observe phase reads while the act phase mutates,
+//! strictly sequentially (single-threaded simulation, NFR2).
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod executor;
 pub mod feedback;
 pub mod hooks;
 pub mod observe;
+mod stats;
 
 use std::cell::RefCell;
 use std::rc::Rc;
 
 use lakesim_engine::SimEnv;
 
+pub use batch::{share_sync, BatchLakesimConnector, SyncSharedEnv};
 pub use executor::{ExecutorOptions, LakesimExecutor};
 pub use feedback::FeedbackBridge;
-pub use hooks::evaluate_hook;
+pub use hooks::{evaluate_hook, mark_dirty_from_actions};
 pub use observe::{LakesimConnector, ObserveOptions};
 
 /// Shared handle to the simulation environment.

@@ -1,10 +1,17 @@
 //! The observe-side connector: catalog/LST/storage → `CandidateStats`.
+//!
+//! [`LakesimConnector`] is the single-threaded tier over the shared
+//! `Rc<RefCell<SimEnv>>`. Stats production itself is read-only (shared
+//! with the batch tier through `crate::stats`); per-cycle costs are
+//! amortized with a database-name interner and a per-batch quota memo,
+//! and the engine's commit changelog is surfaced as a change cursor so
+//! incremental (dirty-set) observes re-fetch only written tables.
 
-use std::sync::Arc;
+use std::cell::RefCell;
 
-use autocomp::{CandidateStats, LakeConnector, QuotaSignal, SizeBucket, TableRef};
-use lakesim_lst::{plan_partition_rewrite, plan_table_rewrite, BinPackConfig, TableId, TableStats};
+use autocomp::{CandidateStats, ChangeCursor, LakeConnector, NameInterner, TableRef};
 
+use crate::stats::{self, QuotaCache};
 use crate::SharedEnv;
 
 /// Options controlling stats production.
@@ -28,81 +35,32 @@ impl Default for ObserveOptions {
     }
 }
 
-/// [`LakeConnector`] implementation over the simulated lake.
+/// [`LakeConnector`] implementation over the simulated lake
+/// (single-threaded tier; see [`crate::BatchLakesimConnector`] for the
+/// `Sync` tier).
 pub struct LakesimConnector {
     env: SharedEnv,
     options: ObserveOptions,
+    /// Shares one `Arc<str>` per database across the fleet listing.
+    interner: RefCell<NameInterner>,
+    /// One quota lookup per database per storage epoch, instead of one
+    /// per table/partition candidate.
+    quota: RefCell<QuotaCache>,
 }
 
 impl LakesimConnector {
     /// Creates a connector over a shared environment.
     pub fn new(env: SharedEnv) -> Self {
-        LakesimConnector {
-            env,
-            options: ObserveOptions::default(),
-        }
+        Self::with_options(env, ObserveOptions::default())
     }
 
     /// Creates a connector with custom options.
     pub fn with_options(env: SharedEnv, options: ObserveOptions) -> Self {
-        LakesimConnector { env, options }
-    }
-
-    fn convert(
-        &self,
-        table_stats: &TableStats,
-        created_at_ms: u64,
-        last_write_ms: Option<u64>,
-        write_frequency: f64,
-        quota: Option<QuotaSignal>,
-        planned_reduction: Option<f64>,
-    ) -> CandidateStats {
-        let mut histogram: Vec<SizeBucket> = table_stats
-            .histogram
-            .edges()
-            .iter()
-            .zip(table_stats.histogram.counts())
-            .map(|(edge, count)| SizeBucket {
-                upper_bytes: Some(*edge),
-                count: *count,
-            })
-            .collect();
-        if let Some(overflow) = table_stats
-            .histogram
-            .counts()
-            .get(table_stats.histogram.edges().len())
-        {
-            histogram.push(SizeBucket {
-                upper_bytes: None,
-                count: *overflow,
-            });
-        }
-        let mut stats = CandidateStats {
-            file_count: table_stats.file_count,
-            small_file_count: table_stats.small_file_count,
-            small_bytes: table_stats.small_bytes,
-            total_bytes: table_stats.total_bytes,
-            delete_file_count: table_stats.delete_file_count,
-            partition_count: table_stats.partition_count,
-            target_file_size: table_stats.target_file_size,
-            created_at_ms,
-            last_write_ms,
-            write_frequency_per_hour: write_frequency,
-            quota,
-            size_histogram: histogram,
-            custom: Default::default(),
-        };
-        if let Some(planned) = planned_reduction {
-            stats = stats.with_custom(autocomp::traits::PLANNED_REDUCTION_METRIC, planned);
-        }
-        stats
-    }
-
-    fn bin_pack_config(&self, target_file_size: u64, min_input_files: usize) -> BinPackConfig {
-        BinPackConfig {
-            target_file_size,
-            small_file_fraction: self.options.small_file_fraction,
-            min_input_files,
+        LakesimConnector {
+            env,
+            options,
+            interner: RefCell::new(NameInterner::new()),
+            quota: RefCell::new(QuotaCache::default()),
         }
     }
 }
@@ -110,161 +68,36 @@ impl LakesimConnector {
 impl LakeConnector for LakesimConnector {
     fn list_tables(&self) -> Vec<TableRef> {
         let env = self.env.borrow();
-        env.catalog
-            .table_ids()
-            .into_iter()
-            .filter_map(|id| {
-                let entry = env.catalog.table(id).ok()?;
-                Some(TableRef {
-                    table_uid: id.0,
-                    database: Arc::from(entry.table.database()),
-                    name: Arc::from(entry.table.name()),
-                    partitioned: entry.table.spec().is_partitioned(),
-                    compaction_enabled: entry.policy.compaction_enabled,
-                    is_intermediate: entry.policy.is_intermediate,
-                })
-            })
-            .collect()
+        stats::list_refs(&env, &mut self.interner.borrow_mut())
     }
 
     fn table_stats(&self, table_uid: u64) -> Option<CandidateStats> {
-        let mut env = self.env.borrow_mut();
-        let now = env.clock.now();
-        let id = TableId(table_uid);
-        // Pull usage with mutable access first (frequency pruning), then
-        // read the rest immutably.
-        let (created, last_write, freq) = {
-            let entry = env.catalog.table_mut(id).ok()?;
-            (
-                entry.usage.created_at_ms,
-                entry.usage.last_write_ms,
-                entry.usage.write_frequency_per_hour(now),
-            )
-        };
-        let entry = env.catalog.table(id).ok()?;
-        let target = entry.policy.target_file_size;
-        let stats = entry.table.stats(target);
-        let planned = self.options.compute_planned_estimates.then(|| {
-            let cfg = self.bin_pack_config(target, entry.policy.min_input_files);
-            plan_table_rewrite(&entry.table, &cfg).expected_reduction() as f64
-        });
-        let quota = env
-            .fs
-            .quota_usage(entry.table.database())
-            .ok()
-            .map(|q| QuotaSignal {
-                used: q.used,
-                total: q.quota,
-            });
-        Some(self.convert(&stats, created, last_write, freq, quota, planned))
+        let env = self.env.borrow();
+        let quota = stats::quota_for_table(&env, &mut self.quota.borrow_mut(), table_uid);
+        stats::table_stats(&env, table_uid, &self.options, quota)
     }
 
     fn partition_stats(&self, table_uid: u64) -> Vec<(String, CandidateStats)> {
-        let mut env = self.env.borrow_mut();
-        let now = env.clock.now();
-        let id = TableId(table_uid);
-        let (created, last_write, freq) = match env.catalog.table_mut(id) {
-            Ok(entry) => (
-                entry.usage.created_at_ms,
-                entry.usage.last_write_ms,
-                entry.usage.write_frequency_per_hour(now),
-            ),
-            Err(_) => return Vec::new(),
-        };
-        let Ok(entry) = env.catalog.table(id) else {
-            return Vec::new();
-        };
-        let target = entry.policy.target_file_size;
-        let quota = env
-            .fs
-            .quota_usage(entry.table.database())
-            .ok()
-            .map(|q| QuotaSignal {
-                used: q.used,
-                total: q.quota,
-            });
-        entry
-            .table
-            .partition_keys()
-            .into_iter()
-            .map(|key| {
-                let stats = entry.table.partition_stats(&key, target);
-                let planned = self.options.compute_planned_estimates.then(|| {
-                    let cfg = self.bin_pack_config(target, entry.policy.min_input_files);
-                    plan_partition_rewrite(&entry.table, &key, &cfg).expected_reduction() as f64
-                });
-                (
-                    key.to_string(),
-                    self.convert(&stats, created, last_write, freq, quota, planned),
-                )
-            })
-            .collect()
+        let env = self.env.borrow();
+        let quota = stats::quota_for_table(&env, &mut self.quota.borrow_mut(), table_uid);
+        stats::partition_stats(&env, table_uid, &self.options, quota)
     }
 
     fn snapshot_stats(&self, table_uid: u64, window_ms: u64) -> Option<CandidateStats> {
-        let mut env = self.env.borrow_mut();
-        let now = env.clock.now();
-        let id = TableId(table_uid);
-        let (created, last_write, freq) = {
-            let entry = env.catalog.table_mut(id).ok()?;
-            (
-                entry.usage.created_at_ms,
-                entry.usage.last_write_ms,
-                entry.usage.write_frequency_per_hour(now),
-            )
-        };
-        let entry = env.catalog.table(id).ok()?;
-        let target = entry.policy.target_file_size;
-        let cutoff = now.saturating_sub(window_ms);
-        // Files added by snapshots inside the freshness window, still live.
-        let mut fresh: std::collections::BTreeSet<lakesim_storage::FileId> = Default::default();
-        for snap in entry.table.snapshots() {
-            if snap.timestamp_ms >= cutoff {
-                fresh.extend(snap.added.iter().copied());
-            }
-        }
-        let mut histogram = lakesim_storage::SizeHistogram::new();
-        let mut stats = TableStats {
-            file_count: 0,
-            small_file_count: 0,
-            small_bytes: 0,
-            total_bytes: 0,
-            delete_file_count: 0,
-            partition_count: 0,
-            manifest_count: entry.table.manifests().len() as u64,
-            snapshot_count: entry.table.snapshots().len() as u64,
-            histogram: histogram.clone(),
-            target_file_size: target,
-        };
-        let mut partitions = std::collections::BTreeSet::new();
-        for f in entry.table.live_files() {
-            if !fresh.contains(&f.file_id) {
-                continue;
-            }
-            stats.file_count += 1;
-            stats.total_bytes += f.file_size_bytes;
-            partitions.insert(f.partition.clone());
-            if f.content.is_deletes() {
-                stats.delete_file_count += 1;
-            } else {
-                histogram.record(f.file_size_bytes);
-                if f.file_size_bytes < target {
-                    stats.small_file_count += 1;
-                    stats.small_bytes += f.file_size_bytes;
-                }
-            }
-        }
-        stats.partition_count = partitions.len() as u64;
-        stats.histogram = histogram;
-        let quota = env
-            .fs
-            .quota_usage(entry.table.database())
-            .ok()
-            .map(|q| QuotaSignal {
-                used: q.used,
-                total: q.quota,
-            });
-        Some(self.convert(&stats, created, last_write, freq, quota, None))
+        let env = self.env.borrow();
+        let quota = stats::quota_for_table(&env, &mut self.quota.borrow_mut(), table_uid);
+        stats::snapshot_stats(&env, table_uid, window_ms, quota)
+    }
+
+    fn fleet_cursor(&self) -> Option<ChangeCursor> {
+        Some(ChangeCursor(self.env.borrow().change_cursor()))
+    }
+
+    fn changes_since(&self, cursor: ChangeCursor) -> Option<Vec<u64>> {
+        self.env
+            .borrow()
+            .changes_since(cursor.0)
+            .map(|tables| tables.into_iter().map(|t| t.0).collect())
     }
 }
 
@@ -272,6 +105,7 @@ impl LakeConnector for LakesimConnector {
 mod tests {
     use super::*;
     use crate::share;
+    use autocomp::{FleetObserver, ScopeStrategy};
     use lakesim_catalog::TablePolicy;
     use lakesim_engine::{EnvConfig, FileSizePlan, SimEnv, WriteSpec};
     use lakesim_lst::{
@@ -391,5 +225,65 @@ mod tests {
         let connector = LakesimConnector::new(env);
         assert!(connector.table_stats(999).is_none());
         assert!(connector.partition_stats(999).is_empty());
+    }
+
+    #[test]
+    fn cursor_surfaces_the_engine_changelog() {
+        let (env, uid) = setup();
+        let connector = LakesimConnector::new(env.clone());
+        let cursor = connector.fleet_cursor().unwrap();
+        assert_eq!(connector.changes_since(cursor), Some(Vec::new()));
+        let spec = WriteSpec::insert(
+            lakesim_lst::TableId(uid),
+            PartitionKey::single(PartitionValue::Date(9)),
+            16 * MB,
+            FileSizePlan::trickle(),
+            "query",
+        );
+        {
+            let mut env = env.borrow_mut();
+            let now = env.clock.now();
+            env.submit_write(&spec, now + 1).unwrap();
+            env.drain_all();
+        }
+        assert_eq!(connector.changes_since(cursor), Some(vec![uid]));
+    }
+
+    #[test]
+    fn incremental_observe_reuses_quiet_tables() {
+        let (env, _) = setup();
+        let connector = LakesimConnector::new(env.clone());
+        let mut observer = FleetObserver::new();
+        let first = observer
+            .observe(&connector, ScopeStrategy::Hybrid)
+            .to_candidates();
+        // No writes in between: the second observe reuses everything and
+        // reproduces the same candidates.
+        let second = observer.observe(&connector, ScopeStrategy::Hybrid);
+        assert_eq!(second.reused_tables(), 1);
+        assert_eq!(second.fetched_tables(), 0);
+        assert_eq!(second.to_candidates(), first);
+    }
+
+    #[test]
+    fn quota_memo_invalidates_on_quota_edits() {
+        let (env, uid) = setup();
+        let connector = LakesimConnector::new(env.clone());
+        let before = connector.table_stats(uid).unwrap().quota.unwrap();
+        assert_eq!(before.total, 100_000);
+        // A quota edit with no file churn must still bust the memo.
+        env.borrow_mut().fs.set_quota("db", Some(50_000)).unwrap();
+        let after = connector.table_stats(uid).unwrap().quota.unwrap();
+        assert_eq!(after.total, 50_000);
+        assert_eq!(after.used, before.used);
+    }
+
+    #[test]
+    fn shared_names_are_interned_across_listings() {
+        let (env, _) = setup();
+        let connector = LakesimConnector::new(env);
+        let a = connector.list_tables();
+        let b = connector.list_tables();
+        assert!(std::sync::Arc::ptr_eq(&a[0].database, &b[0].database));
     }
 }

@@ -1,0 +1,265 @@
+//! Shared, read-only candidate-stats production over a [`SimEnv`].
+//!
+//! Both observe tiers — the single-threaded [`LakesimConnector`] (one
+//! `Rc<RefCell<SimEnv>>`) and the `Sync` [`BatchLakesimConnector`] (an
+//! `Arc<RwLock<SimEnv>>`) — produce identical [`CandidateStats`] through
+//! these builders. Everything here takes `&SimEnv`: the historical
+//! mutable accesses (usage-window pruning) are replaced with the
+//! catalog's read-only twins, which is what lets the batch tier fan
+//! stats production out over threads holding only read locks.
+//!
+//! [`LakesimConnector`]: crate::LakesimConnector
+//! [`BatchLakesimConnector`]: crate::BatchLakesimConnector
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use autocomp::{CandidateStats, NameInterner, QuotaSignal, SizeBucket, TableRef};
+use lakesim_engine::SimEnv;
+use lakesim_lst::{plan_partition_rewrite, plan_table_rewrite, BinPackConfig, TableId, TableStats};
+
+use crate::observe::ObserveOptions;
+
+/// Converts lakesim's [`TableStats`] into the standardized layout.
+pub(crate) fn convert(
+    table_stats: &TableStats,
+    created_at_ms: u64,
+    last_write_ms: Option<u64>,
+    write_frequency: f64,
+    quota: Option<QuotaSignal>,
+    planned_reduction: Option<f64>,
+) -> CandidateStats {
+    let mut histogram: Vec<SizeBucket> = table_stats
+        .histogram
+        .edges()
+        .iter()
+        .zip(table_stats.histogram.counts())
+        .map(|(edge, count)| SizeBucket {
+            upper_bytes: Some(*edge),
+            count: *count,
+        })
+        .collect();
+    if let Some(overflow) = table_stats
+        .histogram
+        .counts()
+        .get(table_stats.histogram.edges().len())
+    {
+        histogram.push(SizeBucket {
+            upper_bytes: None,
+            count: *overflow,
+        });
+    }
+    let mut stats = CandidateStats {
+        file_count: table_stats.file_count,
+        small_file_count: table_stats.small_file_count,
+        small_bytes: table_stats.small_bytes,
+        total_bytes: table_stats.total_bytes,
+        delete_file_count: table_stats.delete_file_count,
+        partition_count: table_stats.partition_count,
+        target_file_size: table_stats.target_file_size,
+        created_at_ms,
+        last_write_ms,
+        write_frequency_per_hour: write_frequency,
+        quota,
+        size_histogram: histogram,
+        custom: Default::default(),
+    };
+    if let Some(planned) = planned_reduction {
+        stats = stats.with_custom(autocomp::traits::PLANNED_REDUCTION_METRIC, planned);
+    }
+    stats
+}
+
+fn bin_pack_config(options: &ObserveOptions, target: u64, min_input_files: usize) -> BinPackConfig {
+    BinPackConfig {
+        target_file_size: target,
+        small_file_fraction: options.small_file_fraction,
+        min_input_files,
+    }
+}
+
+/// Lists the catalog's tables as [`TableRef`]s, sharing database-name
+/// allocations through `interner` (one `Arc<str>` per database instead of
+/// one per table per cycle).
+pub(crate) fn list_refs(env: &SimEnv, interner: &mut NameInterner) -> Vec<TableRef> {
+    env.catalog
+        .table_ids()
+        .into_iter()
+        .filter_map(|id| {
+            let entry = env.catalog.table(id).ok()?;
+            Some(TableRef {
+                table_uid: id.0,
+                database: interner.get_or_intern(entry.table.database()),
+                name: Arc::from(entry.table.name()),
+                partitioned: entry.table.spec().is_partitioned(),
+                compaction_enabled: entry.policy.compaction_enabled,
+                is_intermediate: entry.policy.is_intermediate,
+            })
+        })
+        .collect()
+}
+
+/// Read-only table-scope stats; `None` if the table vanished.
+pub(crate) fn table_stats(
+    env: &SimEnv,
+    table_uid: u64,
+    options: &ObserveOptions,
+    quota: Option<QuotaSignal>,
+) -> Option<CandidateStats> {
+    let now = env.clock.now();
+    let entry = env.catalog.table(TableId(table_uid)).ok()?;
+    let target = entry.policy.target_file_size;
+    let stats = entry.table.stats(target);
+    let planned = options.compute_planned_estimates.then(|| {
+        let cfg = bin_pack_config(options, target, entry.policy.min_input_files);
+        plan_table_rewrite(&entry.table, &cfg).expected_reduction() as f64
+    });
+    Some(convert(
+        &stats,
+        entry.usage.created_at_ms,
+        entry.usage.last_write_ms,
+        entry.usage.write_frequency_per_hour_at(now),
+        quota,
+        planned,
+    ))
+}
+
+/// Read-only per-partition stats; empty if the table vanished or is
+/// unpartitioned.
+pub(crate) fn partition_stats(
+    env: &SimEnv,
+    table_uid: u64,
+    options: &ObserveOptions,
+    quota: Option<QuotaSignal>,
+) -> Vec<(String, CandidateStats)> {
+    let now = env.clock.now();
+    let Ok(entry) = env.catalog.table(TableId(table_uid)) else {
+        return Vec::new();
+    };
+    let target = entry.policy.target_file_size;
+    let created = entry.usage.created_at_ms;
+    let last_write = entry.usage.last_write_ms;
+    let freq = entry.usage.write_frequency_per_hour_at(now);
+    entry
+        .table
+        .partition_keys()
+        .into_iter()
+        .map(|key| {
+            let stats = entry.table.partition_stats(&key, target);
+            let planned = options.compute_planned_estimates.then(|| {
+                let cfg = bin_pack_config(options, target, entry.policy.min_input_files);
+                plan_partition_rewrite(&entry.table, &key, &cfg).expected_reduction() as f64
+            });
+            (
+                key.to_string(),
+                convert(&stats, created, last_write, freq, quota, planned),
+            )
+        })
+        .collect()
+}
+
+/// Read-only snapshot-window stats (§4.1 snapshot scope): files added by
+/// snapshots within `window_ms` of now that are still live.
+pub(crate) fn snapshot_stats(
+    env: &SimEnv,
+    table_uid: u64,
+    window_ms: u64,
+    quota: Option<QuotaSignal>,
+) -> Option<CandidateStats> {
+    let now = env.clock.now();
+    let entry = env.catalog.table(TableId(table_uid)).ok()?;
+    let target = entry.policy.target_file_size;
+    let cutoff = now.saturating_sub(window_ms);
+    let mut fresh: std::collections::BTreeSet<lakesim_storage::FileId> = Default::default();
+    for snap in entry.table.snapshots() {
+        if snap.timestamp_ms >= cutoff {
+            fresh.extend(snap.added.iter().copied());
+        }
+    }
+    let mut histogram = lakesim_storage::SizeHistogram::new();
+    let mut stats = TableStats {
+        file_count: 0,
+        small_file_count: 0,
+        small_bytes: 0,
+        total_bytes: 0,
+        delete_file_count: 0,
+        partition_count: 0,
+        manifest_count: entry.table.manifests().len() as u64,
+        snapshot_count: entry.table.snapshots().len() as u64,
+        histogram: histogram.clone(),
+        target_file_size: target,
+    };
+    let mut partitions = std::collections::BTreeSet::new();
+    for f in entry.table.live_files() {
+        if !fresh.contains(&f.file_id) {
+            continue;
+        }
+        stats.file_count += 1;
+        stats.total_bytes += f.file_size_bytes;
+        partitions.insert(f.partition.clone());
+        if f.content.is_deletes() {
+            stats.delete_file_count += 1;
+        } else {
+            histogram.record(f.file_size_bytes);
+            if f.file_size_bytes < target {
+                stats.small_file_count += 1;
+                stats.small_bytes += f.file_size_bytes;
+            }
+        }
+    }
+    stats.partition_count = partitions.len() as u64;
+    stats.histogram = histogram;
+    Some(convert(
+        &stats,
+        entry.usage.created_at_ms,
+        entry.usage.last_write_ms,
+        entry.usage.write_frequency_per_hour_at(now),
+        quota,
+        None,
+    ))
+}
+
+/// Memoizes per-database quota signals across the candidates of one
+/// observe batch: the historical path re-read `fs.quota_usage` once per
+/// table (and once per partitioned table's candidate set), which at fleet
+/// scale is thousands of identical lookups per cycle. Entries are keyed
+/// by an epoch of the storage layer's cumulative create/delete counters
+/// plus its namespace-config counter, so any quota-changing event —
+/// file churn or a `set_quota` edit — invalidates the memo while an
+/// unchanged lake reuses it across cycles.
+#[derive(Debug, Default)]
+pub(crate) struct QuotaCache {
+    epoch: (u64, u64, u64),
+    by_db: BTreeMap<String, Option<QuotaSignal>>,
+}
+
+impl QuotaCache {
+    /// Quota signal for `database`, from the memo when the epoch matches.
+    pub(crate) fn get(&mut self, env: &SimEnv, database: &str) -> Option<QuotaSignal> {
+        let rpc = env.fs.rpc_counters();
+        let epoch = (rpc.creates, rpc.deletes, env.fs.config_epoch());
+        if epoch != self.epoch {
+            self.by_db.clear();
+            self.epoch = epoch;
+        }
+        if let Some(cached) = self.by_db.get(database) {
+            return *cached;
+        }
+        let quota = env.fs.quota_usage(database).ok().map(|q| QuotaSignal {
+            used: q.used,
+            total: q.quota,
+        });
+        self.by_db.insert(database.to_string(), quota);
+        quota
+    }
+}
+
+/// Resolves the database of `table_uid` and its (memoized) quota signal.
+pub(crate) fn quota_for_table(
+    env: &SimEnv,
+    cache: &mut QuotaCache,
+    table_uid: u64,
+) -> Option<QuotaSignal> {
+    let entry = env.catalog.table(TableId(table_uid)).ok()?;
+    cache.get(env, entry.table.database())
+}

@@ -2,13 +2,40 @@
 //!
 //! NFR3 (cross-platform compatibility): "AutoComp can interface with
 //! different catalogs or LSTs through connectors that feed data into the
-//! system according to a consistent data model." These two traits *are*
-//! that consistent data model: one for observation, one for action.
+//! system according to a consistent data model." These traits *are* that
+//! consistent data model: two observation tiers and one action trait.
+//!
+//! # The two observe tiers
+//!
+//! * [`LakeConnector`] — the single-threaded tier. Implementors provide
+//!   the per-table primitives (`list_tables` + `*_stats`) and inherit a
+//!   batched [`observe`](LakeConnector::observe) entry point for free:
+//!   the default drives the historical per-table pull protocol and adds
+//!   incremental (dirty-set) reuse whenever the connector reports a
+//!   [`ChangeCursor`]. Every pre-batch connector keeps working unchanged.
+//! * [`BatchLakeConnector`] — the `Sync` tier for lakes whose stats can
+//!   be produced concurrently. Same per-table primitives, but `observe`
+//!   fans stats production out over scoped threads
+//!   ([`batch_observe`](crate::observe::batch_observe)), position-stable
+//!   and therefore bit-identical to the sequential tier.
+//!
+//! Adapters bridge the tiers both ways: [`BatchAsLake`] lets batch-tier
+//! connectors flow into APIs that take the single-threaded trait
+//! (keeping the parallel observe), and [`SyncAsBatch`] promotes any
+//! `Sync` single-threaded connector into the batch tier.
+//!
+//! Cycles consume connectors through [`FleetObservation`] values
+//! returned by `observe` — one batched round-trip per cycle instead of
+//! one call per table, which is what lets the OODA cadence survive
+//! 100K-table fleets (§6–§7).
 
 use crate::candidate::{Candidate, TableRef};
+use crate::observe::{self, ChangeCursor, FleetObservation, ObserveRequest};
 use crate::stats::CandidateStats;
 
-/// Read-side connector: lists tables and produces candidate statistics.
+/// Read-side connector, single-threaded tier: lists tables and produces
+/// candidate statistics one table at a time, with a batched
+/// [`observe`](Self::observe) default built on top.
 pub trait LakeConnector {
     /// All tables AutoComp may consider, in a deterministic order.
     fn list_tables(&self) -> Vec<TableRef>;
@@ -25,6 +52,179 @@ pub trait LakeConnector {
     /// the snapshot scope of §4.1. Default: unsupported.
     fn snapshot_stats(&self, _table_uid: u64, _window_ms: u64) -> Option<CandidateStats> {
         None
+    }
+
+    /// Current position in the lake's change stream, recorded on each
+    /// observation so the next cycle can ask for the delta. Default:
+    /// `None` (no changelog; every observe is a full fetch).
+    fn fleet_cursor(&self) -> Option<ChangeCursor> {
+        None
+    }
+
+    /// Uids of tables written at or after `cursor`. `None` means the
+    /// connector cannot answer (changelog unsupported, or the cursor
+    /// predates its retention) and the caller must fall back to a full
+    /// observe. Default: `None`.
+    fn changes_since(&self, _cursor: ChangeCursor) -> Option<Vec<u64>> {
+        None
+    }
+
+    /// Batched observe: one call captures the whole fleet's descriptors
+    /// and stats as a [`FleetObservation`]. The default implementation
+    /// drives the per-table pull protocol above — sequential, in listing
+    /// order — and reuses the prior observation's entries for tables the
+    /// changelog proves untouched. Connectors with a cheaper native path
+    /// (a batch RPC, a columnar stats table) should override it; the
+    /// parity contract is that for identical lake state the result must
+    /// equal the default's.
+    fn observe(&self, request: &ObserveRequest<'_>) -> FleetObservation {
+        observe::pull_observe(self, request)
+    }
+}
+
+/// Read-side connector, batch tier: the same per-table primitives as
+/// [`LakeConnector`] but `Sync`, so the provided
+/// [`observe`](Self::observe) can fan stats production out over scoped
+/// threads. Implement this tier when stats can be produced concurrently
+/// (shared snapshots, `RwLock`-guarded state, remote catalogs).
+pub trait BatchLakeConnector: Sync {
+    /// All tables AutoComp may consider, in a deterministic order.
+    fn list_tables(&self) -> Vec<TableRef>;
+
+    /// Table-scope statistics; `None` if the table vanished.
+    fn table_stats(&self, table_uid: u64) -> Option<CandidateStats>;
+
+    /// Per-partition statistics, keyed by opaque labels; empty for
+    /// unpartitioned tables.
+    fn partition_stats(&self, table_uid: u64) -> Vec<(String, CandidateStats)>;
+
+    /// Snapshot-window statistics (§4.1). Default: unsupported.
+    fn snapshot_stats(&self, _table_uid: u64, _window_ms: u64) -> Option<CandidateStats> {
+        None
+    }
+
+    /// Current change-stream position; see
+    /// [`LakeConnector::fleet_cursor`]. Default: `None`.
+    fn fleet_cursor(&self) -> Option<ChangeCursor> {
+        None
+    }
+
+    /// Tables written since `cursor`; see
+    /// [`LakeConnector::changes_since`]. Default: `None`.
+    fn changes_since(&self, _cursor: ChangeCursor) -> Option<Vec<u64>> {
+        None
+    }
+
+    /// Batched observe with parallel stats fan-out. Position-stable: the
+    /// result is bit-identical to the sequential tier's over the same
+    /// lake state, regardless of thread count (NFR2).
+    fn observe(&self, request: &ObserveRequest<'_>) -> FleetObservation {
+        observe::batch_observe(self, request)
+    }
+}
+
+impl<C: LakeConnector + ?Sized> LakeConnector for &C {
+    fn list_tables(&self) -> Vec<TableRef> {
+        (**self).list_tables()
+    }
+    fn table_stats(&self, table_uid: u64) -> Option<CandidateStats> {
+        (**self).table_stats(table_uid)
+    }
+    fn partition_stats(&self, table_uid: u64) -> Vec<(String, CandidateStats)> {
+        (**self).partition_stats(table_uid)
+    }
+    fn snapshot_stats(&self, table_uid: u64, window_ms: u64) -> Option<CandidateStats> {
+        (**self).snapshot_stats(table_uid, window_ms)
+    }
+    fn fleet_cursor(&self) -> Option<ChangeCursor> {
+        (**self).fleet_cursor()
+    }
+    fn changes_since(&self, cursor: ChangeCursor) -> Option<Vec<u64>> {
+        (**self).changes_since(cursor)
+    }
+    fn observe(&self, request: &ObserveRequest<'_>) -> FleetObservation {
+        (**self).observe(request)
+    }
+}
+
+impl<C: BatchLakeConnector + ?Sized> BatchLakeConnector for &C {
+    fn list_tables(&self) -> Vec<TableRef> {
+        (**self).list_tables()
+    }
+    fn table_stats(&self, table_uid: u64) -> Option<CandidateStats> {
+        (**self).table_stats(table_uid)
+    }
+    fn partition_stats(&self, table_uid: u64) -> Vec<(String, CandidateStats)> {
+        (**self).partition_stats(table_uid)
+    }
+    fn snapshot_stats(&self, table_uid: u64, window_ms: u64) -> Option<CandidateStats> {
+        (**self).snapshot_stats(table_uid, window_ms)
+    }
+    fn fleet_cursor(&self) -> Option<ChangeCursor> {
+        (**self).fleet_cursor()
+    }
+    fn changes_since(&self, cursor: ChangeCursor) -> Option<Vec<u64>> {
+        (**self).changes_since(cursor)
+    }
+    fn observe(&self, request: &ObserveRequest<'_>) -> FleetObservation {
+        (**self).observe(request)
+    }
+}
+
+/// Adapts a batch-tier connector to the single-threaded trait, so it can
+/// flow into APIs written against `&dyn LakeConnector`. The `observe`
+/// override keeps the parallel fan-out.
+#[derive(Debug, Clone)]
+pub struct BatchAsLake<C>(pub C);
+
+impl<C: BatchLakeConnector> LakeConnector for BatchAsLake<C> {
+    fn list_tables(&self) -> Vec<TableRef> {
+        self.0.list_tables()
+    }
+    fn table_stats(&self, table_uid: u64) -> Option<CandidateStats> {
+        self.0.table_stats(table_uid)
+    }
+    fn partition_stats(&self, table_uid: u64) -> Vec<(String, CandidateStats)> {
+        self.0.partition_stats(table_uid)
+    }
+    fn snapshot_stats(&self, table_uid: u64, window_ms: u64) -> Option<CandidateStats> {
+        self.0.snapshot_stats(table_uid, window_ms)
+    }
+    fn fleet_cursor(&self) -> Option<ChangeCursor> {
+        self.0.fleet_cursor()
+    }
+    fn changes_since(&self, cursor: ChangeCursor) -> Option<Vec<u64>> {
+        self.0.changes_since(cursor)
+    }
+    fn observe(&self, request: &ObserveRequest<'_>) -> FleetObservation {
+        self.0.observe(request)
+    }
+}
+
+/// Promotes a `Sync` single-threaded connector into the batch tier,
+/// unlocking parallel stats fan-out for connectors whose state is already
+/// shareable (stateless synthetics, snapshot-backed readers).
+#[derive(Debug, Clone)]
+pub struct SyncAsBatch<C>(pub C);
+
+impl<C: LakeConnector + Sync> BatchLakeConnector for SyncAsBatch<C> {
+    fn list_tables(&self) -> Vec<TableRef> {
+        self.0.list_tables()
+    }
+    fn table_stats(&self, table_uid: u64) -> Option<CandidateStats> {
+        self.0.table_stats(table_uid)
+    }
+    fn partition_stats(&self, table_uid: u64) -> Vec<(String, CandidateStats)> {
+        self.0.partition_stats(table_uid)
+    }
+    fn snapshot_stats(&self, table_uid: u64, window_ms: u64) -> Option<CandidateStats> {
+        self.0.snapshot_stats(table_uid, window_ms)
+    }
+    fn fleet_cursor(&self) -> Option<ChangeCursor> {
+        self.0.fleet_cursor()
+    }
+    fn changes_since(&self, cursor: ChangeCursor) -> Option<Vec<u64>> {
+        self.0.changes_since(cursor)
     }
 }
 
@@ -73,6 +273,7 @@ pub trait CompactionExecutor {
 mod tests {
     use super::*;
     use crate::candidate::CandidateId;
+    use crate::scope::ScopeStrategy;
 
     /// A minimal in-memory connector proving the traits are object-safe
     /// and implementable without any lake at all.
@@ -121,9 +322,8 @@ mod tests {
         }
     }
 
-    #[test]
-    fn traits_are_object_safe_and_usable() {
-        let lake = StaticLake {
+    fn one_table_lake() -> StaticLake {
+        StaticLake {
             tables: vec![TableRef {
                 table_uid: 1,
                 database: "db".into(),
@@ -132,12 +332,19 @@ mod tests {
                 compaction_enabled: true,
                 is_intermediate: false,
             }],
-        };
+        }
+    }
+
+    #[test]
+    fn traits_are_object_safe_and_usable() {
+        let lake = one_table_lake();
         let dyn_lake: &dyn LakeConnector = &lake;
         assert_eq!(dyn_lake.list_tables().len(), 1);
         assert!(dyn_lake.table_stats(1).is_some());
         assert!(dyn_lake.table_stats(2).is_none());
         assert!(dyn_lake.snapshot_stats(1, 1000).is_none());
+        assert!(dyn_lake.fleet_cursor().is_none());
+        assert!(dyn_lake.changes_since(ChangeCursor(0)).is_none());
 
         let mut exec = CountingExecutor { calls: 0 };
         let table = &dyn_lake.list_tables()[0];
@@ -158,5 +365,28 @@ mod tests {
         assert!(result.scheduled);
         assert_eq!(result.commit_due_ms, Some(1000));
         assert_eq!(exec.calls, 1);
+    }
+
+    #[test]
+    fn blanket_observe_works_through_a_trait_object() {
+        let lake = one_table_lake();
+        let dyn_lake: &dyn LakeConnector = &lake;
+        let obs = dyn_lake.observe(&ObserveRequest::fresh(ScopeStrategy::Table));
+        assert_eq!(obs.table_count(), 1);
+        assert_eq!(obs.candidate_count(), 1);
+        assert!(obs.cursor().is_none());
+    }
+
+    #[test]
+    fn adapters_bridge_both_tiers() {
+        let batch = SyncAsBatch(one_table_lake());
+        let dyn_batch: &dyn BatchLakeConnector = &batch;
+        let obs = dyn_batch.observe(&ObserveRequest::fresh(ScopeStrategy::Table));
+        assert_eq!(obs.candidate_count(), 1);
+
+        let back = BatchAsLake(SyncAsBatch(one_table_lake()));
+        let dyn_lake: &dyn LakeConnector = &back;
+        let obs2 = dyn_lake.observe(&ObserveRequest::fresh(ScopeStrategy::Table));
+        assert_eq!(obs.to_candidates(), obs2.to_candidates());
     }
 }

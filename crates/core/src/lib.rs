@@ -4,10 +4,13 @@
 //! automatic, scalable data compaction of log-structured tables,
 //! structured as an 'Observe, Orient, Decide, Act' (OODA) loop (§3.3):
 //!
-//! * **Observe** — [`scope`] generates compaction *candidates* (table /
-//!   partition / hybrid scope, FR1) and fills them with a standardized
-//!   statistics layout ([`stats::CandidateStats`], §4.1) fetched through a
-//!   platform-agnostic [`connector::LakeConnector`] (NFR3).
+//! * **Observe** — one batched `observe()` call captures the fleet as a
+//!   [`observe::FleetObservation`]: table descriptors plus a standardized
+//!   statistics layout ([`stats::CandidateStats`], §4.1) at the
+//!   configured candidate scope (table / partition / hybrid / snapshot,
+//!   FR1), fetched through a platform-agnostic connector tier (NFR3) and
+//!   consumed by index. [`scope`] materializes the observation into
+//!   candidates.
 //! * **Orient** — [`traits`] computes decision *traits* from those
 //!   statistics: benefit traits (file-count reduction ΔF, file entropy)
 //!   and cost traits (compute cost GBHr), §4.2.
@@ -25,6 +28,28 @@
 //! optimize-after-write); [`feedback`] closes the loop with predicted-vs-
 //! actual estimator accuracy (§7). Every phase is deterministic and every
 //! cycle produces an explainable [`pipeline::CycleReport`] (NFR2).
+//!
+//! # The batched, snapshot-oriented observe path
+//!
+//! The observe side is a two-tier connector API (see [`connector`]):
+//!
+//! * [`connector::LakeConnector`] — the single-threaded tier. Connectors
+//!   implement the per-table primitives and inherit a batched
+//!   `observe(&ObserveRequest) -> FleetObservation` entry point that
+//!   drives the historical per-table pull protocol, so every pre-batch
+//!   connector keeps working unchanged.
+//! * [`connector::BatchLakeConnector`] — the `Sync` tier: same
+//!   primitives, but stats production fans out over scoped threads in
+//!   position-stable chunks, bit-identical to the sequential tier.
+//!   [`connector::BatchAsLake`] / [`connector::SyncAsBatch`] adapt
+//!   between the tiers.
+//!
+//! Observations are snapshots that persist across cycles: a connector
+//! with a change cursor ([`observe::ChangeCursor`], fed by after-write
+//! hooks and executed compactions) lets [`observe::FleetObserver`] run
+//! **incremental** cycles that re-fetch stats only for tables written
+//! since the prior cycle — the §5 optimize-after-write mode stops paying
+//! full-fleet observe cost.
 //!
 //! # The columnar decide path
 //!
@@ -66,6 +91,7 @@ pub mod error;
 pub mod feedback;
 pub mod filter;
 pub mod matrix;
+pub mod observe;
 mod par;
 pub mod pipeline;
 pub mod rank;
@@ -77,7 +103,10 @@ pub mod traits;
 pub mod trigger;
 
 pub use candidate::{Candidate, CandidateId, ScopeKind, TableRef};
-pub use connector::{CompactionExecutor, ExecutionResult, LakeConnector, Prediction};
+pub use connector::{
+    BatchAsLake, BatchLakeConnector, CompactionExecutor, ExecutionResult, LakeConnector,
+    Prediction, SyncAsBatch,
+};
 pub use error::AutoCompError;
 pub use feedback::{EstimationFeedback, FeedbackRecord};
 pub use filter::{
@@ -85,6 +114,9 @@ pub use filter::{
     IntermediateTableFilter, MinSizeFilter, RecentWriteActivityFilter, RecentlyCreatedFilter,
 };
 pub use matrix::{TraitId, TraitMatrix};
+pub use observe::{
+    ChangeCursor, FleetObservation, FleetObserver, NameInterner, ObserveRequest, TableObservation,
+};
 pub use pipeline::{AutoComp, AutoCompConfig, CycleReport};
 pub use rank::{DecisionNote, RankedEntry, RankingPolicy, TraitWeight, RANKED_PREFIX_MIN};
 pub use schedule::{

@@ -1,0 +1,994 @@
+//! The batched, snapshot-oriented observe API.
+//!
+//! The original connector protocol was a chatty per-table pull: one
+//! `list_tables()` round-trip, then one `table_stats()` /
+//! `partition_stats()` call per table. At the paper's fleet scale (§6–§7,
+//! 21K → 100K tables per cycle) that shape caps the OODA cadence: stats
+//! production cannot fan out, nothing is reused between cycles, and every
+//! cycle pays the full-fleet cost even when almost nothing changed.
+//!
+//! This module replaces that protocol with a single entry point,
+//! `observe(&ObserveRequest) -> FleetObservation`:
+//!
+//! * [`FleetObservation`] is a self-contained snapshot of the fleet —
+//!   table descriptors plus per-table stats, indexed positionally, with
+//!   `Arc<str>`-shared names — that [`to_candidates`] and the pipeline
+//!   consume by index.
+//! * [`ObserveRequest`] carries the scope strategy and, optionally, the
+//!   *prior* observation. When the connector supports a change cursor
+//!   ([`ChangeCursor`], fed by after-write hooks and the executor's commit
+//!   log), an incremental observe re-fetches stats only for the tables
+//!   written since the prior cycle and reuses the prior entries for the
+//!   rest — the §5 optimize-after-write mode stops paying full-fleet
+//!   observe cost.
+//! * [`FleetObserver`] is the small session object that threads the prior
+//!   observation and externally-marked dirty tables (§5
+//!   [`HookAction::MarkDirty`]) through consecutive cycles.
+//!
+//! Two driver functions implement the protocol for the two connector
+//! tiers: [`pull_observe`] (sequential, the compatibility default every
+//! [`LakeConnector`] inherits) and [`batch_observe`] (stats production
+//! fans out over scoped threads for [`BatchLakeConnector`]s). Both are
+//! position-stable, so for identical lake state every path yields an
+//! identical observation — the parity contract the golden tests pin.
+//!
+//! # Staleness contract of incremental observe
+//!
+//! A reused entry is byte-for-byte the *prior cycle's* stats. That is
+//! exact when a quiet table's stats are a pure function of its own
+//! unwritten state, and **bounded staleness** when they embed
+//! time-decaying or shared signals: a database quota moved by a sibling
+//! table's write, a write-frequency window that decays with the clock,
+//! or a snapshot-window scope whose files age out. Connectors whose
+//! changelog cannot capture those signals trade that staleness — at most
+//! one dirty-cycle old, refreshed whenever the table itself is written
+//! or [`FleetObserver::mark_dirty`]/[`FleetObserver::reset`] intervene —
+//! for skipping the full-fleet fetch. Drivers that need exact fleetwide
+//! signals on a cadence should interleave periodic cold observes
+//! (`reset()` before the cycle).
+//!
+//! [`to_candidates`]: FleetObservation::to_candidates
+//! [`HookAction::MarkDirty`]: crate::trigger::HookAction::MarkDirty
+//! [`LakeConnector`]: crate::connector::LakeConnector
+//! [`BatchLakeConnector`]: crate::connector::BatchLakeConnector
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use crate::candidate::{Candidate, CandidateId, ScopeKind, TableRef};
+use crate::connector::{BatchLakeConnector, LakeConnector};
+use crate::par;
+use crate::scope::ScopeStrategy;
+use crate::stats::CandidateStats;
+
+/// Opaque, connector-scoped position in a lake's change stream.
+///
+/// A connector that can answer "which tables were written since this
+/// point?" hands out cursors from `fleet_cursor()` and interprets them in
+/// `changes_since()`. Cursors from different connectors (or different
+/// environments) are not comparable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChangeCursor(pub u64);
+
+/// Parameters of one observe pass.
+#[derive(Debug, Clone)]
+pub struct ObserveRequest<'a> {
+    /// Candidate scoping strategy; decides which stats are fetched per
+    /// table (table-, partition- or snapshot-window-scope).
+    pub scope: ScopeStrategy,
+    /// Prior cycle's observation. When present (with a cursor, matching
+    /// scope, and a connector-supported changelog) the observe pass is
+    /// incremental: only tables written since the prior cursor — plus
+    /// `force_dirty` and newly listed tables — are re-fetched. Reused
+    /// entries carry the prior cycle's values verbatim (see the module
+    /// docs' staleness contract).
+    pub prior: Option<&'a FleetObservation>,
+    /// Tables to re-fetch regardless of the changelog (externally known
+    /// dirty tables, e.g. §5 after-write hooks in `MarkDirty` mode).
+    pub force_dirty: Vec<u64>,
+}
+
+impl<'a> ObserveRequest<'a> {
+    /// A full (cold) observe: every table's stats are fetched.
+    pub fn fresh(scope: ScopeStrategy) -> Self {
+        ObserveRequest {
+            scope,
+            prior: None,
+            force_dirty: Vec::new(),
+        }
+    }
+
+    /// An incremental observe against `prior`. Falls back to a full
+    /// fetch when the connector has no changelog, the prior carries no
+    /// cursor, or the scope changed.
+    pub fn incremental(scope: ScopeStrategy, prior: &'a FleetObservation) -> Self {
+        ObserveRequest {
+            scope,
+            prior: Some(prior),
+            force_dirty: Vec::new(),
+        }
+    }
+
+    /// Adds externally known dirty tables (builder style).
+    pub fn with_force_dirty(mut self, uids: impl IntoIterator<Item = u64>) -> Self {
+        self.force_dirty.extend(uids);
+        self
+    }
+}
+
+/// Stats observed for one table, shaped by the scope strategy.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableObservation {
+    /// The table vanished mid-observe or yielded no stats in scope.
+    Missing,
+    /// Single-candidate stats (table scope, or snapshot-window scope).
+    Table(CandidateStats),
+    /// Per-partition stats, keyed by the connector's opaque labels.
+    Partitions(Vec<(String, CandidateStats)>),
+}
+
+/// Index of one observation entry into the arena: `(chunk, offset)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct EntryRef {
+    chunk: u32,
+    offset: u32,
+}
+
+/// A batched snapshot of the observable fleet: table descriptors plus
+/// per-table stats in positional (index-aligned) form.
+///
+/// Observations are self-contained values: they can be held across
+/// cycles, diffed against a change cursor, and consumed repeatedly by
+/// index without further connector round-trips. Stats live in
+/// `Arc`-shared arena chunks (one chunk per observe pass) addressed by
+/// `(chunk, offset)` entries: a cold observe allocates exactly one chunk
+/// for the whole fleet, and an incremental observe reuses prior entries
+/// by importing their chunks — one refcount bump per *chunk*, an 8-byte
+/// entry copy per table, and zero stats clones.
+#[derive(Debug, Clone)]
+pub struct FleetObservation {
+    scope: ScopeStrategy,
+    tables: Vec<TableRef>,
+    entries: Vec<EntryRef>,
+    chunks: Vec<Arc<Vec<TableObservation>>>,
+    cursor: Option<ChangeCursor>,
+    fetched: usize,
+    reused: usize,
+}
+
+impl PartialEq for FleetObservation {
+    /// Logical equality: same scope, cursor, tables and per-table
+    /// entries. Arena chunking (how entries are grouped) is
+    /// representation, not content, and does not participate.
+    fn eq(&self, other: &Self) -> bool {
+        self.scope == other.scope
+            && self.cursor == other.cursor
+            && self.tables == other.tables
+            && self.entries.len() == other.entries.len()
+            && (0..self.entries.len()).all(|i| self.entry(i) == other.entry(i))
+    }
+}
+
+impl FleetObservation {
+    /// Builds an observation from parallel `tables`/`stats` vectors (one
+    /// arena chunk). Exposed for connectors that produce observations
+    /// directly (e.g. from a native batch-stats RPC) instead of via the
+    /// drivers.
+    ///
+    /// # Panics
+    /// Panics if the vectors disagree in length.
+    pub fn from_parts(
+        scope: ScopeStrategy,
+        tables: Vec<TableRef>,
+        stats: Vec<TableObservation>,
+        cursor: Option<ChangeCursor>,
+    ) -> Self {
+        assert_eq!(tables.len(), stats.len(), "tables/stats length mismatch");
+        let fetched = tables.len();
+        FleetObservation {
+            scope,
+            entries: (0..tables.len() as u32)
+                .map(|offset| EntryRef { chunk: 0, offset })
+                .collect(),
+            tables,
+            chunks: vec![Arc::new(stats)],
+            cursor,
+            fetched,
+            reused: 0,
+        }
+    }
+
+    /// Scope strategy the stats were fetched under.
+    pub fn scope(&self) -> ScopeStrategy {
+        self.scope
+    }
+
+    /// Change cursor as of this observation, if the connector supports
+    /// one. Feed it back (via [`ObserveRequest::incremental`]) to observe
+    /// only the delta next cycle.
+    pub fn cursor(&self) -> Option<ChangeCursor> {
+        self.cursor
+    }
+
+    /// Number of observed tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Observed table descriptors, in connector order.
+    pub fn tables(&self) -> &[TableRef] {
+        &self.tables
+    }
+
+    /// Stats entry for the table at `index`.
+    pub fn entry(&self, index: usize) -> &TableObservation {
+        let e = self.entries[index];
+        &self.chunks[e.chunk as usize][e.offset as usize]
+    }
+
+    /// Tables whose stats were fetched from the connector this pass.
+    pub fn fetched_tables(&self) -> usize {
+        self.fetched
+    }
+
+    /// Tables whose stats were reused from the prior observation.
+    pub fn reused_tables(&self) -> usize {
+        self.reused
+    }
+
+    /// Number of candidates [`to_candidates`](Self::to_candidates) will
+    /// produce.
+    pub fn candidate_count(&self) -> usize {
+        (0..self.entries.len())
+            .map(|i| match self.entry(i) {
+                TableObservation::Missing => 0,
+                TableObservation::Table(_) => 1,
+                TableObservation::Partitions(parts) => parts.len(),
+            })
+            .sum()
+    }
+
+    fn single_scope(&self) -> ScopeKind {
+        match self.scope {
+            ScopeStrategy::Snapshot { .. } => ScopeKind::Snapshot,
+            _ => ScopeKind::Table,
+        }
+    }
+
+    /// Materializes the candidates of this observation, in deterministic
+    /// order: tables in connector order, partitions in connector-reported
+    /// order (NFR2) — exactly the output of the per-table pull path over
+    /// the same lake state.
+    pub fn to_candidates(&self) -> Vec<Candidate> {
+        let single_scope = self.single_scope();
+        let mut out = Vec::with_capacity(self.candidate_count());
+        for (index, table) in self.tables.iter().enumerate() {
+            match self.entry(index) {
+                TableObservation::Missing => {}
+                TableObservation::Table(stats) => {
+                    let id = CandidateId {
+                        table_uid: table.table_uid,
+                        scope: single_scope,
+                        partition: None,
+                    };
+                    out.push(Candidate::new(id, table, stats.clone()));
+                }
+                TableObservation::Partitions(parts) => {
+                    for (label, stats) in parts {
+                        out.push(Candidate::new(
+                            CandidateId::partition(table.table_uid, label.clone()),
+                            table,
+                            stats.clone(),
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Consuming variant of [`to_candidates`](Self::to_candidates):
+    /// uniquely held arena chunks (every cold observation's) move their
+    /// stats and table names into the candidates instead of cloning them
+    /// — the zero-copy path for cycles that do not retain the
+    /// observation. Output is identical to `to_candidates`.
+    pub fn into_candidates(mut self) -> Vec<Candidate> {
+        let single_scope = self.single_scope();
+        // Fast path — a cold observation uniquely holding one identity
+        // chunk (the overwhelmingly common non-retained case): drain the
+        // chunk in step with the tables, no per-entry indirection and no
+        // intermediate re-collection.
+        if self.chunks.len() == 1
+            && Arc::strong_count(&self.chunks[0]) == 1
+            && self
+                .entries
+                .iter()
+                .enumerate()
+                .all(|(i, e)| e.chunk == 0 && e.offset as usize == i)
+        {
+            let chunk = Arc::try_unwrap(self.chunks.pop().expect("one chunk"))
+                .unwrap_or_else(|_| unreachable!("strong count was 1"));
+            let mut out = Vec::with_capacity(self.tables.len());
+            for (table, stat) in self.tables.into_iter().zip(chunk) {
+                push_candidate(&mut out, table, stat, single_scope);
+            }
+            return out;
+        }
+        self.into_candidates_general(single_scope)
+    }
+
+    /// General consuming path: unwrap each chunk once — owned chunks
+    /// yield entries by move, still-shared chunks (alive in a retained
+    /// prior) by clone.
+    fn into_candidates_general(self, single_scope: ScopeKind) -> Vec<Candidate> {
+        enum Unwrapped {
+            Owned(Vec<Option<TableObservation>>),
+            Shared(Arc<Vec<TableObservation>>),
+        }
+        let mut chunks: Vec<Unwrapped> = self
+            .chunks
+            .into_iter()
+            .map(|chunk| match Arc::try_unwrap(chunk) {
+                Ok(owned) => Unwrapped::Owned(owned.into_iter().map(Some).collect()),
+                Err(shared) => Unwrapped::Shared(shared),
+            })
+            .collect();
+        let mut out = Vec::new();
+        for (table, e) in self.tables.into_iter().zip(self.entries) {
+            let stat = match &mut chunks[e.chunk as usize] {
+                Unwrapped::Owned(slots) => slots[e.offset as usize]
+                    .take()
+                    .expect("each entry referenced once"),
+                Unwrapped::Shared(chunk) => chunk[e.offset as usize].clone(),
+            };
+            push_candidate(&mut out, table, stat, single_scope);
+        }
+        out
+    }
+}
+
+/// Appends the candidate(s) of one consumed `(table, stat)` pair,
+/// moving the table descriptor and stats payload.
+fn push_candidate(
+    out: &mut Vec<Candidate>,
+    table: TableRef,
+    stat: TableObservation,
+    single_scope: ScopeKind,
+) {
+    match stat {
+        TableObservation::Missing => {}
+        TableObservation::Table(stats) => {
+            let id = CandidateId {
+                table_uid: table.table_uid,
+                scope: single_scope,
+                partition: None,
+            };
+            out.push(Candidate::from_table(id, table, stats));
+        }
+        TableObservation::Partitions(parts) => {
+            for (label, stats) in parts {
+                out.push(Candidate::new(
+                    CandidateId::partition(table.table_uid, label),
+                    &table,
+                    stats,
+                ));
+            }
+        }
+    }
+}
+
+/// Threads incremental observe state — the prior observation plus
+/// externally marked dirty tables — through consecutive cycles.
+#[derive(Debug, Default)]
+pub struct FleetObserver {
+    prior: Option<FleetObservation>,
+    pending_dirty: BTreeSet<u64>,
+}
+
+impl FleetObserver {
+    /// A fresh observer; its first observe is always a full fetch.
+    pub fn new() -> Self {
+        FleetObserver::default()
+    }
+
+    /// Marks a table dirty so the next observe re-fetches its stats even
+    /// if the connector's changelog missed the write — the landing point
+    /// for §5 [`HookAction::MarkDirty`](crate::trigger::HookAction).
+    pub fn mark_dirty(&mut self, table_uid: u64) {
+        self.pending_dirty.insert(table_uid);
+    }
+
+    /// Drops the retained observation; the next observe is full.
+    pub fn reset(&mut self) {
+        self.prior = None;
+        self.pending_dirty.clear();
+    }
+
+    /// The most recent observation, if any.
+    pub fn last(&self) -> Option<&FleetObservation> {
+        self.prior.as_ref()
+    }
+
+    /// Observes through a single-threaded connector, incrementally when
+    /// possible, and retains the result for the next cycle.
+    pub fn observe(
+        &mut self,
+        connector: &dyn LakeConnector,
+        scope: ScopeStrategy,
+    ) -> &FleetObservation {
+        let observation = {
+            let request = self.request(scope);
+            connector.observe(&request)
+        };
+        self.retain(observation)
+    }
+
+    /// Observes through a batch-tier connector (parallel stats fan-out),
+    /// incrementally when possible, and retains the result.
+    pub fn observe_batch(
+        &mut self,
+        connector: &dyn BatchLakeConnector,
+        scope: ScopeStrategy,
+    ) -> &FleetObservation {
+        let observation = {
+            let request = self.request(scope);
+            connector.observe(&request)
+        };
+        self.retain(observation)
+    }
+
+    fn request(&self, scope: ScopeStrategy) -> ObserveRequest<'_> {
+        ObserveRequest {
+            scope,
+            prior: self.prior.as_ref(),
+            force_dirty: self.pending_dirty.iter().copied().collect(),
+        }
+    }
+
+    fn retain(&mut self, observation: FleetObservation) -> &FleetObservation {
+        self.pending_dirty.clear();
+        self.prior = Some(observation);
+        self.prior.as_ref().expect("just set")
+    }
+}
+
+/// Shares `Arc<str>` name allocations across repeated interning — e.g.
+/// the database names of a 100K-table fleet listed every cycle collapse
+/// to one allocation per database instead of one per table.
+#[derive(Debug, Default)]
+pub struct NameInterner {
+    map: BTreeMap<String, Arc<str>>,
+}
+
+impl NameInterner {
+    /// A fresh, empty interner.
+    pub fn new() -> Self {
+        NameInterner::default()
+    }
+
+    /// Returns the shared `Arc<str>` for `name`, allocating on first use.
+    pub fn get_or_intern(&mut self, name: &str) -> Arc<str> {
+        if let Some(shared) = self.map.get(name) {
+            return shared.clone();
+        }
+        let shared: Arc<str> = Arc::from(name);
+        self.map.insert(name.to_string(), shared.clone());
+        shared
+    }
+
+    /// Number of distinct interned names.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Observe drivers.
+// ---------------------------------------------------------------------
+
+/// Per-table fetch-or-reuse decision of an incremental observe plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FetchPlan {
+    /// Fetch fresh stats from the connector.
+    Fetch,
+    /// Reuse the prior observation's entry at this index.
+    Reuse(usize),
+}
+
+/// Unifies the two connector tiers' stats methods for the shared drivers.
+trait StatsSource {
+    fn table_stats(&self, table_uid: u64) -> Option<CandidateStats>;
+    fn partition_stats(&self, table_uid: u64) -> Vec<(String, CandidateStats)>;
+    fn snapshot_stats(&self, table_uid: u64, window_ms: u64) -> Option<CandidateStats>;
+}
+
+struct SeqSource<'a, C: ?Sized>(&'a C);
+
+impl<C: LakeConnector + ?Sized> StatsSource for SeqSource<'_, C> {
+    fn table_stats(&self, table_uid: u64) -> Option<CandidateStats> {
+        self.0.table_stats(table_uid)
+    }
+    fn partition_stats(&self, table_uid: u64) -> Vec<(String, CandidateStats)> {
+        self.0.partition_stats(table_uid)
+    }
+    fn snapshot_stats(&self, table_uid: u64, window_ms: u64) -> Option<CandidateStats> {
+        self.0.snapshot_stats(table_uid, window_ms)
+    }
+}
+
+struct BatchSource<'a, C: ?Sized>(&'a C);
+
+impl<C: BatchLakeConnector + ?Sized> StatsSource for BatchSource<'_, C> {
+    fn table_stats(&self, table_uid: u64) -> Option<CandidateStats> {
+        self.0.table_stats(table_uid)
+    }
+    fn partition_stats(&self, table_uid: u64) -> Vec<(String, CandidateStats)> {
+        self.0.partition_stats(table_uid)
+    }
+    fn snapshot_stats(&self, table_uid: u64, window_ms: u64) -> Option<CandidateStats> {
+        self.0.snapshot_stats(table_uid, window_ms)
+    }
+}
+
+/// Fetches one table's stats under `scope` — the exact per-scope calls of
+/// the historical per-table pull protocol, preserved verbatim so batched
+/// observations stay bit-identical to it.
+fn fetch_one(
+    source: &impl StatsSource,
+    table: &TableRef,
+    scope: ScopeStrategy,
+) -> TableObservation {
+    match scope {
+        ScopeStrategy::Table => match source.table_stats(table.table_uid) {
+            Some(stats) => TableObservation::Table(stats),
+            None => TableObservation::Missing,
+        },
+        ScopeStrategy::Partition => {
+            TableObservation::Partitions(source.partition_stats(table.table_uid))
+        }
+        ScopeStrategy::Hybrid => {
+            if table.partitioned {
+                TableObservation::Partitions(source.partition_stats(table.table_uid))
+            } else {
+                match source.table_stats(table.table_uid) {
+                    Some(stats) => TableObservation::Table(stats),
+                    None => TableObservation::Missing,
+                }
+            }
+        }
+        ScopeStrategy::Snapshot { window_ms } => {
+            match source.snapshot_stats(table.table_uid, window_ms) {
+                Some(stats) => TableObservation::Table(stats),
+                None => TableObservation::Missing,
+            }
+        }
+    }
+}
+
+/// Plans the fetch-or-reuse decision per listed table. Returns a plan
+/// only when an incremental pass is possible; `None` means full fetch.
+///
+/// The common steady state — an unchanged table listing — is planned with
+/// a positional uid comparison; a uid→index map over the prior is built
+/// lazily only once a position mismatches (tables created, dropped, or
+/// reordered), so the planner costs O(n) when nothing moved.
+fn make_plans(
+    tables: &[TableRef],
+    request: &ObserveRequest<'_>,
+    changes_since: impl FnOnce(ChangeCursor) -> Option<Vec<u64>>,
+) -> Option<Vec<FetchPlan>> {
+    let prior = request.prior?;
+    if prior.scope() != request.scope {
+        return None;
+    }
+    let prior_cursor = prior.cursor()?;
+    let mut dirty: Vec<u64> = changes_since(prior_cursor)?;
+    dirty.extend(request.force_dirty.iter().copied());
+    dirty.sort_unstable();
+    dirty.dedup();
+    let prior_tables = prior.tables();
+    let mut fallback_index: Option<BTreeMap<u64, usize>> = None;
+    Some(
+        tables
+            .iter()
+            .enumerate()
+            .map(|(pos, t)| {
+                if dirty.binary_search(&t.table_uid).is_ok() {
+                    return FetchPlan::Fetch;
+                }
+                if prior_tables
+                    .get(pos)
+                    .is_some_and(|p| p.table_uid == t.table_uid)
+                {
+                    return FetchPlan::Reuse(pos);
+                }
+                let index = fallback_index.get_or_insert_with(|| {
+                    prior_tables
+                        .iter()
+                        .enumerate()
+                        .map(|(i, p)| (p.table_uid, i))
+                        .collect()
+                });
+                match index.get(&t.table_uid) {
+                    Some(idx) => FetchPlan::Reuse(*idx),
+                    None => FetchPlan::Fetch,
+                }
+            })
+            .collect(),
+    )
+}
+
+/// Assembles an incremental observation: freshly fetched entries land in
+/// one new arena chunk; reused entries import their prior chunk (one
+/// `Arc` bump per chunk) and copy the 8-byte entry ref.
+fn assemble_incremental(
+    scope: ScopeStrategy,
+    tables: Vec<TableRef>,
+    plans: &[FetchPlan],
+    fetched: Vec<Option<TableObservation>>,
+    prior: &FleetObservation,
+    cursor: Option<ChangeCursor>,
+) -> FleetObservation {
+    const FRESH: u32 = u32::MAX;
+    let mut fresh: Vec<TableObservation> = Vec::new();
+    let mut entries: Vec<EntryRef> = Vec::with_capacity(tables.len());
+    let mut chunks: Vec<Arc<Vec<TableObservation>>> = Vec::new();
+    // prior chunk index → imported chunk index (lazily assigned).
+    let mut imported: Vec<u32> = vec![FRESH; prior.chunks.len()];
+    let mut reused = 0usize;
+    for (plan, stat) in plans.iter().zip(fetched) {
+        match (plan, stat) {
+            (FetchPlan::Fetch, Some(stat)) => {
+                entries.push(EntryRef {
+                    chunk: FRESH,
+                    offset: fresh.len() as u32,
+                });
+                fresh.push(stat);
+            }
+            (FetchPlan::Reuse(idx), _) => {
+                reused += 1;
+                let prior_entry = prior.entries[*idx];
+                let slot = &mut imported[prior_entry.chunk as usize];
+                if *slot == FRESH {
+                    *slot = chunks.len() as u32;
+                    chunks.push(prior.chunks[prior_entry.chunk as usize].clone());
+                }
+                entries.push(EntryRef {
+                    chunk: *slot,
+                    offset: prior_entry.offset,
+                });
+            }
+            (FetchPlan::Fetch, None) => unreachable!("fetch plans carry a fetched stat"),
+        }
+    }
+    let fresh_chunk = chunks.len() as u32;
+    if !fresh.is_empty() {
+        chunks.push(Arc::new(fresh));
+        for e in entries.iter_mut().filter(|e| e.chunk == FRESH) {
+            e.chunk = fresh_chunk;
+        }
+    }
+    let fetched = tables.len() - reused;
+    FleetObservation {
+        scope,
+        tables,
+        entries,
+        chunks,
+        cursor,
+        fetched,
+        reused,
+    }
+}
+
+/// The sequential observe driver: list, plan, then fetch (or reuse) one
+/// table at a time. This is the default every [`LakeConnector`] inherits,
+/// so pre-batch connectors keep working unchanged.
+pub fn pull_observe<C: LakeConnector + ?Sized>(
+    connector: &C,
+    request: &ObserveRequest<'_>,
+) -> FleetObservation {
+    let tables = connector.list_tables();
+    let cursor = connector.fleet_cursor();
+    let plans = make_plans(&tables, request, |c| connector.changes_since(c));
+    let source = SeqSource(connector);
+    match plans {
+        None => {
+            let stats = tables
+                .iter()
+                .map(|t| fetch_one(&source, t, request.scope))
+                .collect();
+            FleetObservation::from_parts(request.scope, tables, stats, cursor)
+        }
+        Some(plans) => {
+            let prior = request.prior.expect("plans imply a prior");
+            let fetched: Vec<Option<TableObservation>> = tables
+                .iter()
+                .zip(&plans)
+                .map(|(t, plan)| match plan {
+                    FetchPlan::Fetch => Some(fetch_one(&source, t, request.scope)),
+                    FetchPlan::Reuse(_) => None,
+                })
+                .collect();
+            assemble_incremental(request.scope, tables, &plans, fetched, prior, cursor)
+        }
+    }
+}
+
+/// The parallel observe driver: stats production fans out over scoped
+/// threads in position-stable chunks, so the result is bit-identical to
+/// [`pull_observe`] over the same lake state regardless of thread count.
+pub fn batch_observe<C: BatchLakeConnector + ?Sized>(
+    connector: &C,
+    request: &ObserveRequest<'_>,
+) -> FleetObservation {
+    let tables = connector.list_tables();
+    let cursor = connector.fleet_cursor();
+    let plans = make_plans(&tables, request, |c| connector.changes_since(c));
+    let source = BatchSource(connector);
+    let scope = request.scope;
+    match plans {
+        None => {
+            let stats = par::par_map(&tables, par::PAR_OBSERVE_MIN_LEN, |_, t| {
+                fetch_one(&source, t, scope)
+            });
+            FleetObservation::from_parts(scope, tables, stats, cursor)
+        }
+        Some(plans) => {
+            let prior = request.prior.expect("plans imply a prior");
+            let fetched = par::par_map(&tables, par::PAR_OBSERVE_MIN_LEN, |i, t| match plans[i] {
+                FetchPlan::Fetch => Some(fetch_one(&source, t, scope)),
+                FetchPlan::Reuse(_) => None,
+            });
+            assemble_incremental(scope, tables, &plans, fetched, prior, cursor)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connector::SyncAsBatch;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
+
+    /// In-memory lake with a change log and fetch counters.
+    struct ChangeLake {
+        tables: Vec<TableRef>,
+        version: Mutex<BTreeMap<u64, u64>>,
+        log: Mutex<Vec<(u64, u64)>>, // (seq, uid)
+        seq: AtomicU64,
+        stat_calls: AtomicU64,
+    }
+
+    impl ChangeLake {
+        fn new(n: u64) -> Self {
+            ChangeLake {
+                tables: (0..n)
+                    .map(|i| TableRef {
+                        table_uid: i,
+                        database: "db".into(),
+                        name: format!("t{i}").into(),
+                        partitioned: i % 3 == 0,
+                        compaction_enabled: true,
+                        is_intermediate: false,
+                    })
+                    .collect(),
+                version: Mutex::new(BTreeMap::new()),
+                log: Mutex::new(Vec::new()),
+                seq: AtomicU64::new(0),
+                stat_calls: AtomicU64::new(0),
+            }
+        }
+
+        fn write(&self, uid: u64) {
+            let seq = self.seq.fetch_add(1, Ordering::SeqCst);
+            self.log.lock().unwrap().push((seq, uid));
+            *self.version.lock().unwrap().entry(uid).or_insert(0) += 1;
+        }
+
+        fn stats_for(&self, uid: u64) -> CandidateStats {
+            let v = self.version.lock().unwrap().get(&uid).copied().unwrap_or(0);
+            CandidateStats {
+                file_count: 10 + uid + v * 100,
+                small_file_count: 5 + v * 50,
+                ..CandidateStats::default()
+            }
+        }
+
+        fn calls(&self) -> u64 {
+            self.stat_calls.load(Ordering::SeqCst)
+        }
+    }
+
+    impl LakeConnector for ChangeLake {
+        fn list_tables(&self) -> Vec<TableRef> {
+            self.tables.clone()
+        }
+        fn table_stats(&self, uid: u64) -> Option<CandidateStats> {
+            self.stat_calls.fetch_add(1, Ordering::SeqCst);
+            (uid < self.tables.len() as u64).then(|| self.stats_for(uid))
+        }
+        fn partition_stats(&self, uid: u64) -> Vec<(String, CandidateStats)> {
+            self.stat_calls.fetch_add(1, Ordering::SeqCst);
+            if self.tables.get(uid as usize).is_some_and(|t| t.partitioned) {
+                vec![
+                    ("(p0)".to_string(), self.stats_for(uid)),
+                    ("(p1)".to_string(), self.stats_for(uid)),
+                ]
+            } else {
+                Vec::new()
+            }
+        }
+        fn snapshot_stats(&self, uid: u64, _window_ms: u64) -> Option<CandidateStats> {
+            self.stat_calls.fetch_add(1, Ordering::SeqCst);
+            uid.is_multiple_of(2).then(|| self.stats_for(uid))
+        }
+        fn fleet_cursor(&self) -> Option<ChangeCursor> {
+            Some(ChangeCursor(self.seq.load(Ordering::SeqCst)))
+        }
+        fn changes_since(&self, cursor: ChangeCursor) -> Option<Vec<u64>> {
+            Some(
+                self.log
+                    .lock()
+                    .unwrap()
+                    .iter()
+                    .filter(|(seq, _)| *seq >= cursor.0)
+                    .map(|(_, uid)| *uid)
+                    .collect(),
+            )
+        }
+    }
+
+    #[test]
+    fn cold_observe_matches_per_table_pull() {
+        let lake = ChangeLake::new(9);
+        for scope in [
+            ScopeStrategy::Table,
+            ScopeStrategy::Partition,
+            ScopeStrategy::Hybrid,
+            ScopeStrategy::Snapshot { window_ms: 100 },
+        ] {
+            let observation = lake.observe(&ObserveRequest::fresh(scope));
+            let pulled = crate::scope::generate_candidates(&lake, scope);
+            assert_eq!(observation.to_candidates(), pulled, "scope {scope:?}");
+            assert_eq!(observation.reused_tables(), 0);
+            assert_eq!(observation.fetched_tables(), 9);
+        }
+    }
+
+    #[test]
+    fn incremental_observe_refetches_only_dirty_tables() {
+        let lake = ChangeLake::new(20);
+        let mut observer = FleetObserver::new();
+        observer.observe(&lake, ScopeStrategy::Table);
+        lake.write(3);
+        lake.write(7);
+        let before = lake.calls();
+        let obs = observer.observe(&lake, ScopeStrategy::Table);
+        assert_eq!(lake.calls() - before, 2, "only dirty tables re-fetched");
+        assert_eq!(obs.reused_tables(), 18);
+        assert_eq!(obs.fetched_tables(), 2);
+        // The refreshed entries reflect the writes; reused ones don't.
+        let cold = lake.observe(&ObserveRequest::fresh(ScopeStrategy::Table));
+        assert_eq!(obs.to_candidates(), cold.to_candidates());
+    }
+
+    #[test]
+    fn force_dirty_overrides_a_quiet_changelog() {
+        let lake = ChangeLake::new(5);
+        let mut observer = FleetObserver::new();
+        observer.observe(&lake, ScopeStrategy::Table);
+        observer.mark_dirty(2);
+        let before = lake.calls();
+        let obs = observer.observe(&lake, ScopeStrategy::Table);
+        assert_eq!(lake.calls() - before, 1);
+        assert_eq!(obs.fetched_tables(), 1);
+        // Pending dirty marks are consumed by the observe.
+        let before = lake.calls();
+        observer.observe(&lake, ScopeStrategy::Table);
+        assert_eq!(lake.calls() - before, 0);
+    }
+
+    #[test]
+    fn scope_change_forces_a_full_fetch() {
+        let lake = ChangeLake::new(6);
+        let mut observer = FleetObserver::new();
+        observer.observe(&lake, ScopeStrategy::Table);
+        let obs = observer.observe(&lake, ScopeStrategy::Hybrid);
+        assert_eq!(obs.reused_tables(), 0);
+        assert_eq!(obs.fetched_tables(), 6);
+    }
+
+    #[test]
+    fn batch_observe_is_identical_to_pull_observe() {
+        let lake = ChangeLake::new(40);
+        lake.write(5);
+        for scope in [
+            ScopeStrategy::Table,
+            ScopeStrategy::Partition,
+            ScopeStrategy::Hybrid,
+            ScopeStrategy::Snapshot { window_ms: 9 },
+        ] {
+            let pulled = pull_observe(&lake, &ObserveRequest::fresh(scope));
+            let batch = SyncAsBatch(&lake);
+            let batched = batch_observe(&batch, &ObserveRequest::fresh(scope));
+            assert_eq!(pulled, batched, "scope {scope:?}");
+        }
+    }
+
+    /// Connector without changelog support: incremental requests degrade
+    /// to full fetches (the compatibility contract).
+    struct PlainLake(Vec<TableRef>);
+
+    impl LakeConnector for PlainLake {
+        fn list_tables(&self) -> Vec<TableRef> {
+            self.0.clone()
+        }
+        fn table_stats(&self, uid: u64) -> Option<CandidateStats> {
+            Some(CandidateStats {
+                file_count: uid,
+                ..CandidateStats::default()
+            })
+        }
+        fn partition_stats(&self, _uid: u64) -> Vec<(String, CandidateStats)> {
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn connectors_without_changelog_always_observe_fully() {
+        let lake = PlainLake(
+            (0..4)
+                .map(|i| TableRef {
+                    table_uid: i,
+                    database: "db".into(),
+                    name: format!("t{i}").into(),
+                    partitioned: false,
+                    compaction_enabled: true,
+                    is_intermediate: false,
+                })
+                .collect(),
+        );
+        let mut observer = FleetObserver::new();
+        let first = observer.observe(&lake, ScopeStrategy::Table).clone();
+        assert_eq!(first.cursor(), None);
+        let second = observer.observe(&lake, ScopeStrategy::Table);
+        assert_eq!(second.reused_tables(), 0);
+        assert_eq!(second.fetched_tables(), 4);
+        assert_eq!(&first, second);
+    }
+
+    #[test]
+    fn new_and_dropped_tables_are_handled() {
+        // Prior observed tables 0..=4; the lake now lists 0..=5: the new
+        // table 5 is fetched, the other five are reused.
+        let lake = ChangeLake::new(6);
+        let prior = {
+            let small = ChangeLake::new(5);
+            small.observe(&ObserveRequest::fresh(ScopeStrategy::Table))
+        };
+        // Splice a cursor onto the prior that the big lake accepts.
+        let request = ObserveRequest::incremental(ScopeStrategy::Table, &prior);
+        let obs = lake.observe(&request);
+        assert_eq!(obs.table_count(), 6);
+        assert_eq!(obs.reused_tables(), 5);
+        assert_eq!(obs.fetched_tables(), 1);
+    }
+
+    #[test]
+    fn interner_shares_allocations() {
+        let mut interner = NameInterner::new();
+        let a = interner.get_or_intern("db1");
+        let b = interner.get_or_intern("db1");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(interner.len(), 1);
+        let c = interner.get_or_intern("db2");
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert!(!interner.is_empty());
+    }
+}

@@ -13,16 +13,65 @@ use std::thread;
 /// thread).
 pub(crate) const PAR_MIN_LEN: usize = 4096;
 
+/// Parallelism gate for observe-phase stats fan-out: stats production is
+/// much heavier per item than a trait computation, so fan-out pays off
+/// earlier than [`PAR_MIN_LEN`].
+pub(crate) const PAR_OBSERVE_MIN_LEN: usize = 1024;
+
 /// Upper bound on worker threads; OODA cycles are memory-bound well
 /// before this.
 const MAX_WORKERS: usize = 16;
 
-fn workers_for(len: usize) -> usize {
+fn workers_for_min(len: usize, min_len: usize) -> usize {
     let available = thread::available_parallelism().map_or(1, |p| p.get());
     available
         .min(MAX_WORKERS)
-        .min(len.div_ceil(PAR_MIN_LEN))
+        .min(len.div_ceil(min_len.max(1)))
         .max(1)
+}
+
+fn workers_for(len: usize) -> usize {
+    workers_for_min(len, PAR_MIN_LEN)
+}
+
+/// Maps `f(index, &items[index])` over `items` in parallel chunks,
+/// returning results in item order. Work is split into one contiguous
+/// chunk per worker, so the output is identical to the sequential map
+/// regardless of thread count (NFR2 determinism). Runs sequentially below
+/// `min_len` items.
+pub(crate) fn par_map<T, R, F>(items: &[T], min_len: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = workers_for_min(items.len(), min_len);
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    let mut out = Vec::with_capacity(items.len());
+    thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .enumerate()
+            .map(|(chunk_idx, in_chunk)| {
+                let f = &f;
+                let base = chunk_idx * chunk;
+                scope.spawn(move || {
+                    in_chunk
+                        .iter()
+                        .enumerate()
+                        .map(|(i, t)| f(base + i, t))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            out.extend(handle.join().expect("observe worker panicked"));
+        }
+    });
+    out
 }
 
 /// Fills one `width`-wide output row per item: `f(&items[i],
@@ -58,6 +107,23 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn par_map_matches_sequential_at_any_size() {
+        for n in [
+            0usize,
+            1,
+            7,
+            PAR_OBSERVE_MIN_LEN - 1,
+            PAR_OBSERVE_MIN_LEN * 3 + 5,
+        ] {
+            let items: Vec<u64> = (0..n as u64).collect();
+            let mapped = par_map(&items, PAR_OBSERVE_MIN_LEN, |i, x| (i, *x * 3));
+            let expect: Vec<(usize, u64)> =
+                items.iter().enumerate().map(|(i, x)| (i, *x * 3)).collect();
+            assert_eq!(mapped, expect);
+        }
+    }
 
     #[test]
     fn row_fill_matches_sequential_at_any_size() {

@@ -6,19 +6,23 @@
 //! dropped candidates, and ranking consumes the matrix by index — no
 //! per-candidate maps, no id-keyed side tables, no full fleet sort.
 
+use std::borrow::Cow;
 use std::fmt;
 
 use crate::candidate::{Candidate, CandidateId};
-use crate::connector::{CompactionExecutor, ExecutionResult, LakeConnector, Prediction};
+use crate::connector::{
+    BatchLakeConnector, CompactionExecutor, ExecutionResult, LakeConnector, Prediction,
+};
 use crate::error::AutoCompError;
 use crate::feedback::{EstimationFeedback, FeedbackRecord};
 use crate::filter::{apply_filters, CandidateFilter};
 use crate::matrix::TraitMatrix;
+use crate::observe::{FleetObservation, FleetObserver, ObserveRequest};
 use crate::par;
 use crate::rank::{rank_and_select, DecisionNote, RankedEntry, RankingPolicy, RANKED_PREFIX_MIN};
 use crate::report::{decision_rows, render_table};
 use crate::schedule::{waves, ParallelTablesScheduler, Scheduler};
-use crate::scope::{generate_candidates, ScopeStrategy};
+use crate::scope::ScopeStrategy;
 use crate::traits::TraitComputer;
 use crate::Result;
 
@@ -55,8 +59,8 @@ pub struct ExecutedJob {
 pub struct CycleReport {
     /// Cycle timestamp.
     pub at_ms: u64,
-    /// Scope label.
-    pub scope: String,
+    /// Scope label (borrowed for the static scope strategies).
+    pub scope: Cow<'static, str>,
     /// Candidates generated in the observe phase.
     pub generated: usize,
     /// Candidates dropped by filters or orient sanitization, with reasons.
@@ -166,18 +170,98 @@ impl AutoComp {
         self.feedback.record(record);
     }
 
-    /// Runs one full OODA cycle at `now_ms`.
+    /// Runs one full OODA cycle at `now_ms` through a single-threaded
+    /// connector. The observe phase is one batched
+    /// [`observe`](LakeConnector::observe) call (a cold, full fetch); use
+    /// [`run_cycle_incremental`](Self::run_cycle_incremental) to reuse
+    /// observations across cycles, or
+    /// [`run_cycle_batch`](Self::run_cycle_batch) for the parallel tier.
     pub fn run_cycle(
         &mut self,
         connector: &dyn LakeConnector,
         executor: &mut dyn CompactionExecutor,
         now_ms: u64,
     ) -> Result<CycleReport> {
+        let observation = connector.observe(&ObserveRequest::fresh(self.config.scope));
+        // The observation is not retained: move its stats into the
+        // candidates instead of cloning them.
+        let scope_label = observation.scope().label();
+        self.cycle_core(observation.into_candidates(), scope_label, executor, now_ms)
+    }
+
+    /// Runs one full OODA cycle through a batch-tier connector: stats
+    /// production fans out over scoped threads, results bit-identical to
+    /// [`run_cycle`](Self::run_cycle) over the same lake state.
+    pub fn run_cycle_batch(
+        &mut self,
+        connector: &dyn BatchLakeConnector,
+        executor: &mut dyn CompactionExecutor,
+        now_ms: u64,
+    ) -> Result<CycleReport> {
+        let observation = connector.observe(&ObserveRequest::fresh(self.config.scope));
+        let scope_label = observation.scope().label();
+        self.cycle_core(observation.into_candidates(), scope_label, executor, now_ms)
+    }
+
+    /// Runs one OODA cycle with incremental observe: the `observer`
+    /// threads the prior cycle's observation (and any tables marked dirty
+    /// by §5 after-write hooks) through, so connectors with a change
+    /// cursor re-fetch stats only for tables written since the last
+    /// cycle.
+    pub fn run_cycle_incremental(
+        &mut self,
+        observer: &mut FleetObserver,
+        connector: &dyn LakeConnector,
+        executor: &mut dyn CompactionExecutor,
+        now_ms: u64,
+    ) -> Result<CycleReport> {
+        let observation = observer.observe(connector, self.config.scope);
+        self.run_cycle_observed(observation, executor, now_ms)
+    }
+
+    /// Like [`run_cycle_incremental`](Self::run_cycle_incremental) for
+    /// the batch tier.
+    pub fn run_cycle_incremental_batch(
+        &mut self,
+        observer: &mut FleetObserver,
+        connector: &dyn BatchLakeConnector,
+        executor: &mut dyn CompactionExecutor,
+        now_ms: u64,
+    ) -> Result<CycleReport> {
+        let observation = observer.observe_batch(connector, self.config.scope);
+        self.run_cycle_observed(observation, executor, now_ms)
+    }
+
+    /// Runs the orient → decide → act phases over an already-captured
+    /// [`FleetObservation`] — the pipeline's real entry point; the
+    /// `run_cycle*` variants differ only in how they observe.
+    pub fn run_cycle_observed(
+        &mut self,
+        observation: &FleetObservation,
+        executor: &mut dyn CompactionExecutor,
+        now_ms: u64,
+    ) -> Result<CycleReport> {
+        // Observe (materialize): the observation already holds refs +
+        // stats; candidates are assembled by index.
+        self.cycle_core(
+            observation.to_candidates(),
+            observation.scope().label(),
+            executor,
+            now_ms,
+        )
+    }
+
+    /// Orient → decide → act over materialized candidates.
+    fn cycle_core(
+        &mut self,
+        candidates: Vec<Candidate>,
+        scope_label: Cow<'static, str>,
+        executor: &mut dyn CompactionExecutor,
+        now_ms: u64,
+    ) -> Result<CycleReport> {
         if self.traits.is_empty() {
             return Err(AutoCompError::NoTraits);
         }
-        // Observe.
-        let candidates = generate_candidates(connector, self.config.scope);
         let generated = candidates.len();
         let (kept, dropped_pairs) = apply_filters(candidates, &self.filters, now_ms);
         let mut dropped: Vec<(CandidateId, String)> = dropped_pairs
@@ -253,7 +337,7 @@ impl AutoComp {
 
         Ok(CycleReport {
             at_ms: now_ms,
-            scope: self.config.scope.label(),
+            scope: scope_label,
             generated,
             dropped,
             traits: matrix,
@@ -513,6 +597,39 @@ mod tests {
             format!("{r}")
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn batch_and_incremental_cycles_match_the_pull_cycle() {
+        let lake =
+            MemoryLake::with_tables(&[(1, 100, 10 << 30), (2, 500, 10 << 30), (3, 10, 10 << 30)]);
+        let run_pull = || {
+            let mut exec = RecordingExecutor::default();
+            pipeline(2).run_cycle(&lake, &mut exec, 7).unwrap()
+        };
+        let pull = run_pull();
+
+        let mut exec = RecordingExecutor::default();
+        let batched = pipeline(2)
+            .run_cycle_batch(&crate::connector::SyncAsBatch(&lake), &mut exec, 7)
+            .unwrap();
+        assert_eq!(pull.to_string(), batched.to_string());
+
+        let mut observer = crate::observe::FleetObserver::new();
+        let mut exec = RecordingExecutor::default();
+        let mut ac = pipeline(2);
+        let incr1 = ac
+            .run_cycle_incremental(&mut observer, &lake, &mut exec, 7)
+            .unwrap();
+        assert_eq!(pull.to_string(), incr1.to_string());
+        // MemoryLake has no changelog, so the second incremental cycle is
+        // a full re-observe — and still identical.
+        let mut exec = RecordingExecutor::default();
+        let incr2 = ac
+            .run_cycle_incremental(&mut observer, &lake, &mut exec, 7)
+            .unwrap();
+        assert_eq!(pull.to_string(), incr2.to_string());
+        assert_eq!(observer.last().unwrap().fetched_tables(), 3);
     }
 
     /// A trait computer that yields NaN for one specific table.

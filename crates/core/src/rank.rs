@@ -118,7 +118,7 @@ pub enum RankingPolicy {
 }
 
 /// Why the decide phase did (not) select a candidate — rendered lazily on
-/// [`Display`], so unselected fleet-tail candidates cost no formatting or
+/// [`Display`](fmt::Display), so unselected fleet-tail candidates cost no formatting or
 /// allocation (NFR2 explainability without O(n) `format!` calls).
 #[derive(Debug, Clone, PartialEq)]
 pub enum DecisionNote {
@@ -269,7 +269,7 @@ pub struct RankedEntry {
     pub score: f64,
     /// Whether the decide phase selected this candidate.
     pub selected: bool,
-    /// Why it was (not) selected; rendered on [`Display`].
+    /// Why it was (not) selected; rendered on [`Display`](fmt::Display).
     pub note: DecisionNote,
 }
 
@@ -629,12 +629,68 @@ enum BudgetNotes {
     Bare,
 }
 
+/// Tracks the minimum cost over the candidates the budget scan has not
+/// yet walked: a suffix min over the lazily sorted region plus a running
+/// min over the still-unsorted tail. Unlike a global min (the previous
+/// early-out bound), consumed candidates drop out of the bound — so once
+/// the cheapest *remaining* candidate cannot fit, the scan stops instead
+/// of walking (and rank-ordering) the rest of the fleet.
+struct RemainingMinCost {
+    /// `sorted_suffix_min[pos]` = min cost over sorted positions ≥ `pos`.
+    sorted_suffix_min: Vec<f64>,
+    /// Min cost over the unsorted tail (`+∞` when empty or all-NaN; the
+    /// NaN-ignoring `f64::min` keeps NaN costs from poisoning the bound).
+    tail_min: f64,
+}
+
+impl RemainingMinCost {
+    /// Starts with an empty sorted region: the tail is the whole fleet.
+    fn new(costs: &[f64]) -> Self {
+        RemainingMinCost {
+            sorted_suffix_min: Vec::new(),
+            tail_min: costs.iter().cloned().fold(f64::INFINITY, f64::min),
+        }
+    }
+
+    /// Rebuilds the bound after the sorted region grew. The suffix-array
+    /// rebuild telescopes to O(n) over a full scan (doubling growth); the
+    /// tail rescan is O(tail) per growth, matching the O(tail)
+    /// `select_nth_unstable_by` pass `RankOrder::ensure` just paid for
+    /// the same growth — a constant-factor addition, never a new
+    /// asymptotic term.
+    fn refresh(&mut self, order: &RankOrder<'_>, costs: &[f64]) {
+        if self.sorted_suffix_min.len() == order.sorted_upto {
+            return;
+        }
+        self.sorted_suffix_min.resize(order.sorted_upto, 0.0);
+        let mut min = f64::INFINITY;
+        for pos in (0..order.sorted_upto).rev() {
+            min = min.min(costs[order.at(pos)]);
+            self.sorted_suffix_min[pos] = min;
+        }
+        self.tail_min = order.indices[order.sorted_upto..]
+            .iter()
+            .map(|i| costs[*i as usize])
+            .fold(f64::INFINITY, f64::min);
+    }
+
+    /// Min cost over every candidate at walk position ≥ `walked`.
+    fn at(&self, walked: usize) -> f64 {
+        let sorted = self
+            .sorted_suffix_min
+            .get(walked)
+            .copied()
+            .unwrap_or(f64::INFINITY);
+        sorted.min(self.tail_min)
+    }
+}
+
 /// Greedy budget fit over lazily materialized rank order. The scan walks
 /// best-first exactly like the seed, but stops expanding the sorted
 /// region once the selection cap is hit or once not even the cheapest
-/// unprocessed candidate fits the remaining budget — after that point no
-/// further selection (and no rank-dependent note) is possible, so the
-/// rest of the fleet never needs ordering.
+/// *remaining* (unwalked) candidate fits the leftover budget — after
+/// that point no further selection (and no rank-dependent note) is
+/// possible, so the rest of the fleet never needs ordering.
 fn budget_scan(
     candidates: &[Candidate],
     scores: &[f64],
@@ -645,19 +701,19 @@ fn budget_scan(
     notes: BudgetNotes,
 ) -> Vec<RankedEntry> {
     let n = order.len();
-    // f64::min ignores NaN, so a NaN cost can't poison the bound.
-    let min_cost = costs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let mut remaining_min = RemainingMinCost::new(costs);
     let mut spent = 0.0;
     let mut taken = 0usize;
     let mut walked = 0usize;
     let mut decisions: Vec<(bool, DecisionNote)> = Vec::new();
     while walked < n {
-        // min_cost is +∞ when every cost is NaN (the NaN-ignoring fold
-        // below), so this comparison never sees NaN.
-        if taken >= cap || spent + min_cost > budget {
+        // remaining_min is +∞ when every remaining cost is NaN, so this
+        // comparison never sees NaN.
+        if taken >= cap || spent + remaining_min.at(walked) > budget {
             break;
         }
         order.ensure(walked + 1);
+        remaining_min.refresh(&order, costs);
         let index = order.at(walked);
         let cost = costs[index];
         if taken < cap && spent + cost <= budget {
@@ -939,6 +995,51 @@ mod tests {
             .sum();
         assert!(spent <= 65.0, "spent {spent}");
         assert!(!selected.is_empty());
+    }
+
+    #[test]
+    fn budget_scan_stops_once_no_remaining_candidate_fits() {
+        // The cheapest candidate ranks first (highest score) and consumes
+        // most of the budget; every *remaining* candidate costs more than
+        // the leftover. The suffix-min early-out must stop the rank walk
+        // right after the selection instead of materializing the full
+        // fleet order — observable because the unwalked tail stays in
+        // candidate order (ascending index) rather than rank order
+        // (descending score ⇒ descending index here).
+        let n = 60u64;
+        let cands: Vec<Candidate> = (1..=n).map(|i| candidate(i, None)).collect();
+        let tv: Vec<BTreeMap<String, f64>> = (1..=n)
+            .map(|i| {
+                let cost = if i == n { 10.0 } else { 50.0 };
+                traits(&[("benefit", i as f64), ("cost", cost)])
+            })
+            .collect();
+        let policy = RankingPolicy::BudgetedMoop {
+            weights: vec![TraitWeight::new("benefit", 1.0)],
+            cost_trait: "cost".into(),
+            budget: 15.0,
+            max_k: None,
+        };
+        let ranked = rank_and_select(&cands, &matrix(&tv), &policy).unwrap();
+        let selected: Vec<u64> = ranked
+            .iter()
+            .filter(|e| e.selected)
+            .map(|e| e.id.table_uid)
+            .collect();
+        assert_eq!(selected, vec![n], "only the cheap top candidate fits");
+        // Prefix rows (report) are rank-ordered; the tail is in candidate
+        // order, proving the walk stopped at the early-out.
+        for w in ranked[RANKED_PREFIX_MIN..].windows(2) {
+            assert!(
+                w[0].index < w[1].index,
+                "tail must be candidate-ordered (walk stopped early)"
+            );
+        }
+        // Every unselected entry reports the budget verdict.
+        assert!(ranked
+            .iter()
+            .filter(|e| !e.selected)
+            .all(|e| e.note.to_string().starts_with("over budget")));
     }
 
     #[test]

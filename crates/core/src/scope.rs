@@ -5,6 +5,8 @@
 //! strategy that "chooses partition-scope compaction if the table is
 //! partitioned and otherwise defaults to table-scope".
 
+use std::borrow::Cow;
+
 use crate::candidate::{Candidate, CandidateId, ScopeKind};
 use crate::connector::LakeConnector;
 
@@ -26,18 +28,28 @@ pub enum ScopeStrategy {
 }
 
 impl ScopeStrategy {
-    /// Short label for reports.
-    pub fn label(&self) -> String {
+    /// Short label for reports. Borrowed for the static strategies —
+    /// cycle reports no longer allocate a fresh `String` per cycle; only
+    /// the parameterized snapshot scope formats one.
+    pub fn label(&self) -> Cow<'static, str> {
         match self {
-            ScopeStrategy::Table => "table".to_string(),
-            ScopeStrategy::Partition => "partition".to_string(),
-            ScopeStrategy::Hybrid => "hybrid".to_string(),
-            ScopeStrategy::Snapshot { window_ms } => format!("snapshot[{window_ms}ms]"),
+            ScopeStrategy::Table => Cow::Borrowed("table"),
+            ScopeStrategy::Partition => Cow::Borrowed("partition"),
+            ScopeStrategy::Hybrid => Cow::Borrowed("hybrid"),
+            ScopeStrategy::Snapshot { window_ms } => Cow::Owned(format!("snapshot[{window_ms}ms]")),
         }
     }
 }
 
-/// Generates candidates from the connector according to the strategy.
+/// Generates candidates from the connector according to the strategy, via
+/// the chatty per-table pull protocol (`list_tables()` + one stats call
+/// per table).
+///
+/// This is the historical observe path, kept as the executable reference
+/// the batched [`observe`](crate::connector::LakeConnector::observe) API
+/// is parity-tested against; cycle code should prefer
+/// [`FleetObservation::to_candidates`](crate::observe::FleetObservation::to_candidates),
+/// which additionally enables reuse across cycles.
 ///
 /// Output order is deterministic: tables in connector order, partitions in
 /// connector-reported order (NFR2).
@@ -197,5 +209,11 @@ mod tests {
             ScopeStrategy::Snapshot { window_ms: 5 }.label(),
             "snapshot[5ms]"
         );
+        // Static strategies borrow; only the parameterized one allocates.
+        assert!(matches!(ScopeStrategy::Table.label(), Cow::Borrowed(_)));
+        assert!(matches!(
+            ScopeStrategy::Snapshot { window_ms: 5 }.label(),
+            Cow::Owned(_)
+        ));
     }
 }

@@ -70,7 +70,7 @@ impl TraitComputer for FileCountReduction {
     }
 }
 
-/// File entropy (§4.2 cites Netflix's trait [65]; no public formula).
+/// File entropy (§4.2 cites Netflix's trait \[65\]; no public formula).
 ///
 /// Our definition (documented in DESIGN.md): the mean squared deficit
 /// ratio of data files against the target size. Using the bucketed

@@ -2,7 +2,7 @@
 //! + the deferred-commit queue.
 
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
 
 use crate::clock::SimClock;
 use crate::cluster::{AppKind, Cluster, ClusterConfig};
@@ -24,6 +24,10 @@ use lakesim_storage::{FileId, FileKind, FsConfig, SimFileSystem, KB};
 
 /// Size of each LST metadata object materialized in storage.
 const METADATA_OBJECT_BYTES: u64 = 64 * KB;
+
+/// Retained table-write changelog entries. Old entries are trimmed; a
+/// cursor that predates retention forces observers back to a full fetch.
+const CHANGELOG_CAP: usize = 1 << 16;
 
 /// Environment construction parameters.
 #[derive(Debug, Clone)]
@@ -78,6 +82,13 @@ pub struct SimEnv {
     next_seq: u64,
     /// Metadata objects per table, oldest first (reclaimed by expiry).
     table_meta_files: BTreeMap<TableId, Vec<FileId>>,
+    /// Bounded `(seq, table)` log of committed table changes — the dirty
+    /// set feeding AutoComp's incremental (cursor) observe.
+    changelog: VecDeque<(u64, TableId)>,
+    /// Sequence assigned to the next committed change.
+    change_seq: u64,
+    /// Sequence of the oldest retained changelog entry.
+    changelog_floor: u64,
     seed: u64,
 }
 
@@ -102,7 +113,45 @@ impl SimEnv {
             pending: BinaryHeap::new(),
             next_seq: 0,
             table_meta_files: BTreeMap::new(),
+            changelog: VecDeque::new(),
+            change_seq: 0,
+            changelog_floor: 0,
             seed: config.seed,
+        }
+    }
+
+    /// Current position in the table-change stream: every commit applied
+    /// so far has a sequence strictly below this cursor. Record it with
+    /// an observation, then ask [`Self::changes_since`] for the delta.
+    pub fn change_cursor(&self) -> u64 {
+        self.change_seq
+    }
+
+    /// Distinct tables with commits applied at or after `cursor`, in
+    /// first-change order. `None` when `cursor` predates the bounded
+    /// changelog's retention — callers must fall back to a full observe.
+    pub fn changes_since(&self, cursor: u64) -> Option<Vec<TableId>> {
+        if cursor < self.changelog_floor {
+            return None;
+        }
+        let mut seen = BTreeSet::new();
+        Some(
+            self.changelog
+                .iter()
+                .filter(|(seq, _)| *seq >= cursor)
+                .filter(|(_, table)| seen.insert(*table))
+                .map(|(_, table)| *table)
+                .collect(),
+        )
+    }
+
+    /// Appends one committed table change to the bounded changelog.
+    fn record_change(&mut self, table: TableId) {
+        self.changelog.push_back((self.change_seq, table));
+        self.change_seq += 1;
+        if self.changelog.len() > CHANGELOG_CAP {
+            self.changelog.pop_front();
+            self.changelog_floor = self.changelog.front().map_or(self.change_seq, |(s, _)| *s);
         }
     }
 
@@ -482,6 +531,9 @@ impl SimEnv {
         }
         let entry = self.catalog.table_mut(table_id).expect("exists");
         entry.usage.record_write(due_ms);
+        // Every applied commit — user write or compaction rewrite — dirties
+        // the table for incremental observers.
+        self.record_change(table_id);
 
         let mut job_id_out = None;
         match &commit.kind {
@@ -812,6 +864,42 @@ mod tests {
         env.drain_due(w.finished_ms);
         let after = env.catalog.table(t).unwrap().table.file_count();
         assert_eq!(after, w.files_written, "old files replaced");
+    }
+
+    #[test]
+    fn changelog_tracks_committed_tables() {
+        let mut env = test_env();
+        let t = simple_table(&mut env);
+        let cursor0 = env.change_cursor();
+        assert_eq!(env.changes_since(cursor0), Some(Vec::new()));
+
+        let w = insert(&mut env, t, 64, 0);
+        // Nothing recorded until the commit is applied.
+        assert_eq!(env.change_cursor(), cursor0);
+        env.drain_due(w.finished_ms);
+        assert!(env.change_cursor() > cursor0);
+        assert_eq!(env.changes_since(cursor0), Some(vec![t]));
+
+        // A cursor taken after the commit sees no further changes…
+        let cursor1 = env.change_cursor();
+        assert_eq!(env.changes_since(cursor1), Some(Vec::new()));
+        // …and repeated writes to one table dedupe to one dirty entry.
+        let w2 = insert(&mut env, t, 32, w.finished_ms + 1);
+        let w3 = insert(&mut env, t, 32, w2.finished_ms + 1);
+        env.drain_due(w3.finished_ms);
+        assert_eq!(env.changes_since(cursor1), Some(vec![t]));
+    }
+
+    #[test]
+    fn changelog_trims_and_reports_stale_cursors() {
+        let mut env = test_env();
+        let t = simple_table(&mut env);
+        let stale = env.change_cursor();
+        for _ in 0..(CHANGELOG_CAP + 5) {
+            env.record_change(t);
+        }
+        assert!(env.changes_since(stale).is_none(), "trimmed past cursor");
+        assert!(env.changes_since(env.change_cursor()).is_some());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Bin-packing compaction planning, with the paper's ΔF estimator.
 //!
 //! §4.2: *"For a given compaction candidate c, we estimate file count
-//! reduction after compaction as ΔF_c = Σ 1[FileSize_i < TargetFileSize]"*.
+//! reduction after compaction as ΔF_c = Σ 1\[FileSize_i \< TargetFileSize\]"*.
 //! §7 then observes that table-level estimates "may overestimate the number
 //! of small files that can be merged, since compaction does not cross
 //! partitions". Both the naive and the partition-aware estimators live

@@ -44,6 +44,9 @@ pub struct SimFileSystem {
     namenode: NameNode,
     /// Cumulative count of deleted files (objects reclaimed).
     deleted_files: u64,
+    /// Bumped on namespace-configuration changes (create/set_quota) so
+    /// quota-signal caches can fold config edits into their epoch.
+    config_epoch: u64,
 }
 
 impl SimFileSystem {
@@ -57,6 +60,7 @@ impl SimFileSystem {
             namespaces: BTreeMap::new(),
             namenode,
             deleted_files: 0,
+            config_epoch: 0,
         }
     }
 
@@ -72,6 +76,7 @@ impl SimFileSystem {
         }
         self.namespaces
             .insert(name.to_string(), Namespace::new(name, quota));
+        self.config_epoch += 1;
         Ok(())
     }
 
@@ -82,7 +87,15 @@ impl SimFileSystem {
             .get_mut(name)
             .ok_or_else(|| StorageError::NamespaceNotFound(name.to_string()))?;
         ns.object_quota = quota.unwrap_or(u64::MAX);
+        self.config_epoch += 1;
         Ok(())
+    }
+
+    /// Monotone counter of namespace-configuration changes (namespace
+    /// creation, quota edits). Fold into cache epochs alongside the RPC
+    /// create/delete counters to invalidate on any quota-relevant event.
+    pub fn config_epoch(&self) -> u64 {
+        self.config_epoch
     }
 
     /// Creates a file of `size_bytes` in `namespace` at time `now_ms`.
@@ -264,6 +277,13 @@ impl SimFileSystem {
     /// Mutable access to the NameNode (window queries in experiments).
     pub fn namenode_mut(&mut self) -> &mut NameNode {
         &mut self.namenode
+    }
+
+    /// Cumulative RPC counters alone — an O(1) accessor for callers that
+    /// need a cheap change epoch (e.g. quota-signal caches keyed on
+    /// `creates + deletes`) without paying for a full metrics snapshot.
+    pub fn rpc_counters(&self) -> crate::namenode::RpcCounters {
+        self.namenode.counters()
     }
 
     /// Snapshot of storage metrics.

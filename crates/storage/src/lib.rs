@@ -49,7 +49,7 @@ pub use file::{FileId, FileKind, FileMeta};
 pub use fs::{FsConfig, SimFileSystem};
 pub use histogram::SizeHistogram;
 pub use metrics::StorageMetrics;
-pub use namenode::{NameNode, RpcKind, RpcTicket};
+pub use namenode::{NameNode, RpcCounters, RpcKind, RpcTicket};
 pub use namespace::QuotaUsage;
 pub use units::{GB, KB, MB, TB};
 

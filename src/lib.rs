@@ -12,8 +12,8 @@
 //! * [`storage`] / [`lst`] / [`catalog`] / [`engine`] / [`workload`] — the
 //!   simulated substrate (HDFS, Iceberg-like tables, OpenHouse-like control
 //!   plane, Spark-like engine, benchmark workloads).
-//! * [`bench`] — experiment harnesses regenerating the paper's tables and
-//!   figures.
+//! * [`bench`](mod@bench) — experiment harnesses regenerating the paper's
+//!   tables and figures.
 
 pub use autocomp;
 pub use autocomp_bench as bench;
