@@ -16,8 +16,10 @@
 //! cold batched observe.
 
 use autocomp::{
-    BatchLakeConnector, CandidateStats, ChangeCursor, LakeConnector, ObserveRequest, ScopeStrategy,
-    SizeBucket, TableRef,
+    AlreadyCompactFilter, AutoComp, AutoCompConfig, BatchLakeConnector, Candidate, CandidateStats,
+    ChangeCursor, CompactionDisabledFilter, CompactionExecutor, ComputeCostGbhr, ExecutionResult,
+    FileCountReduction, FleetObserver, LakeConnector, ObserveRequest, Prediction, RankingPolicy,
+    ScopeStrategy, SizeBucket, TableRef, TraitWeight,
 };
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -140,6 +142,9 @@ impl BatchLakeConnector for SessionLake<'_> {
     fn list_tables(&self) -> Vec<TableRef> {
         self.0.tables.clone()
     }
+    fn listing_epoch(&self) -> Option<u64> {
+        Some(0)
+    }
     fn table_stats(&self, uid: u64) -> Option<CandidateStats> {
         Some(self.0.fetch(uid, 0))
     }
@@ -152,6 +157,100 @@ impl BatchLakeConnector for SessionLake<'_> {
     fn changes_since(&self, _cursor: ChangeCursor) -> Option<Vec<u64>> {
         Some(self.0.dirty_set())
     }
+}
+
+/// Trivial-stats lake with a changelog: stats production is ~free (the
+/// `ooda_pipeline` bench's formula), so the full-cycle numbers below
+/// isolate *framework* cost and are directly comparable to
+/// `ooda_cycle/tables/100000` — the cold decide path the incremental
+/// cycle is measured against.
+struct CheapChangeLake {
+    tables: Vec<TableRef>,
+    dirty: Vec<u64>,
+}
+
+impl CheapChangeLake {
+    fn new(n: u64) -> Self {
+        CheapChangeLake {
+            tables: (0..n)
+                .map(|i| TableRef {
+                    table_uid: i,
+                    database: format!("db{}", i % 64).into(),
+                    name: format!("t{i}").into(),
+                    partitioned: false,
+                    compaction_enabled: i % 17 != 0,
+                    is_intermediate: i % 23 == 0,
+                })
+                .collect(),
+            dirty: (0..n / DIRTY_DIVISOR)
+                .map(|i| i * DIRTY_DIVISOR % n)
+                .collect(),
+        }
+    }
+}
+
+impl LakeConnector for CheapChangeLake {
+    fn list_tables(&self) -> Vec<TableRef> {
+        self.tables.clone()
+    }
+    fn listing_epoch(&self) -> Option<u64> {
+        Some(0)
+    }
+    fn table_stats(&self, uid: u64) -> Option<CandidateStats> {
+        Some(CandidateStats {
+            file_count: 10 + (uid * 31) % 4000,
+            small_file_count: (uid * 31) % 4000,
+            small_bytes: ((uid * 71) % 2048) << 20,
+            total_bytes: ((uid * 131) % 8192) << 20,
+            target_file_size: 512 << 20,
+            ..CandidateStats::default()
+        })
+    }
+    fn partition_stats(&self, _uid: u64) -> Vec<(String, CandidateStats)> {
+        Vec::new()
+    }
+    fn fleet_cursor(&self) -> Option<ChangeCursor> {
+        Some(ChangeCursor(0))
+    }
+    fn changes_since(&self, _cursor: ChangeCursor) -> Option<Vec<u64>> {
+        Some(self.dirty.clone())
+    }
+}
+
+struct NullExecutor;
+
+impl CompactionExecutor for NullExecutor {
+    fn execute(&mut self, _c: &Candidate, _p: &Prediction, now: u64) -> ExecutionResult {
+        ExecutionResult {
+            scheduled: true,
+            job_id: Some(1),
+            gbhr: 0.0,
+            commit_due_ms: Some(now),
+            error: None,
+        }
+    }
+}
+
+fn full_cycle_pipeline() -> AutoComp {
+    AutoComp::new(AutoCompConfig {
+        scope: ScopeStrategy::Table,
+        policy: RankingPolicy::Moop {
+            weights: vec![
+                TraitWeight::new("file_count_reduction", 0.7),
+                TraitWeight::new("compute_cost_gbhr", 0.3),
+            ],
+            k: 100,
+        },
+        trigger_label: "bench".to_string(),
+        calibrate: false,
+    })
+    .with_filter(Box::new(CompactionDisabledFilter))
+    .with_filter(Box::new(AlreadyCompactFilter {
+        min_small_files: 2,
+        min_small_fraction: 0.0,
+    }))
+    .with_trait(Box::new(FileCountReduction::default()))
+    .with_trait(Box::new(ComputeCostGbhr::default()))
 }
 
 fn bench_observe(c: &mut Criterion) {
@@ -179,6 +278,58 @@ fn bench_observe(c: &mut Criterion) {
     group.bench_with_input(BenchmarkId::new("tables_incremental", n), &n, |b, _| {
         b.iter(|| batch.observe(&ObserveRequest::incremental(ScopeStrategy::Table, &prior)))
     });
+
+    // Full OODA cycle over the manifest-walk lake (the same stats-cost
+    // model as the observe benches above): cold pays full-fleet stats
+    // production + filter/orient; the incremental variant re-fetches the
+    // 1% dirty set and splices the rest of filter/orient from the cycle
+    // cache — the end-to-end incremental record BENCH_ooda.json tracks.
+    group.bench_with_input(BenchmarkId::new("full_cycle_cold", n), &n, |b, _| {
+        let mut ac = full_cycle_pipeline().with_cycle_cache(false);
+        let mut exec = NullExecutor;
+        b.iter(|| {
+            ac.run_cycle_batch(&batch, &mut exec, 0)
+                .expect("cycle runs")
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("full_cycle_incremental", n), &n, |b, _| {
+        let mut ac = full_cycle_pipeline();
+        let mut observer = FleetObserver::new();
+        let mut exec = NullExecutor;
+        // Prime: one cold cycle fills the observer + cache; every
+        // measured cycle then reuses 99% of the fleet.
+        ac.run_cycle_incremental_batch(&mut observer, &batch, &mut exec, 0)
+            .expect("prime cycle runs");
+        b.iter(|| {
+            ac.run_cycle_incremental_batch(&mut observer, &batch, &mut exec, 0)
+                .expect("cycle runs")
+        })
+    });
+
+    // The same pair over a trivial-stats changelog lake: stats are ~free
+    // (the ooda_pipeline formula), so these isolate pure framework cost —
+    // directly comparable to `ooda_cycle/tables/100000`.
+    let cheap = CheapChangeLake::new(n);
+    group.bench_with_input(BenchmarkId::new("framework_cycle_cold", n), &n, |b, _| {
+        let mut ac = full_cycle_pipeline().with_cycle_cache(false);
+        let mut exec = NullExecutor;
+        b.iter(|| ac.run_cycle(&cheap, &mut exec, 0).expect("cycle runs"))
+    });
+    group.bench_with_input(
+        BenchmarkId::new("framework_cycle_incremental", n),
+        &n,
+        |b, _| {
+            let mut ac = full_cycle_pipeline();
+            let mut observer = FleetObserver::new();
+            let mut exec = NullExecutor;
+            ac.run_cycle_incremental(&mut observer, &cheap, &mut exec, 0)
+                .expect("prime cycle runs");
+            b.iter(|| {
+                ac.run_cycle_incremental(&mut observer, &cheap, &mut exec, 0)
+                    .expect("cycle runs")
+            })
+        },
+    );
     group.finish();
 }
 

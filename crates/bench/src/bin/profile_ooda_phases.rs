@@ -88,7 +88,7 @@ fn main() {
             .filter(|c| {
                 filters
                     .iter()
-                    .any(|f| f.evaluate(c, 0) != autocomp::FilterDecision::Keep)
+                    .any(|f| f.evaluate(&c.view(), 0) != autocomp::FilterDecision::Keep)
             })
             .count();
         let eval_ms = eval_only.elapsed();

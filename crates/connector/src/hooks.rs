@@ -62,6 +62,34 @@ pub fn mark_dirty_from_actions(
     }
 }
 
+/// Marks every table of `database` dirty on an incremental observer —
+/// the documented recipe for keeping incremental cycles exact across
+/// **changelog-invisible shared signals**: a quota edit (or any
+/// database-wide event) does not appear in the per-table commit
+/// changelog, so reused entries would carry the stale quota until their
+/// tables happen to be written. Force-dirtying the database re-fetches
+/// its tables on the next observe — and, downstream, invalidates their
+/// cycle-cache rows (see the staleness contract in
+/// `autocomp::observe`).
+///
+/// Returns the number of tables marked. An unknown database is an error
+/// (not a silent no-op): a typo'd or concurrently dropped name would
+/// otherwise leave every table of the real database serving stale
+/// signals with no indication anywhere.
+pub fn mark_database_dirty(
+    env: &SharedEnv,
+    observer: &mut autocomp::FleetObserver,
+    database: &str,
+) -> lakesim_catalog::Result<usize> {
+    let env = env.borrow();
+    let tables = env.catalog.tables_in_database(database)?;
+    let marked = tables.len();
+    for id in tables {
+        observer.mark_dirty(id.0);
+    }
+    Ok(marked)
+}
+
 /// Evaluates a hook directly against a mutable environment (used by
 /// drivers that do not share the env). Stats come from the same shared
 /// builders as the connector tiers (no quota signal — hooks predate the

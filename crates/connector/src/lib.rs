@@ -61,7 +61,7 @@ use lakesim_engine::SimEnv;
 pub use batch::{share_sync, BatchLakesimConnector, SyncSharedEnv};
 pub use executor::{ExecutorOptions, LakesimExecutor};
 pub use feedback::FeedbackBridge;
-pub use hooks::{evaluate_hook, mark_dirty_from_actions};
+pub use hooks::{evaluate_hook, mark_database_dirty, mark_dirty_from_actions};
 pub use observe::{LakesimConnector, ObserveOptions};
 
 /// Shared handle to the simulation environment.

@@ -1,0 +1,387 @@
+//! Cross-cycle caching of per-table pipeline results (filter verdicts +
+//! trait rows) for incremental OODA cycles.
+//!
+//! PR 2 made the *observe* phase incremental: a changelog-backed observe
+//! re-fetches stats only for written tables. But filter and orient still
+//! recomputed every verdict and every trait value for every table each
+//! cycle, even when 99% of the fleet was byte-identical to the previous
+//! snapshot. The cycle cache closes that gap: it retains, per table,
+//! the filter verdict (with its drop-reason string) and the
+//! [`TraitMatrix`](crate::matrix::TraitMatrix) row of each of the table's
+//! candidates, keyed by the observation's [`ChangeCursor`] chain, so an
+//! incremental cycle recomputes filter/orient only for the dirty set and
+//! splices cached rows for the rest. Rank and decide still run
+//! fleet-wide every cycle — selection is global (min–max normalization
+//! and top-k/budget fits span the whole candidate set).
+//!
+//! # Validity rules (what invalidates what)
+//!
+//! A cached generation is spliceable into a cycle only when **all** of
+//! the following hold; otherwise the cycle recomputes everything (and
+//! refills the cache):
+//!
+//! * **Cursor chain** — the observation was derived incrementally from
+//!   the exact snapshot the cache was computed against:
+//!   [`FleetObservation::prior_cursor`] equals the cache's stored cursor.
+//! * **Epoch** — the pipeline's configuration epoch is unchanged. The
+//!   epoch bumps on every filter/trait/scheduler registration, on every
+//!   [`config_mut`](crate::pipeline::AutoComp::config_mut) access, and on
+//!   explicit
+//!   [`invalidate_cycle_cache`](crate::pipeline::AutoComp::invalidate_cycle_cache)
+//!   calls — any edit that could change verdicts, trait values, or their
+//!   meaning flushes the cache. (Feedback calibration does *not* bump the
+//!   epoch: it scales act-phase predictions, which are recomputed every
+//!   cycle from the matrix; cached trait rows are calibration-free.)
+//! * **Scope & width** — same scope strategy and same trait-column count.
+//! * **Clock** — if any filter in the chain is
+//!   [time-sensitive](crate::filter::CandidateFilter::time_sensitive),
+//!   the cycle timestamp must match the fill timestamp; time-insensitive
+//!   chains splice across moving timestamps.
+//!
+//! Per table, a cached row is used only when the observation entry was
+//! **reused** (not [fresh](crate::observe::FleetObservation::is_fresh)) — fresh entries
+//! (changelog hits, `force_dirty` tables even when absent from the
+//! changelog, new tables) always recompute — and when the table uid at
+//! that position matches (a lazily built uid map handles listing
+//! reorders).
+//!
+//! Storage is flat and generational: one `Vec` each for verdicts, kept
+//! trait rows (row-major, moved wholesale from the cycle's orient
+//! scratch) and `Arc<str>` drop reasons, plus per-table prefix offsets —
+//! rebuilding the next generation during the cycle walk is mostly
+//! `memcpy` and refcount bumps, with no per-table allocations.
+//!
+//! [`FleetObservation::prior_cursor`]: crate::observe::FleetObservation::prior_cursor
+//! [`FleetObservation::is_fresh`]: crate::observe::FleetObservation::is_fresh
+
+use std::sync::Arc;
+
+use crate::candidate::TableRef;
+use crate::observe::ChangeCursor;
+use crate::scope::ScopeStrategy;
+
+/// Splice effectiveness of the most recent cycle (see
+/// [`AutoComp::cycle_cache_stats`](crate::pipeline::AutoComp::cycle_cache_stats)).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CycleCacheStats {
+    /// Tables whose filter verdicts and trait rows were spliced from the
+    /// cache (no filter or trait computation ran for them).
+    pub spliced_tables: usize,
+    /// Tables recomputed this cycle (dirty, new, reordered past the uid
+    /// map, or the whole fleet on a cache miss/flush).
+    pub recomputed_tables: usize,
+}
+
+/// One cached generation: the per-candidate pipeline artifacts of a
+/// single cycle, in observation order, with per-table prefix offsets for
+/// O(1) splicing.
+#[derive(Debug, Default)]
+pub(crate) struct CacheGen {
+    /// Table uid per observation position.
+    pub(crate) uids: Vec<u64>,
+    /// Per table position: start of its candidates in `verdicts`
+    /// (`len = tables + 1`, leading 0).
+    pub(crate) cand_start: Vec<u32>,
+    /// Per table position: kept candidates before it (prefix count).
+    pub(crate) kept_start: Vec<u32>,
+    /// Per table position: dropped candidates before it (prefix count).
+    pub(crate) drop_start: Vec<u32>,
+    /// Per candidate: `true` = kept (has a trait row), `false` = dropped
+    /// (has a reason).
+    pub(crate) verdicts: Vec<bool>,
+    /// Row-major trait rows of kept candidates (stride = trait width).
+    pub(crate) rows: Vec<f64>,
+    /// Drop reasons of dropped candidates, `"filter-name: reason"`.
+    pub(crate) reasons: Vec<Arc<str>>,
+}
+
+impl CacheGen {
+    pub(crate) fn with_capacity(tables: usize) -> Self {
+        let mut gen = CacheGen {
+            uids: Vec::with_capacity(tables),
+            cand_start: Vec::with_capacity(tables + 1),
+            kept_start: Vec::with_capacity(tables + 1),
+            drop_start: Vec::with_capacity(tables + 1),
+            verdicts: Vec::with_capacity(tables),
+            rows: Vec::new(),
+            reasons: Vec::new(),
+        };
+        gen.cand_start.push(0);
+        gen.kept_start.push(0);
+        gen.drop_start.push(0);
+        gen
+    }
+
+    /// Records a kept candidate (its trait row arrives later via the
+    /// moved orient scratch).
+    pub(crate) fn push_kept(&mut self) {
+        self.verdicts.push(true);
+    }
+
+    /// Records a dropped candidate with its chain reason.
+    pub(crate) fn push_dropped(&mut self, reason: Arc<str>) {
+        self.verdicts.push(false);
+        self.reasons.push(reason);
+    }
+
+    /// Bulk-appends the table range `a..b` of a prior generation — the
+    /// splice fast path for runs of positionally-aligned quiet tables.
+    /// Verdicts, reasons and uids copy as slices; the prefix arrays copy
+    /// as slices too when the running offsets are zero (the steady state:
+    /// identical fleet, identical shapes) and otherwise shift by a
+    /// constant.
+    pub(crate) fn extend_run(&mut self, old: &CacheGen, a: usize, b: usize) {
+        let c0 = old.cand_start[a];
+        let c1 = old.cand_start[b];
+        let k0 = old.kept_start[a];
+        let d0 = old.drop_start[a];
+        let d1 = old.drop_start[b];
+        let cand_off = (self.verdicts.len() as u32).wrapping_sub(c0);
+        let kept_off = (self.verdicts.len() as u32 - self.reasons.len() as u32).wrapping_sub(k0);
+        let drop_off = (self.reasons.len() as u32).wrapping_sub(d0);
+        self.uids.extend_from_slice(&old.uids[a..b]);
+        self.verdicts
+            .extend_from_slice(&old.verdicts[c0 as usize..c1 as usize]);
+        self.reasons
+            .extend_from_slice(&old.reasons[d0 as usize..d1 as usize]);
+        if cand_off == 0 && kept_off == 0 && drop_off == 0 {
+            self.cand_start
+                .extend_from_slice(&old.cand_start[a + 1..=b]);
+            self.kept_start
+                .extend_from_slice(&old.kept_start[a + 1..=b]);
+            self.drop_start
+                .extend_from_slice(&old.drop_start[a + 1..=b]);
+        } else {
+            self.cand_start.extend(
+                old.cand_start[a + 1..=b]
+                    .iter()
+                    .map(|v| v.wrapping_add(cand_off)),
+            );
+            self.kept_start.extend(
+                old.kept_start[a + 1..=b]
+                    .iter()
+                    .map(|v| v.wrapping_add(kept_off)),
+            );
+            self.drop_start.extend(
+                old.drop_start[a + 1..=b]
+                    .iter()
+                    .map(|v| v.wrapping_add(drop_off)),
+            );
+        }
+    }
+
+    /// Closes the current table's span.
+    pub(crate) fn end_table(&mut self, uid: u64) {
+        self.uids.push(uid);
+        self.cand_start.push(self.verdicts.len() as u32);
+        self.drop_start.push(self.reasons.len() as u32);
+        self.kept_start
+            .push(self.verdicts.len() as u32 - self.reasons.len() as u32);
+    }
+
+    /// Candidate/kept/dropped offsets of the table at `pos`:
+    /// `(cand_range, first_kept_row, first_reason)`.
+    pub(crate) fn span(&self, pos: usize) -> (std::ops::Range<usize>, usize, usize) {
+        (
+            self.cand_start[pos] as usize..self.cand_start[pos + 1] as usize,
+            self.kept_start[pos] as usize,
+            self.drop_start[pos] as usize,
+        )
+    }
+}
+
+/// Stored generation plus the keys it is valid under.
+#[derive(Debug)]
+struct StoredGen {
+    epoch: u64,
+    scope: ScopeStrategy,
+    cursor: ChangeCursor,
+    now_ms: u64,
+    width: usize,
+    /// The table listing the generation was computed against. Filter
+    /// verdicts read descriptor fields (`compaction_enabled`,
+    /// `is_intermediate`, names), and descriptor edits need not appear
+    /// in the write changelog — so a splice must verify the descriptor
+    /// is unchanged: `Arc::ptr_eq` when the listing was reused wholesale
+    /// (the common incremental case), a per-table compare otherwise.
+    tables: Arc<Vec<TableRef>>,
+    gen: CacheGen,
+}
+
+/// The cross-cycle pipeline cache (see the module docs for the validity
+/// rules). Owned by [`AutoComp`](crate::pipeline::AutoComp); one
+/// generation is retained at a time.
+#[derive(Debug)]
+pub(crate) struct CycleCache {
+    enabled: bool,
+    stored: Option<StoredGen>,
+    last: CycleCacheStats,
+}
+
+impl CycleCache {
+    pub(crate) fn new(enabled: bool) -> Self {
+        CycleCache {
+            enabled,
+            stored: None,
+            last: CycleCacheStats::default(),
+        }
+    }
+
+    pub(crate) fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    pub(crate) fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+        if !enabled {
+            self.stored = None;
+        }
+    }
+
+    /// Number of tables in the retained generation.
+    pub(crate) fn len(&self) -> usize {
+        self.stored.as_ref().map_or(0, |s| s.gen.uids.len())
+    }
+
+    pub(crate) fn stats(&self) -> CycleCacheStats {
+        self.last
+    }
+
+    pub(crate) fn record_cycle(&mut self, spliced: usize, recomputed: usize) {
+        self.last = CycleCacheStats {
+            spliced_tables: spliced,
+            recomputed_tables: recomputed,
+        };
+    }
+
+    /// The retained generation (plus the listing it was computed
+    /// against), if it is spliceable under the given keys.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn usable_gen(
+        &self,
+        epoch: u64,
+        scope: ScopeStrategy,
+        prior_cursor: Option<ChangeCursor>,
+        now_ms: u64,
+        time_sensitive_chain: bool,
+        width: usize,
+    ) -> Option<(&CacheGen, &Arc<Vec<TableRef>>)> {
+        let s = self.stored.as_ref()?;
+        let valid = self.enabled
+            && s.epoch == epoch
+            && s.scope == scope
+            && prior_cursor == Some(s.cursor)
+            && s.width == width
+            && (!time_sensitive_chain || s.now_ms == now_ms);
+        valid.then_some((&s.gen, &s.tables))
+    }
+
+    /// Installs the next generation, replacing the previous one.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn install(
+        &mut self,
+        gen: CacheGen,
+        epoch: u64,
+        scope: ScopeStrategy,
+        cursor: ChangeCursor,
+        now_ms: u64,
+        width: usize,
+        tables: Arc<Vec<TableRef>>,
+    ) {
+        self.stored = Some(StoredGen {
+            epoch,
+            scope,
+            cursor,
+            now_ms,
+            width,
+            tables,
+            gen,
+        });
+    }
+
+    /// Drops the retained generation.
+    pub(crate) fn clear(&mut self) {
+        self.stored = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gen_spans_track_prefixes() {
+        let mut gen = CacheGen::with_capacity(3);
+        // table 0: kept, dropped
+        gen.push_kept();
+        gen.push_dropped(Arc::from("f: x"));
+        gen.end_table(10);
+        // table 1: no candidates (Missing entry)
+        gen.end_table(11);
+        // table 2: dropped, kept, kept
+        gen.push_dropped(Arc::from("f: y"));
+        gen.push_kept();
+        gen.push_kept();
+        gen.end_table(12);
+
+        let (c0, k0, d0) = gen.span(0);
+        assert_eq!((c0, k0, d0), (0..2, 0, 0));
+        let (c1, k1, d1) = gen.span(1);
+        assert_eq!((c1, k1, d1), (2..2, 1, 1));
+        let (c2, k2, d2) = gen.span(2);
+        assert_eq!((c2, k2, d2), (2..5, 1, 1));
+        assert_eq!(gen.verdicts, vec![true, false, false, true, true]);
+    }
+
+    #[test]
+    fn usable_gen_checks_every_key() {
+        let mut cache = CycleCache::new(true);
+        let scope = ScopeStrategy::Table;
+        cache.install(
+            CacheGen::with_capacity(0),
+            1,
+            scope,
+            ChangeCursor(5),
+            100,
+            2,
+            Arc::new(Vec::new()),
+        );
+        let ok = |c: &CycleCache| {
+            c.usable_gen(1, scope, Some(ChangeCursor(5)), 200, false, 2)
+                .is_some()
+        };
+        assert!(ok(&cache));
+        // Epoch, scope, cursor, width, and clock (time-sensitive) gates.
+        assert!(cache
+            .usable_gen(2, scope, Some(ChangeCursor(5)), 200, false, 2)
+            .is_none());
+        assert!(cache
+            .usable_gen(
+                1,
+                ScopeStrategy::Hybrid,
+                Some(ChangeCursor(5)),
+                200,
+                false,
+                2
+            )
+            .is_none());
+        assert!(cache
+            .usable_gen(1, scope, Some(ChangeCursor(6)), 200, false, 2)
+            .is_none());
+        assert!(cache.usable_gen(1, scope, None, 200, false, 2).is_none());
+        assert!(cache
+            .usable_gen(1, scope, Some(ChangeCursor(5)), 200, false, 3)
+            .is_none());
+        // Time-sensitive chains splice only at the fill timestamp.
+        assert!(cache
+            .usable_gen(1, scope, Some(ChangeCursor(5)), 200, true, 2)
+            .is_none());
+        assert!(cache
+            .usable_gen(1, scope, Some(ChangeCursor(5)), 100, true, 2)
+            .is_some());
+        // Disabling drops the generation.
+        cache.set_enabled(false);
+        assert!(!ok(&cache));
+        assert_eq!(cache.len(), 0);
+    }
+}

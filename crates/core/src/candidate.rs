@@ -114,7 +114,70 @@ pub struct Candidate {
     pub stats: CandidateStats,
 }
 
+/// Borrowed, allocation-free view of one candidate: what the filter and
+/// orient phases actually read. The index-native pipeline builds views
+/// straight from a [`FleetObservation`] entry — table descriptor plus
+/// stats reference — without materializing an owned [`Candidate`] (which
+/// would clone the stats payload, histogram included, for every table
+/// every cycle).
+///
+/// [`FleetObservation`]: crate::observe::FleetObservation
+#[derive(Debug, Clone, Copy)]
+pub struct CandidateView<'a> {
+    /// Table the candidate belongs to.
+    pub table_uid: u64,
+    /// Scope granularity.
+    pub scope: ScopeKind,
+    /// Partition label for partition-scope candidates.
+    pub partition: Option<&'a str>,
+    /// Owning database.
+    pub database: &'a str,
+    /// Table name.
+    pub table_name: &'a str,
+    /// Whether the table's policy allows compaction.
+    pub compaction_enabled: bool,
+    /// Whether the table is a short-lived intermediate.
+    pub is_intermediate: bool,
+    /// Observe-phase statistics.
+    pub stats: &'a CandidateStats,
+}
+
+impl<'a> CandidateView<'a> {
+    /// Builds a view over a table descriptor and a stats reference.
+    pub fn new(
+        table: &'a TableRef,
+        scope: ScopeKind,
+        partition: Option<&'a str>,
+        stats: &'a CandidateStats,
+    ) -> Self {
+        CandidateView {
+            table_uid: table.table_uid,
+            scope,
+            partition,
+            database: &table.database,
+            table_name: &table.name,
+            compaction_enabled: table.compaction_enabled,
+            is_intermediate: table.is_intermediate,
+            stats,
+        }
+    }
+}
+
 impl Candidate {
+    /// Borrowed view of this candidate for filter evaluation.
+    pub fn view(&self) -> CandidateView<'_> {
+        CandidateView {
+            table_uid: self.id.table_uid,
+            scope: self.id.scope,
+            partition: self.id.partition.as_deref(),
+            database: &self.database,
+            table_name: &self.table_name,
+            compaction_enabled: self.compaction_enabled,
+            is_intermediate: self.is_intermediate,
+            stats: &self.stats,
+        }
+    }
+
     /// Builds a candidate from a table descriptor and its stats.
     pub fn new(id: CandidateId, table: &TableRef, stats: CandidateStats) -> Self {
         Candidate {

@@ -61,6 +61,18 @@ pub trait LakeConnector {
         None
     }
 
+    /// Monotone-ish epoch of the table *listing* (which tables exist and
+    /// their descriptor flags): any create, drop, rename, or policy edit
+    /// must change it. When a connector reports one and it is unchanged
+    /// since the prior observation, the observe drivers share the prior
+    /// listing (one `Arc` bump) instead of re-materializing every
+    /// [`TableRef`] — at 100K tables the listing clone alone is a
+    /// measurable slice of an incremental observe. Default: `None`
+    /// (unknown; every observe re-lists).
+    fn listing_epoch(&self) -> Option<u64> {
+        None
+    }
+
     /// Uids of tables written at or after `cursor`. `None` means the
     /// connector cannot answer (changelog unsupported, or the cursor
     /// predates its retention) and the caller must fall back to a full
@@ -109,6 +121,12 @@ pub trait BatchLakeConnector: Sync {
         None
     }
 
+    /// Table-listing epoch; see [`LakeConnector::listing_epoch`].
+    /// Default: `None`.
+    fn listing_epoch(&self) -> Option<u64> {
+        None
+    }
+
     /// Tables written since `cursor`; see
     /// [`LakeConnector::changes_since`]. Default: `None`.
     fn changes_since(&self, _cursor: ChangeCursor) -> Option<Vec<u64>> {
@@ -139,6 +157,9 @@ impl<C: LakeConnector + ?Sized> LakeConnector for &C {
     fn fleet_cursor(&self) -> Option<ChangeCursor> {
         (**self).fleet_cursor()
     }
+    fn listing_epoch(&self) -> Option<u64> {
+        (**self).listing_epoch()
+    }
     fn changes_since(&self, cursor: ChangeCursor) -> Option<Vec<u64>> {
         (**self).changes_since(cursor)
     }
@@ -162,6 +183,9 @@ impl<C: BatchLakeConnector + ?Sized> BatchLakeConnector for &C {
     }
     fn fleet_cursor(&self) -> Option<ChangeCursor> {
         (**self).fleet_cursor()
+    }
+    fn listing_epoch(&self) -> Option<u64> {
+        (**self).listing_epoch()
     }
     fn changes_since(&self, cursor: ChangeCursor) -> Option<Vec<u64>> {
         (**self).changes_since(cursor)
@@ -193,6 +217,9 @@ impl<C: BatchLakeConnector> LakeConnector for BatchAsLake<C> {
     fn fleet_cursor(&self) -> Option<ChangeCursor> {
         self.0.fleet_cursor()
     }
+    fn listing_epoch(&self) -> Option<u64> {
+        self.0.listing_epoch()
+    }
     fn changes_since(&self, cursor: ChangeCursor) -> Option<Vec<u64>> {
         self.0.changes_since(cursor)
     }
@@ -222,6 +249,9 @@ impl<C: LakeConnector + Sync> BatchLakeConnector for SyncAsBatch<C> {
     }
     fn fleet_cursor(&self) -> Option<ChangeCursor> {
         self.0.fleet_cursor()
+    }
+    fn listing_epoch(&self) -> Option<u64> {
+        self.0.listing_epoch()
     }
     fn changes_since(&self, cursor: ChangeCursor) -> Option<Vec<u64>> {
         self.0.changes_since(cursor)

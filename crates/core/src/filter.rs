@@ -7,7 +7,7 @@
 //! whether a compaction candidate has undergone recent frequent writes to
 //! avoid potential conflicts during compaction."
 
-use crate::candidate::Candidate;
+use crate::candidate::{Candidate, CandidateView};
 
 /// Outcome of evaluating one filter against one candidate.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -25,12 +25,35 @@ pub enum FilterDecision {
 /// predicates over the candidate, so the bound costs implementations
 /// nothing and keeps the whole observe/orient phase thread-portable.
 ///
+/// Filters evaluate a borrowed [`CandidateView`] rather than an owned
+/// [`Candidate`]: the index-native pipeline builds views straight from
+/// observation entries, so filtering a 100K-table fleet materializes no
+/// candidate structs at all.
+///
 /// [`TraitComputer`]: crate::traits::TraitComputer
 pub trait CandidateFilter: Send + Sync {
     /// Filter name for reports.
     fn name(&self) -> &str;
+
     /// Evaluates the candidate at `now_ms`.
-    fn evaluate(&self, candidate: &Candidate, now_ms: u64) -> FilterDecision;
+    fn evaluate(&self, candidate: &CandidateView<'_>, now_ms: u64) -> FilterDecision;
+
+    /// Whether this filter's verdict (or drop-reason string) depends on
+    /// the cycle timestamp `now_ms` and not just the candidate's stats.
+    ///
+    /// The incremental [`CycleCache`] reuses a quiet table's filter
+    /// verdict across cycles only when every filter in the chain declares
+    /// itself time-**insensitive** (or the timestamp did not move):
+    /// verdicts of time-sensitive filters can flip — and their reason
+    /// strings change — as the clock advances even when the stats are
+    /// byte-identical. Defaults to `true` (conservative: unknown filters
+    /// never get stale verdicts); pure stats predicates should override
+    /// to `false` to unlock cross-cycle caching.
+    ///
+    /// [`CycleCache`]: crate::pipeline::AutoComp::cycle_cache_stats
+    fn time_sensitive(&self) -> bool {
+        true
+    }
 }
 
 /// Drops candidates whose table policy disables compaction.
@@ -41,12 +64,16 @@ impl CandidateFilter for CompactionDisabledFilter {
     fn name(&self) -> &str {
         "compaction-disabled"
     }
-    fn evaluate(&self, candidate: &Candidate, _now_ms: u64) -> FilterDecision {
+    fn evaluate(&self, candidate: &CandidateView<'_>, _now_ms: u64) -> FilterDecision {
         if candidate.compaction_enabled {
             FilterDecision::Keep
         } else {
             FilterDecision::Drop("policy disables compaction".to_string())
         }
+    }
+    /// Pure stats predicate: verdicts never depend on the cycle clock.
+    fn time_sensitive(&self) -> bool {
+        false
     }
 }
 
@@ -64,13 +91,17 @@ impl CandidateFilter for RecentlyCreatedFilter {
     fn name(&self) -> &str {
         "recently-created"
     }
-    fn evaluate(&self, candidate: &Candidate, now_ms: u64) -> FilterDecision {
+    fn evaluate(&self, candidate: &CandidateView<'_>, now_ms: u64) -> FilterDecision {
         let age = now_ms.saturating_sub(candidate.stats.created_at_ms);
         if age < self.grace_ms {
             FilterDecision::Drop(format!("created {age}ms ago (< grace {}ms)", self.grace_ms))
         } else {
             FilterDecision::Keep
         }
+    }
+    /// Verdicts (and reason strings) move with the cycle clock.
+    fn time_sensitive(&self) -> bool {
+        true
     }
 }
 
@@ -83,12 +114,16 @@ impl CandidateFilter for IntermediateTableFilter {
     fn name(&self) -> &str {
         "intermediate-table"
     }
-    fn evaluate(&self, candidate: &Candidate, _now_ms: u64) -> FilterDecision {
+    fn evaluate(&self, candidate: &CandidateView<'_>, _now_ms: u64) -> FilterDecision {
         if candidate.is_intermediate {
             FilterDecision::Drop("intermediate table".to_string())
         } else {
             FilterDecision::Keep
         }
+    }
+    /// Pure stats predicate: verdicts never depend on the cycle clock.
+    fn time_sensitive(&self) -> bool {
+        false
     }
 }
 
@@ -105,7 +140,7 @@ impl CandidateFilter for MinSizeFilter {
     fn name(&self) -> &str {
         "min-size"
     }
-    fn evaluate(&self, candidate: &Candidate, _now_ms: u64) -> FilterDecision {
+    fn evaluate(&self, candidate: &CandidateView<'_>, _now_ms: u64) -> FilterDecision {
         if candidate.stats.total_bytes < self.min_total_bytes {
             return FilterDecision::Drop(format!(
                 "total bytes {} < {}",
@@ -119,6 +154,10 @@ impl CandidateFilter for MinSizeFilter {
             ));
         }
         FilterDecision::Keep
+    }
+    /// Pure stats predicate: verdicts never depend on the cycle clock.
+    fn time_sensitive(&self) -> bool {
+        false
     }
 }
 
@@ -137,7 +176,7 @@ impl CandidateFilter for RecentWriteActivityFilter {
     fn name(&self) -> &str {
         "recent-write-activity"
     }
-    fn evaluate(&self, candidate: &Candidate, now_ms: u64) -> FilterDecision {
+    fn evaluate(&self, candidate: &CandidateView<'_>, now_ms: u64) -> FilterDecision {
         if let Some(last) = candidate.stats.last_write_ms {
             let since = now_ms.saturating_sub(last);
             if since < self.quiet_ms {
@@ -154,6 +193,10 @@ impl CandidateFilter for RecentWriteActivityFilter {
             ));
         }
         FilterDecision::Keep
+    }
+    /// Verdicts (and reason strings) move with the cycle clock.
+    fn time_sensitive(&self) -> bool {
+        true
     }
 }
 
@@ -173,7 +216,7 @@ impl CandidateFilter for AlreadyCompactFilter {
     fn name(&self) -> &str {
         "already-compact"
     }
-    fn evaluate(&self, candidate: &Candidate, _now_ms: u64) -> FilterDecision {
+    fn evaluate(&self, candidate: &CandidateView<'_>, _now_ms: u64) -> FilterDecision {
         let s = &candidate.stats;
         if s.small_file_count < self.min_small_files {
             return FilterDecision::Drop(format!(
@@ -190,6 +233,38 @@ impl CandidateFilter for AlreadyCompactFilter {
         }
         FilterDecision::Keep
     }
+    /// Pure stats predicate: verdicts never depend on the cycle clock.
+    fn time_sensitive(&self) -> bool {
+        false
+    }
+}
+
+/// Evaluates a filter chain against one candidate view: `None` keeps the
+/// candidate, `Some(reason)` drops it with the first dropping filter's
+/// `"name: reason"` string (the first dropping filter wins, exactly like
+/// the historical chain). This is the single evaluation site shared by
+/// the index-native pipeline and the [`apply_filters`] compatibility
+/// wrapper, so both paths produce identical verdicts and reason strings.
+pub fn evaluate_chain(
+    filters: &[Box<dyn CandidateFilter>],
+    candidate: &CandidateView<'_>,
+    now_ms: u64,
+) -> Option<String> {
+    for filter in filters {
+        if let FilterDecision::Drop(reason) = filter.evaluate(candidate, now_ms) {
+            return Some(format!("{}: {}", filter.name(), reason));
+        }
+    }
+    None
+}
+
+/// Whether any filter in the chain declares its verdicts
+/// [time-sensitive](CandidateFilter::time_sensitive). A chain that is
+/// entirely time-insensitive has verdicts that are pure functions of the
+/// candidate stats, which is what lets the incremental cycle cache splice
+/// them across cycles with moving timestamps.
+pub fn chain_time_sensitive(filters: &[Box<dyn CandidateFilter>]) -> bool {
+    filters.iter().any(|f| f.time_sensitive())
 }
 
 /// Applies a filter chain, returning surviving candidates and the dropped
@@ -202,6 +277,11 @@ impl CandidateFilter for AlreadyCompactFilter {
 /// dropped ones out with a single compaction pass): at 100K candidates
 /// the seed's rebuild-into-a-fresh-vec moved ~30 MB of candidate structs
 /// every cycle, which dwarfed the actual predicate evaluation cost.
+///
+/// The hot pipeline no longer materializes candidates at all — it runs
+/// [`evaluate_chain`] over observation-backed views; this wrapper remains
+/// for callers that already hold owned candidates (ablations, profilers,
+/// custom drivers).
 pub fn apply_filters(
     mut candidates: Vec<Candidate>,
     filters: &[Box<dyn CandidateFilter>],
@@ -217,13 +297,13 @@ pub fn apply_filters(
     let pending_reason: std::cell::Cell<Option<String>> = std::cell::Cell::new(None);
     let dropped = candidates
         .extract_if(.., |candidate| {
-            for filter in filters {
-                if let FilterDecision::Drop(reason) = filter.evaluate(candidate, now_ms) {
-                    pending_reason.set(Some(format!("{}: {}", filter.name(), reason)));
-                    return true;
+            match evaluate_chain(filters, &candidate.view(), now_ms) {
+                Some(reason) => {
+                    pending_reason.set(Some(reason));
+                    true
                 }
+                None => false,
             }
-            false
         })
         .map(|candidate| {
             let reason = pending_reason.take().expect("predicate set the reason");
@@ -257,8 +337,11 @@ mod tests {
             created_at_ms: 500,
             ..CandidateStats::default()
         });
-        assert!(matches!(f.evaluate(&c, 900), FilterDecision::Drop(_)));
-        assert_eq!(f.evaluate(&c, 2000), FilterDecision::Keep);
+        assert!(matches!(
+            f.evaluate(&c.view(), 900),
+            FilterDecision::Drop(_)
+        ));
+        assert_eq!(f.evaluate(&c.view(), 2000), FilterDecision::Keep);
     }
 
     #[test]
@@ -271,10 +354,16 @@ mod tests {
             last_write_ms: Some(100),
             ..CandidateStats::default()
         });
-        assert!(matches!(f.evaluate(&c, 500), FilterDecision::Drop(_)));
-        assert_eq!(f.evaluate(&c, 5000), FilterDecision::Keep);
+        assert!(matches!(
+            f.evaluate(&c.view(), 500),
+            FilterDecision::Drop(_)
+        ));
+        assert_eq!(f.evaluate(&c.view(), 5000), FilterDecision::Keep);
         c.stats.write_frequency_per_hour = 50.0;
-        assert!(matches!(f.evaluate(&c, 5000), FilterDecision::Drop(_)));
+        assert!(matches!(
+            f.evaluate(&c.view(), 5000),
+            FilterDecision::Drop(_)
+        ));
     }
 
     #[test]
@@ -288,13 +377,16 @@ mod tests {
             small_file_count: 2,
             ..CandidateStats::default()
         });
-        assert!(matches!(f.evaluate(&compact, 0), FilterDecision::Drop(_)));
+        assert!(matches!(
+            f.evaluate(&compact.view(), 0),
+            FilterDecision::Drop(_)
+        ));
         let fragmented = candidate(CandidateStats {
             file_count: 100,
             small_file_count: 80,
             ..CandidateStats::default()
         });
-        assert_eq!(f.evaluate(&fragmented, 0), FilterDecision::Keep);
+        assert_eq!(f.evaluate(&fragmented.view(), 0), FilterDecision::Keep);
     }
 
     #[test]
@@ -334,7 +426,7 @@ mod tests {
         let mut c = candidate(CandidateStats::default());
         c.is_intermediate = true;
         assert!(matches!(
-            IntermediateTableFilter.evaluate(&c, 0),
+            IntermediateTableFilter.evaluate(&c.view(), 0),
             FilterDecision::Drop(_)
         ));
     }

@@ -85,6 +85,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod candidate;
 pub mod connector;
 pub mod error;
@@ -102,7 +103,8 @@ pub mod stats;
 pub mod traits;
 pub mod trigger;
 
-pub use candidate::{Candidate, CandidateId, ScopeKind, TableRef};
+pub use cache::CycleCacheStats;
+pub use candidate::{Candidate, CandidateId, CandidateView, ScopeKind, TableRef};
 pub use connector::{
     BatchAsLake, BatchLakeConnector, CompactionExecutor, ExecutionResult, LakeConnector,
     Prediction, SyncAsBatch,
@@ -118,7 +120,9 @@ pub use observe::{
     ChangeCursor, FleetObservation, FleetObserver, NameInterner, ObserveRequest, TableObservation,
 };
 pub use pipeline::{AutoComp, AutoCompConfig, CycleReport};
-pub use rank::{DecisionNote, RankedEntry, RankingPolicy, TraitWeight, RANKED_PREFIX_MIN};
+pub use rank::{
+    DecisionNote, RankSource, RankedEntry, RankingPolicy, TraitWeight, RANKED_PREFIX_MIN,
+};
 pub use schedule::{
     AllParallelScheduler, ParallelTablesScheduler, ScheduledJob, Scheduler,
     StrictSequentialScheduler,

@@ -169,6 +169,28 @@ impl TraitMatrix {
         out.into_iter().collect()
     }
 
+    /// Loads every column at once by transposing a row-major scratch
+    /// buffer (`scratch[row * width + col]`), resizing the matrix to
+    /// `rows`. This is the orient phase's assembly step: trait values are
+    /// produced (or spliced from the cycle cache) one row at a time —
+    /// a single stats access per candidate — and then laid out into the
+    /// contiguous columns ranking consumes.
+    ///
+    /// # Panics
+    /// Panics if `scratch.len() != rows * width()`.
+    pub fn load_row_major(&mut self, rows: usize, scratch: &[f64]) {
+        let width = self.names.len();
+        assert_eq!(scratch.len(), rows * width, "scratch shape mismatch");
+        self.rows = rows;
+        self.values = vec![0.0; width * rows];
+        for col in 0..width {
+            let column = &mut self.values[col * rows..(col + 1) * rows];
+            for (row, value) in column.iter_mut().enumerate() {
+                *value = scratch[row * width + col];
+            }
+        }
+    }
+
     /// Drops the rows where `keep` is false, preserving relative order.
     /// `keep.len()` must equal [`rows`](Self::rows).
     pub fn retain_rows(&mut self, keep: &[bool]) {

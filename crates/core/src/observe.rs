@@ -45,7 +45,42 @@
 //! or [`FleetObserver::mark_dirty`]/[`FleetObserver::reset`] intervene —
 //! for skipping the full-fleet fetch. Drivers that need exact fleetwide
 //! signals on a cadence should interleave periodic cold observes
-//! (`reset()` before the cycle).
+//! (`reset()` before the cycle), or force-dirty the affected tables
+//! (e.g. every table of a database whose quota was edited). The
+//! staleness suite (`tests/staleness_contract.rs`) pins this contract
+//! executable: sibling-write quota moves, write-frequency decay and
+//! snapshot-window aging are each exact after a cold observe, frozen
+//! under reuse, and reconverge exactly after a reset.
+//!
+//! # Freshness, and what downstream caches key on
+//!
+//! Every observation knows, per entry, whether it was **fetched this
+//! pass** ([`FleetObservation::is_fresh`]) or reused verbatim, and which
+//! snapshot it was incrementally derived from
+//! ([`FleetObservation::prior_cursor`]). Together these are the
+//! invalidation contract for cross-cycle caches (the pipeline's
+//! `CycleCache`): a cached per-table artifact is valid iff it was
+//! computed against the observation whose cursor equals `prior_cursor()`
+//! *and* the table's entry is not fresh — force-dirtied tables land in
+//! the fresh chunk even when the changelog never saw a write, precisely
+//! so caches invalidate their rows. See [`crate::pipeline`] and the
+//! cache-epoch rules documented there.
+//!
+//! # Arena-chunk compaction
+//!
+//! Each incremental pass adds one fresh chunk and imports the prior
+//! chunks its reused entries live in. Without intervention a long-lived
+//! observer would retain dead entries forever (a chunk stays alive while
+//! *any* of its entries is referenced) and accumulate one sliver chunk
+//! per cycle. The assembly therefore rewrites imported chunks into a
+//! dedicated compaction chunk when fewer than half their entries are
+//! still live ([`ARENA_COMPACT_MIN_LIVE`]) or when they hold less than
+//! `1/64` of the fleet ([`ARENA_COMPACT_SMALL_DIVISOR`]). Consequences,
+//! pinned by the soak suite (`tests/incremental_soak.rs`):
+//! [`FleetObservation::arena_live_density`] never drops below 1/2 and
+//! [`FleetObservation::arena_chunk_count`] stays ≤ 2 × 64 + 2 no matter
+//! how many cycles run. The compaction chunk is distinct from the fresh
+//! chunk, so relocated entries do not read as freshly fetched.
 //!
 //! [`to_candidates`]: FleetObservation::to_candidates
 //! [`HookAction::MarkDirty`]: crate::trigger::HookAction::MarkDirty
@@ -148,13 +183,41 @@ struct EntryRef {
 #[derive(Debug, Clone)]
 pub struct FleetObservation {
     scope: ScopeStrategy,
-    tables: Vec<TableRef>,
+    tables: Arc<Vec<TableRef>>,
+    /// Connector listing epoch the table list was captured under, if the
+    /// connector reports one ([`LakeConnector::listing_epoch`]): lets the
+    /// next incremental observe share this listing (one `Arc` bump)
+    /// instead of re-materializing 100K descriptors per cycle.
+    listing_epoch: Option<u64>,
     entries: Vec<EntryRef>,
     chunks: Vec<Arc<Vec<TableObservation>>>,
     cursor: Option<ChangeCursor>,
+    /// Chunk holding the entries fetched from the connector *this pass*
+    /// (`None` when an incremental pass fetched nothing). Everything else
+    /// was reused verbatim from the prior observation — the invariant
+    /// downstream caches key on (see [`Self::is_fresh`]).
+    fresh_chunk: Option<u32>,
+    /// Cursor of the prior observation this one was derived from
+    /// incrementally; `None` for cold observations. Lets per-cycle caches
+    /// verify they are splicing against the exact snapshot their rows
+    /// were computed from.
+    prior_cursor: Option<ChangeCursor>,
     fetched: usize,
     reused: usize,
 }
+
+/// An imported arena chunk is rewritten (its live entries cloned into a
+/// dedicated compaction chunk) once fewer than half its entries are still
+/// referenced — long-lived incremental observers otherwise retain dead
+/// entries until every table of a chunk happens to be re-fetched.
+pub const ARENA_COMPACT_MIN_LIVE: (usize, usize) = (1, 2);
+
+/// Imported chunks smaller than `fleet / ARENA_COMPACT_SMALL_DIVISOR`
+/// entries are folded into the compaction chunk regardless of density, so
+/// the per-cycle dirty-set chunks cannot accumulate without bound.
+/// Together with the density rule this caps the chunk count at
+/// `2 × ARENA_COMPACT_SMALL_DIVISOR + 2`.
+pub const ARENA_COMPACT_SMALL_DIVISOR: usize = 64;
 
 impl PartialEq for FleetObservation {
     /// Logical equality: same scope, cursor, tables and per-table
@@ -183,6 +246,19 @@ impl FleetObservation {
         stats: Vec<TableObservation>,
         cursor: Option<ChangeCursor>,
     ) -> Self {
+        Self::assemble_cold(scope, Arc::new(tables), None, stats, cursor)
+    }
+
+    /// Cold assembly over an already-shared table listing (the drivers'
+    /// path: the listing may be reused from the prior observation when
+    /// the connector's listing epoch is unchanged).
+    fn assemble_cold(
+        scope: ScopeStrategy,
+        tables: Arc<Vec<TableRef>>,
+        listing_epoch: Option<u64>,
+        stats: Vec<TableObservation>,
+        cursor: Option<ChangeCursor>,
+    ) -> Self {
         assert_eq!(tables.len(), stats.len(), "tables/stats length mismatch");
         let fetched = tables.len();
         FleetObservation {
@@ -191,11 +267,21 @@ impl FleetObservation {
                 .map(|offset| EntryRef { chunk: 0, offset })
                 .collect(),
             tables,
+            listing_epoch,
             chunks: vec![Arc::new(stats)],
             cursor,
+            fresh_chunk: Some(0),
+            prior_cursor: None,
             fetched,
             reused: 0,
         }
+    }
+
+    /// Shared handle on the table listing (for listing reuse across
+    /// incremental observes, and for the cycle cache's descriptor
+    /// verification).
+    pub(crate) fn tables_shared(&self) -> Arc<Vec<TableRef>> {
+        Arc::clone(&self.tables)
     }
 
     /// Scope strategy the stats were fetched under.
@@ -220,6 +306,11 @@ impl FleetObservation {
         &self.tables
     }
 
+    /// Connector listing epoch the table list was captured under, if any.
+    pub fn listing_epoch(&self) -> Option<u64> {
+        self.listing_epoch
+    }
+
     /// Stats entry for the table at `index`.
     pub fn entry(&self, index: usize) -> &TableObservation {
         let e = self.entries[index];
@@ -236,6 +327,50 @@ impl FleetObservation {
         self.reused
     }
 
+    /// Whether the entry at `index` was fetched from the connector *this
+    /// pass* (as opposed to reused verbatim from the prior observation).
+    /// Cold observations are fresh everywhere; incremental observations
+    /// are fresh exactly for the dirty set — changelog hits, `force_dirty`
+    /// tables (even when the changelog missed them), and newly listed
+    /// tables. Downstream per-table caches must invalidate on fresh
+    /// entries: a fresh entry's stats may differ from the prior cycle's.
+    pub fn is_fresh(&self, index: usize) -> bool {
+        self.fresh_chunk
+            .is_some_and(|fc| self.entries[index].chunk == fc)
+    }
+
+    /// Cursor of the prior observation this one was incrementally derived
+    /// from, or `None` for cold observations. A cache keyed on the cursor
+    /// chain splices only when this matches the cursor of the observation
+    /// its rows were computed against.
+    pub fn prior_cursor(&self) -> Option<ChangeCursor> {
+        self.prior_cursor
+    }
+
+    /// Number of arena chunks currently backing the observation.
+    pub fn arena_chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Total entry slots across all arena chunks (live + dead).
+    pub fn arena_slot_count(&self) -> usize {
+        self.chunks.iter().map(|c| c.len()).sum()
+    }
+
+    /// Fraction of arena slots still referenced by an entry. Arena
+    /// compaction keeps this at or above 1/2 (the
+    /// [`ARENA_COMPACT_MIN_LIVE`] threshold): surviving imported chunks
+    /// are at least half live, and the compaction + fresh chunks are fully
+    /// live by construction.
+    pub fn arena_live_density(&self) -> f64 {
+        let slots = self.arena_slot_count();
+        if slots == 0 {
+            1.0
+        } else {
+            self.entries.len() as f64 / slots as f64
+        }
+    }
+
     /// Number of candidates [`to_candidates`](Self::to_candidates) will
     /// produce.
     pub fn candidate_count(&self) -> usize {
@@ -248,7 +383,7 @@ impl FleetObservation {
             .sum()
     }
 
-    fn single_scope(&self) -> ScopeKind {
+    pub(crate) fn single_scope(&self) -> ScopeKind {
         match self.scope {
             ScopeStrategy::Snapshot { .. } => ScopeKind::Snapshot,
             _ => ScopeKind::Table,
@@ -295,11 +430,12 @@ impl FleetObservation {
     pub fn into_candidates(mut self) -> Vec<Candidate> {
         let single_scope = self.single_scope();
         // Fast path — a cold observation uniquely holding one identity
-        // chunk (the overwhelmingly common non-retained case): drain the
-        // chunk in step with the tables, no per-entry indirection and no
-        // intermediate re-collection.
+        // chunk and its own table listing (the overwhelmingly common
+        // non-retained case): drain the chunk in step with the tables, no
+        // per-entry indirection and no intermediate re-collection.
         if self.chunks.len() == 1
             && Arc::strong_count(&self.chunks[0]) == 1
+            && Arc::strong_count(&self.tables) == 1
             && self
                 .entries
                 .iter()
@@ -308,8 +444,10 @@ impl FleetObservation {
         {
             let chunk = Arc::try_unwrap(self.chunks.pop().expect("one chunk"))
                 .unwrap_or_else(|_| unreachable!("strong count was 1"));
-            let mut out = Vec::with_capacity(self.tables.len());
-            for (table, stat) in self.tables.into_iter().zip(chunk) {
+            let tables =
+                Arc::try_unwrap(self.tables).unwrap_or_else(|_| unreachable!("strong count was 1"));
+            let mut out = Vec::with_capacity(tables.len());
+            for (table, stat) in tables.into_iter().zip(chunk) {
                 push_candidate(&mut out, table, stat, single_scope);
             }
             return out;
@@ -334,7 +472,11 @@ impl FleetObservation {
             })
             .collect();
         let mut out = Vec::new();
-        for (table, e) in self.tables.into_iter().zip(self.entries) {
+        let tables: Vec<TableRef> = match Arc::try_unwrap(self.tables) {
+            Ok(owned) => owned,
+            Err(shared) => shared.as_ref().clone(),
+        };
+        for (table, e) in tables.into_iter().zip(self.entries) {
             let stat = match &mut chunks[e.chunk as usize] {
                 Unwrapped::Owned(slots) => slots[e.offset as usize]
                     .take()
@@ -593,12 +735,29 @@ fn make_plans(
     dirty.dedup();
     let prior_tables = prior.tables();
     let mut fallback_index: Option<BTreeMap<u64, usize>> = None;
+    // Dirty-set membership via a merge scan: connectors list tables in a
+    // stable order that is almost always uid-ascending, so one pointer
+    // into the sorted dirty set amortizes to O(n + d); any out-of-order
+    // uid falls back to a binary search for just that table.
+    let mut dirty_ptr = 0usize;
+    let mut last_uid = 0u64;
+    let mut is_dirty = move |uid: u64| -> bool {
+        if uid >= last_uid {
+            last_uid = uid;
+            while dirty_ptr < dirty.len() && dirty[dirty_ptr] < uid {
+                dirty_ptr += 1;
+            }
+            dirty_ptr < dirty.len() && dirty[dirty_ptr] == uid
+        } else {
+            dirty.binary_search(&uid).is_ok()
+        }
+    };
     Some(
         tables
             .iter()
             .enumerate()
             .map(|(pos, t)| {
-                if dirty.binary_search(&t.table_uid).is_ok() {
+                if is_dirty(t.table_uid) {
                     return FetchPlan::Fetch;
                 }
                 if prior_tables
@@ -625,32 +784,49 @@ fn make_plans(
 
 /// Assembles an incremental observation: freshly fetched entries land in
 /// one new arena chunk; reused entries import their prior chunk (one
-/// `Arc` bump per chunk) and copy the 8-byte entry ref.
+/// `Arc` bump per chunk) and copy the 8-byte entry ref. Imported chunks
+/// that fell below the live-density threshold (or shrank to a sliver of
+/// the fleet) are compacted: their live entries are cloned into a
+/// dedicated compaction chunk so the old chunk — and the dead entries it
+/// retains — can be freed once the prior observation is dropped.
 fn assemble_incremental(
     scope: ScopeStrategy,
-    tables: Vec<TableRef>,
+    tables: Arc<Vec<TableRef>>,
+    listing_epoch: Option<u64>,
     plans: &[FetchPlan],
-    fetched: Vec<Option<TableObservation>>,
+    fetched: Vec<TableObservation>,
     prior: &FleetObservation,
     cursor: Option<ChangeCursor>,
 ) -> FleetObservation {
     const FRESH: u32 = u32::MAX;
-    let mut fresh: Vec<TableObservation> = Vec::new();
+    // `fetched` is compact (one entry per Fetch plan, in plan order):
+    // building a fleet-sized Option vector just to hold a 1% dirty set
+    // was measurable memory traffic at 100K tables.
+    let mut fresh: Vec<TableObservation> = fetched;
+    debug_assert_eq!(
+        fresh.len(),
+        plans
+            .iter()
+            .filter(|p| matches!(p, FetchPlan::Fetch))
+            .count(),
+        "one fetched stat per fetch plan"
+    );
     let mut entries: Vec<EntryRef> = Vec::with_capacity(tables.len());
     let mut chunks: Vec<Arc<Vec<TableObservation>>> = Vec::new();
     // prior chunk index → imported chunk index (lazily assigned).
     let mut imported: Vec<u32> = vec![FRESH; prior.chunks.len()];
     let mut reused = 0usize;
-    for (plan, stat) in plans.iter().zip(fetched) {
-        match (plan, stat) {
-            (FetchPlan::Fetch, Some(stat)) => {
+    let mut next_fresh = 0u32;
+    for plan in plans {
+        match plan {
+            FetchPlan::Fetch => {
                 entries.push(EntryRef {
                     chunk: FRESH,
-                    offset: fresh.len() as u32,
+                    offset: next_fresh,
                 });
-                fresh.push(stat);
+                next_fresh += 1;
             }
-            (FetchPlan::Reuse(idx), _) => {
+            FetchPlan::Reuse(idx) => {
                 reused += 1;
                 let prior_entry = prior.entries[*idx];
                 let slot = &mut imported[prior_entry.chunk as usize];
@@ -663,23 +839,81 @@ fn assemble_incremental(
                     offset: prior_entry.offset,
                 });
             }
-            (FetchPlan::Fetch, None) => unreachable!("fetch plans carry a fetched stat"),
         }
     }
-    let fresh_chunk = chunks.len() as u32;
-    if !fresh.is_empty() {
+
+    // Arena compaction over the imported chunks. The compaction chunk is
+    // distinct from the fresh chunk so reused-but-relocated entries do not
+    // read as freshly fetched downstream.
+    let total = entries.len();
+    let mut live = vec![0usize; chunks.len()];
+    for e in &entries {
+        if e.chunk != FRESH {
+            live[e.chunk as usize] += 1;
+        }
+    }
+    let (live_num, live_den) = ARENA_COMPACT_MIN_LIVE;
+    let compact_chunk: Vec<bool> = chunks
+        .iter()
+        .zip(&live)
+        .map(|(c, l)| {
+            l * live_den < c.len() * live_num || c.len() * ARENA_COMPACT_SMALL_DIVISOR < total
+        })
+        .collect();
+    if compact_chunk.iter().any(|c| *c) {
+        let mut survivors: Vec<Arc<Vec<TableObservation>>> = Vec::new();
+        let mut new_index: Vec<u32> = vec![FRESH; chunks.len()];
+        for (i, chunk) in chunks.iter().enumerate() {
+            if !compact_chunk[i] {
+                new_index[i] = survivors.len() as u32;
+                survivors.push(chunk.clone());
+            }
+        }
+        let compact_index = survivors.len() as u32;
+        let mut compacted: Vec<TableObservation> = Vec::new();
+        for e in entries.iter_mut() {
+            if e.chunk == FRESH {
+                continue;
+            }
+            let old = e.chunk as usize;
+            if compact_chunk[old] {
+                let stat = chunks[old][e.offset as usize].clone();
+                *e = EntryRef {
+                    chunk: compact_index,
+                    offset: compacted.len() as u32,
+                };
+                compacted.push(stat);
+            } else {
+                e.chunk = new_index[old];
+            }
+        }
+        if !compacted.is_empty() {
+            survivors.push(Arc::new(compacted));
+        }
+        chunks = survivors;
+    }
+
+    let fresh_chunk = if fresh.is_empty() {
+        None
+    } else {
+        fresh.shrink_to_fit();
+        let idx = chunks.len() as u32;
         chunks.push(Arc::new(fresh));
         for e in entries.iter_mut().filter(|e| e.chunk == FRESH) {
-            e.chunk = fresh_chunk;
+            e.chunk = idx;
         }
-    }
+        Some(idx)
+    };
     let fetched = tables.len() - reused;
     FleetObservation {
         scope,
         tables,
+        listing_epoch,
         entries,
         chunks,
         cursor,
+        fresh_chunk,
+        prior_cursor: prior.cursor(),
         fetched,
         reused,
     }
@@ -692,7 +926,14 @@ pub fn pull_observe<C: LakeConnector + ?Sized>(
     connector: &C,
     request: &ObserveRequest<'_>,
 ) -> FleetObservation {
-    let tables = connector.list_tables();
+    let listing_epoch = connector.listing_epoch();
+    // Listing reuse: when the connector reports an unchanged listing
+    // epoch, share the prior observation's table vector (one `Arc` bump)
+    // instead of re-materializing every descriptor.
+    let tables: Arc<Vec<TableRef>> = match (listing_epoch, request.prior) {
+        (Some(e), Some(p)) if p.listing_epoch() == Some(e) => p.tables_shared(),
+        _ => Arc::new(connector.list_tables()),
+    };
     let cursor = connector.fleet_cursor();
     let plans = make_plans(&tables, request, |c| connector.changes_since(c));
     let source = SeqSource(connector);
@@ -702,19 +943,25 @@ pub fn pull_observe<C: LakeConnector + ?Sized>(
                 .iter()
                 .map(|t| fetch_one(&source, t, request.scope))
                 .collect();
-            FleetObservation::from_parts(request.scope, tables, stats, cursor)
+            FleetObservation::assemble_cold(request.scope, tables, listing_epoch, stats, cursor)
         }
         Some(plans) => {
             let prior = request.prior.expect("plans imply a prior");
-            let fetched: Vec<Option<TableObservation>> = tables
+            let fetched: Vec<TableObservation> = tables
                 .iter()
                 .zip(&plans)
-                .map(|(t, plan)| match plan {
-                    FetchPlan::Fetch => Some(fetch_one(&source, t, request.scope)),
-                    FetchPlan::Reuse(_) => None,
-                })
+                .filter(|(_, plan)| matches!(plan, FetchPlan::Fetch))
+                .map(|(t, _)| fetch_one(&source, t, request.scope))
                 .collect();
-            assemble_incremental(request.scope, tables, &plans, fetched, prior, cursor)
+            assemble_incremental(
+                request.scope,
+                tables,
+                listing_epoch,
+                &plans,
+                fetched,
+                prior,
+                cursor,
+            )
         }
     }
 }
@@ -726,7 +973,11 @@ pub fn batch_observe<C: BatchLakeConnector + ?Sized>(
     connector: &C,
     request: &ObserveRequest<'_>,
 ) -> FleetObservation {
-    let tables = connector.list_tables();
+    let listing_epoch = connector.listing_epoch();
+    let tables: Arc<Vec<TableRef>> = match (listing_epoch, request.prior) {
+        (Some(e), Some(p)) if p.listing_epoch() == Some(e) => p.tables_shared(),
+        _ => Arc::new(connector.list_tables()),
+    };
     let cursor = connector.fleet_cursor();
     let plans = make_plans(&tables, request, |c| connector.changes_since(c));
     let source = BatchSource(connector);
@@ -736,15 +987,22 @@ pub fn batch_observe<C: BatchLakeConnector + ?Sized>(
             let stats = par::par_map(&tables, par::PAR_OBSERVE_MIN_LEN, |_, t| {
                 fetch_one(&source, t, scope)
             });
-            FleetObservation::from_parts(scope, tables, stats, cursor)
+            FleetObservation::assemble_cold(scope, tables, listing_epoch, stats, cursor)
         }
         Some(plans) => {
             let prior = request.prior.expect("plans imply a prior");
-            let fetched = par::par_map(&tables, par::PAR_OBSERVE_MIN_LEN, |i, t| match plans[i] {
-                FetchPlan::Fetch => Some(fetch_one(&source, t, scope)),
-                FetchPlan::Reuse(_) => None,
+            // Fan out only over the dirty positions (position-stable, so
+            // still bit-identical to the sequential path).
+            let fetch_positions: Vec<u32> = plans
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| matches!(p, FetchPlan::Fetch))
+                .map(|(i, _)| i as u32)
+                .collect();
+            let fetched = par::par_map(&fetch_positions, par::PAR_OBSERVE_MIN_LEN, |_, pos| {
+                fetch_one(&source, &tables[*pos as usize], scope)
             });
-            assemble_incremental(scope, tables, &plans, fetched, prior, cursor)
+            assemble_incremental(scope, tables, listing_epoch, &plans, fetched, prior, cursor)
         }
     }
 }
@@ -978,6 +1236,109 @@ mod tests {
         assert_eq!(obs.table_count(), 6);
         assert_eq!(obs.reused_tables(), 5);
         assert_eq!(obs.fetched_tables(), 1);
+    }
+
+    #[test]
+    fn fresh_entries_are_exactly_the_dirty_set() {
+        let lake = ChangeLake::new(10);
+        let mut observer = FleetObserver::new();
+        let cold = observer.observe(&lake, ScopeStrategy::Table);
+        assert!(
+            (0..10).all(|i| cold.is_fresh(i)),
+            "cold is fresh everywhere"
+        );
+        lake.write(4);
+        let obs = observer.observe(&lake, ScopeStrategy::Table);
+        for i in 0..10 {
+            assert_eq!(obs.is_fresh(i), i == 4, "entry {i}");
+        }
+        assert_eq!(obs.prior_cursor(), Some(ChangeCursor(0)));
+        // A force-dirtied table absent from the changelog is fresh too —
+        // the invariant downstream caches key their invalidation on.
+        observer.mark_dirty(7);
+        let obs = observer.observe(&lake, ScopeStrategy::Table);
+        for i in 0..10 {
+            assert_eq!(obs.is_fresh(i), i == 7, "entry {i}");
+        }
+        // A quiet incremental pass fetches nothing: no fresh entries.
+        let obs = observer.observe(&lake, ScopeStrategy::Table);
+        assert!((0..10).all(|i| !obs.is_fresh(i)));
+    }
+
+    /// Lake with a constant listing epoch: incremental observes share the
+    /// prior observation's table vector instead of re-materializing it.
+    struct EpochLake(ChangeLake);
+
+    impl LakeConnector for EpochLake {
+        fn list_tables(&self) -> Vec<TableRef> {
+            self.0.list_tables()
+        }
+        fn table_stats(&self, uid: u64) -> Option<CandidateStats> {
+            self.0.table_stats(uid)
+        }
+        fn partition_stats(&self, uid: u64) -> Vec<(String, CandidateStats)> {
+            self.0.partition_stats(uid)
+        }
+        fn fleet_cursor(&self) -> Option<ChangeCursor> {
+            self.0.fleet_cursor()
+        }
+        fn changes_since(&self, cursor: ChangeCursor) -> Option<Vec<u64>> {
+            self.0.changes_since(cursor)
+        }
+        fn listing_epoch(&self) -> Option<u64> {
+            Some(42)
+        }
+    }
+
+    #[test]
+    fn unchanged_listing_epoch_shares_the_table_vector() {
+        let lake = EpochLake(ChangeLake::new(12));
+        let mut observer = FleetObserver::new();
+        let first = observer.observe(&lake, ScopeStrategy::Table).clone();
+        assert_eq!(first.listing_epoch(), Some(42));
+        lake.0.write(3);
+        let second = observer.observe(&lake, ScopeStrategy::Table);
+        assert!(
+            Arc::ptr_eq(&first.tables_shared(), &second.tables_shared()),
+            "same epoch ⇒ shared listing"
+        );
+        // Shared listing must still re-fetch the dirty set and stay
+        // identical to an un-shared cold observe.
+        assert_eq!(second.fetched_tables(), 1);
+        let cold = lake.observe(&ObserveRequest::fresh(ScopeStrategy::Table));
+        assert_eq!(second.to_candidates(), cold.to_candidates());
+    }
+
+    #[test]
+    fn arena_compaction_bounds_dead_entries_and_chunks() {
+        let lake = ChangeLake::new(200);
+        let mut observer = FleetObserver::new();
+        observer.observe(&lake, ScopeStrategy::Table);
+        // Many incremental cycles, each dirtying a sliding window: dead
+        // entries accumulate in partially-referenced chunks until the
+        // density/small-chunk rules rewrite them.
+        for round in 0..120u64 {
+            for k in 0..5 {
+                lake.write((round * 5 + k) % 200);
+            }
+            let obs = observer.observe(&lake, ScopeStrategy::Table);
+            assert!(
+                obs.arena_live_density() >= 0.5 - 1e-9,
+                "round {round}: density {}",
+                obs.arena_live_density()
+            );
+            assert!(
+                obs.arena_chunk_count() <= 2 * ARENA_COMPACT_SMALL_DIVISOR + 2,
+                "round {round}: {} chunks",
+                obs.arena_chunk_count()
+            );
+            // Compaction must not disturb values: spot-check equality
+            // with a cold observe every few rounds.
+            if round % 40 == 0 {
+                let cold = lake.observe(&ObserveRequest::fresh(ScopeStrategy::Table));
+                assert_eq!(obs.to_candidates(), cold.to_candidates(), "round {round}");
+            }
+        }
     }
 
     #[test]

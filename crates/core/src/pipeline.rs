@@ -1,28 +1,48 @@
 //! The assembled OODA pipeline (§3.3, Fig. 4).
 //!
-//! The orient and decide phases are columnar: trait computers fill a
-//! [`TraitMatrix`] (one contiguous `f64` column per trait, filled in
-//! parallel chunks for large fleets), NaN trait values are sanitized into
-//! dropped candidates, and ranking consumes the matrix by index — no
-//! per-candidate maps, no id-keyed side tables, no full fleet sort.
+//! The pipeline is **index-native end-to-end**: filter and orient consume
+//! [`FleetObservation`] entries by `(chunk, offset)` index — candidate
+//! views are built straight over observation-backed stats references, so
+//! no `Vec<Candidate>` is materialized in the hot cycle (only the handful
+//! of *selected* candidates are built for the act phase). The orient and
+//! decide phases are columnar: trait computers fill a [`TraitMatrix`]
+//! (one contiguous `f64` column per trait, filled in parallel chunks for
+//! large fleets), NaN trait values are sanitized into dropped candidates,
+//! and ranking consumes the matrix by index — no per-candidate maps, no
+//! id-keyed side tables, no full fleet sort.
+//!
+//! Across incremental cycles a [`CycleCache`](crate::cache) retains each
+//! table's filter verdict (with its drop reason) and trait-matrix row,
+//! keyed by the observation's change-cursor chain: an incremental cycle
+//! recomputes filter/orient only for dirty tables and splices the cached
+//! rows for the rest. Rank and decide always run fleet-wide — selection
+//! is global. See the [`crate::cache`] module docs for the exact
+//! invalidation rules (cursor chain, config epoch, scope/width, and the
+//! time-sensitivity gate for filter chains).
 
 use std::borrow::Cow;
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
-use crate::candidate::{Candidate, CandidateId};
+use crate::cache::{CacheGen, CycleCache, CycleCacheStats};
+use crate::candidate::{Candidate, CandidateId, CandidateView, ScopeKind, TableRef};
 use crate::connector::{
     BatchLakeConnector, CompactionExecutor, ExecutionResult, LakeConnector, Prediction,
 };
 use crate::error::AutoCompError;
 use crate::feedback::{EstimationFeedback, FeedbackRecord};
-use crate::filter::{apply_filters, CandidateFilter};
+use crate::filter::{chain_time_sensitive, evaluate_chain, CandidateFilter};
 use crate::matrix::TraitMatrix;
-use crate::observe::{FleetObservation, FleetObserver, ObserveRequest};
+use crate::observe::{FleetObservation, FleetObserver, ObserveRequest, TableObservation};
 use crate::par;
-use crate::rank::{rank_and_select, DecisionNote, RankedEntry, RankingPolicy, RANKED_PREFIX_MIN};
+use crate::rank::{
+    rank_and_select_source, DecisionNote, RankSource, RankedEntry, RankingPolicy, RANKED_PREFIX_MIN,
+};
 use crate::report::{decision_rows, render_table};
 use crate::schedule::{waves, ParallelTablesScheduler, Scheduler};
 use crate::scope::ScopeStrategy;
+use crate::stats::CandidateStats;
 use crate::traits::TraitComputer;
 use crate::Result;
 
@@ -63,8 +83,10 @@ pub struct CycleReport {
     pub scope: Cow<'static, str>,
     /// Candidates generated in the observe phase.
     pub generated: usize,
-    /// Candidates dropped by filters or orient sanitization, with reasons.
-    pub dropped: Vec<(CandidateId, String)>,
+    /// Candidates dropped by filters or orient sanitization, with
+    /// reasons (shared `Arc<str>`s: on cache-splice cycles a reason is a
+    /// refcount bump, not a fresh allocation per dropped candidate).
+    pub dropped: Vec<(CandidateId, Arc<str>)>,
     /// Columnar trait values for the ranked candidates; `ranked` entries
     /// index into its rows.
     pub traits: TraitMatrix,
@@ -116,11 +138,18 @@ pub struct AutoComp {
     traits: Vec<Box<dyn TraitComputer>>,
     scheduler: Box<dyn Scheduler>,
     feedback: EstimationFeedback,
+    /// Configuration epoch: bumped on any edit that could change filter
+    /// verdicts or trait values (filter/trait/scheduler registration,
+    /// `config_mut`, explicit invalidation). Cached cycle results are
+    /// valid only within one epoch.
+    epoch: u64,
+    cache: CycleCache,
 }
 
 impl AutoComp {
-    /// Creates a pipeline with no filters, no traits, and the paper's
-    /// production scheduler (parallel tables, sequential partitions).
+    /// Creates a pipeline with no filters, no traits, the paper's
+    /// production scheduler (parallel tables, sequential partitions), and
+    /// the incremental cycle cache enabled.
     pub fn new(config: AutoCompConfig) -> Self {
         AutoComp {
             config,
@@ -128,25 +157,64 @@ impl AutoComp {
             traits: Vec::new(),
             scheduler: Box::new(ParallelTablesScheduler),
             feedback: EstimationFeedback::new(),
+            epoch: 0,
+            cache: CycleCache::new(true),
         }
     }
 
     /// Adds a candidate filter (applied in insertion order).
     pub fn with_filter(mut self, filter: Box<dyn CandidateFilter>) -> Self {
+        self.epoch += 1;
         self.filters.push(filter);
         self
     }
 
     /// Registers a trait computer (NFR1: mix-and-match components).
     pub fn with_trait(mut self, computer: Box<dyn TraitComputer>) -> Self {
+        self.epoch += 1;
         self.traits.push(computer);
         self
     }
 
     /// Replaces the scheduler.
     pub fn with_scheduler(mut self, scheduler: Box<dyn Scheduler>) -> Self {
+        self.epoch += 1;
         self.scheduler = scheduler;
         self
+    }
+
+    /// Enables or disables the incremental cycle cache (builder style).
+    /// Disabling clears any retained generation; every cycle then
+    /// recomputes filter/orient for the whole fleet (the always-cold
+    /// reference behavior the parity suite compares against).
+    pub fn with_cycle_cache(mut self, enabled: bool) -> Self {
+        self.cache.set_enabled(enabled);
+        self
+    }
+
+    /// Whether the incremental cycle cache is enabled.
+    pub fn cycle_cache_enabled(&self) -> bool {
+        self.cache.enabled()
+    }
+
+    /// Splice effectiveness of the most recent cycle: how many tables
+    /// were spliced from the cache vs recomputed.
+    pub fn cycle_cache_stats(&self) -> CycleCacheStats {
+        self.cache.stats()
+    }
+
+    /// Number of tables in the retained cache generation (bounded by the
+    /// observed fleet size: exactly one generation is kept).
+    pub fn cycle_cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Explicitly invalidates the cycle cache (epoch bump + clear). Use
+    /// after out-of-band changes the epoch cannot see — e.g. a filter or
+    /// trait computer whose behavior depends on interior-mutable state.
+    pub fn invalidate_cycle_cache(&mut self) {
+        self.epoch += 1;
+        self.cache.clear();
     }
 
     /// Current configuration.
@@ -155,7 +223,11 @@ impl AutoComp {
     }
 
     /// Mutable configuration (e.g. to switch policies between cycles).
+    /// Accessing it bumps the configuration epoch — the cycle cache
+    /// conservatively assumes any field may have changed and recomputes
+    /// the next cycle from scratch.
     pub fn config_mut(&mut self) -> &mut AutoCompConfig {
+        self.epoch += 1;
         &mut self.config
     }
 
@@ -166,6 +238,14 @@ impl AutoComp {
 
     /// Ingests one prediction-vs-outcome observation (the act→observe
     /// feedback loop of §3.3).
+    ///
+    /// Feedback does **not** invalidate the cycle cache: calibration
+    /// scales act-phase predictions, which are recomputed every cycle
+    /// from the (calibration-free) trait matrix — cached filter verdicts
+    /// and trait rows are pure functions of the observed stats. A custom
+    /// trait computer that *does* read calibration state must call
+    /// [`invalidate_cycle_cache`](Self::invalidate_cycle_cache) after
+    /// ingesting.
     pub fn ingest_feedback(&mut self, record: FeedbackRecord) {
         self.feedback.record(record);
     }
@@ -183,10 +263,10 @@ impl AutoComp {
         now_ms: u64,
     ) -> Result<CycleReport> {
         let observation = connector.observe(&ObserveRequest::fresh(self.config.scope));
-        // The observation is not retained: move its stats into the
-        // candidates instead of cloning them.
-        let scope_label = observation.scope().label();
-        self.cycle_core(observation.into_candidates(), scope_label, executor, now_ms)
+        // The observation is dropped right here, so no future cycle can
+        // splice against it: skip the cache fill entirely (always-cold
+        // drivers pay zero cache overhead).
+        self.cycle_observed_inner(&observation, executor, now_ms, false)
     }
 
     /// Runs one full OODA cycle through a batch-tier connector: stats
@@ -199,8 +279,8 @@ impl AutoComp {
         now_ms: u64,
     ) -> Result<CycleReport> {
         let observation = connector.observe(&ObserveRequest::fresh(self.config.scope));
-        let scope_label = observation.scope().label();
-        self.cycle_core(observation.into_candidates(), scope_label, executor, now_ms)
+        // One-shot observation (see run_cycle): no cache fill.
+        self.cycle_observed_inner(&observation, executor, now_ms, false)
     }
 
     /// Runs one OODA cycle with incremental observe: the `observer`
@@ -232,57 +312,167 @@ impl AutoComp {
         self.run_cycle_observed(observation, executor, now_ms)
     }
 
-    /// Runs the orient → decide → act phases over an already-captured
-    /// [`FleetObservation`] — the pipeline's real entry point; the
-    /// `run_cycle*` variants differ only in how they observe.
+    /// Runs the filter → orient → decide → act phases over an
+    /// already-captured [`FleetObservation`] — the pipeline's real entry
+    /// point; the `run_cycle*` variants differ only in how they observe.
+    ///
+    /// The observation is consumed **by index**: filters evaluate
+    /// [`CandidateView`]s built over entry stats references, orient
+    /// computes (or cache-splices) trait rows straight into the columnar
+    /// scratch, and only the selected candidates are ever materialized as
+    /// owned [`Candidate`]s for the act phase.
     pub fn run_cycle_observed(
         &mut self,
         observation: &FleetObservation,
         executor: &mut dyn CompactionExecutor,
         now_ms: u64,
     ) -> Result<CycleReport> {
-        // Observe (materialize): the observation already holds refs +
-        // stats; candidates are assembled by index.
-        self.cycle_core(
-            observation.to_candidates(),
-            observation.scope().label(),
-            executor,
-            now_ms,
-        )
+        self.cycle_observed_inner(observation, executor, now_ms, true)
     }
 
-    /// Orient → decide → act over materialized candidates.
-    fn cycle_core(
+    /// [`run_cycle_observed`](Self::run_cycle_observed) with an explicit
+    /// cache-fill switch: one-shot cold entry points pass `false` (their
+    /// observation is dropped immediately, so a filled generation could
+    /// never be spliced), retained-observation entry points pass `true`.
+    fn cycle_observed_inner(
         &mut self,
-        candidates: Vec<Candidate>,
-        scope_label: Cow<'static, str>,
+        observation: &FleetObservation,
         executor: &mut dyn CompactionExecutor,
         now_ms: u64,
+        allow_cache_fill: bool,
     ) -> Result<CycleReport> {
         if self.traits.is_empty() {
             return Err(AutoCompError::NoTraits);
         }
-        let generated = candidates.len();
-        let (kept, dropped_pairs) = apply_filters(candidates, &self.filters, now_ms);
-        let mut dropped: Vec<(CandidateId, String)> = dropped_pairs
-            .into_iter()
-            .map(|(c, reason)| (c.id, reason))
+        let scope_label = observation.scope().label();
+        let single_scope = observation.single_scope();
+        let generated = observation.candidate_count();
+        let tables = observation.tables();
+
+        // Trait interning up front: the column layout (and the scratch
+        // stride) is fixed by the registered computers, independent of
+        // the kept set. Duplicate trait names share a slot, so the last
+        // computer wins like the seed's map inserts.
+        let mut matrix = TraitMatrix::new(0);
+        let trait_cols: Vec<usize> = self
+            .traits
+            .iter()
+            .map(|t| matrix.intern(t.name(), Some(t.direction())).index())
             .collect();
+        let width = matrix.width();
 
-        // Orient: intern each computer's trait once, then fill its
-        // contiguous column (in parallel chunks for large fleets — the
-        // fill is position-stable, so results are identical to the
-        // sequential path).
-        let (kept, matrix) = self.orient(kept, &mut dropped);
+        // Filter (+ cache splice): one walk over the observation decides
+        // keep/drop per candidate, splicing quiet tables' verdicts from
+        // the prior generation, and records the next generation.
+        let time_sensitive = chain_time_sensitive(&self.filters);
+        let fill_cache = allow_cache_fill && self.cache.enabled() && observation.cursor().is_some();
+        let old_gen = self.cache.usable_gen(
+            self.epoch,
+            observation.scope(),
+            observation.prior_cursor(),
+            now_ms,
+            time_sensitive,
+            width,
+        );
+        let walk = filter_splice_walk(
+            &self.filters,
+            observation,
+            now_ms,
+            single_scope,
+            old_gen,
+            fill_cache,
+        );
+        let WalkOutput {
+            mut kept_slots,
+            mut dropped,
+            gen,
+            spliced,
+            recomputed,
+        } = walk;
+        let mut gen = gen;
 
-        // Decide.
-        let ranked = rank_and_select(&kept, &matrix, &self.config.policy)?;
+        // Orient: one parallel pass per cycle fills a row-major scratch —
+        // cached rows are copied, fresh rows computed with a single stats
+        // access per candidate — then the scratch is transposed into the
+        // matrix's contiguous columns. The fill is position-stable, so
+        // results are identical to the sequential path.
+        let mut scratch = vec![0.0; kept_slots.len() * width];
+        let computers = &self.traits;
+        let old_rows: &[f64] = old_gen.map(|(g, _)| g.rows.as_slice()).unwrap_or(&[]);
+        par::par_fill_rows(&kept_slots, width, &mut scratch, |slot, row| {
+            if slot.cached_row != COMPUTE {
+                let start = slot.cached_row as usize * width;
+                row.copy_from_slice(&old_rows[start..start + width]);
+            } else {
+                let stats = slot_stats(observation, *slot);
+                for (t, col) in computers.iter().zip(&trait_cols) {
+                    row[*col] = t.compute(stats);
+                }
+            }
+        });
+        matrix.load_row_major(kept_slots.len(), &scratch);
 
-        // Act: selected entries carry their candidate index, so job
-        // planning needs no id-keyed lookup tables.
+        // Install the next cache generation: the scratch (pre-NaN-retain)
+        // is exactly the kept rows the next cycle splices from.
+        if let Some(mut g) = gen.take() {
+            g.rows = scratch;
+            self.cache.install(
+                g,
+                self.epoch,
+                observation.scope(),
+                observation
+                    .cursor()
+                    .expect("cache fills only for cursor-bearing observations"),
+                now_ms,
+                width,
+                observation.tables_shared(),
+            );
+        }
+        self.cache.record_cycle(spliced, recomputed);
+
+        // Sanitize NaN trait values into dropped candidates (a single NaN
+        // from a connector must not poison ranking for the whole fleet).
+        let nan_rows = matrix.nan_rows();
+        if !nan_rows.is_empty() {
+            let mut keep = vec![true; kept_slots.len()];
+            for (row, id) in &nan_rows {
+                keep[*row] = false;
+                let note = DecisionNote::NanTrait {
+                    trait_name: matrix.trait_name(*id).into(),
+                };
+                let cid = slot_id(observation, kept_slots[*row], single_scope);
+                dropped.push((cid, Arc::from(note.to_string())));
+            }
+            matrix.retain_rows(&keep);
+            let mut it = keep.iter();
+            kept_slots.retain(|_| *it.next().expect("mask covers slots"));
+        }
+
+        // Decide: rank straight off the observation-backed source.
+        let source = ObservationSource {
+            slots: &kept_slots,
+            observation,
+            single_scope,
+        };
+        let ranked = rank_and_select_source(&source, &matrix, &self.config.policy)?;
+
+        // Act: only the selected candidates are materialized; entries
+        // carry their candidate index, so job planning needs no id-keyed
+        // lookup tables.
         let selected_entries: Vec<&RankedEntry> = ranked.iter().filter(|e| e.selected).collect();
-        let selected: Vec<&Candidate> = selected_entries.iter().map(|e| &kept[e.index]).collect();
-        let jobs = self.scheduler.plan(&selected);
+        let selected: Vec<Candidate> = selected_entries
+            .iter()
+            .map(|e| {
+                let slot = kept_slots[e.index];
+                Candidate::new(
+                    slot_id(observation, slot, single_scope),
+                    &tables[slot.table as usize],
+                    slot_stats(observation, slot).clone(),
+                )
+            })
+            .collect();
+        let selected_refs: Vec<&Candidate> = selected.iter().collect();
+        let jobs = self.scheduler.plan(&selected_refs);
 
         let reduction_id = matrix.trait_id("file_count_reduction");
         let gbhr_id = matrix.trait_id("compute_cost_gbhr");
@@ -303,7 +493,7 @@ impl AutoComp {
             let mut wave_due = wave_start;
             for job in wave_jobs {
                 let entry = selected_entries[job.index];
-                let candidate = &kept[entry.index];
+                let candidate = &selected[job.index];
                 let raw_reduction = reduction_id
                     .map(|id| matrix.value(entry.index, id))
                     .unwrap_or(candidate.stats.small_file_count as f64);
@@ -347,60 +537,340 @@ impl AutoComp {
             total_predicted_gbhr,
         })
     }
+}
 
-    /// Computes the cycle's trait matrix and sanitizes NaN trait values
-    /// into dropped candidates (a single NaN from a connector must not
-    /// poison ranking for the whole fleet).
-    fn orient(
-        &self,
-        kept: Vec<Candidate>,
-        dropped: &mut Vec<(CandidateId, String)>,
-    ) -> (Vec<Candidate>, TraitMatrix) {
-        let mut matrix = TraitMatrix::new(kept.len());
-        let slots: Vec<usize> = self
-            .traits
-            .iter()
-            .map(|t| matrix.intern(t.name(), Some(t.direction())).index())
-            .collect();
-        let width = matrix.width();
-        // One parallel pass computes every trait for a candidate into a
-        // row-major scratch (single stats access per candidate, one
-        // thread fan-out per cycle); the scratch is then transposed into
-        // the matrix's contiguous columns. Duplicate trait names share a
-        // slot, so the last computer wins like the seed's map inserts.
-        let mut scratch = vec![0.0; kept.len() * width];
-        let computers = &self.traits;
-        par::par_fill_rows(&kept, width, &mut scratch, |c, row| {
-            for (t, slot) in computers.iter().zip(&slots) {
-                row[*slot] = t.compute(&c.stats);
+/// Output of the filter/splice walk: the cycle's kept set, drop trail,
+/// next cache generation (when filling), and splice statistics.
+struct WalkOutput {
+    kept_slots: Vec<KeptSlot>,
+    dropped: Vec<(CandidateId, Arc<str>)>,
+    gen: Option<CacheGen>,
+    spliced: usize,
+    recomputed: usize,
+}
+
+/// The filter (+ cache splice) walk: one pass over the observation
+/// decides keep/drop per candidate — splicing quiet, descriptor-stable
+/// tables' verdicts and reasons from the prior generation and evaluating
+/// the filter chain for the rest — while co-recording the next cache
+/// generation. Isolated from the rank/act phases so the splice
+/// invariants (prefix bookkeeping, per-table vs run paths, descriptor
+/// verification) live in one place.
+fn filter_splice_walk(
+    filters: &[Box<dyn CandidateFilter>],
+    observation: &FleetObservation,
+    now_ms: u64,
+    single_scope: ScopeKind,
+    old_gen: Option<(&CacheGen, &Arc<Vec<TableRef>>)>,
+    fill_cache: bool,
+) -> WalkOutput {
+    let tables = observation.tables();
+    // Descriptor verification: filter verdicts read TableRef fields, and
+    // descriptor edits (policy flips, renames) need not appear in the
+    // write changelog. When the listing was reused wholesale the
+    // descriptors are literally the prior cycle's memory; otherwise
+    // every splice compares the stored descriptor per table.
+    let same_listing = old_gen
+        .map(|(_, t)| Arc::ptr_eq(t, &observation.tables_shared()))
+        .unwrap_or(false);
+
+    let mut kept_slots: Vec<KeptSlot> = Vec::with_capacity(tables.len());
+    let mut dropped: Vec<(CandidateId, Arc<str>)> = Vec::new();
+    let mut gen = fill_cache.then(|| CacheGen::with_capacity(tables.len()));
+    let mut uid_map: Option<HashMap<u64, usize>> = None;
+    let mut spliced = 0usize;
+    let mut recomputed = 0usize;
+
+    // Single-candidate scopes (table / snapshot) splice runs of
+    // positionally-aligned quiet tables with bulk slice copies —
+    // candidate ids carry no partition labels there, so no entry access
+    // is needed at all inside a run.
+    let single_candidate_scope = !matches!(
+        observation.scope(),
+        ScopeStrategy::Partition | ScopeStrategy::Hybrid
+    );
+    let mut ti = 0usize;
+    while ti < tables.len() {
+        if single_candidate_scope {
+            if let Some((g, g_tables)) = old_gen {
+                let run_start = ti;
+                while ti < tables.len()
+                    && !observation.is_fresh(ti)
+                    && g.uids.get(ti).copied() == Some(tables[ti].table_uid)
+                    && (same_listing || g_tables.get(ti) == Some(&tables[ti]))
+                {
+                    ti += 1;
+                }
+                if ti > run_start {
+                    let (mut row, mut reason) = (
+                        g.kept_start[run_start] as usize,
+                        g.drop_start[run_start] as usize,
+                    );
+                    let mut ci = g.cand_start[run_start] as usize;
+                    for t in run_start..ti {
+                        let uid = g.uids[t];
+                        let cnt = (g.cand_start[t + 1] - g.cand_start[t]) as usize;
+                        for _ in 0..cnt {
+                            if g.verdicts[ci] {
+                                kept_slots.push(KeptSlot {
+                                    table: t as u32,
+                                    part: NO_PART,
+                                    cached_row: row as u32,
+                                });
+                                row += 1;
+                            } else {
+                                let id = CandidateId {
+                                    table_uid: uid,
+                                    scope: single_scope,
+                                    partition: None,
+                                };
+                                dropped.push((id, g.reasons[reason].clone()));
+                                reason += 1;
+                            }
+                            ci += 1;
+                        }
+                    }
+                    if let Some(gen) = &mut gen {
+                        gen.extend_run(g, run_start, ti);
+                    }
+                    spliced += ti - run_start;
+                    continue;
+                }
             }
+        }
+
+        let table = &tables[ti];
+        let entry = observation.entry(ti);
+        let cand_count = match entry {
+            TableObservation::Missing => 0,
+            TableObservation::Table(_) => 1,
+            TableObservation::Partitions(parts) => parts.len(),
+        };
+
+        // A reused entry's stats are byte-for-byte the snapshot the
+        // prior generation was computed from, so its verdicts and rows
+        // splice verbatim; fresh entries (changelog hits, force-dirty
+        // tables, new tables) always recompute.
+        let splice_pos = old_gen.and_then(|(g, g_tables)| {
+            if observation.is_fresh(ti) {
+                return None;
+            }
+            let pos = if g.uids.get(ti) == Some(&table.table_uid) {
+                Some(ti)
+            } else {
+                let map = uid_map.get_or_insert_with(|| {
+                    g.uids.iter().enumerate().map(|(i, u)| (*u, i)).collect()
+                });
+                map.get(&table.table_uid).copied()
+            }?;
+            // Splice only when the descriptor the cached verdicts were
+            // computed against is unchanged.
+            (same_listing || g_tables.get(pos) == Some(table)).then_some(pos)
         });
-        for id in matrix.trait_ids().collect::<Vec<_>>() {
-            let slot = id.index();
-            let col = matrix.col_mut(id);
-            for (row, value) in col.iter_mut().enumerate() {
-                *value = scratch[row * width + slot];
+
+        if let Some(pos) = splice_pos {
+            let (g, _) = old_gen.expect("splice position implies a generation");
+            let (range, mut row, mut reason) = g.span(pos);
+            if range.len() == cand_count {
+                for ci in 0..cand_count {
+                    let part = match entry {
+                        TableObservation::Partitions(_) => ci as u32,
+                        _ => NO_PART,
+                    };
+                    if g.verdicts[range.start + ci] {
+                        kept_slots.push(KeptSlot {
+                            table: ti as u32,
+                            part,
+                            cached_row: row as u32,
+                        });
+                        row += 1;
+                        if let Some(gen) = &mut gen {
+                            gen.push_kept();
+                        }
+                    } else {
+                        let id = candidate_id(table.table_uid, single_scope, entry, ci);
+                        let r = &g.reasons[reason];
+                        reason += 1;
+                        dropped.push((id, r.clone()));
+                        if let Some(gen) = &mut gen {
+                            gen.push_dropped(r.clone());
+                        }
+                    }
+                }
+                if let Some(gen) = &mut gen {
+                    gen.end_table(table.table_uid);
+                }
+                spliced += 1;
+                ti += 1;
+                continue;
             }
         }
-        let nan_rows = matrix.nan_rows();
-        if nan_rows.is_empty() {
-            return (kept, matrix);
-        }
-        let mut keep = vec![true; kept.len()];
-        for (row, id) in &nan_rows {
-            keep[*row] = false;
-            let note = DecisionNote::NanTrait {
-                trait_name: matrix.trait_name(*id).into(),
+
+        // Fresh or uncached: evaluate the filter chain per candidate.
+        recomputed += 1;
+        for ci in 0..cand_count {
+            let stats = stats_of(entry, ci);
+            let (scope_kind, part, partition) = match entry {
+                TableObservation::Partitions(parts) => {
+                    (ScopeKind::Partition, ci as u32, Some(parts[ci].0.as_str()))
+                }
+                _ => (single_scope, NO_PART, None),
             };
-            dropped.push((kept[*row].id.clone(), note.to_string()));
+            let view = CandidateView::new(table, scope_kind, partition, stats);
+            match evaluate_chain(filters, &view, now_ms) {
+                Some(reason) => {
+                    let id = candidate_id(table.table_uid, single_scope, entry, ci);
+                    // One shared allocation serves both the report and
+                    // the cache generation.
+                    let reason: Arc<str> = reason.into();
+                    if let Some(gen) = &mut gen {
+                        gen.push_dropped(reason.clone());
+                    }
+                    dropped.push((id, reason));
+                }
+                None => {
+                    kept_slots.push(KeptSlot {
+                        table: ti as u32,
+                        part,
+                        cached_row: COMPUTE,
+                    });
+                    if let Some(gen) = &mut gen {
+                        gen.push_kept();
+                    }
+                }
+            }
         }
-        matrix.retain_rows(&keep);
-        let kept = kept
-            .into_iter()
-            .zip(keep)
-            .filter_map(|(c, k)| k.then_some(c))
-            .collect();
-        (kept, matrix)
+        if let Some(gen) = &mut gen {
+            gen.end_table(table.table_uid);
+        }
+        ti += 1;
+    }
+
+    WalkOutput {
+        kept_slots,
+        dropped,
+        gen,
+        spliced,
+        recomputed,
+    }
+}
+
+/// Sentinel partition index for single-candidate scopes.
+const NO_PART: u32 = u32::MAX;
+
+/// Sentinel cache-row index: compute the trait row fresh.
+const COMPUTE: u32 = u32::MAX;
+
+/// Index of one kept candidate into its observation — table position plus
+/// partition offset — with the prior-generation row to splice from (or
+/// [`COMPUTE`]).
+#[derive(Debug, Clone, Copy)]
+struct KeptSlot {
+    table: u32,
+    part: u32,
+    cached_row: u32,
+}
+
+/// Stats of the `ci`-th candidate of an entry.
+fn stats_of(entry: &TableObservation, ci: usize) -> &CandidateStats {
+    match entry {
+        TableObservation::Table(stats) => stats,
+        TableObservation::Partitions(parts) => &parts[ci].1,
+        TableObservation::Missing => unreachable!("missing entries yield no candidates"),
+    }
+}
+
+/// Stats behind a kept slot.
+fn slot_stats(observation: &FleetObservation, slot: KeptSlot) -> &CandidateStats {
+    let entry = observation.entry(slot.table as usize);
+    let ci = if slot.part == NO_PART {
+        0
+    } else {
+        slot.part as usize
+    };
+    stats_of(entry, ci)
+}
+
+/// Identity of the `ci`-th candidate of an entry — exactly the ids
+/// [`FleetObservation::to_candidates`] produces, in the same order.
+fn candidate_id(
+    uid: u64,
+    single_scope: ScopeKind,
+    entry: &TableObservation,
+    ci: usize,
+) -> CandidateId {
+    match entry {
+        TableObservation::Partitions(parts) => CandidateId::partition(uid, parts[ci].0.clone()),
+        _ => CandidateId {
+            table_uid: uid,
+            scope: single_scope,
+            partition: None,
+        },
+    }
+}
+
+/// Identity of a kept slot, materialized (partition labels cloned).
+/// Defined in terms of [`slot_id_parts`] so it agrees with the rank
+/// tie-break ([`RankSource::cmp_ids`]) by construction.
+fn slot_id(observation: &FleetObservation, slot: KeptSlot, single_scope: ScopeKind) -> CandidateId {
+    let (table_uid, scope, partition) = slot_id_parts(observation, slot, single_scope);
+    CandidateId {
+        table_uid,
+        scope,
+        partition: partition.map(str::to_string),
+    }
+}
+
+/// Identity of a kept slot as borrowed parts — the allocation-free form
+/// the rank tie-break compares.
+fn slot_id_parts(
+    observation: &FleetObservation,
+    slot: KeptSlot,
+    single_scope: ScopeKind,
+) -> (u64, ScopeKind, Option<&str>) {
+    let uid = observation.tables()[slot.table as usize].table_uid;
+    if slot.part == NO_PART {
+        (uid, single_scope, None)
+    } else {
+        match observation.entry(slot.table as usize) {
+            TableObservation::Partitions(parts) => (
+                uid,
+                ScopeKind::Partition,
+                Some(parts[slot.part as usize].0.as_str()),
+            ),
+            _ => unreachable!("partition slots point at partitioned entries"),
+        }
+    }
+}
+
+/// [`RankSource`] over the kept set of an observation: identities derived
+/// from the slots on demand (no fleet-sized id vector), quota signals
+/// read straight from the entry stats.
+struct ObservationSource<'a> {
+    slots: &'a [KeptSlot],
+    observation: &'a FleetObservation,
+    single_scope: ScopeKind,
+}
+
+impl RankSource for ObservationSource<'_> {
+    fn len(&self) -> usize {
+        self.slots.len()
+    }
+    fn id(&self, index: usize) -> CandidateId {
+        slot_id(self.observation, self.slots[index], self.single_scope)
+    }
+    fn cmp_ids(&self, a: usize, b: usize) -> std::cmp::Ordering {
+        slot_id_parts(self.observation, self.slots[a], self.single_scope).cmp(&slot_id_parts(
+            self.observation,
+            self.slots[b],
+            self.single_scope,
+        ))
+    }
+    fn quota_utilization(&self, index: usize) -> f64 {
+        slot_stats(self.observation, self.slots[index])
+            .quota
+            .map(|q| q.utilization())
+            .unwrap_or(0.0)
     }
 }
 

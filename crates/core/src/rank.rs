@@ -254,6 +254,57 @@ impl fmt::Display for DecisionNote {
     }
 }
 
+/// Decide-phase access to the per-candidate inputs that are *not* trait
+/// values: identity (rank tie-breaks and report ids) and the §7 quota
+/// signal. Implemented by `[Candidate]` for callers that hold
+/// materialized candidates, and by the pipeline's observation-backed
+/// source so the hot cycle ranks straight off a
+/// [`FleetObservation`](crate::observe::FleetObservation) without ever
+/// building `Candidate` structs.
+pub trait RankSource {
+    /// Number of candidates (must equal the trait matrix's row count).
+    fn len(&self) -> usize;
+
+    /// Whether the source holds no candidates.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Identity of the candidate at `index`, materialized for a
+    /// [`RankedEntry`]. Called once per returned entry.
+    fn id(&self, index: usize) -> CandidateId;
+
+    /// Orders two candidates by identity (the rank tie-break). Must agree
+    /// with `self.id(a).cmp(&self.id(b))`; sources that can compare
+    /// without materializing ids (e.g. observation-backed ones borrowing
+    /// partition labels) avoid per-comparison clones in the selection
+    /// hot path.
+    fn cmp_ids(&self, a: usize, b: usize) -> std::cmp::Ordering;
+
+    /// Quota utilization of the candidate's database (0.0 when the
+    /// platform reports none) — the §7 quota-aware weighting input.
+    fn quota_utilization(&self, index: usize) -> f64;
+}
+
+impl RankSource for [Candidate] {
+    fn len(&self) -> usize {
+        self.len()
+    }
+    fn id(&self, index: usize) -> CandidateId {
+        self[index].id.clone()
+    }
+    fn cmp_ids(&self, a: usize, b: usize) -> std::cmp::Ordering {
+        self[a].id.cmp(&self[b].id)
+    }
+    fn quota_utilization(&self, index: usize) -> f64 {
+        self[index]
+            .stats
+            .quota
+            .map(|q| q.utilization())
+            .unwrap_or(0.0)
+    }
+}
+
 /// One ranked candidate with its decision trail (NFR2 explainability).
 ///
 /// Entries are columnar-friendly: they carry the candidate's `index` into
@@ -346,21 +397,24 @@ fn sort_key(score: f64) -> f64 {
 /// selection — `select_nth_unstable_by` to split off the next chunk, then
 /// a sort of just that chunk — with doubling chunk growth, so consuming k
 /// of n candidates costs O(n + k log k) instead of a full O(n log n) sort.
-struct RankOrder<'a> {
+struct RankOrder<'a, S: RankSource + ?Sized> {
     indices: Vec<u32>,
     sorted_upto: usize,
-    scores: &'a [f64],
-    candidates: &'a [Candidate],
+    /// `sort_key(score)` precomputed once per candidate: the selection
+    /// comparator runs O(n) times per `ensure` growth and the NaN/±0
+    /// normalization branches are hoisted out of it.
+    keys: Vec<f64>,
+    source: &'a S,
 }
 
-impl<'a> RankOrder<'a> {
-    fn new(scores: &'a [f64], candidates: &'a [Candidate]) -> Self {
-        debug_assert_eq!(scores.len(), candidates.len());
+impl<'a, S: RankSource + ?Sized> RankOrder<'a, S> {
+    fn new(scores: &'a [f64], source: &'a S) -> Self {
+        debug_assert_eq!(scores.len(), source.len());
         RankOrder {
-            indices: (0..candidates.len() as u32).collect(),
+            indices: (0..source.len() as u32).collect(),
             sorted_upto: 0,
-            scores,
-            candidates,
+            keys: scores.iter().map(|s| sort_key(*s)).collect(),
+            source,
         }
     }
 
@@ -370,12 +424,12 @@ impl<'a> RankOrder<'a> {
         let upto = upto.min(n);
         while self.sorted_upto < upto {
             let target = upto.max(self.sorted_upto * 2).max(64).min(n);
-            let scores = self.scores;
-            let candidates = self.candidates;
+            let keys = &self.keys;
+            let source = self.source;
             let key = |a: &u32, b: &u32| {
-                sort_key(scores[*b as usize])
-                    .total_cmp(&sort_key(scores[*a as usize]))
-                    .then_with(|| candidates[*a as usize].id.cmp(&candidates[*b as usize].id))
+                keys[*b as usize]
+                    .total_cmp(&keys[*a as usize])
+                    .then_with(|| source.cmp_ids(*a as usize, *b as usize))
             };
             let tail = &mut self.indices[self.sorted_upto..];
             let pivot = target - self.sorted_upto;
@@ -400,15 +454,15 @@ impl<'a> RankOrder<'a> {
 /// Assembles the output vector: the materialized rank-order prefix first
 /// (with per-position notes), then every remaining candidate in candidate
 /// order (with a shared tail note).
-fn assemble_entries(
-    candidates: &[Candidate],
+fn assemble_entries<S: RankSource + ?Sized>(
+    source: &S,
     scores: &[f64],
-    order: &RankOrder<'_>,
+    order: &RankOrder<'_, S>,
     prefix: usize,
     mut prefix_entry: impl FnMut(usize, usize) -> (bool, DecisionNote),
     mut tail_note: impl FnMut(usize) -> (bool, DecisionNote),
 ) -> Vec<RankedEntry> {
-    let n = candidates.len();
+    let n = source.len();
     let mut entries = Vec::with_capacity(n);
     let mut in_prefix = vec![false; n];
     for pos in 0..prefix {
@@ -416,7 +470,7 @@ fn assemble_entries(
         in_prefix[index] = true;
         let (selected, note) = prefix_entry(pos, index);
         entries.push(RankedEntry {
-            id: candidates[index].id.clone(),
+            id: source.id(index),
             index,
             score: scores[index],
             selected,
@@ -429,7 +483,7 @@ fn assemble_entries(
         }
         let (selected, note) = tail_note(index);
         entries.push(RankedEntry {
-            id: candidates[index].id.clone(),
+            id: source.id(index),
             index,
             score: scores[index],
             selected,
@@ -449,10 +503,22 @@ pub fn rank_and_select(
     matrix: &TraitMatrix,
     policy: &RankingPolicy,
 ) -> Result<Vec<RankedEntry>> {
-    if candidates.is_empty() {
+    rank_and_select_source(candidates, matrix, policy)
+}
+
+/// [`rank_and_select`] over any [`RankSource`] — the entry point the
+/// index-native pipeline uses to rank observation-backed candidates
+/// without materializing them. Output is identical to ranking the
+/// equivalent `&[Candidate]` slice.
+pub fn rank_and_select_source<S: RankSource + ?Sized>(
+    source: &S,
+    matrix: &TraitMatrix,
+    policy: &RankingPolicy,
+) -> Result<Vec<RankedEntry>> {
+    if source.is_empty() {
         return Ok(Vec::new());
     }
-    debug_assert_eq!(matrix.rows(), candidates.len());
+    debug_assert_eq!(matrix.rows(), source.len());
     match policy {
         RankingPolicy::Threshold {
             trait_name,
@@ -467,8 +533,8 @@ pub fn rank_and_select(
             let cap = max_k.unwrap_or(usize::MAX);
             let above = scores.iter().filter(|s| **s >= *min_value).count();
             let sel = above.min(cap);
-            let mut order = RankOrder::new(scores, candidates);
-            let prefix = sel.max(RANKED_PREFIX_MIN).min(candidates.len());
+            let mut order = RankOrder::new(scores, source);
+            let prefix = sel.max(RANKED_PREFIX_MIN).min(source.len());
             order.ensure(prefix);
             let note_for = |index: usize, ranked_in: Option<usize>| {
                 let value = scores[index];
@@ -495,7 +561,7 @@ pub fn rank_and_select(
                 }
             };
             Ok(assemble_entries(
-                candidates,
+                source,
                 scores,
                 &order,
                 prefix,
@@ -511,12 +577,12 @@ pub fn rank_and_select(
         RankingPolicy::Moop { weights, k } => {
             validate_weights(weights)?;
             let scores = moop_scores(matrix, weights)?;
-            let sel = (*k).min(candidates.len());
-            let mut order = RankOrder::new(&scores, candidates);
-            let prefix = sel.max(RANKED_PREFIX_MIN).min(candidates.len());
+            let sel = (*k).min(source.len());
+            let mut order = RankOrder::new(&scores, source);
+            let prefix = sel.max(RANKED_PREFIX_MIN).min(source.len());
             order.ensure(prefix);
             Ok(assemble_entries(
-                candidates,
+                source,
                 &scores,
                 &order,
                 prefix,
@@ -543,9 +609,9 @@ pub fn rank_and_select(
                 .ok_or_else(|| AutoCompError::UnknownTrait(cost_trait.clone()))?;
             let scores = moop_scores(matrix, weights)?;
             let costs = matrix.col(cost_id);
-            let order = RankOrder::new(&scores, candidates);
+            let order = RankOrder::new(&scores, source);
             Ok(budget_scan(
-                candidates,
+                source,
                 &scores,
                 costs,
                 order,
@@ -572,11 +638,9 @@ pub fn rank_and_select(
             let (cmin, cmax) = column_min_max(cost_col);
             let bspan = bmax - bmin;
             let cspan = cmax - cmin;
-            let scores: Vec<f64> = candidates
-                .iter()
-                .enumerate()
-                .map(|(i, c)| {
-                    let util = c.stats.quota.map(|q| q.utilization()).unwrap_or(0.0);
+            let scores: Vec<f64> = (0..source.len())
+                .map(|i| {
+                    let util = source.quota_utilization(i);
                     // §7: w1 = 0.5 × (1 + Used/Total). Clamp so w2 ≥ 0 even
                     // for over-quota databases.
                     let w1 = (0.5 * (1.0 + util)).min(1.0);
@@ -587,12 +651,12 @@ pub fn rank_and_select(
                 .collect();
             match (k, budget) {
                 (Some(k), _) => {
-                    let sel = (*k).min(candidates.len());
-                    let mut order = RankOrder::new(&scores, candidates);
-                    let prefix = sel.max(RANKED_PREFIX_MIN).min(candidates.len());
+                    let sel = (*k).min(source.len());
+                    let mut order = RankOrder::new(&scores, source);
+                    let prefix = sel.max(RANKED_PREFIX_MIN).min(source.len());
                     order.ensure(prefix);
                     Ok(assemble_entries(
-                        candidates,
+                        source,
                         &scores,
                         &order,
                         prefix,
@@ -601,9 +665,9 @@ pub fn rank_and_select(
                     ))
                 }
                 (None, Some(budget)) => {
-                    let order = RankOrder::new(&scores, candidates);
+                    let order = RankOrder::new(&scores, source);
                     Ok(budget_scan(
-                        candidates,
+                        source,
                         &scores,
                         cost_col,
                         order,
@@ -658,7 +722,7 @@ impl RemainingMinCost {
     /// `select_nth_unstable_by` pass `RankOrder::ensure` just paid for
     /// the same growth — a constant-factor addition, never a new
     /// asymptotic term.
-    fn refresh(&mut self, order: &RankOrder<'_>, costs: &[f64]) {
+    fn refresh<S: RankSource + ?Sized>(&mut self, order: &RankOrder<'_, S>, costs: &[f64]) {
         if self.sorted_suffix_min.len() == order.sorted_upto {
             return;
         }
@@ -691,11 +755,11 @@ impl RemainingMinCost {
 /// *remaining* (unwalked) candidate fits the leftover budget — after
 /// that point no further selection (and no rank-dependent note) is
 /// possible, so the rest of the fleet never needs ordering.
-fn budget_scan(
-    candidates: &[Candidate],
+fn budget_scan<S: RankSource + ?Sized>(
+    source: &S,
     scores: &[f64],
     costs: &[f64],
-    mut order: RankOrder<'_>,
+    mut order: RankOrder<'_, S>,
     budget: f64,
     cap: usize,
     notes: BudgetNotes,
@@ -747,7 +811,7 @@ fn budget_scan(
         BudgetNotes::Bare => DecisionNote::OverBudgetBare,
     };
     assemble_entries(
-        candidates,
+        source,
         scores,
         &order,
         prefix,

@@ -25,6 +25,16 @@ pub enum TraitDirection {
 /// `Send + Sync` so the orient phase can fill trait columns across
 /// worker threads at fleet scale; computers are pure functions of the
 /// statistics, so this costs implementations nothing.
+///
+/// **Purity is load-bearing**: the incremental cycle cache splices a
+/// quiet table's trait row across cycles on the grounds that identical
+/// stats bits produce identical trait bits. A computer that reads
+/// interior-mutable state (clocks, RNGs, feedback calibration) breaks
+/// that contract — register such state changes by calling
+/// [`AutoComp::invalidate_cycle_cache`] (or re-registering the computer,
+/// which bumps the configuration epoch).
+///
+/// [`AutoComp::invalidate_cycle_cache`]: crate::pipeline::AutoComp::invalidate_cycle_cache
 pub trait TraitComputer: Send + Sync {
     /// Trait name, referenced by ranking policies.
     fn name(&self) -> &str;

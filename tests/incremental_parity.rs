@@ -1,0 +1,434 @@
+//! Property-based incremental-vs-cold parity harness.
+//!
+//! Drives randomized fleets through randomized interleavings of table
+//! writes, database quota edits, policy (config) edits, feedback
+//! ingestion, and OODA cycles, and asserts that **incremental** cycles —
+//! changelog-driven observe reuse *plus* the `CycleCache` splicing filter
+//! verdicts and trait rows — produce **bit-identical** `CycleReport`s to
+//! always-cold cycles over the same lake state, across all four scope
+//! strategies and all four ranking policies.
+//!
+//! The model lake keeps every stat a pure function of
+//! `(uid, per-table version, per-database quota knob)`, so a reused entry
+//! is exactly what a fresh fetch would produce for a quiet table — the
+//! precondition for bit parity. Quota edits are *not* in the changelog
+//! (they model the shared-signal staleness of the observe contract); the
+//! incremental driver follows the documented recipe and force-dirties
+//! every table of the edited database, which must invalidate the
+//! corresponding cycle-cache rows too.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use autocomp::{
+    AutoComp, AutoCompConfig, Candidate, CandidateStats, ChangeCursor, CompactionDisabledFilter,
+    CompactionExecutor, ComputeCostGbhr, CycleReport, ExecutionResult, FeedbackRecord,
+    FileCountReduction, FleetObserver, IntermediateTableFilter, LakeConnector, MinSizeFilter,
+    Prediction, QuotaSignal, RankingPolicy, RecentWriteActivityFilter, ScopeStrategy, TableRef,
+    TraitWeight,
+};
+use proptest::collection;
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+const DATABASES: u64 = 4;
+
+/// Deterministic model lake: pure per-table stats with a write changelog
+/// and out-of-band (changelog-invisible) quota knobs.
+struct ModelLake {
+    tables: Vec<TableRef>,
+    versions: Mutex<Vec<u64>>,
+    quota_knobs: Mutex<[u64; DATABASES as usize]>,
+    log: Mutex<Vec<(u64, u64)>>, // (seq, uid)
+    seq: AtomicU64,
+}
+
+impl ModelLake {
+    fn new(n: u64) -> Self {
+        ModelLake {
+            tables: (0..n)
+                .map(|i| TableRef {
+                    table_uid: i,
+                    database: format!("db{}", i % DATABASES).into(),
+                    name: format!("t{i}").into(),
+                    partitioned: i % 3 == 0,
+                    compaction_enabled: i % 7 != 0,
+                    is_intermediate: i % 11 == 0,
+                })
+                .collect(),
+            versions: Mutex::new(vec![0; n as usize]),
+            quota_knobs: Mutex::new([0; DATABASES as usize]),
+            log: Mutex::new(Vec::new()),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    fn write(&self, uid: u64) {
+        let seq = self.seq.fetch_add(1, Ordering::SeqCst);
+        self.log.lock().unwrap().push((seq, uid));
+        self.versions.lock().unwrap()[uid as usize] += 1;
+    }
+
+    fn quota_edit(&self, db: u64, delta: u64) {
+        self.quota_knobs.lock().unwrap()[db as usize] += delta;
+    }
+
+    /// Pure stats: f(uid, version, quota knob of the owning database).
+    fn stats_for(&self, uid: u64, part: u64) -> CandidateStats {
+        let v = self.versions.lock().unwrap()[uid as usize];
+        let knob = self.quota_knobs.lock().unwrap()[(uid % DATABASES) as usize];
+        CandidateStats {
+            file_count: 5 + (uid * 13 + v * 7 + part) % 97,
+            small_file_count: (uid * 11 + v * 3 + part * 5) % 90,
+            small_bytes: ((uid * 29 + v + part) % 64) << 20,
+            total_bytes: (((uid * 37 + v) % 128) + 1 + part) << 20,
+            target_file_size: 512 << 20,
+            last_write_ms: (v > 0).then_some(v * 40),
+            write_frequency_per_hour: (v % 5) as f64,
+            quota: Some(QuotaSignal {
+                used: knob + uid % 7,
+                total: 1000,
+            }),
+            ..CandidateStats::default()
+        }
+    }
+
+    fn partition_count(&self, uid: u64) -> u64 {
+        1 + uid % 2
+    }
+}
+
+impl LakeConnector for ModelLake {
+    fn list_tables(&self) -> Vec<TableRef> {
+        self.tables.clone()
+    }
+    fn table_stats(&self, uid: u64) -> Option<CandidateStats> {
+        (uid < self.tables.len() as u64).then(|| self.stats_for(uid, 0))
+    }
+    fn partition_stats(&self, uid: u64) -> Vec<(String, CandidateStats)> {
+        if self.tables.get(uid as usize).is_some_and(|t| t.partitioned) {
+            (0..self.partition_count(uid))
+                .map(|p| (format!("(p{p})"), self.stats_for(uid, p + 1)))
+                .collect()
+        } else {
+            Vec::new()
+        }
+    }
+    fn snapshot_stats(&self, uid: u64, _window_ms: u64) -> Option<CandidateStats> {
+        (uid < self.tables.len() as u64 && uid.is_multiple_of(2)).then(|| self.stats_for(uid, 0))
+    }
+    fn fleet_cursor(&self) -> Option<ChangeCursor> {
+        Some(ChangeCursor(self.seq.load(Ordering::SeqCst)))
+    }
+    fn changes_since(&self, cursor: ChangeCursor) -> Option<Vec<u64>> {
+        Some(
+            self.log
+                .lock()
+                .unwrap()
+                .iter()
+                .filter(|(seq, _)| *seq >= cursor.0)
+                .map(|(_, uid)| *uid)
+                .collect(),
+        )
+    }
+    fn listing_epoch(&self) -> Option<u64> {
+        // The model fleet never creates/drops tables or edits policies.
+        Some(0)
+    }
+}
+
+/// Deterministic executor whose job ids depend only on call order.
+#[derive(Default)]
+struct SeqExecutor {
+    calls: u64,
+}
+
+impl CompactionExecutor for SeqExecutor {
+    fn execute(&mut self, _c: &Candidate, p: &Prediction, now: u64) -> ExecutionResult {
+        self.calls += 1;
+        ExecutionResult {
+            scheduled: true,
+            job_id: Some(self.calls),
+            gbhr: p.gbhr,
+            commit_due_ms: Some(now + 5_000),
+            error: None,
+        }
+    }
+}
+
+/// One step of a randomized scenario.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Write to a table (changelog-visible; bumps the table version).
+    Write(u64),
+    /// Out-of-band quota edit (changelog-invisible; the incremental
+    /// driver must force-dirty the database's tables to stay exact).
+    QuotaEdit(u64, u64),
+    /// Switch the ranking policy on both pipelines (config epoch bump).
+    SwitchPolicy(u8),
+    /// Ingest one identical feedback record into both pipelines.
+    Feedback(u64, u64),
+    /// Run one cycle on both sides and compare reports bit-for-bit.
+    Cycle,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..1_000_000).prop_map(Op::Write),
+        (0u64..DATABASES, 1u64..60).prop_map(|(db, delta)| Op::QuotaEdit(db, delta)),
+        (0u8..4).prop_map(Op::SwitchPolicy),
+        (1u64..200, 1u64..200).prop_map(|(p, a)| Op::Feedback(p, a)),
+        (0u8..2).prop_map(|_| Op::Cycle),
+    ]
+}
+
+fn policy(p: u8) -> RankingPolicy {
+    match p % 4 {
+        0 => RankingPolicy::Moop {
+            weights: vec![
+                TraitWeight::new("file_count_reduction", 0.7),
+                TraitWeight::new("compute_cost_gbhr", 0.3),
+            ],
+            k: 7,
+        },
+        1 => RankingPolicy::Threshold {
+            trait_name: "file_count_reduction".into(),
+            min_value: 45.0,
+            max_k: Some(11),
+        },
+        2 => RankingPolicy::BudgetedMoop {
+            weights: vec![
+                TraitWeight::new("file_count_reduction", 0.6),
+                TraitWeight::new("compute_cost_gbhr", 0.4),
+            ],
+            cost_trait: "compute_cost_gbhr".into(),
+            budget: 9.0,
+            max_k: Some(25),
+        },
+        _ => RankingPolicy::QuotaAwareMoop {
+            benefit_trait: "file_count_reduction".into(),
+            cost_trait: "compute_cost_gbhr".into(),
+            k: Some(5),
+            budget: None,
+        },
+    }
+}
+
+fn pipeline(scope: ScopeStrategy, p: u8, time_sensitive_chain: bool) -> AutoComp {
+    let mut ac = AutoComp::new(AutoCompConfig {
+        scope,
+        policy: policy(p),
+        trigger_label: "parity".into(),
+        calibrate: true,
+    })
+    .with_filter(Box::new(CompactionDisabledFilter))
+    .with_filter(Box::new(IntermediateTableFilter))
+    .with_filter(Box::new(MinSizeFilter {
+        min_total_bytes: 32 << 20,
+        min_file_count: 0,
+    }))
+    .with_trait(Box::new(FileCountReduction::default()))
+    .with_trait(Box::new(ComputeCostGbhr::default()));
+    if time_sensitive_chain {
+        ac = ac.with_filter(Box::new(RecentWriteActivityFilter {
+            quiet_ms: 10_000,
+            max_writes_per_hour: 3.5,
+        }));
+    }
+    ac
+}
+
+/// Bit-level report comparison, proptest-flavored.
+fn reports_identical(a: &CycleReport, b: &CycleReport, ctx: &str) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.generated, b.generated, "{}: generated", ctx);
+    prop_assert_eq!(&a.dropped, &b.dropped, "{}: dropped", ctx);
+    prop_assert_eq!(a.ranked.len(), b.ranked.len(), "{}: ranked len", ctx);
+    for (x, y) in a.ranked.iter().zip(&b.ranked) {
+        prop_assert_eq!(&x.id, &y.id, "{}: rank order", ctx);
+        prop_assert_eq!(
+            x.score.to_bits(),
+            y.score.to_bits(),
+            "{}: score of {} not bit-identical",
+            ctx,
+            x.id
+        );
+        prop_assert_eq!(x.selected, y.selected, "{}: selection of {}", ctx, x.id);
+        prop_assert_eq!(&x.note, &y.note, "{}: note of {}", ctx, x.id);
+    }
+    prop_assert_eq!(&a.executed, &b.executed, "{}: executed jobs", ctx);
+    prop_assert_eq!(
+        a.total_predicted_reduction,
+        b.total_predicted_reduction,
+        "{}: ΔF",
+        ctx
+    );
+    prop_assert_eq!(
+        a.total_predicted_gbhr.to_bits(),
+        b.total_predicted_gbhr.to_bits(),
+        "{}: GBHr",
+        ctx
+    );
+    prop_assert_eq!(a.to_string(), b.to_string(), "{}: rendered report", ctx);
+    Ok(())
+}
+
+const SCOPES: [ScopeStrategy; 4] = [
+    ScopeStrategy::Table,
+    ScopeStrategy::Partition,
+    ScopeStrategy::Hybrid,
+    ScopeStrategy::Snapshot { window_ms: 1000 },
+];
+
+/// Runs one scenario under one scope: every `Cycle` op runs a cold cycle
+/// (fresh observe, cache disabled) and an incremental cycle (observer +
+/// cache) over the same lake state and compares the reports.
+fn run_scenario(
+    n: u64,
+    p0: u8,
+    ops: &[Op],
+    scope: ScopeStrategy,
+    time_sensitive_chain: bool,
+) -> Result<(), TestCaseError> {
+    let lake = ModelLake::new(n);
+    let mut cold = pipeline(scope, p0, time_sensitive_chain).with_cycle_cache(false);
+    let mut incremental = pipeline(scope, p0, time_sensitive_chain);
+    let mut observer = FleetObserver::new();
+    let mut now = 1_000u64;
+    let mut cycles = 0usize;
+    let run_cycle = |cold: &mut AutoComp,
+                     incremental: &mut AutoComp,
+                     observer: &mut FleetObserver,
+                     now: u64,
+                     label: &str|
+     -> Result<(), TestCaseError> {
+        let cold_report = cold
+            .run_cycle(&lake, &mut SeqExecutor::default(), now)
+            .expect("cold cycle runs");
+        let incremental_report = incremental
+            .run_cycle_incremental(observer, &lake, &mut SeqExecutor::default(), now)
+            .expect("incremental cycle runs");
+        reports_identical(&cold_report, &incremental_report, label)
+    };
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            Op::Write(raw) => lake.write(raw % n),
+            Op::QuotaEdit(db, delta) => {
+                lake.quota_edit(*db, *delta);
+                // The documented recipe for changelog-invisible shared
+                // signals: force-dirty the affected tables. Must also
+                // invalidate their cycle-cache rows.
+                for uid in 0..n {
+                    if uid % DATABASES == *db {
+                        observer.mark_dirty(uid);
+                    }
+                }
+            }
+            Op::SwitchPolicy(p) => {
+                cold.config_mut().policy = policy(*p);
+                incremental.config_mut().policy = policy(*p);
+            }
+            Op::Feedback(pred, act) => {
+                let record = FeedbackRecord {
+                    candidate: autocomp::CandidateId::table(0),
+                    at_ms: now,
+                    predicted_reduction: *pred as i64,
+                    actual_reduction: *act as i64,
+                    predicted_gbhr: *pred as f64 * 0.01,
+                    actual_gbhr: *act as f64 * 0.01,
+                };
+                cold.ingest_feedback(record.clone());
+                incremental.ingest_feedback(record);
+            }
+            Op::Cycle => {
+                run_cycle(
+                    &mut cold,
+                    &mut incremental,
+                    &mut observer,
+                    now,
+                    &format!("{scope:?} op {i}"),
+                )?;
+                cycles += 1;
+                now += 577;
+            }
+        }
+    }
+    // Every scenario ends with two quiet cycles: the first may recompute
+    // (trailing mutations), the second exercises a maximal splice.
+    for tail in 0..2 {
+        run_cycle(
+            &mut cold,
+            &mut incremental,
+            &mut observer,
+            now,
+            &format!("{scope:?} tail {tail}"),
+        )?;
+        cycles += 1;
+        now += 577;
+    }
+    prop_assert!(cycles >= 2, "scenario must run cycles");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    /// All four scopes × randomized policy, with a time-insensitive
+    /// filter chain: the cycle cache splices across moving timestamps and
+    /// reports must stay bit-identical to always-cold cycles.
+    #[test]
+    fn incremental_cycles_match_cold_cycles(
+        n in 4u64..40,
+        p0 in 0u8..4,
+        ops in collection::vec(op_strategy(), 1..24),
+    ) {
+        for scope in SCOPES {
+            run_scenario(n, p0, &ops, scope, false)?;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    /// Same property with a time-sensitive filter in the chain
+    /// (`RecentWriteActivityFilter`): the cache must refuse to splice
+    /// stale verdicts across moving timestamps, and parity must still
+    /// hold through the recompute path.
+    #[test]
+    fn incremental_cycles_match_cold_cycles_with_time_sensitive_filters(
+        n in 4u64..32,
+        p0 in 0u8..4,
+        ops in collection::vec(op_strategy(), 1..20),
+    ) {
+        for scope in SCOPES {
+            run_scenario(n, p0, &ops, scope, true)?;
+        }
+    }
+}
+
+/// Deterministic companion: proves the harness is not vacuous — quiet
+/// consecutive cycles really do splice from the cache (and still match
+/// cold output, which the properties above assert).
+#[test]
+fn harness_scenarios_actually_splice() {
+    let n = 24u64;
+    let lake = ModelLake::new(n);
+    let mut incremental = pipeline(ScopeStrategy::Hybrid, 0, false);
+    let mut observer = FleetObserver::new();
+    for now in [1_000u64, 2_000, 3_000] {
+        incremental
+            .run_cycle_incremental(&mut observer, &lake, &mut SeqExecutor::default(), now)
+            .unwrap();
+    }
+    let stats = incremental.cycle_cache_stats();
+    assert_eq!(stats.spliced_tables, n as usize, "quiet cycles splice all");
+    assert_eq!(stats.recomputed_tables, 0);
+    lake.write(5);
+    incremental
+        .run_cycle_incremental(&mut observer, &lake, &mut SeqExecutor::default(), 4_000)
+        .unwrap();
+    let stats = incremental.cycle_cache_stats();
+    assert_eq!(
+        stats.recomputed_tables, 1,
+        "only the written table recomputes"
+    );
+    assert_eq!(stats.spliced_tables, n as usize - 1);
+}

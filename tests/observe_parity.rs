@@ -292,6 +292,175 @@ fn incremental_observe_fetches_only_written_tables() {
     assert_eq!(obs.fetched_tables(), 1);
 }
 
+/// A table force-dirtied although **absent from the changelog** must be
+/// re-fetched by the observe AND have its `CycleCache` rows invalidated:
+/// its filter verdicts and trait rows recompute even though no write was
+/// logged. Pinned by counting filter evaluations per cycle.
+#[test]
+fn force_dirty_tables_invalidate_cycle_cache_rows() {
+    use autocomp::{CandidateFilter, CandidateView, FilterDecision};
+    use std::sync::Arc;
+
+    /// Time-insensitive pass-through filter counting evaluations.
+    struct CountingFilter(Arc<AtomicU64>);
+
+    impl CandidateFilter for CountingFilter {
+        fn name(&self) -> &str {
+            "counting"
+        }
+        fn evaluate(&self, _c: &CandidateView<'_>, _now_ms: u64) -> FilterDecision {
+            self.0.fetch_add(1, Ordering::SeqCst);
+            FilterDecision::Keep
+        }
+        fn time_sensitive(&self) -> bool {
+            false
+        }
+    }
+
+    const N: u64 = 50;
+    let lake = CountingLake::new(N);
+    let evals = Arc::new(AtomicU64::new(0));
+    // The counting filter goes FIRST so later dropping filters cannot
+    // short-circuit past it: every filtered candidate counts exactly once.
+    let mut ac = AutoComp::new(AutoCompConfig {
+        scope: ScopeStrategy::Table,
+        policy: RankingPolicy::Moop {
+            weights: vec![
+                TraitWeight::new("file_count_reduction", 0.7),
+                TraitWeight::new("compute_cost_gbhr", 0.3),
+            ],
+            k: 25,
+        },
+        trigger_label: "parity".into(),
+        calibrate: false,
+    })
+    .with_filter(Box::new(CountingFilter(evals.clone())))
+    .with_filter(Box::new(CompactionDisabledFilter))
+    .with_trait(Box::new(FileCountReduction::default()))
+    .with_trait(Box::new(ComputeCostGbhr::default()));
+    let mut observer = FleetObserver::new();
+
+    // Cold cycle: every candidate is filtered.
+    ac.run_cycle_incremental(&mut observer, &lake, &mut NullExecutor, 0)
+        .unwrap();
+    let cold_evals = evals.swap(0, Ordering::SeqCst);
+    assert!(cold_evals >= N, "cold cycle filters the fleet");
+
+    // Quiet cycle (moving timestamp, time-insensitive chain): everything
+    // splices — zero filter evaluations, zero stats fetches.
+    let fetches_before = lake.stats_fetches();
+    ac.run_cycle_incremental(&mut observer, &lake, &mut NullExecutor, 1)
+        .unwrap();
+    assert_eq!(evals.swap(0, Ordering::SeqCst), 0, "quiet cycle splices");
+    assert_eq!(lake.stats_fetches(), fetches_before, "no re-fetch");
+    assert_eq!(ac.cycle_cache_stats().spliced_tables, N as usize);
+
+    // Force-dirty one table with a *quiet changelog*: exactly its stats
+    // re-fetch and exactly its cache rows recompute.
+    observer.mark_dirty(7);
+    let fetches_before = lake.stats_fetches();
+    ac.run_cycle_incremental(&mut observer, &lake, &mut NullExecutor, 2)
+        .unwrap();
+    assert_eq!(
+        lake.stats_fetches() - fetches_before,
+        1,
+        "only the force-dirtied table re-fetches"
+    );
+    assert_eq!(
+        evals.swap(0, Ordering::SeqCst),
+        1,
+        "only the force-dirtied table re-filters (its cache rows were invalidated)"
+    );
+    let stats = ac.cycle_cache_stats();
+    assert_eq!(stats.recomputed_tables, 1);
+    assert_eq!(stats.spliced_tables, N as usize - 1);
+
+    // The recomputed rows re-enter the cache: the next quiet cycle is a
+    // full splice again.
+    ac.run_cycle_incremental(&mut observer, &lake, &mut NullExecutor, 3)
+        .unwrap();
+    assert_eq!(evals.swap(0, Ordering::SeqCst), 0);
+    assert_eq!(ac.cycle_cache_stats().spliced_tables, N as usize);
+}
+
+/// A table-descriptor edit that never touches the write changelog — an
+/// operator flipping `compaction_enabled` off — must still invalidate
+/// the table's cached filter verdict: filters read descriptor fields, so
+/// the cycle cache verifies the stored descriptor per splice instead of
+/// trusting the changelog alone.
+#[test]
+fn descriptor_edits_invalidate_cached_verdicts_without_a_changelog_write() {
+    /// Lake whose policy flags can be edited out-of-band (no changelog).
+    struct PolicyLake {
+        inner: CountingLake,
+        disabled: Mutex<std::collections::BTreeSet<u64>>,
+    }
+
+    impl LakeConnector for PolicyLake {
+        fn list_tables(&self) -> Vec<TableRef> {
+            let disabled = self.disabled.lock().unwrap();
+            self.inner
+                .list_tables()
+                .into_iter()
+                .map(|mut t| {
+                    if disabled.contains(&t.table_uid) {
+                        t.compaction_enabled = false;
+                    }
+                    t
+                })
+                .collect()
+        }
+        fn table_stats(&self, uid: u64) -> Option<CandidateStats> {
+            self.inner.table_stats(uid)
+        }
+        fn partition_stats(&self, uid: u64) -> Vec<(String, CandidateStats)> {
+            self.inner.partition_stats(uid)
+        }
+        fn fleet_cursor(&self) -> Option<autocomp::ChangeCursor> {
+            self.inner.fleet_cursor()
+        }
+        fn changes_since(&self, cursor: autocomp::ChangeCursor) -> Option<Vec<u64>> {
+            self.inner.changes_since(cursor)
+        }
+    }
+
+    let lake = PolicyLake {
+        inner: CountingLake::new(30),
+        disabled: Mutex::new(Default::default()),
+    };
+    let mut ac = pipeline(ScopeStrategy::Table);
+    let mut observer = FleetObserver::new();
+    let first = ac
+        .run_cycle_incremental(&mut observer, &lake, &mut NullExecutor, 0)
+        .unwrap();
+    assert!(
+        first.ranked.iter().any(|e| e.id.table_uid == 3),
+        "table 3 ranks before the policy flip"
+    );
+
+    // Flip table 3's policy with a quiet changelog, then cycle again.
+    lake.disabled.lock().unwrap().insert(3);
+    let incremental = ac
+        .run_cycle_incremental(&mut observer, &lake, &mut NullExecutor, 1)
+        .unwrap();
+    let cold = pipeline(ScopeStrategy::Table)
+        .run_cycle(&lake, &mut NullExecutor, 1)
+        .unwrap();
+    assert_reports_identical(&incremental, &cold, "post policy flip");
+    assert!(
+        incremental
+            .dropped
+            .iter()
+            .any(|(id, reason)| id.table_uid == 3 && reason.contains("compaction-disabled")),
+        "the flipped table's cached 'kept' verdict was invalidated"
+    );
+    let stats = ac.cycle_cache_stats();
+    assert!(
+        stats.recomputed_tables >= 1 && stats.spliced_tables >= 28,
+        "only the edited table (and no quiet neighbors) recomputes: {stats:?}"
+    );
+}
+
 /// End-to-end over the simulated lake: the sequential `Rc<RefCell>` tier
 /// and the `Arc<RwLock>` batch tier produce bit-identical cycles.
 #[test]

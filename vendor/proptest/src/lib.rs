@@ -93,6 +93,7 @@ macro_rules! prop_assert {
 }
 
 /// Fallible equality assertion usable inside [`proptest!`] bodies.
+/// Accepts optional trailing format arguments, like the real crate's.
 #[macro_export]
 macro_rules! prop_assert_eq {
     ($left:expr, $right:expr $(,)?) => {{
@@ -104,6 +105,22 @@ macro_rules! prop_assert_eq {
                     "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
                     stringify!($left),
                     stringify!($right),
+                    left,
+                    right
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if left != right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: {} == {} ({})\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    ::std::format!($($fmt)+),
                     left,
                     right
                 ),
