@@ -18,8 +18,9 @@
 use autocomp::{
     AlreadyCompactFilter, AutoComp, AutoCompConfig, BatchLakeConnector, Candidate, CandidateStats,
     ChangeCursor, CompactionDisabledFilter, CompactionExecutor, ComputeCostGbhr, ExecutionResult,
-    FileCountReduction, FleetObserver, LakeConnector, ObserveRequest, Prediction, RankingPolicy,
-    ScopeStrategy, SizeBucket, TableRef, TraitWeight,
+    FileCountReduction, FleetObserver, JobOutcome, JobOutcomeStatus, JobRuntimeConfig,
+    LakeConnector, ObserveRequest, Prediction, RankingPolicy, ScopeStrategy, SizeBucket, TableRef,
+    TrackedExecutor, TraitWeight,
 };
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -231,6 +232,60 @@ impl CompactionExecutor for NullExecutor {
     }
 }
 
+/// Async platform model for the job-runtime bench: submissions settle
+/// `duration_ms` later (≈3 cycles at the bench cadence), so a steady
+/// population of jobs stays in flight — suppression, ledger upkeep,
+/// settling and automatic feedback ingestion are all on the measured
+/// path.
+struct TrackedPlatform {
+    duration_ms: u64,
+    next_job: u64,
+    running: Vec<(u64, u64, u64)>, // (job_id, uid, due_ms)
+}
+
+impl TrackedPlatform {
+    fn new(duration_ms: u64) -> Self {
+        TrackedPlatform {
+            duration_ms,
+            next_job: 0,
+            running: Vec::new(),
+        }
+    }
+}
+
+impl CompactionExecutor for TrackedPlatform {
+    fn execute(&mut self, c: &Candidate, p: &Prediction, now: u64) -> ExecutionResult {
+        self.next_job += 1;
+        let due = now + self.duration_ms;
+        self.running.push((self.next_job, c.id.table_uid, due));
+        ExecutionResult {
+            scheduled: true,
+            job_id: Some(self.next_job),
+            gbhr: p.gbhr,
+            commit_due_ms: Some(due),
+            error: None,
+        }
+    }
+}
+
+impl TrackedExecutor for TrackedPlatform {
+    fn poll(&mut self, now: u64) -> Vec<JobOutcome> {
+        let (due, rest): (Vec<_>, Vec<_>) =
+            self.running.drain(..).partition(|(_, _, due)| *due <= now);
+        self.running = rest;
+        due.into_iter()
+            .map(|(job_id, uid, due_ms)| JobOutcome {
+                job_id,
+                table_uid: uid,
+                status: JobOutcomeStatus::Succeeded,
+                finished_at_ms: due_ms,
+                actual_reduction: 8,
+                actual_gbhr: 1.0,
+            })
+            .collect()
+    }
+}
+
 fn full_cycle_pipeline() -> AutoComp {
     AutoComp::new(AutoCompConfig {
         scope: ScopeStrategy::Table,
@@ -302,6 +357,31 @@ fn bench_observe(c: &mut Criterion) {
             .expect("prime cycle runs");
         b.iter(|| {
             ac.run_cycle_incremental_batch(&mut observer, &batch, &mut exec, 0)
+                .expect("cycle runs")
+        })
+    });
+
+    // Job-runtime cycle: the incremental cycle above plus the tracked
+    // act phase — poll + settle (≈100 outcomes/cycle), automatic
+    // feedback ingestion, settled-dirty re-observe, in-flight
+    // suppression over a steady 200-300-job ledger, and admission
+    // checks. Compare against full_cycle_incremental in the same pass
+    // (the tracked overhead must not push the cycle out of the
+    // incremental band).
+    group.bench_with_input(BenchmarkId::new("full_cycle_tracked", n), &n, |b, _| {
+        let mut ac = full_cycle_pipeline().with_job_tracker(JobRuntimeConfig {
+            max_in_flight: 512,
+            max_in_flight_per_database: 64,
+            ..JobRuntimeConfig::default()
+        });
+        let mut observer = FleetObserver::new();
+        let mut platform = TrackedPlatform::new(1_500);
+        let mut now = 0u64;
+        ac.run_cycle_tracked_incremental_batch(&mut observer, &batch, &mut platform, now)
+            .expect("prime cycle runs");
+        b.iter(|| {
+            now += 577;
+            ac.run_cycle_tracked_incremental_batch(&mut observer, &batch, &mut platform, now)
                 .expect("cycle runs")
         })
     });

@@ -30,6 +30,15 @@ pub struct Catalog {
     tables: BTreeMap<TableId, CatalogTable>,
     by_name: BTreeMap<(String, String), TableId>,
     next_table_id: u64,
+    /// Registry epoch: bumped by every create, drop, and policy edit —
+    /// exactly the events that can change what a fleet *listing* (table
+    /// descriptors + policy flags) looks like. Deliberately **not**
+    /// bumped by data commits or usage tracking (which flow through
+    /// [`table_mut`](Self::table_mut) on every write), so an unchanged
+    /// epoch lets observers reuse the prior cycle's listing wholesale.
+    /// Policy edits must go through [`set_policy`](Self::set_policy) /
+    /// [`update_policy`](Self::update_policy) to be counted.
+    registry_epoch: u64,
 }
 
 impl Catalog {
@@ -40,7 +49,15 @@ impl Catalog {
             tables: BTreeMap::new(),
             by_name: BTreeMap::new(),
             next_table_id: 1,
+            registry_epoch: 0,
         }
+    }
+
+    /// Current registry epoch (see the field docs for what bumps it).
+    /// Connectors surface this as their listing epoch: an unchanged
+    /// value guarantees an identical table listing.
+    pub fn registry_epoch(&self) -> u64 {
+        self.registry_epoch
     }
 
     /// Registers a database.
@@ -48,6 +65,7 @@ impl Catalog {
         if self.databases.contains_key(name) {
             return Err(CatalogError::DatabaseExists(name.to_string()));
         }
+        self.registry_epoch += 1;
         self.databases
             .insert(name.to_string(), DatabaseEntry::new(name, tenant));
         Ok(())
@@ -80,6 +98,7 @@ impl Catalog {
             .map_err(|e| CatalogError::InvalidTable(e.to_string()))?;
         let id = TableId(self.next_table_id);
         self.next_table_id += 1;
+        self.registry_epoch += 1;
         let table = Table::new(id, name, database, schema, spec, properties, now_ms);
         self.tables.insert(
             id,
@@ -105,6 +124,7 @@ impl Catalog {
             .tables
             .remove(&id)
             .ok_or(CatalogError::TableNotFound(id))?;
+        self.registry_epoch += 1;
         let db = entry.table.database().to_string();
         let name = entry.table.name().to_string();
         if let Some(d) = self.databases.get_mut(&db) {
@@ -126,11 +146,45 @@ impl Catalog {
         self.tables.get(&id).ok_or(CatalogError::TableNotFound(id))
     }
 
-    /// Mutable access to a table entry.
+    /// Mutable access to a table entry — for data commits and usage
+    /// tracking. Do **not** edit `entry.policy` through this accessor:
+    /// it leaves the registry epoch unchanged, so listing-epoch-driven
+    /// observers would keep serving the stale descriptor. Use
+    /// [`set_policy`](Self::set_policy) /
+    /// [`update_policy`](Self::update_policy) instead.
     pub fn table_mut(&mut self, id: TableId) -> Result<&mut CatalogTable> {
         self.tables
             .get_mut(&id)
             .ok_or(CatalogError::TableNotFound(id))
+    }
+
+    /// Replaces a table's maintenance policy, bumping the registry
+    /// epoch so listing-epoch observers re-list the fleet.
+    pub fn set_policy(&mut self, id: TableId, policy: TablePolicy) -> Result<()> {
+        let entry = self
+            .tables
+            .get_mut(&id)
+            .ok_or(CatalogError::TableNotFound(id))?;
+        entry.policy = policy;
+        self.registry_epoch += 1;
+        Ok(())
+    }
+
+    /// Edits a table's maintenance policy in place (e.g. flip
+    /// `compaction_enabled`, retune `target_file_size`), bumping the
+    /// registry epoch.
+    pub fn update_policy(
+        &mut self,
+        id: TableId,
+        edit: impl FnOnce(&mut TablePolicy),
+    ) -> Result<()> {
+        let entry = self
+            .tables
+            .get_mut(&id)
+            .ok_or(CatalogError::TableNotFound(id))?;
+        edit(&mut entry.policy);
+        self.registry_epoch += 1;
+        Ok(())
     }
 
     /// All table ids, ascending (deterministic iteration for NFR2).
@@ -254,6 +308,41 @@ mod tests {
             )
             .unwrap_err();
         assert!(matches!(err, CatalogError::InvalidTable(_)));
+    }
+
+    #[test]
+    fn registry_epoch_tracks_create_drop_and_policy_edits() {
+        let (mut c, id) = catalog_with_table();
+        let e0 = c.registry_epoch();
+        // Data-plane mutation through table_mut: epoch unchanged.
+        c.table_mut(id).unwrap().usage.record_write(5);
+        assert_eq!(c.registry_epoch(), e0);
+        // Policy edits bump.
+        c.update_policy(id, |p| p.compaction_enabled = false)
+            .unwrap();
+        assert_eq!(c.registry_epoch(), e0 + 1);
+        assert!(!c.table(id).unwrap().policy.compaction_enabled);
+        c.set_policy(id, TablePolicy::default()).unwrap();
+        assert_eq!(c.registry_epoch(), e0 + 2);
+        // Create + drop bump.
+        c.create_table(
+            "db1",
+            "t2",
+            schema(),
+            PartitionSpec::unpartitioned(),
+            TableProperties::default(),
+            TablePolicy::default(),
+            0,
+        )
+        .unwrap();
+        assert_eq!(c.registry_epoch(), e0 + 3);
+        c.drop_table(id).unwrap();
+        assert_eq!(c.registry_epoch(), e0 + 4);
+        // Unknown tables are errors, not silent epoch churn.
+        let before = c.registry_epoch();
+        assert!(c.set_policy(TableId(99), TablePolicy::default()).is_err());
+        assert!(c.update_policy(TableId(99), |_| {}).is_err());
+        assert_eq!(c.registry_epoch(), before);
     }
 
     #[test]

@@ -107,6 +107,14 @@ impl MaintenanceLog {
         &self.records
     }
 
+    /// Records appended at or after position `cursor` (0-based index into
+    /// [`records`](Self::records)) — the completion-polling primitive:
+    /// keep a cursor, read the suffix, advance by its length. A cursor
+    /// beyond the log yields an empty slice.
+    pub fn records_from(&self, cursor: usize) -> &[MaintenanceRecord] {
+        &self.records[cursor.min(self.records.len())..]
+    }
+
     /// Records with the given status.
     pub fn with_status(&self, status: JobStatus) -> impl Iterator<Item = &MaintenanceRecord> {
         self.records.iter().filter(move |r| r.status == status)
@@ -209,6 +217,20 @@ mod tests {
         let id = log.next_job_id();
         log.push(record(id, JobStatus::Conflicted, 100, 0, 10.0, 2.0));
         assert_eq!(log.accuracy().jobs, 0);
+    }
+
+    #[test]
+    fn records_from_reads_the_suffix() {
+        let mut log = MaintenanceLog::new();
+        for i in 0..3 {
+            let id = log.next_job_id();
+            log.push(record(id, JobStatus::Succeeded, i, i, 1.0, 1.0));
+        }
+        assert_eq!(log.records_from(0).len(), 3);
+        assert_eq!(log.records_from(2).len(), 1);
+        assert_eq!(log.records_from(2)[0].predicted_reduction, 2);
+        assert!(log.records_from(3).is_empty());
+        assert!(log.records_from(99).is_empty(), "past-end cursor is safe");
     }
 
     #[test]

@@ -95,6 +95,12 @@ impl BatchLakeConnector for BatchLakesimConnector {
         Some(ChangeCursor(self.env().change_cursor()))
     }
 
+    fn listing_epoch(&self) -> Option<u64> {
+        // See `LakesimConnector::listing_epoch`: create/drop/policy-scoped
+        // registry epoch, stable across data commits.
+        Some(self.env().catalog.registry_epoch())
+    }
+
     fn changes_since(&self, cursor: ChangeCursor) -> Option<Vec<u64>> {
         self.env()
             .changes_since(cursor.0)

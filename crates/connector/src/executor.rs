@@ -1,7 +1,21 @@
-//! The act-side connector: candidate → bin-pack plan → engine rewrite job.
+//! The act-side connector: candidate → bin-pack plan → engine rewrite job,
+//! with completion polling over the engine's maintenance log.
+//!
+//! [`LakesimExecutor`] implements both act tiers: the fire-and-forget
+//! [`CompactionExecutor`] (submit, return scheduling info) and the job
+//! runtime's [`TrackedExecutor`] — [`poll`](TrackedExecutor::poll) drains
+//! engine commits due by `now` and surfaces every maintenance record
+//! appended since the last poll as a [`JobOutcome`], which is what lets
+//! `AutoComp::run_cycle_tracked*` settle jobs, retry conflicts, and
+//! auto-ingest feedback without any manual
+//! [`FeedbackBridge`](crate::FeedbackBridge) plumbing.
 
-use autocomp::{Candidate, CompactionExecutor, ExecutionResult, Prediction, ScopeKind};
-use lakesim_engine::RewriteOptions;
+use autocomp::{
+    Candidate, CompactionExecutor, ExecutionError, ExecutionResult, JobOutcome, JobOutcomeStatus,
+    Prediction, ScopeKind, TrackedExecutor,
+};
+use lakesim_catalog::JobStatus;
+use lakesim_engine::{EngineError, RewriteOptions};
 use lakesim_lst::{
     plan_partition_rewrite, plan_table_rewrite, BinPackConfig, RewritePlan, TableId,
 };
@@ -30,24 +44,33 @@ impl Default for ExecutorOptions {
     }
 }
 
-/// [`CompactionExecutor`] implementation over the simulated lake.
+/// [`CompactionExecutor`] + [`TrackedExecutor`] implementation over the
+/// simulated lake.
 pub struct LakesimExecutor {
     env: SharedEnv,
     options: ExecutorOptions,
+    /// Position in the maintenance log up to which outcomes were already
+    /// reported by [`poll`](TrackedExecutor::poll). Starts at the log's
+    /// current length, so an executor only reports jobs finished during
+    /// its own lifetime.
+    log_cursor: usize,
 }
 
 impl LakesimExecutor {
     /// Creates an executor over a shared environment.
     pub fn new(env: SharedEnv) -> Self {
-        LakesimExecutor {
-            env,
-            options: ExecutorOptions::default(),
-        }
+        let options = ExecutorOptions::default();
+        Self::with_options(env, options)
     }
 
     /// Creates an executor with custom options.
     pub fn with_options(env: SharedEnv, options: ExecutorOptions) -> Self {
-        LakesimExecutor { env, options }
+        let log_cursor = env.borrow().maintenance.records().len();
+        LakesimExecutor {
+            env,
+            options,
+            log_cursor,
+        }
     }
 
     fn plan_for(&self, candidate: &Candidate) -> Option<RewritePlan> {
@@ -87,9 +110,10 @@ impl CompactionExecutor for LakesimExecutor {
         // inputs are never already-replaced files.
         self.env.borrow_mut().drain_due(now_ms);
         let Some(plan) = self.plan_for(candidate) else {
+            // The table (or partition) vanished: retrying cannot help.
             return ExecutionResult {
                 scheduled: false,
-                error: Some("candidate no longer resolvable".to_string()),
+                error: Some(ExecutionError::permanent("candidate no longer resolvable")),
                 ..ExecutionResult::default()
             };
         };
@@ -115,10 +139,43 @@ impl CompactionExecutor for LakesimExecutor {
             Ok(None) => ExecutionResult::default(),
             Err(e) => ExecutionResult {
                 scheduled: false,
-                error: Some(e.to_string()),
+                // Storage failures (quota pressure writing outputs, the
+                // §7 failure mode) may clear by the next attempt; every
+                // other engine error is structural.
+                error: Some(match &e {
+                    EngineError::Storage(_) => ExecutionError::transient(e.to_string()),
+                    _ => ExecutionError::permanent(e.to_string()),
+                }),
                 ..ExecutionResult::default()
             },
         }
+    }
+}
+
+impl TrackedExecutor for LakesimExecutor {
+    /// Applies engine commits due by `now_ms`, then reports every
+    /// maintenance record appended since the last poll (by any
+    /// submitter — the runtime ignores jobs it does not track).
+    fn poll(&mut self, now_ms: u64) -> Vec<JobOutcome> {
+        let mut env = self.env.borrow_mut();
+        env.drain_due(now_ms);
+        let records = env.maintenance.records_from(self.log_cursor);
+        self.log_cursor += records.len();
+        records
+            .iter()
+            .map(|r| JobOutcome {
+                job_id: r.job_id,
+                table_uid: r.table.0,
+                status: match r.status {
+                    JobStatus::Succeeded => JobOutcomeStatus::Succeeded,
+                    JobStatus::Conflicted => JobOutcomeStatus::Conflicted,
+                    JobStatus::Failed => JobOutcomeStatus::Failed,
+                },
+                finished_at_ms: r.finished_at_ms,
+                actual_reduction: r.actual_reduction,
+                actual_gbhr: r.actual_gbhr,
+            })
+            .collect()
     }
 }
 

@@ -4,6 +4,21 @@
 //! commits, their maintenance records (predicted vs. actual reduction and
 //! cost) are streamed into [`autocomp::EstimationFeedback`], which the
 //! pipeline can use for calibration (§7).
+//!
+//! # Migration: manual bridge → automatic ingestion
+//!
+//! Since the act-phase job runtime landed, drivers no longer need this
+//! bridge for the steady-state loop: attach a tracker
+//! (`AutoComp::with_job_tracker`) and drive cycles through the
+//! `run_cycle_tracked*` entry points with [`crate::LakesimExecutor`] —
+//! its `TrackedExecutor::poll` surfaces the same maintenance records as
+//! job outcomes, and settled successes are ingested into calibration
+//! automatically (using the *tracked* prediction rather than re-reading
+//! it from the log). Keep the bridge for drivers that settle outside the
+//! pipeline — replaying a pre-recorded maintenance log, importing
+//! history from before the tracker existed, or feeding a second pipeline
+//! that never submits jobs itself. Mixing both on one pipeline would
+//! double-count outcomes the tracker already ingested.
 
 use autocomp::{CandidateId, FeedbackRecord};
 use lakesim_catalog::JobStatus;
@@ -25,11 +40,10 @@ impl FeedbackBridge {
     /// Conflicted/failed jobs are skipped (they have no meaningful
     /// actuals); the cursor still advances past them.
     pub fn drain_new(&mut self, env: &SimEnv) -> Vec<FeedbackRecord> {
-        let records = env.maintenance.records();
+        let records = env.maintenance.records_from(self.cursor);
+        self.cursor += records.len();
         let mut out = Vec::new();
-        while self.cursor < records.len() {
-            let r = &records[self.cursor];
-            self.cursor += 1;
+        for r in records {
             if r.status != JobStatus::Succeeded {
                 continue;
             }

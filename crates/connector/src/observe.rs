@@ -93,6 +93,13 @@ impl LakeConnector for LakesimConnector {
         Some(ChangeCursor(self.env.borrow().change_cursor()))
     }
 
+    fn listing_epoch(&self) -> Option<u64> {
+        // The catalog's registry epoch moves only on create/drop/policy
+        // edits — not on data commits — so an unchanged value lets the
+        // observe drivers share the prior cycle's listing wholesale.
+        Some(self.env.borrow().catalog.registry_epoch())
+    }
+
     fn changes_since(&self, cursor: ChangeCursor) -> Option<Vec<u64>> {
         self.env
             .borrow()
@@ -276,6 +283,51 @@ mod tests {
         let after = connector.table_stats(uid).unwrap().quota.unwrap();
         assert_eq!(after.total, 50_000);
         assert_eq!(after.used, before.used);
+    }
+
+    #[test]
+    fn listing_epoch_shares_listings_until_registry_changes() {
+        use std::sync::Arc;
+        let (env, uid) = setup();
+        let connector = LakesimConnector::new(env.clone());
+        let mut observer = FleetObserver::new();
+        let first = observer.observe(&connector, ScopeStrategy::Table).clone();
+        assert!(first.listing_epoch().is_some());
+
+        // A data commit moves the changelog but not the registry epoch:
+        // the next observe re-fetches the dirty table yet shares the
+        // prior listing (one Arc bump — PR 3's fleet-listing reuse now
+        // engages on the simulated lake).
+        {
+            let mut env = env.borrow_mut();
+            let now = env.clock.now();
+            let spec = WriteSpec::insert(
+                lakesim_lst::TableId(uid),
+                PartitionKey::single(PartitionValue::Date(7)),
+                16 * MB,
+                FileSizePlan::trickle(),
+                "query",
+            );
+            env.submit_write(&spec, now + 1).unwrap();
+            env.drain_all();
+        }
+        let second = observer.observe(&connector, ScopeStrategy::Table).clone();
+        assert_eq!(second.fetched_tables(), 1);
+        assert!(
+            Arc::ptr_eq(&first.tables()[0].database, &second.tables()[0].database),
+            "unchanged registry epoch ⇒ shared listing"
+        );
+        assert_eq!(first.listing_epoch(), second.listing_epoch());
+
+        // A policy edit bumps the registry epoch: the listing is
+        // re-materialized and carries the new descriptor.
+        env.borrow_mut()
+            .catalog
+            .update_policy(lakesim_lst::TableId(uid), |p| p.compaction_enabled = false)
+            .unwrap();
+        let third = observer.observe(&connector, ScopeStrategy::Table);
+        assert_ne!(second.listing_epoch(), third.listing_epoch());
+        assert!(!third.tables()[0].compaction_enabled);
     }
 
     #[test]

@@ -1,0 +1,1011 @@
+//! The act-phase job runtime: cross-cycle job lifecycle management.
+//!
+//! The paper schedules compaction on a dedicated cluster and treats a
+//! submitted job as *work in flight*: AutoComp must not re-compact a
+//! table whose previous job has not finished (§4.4), must bound how much
+//! concurrent compaction the platform absorbs (§6 runs a fixed 3-node
+//! cluster), and feeds realized outcomes back into its estimators (§7).
+//! The pipeline's act phase was fire-and-forget before this module:
+//! [`CompactionExecutor::execute`] returned scheduling info that nothing
+//! tracked. The [`JobTracker`] owned by
+//! [`AutoComp`](crate::pipeline::AutoComp) closes that gap.
+//!
+//! # Lifecycle
+//!
+//! ```text
+//!            ┌── execute() ──► Running ── poll() ──► Succeeded ─► feedback
+//!  selected ─┤                   │  ▲                Conflicted ─► retry (backoff)
+//!            └─► Deferred        │  └── retry ◄──────┘   │
+//!                (admission)     └──────► Failed         └─► exhausted
+//! ```
+//!
+//! * **In-flight ledger** — every scheduled job is recorded against its
+//!   target table. Candidates whose table already has a live job (running
+//!   *or* awaiting a conflict retry) are suppressed in the next cycles
+//!   and surfaced in [`CycleReport::dropped`] with an explicit reason.
+//!   Suppression is checked **post-splice**: the [`CycleCache`] records
+//!   verdicts and trait rows *before* the ledger filter, so a cached row
+//!   stays valid across the job's lifetime and is ready the moment the
+//!   job settles. Suppression covers the whole table, not just the
+//!   targeted partition: §6 observed same-table partition jobs conflicting
+//!   even when disjoint, which is why the production scheduler serializes
+//!   them — the ledger extends that rule across cycles.
+//! * **Admission control** — before each submission the tracker checks
+//!   fleet-wide and per-database concurrency slots plus a rolling GBHr
+//!   budget window ([`JobRuntimeConfig`]). Denied candidates are
+//!   *deferred*, not dropped: they appear in [`CycleReport::deferred`]
+//!   with the denying rule, and re-enter ranking naturally next cycle.
+//! * **Completion polling** — [`TrackedExecutor::poll`] settles finished
+//!   jobs. Tracked entry points poll at cycle start (so settled tables
+//!   can be re-observed dirty in the same cycle) and between act-phase
+//!   waves (so a wave-1 commit that already landed frees its table for a
+//!   wave-2 submission).
+//! * **Conflict retries** — a `Conflicted` outcome re-enters the queue
+//!   with capped exponential backoff (`retry_backoff_ms · 2^(attempt-1)`,
+//!   capped at `retry_backoff_cap_ms`) until `max_retries` submissions
+//!   have been spent; transient submit errors
+//!   ([`ExecutionError::Transient`]) ride the same queue. Retries are
+//!   re-planned by the executor from *current* table state, so a retry
+//!   after a conflicting user write compacts the post-write layout.
+//! * **Automatic feedback** — every `Succeeded` outcome becomes a
+//!   [`FeedbackRecord`] ingested into
+//!   the pipeline's calibration without any manual bridge plumbing, and
+//!   every settled table is marked dirty for the incremental observer so
+//!   the next cycle re-fetches its (now compacted or conflicted-written)
+//!   stats.
+//!
+//! # Staleness / feedback contract
+//!
+//! The ledger is part of the act phase, not the observe phase: cached
+//! filter verdicts and trait rows never embed ledger state, so enabling
+//! or disabling the tracker does not invalidate the [`CycleCache`]. A
+//! disabled tracker (or an enabled one with nothing in flight and
+//! permissive admission) reproduces the fire-and-forget pipeline's
+//! `CycleReport`s bit-for-bit — pinned by `tests/job_runtime.rs` and the
+//! `tests/incremental_parity.rs` harness. Settled outcomes reach the
+//! estimators through [`EstimationFeedback`](crate::feedback) exactly as
+//! manual [`ingest_feedback`](crate::pipeline::AutoComp::ingest_feedback)
+//! calls would; feedback ingestion deliberately does not bump the cache
+//! epoch (calibration only scales act-phase predictions).
+//!
+//! Drivers that used the connector-side `FeedbackBridge` to shuttle
+//! maintenance records into the pipeline can migrate by switching from
+//! `run_cycle*` + manual `drain_new`/`ingest_feedback` to the
+//! `run_cycle_tracked*` entry points with a [`TrackedExecutor`]; the
+//! bridge remains for drivers that settle out-of-band.
+//!
+//! [`CompactionExecutor::execute`]: crate::connector::CompactionExecutor::execute
+//! [`CycleReport::dropped`]: crate::pipeline::CycleReport::dropped
+//! [`CycleReport::deferred`]: crate::pipeline::CycleReport::deferred
+//! [`CycleCache`]: crate::cache
+//! [`ExecutionError::Transient`]: crate::connector::ExecutionError::Transient
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+use std::sync::Arc;
+
+use crate::candidate::Candidate;
+use crate::connector::{CompactionExecutor, ExecutionResult, Prediction};
+use crate::feedback::FeedbackRecord;
+
+/// Terminal status of one settled compaction job, as surfaced by
+/// [`TrackedExecutor::poll`]. Mirrors the engine-side maintenance status
+/// without depending on any concrete platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobOutcomeStatus {
+    /// The rewrite committed; `actual_*` fields are meaningful.
+    Succeeded,
+    /// The rewrite lost an optimistic-concurrency race (cluster-side
+    /// conflict, Table 1). Retryable: the inputs still exist, only the
+    /// base snapshot moved.
+    Conflicted,
+    /// The rewrite failed structurally (quota writing outputs, dropped
+    /// table). Not retried by the runtime.
+    Failed,
+}
+
+impl fmt::Display for JobOutcomeStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            JobOutcomeStatus::Succeeded => "succeeded",
+            JobOutcomeStatus::Conflicted => "conflicted",
+            JobOutcomeStatus::Failed => "failed",
+        })
+    }
+}
+
+/// One settled job reported by [`TrackedExecutor::poll`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome {
+    /// Platform job id (matches [`ExecutionResult::job_id`]).
+    pub job_id: u64,
+    /// Table the job targeted.
+    pub table_uid: u64,
+    /// Terminal status.
+    pub status: JobOutcomeStatus,
+    /// When the job settled.
+    pub finished_at_ms: u64,
+    /// Achieved file-count reduction (0 unless `Succeeded`).
+    pub actual_reduction: i64,
+    /// Compute cost actually consumed (GBHr) — spent even on conflicts
+    /// (the paper counts wasted compaction resources, §2).
+    pub actual_gbhr: f64,
+}
+
+/// Act-side connector with completion polling: the same submission API as
+/// [`CompactionExecutor`], plus [`poll`](Self::poll) to settle jobs that
+/// finished since the last poll.
+///
+/// Wrap a plain fire-and-forget executor in [`Untracked`] to use it where
+/// a `TrackedExecutor` is expected — its `poll` settles nothing. Beware:
+/// registered jobs only ever leave the ledger by settling (or by an
+/// expired [`job_lease_ms`](JobRuntimeConfig::job_lease_ms)), so a
+/// tracker driven exclusively through a non-polling executor accumulates
+/// permanently suppressed tables until admission refuses everything.
+/// Prefer a real `poll` wherever the platform can answer, and set a job
+/// lease as the safety valve where outcome reporting may be lossy.
+pub trait TrackedExecutor: CompactionExecutor {
+    /// Returns the outcomes of every job that settled at or before
+    /// `now_ms` and was not yet reported by an earlier poll. Outcomes for
+    /// jobs the caller does not track are ignored by the runtime, so
+    /// implementations may report all platform jobs.
+    ///
+    /// # Contract: scheduled submissions carry a job id
+    ///
+    /// The runtime tracks jobs by [`ExecutionResult::job_id`]. A tracked
+    /// executor whose `execute` returns `scheduled: true` with
+    /// `job_id: None` produces a job the ledger cannot follow: it is
+    /// charged against the GBHr budget window but gets no in-flight
+    /// entry — no suppression, no settle, no retry, no feedback.
+    fn poll(&mut self, now_ms: u64) -> Vec<JobOutcome>;
+}
+
+/// Adapts any plain [`CompactionExecutor`] to the [`TrackedExecutor`]
+/// API: submissions pass through, `poll` reports nothing.
+#[derive(Debug, Clone, Default)]
+pub struct Untracked<E>(pub E);
+
+impl<E: CompactionExecutor> CompactionExecutor for Untracked<E> {
+    fn execute(
+        &mut self,
+        candidate: &Candidate,
+        prediction: &Prediction,
+        now_ms: u64,
+    ) -> ExecutionResult {
+        self.0.execute(candidate, prediction, now_ms)
+    }
+}
+
+impl<E: CompactionExecutor> TrackedExecutor for Untracked<E> {
+    fn poll(&mut self, _now_ms: u64) -> Vec<JobOutcome> {
+        Vec::new()
+    }
+}
+
+/// Admission and retry policy of the job runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRuntimeConfig {
+    /// Fleet-wide concurrency slots: at most this many jobs running at
+    /// once across all databases.
+    pub max_in_flight: usize,
+    /// Per-database concurrency slots.
+    pub max_in_flight_per_database: usize,
+    /// Rolling GBHr budget: total *predicted* GBHr admitted within the
+    /// trailing [`gbhr_window_ms`](Self::gbhr_window_ms) window. `None`
+    /// disables the budget rule.
+    pub gbhr_budget: Option<f64>,
+    /// Width of the rolling GBHr window.
+    pub gbhr_window_ms: u64,
+    /// Maximum *extra* submissions after the first (0 = never retry). A
+    /// candidate is abandoned once `1 + max_retries` submissions have
+    /// conflicted or transiently failed.
+    pub max_retries: u32,
+    /// Base conflict-retry backoff; attempt `n` (1-based) waits
+    /// `retry_backoff_ms · 2^(n-1)`.
+    pub retry_backoff_ms: u64,
+    /// Upper bound on the exponential backoff.
+    pub retry_backoff_cap_ms: u64,
+    /// Safety-valve lease on running ledger entries: a job whose outcome
+    /// has not been reported within this span of its submission is
+    /// evicted (slots and suppression freed, counted in
+    /// [`JobLedgerSummary::leases_expired`]; a late outcome for an
+    /// evicted job is ignored). `None` (the default) never expires —
+    /// correct when every scheduled job's outcome is eventually polled;
+    /// set a lease when driving a tracker through executors whose
+    /// outcome reporting may be lossy (or that never poll at all), where
+    /// stuck entries would otherwise suppress their tables forever and
+    /// eventually exhaust the admission slots.
+    pub job_lease_ms: Option<u64>,
+}
+
+impl Default for JobRuntimeConfig {
+    fn default() -> Self {
+        JobRuntimeConfig {
+            max_in_flight: 64,
+            max_in_flight_per_database: 8,
+            gbhr_budget: None,
+            gbhr_window_ms: 3_600_000,
+            max_retries: 2,
+            retry_backoff_ms: 30_000,
+            retry_backoff_cap_ms: 240_000,
+            job_lease_ms: None,
+        }
+    }
+}
+
+impl JobRuntimeConfig {
+    /// Backoff before submission attempt `attempts + 1`, given `attempts`
+    /// submissions already spent: exponential in the attempt count,
+    /// capped.
+    fn backoff_ms(&self, attempts: u32) -> u64 {
+        let shift = attempts.saturating_sub(1).min(16);
+        self.retry_backoff_ms
+            .saturating_mul(1u64 << shift)
+            .min(self.retry_backoff_cap_ms)
+    }
+}
+
+/// Counters summarizing one cycle's ledger activity, attached to every
+/// [`CycleReport`](crate::pipeline::CycleReport). All-zero (the
+/// [`Default`]) when the tracker is disabled or idle — the report then
+/// renders exactly as the fire-and-forget pipeline's.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct JobLedgerSummary {
+    /// Jobs running on the platform after this cycle.
+    pub in_flight: usize,
+    /// Candidates waiting out a retry backoff after this cycle.
+    pub retry_pending: usize,
+    /// Outcomes settled since the previous report.
+    pub settled: usize,
+    /// …of which succeeded (each auto-ingested as feedback).
+    pub succeeded: usize,
+    /// …of which conflicted.
+    pub conflicted: usize,
+    /// …of which failed structurally.
+    pub failed: usize,
+    /// Retry submissions executed this cycle.
+    pub retries_submitted: usize,
+    /// Candidates abandoned this cycle with their retry budget exhausted.
+    pub retries_exhausted: usize,
+    /// Candidates suppressed from ranking because their table had a live
+    /// job (reported in `CycleReport::dropped`).
+    pub suppressed: usize,
+    /// Submissions deferred by admission control this cycle (reported in
+    /// `CycleReport::deferred`).
+    pub deferred: usize,
+    /// Running ledger entries evicted this cycle because their
+    /// [`job_lease_ms`](JobRuntimeConfig::job_lease_ms) elapsed without
+    /// an outcome.
+    pub leases_expired: usize,
+}
+
+impl JobLedgerSummary {
+    /// Whether every counter is zero — a quiet ledger renders nothing, so
+    /// disabled-tracker reports stay bit-identical to the pre-runtime
+    /// pipeline.
+    pub fn is_quiet(&self) -> bool {
+        *self == JobLedgerSummary::default()
+    }
+}
+
+impl fmt::Display for JobLedgerSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "in-flight={} retry-pending={} settled={} (ok={} conflict={} fail={}) \
+             retried={} exhausted={} suppressed={} deferred={}",
+            self.in_flight,
+            self.retry_pending,
+            self.settled,
+            self.succeeded,
+            self.conflicted,
+            self.failed,
+            self.retries_submitted,
+            self.retries_exhausted,
+            self.suppressed,
+            self.deferred,
+        )?;
+        if self.leases_expired > 0 {
+            write!(f, " lease-expired={}", self.leases_expired)?;
+        }
+        Ok(())
+    }
+}
+
+/// One job the runtime has submitted and not yet seen settle.
+#[derive(Debug, Clone)]
+struct TrackedJob {
+    candidate: Candidate,
+    prediction: Prediction,
+    /// Submissions spent on this candidate so far (1 = first attempt).
+    attempts: u32,
+    /// When the submission was scheduled (drives the optional job lease).
+    submitted_ms: u64,
+}
+
+/// One candidate waiting out its retry backoff.
+#[derive(Debug, Clone)]
+struct RetryEntry {
+    candidate: Candidate,
+    prediction: Prediction,
+    due_ms: u64,
+    /// Submissions already spent.
+    attempts: u32,
+}
+
+/// The cross-cycle in-flight ledger + admission controller + retry queue.
+/// Owned by [`AutoComp`](crate::pipeline::AutoComp); see the module docs
+/// for the lifecycle it manages.
+#[derive(Debug, Clone)]
+pub struct JobTracker {
+    config: JobRuntimeConfig,
+    /// Running jobs by platform job id.
+    jobs: BTreeMap<u64, TrackedJob>,
+    /// Running-job count per table (suppression index).
+    tables_running: BTreeMap<u64, u32>,
+    /// Running-job count per database (admission index).
+    db_running: BTreeMap<Arc<str>, u32>,
+    /// Tables with a retry pending (suppression index).
+    tables_retrying: BTreeSet<u64>,
+    /// Retry queue in scheduling order (drained front-to-back, stable).
+    retries: VecDeque<RetryEntry>,
+    /// `(submitted_at_ms, predicted_gbhr)` of recent admissions, for the
+    /// rolling budget window. Book-kept only when a budget is configured.
+    gbhr_window: VecDeque<(u64, f64)>,
+    /// Running sum of `gbhr_window` (admission checks are O(1), not a
+    /// window walk).
+    gbhr_window_sum: f64,
+    /// Tables settled since the incremental observer last drained them.
+    dirty_pending: BTreeSet<u64>,
+    /// Counters since the last report.
+    counters: JobLedgerSummary,
+    /// Shared drop/defer reasons (one allocation each, refcounted into
+    /// every report line that uses them).
+    reason_in_flight: Arc<str>,
+    reason_retry_wait: Arc<str>,
+    reason_fleet: Arc<str>,
+    reason_db: Arc<str>,
+    reason_gbhr: Arc<str>,
+    reason_table: Arc<str>,
+    reason_retry_pending: Arc<str>,
+}
+
+impl JobTracker {
+    /// Creates a tracker with the given policy and an empty ledger.
+    pub fn new(config: JobRuntimeConfig) -> Self {
+        JobTracker {
+            config,
+            jobs: BTreeMap::new(),
+            tables_running: BTreeMap::new(),
+            db_running: BTreeMap::new(),
+            tables_retrying: BTreeSet::new(),
+            retries: VecDeque::new(),
+            gbhr_window: VecDeque::new(),
+            gbhr_window_sum: 0.0,
+            dirty_pending: BTreeSet::new(),
+            counters: JobLedgerSummary::default(),
+            reason_in_flight: Arc::from("in-flight: table has a live compaction job"),
+            reason_retry_wait: Arc::from("in-flight: table awaiting a conflict retry"),
+            reason_fleet: Arc::from("deferred: fleet concurrency slots exhausted"),
+            reason_db: Arc::from("deferred: database concurrency slots exhausted"),
+            reason_gbhr: Arc::from("deferred: GBHr budget window exhausted"),
+            reason_table: Arc::from("deferred: table job submitted earlier this cycle"),
+            reason_retry_pending: Arc::from("deferred: table has a retry pending"),
+        }
+    }
+
+    /// The runtime policy.
+    pub fn config(&self) -> &JobRuntimeConfig {
+        &self.config
+    }
+
+    /// Jobs currently running on the platform.
+    pub fn in_flight(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Candidates waiting out a retry backoff.
+    pub fn retry_pending(&self) -> usize {
+        self.retries.len()
+    }
+
+    /// Whether any target is currently suppressed (fast gate for the
+    /// per-candidate walk).
+    pub(crate) fn has_live_targets(&self) -> bool {
+        !self.tables_running.is_empty() || !self.tables_retrying.is_empty()
+    }
+
+    /// Drop reason if `table_uid` currently has work in flight (running
+    /// job or pending retry); `None` when the table is clear.
+    pub fn suppression_reason(&self, table_uid: u64) -> Option<Arc<str>> {
+        if self.tables_running.contains_key(&table_uid) {
+            Some(self.reason_in_flight.clone())
+        } else if self.tables_retrying.contains(&table_uid) {
+            Some(self.reason_retry_wait.clone())
+        } else {
+            None
+        }
+    }
+
+    /// Counts one suppressed candidate (the pipeline pushes the reason).
+    pub(crate) fn note_suppressed(&mut self) {
+        self.counters.suppressed += 1;
+    }
+
+    /// Admission check for one submission. `Ok(())` admits; `Err(reason)`
+    /// defers (the caller reports the candidate, which re-enters ranking
+    /// next cycle). Prunes the GBHr window as a side effect.
+    pub(crate) fn admit(
+        &mut self,
+        database: &str,
+        table_uid: u64,
+        predicted_gbhr: f64,
+        now_ms: u64,
+    ) -> Result<(), Arc<str>> {
+        if self.tables_running.contains_key(&table_uid) {
+            // Same-cycle double submission (two candidates of one table
+            // admitted in different waves before the first settles).
+            return Err(self.reason_table.clone());
+        }
+        if self.tables_retrying.contains(&table_uid) {
+            // A retry is pending for this table (e.g. a wave-1 submission
+            // failed transiently, or an inter-wave settle conflicted):
+            // submitting more work for it now would race the retry — the
+            // whole-table serialization the ledger exists to enforce.
+            return Err(self.reason_retry_pending.clone());
+        }
+        if self.jobs.len() >= self.config.max_in_flight {
+            return Err(self.reason_fleet.clone());
+        }
+        if self
+            .db_running
+            .get(database)
+            .is_some_and(|n| *n as usize >= self.config.max_in_flight_per_database)
+        {
+            return Err(self.reason_db.clone());
+        }
+        if let Some(budget) = self.config.gbhr_budget {
+            self.prune_gbhr_window(now_ms);
+            if self.gbhr_window_sum + predicted_gbhr > budget {
+                return Err(self.reason_gbhr.clone());
+            }
+        }
+        Ok(())
+    }
+
+    /// Drops window entries older than the rolling horizon, keeping the
+    /// running sum in step (re-zeroed when the window empties so float
+    /// cancellation error cannot accumulate forever).
+    fn prune_gbhr_window(&mut self, now_ms: u64) {
+        let floor = now_ms.saturating_sub(self.config.gbhr_window_ms);
+        while let Some((at, gbhr)) = self.gbhr_window.front().copied() {
+            if at >= floor {
+                break;
+            }
+            self.gbhr_window.pop_front();
+            self.gbhr_window_sum -= gbhr;
+        }
+        if self.gbhr_window.is_empty() {
+            self.gbhr_window_sum = 0.0;
+        }
+    }
+
+    /// Charges the GBHr budget window for one scheduled submission.
+    /// Called from [`register`](Self::register) for tracked jobs, and
+    /// directly by the pipeline for submissions the ledger cannot follow
+    /// (`scheduled: true` with no job id — see the [`TrackedExecutor`]
+    /// contract): the platform is doing the work either way, so the
+    /// budget must see it.
+    ///
+    /// `now_ms` must be non-decreasing across calls (the pipeline passes
+    /// the cycle time, never a wave offset): pruning stops at the first
+    /// unexpired front entry, so an out-of-order future stamp would pin
+    /// older entries in the window past their horizon.
+    pub(crate) fn charge_gbhr_window(&mut self, predicted_gbhr: f64, now_ms: u64) {
+        if self.config.gbhr_budget.is_some() {
+            self.gbhr_window.push_back((now_ms, predicted_gbhr));
+            self.gbhr_window_sum += predicted_gbhr;
+        }
+    }
+
+    /// Counts one admission deferral.
+    pub(crate) fn note_deferred(&mut self) {
+        self.counters.deferred += 1;
+    }
+
+    /// Records a successfully scheduled submission in the ledger.
+    pub(crate) fn register(
+        &mut self,
+        job_id: u64,
+        candidate: &Candidate,
+        prediction: &Prediction,
+        attempts: u32,
+        now_ms: u64,
+    ) {
+        *self
+            .tables_running
+            .entry(candidate.id.table_uid)
+            .or_insert(0) += 1;
+        *self
+            .db_running
+            .entry(candidate.database.clone())
+            .or_insert(0) += 1;
+        self.charge_gbhr_window(prediction.gbhr, now_ms);
+        self.jobs.insert(
+            job_id,
+            TrackedJob {
+                candidate: candidate.clone(),
+                prediction: prediction.clone(),
+                attempts,
+                submitted_ms: now_ms,
+            },
+        );
+    }
+
+    /// Evicts running entries whose [`job_lease_ms`](JobRuntimeConfig)
+    /// elapsed without an outcome — the safety valve against lossy (or
+    /// absent) outcome reporting pinning tables in the ledger forever.
+    /// Evicted entries free their slots and suppression immediately; a
+    /// late outcome for an evicted job is ignored by `settle`. No-op
+    /// without a configured lease.
+    pub(crate) fn expire_leases(&mut self, now_ms: u64) {
+        let Some(lease) = self.config.job_lease_ms else {
+            return;
+        };
+        let expired: Vec<u64> = self
+            .jobs
+            .iter()
+            .filter(|(_, job)| job.submitted_ms.saturating_add(lease) <= now_ms)
+            .map(|(id, _)| *id)
+            .collect();
+        for job_id in expired {
+            let job = self.jobs.remove(&job_id).expect("collected above");
+            let uid = job.candidate.id.table_uid;
+            self.release_slots(&job);
+            // The job may still commit behind our back: re-observe the
+            // table so the next cycle sees whatever actually happened.
+            self.dirty_pending.insert(uid);
+            self.counters.leases_expired += 1;
+        }
+    }
+
+    /// Returns a departing job's concurrency slots (table suppression +
+    /// per-database count) — the single release path shared by `settle`
+    /// and `expire_leases`, so admission and suppression state can never
+    /// diverge between the two exits.
+    fn release_slots(&mut self, job: &TrackedJob) {
+        let uid = job.candidate.id.table_uid;
+        if let Some(n) = self.tables_running.get_mut(&uid) {
+            *n -= 1;
+            if *n == 0 {
+                self.tables_running.remove(&uid);
+            }
+        }
+        if let Some(n) = self.db_running.get_mut(&job.candidate.database) {
+            *n -= 1;
+            if *n == 0 {
+                self.db_running.remove(&job.candidate.database);
+            }
+        }
+    }
+
+    /// Handles a submission that the platform did not schedule: transient
+    /// errors re-enter the retry queue (within the retry budget),
+    /// permanent errors and plan-empty no-ops are final.
+    pub(crate) fn note_unscheduled(
+        &mut self,
+        candidate: &Candidate,
+        prediction: &Prediction,
+        attempts: u32,
+        result: &ExecutionResult,
+        now_ms: u64,
+    ) {
+        let transient = result.error.as_ref().is_some_and(|e| e.is_transient());
+        if !transient {
+            // Plan-empty no-op or permanent error: final on any attempt.
+            // Not counted as retry exhaustion — that counter means "the
+            // retry budget ran out"; permanent abandonments are visible
+            // in the report's executed/retried entries instead.
+            return;
+        }
+        if attempts > self.config.max_retries {
+            self.counters.retries_exhausted += 1;
+            return;
+        }
+        self.schedule_retry(
+            candidate.clone(),
+            prediction.clone(),
+            now_ms + self.config.backoff_ms(attempts),
+            attempts,
+        );
+    }
+
+    fn schedule_retry(
+        &mut self,
+        candidate: Candidate,
+        prediction: Prediction,
+        due_ms: u64,
+        attempts: u32,
+    ) {
+        self.tables_retrying.insert(candidate.id.table_uid);
+        self.retries.push_back(RetryEntry {
+            candidate,
+            prediction,
+            due_ms,
+            attempts,
+        });
+    }
+
+    /// Settles a batch of polled outcomes: running jobs leave the ledger,
+    /// successes yield feedback records (returned for ingestion),
+    /// conflicts schedule a backoff retry (or exhaust), and every settled
+    /// table is queued for dirty re-observation. Outcomes for jobs the
+    /// tracker never registered are ignored.
+    pub(crate) fn settle(&mut self, outcomes: Vec<JobOutcome>) -> Vec<FeedbackRecord> {
+        let mut feedback = Vec::new();
+        for outcome in outcomes {
+            let Some(job) = self.jobs.remove(&outcome.job_id) else {
+                continue;
+            };
+            let uid = job.candidate.id.table_uid;
+            self.release_slots(&job);
+            self.counters.settled += 1;
+            match outcome.status {
+                JobOutcomeStatus::Succeeded => {
+                    self.counters.succeeded += 1;
+                    self.dirty_pending.insert(uid);
+                    feedback.push(FeedbackRecord {
+                        candidate: job.candidate.id.clone(),
+                        at_ms: outcome.finished_at_ms,
+                        predicted_reduction: job.prediction.reduction,
+                        actual_reduction: outcome.actual_reduction,
+                        predicted_gbhr: job.prediction.gbhr,
+                        actual_gbhr: outcome.actual_gbhr,
+                    });
+                }
+                JobOutcomeStatus::Conflicted => {
+                    self.counters.conflicted += 1;
+                    // The conflicting writer changed the table; re-observe
+                    // it even if the changelog is quiet on this connector.
+                    self.dirty_pending.insert(uid);
+                    if job.attempts > self.config.max_retries {
+                        self.counters.retries_exhausted += 1;
+                    } else {
+                        let due = outcome.finished_at_ms + self.config.backoff_ms(job.attempts);
+                        self.schedule_retry(job.candidate, job.prediction, due, job.attempts);
+                    }
+                }
+                JobOutcomeStatus::Failed => {
+                    self.counters.failed += 1;
+                }
+            }
+        }
+        feedback
+    }
+
+    /// Retries whose backoff has elapsed, in scheduling order. The caller
+    /// re-submits each through admission; targets stay suppressed until
+    /// the retry is actually re-registered or abandoned.
+    pub(crate) fn take_due_retries(&mut self, now_ms: u64) -> Vec<(Candidate, Prediction, u32)> {
+        let mut due = Vec::new();
+        let mut waiting = VecDeque::with_capacity(self.retries.len());
+        for entry in self.retries.drain(..) {
+            if entry.due_ms <= now_ms {
+                due.push((entry.candidate, entry.prediction, entry.attempts));
+            } else {
+                waiting.push_back(entry);
+            }
+        }
+        self.retries = waiting;
+        // Rebuild the retry suppression index from what's still waiting;
+        // the due entries' tables are re-suppressed on re-registration.
+        self.tables_retrying = self
+            .retries
+            .iter()
+            .map(|e| e.candidate.id.table_uid)
+            .collect();
+        due
+    }
+
+    /// Requeues a retry that admission deferred, due immediately so it
+    /// competes again next cycle. Counted as deferred by the caller.
+    pub(crate) fn requeue_deferred_retry(
+        &mut self,
+        candidate: Candidate,
+        prediction: Prediction,
+        now_ms: u64,
+        attempts: u32,
+    ) {
+        self.schedule_retry(candidate, prediction, now_ms, attempts);
+    }
+
+    /// Counts one executed retry submission.
+    pub(crate) fn note_retry_submitted(&mut self) {
+        self.counters.retries_submitted += 1;
+    }
+
+    /// Tables settled since the last drain — the incremental observer
+    /// marks them dirty so the next observe re-fetches their stats.
+    pub fn take_settled_dirty(&mut self) -> Vec<u64> {
+        let drained: Vec<u64> = self.dirty_pending.iter().copied().collect();
+        self.dirty_pending.clear();
+        drained
+    }
+
+    /// Snapshot of this cycle's ledger activity, resetting the per-cycle
+    /// counters (gauges `in_flight`/`retry_pending` read live state).
+    pub(crate) fn take_summary(&mut self) -> JobLedgerSummary {
+        let mut summary = std::mem::take(&mut self.counters);
+        summary.in_flight = self.jobs.len();
+        summary.retry_pending = self.retries.len();
+        summary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidate::{CandidateId, TableRef};
+    use crate::stats::CandidateStats;
+
+    fn candidate(uid: u64, db: &str) -> Candidate {
+        let table = TableRef {
+            table_uid: uid,
+            database: db.into(),
+            name: format!("t{uid}").into(),
+            partitioned: false,
+            compaction_enabled: true,
+            is_intermediate: false,
+        };
+        Candidate::new(CandidateId::table(uid), &table, CandidateStats::default())
+    }
+
+    fn prediction() -> Prediction {
+        Prediction {
+            reduction: 10,
+            gbhr: 1.0,
+            trigger: "test".into(),
+        }
+    }
+
+    fn outcome(job_id: u64, uid: u64, status: JobOutcomeStatus, at: u64) -> JobOutcome {
+        JobOutcome {
+            job_id,
+            table_uid: uid,
+            status,
+            finished_at_ms: at,
+            actual_reduction: if status == JobOutcomeStatus::Succeeded {
+                8
+            } else {
+                0
+            },
+            actual_gbhr: 1.2,
+        }
+    }
+
+    #[test]
+    fn register_suppresses_until_settled() {
+        let mut t = JobTracker::new(JobRuntimeConfig::default());
+        assert!(t.suppression_reason(1).is_none());
+        t.register(100, &candidate(1, "db"), &prediction(), 1, 0);
+        assert!(t
+            .suppression_reason(1)
+            .unwrap()
+            .contains("live compaction job"));
+        assert_eq!(t.in_flight(), 1);
+        let fb = t.settle(vec![outcome(100, 1, JobOutcomeStatus::Succeeded, 500)]);
+        assert_eq!(fb.len(), 1);
+        assert_eq!(fb[0].actual_reduction, 8);
+        assert!(t.suppression_reason(1).is_none());
+        assert_eq!(t.take_settled_dirty(), vec![1]);
+        assert!(t.take_settled_dirty().is_empty(), "drain is one-shot");
+    }
+
+    #[test]
+    fn conflict_schedules_backoff_retry_then_exhausts() {
+        let config = JobRuntimeConfig {
+            max_retries: 1,
+            retry_backoff_ms: 1_000,
+            retry_backoff_cap_ms: 4_000,
+            ..JobRuntimeConfig::default()
+        };
+        let mut t = JobTracker::new(config);
+        t.register(7, &candidate(3, "db"), &prediction(), 1, 0);
+        let fb = t.settle(vec![outcome(7, 3, JobOutcomeStatus::Conflicted, 100)]);
+        assert!(fb.is_empty(), "conflicts yield no feedback");
+        assert_eq!(t.retry_pending(), 1);
+        assert!(t.suppression_reason(3).unwrap().contains("conflict retry"));
+        // Not due before the backoff elapses.
+        assert!(t.take_due_retries(1_000).is_empty());
+        assert!(t.suppression_reason(3).is_some(), "still suppressed");
+        let due = t.take_due_retries(1_100);
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].2, 1, "one submission spent");
+        // Second conflict with attempts now beyond the budget: exhausted.
+        t.register(8, &candidate(3, "db"), &prediction(), 2, 1_100);
+        t.settle(vec![outcome(8, 3, JobOutcomeStatus::Conflicted, 1_200)]);
+        assert_eq!(t.retry_pending(), 0);
+        let summary = t.take_summary();
+        assert_eq!(summary.conflicted, 2);
+        assert_eq!(summary.retries_exhausted, 1);
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let c = JobRuntimeConfig {
+            retry_backoff_ms: 1_000,
+            retry_backoff_cap_ms: 3_000,
+            ..JobRuntimeConfig::default()
+        };
+        assert_eq!(c.backoff_ms(1), 1_000);
+        assert_eq!(c.backoff_ms(2), 2_000);
+        assert_eq!(c.backoff_ms(3), 3_000, "capped");
+        assert_eq!(c.backoff_ms(30), 3_000, "shift saturates");
+    }
+
+    #[test]
+    fn admission_enforces_slots_and_budget() {
+        let config = JobRuntimeConfig {
+            max_in_flight: 2,
+            max_in_flight_per_database: 1,
+            gbhr_budget: Some(2.5),
+            gbhr_window_ms: 10_000,
+            ..JobRuntimeConfig::default()
+        };
+        let mut t = JobTracker::new(config);
+        assert!(t.admit("db_a", 1, 1.0, 0).is_ok());
+        t.register(1, &candidate(1, "db_a"), &prediction(), 1, 0);
+        // Same table: blocked; same database: blocked; other db fine.
+        assert!(t.admit("db_a", 1, 1.0, 0).unwrap_err().contains("table"));
+        assert!(t.admit("db_a", 2, 1.0, 0).unwrap_err().contains("database"));
+        assert!(t.admit("db_b", 3, 1.0, 0).is_ok());
+        t.register(2, &candidate(3, "db_b"), &prediction(), 1, 0);
+        // Fleet slots exhausted.
+        assert!(t.admit("db_c", 4, 0.1, 0).unwrap_err().contains("fleet"));
+        // Settle one job: fleet + db slots free, but the GBHr window
+        // still remembers both submissions (2.0 spent of 2.5).
+        t.settle(vec![outcome(1, 1, JobOutcomeStatus::Succeeded, 100)]);
+        assert!(t.admit("db_a", 5, 1.0, 200).unwrap_err().contains("GBHr"));
+        assert!(t.admit("db_a", 5, 0.4, 200).is_ok());
+        // Window rolls past the submissions: budget replenishes.
+        assert!(t.admit("db_a", 5, 1.0, 20_001).is_ok());
+    }
+
+    #[test]
+    fn admission_blocks_tables_with_a_pending_retry() {
+        use crate::connector::ExecutionError;
+        let mut t = JobTracker::new(JobRuntimeConfig {
+            retry_backoff_ms: 1_000,
+            retry_backoff_cap_ms: 4_000,
+            ..JobRuntimeConfig::default()
+        });
+        // A transient submit failure queues a retry for table 1: further
+        // submissions for that table must defer until the retry resolves
+        // (whole-table serialization across the retry window).
+        let failed = ExecutionResult {
+            error: Some(ExecutionError::transient("storage timeout")),
+            ..ExecutionResult::default()
+        };
+        t.note_unscheduled(&candidate(1, "db"), &prediction(), 1, &failed, 0);
+        assert!(t.admit("db", 1, 0.5, 0).unwrap_err().contains("retry"));
+        assert!(t.admit("db", 2, 0.5, 0).is_ok(), "other tables unaffected");
+        // Once the retry is taken for resubmission the table admits
+        // again (the resubmission itself is what re-registers it).
+        let due = t.take_due_retries(10_000);
+        assert_eq!(due.len(), 1);
+        assert!(t.admit("db", 1, 0.5, 10_000).is_ok());
+    }
+
+    #[test]
+    fn gbhr_window_stays_empty_without_a_budget() {
+        let mut t = JobTracker::new(JobRuntimeConfig::default());
+        assert_eq!(t.config().gbhr_budget, None);
+        for i in 0..50 {
+            t.register(i, &candidate(i, "db"), &prediction(), 1, i * 10);
+        }
+        assert!(
+            t.gbhr_window.is_empty(),
+            "no budget ⇒ no window bookkeeping to leak"
+        );
+        // With a budget the window fills and admission prunes it (slots
+        // sized so only the budget rule is in play).
+        let mut t = JobTracker::new(JobRuntimeConfig {
+            gbhr_budget: Some(100.0),
+            gbhr_window_ms: 1_000,
+            max_in_flight: 1024,
+            max_in_flight_per_database: 1024,
+            ..JobRuntimeConfig::default()
+        });
+        for i in 0..50 {
+            t.register(i, &candidate(i, "db"), &prediction(), 1, i * 10);
+        }
+        assert_eq!(t.gbhr_window.len(), 50);
+        assert!((t.gbhr_window_sum - 50.0).abs() < 1e-9, "running sum kept");
+        assert!(t.admit("db", 999, 0.0, 10_000).is_ok());
+        assert!(t.gbhr_window.is_empty(), "stale entries pruned on admit");
+        assert_eq!(t.gbhr_window_sum, 0.0, "sum re-zeroed with the window");
+        // An id-less scheduled submission still charges the budget.
+        t.charge_gbhr_window(99.5, 10_000);
+        assert!(t
+            .admit("db", 999, 1.0, 10_000)
+            .unwrap_err()
+            .contains("GBHr"));
+    }
+
+    #[test]
+    fn job_lease_evicts_stuck_entries() {
+        let mut t = JobTracker::new(JobRuntimeConfig {
+            job_lease_ms: Some(10_000),
+            ..JobRuntimeConfig::default()
+        });
+        t.register(1, &candidate(1, "db"), &prediction(), 1, 0);
+        t.expire_leases(9_999);
+        assert_eq!(t.in_flight(), 1, "lease not yet elapsed");
+        assert!(t.suppression_reason(1).is_some());
+        t.expire_leases(10_000);
+        assert_eq!(t.in_flight(), 0, "stuck entry evicted");
+        assert!(t.suppression_reason(1).is_none());
+        assert!(t.admit("db", 1, 0.5, 10_000).is_ok(), "slots freed");
+        assert_eq!(t.take_settled_dirty(), vec![1], "table re-observed");
+        // A late outcome for the evicted job is ignored.
+        let fb = t.settle(vec![outcome(1, 1, JobOutcomeStatus::Succeeded, 11_000)]);
+        assert!(fb.is_empty());
+        let s = t.take_summary();
+        assert_eq!(s.leases_expired, 1);
+        assert_eq!(s.settled, 0);
+        // Without a lease, nothing ever expires.
+        let mut t = JobTracker::new(JobRuntimeConfig::default());
+        t.register(1, &candidate(1, "db"), &prediction(), 1, 0);
+        t.expire_leases(u64::MAX);
+        assert_eq!(t.in_flight(), 1);
+    }
+
+    #[test]
+    fn unknown_job_outcomes_are_ignored() {
+        let mut t = JobTracker::new(JobRuntimeConfig::default());
+        let fb = t.settle(vec![outcome(999, 1, JobOutcomeStatus::Succeeded, 1)]);
+        assert!(fb.is_empty());
+        assert!(t.take_summary().is_quiet());
+    }
+
+    #[test]
+    fn transient_submit_errors_retry_permanent_do_not() {
+        use crate::connector::ExecutionError;
+        let mut t = JobTracker::new(JobRuntimeConfig {
+            max_retries: 1,
+            ..JobRuntimeConfig::default()
+        });
+        let c = candidate(1, "db");
+        let p = prediction();
+        let transient = ExecutionResult {
+            error: Some(ExecutionError::transient("storage timeout")),
+            ..ExecutionResult::default()
+        };
+        t.note_unscheduled(&c, &p, 1, &transient, 0);
+        assert_eq!(t.retry_pending(), 1);
+        let permanent = ExecutionResult {
+            error: Some(ExecutionError::permanent("table dropped")),
+            ..ExecutionResult::default()
+        };
+        t.note_unscheduled(&candidate(2, "db"), &p, 1, &permanent, 0);
+        assert_eq!(t.retry_pending(), 1, "permanent errors never retry");
+        // Beyond the retry budget: exhausted instead of queued.
+        t.note_unscheduled(&candidate(3, "db"), &p, 2, &transient, 0);
+        assert_eq!(t.retry_pending(), 1);
+        assert_eq!(t.take_summary().retries_exhausted, 1);
+    }
+
+    #[test]
+    fn summary_resets_counters_but_keeps_gauges() {
+        let mut t = JobTracker::new(JobRuntimeConfig::default());
+        t.register(1, &candidate(1, "db"), &prediction(), 1, 0);
+        t.note_suppressed();
+        let s = t.take_summary();
+        assert_eq!(s.suppressed, 1);
+        assert_eq!(s.in_flight, 1);
+        let s2 = t.take_summary();
+        assert_eq!(s2.suppressed, 0, "counters reset");
+        assert_eq!(s2.in_flight, 1, "gauge persists");
+        assert!(!s2.is_quiet());
+    }
+}

@@ -29,6 +29,9 @@
 //! one call per table, which is what lets the OODA cadence survive
 //! 100K-table fleets (§6–§7).
 
+use std::fmt;
+use std::sync::Arc;
+
 use crate::candidate::{Candidate, TableRef};
 use crate::observe::{self, ChangeCursor, FleetObservation, ObserveRequest};
 use crate::stats::CandidateStats;
@@ -270,6 +273,55 @@ pub struct Prediction {
     pub trigger: String,
 }
 
+/// Why a submission failed, classified for the job runtime's retry
+/// policy: the act-phase tracker retries [`Transient`](Self::Transient)
+/// failures with backoff and abandons
+/// [`Permanent`](Self::Permanent) ones — no string matching involved.
+/// The detail is a shared `Arc<str>` so executors can reuse one
+/// allocation per error site across a whole fleet of failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecutionError {
+    /// Likely to succeed if resubmitted later: a lost optimistic race,
+    /// quota pressure while writing outputs, a storage timeout.
+    Transient(Arc<str>),
+    /// Retrying cannot help: the target vanished, the cluster is
+    /// unknown, the plan is structurally invalid.
+    Permanent(Arc<str>),
+}
+
+impl ExecutionError {
+    /// A transient (retryable) error.
+    pub fn transient(detail: impl Into<Arc<str>>) -> Self {
+        ExecutionError::Transient(detail.into())
+    }
+
+    /// A permanent (non-retryable) error.
+    pub fn permanent(detail: impl Into<Arc<str>>) -> Self {
+        ExecutionError::Permanent(detail.into())
+    }
+
+    /// Whether the job runtime may retry this submission.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, ExecutionError::Transient(_))
+    }
+
+    /// Human-readable detail.
+    pub fn detail(&self) -> &str {
+        match self {
+            ExecutionError::Transient(d) | ExecutionError::Permanent(d) => d,
+        }
+    }
+}
+
+impl fmt::Display for ExecutionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecutionError::Transient(d) => write!(f, "transient: {d}"),
+            ExecutionError::Permanent(d) => write!(f, "permanent: {d}"),
+        }
+    }
+}
+
 /// Result of asking the platform to execute one compaction job.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct ExecutionResult {
@@ -282,8 +334,9 @@ pub struct ExecutionResult {
     /// When the job's commit is expected to land (drives sequential
     /// scheduling of subsequent waves).
     pub commit_due_ms: Option<u64>,
-    /// Error description if scheduling failed.
-    pub error: Option<String>,
+    /// Structured error if scheduling failed; its transient/permanent
+    /// classification drives the job runtime's retry decision.
+    pub error: Option<ExecutionError>,
 }
 
 /// Write-side connector: executes compaction for a candidate.

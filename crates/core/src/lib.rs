@@ -85,6 +85,7 @@
 
 #![warn(missing_docs)]
 
+pub mod act;
 pub mod cache;
 pub mod candidate;
 pub mod connector;
@@ -103,11 +104,15 @@ pub mod stats;
 pub mod traits;
 pub mod trigger;
 
+pub use act::{
+    JobLedgerSummary, JobOutcome, JobOutcomeStatus, JobRuntimeConfig, JobTracker, TrackedExecutor,
+    Untracked,
+};
 pub use cache::CycleCacheStats;
 pub use candidate::{Candidate, CandidateId, CandidateView, ScopeKind, TableRef};
 pub use connector::{
-    BatchAsLake, BatchLakeConnector, CompactionExecutor, ExecutionResult, LakeConnector,
-    Prediction, SyncAsBatch,
+    BatchAsLake, BatchLakeConnector, CompactionExecutor, ExecutionError, ExecutionResult,
+    LakeConnector, Prediction, SyncAsBatch,
 };
 pub use error::AutoCompError;
 pub use feedback::{EstimationFeedback, FeedbackRecord};

@@ -19,12 +19,23 @@
 //! is global. See the [`crate::cache`] module docs for the exact
 //! invalidation rules (cursor chain, config epoch, scope/width, and the
 //! time-sensitivity gate for filter chains).
+//!
+//! The act phase is a managed lifecycle when a job runtime is attached
+//! ([`AutoComp::with_job_tracker`]): candidates whose table has a job in
+//! flight are suppressed (a drop reason, checked *after* the cache
+//! splice so cached rows survive the job), submissions pass admission
+//! control (concurrency slots + GBHr budget; denied candidates are
+//! *deferred*, not dropped), conflicted jobs retry with capped backoff,
+//! and settled successes auto-ingest as estimator feedback. The
+//! `run_cycle_tracked*` entry points drive the full loop through a
+//! [`TrackedExecutor`]; see [`crate::act`] for the lifecycle contract.
 
 use std::borrow::Cow;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
+use crate::act::{JobLedgerSummary, JobOutcome, JobRuntimeConfig, JobTracker, TrackedExecutor};
 use crate::cache::{CacheGen, CycleCache, CycleCacheStats};
 use crate::candidate::{Candidate, CandidateId, CandidateView, ScopeKind, TableRef};
 use crate::connector::{
@@ -96,9 +107,24 @@ pub struct CycleReport {
     pub ranked: Vec<RankedEntry>,
     /// Jobs handed to the executor.
     pub executed: Vec<ExecutedJob>,
-    /// Sum of predicted file-count reductions over executed jobs.
+    /// Selected candidates the job runtime's admission control deferred
+    /// this cycle, with the denying rule. Deferred candidates are not
+    /// dropped: they re-enter ranking naturally next cycle. Empty
+    /// without a job tracker.
+    pub deferred: Vec<(CandidateId, Arc<str>)>,
+    /// Conflict/transient retries the job runtime re-submitted this
+    /// cycle (not part of this cycle's ranked selection). Empty without
+    /// a job tracker.
+    pub retried: Vec<ExecutedJob>,
+    /// Job-runtime activity counters for this cycle; all-zero (and
+    /// silent in `Display`) without a job tracker.
+    pub ledger: JobLedgerSummary,
+    /// Sum of predicted file-count reductions over every submission the
+    /// platform scheduled this cycle — ranked selections (`executed`)
+    /// plus retry resubmissions (`retried`).
     pub total_predicted_reduction: i64,
-    /// Sum of predicted GBHr over executed jobs.
+    /// Sum of predicted GBHr over every scheduled submission this cycle
+    /// (`executed` plus `retried`).
     pub total_predicted_gbhr: f64,
 }
 
@@ -122,6 +148,12 @@ impl fmt::Display for CycleReport {
             self.total_predicted_reduction,
             crate::report::fmt_f64(self.total_predicted_gbhr),
         )?;
+        // The ledger line appears only when the job runtime did anything:
+        // a disabled (or idle) tracker renders bit-identically to the
+        // fire-and-forget pipeline — the parity suites depend on it.
+        if !self.ledger.is_quiet() {
+            writeln!(f, "jobs: {}", self.ledger)?;
+        }
         let rows = decision_rows(&self.traits, &self.ranked, RANKED_PREFIX_MIN);
         write!(
             f,
@@ -144,6 +176,9 @@ pub struct AutoComp {
     /// valid only within one epoch.
     epoch: u64,
     cache: CycleCache,
+    /// Act-phase job runtime (in-flight ledger + admission + retries);
+    /// `None` keeps the historical fire-and-forget act phase.
+    tracker: Option<JobTracker>,
 }
 
 impl AutoComp {
@@ -159,7 +194,33 @@ impl AutoComp {
             feedback: EstimationFeedback::new(),
             epoch: 0,
             cache: CycleCache::new(true),
+            tracker: None,
         }
+    }
+
+    /// Attaches the act-phase job runtime (builder style): a
+    /// [`JobTracker`] that suppresses candidates with work in flight,
+    /// applies admission control, retries conflicted jobs with backoff,
+    /// and auto-ingests settled outcomes as estimator feedback. Drive
+    /// cycles through the `run_cycle_tracked*` entry points so finished
+    /// jobs settle each cycle; the plain entry points still apply
+    /// suppression/admission but never poll. Attaching the tracker does
+    /// not invalidate the cycle cache — ledger state is checked after
+    /// the splice (see [`crate::act`]).
+    pub fn with_job_tracker(mut self, config: JobRuntimeConfig) -> Self {
+        self.tracker = Some(JobTracker::new(config));
+        self
+    }
+
+    /// The attached job runtime, if any.
+    pub fn job_tracker(&self) -> Option<&JobTracker> {
+        self.tracker.as_ref()
+    }
+
+    /// Mutable access to the job runtime (e.g. to drain
+    /// [`JobTracker::take_settled_dirty`] into an external observer).
+    pub fn job_tracker_mut(&mut self) -> Option<&mut JobTracker> {
+        self.tracker.as_mut()
     }
 
     /// Adds a candidate filter (applied in insertion order).
@@ -266,7 +327,7 @@ impl AutoComp {
         // The observation is dropped right here, so no future cycle can
         // splice against it: skip the cache fill entirely (always-cold
         // drivers pay zero cache overhead).
-        self.cycle_observed_inner(&observation, executor, now_ms, false)
+        self.cycle_observed_inner(&observation, ExecRef::Plain(executor), now_ms, false)
     }
 
     /// Runs one full OODA cycle through a batch-tier connector: stats
@@ -280,7 +341,7 @@ impl AutoComp {
     ) -> Result<CycleReport> {
         let observation = connector.observe(&ObserveRequest::fresh(self.config.scope));
         // One-shot observation (see run_cycle): no cache fill.
-        self.cycle_observed_inner(&observation, executor, now_ms, false)
+        self.cycle_observed_inner(&observation, ExecRef::Plain(executor), now_ms, false)
     }
 
     /// Runs one OODA cycle with incremental observe: the `observer`
@@ -327,7 +388,79 @@ impl AutoComp {
         executor: &mut dyn CompactionExecutor,
         now_ms: u64,
     ) -> Result<CycleReport> {
-        self.cycle_observed_inner(observation, executor, now_ms, true)
+        self.cycle_observed_inner(observation, ExecRef::Plain(executor), now_ms, true)
+    }
+
+    /// Runs one cold tracked cycle: finished jobs are settled (polled)
+    /// first — successes auto-ingest as feedback, conflicts schedule
+    /// retries — then the cycle runs with the full job runtime engaged
+    /// (suppression, admission, retry submission, inter-wave settling).
+    /// Requires [`with_job_tracker`](Self::with_job_tracker); without a
+    /// tracker this degrades to [`run_cycle`](Self::run_cycle) semantics
+    /// and polled outcomes are discarded.
+    pub fn run_cycle_tracked(
+        &mut self,
+        connector: &dyn LakeConnector,
+        executor: &mut dyn TrackedExecutor,
+        now_ms: u64,
+    ) -> Result<CycleReport> {
+        self.settle_polled(executor.poll(now_ms));
+        let observation = connector.observe(&ObserveRequest::fresh(self.config.scope));
+        self.cycle_observed_inner(&observation, ExecRef::Tracked(executor), now_ms, false)
+    }
+
+    /// Runs one tracked cycle with incremental observe — the full OODA
+    /// loop of the job runtime: settle finished jobs, mark their tables
+    /// dirty on the `observer` (so this very observe re-fetches the
+    /// compacted/conflicted state), then filter → orient → decide → act
+    /// with suppression, admission and retries.
+    pub fn run_cycle_tracked_incremental(
+        &mut self,
+        observer: &mut FleetObserver,
+        connector: &dyn LakeConnector,
+        executor: &mut dyn TrackedExecutor,
+        now_ms: u64,
+    ) -> Result<CycleReport> {
+        self.settle_polled(executor.poll(now_ms));
+        self.mark_settled_dirty(observer);
+        let observation = observer.observe(connector, self.config.scope);
+        self.cycle_observed_inner(observation, ExecRef::Tracked(executor), now_ms, true)
+    }
+
+    /// Like [`run_cycle_tracked_incremental`](Self::run_cycle_tracked_incremental)
+    /// for the batch tier.
+    pub fn run_cycle_tracked_incremental_batch(
+        &mut self,
+        observer: &mut FleetObserver,
+        connector: &dyn BatchLakeConnector,
+        executor: &mut dyn TrackedExecutor,
+        now_ms: u64,
+    ) -> Result<CycleReport> {
+        self.settle_polled(executor.poll(now_ms));
+        self.mark_settled_dirty(observer);
+        let observation = observer.observe_batch(connector, self.config.scope);
+        self.cycle_observed_inner(observation, ExecRef::Tracked(executor), now_ms, true)
+    }
+
+    /// Settles polled outcomes into the tracker and auto-ingests the
+    /// resulting feedback records. No-op without a tracker.
+    fn settle_polled(&mut self, outcomes: Vec<JobOutcome>) {
+        let Some(tracker) = self.tracker.as_mut() else {
+            return;
+        };
+        for record in tracker.settle(outcomes) {
+            self.feedback.record(record);
+        }
+    }
+
+    /// Marks every freshly settled table dirty on the observer so the
+    /// next incremental observe re-fetches its stats.
+    fn mark_settled_dirty(&mut self, observer: &mut FleetObserver) {
+        if let Some(tracker) = self.tracker.as_mut() {
+            for uid in tracker.take_settled_dirty() {
+                observer.mark_dirty(uid);
+            }
+        }
     }
 
     /// [`run_cycle_observed`](Self::run_cycle_observed) with an explicit
@@ -337,7 +470,7 @@ impl AutoComp {
     fn cycle_observed_inner(
         &mut self,
         observation: &FleetObservation,
-        executor: &mut dyn CompactionExecutor,
+        mut exec: ExecRef<'_>,
         now_ms: u64,
         allow_cache_fill: bool,
     ) -> Result<CycleReport> {
@@ -430,6 +563,32 @@ impl AutoComp {
         }
         self.cache.record_cycle(spliced, recomputed);
 
+        // In-flight suppression (job runtime): candidates whose table
+        // has a live job — running, or waiting out a conflict-retry
+        // backoff — drop out of this cycle with an explicit reason.
+        // Checked *post-splice* by design: the cache generation above
+        // recorded the ledger-free verdicts and rows, so they stay valid
+        // for the cycle in which the job settles.
+        if let Some(tracker) = self.tracker.as_mut() {
+            tracker.expire_leases(now_ms);
+            if tracker.has_live_targets() {
+                let mut keep = vec![true; kept_slots.len()];
+                let mut any_suppressed = false;
+                for (i, slot) in kept_slots.iter().enumerate() {
+                    let uid = tables[slot.table as usize].table_uid;
+                    if let Some(reason) = tracker.suppression_reason(uid) {
+                        keep[i] = false;
+                        any_suppressed = true;
+                        dropped.push((slot_id(observation, *slot, single_scope), reason));
+                        tracker.note_suppressed();
+                    }
+                }
+                if any_suppressed {
+                    retain_masked(&mut matrix, &mut kept_slots, &keep);
+                }
+            }
+        }
+
         // Sanitize NaN trait values into dropped candidates (a single NaN
         // from a connector must not poison ranking for the whole fleet).
         let nan_rows = matrix.nan_rows();
@@ -443,9 +602,7 @@ impl AutoComp {
                 let cid = slot_id(observation, kept_slots[*row], single_scope);
                 dropped.push((cid, Arc::from(note.to_string())));
             }
-            matrix.retain_rows(&keep);
-            let mut it = keep.iter();
-            kept_slots.retain(|_| *it.next().expect("mask covers slots"));
+            retain_masked(&mut matrix, &mut kept_slots, &keep);
         }
 
         // Decide: rank straight off the observation-backed source.
@@ -486,10 +643,73 @@ impl AutoComp {
         };
 
         let mut executed = Vec::new();
+        let mut retried = Vec::new();
+        let mut deferred: Vec<(CandidateId, Arc<str>)> = Vec::new();
+        let mut pending_feedback: Vec<FeedbackRecord> = Vec::new();
         let mut total_predicted_reduction = 0i64;
         let mut total_predicted_gbhr = 0.0;
         let mut wave_start = now_ms;
-        for wave_jobs in waves(&jobs) {
+
+        // Conflict/transient retries whose backoff elapsed go first:
+        // they are older work, already admitted once, and their tables
+        // were suppressed from this cycle's ranking above. Each retry
+        // re-passes admission; deferred retries requeue for next cycle.
+        if let Some(tracker) = self.tracker.as_mut() {
+            for (candidate, prediction, attempts) in tracker.take_due_retries(now_ms) {
+                match tracker.admit(
+                    &candidate.database,
+                    candidate.id.table_uid,
+                    prediction.gbhr,
+                    now_ms,
+                ) {
+                    Err(reason) => {
+                        tracker.note_deferred();
+                        deferred.push((candidate.id.clone(), reason));
+                        tracker.requeue_deferred_retry(candidate, prediction, now_ms, attempts);
+                    }
+                    Ok(()) => {
+                        let attempts = attempts + 1;
+                        let result = exec.execute(&candidate, &prediction, now_ms);
+                        tracker.note_retry_submitted();
+                        if result.scheduled {
+                            total_predicted_reduction += prediction.reduction;
+                            total_predicted_gbhr += prediction.gbhr;
+                            match result.job_id {
+                                Some(job_id) => tracker.register(
+                                    job_id,
+                                    &candidate,
+                                    &prediction,
+                                    attempts,
+                                    now_ms,
+                                ),
+                                // Scheduled but id-less: the ledger cannot
+                                // follow it, but the budget must see it
+                                // (TrackedExecutor contract).
+                                None => tracker.charge_gbhr_window(prediction.gbhr, now_ms),
+                            }
+                        } else {
+                            tracker.note_unscheduled(
+                                &candidate,
+                                &prediction,
+                                attempts,
+                                &result,
+                                now_ms,
+                            );
+                        }
+                        retried.push(ExecutedJob {
+                            id: candidate.id,
+                            prediction,
+                            result,
+                            wave: 0,
+                        });
+                    }
+                }
+            }
+        }
+
+        let all_waves = waves(&jobs);
+        let wave_count = all_waves.len();
+        for (wave_index, wave_jobs) in all_waves.into_iter().enumerate() {
             let mut wave_due = wave_start;
             for job in wave_jobs {
                 let entry = selected_entries[job.index];
@@ -505,13 +725,43 @@ impl AutoComp {
                     gbhr: raw_gbhr * cost_cal,
                     trigger: self.config.trigger_label.clone(),
                 };
-                let result = executor.execute(candidate, &prediction, wave_start);
+                // Admission control: a denied submission is deferred —
+                // reported, left unexecuted, and regenerated next cycle.
+                // Tracker timestamps are the *cycle* time even for later
+                // waves: wave_start jumps past commit deadlines, and a
+                // future-stamped budget-window entry would block expiry
+                // of later cycles' older-stamped charges.
+                if let Some(tracker) = self.tracker.as_mut() {
+                    if let Err(reason) = tracker.admit(
+                        &candidate.database,
+                        candidate.id.table_uid,
+                        prediction.gbhr,
+                        now_ms,
+                    ) {
+                        tracker.note_deferred();
+                        deferred.push((job.id.clone(), reason));
+                        continue;
+                    }
+                }
+                let result = exec.execute(candidate, &prediction, wave_start);
                 if result.scheduled {
                     total_predicted_reduction += prediction.reduction;
                     total_predicted_gbhr += prediction.gbhr;
                     if let Some(due) = result.commit_due_ms {
                         wave_due = wave_due.max(due);
                     }
+                    if let Some(tracker) = self.tracker.as_mut() {
+                        match result.job_id {
+                            Some(job_id) => {
+                                tracker.register(job_id, candidate, &prediction, 1, now_ms)
+                            }
+                            // Scheduled but id-less (see TrackedExecutor's
+                            // contract): budget-charged, not tracked.
+                            None => tracker.charge_gbhr_window(prediction.gbhr, now_ms),
+                        }
+                    }
+                } else if let Some(tracker) = self.tracker.as_mut() {
+                    tracker.note_unscheduled(candidate, &prediction, 1, &result, now_ms);
                 }
                 executed.push(ExecutedJob {
                     id: job.id.clone(),
@@ -523,7 +773,30 @@ impl AutoComp {
             // The next wave starts only after this wave's commits are due
             // (sequential partition compaction, §6).
             wave_start = wave_due.max(wave_start) + 1;
+            // Inter-wave settling: a wave-1 commit that already landed
+            // frees its table (ledger slot + suppression) before wave 2
+            // submits — the tracked analogue of the engine draining due
+            // commits at each submission.
+            if wave_index + 1 < wave_count {
+                if let Some(tracker) = self.tracker.as_mut() {
+                    if let Some(outcomes) = exec.poll(wave_start) {
+                        pending_feedback.extend(tracker.settle(outcomes));
+                    }
+                }
+            }
         }
+
+        // Auto-ingest feedback from inter-wave settles. Calibration
+        // factors were frozen at cycle start, so deferring ingestion to
+        // the end keeps every wave's predictions consistent.
+        for record in pending_feedback {
+            self.feedback.record(record);
+        }
+        let ledger = self
+            .tracker
+            .as_mut()
+            .map(JobTracker::take_summary)
+            .unwrap_or_default();
 
         Ok(CycleReport {
             at_ms: now_ms,
@@ -533,9 +806,41 @@ impl AutoComp {
             traits: matrix,
             ranked,
             executed,
+            deferred,
+            retried,
+            ledger,
             total_predicted_reduction,
             total_predicted_gbhr,
         })
+    }
+}
+
+/// Unifies the two act-side executor tiers for the cycle core: plain
+/// fire-and-forget executors cannot settle outcomes mid-cycle
+/// (`poll` → `None`); tracked executors can.
+enum ExecRef<'a> {
+    Plain(&'a mut dyn CompactionExecutor),
+    Tracked(&'a mut dyn TrackedExecutor),
+}
+
+impl ExecRef<'_> {
+    fn execute(
+        &mut self,
+        candidate: &Candidate,
+        prediction: &Prediction,
+        now_ms: u64,
+    ) -> ExecutionResult {
+        match self {
+            ExecRef::Plain(e) => e.execute(candidate, prediction, now_ms),
+            ExecRef::Tracked(e) => e.execute(candidate, prediction, now_ms),
+        }
+    }
+
+    fn poll(&mut self, now_ms: u64) -> Option<Vec<JobOutcome>> {
+        match self {
+            ExecRef::Plain(_) => None,
+            ExecRef::Tracked(e) => Some(e.poll(now_ms)),
+        }
     }
 }
 
@@ -753,6 +1058,15 @@ fn filter_splice_walk(
         spliced,
         recomputed,
     }
+}
+
+/// Drops masked-out rows from the matrix and their kept slots in step —
+/// the shared compaction step of the suppression and NaN-sanitize drop
+/// paths (the two must never diverge: ranked indices point into both).
+fn retain_masked(matrix: &mut TraitMatrix, kept_slots: &mut Vec<KeptSlot>, keep: &[bool]) {
+    matrix.retain_rows(keep);
+    let mut it = keep.iter();
+    kept_slots.retain(|_| *it.next().expect("mask covers slots"));
 }
 
 /// Sentinel partition index for single-candidate scopes.

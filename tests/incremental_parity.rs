@@ -23,9 +23,9 @@ use std::sync::Mutex;
 use autocomp::{
     AutoComp, AutoCompConfig, Candidate, CandidateStats, ChangeCursor, CompactionDisabledFilter,
     CompactionExecutor, ComputeCostGbhr, CycleReport, ExecutionResult, FeedbackRecord,
-    FileCountReduction, FleetObserver, IntermediateTableFilter, LakeConnector, MinSizeFilter,
-    Prediction, QuotaSignal, RankingPolicy, RecentWriteActivityFilter, ScopeStrategy, TableRef,
-    TraitWeight,
+    FileCountReduction, FleetObserver, IntermediateTableFilter, JobOutcome, JobOutcomeStatus,
+    JobRuntimeConfig, LakeConnector, MinSizeFilter, Prediction, QuotaSignal, RankingPolicy,
+    RecentWriteActivityFilter, ScopeStrategy, TableRef, TrackedExecutor, TraitWeight, Untracked,
 };
 use proptest::collection;
 use proptest::prelude::*;
@@ -156,6 +156,73 @@ impl CompactionExecutor for SeqExecutor {
     }
 }
 
+/// Deterministic async platform for the tracked-parity property: jobs
+/// settle `duration_ms` after submission, and submission `n` against
+/// table `uid` conflicts when `(uid + n) % 3 == 0` — so conflict
+/// retries, suppression windows, and settle events all occur, purely as
+/// a function of the call sequence.
+struct ParityPlatform {
+    duration_ms: u64,
+    next_job: u64,
+    running: Vec<(u64, u64, u64, u64)>, // (job_id, uid, due_ms, submission #)
+    submissions: std::collections::BTreeMap<u64, u64>,
+}
+
+impl ParityPlatform {
+    fn new(duration_ms: u64) -> Self {
+        ParityPlatform {
+            duration_ms,
+            next_job: 0,
+            running: Vec::new(),
+            submissions: std::collections::BTreeMap::new(),
+        }
+    }
+}
+
+impl CompactionExecutor for ParityPlatform {
+    fn execute(&mut self, c: &Candidate, p: &Prediction, now: u64) -> ExecutionResult {
+        self.next_job += 1;
+        let n = self.submissions.entry(c.id.table_uid).or_insert(0);
+        *n += 1;
+        let due = now + self.duration_ms;
+        self.running.push((self.next_job, c.id.table_uid, due, *n));
+        ExecutionResult {
+            scheduled: true,
+            job_id: Some(self.next_job),
+            gbhr: p.gbhr,
+            commit_due_ms: Some(due),
+            error: None,
+        }
+    }
+}
+
+impl TrackedExecutor for ParityPlatform {
+    fn poll(&mut self, now: u64) -> Vec<JobOutcome> {
+        let (due, rest): (Vec<_>, Vec<_>) = self
+            .running
+            .drain(..)
+            .partition(|(_, _, due, _)| *due <= now);
+        self.running = rest;
+        due.into_iter()
+            .map(|(job_id, uid, due_ms, n)| {
+                let conflicted = (uid + n) % 3 == 0;
+                JobOutcome {
+                    job_id,
+                    table_uid: uid,
+                    status: if conflicted {
+                        JobOutcomeStatus::Conflicted
+                    } else {
+                        JobOutcomeStatus::Succeeded
+                    },
+                    finished_at_ms: due_ms,
+                    actual_reduction: if conflicted { 0 } else { 6 + (uid % 9) as i64 },
+                    actual_gbhr: 0.5 + (uid % 4) as f64 * 0.25,
+                }
+            })
+            .collect()
+    }
+}
+
 /// One step of a randomized scenario.
 #[derive(Debug, Clone)]
 enum Op {
@@ -256,6 +323,9 @@ fn reports_identical(a: &CycleReport, b: &CycleReport, ctx: &str) -> Result<(), 
         prop_assert_eq!(&x.note, &y.note, "{}: note of {}", ctx, x.id);
     }
     prop_assert_eq!(&a.executed, &b.executed, "{}: executed jobs", ctx);
+    prop_assert_eq!(&a.deferred, &b.deferred, "{}: deferred", ctx);
+    prop_assert_eq!(&a.retried, &b.retried, "{}: retried", ctx);
+    prop_assert_eq!(a.ledger, b.ledger, "{}: ledger", ctx);
     prop_assert_eq!(
         a.total_predicted_reduction,
         b.total_predicted_reduction,
@@ -299,14 +369,34 @@ fn run_scenario(
                      incremental: &mut AutoComp,
                      observer: &mut FleetObserver,
                      now: u64,
+                     via_tracked_entry: bool,
                      label: &str|
      -> Result<(), TestCaseError> {
         let cold_report = cold
             .run_cycle(&lake, &mut SeqExecutor::default(), now)
             .expect("cold cycle runs");
-        let incremental_report = incremental
-            .run_cycle_incremental(observer, &lake, &mut SeqExecutor::default(), now)
-            .expect("incremental cycle runs");
+        // Alternate cycles drive the tracker-less pipeline through the
+        // tracked entry point (via the `Untracked` adapter): a disabled
+        // job tracker must reproduce the fire-and-forget reports
+        // bit-for-bit, quiet ledger included.
+        let incremental_report = if via_tracked_entry {
+            incremental
+                .run_cycle_tracked_incremental(
+                    observer,
+                    &lake,
+                    &mut Untracked(SeqExecutor::default()),
+                    now,
+                )
+                .expect("tracked-entry cycle runs")
+        } else {
+            incremental
+                .run_cycle_incremental(observer, &lake, &mut SeqExecutor::default(), now)
+                .expect("incremental cycle runs")
+        };
+        prop_assert!(
+            incremental_report.ledger.is_quiet(),
+            "{label}: disabled tracker must keep a quiet ledger"
+        );
         reports_identical(&cold_report, &incremental_report, label)
     };
     for (i, op) in ops.iter().enumerate() {
@@ -345,6 +435,7 @@ fn run_scenario(
                     &mut incremental,
                     &mut observer,
                     now,
+                    cycles % 2 == 1,
                     &format!("{scope:?} op {i}"),
                 )?;
                 cycles += 1;
@@ -360,6 +451,7 @@ fn run_scenario(
             &mut incremental,
             &mut observer,
             now,
+            cycles % 2 == 1,
             &format!("{scope:?} tail {tail}"),
         )?;
         cycles += 1;
@@ -382,6 +474,133 @@ proptest! {
     ) {
         for scope in SCOPES {
             run_scenario(n, p0, &ops, scope, false)?;
+        }
+    }
+}
+
+/// Tracked variant of the scenario runner: both pipelines carry a job
+/// tracker and a *persistent* deterministic platform, so every `Cycle`
+/// op interleaves submissions, in-flight suppression windows, settle
+/// events (successes and scripted conflicts), backoff retries, and
+/// admission deferrals — and the incremental side must still match the
+/// always-cold side bit-for-bit, ledger included.
+fn run_tracked_scenario(
+    n: u64,
+    p0: u8,
+    ops: &[Op],
+    scope: ScopeStrategy,
+) -> Result<(), TestCaseError> {
+    let lake = ModelLake::new(n);
+    let runtime = JobRuntimeConfig {
+        max_in_flight: 4,
+        max_in_flight_per_database: 2,
+        gbhr_budget: Some(30.0),
+        gbhr_window_ms: 5_000,
+        max_retries: 2,
+        retry_backoff_ms: 600,
+        retry_backoff_cap_ms: 2_400,
+        job_lease_ms: None,
+    };
+    let mut cold = pipeline(scope, p0, false)
+        .with_cycle_cache(false)
+        .with_job_tracker(runtime.clone());
+    let mut incremental = pipeline(scope, p0, false).with_job_tracker(runtime);
+    let mut cold_platform = ParityPlatform::new(1_500);
+    let mut incr_platform = ParityPlatform::new(1_500);
+    let mut observer = FleetObserver::new();
+    let mut now = 1_000u64;
+    for (i, op) in ops.iter().enumerate().chain([(usize::MAX, &Op::Cycle)]) {
+        match op {
+            Op::Write(raw) => lake.write(raw % n),
+            Op::QuotaEdit(db, delta) => {
+                lake.quota_edit(*db, *delta);
+                for uid in 0..n {
+                    if uid % DATABASES == *db {
+                        observer.mark_dirty(uid);
+                    }
+                }
+            }
+            Op::SwitchPolicy(p) => {
+                cold.config_mut().policy = policy(*p);
+                incremental.config_mut().policy = policy(*p);
+            }
+            Op::Feedback(pred, act) => {
+                let record = FeedbackRecord {
+                    candidate: autocomp::CandidateId::table(0),
+                    at_ms: now,
+                    predicted_reduction: *pred as i64,
+                    actual_reduction: *act as i64,
+                    predicted_gbhr: *pred as f64 * 0.01,
+                    actual_gbhr: *act as f64 * 0.01,
+                };
+                cold.ingest_feedback(record.clone());
+                incremental.ingest_feedback(record);
+            }
+            Op::Cycle => {
+                let cold_report = cold
+                    .run_cycle_tracked(&lake, &mut cold_platform, now)
+                    .expect("cold tracked cycle runs");
+                let incremental_report = incremental
+                    .run_cycle_tracked_incremental(&mut observer, &lake, &mut incr_platform, now)
+                    .expect("incremental tracked cycle runs");
+                reports_identical(
+                    &cold_report,
+                    &incremental_report,
+                    &format!("tracked {scope:?} op {i}"),
+                )?;
+                now += 577;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Deterministic companion proving the tracked harness is not vacuous:
+/// a write-heavy scenario drives submissions, suppressions, settles and
+/// conflict retries through `run_tracked_scenario`'s exact machinery.
+#[test]
+fn tracked_harness_actually_exercises_the_ledger() {
+    let lake = ModelLake::new(12);
+    let mut ac = pipeline(ScopeStrategy::Table, 0, false).with_job_tracker(JobRuntimeConfig {
+        retry_backoff_ms: 600,
+        retry_backoff_cap_ms: 2_400,
+        ..JobRuntimeConfig::default()
+    });
+    let mut platform = ParityPlatform::new(1_500);
+    let mut observer = FleetObserver::new();
+    let mut saw = (false, false, false, false); // submit, suppress, settle, retry
+    let mut now = 1_000u64;
+    for round in 0..12u64 {
+        lake.write(round % 12);
+        let report = ac
+            .run_cycle_tracked_incremental(&mut observer, &lake, &mut platform, now)
+            .unwrap();
+        saw.0 |= !report.executed.is_empty();
+        saw.1 |= report.ledger.suppressed > 0;
+        saw.2 |= report.ledger.settled > 0;
+        saw.3 |= report.ledger.retries_submitted > 0;
+        now += 577;
+    }
+    assert!(saw.0, "submissions happened");
+    assert!(saw.1, "in-flight suppression happened");
+    assert!(saw.2, "settle events happened");
+    assert!(saw.3, "conflict retries happened");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    /// Tracked parity: with the job runtime active on both sides —
+    /// settle events, conflict retries, suppression and admission all
+    /// interleaved by the op stream — incremental cycles still match
+    /// always-cold cycles bit-for-bit, `JobLedgerSummary` included.
+    #[test]
+    fn tracked_incremental_cycles_match_cold_tracked_cycles(
+        n in 4u64..32,
+        p0 in 0u8..4,
+        ops in collection::vec(op_strategy(), 1..20),
+    ) {
+        for scope in SCOPES {
+            run_tracked_scenario(n, p0, &ops, scope)?;
         }
     }
 }
