@@ -23,6 +23,7 @@ use autocomp::{
     TrackedExecutor, TraitWeight,
 };
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Catalog-session work per chatty round-trip (resolve table, auth,
 /// route) — the per-call overhead the batched protocol amortizes.
@@ -157,6 +158,50 @@ impl BatchLakeConnector for SessionLake<'_> {
     }
     fn changes_since(&self, _cursor: ChangeCursor) -> Option<Vec<u64>> {
         Some(self.0.dirty_set())
+    }
+}
+
+/// The batch tier with a *rotating* changelog: each observe pass's
+/// cursor advance dirties the next 1% window of the fleet, so across a
+/// bench run every dirty set differs — the steady-state shape the
+/// dirty-overwrite observe assembly and the incremental rank memo must
+/// absorb (changing dirty positions, advancing cursor chain and clock;
+/// stats stay pure per uid, so normalization bounds hold and the memo
+/// path stays engaged like a production quiet-majority fleet).
+struct RotatingSessionLake<'a> {
+    inner: &'a SyntheticLake,
+    cursor: AtomicU64,
+}
+
+impl<'a> RotatingSessionLake<'a> {
+    fn new(inner: &'a SyntheticLake) -> Self {
+        RotatingSessionLake {
+            inner,
+            cursor: AtomicU64::new(0),
+        }
+    }
+}
+
+impl BatchLakeConnector for RotatingSessionLake<'_> {
+    fn list_tables(&self) -> Vec<TableRef> {
+        self.inner.tables.clone()
+    }
+    fn listing_epoch(&self) -> Option<u64> {
+        Some(0)
+    }
+    fn table_stats(&self, uid: u64) -> Option<CandidateStats> {
+        Some(self.inner.fetch(uid, 0))
+    }
+    fn partition_stats(&self, _uid: u64) -> Vec<(String, CandidateStats)> {
+        Vec::new()
+    }
+    fn fleet_cursor(&self) -> Option<ChangeCursor> {
+        Some(ChangeCursor(self.cursor.fetch_add(1, Ordering::SeqCst)))
+    }
+    fn changes_since(&self, cursor: ChangeCursor) -> Option<Vec<u64>> {
+        let n = self.inner.tables.len() as u64;
+        let window = n / DIRTY_DIVISOR;
+        Some((0..window).map(|i| (cursor.0 * window + i) % n).collect())
     }
 }
 
@@ -360,6 +405,31 @@ fn bench_observe(c: &mut Criterion) {
                 .expect("cycle runs")
         })
     });
+
+    // Steady-state incremental cycle: same pipeline, but the dirty 1%
+    // window *rotates* every cycle and the clock advances — the
+    // PR-5 headline shape. The dirty-overwrite observe assembly patches
+    // only the rotating window, the rank memo splices quiet scores and
+    // maintains the selection prefix, and the lazy report tail skips the
+    // fleet-wide RankedEntry materialization.
+    group.bench_with_input(
+        BenchmarkId::new("full_cycle_incremental_steady", n),
+        &n,
+        |b, _| {
+            let rotating = RotatingSessionLake::new(&lake);
+            let mut ac = full_cycle_pipeline();
+            let mut observer = FleetObserver::new();
+            let mut exec = NullExecutor;
+            let mut now = 0u64;
+            ac.run_cycle_incremental_batch(&mut observer, &rotating, &mut exec, now)
+                .expect("prime cycle runs");
+            b.iter(|| {
+                now += 577;
+                ac.run_cycle_incremental_batch(&mut observer, &rotating, &mut exec, now)
+                    .expect("cycle runs")
+            })
+        },
+    );
 
     // Job-runtime cycle: the incremental cycle above plus the tracked
     // act phase — poll + settle (≈100 outcomes/cycle), automatic

@@ -46,7 +46,13 @@
 //!   have been spent; transient submit errors
 //!   ([`ExecutionError::Transient`]) ride the same queue. Retries are
 //!   re-planned by the executor from *current* table state, so a retry
-//!   after a conflicting user write compacts the post-write layout.
+//!   after a conflicting user write compacts the post-write layout —
+//!   and before resubmission the pipeline **re-scores** the retry
+//!   against the current cycle's observed stats (the settle
+//!   force-dirtied the table, so they are fresh), so admission charges
+//!   an honest GBHr estimate rather than the stale pre-conflict one.
+//!   Only when the table (or partition) is no longer observable does
+//!   the original prediction carry over.
 //! * **Automatic feedback** — every `Succeeded` outcome becomes a
 //!   [`FeedbackRecord`] ingested into
 //!   the pipeline's calibration without any manual bridge plumbing, and
@@ -407,6 +413,17 @@ impl JobTracker {
     /// Candidates waiting out a retry backoff.
     pub fn retry_pending(&self) -> usize {
         self.retries.len()
+    }
+
+    /// Predicted GBHr currently charged against the rolling budget
+    /// window, as of the last admission check or registration (stale
+    /// entries are pruned on admission, not on read). Always 0.0 when no
+    /// [`gbhr_budget`](JobRuntimeConfig::gbhr_budget) is configured —
+    /// the window is only book-kept under a budget. Surfaced so drivers
+    /// can report budget-window pressure alongside the per-cycle
+    /// [`JobLedgerSummary`].
+    pub fn gbhr_window_usage(&self) -> f64 {
+        self.gbhr_window_sum
     }
 
     /// Whether any target is currently suppressed (fast gate for the

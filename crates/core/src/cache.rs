@@ -51,6 +51,13 @@
 //! rebuilding the next generation during the cycle walk is mostly
 //! `memcpy` and refcount bumps, with no per-table allocations.
 //!
+//! The decide phase retains a companion structure under the **same
+//! validity keys**: the rank memo (per-candidate scores, normalization
+//! bounds, and an exact-order selection prefix), row-aligned with this
+//! cache's generation so the walk's splice map doubles as the score
+//! splice map. See the [`crate::rank`] module docs for its additional
+//! exactness conditions (bit-equal bounds, surviving prefix).
+//!
 //! [`FleetObservation::prior_cursor`]: crate::observe::FleetObservation::prior_cursor
 //! [`FleetObservation::is_fresh`]: crate::observe::FleetObservation::is_fresh
 

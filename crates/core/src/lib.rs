@@ -126,7 +126,8 @@ pub use observe::{
 };
 pub use pipeline::{AutoComp, AutoCompConfig, CycleReport};
 pub use rank::{
-    DecisionNote, RankSource, RankedEntry, RankingPolicy, TraitWeight, RANKED_PREFIX_MIN,
+    DecisionNote, RankCycleStats, RankSource, RankedEntries, RankedEntry, RankingPolicy,
+    TraitWeight, RANKED_PREFIX_MIN,
 };
 pub use schedule::{
     AllParallelScheduler, ParallelTablesScheduler, ScheduledJob, Scheduler,

@@ -66,17 +66,35 @@
 //! so caches invalidate their rows. See [`crate::pipeline`] and the
 //! cache-epoch rules documented there.
 //!
+//! # Dirty-overwrite assembly (the steady-state fast path)
+//!
+//! When the prior observation's listing is literally shared
+//! (`Arc::ptr_eq` under an unchanged [`LakeConnector::listing_epoch`])
+//! and the connector answers the changelog query, the incremental
+//! observe skips planning entirely: the new observation **is** the prior
+//! one — chunk table cloned wholesale (one `Arc` bump per chunk), entry
+//! table shared outright on a quiet pass or clone-and-patched at exactly
+//! the dirty positions otherwise. Dirty uids resolve to positions
+//! through a uid → position index retained (lazily built, `Arc`-shared)
+//! across the observation chain, so per-pass work is O(dirty) lookups +
+//! fetches instead of the O(n) merge-scan planning walk. The planning
+//! path remains for listing changes, scope changes, and connectors
+//! without a listing epoch.
+//!
 //! # Arena-chunk compaction
 //!
 //! Each incremental pass adds one fresh chunk and imports the prior
 //! chunks its reused entries live in. Without intervention a long-lived
 //! observer would retain dead entries forever (a chunk stays alive while
 //! *any* of its entries is referenced) and accumulate one sliver chunk
-//! per cycle. The assembly therefore rewrites imported chunks into a
-//! dedicated compaction chunk when fewer than half their entries are
-//! still live ([`ARENA_COMPACT_MIN_LIVE`]) or when they hold less than
-//! `1/64` of the fleet ([`ARENA_COMPACT_SMALL_DIVISOR`]). Consequences,
-//! pinned by the soak suite (`tests/incremental_soak.rs`):
+//! per cycle. The planning assembly therefore rewrites imported chunks
+//! into a dedicated compaction chunk when fewer than half their entries
+//! are still live ([`ARENA_COMPACT_MIN_LIVE`]) or when they hold less
+//! than `1/64` of the fleet ([`ARENA_COMPACT_SMALL_DIVISOR`]); the
+//! dirty-overwrite fast path instead amortizes — dead slots accumulate
+//! until the same bounds would be violated, then one O(n) rebuild folds
+//! every reused entry into a single compaction chunk. Consequences,
+//! pinned by the soak suite (`tests/incremental_soak.rs`) on both paths:
 //! [`FleetObservation::arena_live_density`] never drops below 1/2 and
 //! [`FleetObservation::arena_chunk_count`] stays ≤ 2 × 64 + 2 no matter
 //! how many cycles run. The compaction chunk is distinct from the fresh
@@ -87,8 +105,8 @@
 //! [`LakeConnector`]: crate::connector::LakeConnector
 //! [`BatchLakeConnector`]: crate::connector::BatchLakeConnector
 
-use std::collections::{BTreeMap, BTreeSet};
-use std::sync::Arc;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::{Arc, OnceLock};
 
 use crate::candidate::{Candidate, CandidateId, ScopeKind, TableRef};
 use crate::connector::{BatchLakeConnector, LakeConnector};
@@ -189,8 +207,18 @@ pub struct FleetObservation {
     /// next incremental observe share this listing (one `Arc` bump)
     /// instead of re-materializing 100K descriptors per cycle.
     listing_epoch: Option<u64>,
-    entries: Vec<EntryRef>,
+    /// Per-table entry refs, `Arc`-shared so the dirty-overwrite fast
+    /// path can either share them outright (quiet cycle: one refcount
+    /// bump) or clone-and-patch only the dirty positions.
+    entries: Arc<Vec<EntryRef>>,
     chunks: Vec<Arc<Vec<TableObservation>>>,
+    /// Lazily built uid → listing-position index, shared across the
+    /// observation chain while the listing itself is shared. This is the
+    /// retained structure behind the dirty-overwrite assembly: mapping a
+    /// changelog's dirty uids to positions costs O(dirty) lookups
+    /// instead of an O(n) planning walk. Also serves act-phase retry
+    /// re-scoring ([`Self::position_of_uid`]).
+    uid_index: Arc<OnceLock<HashMap<u64, u32>>>,
     cursor: Option<ChangeCursor>,
     /// Chunk holding the entries fetched from the connector *this pass*
     /// (`None` when an incremental pass fetched nothing). Everything else
@@ -263,18 +291,48 @@ impl FleetObservation {
         let fetched = tables.len();
         FleetObservation {
             scope,
-            entries: (0..tables.len() as u32)
-                .map(|offset| EntryRef { chunk: 0, offset })
-                .collect(),
+            entries: Arc::new(
+                (0..tables.len() as u32)
+                    .map(|offset| EntryRef { chunk: 0, offset })
+                    .collect(),
+            ),
             tables,
             listing_epoch,
             chunks: vec![Arc::new(stats)],
+            uid_index: Arc::new(OnceLock::new()),
             cursor,
             fresh_chunk: Some(0),
             prior_cursor: None,
             fetched,
             reused: 0,
         }
+    }
+
+    /// Lazily built uid → listing-position index, shared (one `Arc` bump)
+    /// across consecutive observations over the same listing.
+    fn uid_index(&self) -> &HashMap<u64, u32> {
+        self.uid_index.get_or_init(|| {
+            self.tables
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (t.table_uid, i as u32))
+                .collect()
+        })
+    }
+
+    /// Listing position of `table_uid`, if the table is currently listed.
+    /// Backed by the retained uid index (built once per listing, then
+    /// shared across the incremental observation chain).
+    pub fn position_of_uid(&self, table_uid: u64) -> Option<usize> {
+        self.uid_index().get(&table_uid).map(|p| *p as usize)
+    }
+
+    /// Whether this observation shares its entry table with `other`
+    /// (a single `Arc` bump, the quiet-cycle fast path of the
+    /// dirty-overwrite assembly). Diagnostic accessor for tests pinning
+    /// that a quiet incremental observe does O(1) assembly work.
+    pub fn entries_shared_with(&self, other: &FleetObservation) -> bool {
+        Arc::ptr_eq(&self.entries, &other.entries)
     }
 
     /// Shared handle on the table listing (for listing reuse across
@@ -476,7 +534,7 @@ impl FleetObservation {
             Ok(owned) => owned,
             Err(shared) => shared.as_ref().clone(),
         };
-        for (table, e) in tables.into_iter().zip(self.entries) {
+        for (table, e) in tables.into_iter().zip(self.entries.iter().copied()) {
             let stat = match &mut chunks[e.chunk as usize] {
                 Unwrapped::Owned(slots) => slots[e.offset as usize]
                     .take()
@@ -712,6 +770,25 @@ fn fetch_one(
     }
 }
 
+/// Gate of the dirty-overwrite fast path: engaged only when the prior
+/// observation's listing is literally shared (`Arc::ptr_eq` — unchanged
+/// listing epoch), the scope matches, and the connector answers the
+/// changelog query. Returns the combined dirty uid set (changelog hits
+/// plus `force_dirty`); `None` falls back to the planning path.
+fn fast_path_dirty(
+    tables: &Arc<Vec<TableRef>>,
+    request: &ObserveRequest<'_>,
+    changes_since: impl FnOnce(ChangeCursor) -> Option<Vec<u64>>,
+) -> Option<Vec<u64>> {
+    let prior = request.prior?;
+    if prior.scope() != request.scope || !Arc::ptr_eq(tables, &prior.tables) {
+        return None;
+    }
+    let mut dirty = changes_since(prior.cursor()?)?;
+    dirty.extend(request.force_dirty.iter().copied());
+    Some(dirty)
+}
+
 /// Plans the fetch-or-reuse decision per listed table. Returns a plan
 /// only when an incremental pass is possible; `None` means full fetch.
 ///
@@ -905,17 +982,148 @@ fn assemble_incremental(
         Some(idx)
     };
     let fetched = tables.len() - reused;
+    // Keep the uid index riding along whenever the listing itself is
+    // shared — positions cannot have moved, so the retained index stays
+    // exact for the next dirty-overwrite pass.
+    let uid_index = if Arc::ptr_eq(&tables, &prior.tables) {
+        Arc::clone(&prior.uid_index)
+    } else {
+        Arc::new(OnceLock::new())
+    };
     FleetObservation {
         scope,
         tables,
         listing_epoch,
-        entries,
+        entries: Arc::new(entries),
         chunks,
+        uid_index,
         cursor,
         fresh_chunk,
         prior_cursor: prior.cursor(),
         fetched,
         reused,
+    }
+}
+
+/// The dirty-overwrite incremental assembly: when the listing is shared
+/// with the prior observation (`Arc::ptr_eq`), the new observation is the
+/// prior's chunk table cloned wholesale (one `Arc` bump per chunk) with
+/// only the dirty positions patched to point into one fresh chunk — no
+/// per-table planning walk at all. A quiet pass (empty dirty set) shares
+/// the prior's entry table outright.
+///
+/// Arena hygiene is amortized instead of per-pass: the patch leaves dead
+/// slots behind in the prior chunks, so once live density would fall
+/// below [`ARENA_COMPACT_MIN_LIVE`] (or the chunk count would exceed the
+/// soak bound of `2 × ARENA_COMPACT_SMALL_DIVISOR + 2`), the reused
+/// entries are rewritten into a single compaction chunk (distinct from
+/// the fresh chunk, so relocated entries do not read as fetched). The
+/// rebuild is O(n) but runs once per ~`1/dirty_fraction` cycles, keeping
+/// the soak-test bounds intact with O(dirty) amortized cost.
+fn fast_incremental_observe(
+    scope: ScopeStrategy,
+    tables: Arc<Vec<TableRef>>,
+    listing_epoch: Option<u64>,
+    prior: &FleetObservation,
+    mut dirty: Vec<u64>,
+    cursor: Option<ChangeCursor>,
+    fetch: impl FnOnce(&[u32]) -> Vec<TableObservation>,
+) -> FleetObservation {
+    debug_assert!(Arc::ptr_eq(&tables, &prior.tables));
+    dirty.sort_unstable();
+    dirty.dedup();
+    let index = prior.uid_index();
+    // Dirty uids that are not listed (e.g. a force-dirty mark for a
+    // table the connector no longer lists) are ignored, matching the
+    // planning path's membership semantics.
+    let mut positions: Vec<u32> = dirty
+        .iter()
+        .filter_map(|uid| index.get(uid).copied())
+        .collect();
+    positions.sort_unstable();
+    let n = tables.len();
+    let uid_index = Arc::clone(&prior.uid_index);
+
+    if positions.is_empty() {
+        // Quiet pass: nothing to patch — share the prior's entry table.
+        return FleetObservation {
+            scope,
+            tables,
+            listing_epoch,
+            entries: Arc::clone(&prior.entries),
+            chunks: prior.chunks.clone(),
+            uid_index,
+            cursor,
+            fresh_chunk: None,
+            prior_cursor: prior.cursor(),
+            fetched: 0,
+            reused: n,
+        };
+    }
+
+    let fetched_stats = fetch(&positions);
+    debug_assert_eq!(fetched_stats.len(), positions.len());
+    let mut entries: Vec<EntryRef> = (*prior.entries).clone();
+    let mut chunks = prior.chunks.clone();
+    let fresh_idx = chunks.len() as u32;
+    for (i, pos) in positions.iter().enumerate() {
+        entries[*pos as usize] = EntryRef {
+            chunk: fresh_idx,
+            offset: i as u32,
+        };
+    }
+    let fetched = positions.len();
+    chunks.push(Arc::new(fetched_stats));
+
+    // Amortized arena hygiene: rebuild once the bounds the soak suite
+    // pins would be violated.
+    let slots: usize = chunks.iter().map(|c| c.len()).sum();
+    let (live_num, live_den) = ARENA_COMPACT_MIN_LIVE;
+    let density_low = n * live_den < slots * live_num;
+    let too_many_chunks = chunks.len() > 2 * ARENA_COMPACT_SMALL_DIVISOR;
+    if density_low || too_many_chunks {
+        let mut compacted: Vec<TableObservation> = Vec::with_capacity(n - fetched);
+        for e in entries.iter_mut() {
+            if e.chunk == fresh_idx {
+                e.chunk = 1;
+                continue;
+            }
+            let stat = chunks[e.chunk as usize][e.offset as usize].clone();
+            *e = EntryRef {
+                chunk: 0,
+                offset: compacted.len() as u32,
+            };
+            compacted.push(stat);
+        }
+        let fresh = chunks.pop().expect("fresh chunk pushed above");
+        chunks = vec![Arc::new(compacted), fresh];
+        return FleetObservation {
+            scope,
+            tables,
+            listing_epoch,
+            entries: Arc::new(entries),
+            chunks,
+            uid_index,
+            cursor,
+            fresh_chunk: Some(1),
+            prior_cursor: prior.cursor(),
+            fetched,
+            reused: n - fetched,
+        };
+    }
+
+    FleetObservation {
+        scope,
+        tables,
+        listing_epoch,
+        entries: Arc::new(entries),
+        chunks,
+        uid_index,
+        cursor,
+        fresh_chunk: Some(fresh_idx),
+        prior_cursor: prior.cursor(),
+        fetched,
+        reused: n - fetched,
     }
 }
 
@@ -935,8 +1143,28 @@ pub fn pull_observe<C: LakeConnector + ?Sized>(
         _ => Arc::new(connector.list_tables()),
     };
     let cursor = connector.fleet_cursor();
-    let plans = make_plans(&tables, request, |c| connector.changes_since(c));
     let source = SeqSource(connector);
+    // Dirty-overwrite fast path: shared listing + changelog answer —
+    // patch the prior observation instead of planning the whole fleet.
+    if let Some(dirty) = fast_path_dirty(&tables, request, |c| connector.changes_since(c)) {
+        let prior = request.prior.expect("fast path implies a prior");
+        let scope = request.scope;
+        return fast_incremental_observe(
+            scope,
+            tables,
+            listing_epoch,
+            prior,
+            dirty,
+            cursor,
+            |positions| {
+                positions
+                    .iter()
+                    .map(|pos| fetch_one(&source, &prior.tables[*pos as usize], scope))
+                    .collect()
+            },
+        );
+    }
+    let plans = make_plans(&tables, request, |c| connector.changes_since(c));
     match plans {
         None => {
             let stats = tables
@@ -979,9 +1207,27 @@ pub fn batch_observe<C: BatchLakeConnector + ?Sized>(
         _ => Arc::new(connector.list_tables()),
     };
     let cursor = connector.fleet_cursor();
-    let plans = make_plans(&tables, request, |c| connector.changes_since(c));
     let source = BatchSource(connector);
     let scope = request.scope;
+    // Dirty-overwrite fast path (see `pull_observe`), with the dirty
+    // fetches fanned out position-stable like the planning path's.
+    if let Some(dirty) = fast_path_dirty(&tables, request, |c| connector.changes_since(c)) {
+        let prior = request.prior.expect("fast path implies a prior");
+        return fast_incremental_observe(
+            scope,
+            tables,
+            listing_epoch,
+            prior,
+            dirty,
+            cursor,
+            |positions| {
+                par::par_map(positions, par::PAR_OBSERVE_MIN_LEN, |_, pos| {
+                    fetch_one(&source, &prior.tables[*pos as usize], scope)
+                })
+            },
+        );
+    }
+    let plans = make_plans(&tables, request, |c| connector.changes_since(c));
     match plans {
         None => {
             let stats = par::par_map(&tables, par::PAR_OBSERVE_MIN_LEN, |_, t| {

@@ -48,7 +48,8 @@ use crate::matrix::TraitMatrix;
 use crate::observe::{FleetObservation, FleetObserver, ObserveRequest, TableObservation};
 use crate::par;
 use crate::rank::{
-    rank_and_select_source, DecisionNote, RankSource, RankedEntry, RankingPolicy, RANKED_PREFIX_MIN,
+    rank_with_memo, DecisionNote, RankCycleStats, RankDelta, RankMemo, RankSource, RankedEntries,
+    RankedEntry, RankingPolicy, RANKED_PREFIX_MIN,
 };
 use crate::report::{decision_rows, render_table};
 use crate::schedule::{waves, ParallelTablesScheduler, Scheduler};
@@ -103,8 +104,12 @@ pub struct CycleReport {
     pub traits: TraitMatrix,
     /// Ranked candidates with scores and selection: best-first for the
     /// materialized prefix (all selected rows plus the first
-    /// [`RANKED_PREFIX_MIN`] report rows), then candidate order.
-    pub ranked: Vec<RankedEntry>,
+    /// [`RANKED_PREFIX_MIN`] report rows, eagerly held —
+    /// [`RankedEntries::head`]), then candidate order. On hot
+    /// single-candidate-scope paths the candidate-order tail is
+    /// generated lazily on iteration ([`RankedEntries::iter`] /
+    /// [`RankedEntries::to_vec`]), bit-identical to the eager output.
+    pub ranked: RankedEntries,
     /// Jobs handed to the executor.
     pub executed: Vec<ExecutedJob>,
     /// Selected candidates the job runtime's admission control deferred
@@ -131,7 +136,7 @@ pub struct CycleReport {
 impl CycleReport {
     /// Number of selected candidates (the cycle's effective k).
     pub fn selected_count(&self) -> usize {
-        self.ranked.iter().filter(|e| e.selected).count()
+        self.ranked.selected_count()
     }
 }
 
@@ -154,7 +159,7 @@ impl fmt::Display for CycleReport {
         if !self.ledger.is_quiet() {
             writeln!(f, "jobs: {}", self.ledger)?;
         }
-        let rows = decision_rows(&self.traits, &self.ranked, RANKED_PREFIX_MIN);
+        let rows = decision_rows(&self.traits, self.ranked.head(), RANKED_PREFIX_MIN);
         write!(
             f,
             "{}",
@@ -176,9 +181,28 @@ pub struct AutoComp {
     /// valid only within one epoch.
     epoch: u64,
     cache: CycleCache,
+    /// Retained decide-phase state (per-candidate scores, normalization
+    /// bounds, exact-order prefix) keyed by the same cursor chain +
+    /// config epoch as the cycle cache — the incremental rank
+    /// maintenance structure (see [`crate::rank`] module docs).
+    rank_memo: Option<StoredRankMemo>,
+    /// Splice effectiveness of the most recent rank pass.
+    rank_stats: RankCycleStats,
     /// Act-phase job runtime (in-flight ledger + admission + retries);
     /// `None` keeps the historical fire-and-forget act phase.
     tracker: Option<JobTracker>,
+}
+
+/// A [`RankMemo`] plus the validity keys it was installed under — the
+/// exact keys the cycle cache uses, so the memo is spliceable precisely
+/// when the cache generation it is row-aligned with is.
+#[derive(Debug)]
+struct StoredRankMemo {
+    epoch: u64,
+    scope: ScopeStrategy,
+    cursor: crate::observe::ChangeCursor,
+    width: usize,
+    memo: RankMemo,
 }
 
 impl AutoComp {
@@ -194,6 +218,8 @@ impl AutoComp {
             feedback: EstimationFeedback::new(),
             epoch: 0,
             cache: CycleCache::new(true),
+            rank_memo: None,
+            rank_stats: RankCycleStats::default(),
             tracker: None,
         }
     }
@@ -250,6 +276,11 @@ impl AutoComp {
     /// reference behavior the parity suite compares against).
     pub fn with_cycle_cache(mut self, enabled: bool) -> Self {
         self.cache.set_enabled(enabled);
+        if !enabled {
+            // The rank memo is row-aligned with the cache generation;
+            // without one it can never splice.
+            self.rank_memo = None;
+        }
         self
     }
 
@@ -276,6 +307,16 @@ impl AutoComp {
     pub fn invalidate_cycle_cache(&mut self) {
         self.epoch += 1;
         self.cache.clear();
+        self.rank_memo = None;
+    }
+
+    /// Splice effectiveness of the most recent cycle's decide phase: how
+    /// many per-candidate scores were spliced from the retained rank
+    /// memo vs recomputed, and whether top-k selection was maintained
+    /// from the retained prefix (`memo_fast`) instead of running the
+    /// fleet-wide ordering pass.
+    pub fn rank_memo_stats(&self) -> RankCycleStats {
+        self.rank_stats
     }
 
     /// Current configuration.
@@ -523,6 +564,12 @@ impl AutoComp {
             recomputed,
         } = walk;
         let mut gen = gen;
+        // Rank-memo row bookkeeping: `gen_rows[i]` is row i's index in
+        // the generation being installed this cycle (identity before the
+        // suppression/NaN masks below thin the kept set), `gen_len` that
+        // generation's kept-row count.
+        let gen_len = kept_slots.len();
+        let mut gen_rows: Vec<u32> = (0..gen_len as u32).collect();
 
         // Orient: one parallel pass per cycle fills a row-major scratch —
         // cached rows are copied, fresh rows computed with a single stats
@@ -584,7 +631,7 @@ impl AutoComp {
                     }
                 }
                 if any_suppressed {
-                    retain_masked(&mut matrix, &mut kept_slots, &keep);
+                    retain_masked(&mut matrix, &mut kept_slots, &mut gen_rows, &keep);
                 }
             }
         }
@@ -602,21 +649,57 @@ impl AutoComp {
                 let cid = slot_id(observation, kept_slots[*row], single_scope);
                 dropped.push((cid, Arc::from(note.to_string())));
             }
-            retain_masked(&mut matrix, &mut kept_slots, &keep);
+            retain_masked(&mut matrix, &mut kept_slots, &mut gen_rows, &keep);
         }
 
-        // Decide: rank straight off the observation-backed source.
+        // Decide: rank straight off the observation-backed source, with
+        // incremental maintenance (score splice + retained-prefix
+        // selection) whenever the retained memo lines up with the same
+        // cursor chain + epoch the cycle cache splices under.
+        let uniform_tail = matches!(
+            observation.scope(),
+            ScopeStrategy::Table | ScopeStrategy::Snapshot { .. }
+        );
         let source = ObservationSource {
             slots: &kept_slots,
             observation,
             single_scope,
+            uniform_tail,
         };
-        let ranked = rank_and_select_source(&source, &matrix, &self.config.policy)?;
+        let prior_rows: Vec<u32> = kept_slots.iter().map(|s| s.cached_row).collect();
+        let memo_in = self.rank_memo.as_ref().and_then(|s| {
+            (s.epoch == self.epoch
+                && s.scope == observation.scope()
+                && Some(s.cursor) == observation.prior_cursor()
+                && s.width == width)
+                .then_some(&s.memo)
+        });
+        let delta = fill_cache.then_some(RankDelta {
+            memo: memo_in,
+            prior_rows: &prior_rows,
+            gen_rows: &gen_rows,
+            gen_len,
+            gen_identity: gen_rows.len() == gen_len,
+        });
+        let (ranked, memo_out, rank_stats) =
+            rank_with_memo(&source, &matrix, &self.config.policy, delta.as_ref())?;
+        self.rank_stats = rank_stats;
+        if let Some(memo) = memo_out {
+            self.rank_memo = Some(StoredRankMemo {
+                epoch: self.epoch,
+                scope: observation.scope(),
+                cursor: observation
+                    .cursor()
+                    .expect("memo production implies a cursor-bearing observation"),
+                width,
+                memo,
+            });
+        }
 
         // Act: only the selected candidates are materialized; entries
         // carry their candidate index, so job planning needs no id-keyed
         // lookup tables.
-        let selected_entries: Vec<&RankedEntry> = ranked.iter().filter(|e| e.selected).collect();
+        let selected_entries: Vec<&RankedEntry> = ranked.selected().collect();
         let selected: Vec<Candidate> = selected_entries
             .iter()
             .map(|e| {
@@ -654,8 +737,39 @@ impl AutoComp {
         // they are older work, already admitted once, and their tables
         // were suppressed from this cycle's ranking above. Each retry
         // re-passes admission; deferred retries requeue for next cycle.
+        //
+        // Retry re-ranking: a retry's original prediction was computed
+        // from the stats of the cycle that first selected it — and the
+        // conflicting write that caused the retry changed exactly those
+        // stats (the settle force-dirtied the table, so this cycle's
+        // observation carries the post-write state). Re-score against
+        // the current stats before resubmission so admission charges an
+        // honest GBHr estimate; when the table (or partition) is no
+        // longer observable the original prediction is kept.
+        let reduction_tc = self
+            .traits
+            .iter()
+            .rev()
+            .find(|t| t.name() == "file_count_reduction");
+        let gbhr_tc = self
+            .traits
+            .iter()
+            .rev()
+            .find(|t| t.name() == "compute_cost_gbhr");
         if let Some(tracker) = self.tracker.as_mut() {
-            for (candidate, prediction, attempts) in tracker.take_due_retries(now_ms) {
+            for (mut candidate, mut prediction, attempts) in tracker.take_due_retries(now_ms) {
+                if let Some(stats) = retry_stats(observation, &candidate) {
+                    let raw_reduction = reduction_tc
+                        .map(|t| t.compute(stats))
+                        .unwrap_or(stats.small_file_count as f64);
+                    let raw_gbhr = gbhr_tc.map(|t| t.compute(stats)).unwrap_or(0.0);
+                    prediction = Prediction {
+                        reduction: (raw_reduction * reduction_cal).round() as i64,
+                        gbhr: raw_gbhr * cost_cal,
+                        trigger: prediction.trigger,
+                    };
+                    candidate.stats = stats.clone();
+                }
                 match tracker.admit(
                     &candidate.database,
                     candidate.id.table_uid,
@@ -899,40 +1013,76 @@ fn filter_splice_walk(
         if single_candidate_scope {
             if let Some((g, g_tables)) = old_gen {
                 let run_start = ti;
-                while ti < tables.len()
-                    && !observation.is_fresh(ti)
-                    && g.uids.get(ti).copied() == Some(tables[ti].table_uid)
-                    && (same_listing || g_tables.get(ti) == Some(&tables[ti]))
-                {
-                    ti += 1;
+                if same_listing {
+                    // Shared listing ⇒ `g.uids[ti] == tables[ti].table_uid`
+                    // by construction (the generation was recorded against
+                    // this exact listing), so run detection reduces to the
+                    // freshness scan — no strided descriptor loads.
+                    while ti < g.uids.len() && ti < tables.len() && !observation.is_fresh(ti) {
+                        ti += 1;
+                    }
+                } else {
+                    while ti < tables.len()
+                        && !observation.is_fresh(ti)
+                        && g.uids.get(ti).copied() == Some(tables[ti].table_uid)
+                        && g_tables.get(ti) == Some(&tables[ti])
+                    {
+                        ti += 1;
+                    }
                 }
                 if ti > run_start {
                     let (mut row, mut reason) = (
                         g.kept_start[run_start] as usize,
                         g.drop_start[run_start] as usize,
                     );
-                    let mut ci = g.cand_start[run_start] as usize;
-                    for t in run_start..ti {
-                        let uid = g.uids[t];
-                        let cnt = (g.cand_start[t + 1] - g.cand_start[t]) as usize;
-                        for _ in 0..cnt {
-                            if g.verdicts[ci] {
+                    let c0 = g.cand_start[run_start] as usize;
+                    let c1 = g.cand_start[ti] as usize;
+                    if c1 - c0 == ti - run_start {
+                        // Every table in the run has exactly one candidate
+                        // (the overwhelmingly common table-scope shape):
+                        // walk the verdict slice directly.
+                        for (off, v) in g.verdicts[c0..c1].iter().enumerate() {
+                            if *v {
                                 kept_slots.push(KeptSlot {
-                                    table: t as u32,
+                                    table: (run_start + off) as u32,
                                     part: NO_PART,
                                     cached_row: row as u32,
                                 });
                                 row += 1;
                             } else {
                                 let id = CandidateId {
-                                    table_uid: uid,
+                                    table_uid: g.uids[run_start + off],
                                     scope: single_scope,
                                     partition: None,
                                 };
                                 dropped.push((id, g.reasons[reason].clone()));
                                 reason += 1;
                             }
-                            ci += 1;
+                        }
+                    } else {
+                        let mut ci = c0;
+                        for t in run_start..ti {
+                            let uid = g.uids[t];
+                            let cnt = (g.cand_start[t + 1] - g.cand_start[t]) as usize;
+                            for _ in 0..cnt {
+                                if g.verdicts[ci] {
+                                    kept_slots.push(KeptSlot {
+                                        table: t as u32,
+                                        part: NO_PART,
+                                        cached_row: row as u32,
+                                    });
+                                    row += 1;
+                                } else {
+                                    let id = CandidateId {
+                                        table_uid: uid,
+                                        scope: single_scope,
+                                        partition: None,
+                                    };
+                                    dropped.push((id, g.reasons[reason].clone()));
+                                    reason += 1;
+                                }
+                                ci += 1;
+                            }
                         }
                     }
                     if let Some(gen) = &mut gen {
@@ -1060,13 +1210,21 @@ fn filter_splice_walk(
     }
 }
 
-/// Drops masked-out rows from the matrix and their kept slots in step —
-/// the shared compaction step of the suppression and NaN-sanitize drop
-/// paths (the two must never diverge: ranked indices point into both).
-fn retain_masked(matrix: &mut TraitMatrix, kept_slots: &mut Vec<KeptSlot>, keep: &[bool]) {
+/// Drops masked-out rows from the matrix, their kept slots, and their
+/// generation-row map in step — the shared compaction step of the
+/// suppression and NaN-sanitize drop paths (the three must never
+/// diverge: ranked indices point into all of them).
+fn retain_masked(
+    matrix: &mut TraitMatrix,
+    kept_slots: &mut Vec<KeptSlot>,
+    gen_rows: &mut Vec<u32>,
+    keep: &[bool],
+) {
     matrix.retain_rows(keep);
     let mut it = keep.iter();
     kept_slots.retain(|_| *it.next().expect("mask covers slots"));
+    let mut it = keep.iter();
+    gen_rows.retain(|_| *it.next().expect("mask covers rows"));
 }
 
 /// Sentinel partition index for single-candidate scopes.
@@ -1091,6 +1249,26 @@ fn stats_of(entry: &TableObservation, ci: usize) -> &CandidateStats {
         TableObservation::Table(stats) => stats,
         TableObservation::Partitions(parts) => &parts[ci].1,
         TableObservation::Missing => unreachable!("missing entries yield no candidates"),
+    }
+}
+
+/// Current-cycle stats of a retry candidate, located by uid (via the
+/// observation's retained uid index) and, for partition-scope retries,
+/// by partition label. `None` when the table vanished, the scope shape
+/// changed, or the partition is no longer reported — the retry then
+/// keeps its original prediction.
+fn retry_stats<'a>(
+    observation: &'a FleetObservation,
+    candidate: &Candidate,
+) -> Option<&'a CandidateStats> {
+    let pos = observation.position_of_uid(candidate.id.table_uid)?;
+    match (observation.entry(pos), &candidate.id.partition) {
+        (TableObservation::Table(stats), None) => Some(stats),
+        (TableObservation::Partitions(parts), Some(label)) => parts
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, stats)| stats),
+        _ => None,
     }
 }
 
@@ -1164,11 +1342,28 @@ struct ObservationSource<'a> {
     slots: &'a [KeptSlot],
     observation: &'a FleetObservation,
     single_scope: ScopeKind,
+    /// Whether every slot is a single-candidate-scope row (table /
+    /// snapshot strategies): enables the lazy report tail, which
+    /// reconstructs candidate ids from bare uids.
+    uniform_tail: bool,
 }
 
 impl RankSource for ObservationSource<'_> {
     fn len(&self) -> usize {
         self.slots.len()
+    }
+    fn tail_identity(&self) -> Option<(ScopeKind, Vec<u64>)> {
+        if !self.uniform_tail {
+            return None;
+        }
+        let tables = self.observation.tables();
+        Some((
+            self.single_scope,
+            self.slots
+                .iter()
+                .map(|s| tables[s.table as usize].table_uid)
+                .collect(),
+        ))
     }
     fn id(&self, index: usize) -> CandidateId {
         slot_id(self.observation, self.slots[index], self.single_scope)

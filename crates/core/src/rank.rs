@@ -32,14 +32,55 @@
 //! the prefix follow in candidate order and their notes carry no exact
 //! rank; nothing renders them. The seed sorted the entire fleet for every
 //! cycle, which is exactly the O(n log n) framework overhead §7 warns
-//! about.
+//! about. The output type is [`RankedEntries`]: the prefix is eager
+//! (`head()`), and on single-candidate-scope paths the candidate-order
+//! tail is generated **lazily** on iteration from compact per-row
+//! columns — the fleet-wide `Vec<RankedEntry>` materialization is gone
+//! from the hot cycle, and iterating reproduces it bit-for-bit.
+//!
+//! # Incremental rank maintenance (exactness contract)
+//!
+//! Across incremental cycles the pipeline retains a rank memo — the
+//! per-candidate scores, the min–max normalization bounds they were
+//! computed under, and an exact-order prefix larger than the report head
+//! — keyed by the **same cursor chain + config epoch + scope/width as
+//! the cycle cache** (the memo's rows are aligned to that cache's
+//! generation). The maintained state is reused only when all of the
+//! following hold; otherwise the fleet-wide path recomputes everything
+//! (and re-seeds the memo):
+//!
+//! * the policy shape is unchanged (guaranteed by the config epoch,
+//!   checked defensively), and it is not inherently global —
+//!   budget-driven policies ([`RankingPolicy::BudgetedMoop`] and the
+//!   budget mode of [`RankingPolicy::QuotaAwareMoop`]) walk the fleet in
+//!   rank order with a running budget, so no per-row delta can be
+//!   maintained for them;
+//! * every normalization bound (per-column min and span) is
+//!   **bit-identical** to the memo's — min–max normalization is
+//!   fleet-global, so any movement changes every score; bounds are
+//!   recomputed each cycle in O(n) and compared bitwise;
+//! * enough of the retained prefix survived as spliced (unchanged) rows:
+//!   rows outside the pool ranked below every retained-prefix member
+//!   last cycle and are unchanged, so merging the surviving prefix with
+//!   the re-scored dirty rows yields the exact top-j for every
+//!   j ≤ survivors — fewer survivors than the needed head forces the
+//!   fallback.
+//!
+//! Under the memo, quiet rows' scores are *spliced* (bit-identical by
+//! construction: same inputs, same accumulation order) and only
+//! dirty/settled rows re-score. Feedback ingestion still does **not**
+//! bump the epoch: calibration scales act-phase predictions, while
+//! scores are pure functions of the (calibration-free) trait matrix —
+//! exactly the cycle cache's rule. The incremental parity harness pins
+//! bit-identical `CycleReport`s across both the maintained and fallback
+//! paths.
 //!
 //! [`CycleReport`]: crate::pipeline::CycleReport
 
 use std::fmt;
 use std::sync::Arc;
 
-use crate::candidate::{Candidate, CandidateId};
+use crate::candidate::{Candidate, CandidateId, ScopeKind};
 use crate::error::AutoCompError;
 use crate::matrix::TraitMatrix;
 use crate::Result;
@@ -284,6 +325,16 @@ pub trait RankSource {
     /// Quota utilization of the candidate's database (0.0 when the
     /// platform reports none) — the §7 quota-aware weighting input.
     fn quota_utilization(&self, index: usize) -> f64;
+
+    /// Uniform tail identity: when every candidate is a
+    /// single-candidate-scope row (same [`ScopeKind`], no partition
+    /// labels), returns the scope plus per-row table uids so the report
+    /// tail can be generated lazily on iteration instead of
+    /// materializing one [`RankedEntry`] per fleet candidate. `None`
+    /// (the default) keeps the fully materialized output.
+    fn tail_identity(&self) -> Option<(ScopeKind, Vec<u64>)> {
+        None
+    }
 }
 
 impl RankSource for [Candidate] {
@@ -328,6 +379,177 @@ impl RankedEntry {
     /// Looks up one of this entry's trait values in the cycle matrix.
     pub fn trait_value(&self, matrix: &TraitMatrix, name: &str) -> Option<f64> {
         matrix.trait_id(name).map(|id| matrix.value(self.index, id))
+    }
+}
+
+/// Note shape of lazily generated tail entries — everything needed to
+/// reproduce the eager path's per-row tail note without materializing it.
+#[derive(Debug, Clone)]
+enum TailNoteSpec {
+    /// MOOP top-k tail: [`DecisionNote::BeyondPrefix`].
+    Moop { k: usize },
+    /// Quota-aware top-k tail: [`DecisionNote::QuotaBeyondPrefix`].
+    Quota,
+    /// Threshold tail: below-threshold or over-cap, decided per row from
+    /// the stored score (the raw trait value).
+    Threshold {
+        trait_name: Arc<str>,
+        min_value: f64,
+        cap: usize,
+    },
+}
+
+/// Deferred tail of a decide-phase output: per-row scores and identities
+/// kept in compact columnar form; [`RankedEntry`] values are generated on
+/// iteration, in candidate order, bit-identical to the eager path.
+#[derive(Debug, Clone)]
+struct LazyTail {
+    /// Score per candidate row (all rows, in candidate order).
+    scores: Vec<f64>,
+    /// Table uid per candidate row.
+    uids: Vec<u64>,
+    /// Uniform candidate scope (single-candidate scopes only).
+    scope: ScopeKind,
+    /// Rows already materialized in the head.
+    in_head: Vec<bool>,
+    note: TailNoteSpec,
+}
+
+impl LazyTail {
+    fn entry(&self, row: usize) -> RankedEntry {
+        let score = self.scores[row];
+        let note = match &self.note {
+            TailNoteSpec::Moop { k } => DecisionNote::BeyondPrefix { k: *k },
+            TailNoteSpec::Quota => DecisionNote::QuotaBeyondPrefix,
+            TailNoteSpec::Threshold {
+                trait_name,
+                min_value,
+                cap,
+            } => {
+                if score >= *min_value {
+                    DecisionNote::ThresholdOverCap {
+                        trait_name: trait_name.clone(),
+                        value: score,
+                        min_value: *min_value,
+                        cap: *cap,
+                    }
+                } else {
+                    DecisionNote::ThresholdBelow {
+                        trait_name: trait_name.clone(),
+                        value: score,
+                        min_value: *min_value,
+                    }
+                }
+            }
+        };
+        RankedEntry {
+            id: CandidateId {
+                table_uid: self.uids[row],
+                scope: self.scope,
+                partition: None,
+            },
+            index: row,
+            score,
+            selected: false,
+            note,
+        }
+    }
+}
+
+/// The decide phase's output: the materialized rank-order prefix (every
+/// selected candidate plus at least [`RANKED_PREFIX_MIN`] report rows)
+/// plus a tail covering the rest of the fleet in candidate order.
+///
+/// On hot single-candidate-scope paths the tail is **lazy**: entries are
+/// generated on [`iter`](Self::iter)/[`to_vec`](Self::to_vec) from
+/// compact per-row columns instead of being materialized every cycle —
+/// at 100K tables the eager fleet-wide `Vec<RankedEntry>` was a
+/// measurable slice of the steady-state incremental cycle. Iteration
+/// yields entries bit-identical to the eager path (pinned by the parity
+/// suites); [`head`](Self::head) is the eager accessor rendering and
+/// seed-parity tests pin unchanged output against.
+#[derive(Debug, Clone)]
+pub struct RankedEntries {
+    /// Eager entries: the full rank-order prefix — and, when `tail` is
+    /// `None`, the entire output (budget policies, partition scopes, and
+    /// the compat `&[Candidate]` path stay fully materialized).
+    head: Vec<RankedEntry>,
+    tail: Option<LazyTail>,
+}
+
+impl RankedEntries {
+    /// Fully materialized entries (no lazy tail).
+    pub(crate) fn eager(entries: Vec<RankedEntry>) -> Self {
+        RankedEntries {
+            head: entries,
+            tail: None,
+        }
+    }
+
+    /// Total number of ranked candidates (head + tail).
+    pub fn len(&self) -> usize {
+        match &self.tail {
+            None => self.head.len(),
+            Some(tail) => tail.scores.len(),
+        }
+    }
+
+    /// Whether no candidates were ranked.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The eagerly materialized prefix, best-first in exact rank order:
+    /// every selected candidate plus at least [`RANKED_PREFIX_MIN`] rows
+    /// (the whole output when no lazy tail exists). This is what
+    /// `CycleReport` renders, so report output is identical whether or
+    /// not the tail is lazy.
+    pub fn head(&self) -> &[RankedEntry] {
+        &self.head
+    }
+
+    /// Selected entries (always part of the head).
+    pub fn selected(&self) -> impl Iterator<Item = &RankedEntry> {
+        self.head.iter().filter(|e| e.selected)
+    }
+
+    /// Number of selected candidates.
+    pub fn selected_count(&self) -> usize {
+        self.selected().count()
+    }
+
+    /// Iterates every ranked entry: the head in rank order, then tail
+    /// entries generated on the fly in candidate order — exactly the
+    /// sequence the eager path materializes.
+    pub fn iter(&self) -> impl Iterator<Item = RankedEntry> + '_ {
+        let tail_rows = match &self.tail {
+            None => 0..0,
+            Some(tail) => 0..tail.scores.len(),
+        };
+        self.head.iter().cloned().chain(
+            tail_rows
+                .filter(move |row| self.tail.as_ref().is_some_and(|tail| !tail.in_head[*row]))
+                .map(move |row| {
+                    self.tail
+                        .as_ref()
+                        .expect("tail rows imply a tail")
+                        .entry(row)
+                }),
+        )
+    }
+
+    /// Materializes every entry eagerly (the compatibility accessor).
+    pub fn to_vec(&self) -> Vec<RankedEntry> {
+        self.iter().collect()
+    }
+
+    /// Consuming variant of [`to_vec`](Self::to_vec): already-eager
+    /// outputs move their entries instead of cloning them.
+    pub fn into_vec(self) -> Vec<RankedEntry> {
+        match self.tail {
+            None => self.head,
+            Some(_) => self.to_vec(),
+        }
     }
 }
 
@@ -503,22 +725,110 @@ pub fn rank_and_select(
     matrix: &TraitMatrix,
     policy: &RankingPolicy,
 ) -> Result<Vec<RankedEntry>> {
-    rank_and_select_source(candidates, matrix, policy)
+    rank_and_select_source(candidates, matrix, policy).map(RankedEntries::into_vec)
 }
 
 /// [`rank_and_select`] over any [`RankSource`] — the entry point the
 /// index-native pipeline uses to rank observation-backed candidates
 /// without materializing them. Output is identical to ranking the
-/// equivalent `&[Candidate]` slice.
+/// equivalent `&[Candidate]` slice (lazy tails generate equal entries).
 pub fn rank_and_select_source<S: RankSource + ?Sized>(
     source: &S,
     matrix: &TraitMatrix,
     policy: &RankingPolicy,
-) -> Result<Vec<RankedEntry>> {
+) -> Result<RankedEntries> {
+    rank_with_memo(source, matrix, policy, None).map(|(entries, _, _)| entries)
+}
+
+/// Sentinel "no prior row" marker in a [`RankDelta`] splice map.
+pub(crate) const NO_PRIOR_ROW: u32 = u32::MAX;
+
+/// Retained decide-phase state of one cycle, aligned to the cycle
+/// cache's generation rows — the structure incremental rank maintenance
+/// reuses next cycle (see the module docs' exactness contract).
+#[derive(Debug, Clone)]
+pub(crate) struct RankMemo {
+    /// Policy-shape discriminant (defensive: the config epoch already
+    /// pins the policy, but a mismatched memo must never splice).
+    kind: u8,
+    /// Bit patterns of the min–max normalization bounds per consumed
+    /// column, in policy consumption order. Any movement invalidates the
+    /// per-row scores wholesale (normalization is fleet-global).
+    bounds: Vec<(u64, u64)>,
+    /// Final per-row scores by generation row.
+    scores: Vec<f64>,
+    /// Whether the generation row was ranked (present post-suppression,
+    /// post-NaN) — rows without a score always recompute.
+    has: Vec<bool>,
+    /// Generation rows of the retained exact-rank-order prefix
+    /// (strictly larger than the report head, so a few dirty rows per
+    /// cycle cannot immediately force a fleet-wide re-sort).
+    prefix: Vec<u32>,
+}
+
+/// Inputs wiring one cycle's splice mapping into the rank phase.
+pub(crate) struct RankDelta<'a> {
+    /// The prior cycle's memo, already validated by the caller against
+    /// the cursor chain + config epoch + scope/width keys.
+    pub(crate) memo: Option<&'a RankMemo>,
+    /// Per current row: the prior generation row its trait row was
+    /// spliced from, or [`NO_PRIOR_ROW`] for recomputed rows.
+    pub(crate) prior_rows: &'a [u32],
+    /// Per current row: its row in the generation being installed this
+    /// cycle (what next cycle's `prior_rows` will reference).
+    pub(crate) gen_rows: &'a [u32],
+    /// Kept-row count of the generation being installed.
+    pub(crate) gen_len: usize,
+    /// Whether `gen_rows` is the identity mapping (no suppression/NaN
+    /// masks thinned the kept set) — the steady state, where the memo
+    /// arrays can be bulk-copied instead of scattered row by row.
+    pub(crate) gen_identity: bool,
+}
+
+/// Splice effectiveness of one rank pass (see
+/// [`AutoComp::rank_memo_stats`](crate::pipeline::AutoComp::rank_memo_stats)).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RankCycleStats {
+    /// Whether top-k selection was maintained from the retained prefix
+    /// (no fleet-wide ordering pass ran).
+    pub memo_fast: bool,
+    /// Rows whose score was spliced from the retained memo.
+    pub spliced_scores: usize,
+    /// Rows whose score was recomputed (dirty rows, or the whole fleet
+    /// on the fallback path).
+    pub recomputed_scores: usize,
+}
+
+/// One pre-resolved weighted column of a MOOP scalarization.
+struct WeightedCol<'a> {
+    col: &'a [f64],
+    min: f64,
+    span: f64,
+    /// `sign × weight`, folded once so per-row recomputes accumulate in
+    /// exactly the shape [`moop_scores`] uses.
+    factor: f64,
+}
+
+/// Decide phase with optional cross-cycle maintenance: ranks `source`
+/// under `policy`; when `delta` is provided, splices per-row scores from
+/// the retained memo (bounds permitting), maintains top-k selection from
+/// the retained prefix, and emits the next cycle's memo. `delta: None`
+/// is exactly the historical fleet-wide path.
+pub(crate) fn rank_with_memo<S: RankSource + ?Sized>(
+    source: &S,
+    matrix: &TraitMatrix,
+    policy: &RankingPolicy,
+    delta: Option<&RankDelta<'_>>,
+) -> Result<(RankedEntries, Option<RankMemo>, RankCycleStats)> {
     if source.is_empty() {
-        return Ok(Vec::new());
+        return Ok((
+            RankedEntries::eager(Vec::new()),
+            None,
+            RankCycleStats::default(),
+        ));
     }
     debug_assert_eq!(matrix.rows(), source.len());
+    let n = source.len();
     match policy {
         RankingPolicy::Threshold {
             trait_name,
@@ -528,27 +838,25 @@ pub fn rank_and_select_source<S: RankSource + ?Sized>(
             let id = matrix
                 .trait_id(trait_name)
                 .ok_or_else(|| AutoCompError::UnknownTrait(trait_name.clone()))?;
-            let scores = matrix.col(id);
+            let col = matrix.col(id);
             let name: Arc<str> = Arc::from(trait_name.as_str());
             let cap = max_k.unwrap_or(usize::MAX);
-            let above = scores.iter().filter(|s| **s >= *min_value).count();
+            let min_value = *min_value;
+            let above = col.iter().filter(|s| **s >= min_value).count();
             let sel = above.min(cap);
-            let mut order = RankOrder::new(scores, source);
-            let prefix = sel.max(RANKED_PREFIX_MIN).min(source.len());
-            order.ensure(prefix);
-            let note_for = |index: usize, ranked_in: Option<usize>| {
+            let note_for = |index: usize, ranked_in: Option<usize>, scores: &[f64]| {
                 let value = scores[index];
-                if value >= *min_value {
+                if value >= min_value {
                     match ranked_in {
                         Some(pos) if pos < sel => DecisionNote::ThresholdMet {
                             trait_name: name.clone(),
                             value,
-                            min_value: *min_value,
+                            min_value,
                         },
                         _ => DecisionNote::ThresholdOverCap {
                             trait_name: name.clone(),
                             value,
-                            min_value: *min_value,
+                            min_value,
                             cap,
                         },
                     }
@@ -556,45 +864,62 @@ pub fn rank_and_select_source<S: RankSource + ?Sized>(
                     DecisionNote::ThresholdBelow {
                         trait_name: name.clone(),
                         value,
-                        min_value: *min_value,
+                        min_value,
                     }
                 }
             };
-            Ok(assemble_entries(
+            Ok(rank_incremental_policy(
                 source,
-                scores,
-                &order,
-                prefix,
-                |pos, index| {
+                1,
+                Vec::new(),
+                sel,
+                || col.to_vec(),
+                |i| col[i],
+                |pos, index, scores| {
                     (
-                        pos < sel && scores[index] >= *min_value,
-                        note_for(index, Some(pos)),
+                        pos < sel && scores[index] >= min_value,
+                        note_for(index, Some(pos), scores),
                     )
                 },
-                |index| (false, note_for(index, None)),
+                |index, scores| note_for(index, None, scores),
+                TailNoteSpec::Threshold {
+                    trait_name: name.clone(),
+                    min_value,
+                    cap,
+                },
+                delta,
             ))
         }
         RankingPolicy::Moop { weights, k } => {
             validate_weights(weights)?;
-            let scores = moop_scores(matrix, weights)?;
-            let sel = (*k).min(source.len());
-            let mut order = RankOrder::new(&scores, source);
-            let prefix = sel.max(RANKED_PREFIX_MIN).min(source.len());
-            order.ensure(prefix);
-            Ok(assemble_entries(
+            // Key on (min, span) bits — exactly the two values
+            // `normalize` consumes, so bit-equal keys imply bit-equal
+            // normalization.
+            let parts = weighted_parts(matrix, weights)?;
+            let bounds = parts
+                .iter()
+                .map(|p| (p.min.to_bits(), p.span.to_bits()))
+                .collect();
+            let k = *k;
+            let sel = k.min(n);
+            Ok(rank_incremental_policy(
                 source,
-                &scores,
-                &order,
-                prefix,
-                |pos, _| {
+                2,
+                bounds,
+                sel,
+                || weighted_full(&parts, n),
+                |i| weighted_row(&parts, i),
+                |pos, _, _| {
                     let rank = pos + 1;
-                    if pos < *k {
-                        (true, DecisionNote::RankWithinK { rank, k: *k })
+                    if pos < k {
+                        (true, DecisionNote::RankWithinK { rank, k })
                     } else {
-                        (false, DecisionNote::RankBeyondK { rank, k: *k })
+                        (false, DecisionNote::RankBeyondK { rank, k })
                     }
                 },
-                |_| (false, DecisionNote::BeyondPrefix { k: *k }),
+                |_, _| DecisionNote::BeyondPrefix { k },
+                TailNoteSpec::Moop { k },
+                delta,
             ))
         }
         RankingPolicy::BudgetedMoop {
@@ -610,14 +935,25 @@ pub fn rank_and_select_source<S: RankSource + ?Sized>(
             let scores = moop_scores(matrix, weights)?;
             let costs = matrix.col(cost_id);
             let order = RankOrder::new(&scores, source);
-            Ok(budget_scan(
-                source,
-                &scores,
-                costs,
-                order,
-                *budget,
-                max_k.unwrap_or(usize::MAX),
-                BudgetNotes::Detailed,
+            // The budget walk is inherently global: each selection moves
+            // the remaining budget, so no per-row delta can be maintained
+            // — always the fleet-wide path (see the module docs).
+            Ok((
+                RankedEntries::eager(budget_scan(
+                    source,
+                    &scores,
+                    costs,
+                    order,
+                    *budget,
+                    max_k.unwrap_or(usize::MAX),
+                    BudgetNotes::Detailed,
+                )),
+                None,
+                RankCycleStats {
+                    memo_fast: false,
+                    spliced_scores: 0,
+                    recomputed_scores: n,
+                },
             ))
         }
         RankingPolicy::QuotaAwareMoop {
@@ -638,42 +974,55 @@ pub fn rank_and_select_source<S: RankSource + ?Sized>(
             let (cmin, cmax) = column_min_max(cost_col);
             let bspan = bmax - bmin;
             let cspan = cmax - cmin;
-            let scores: Vec<f64> = (0..source.len())
-                .map(|i| {
-                    let util = source.quota_utilization(i);
-                    // §7: w1 = 0.5 × (1 + Used/Total). Clamp so w2 ≥ 0 even
-                    // for over-quota databases.
-                    let w1 = (0.5 * (1.0 + util)).min(1.0);
-                    let w2 = 1.0 - w1;
-                    w1 * normalize(benefit_col[i], bmin, bspan)
-                        - w2 * normalize(cost_col[i], cmin, cspan)
-                })
-                .collect();
+            let quota_row = |i: usize| {
+                let util = source.quota_utilization(i);
+                // §7: w1 = 0.5 × (1 + Used/Total). Clamp so w2 ≥ 0 even
+                // for over-quota databases.
+                let w1 = (0.5 * (1.0 + util)).min(1.0);
+                let w2 = 1.0 - w1;
+                w1 * normalize(benefit_col[i], bmin, bspan)
+                    - w2 * normalize(cost_col[i], cmin, cspan)
+            };
             match (k, budget) {
                 (Some(k), _) => {
-                    let sel = (*k).min(source.len());
-                    let mut order = RankOrder::new(&scores, source);
-                    let prefix = sel.max(RANKED_PREFIX_MIN).min(source.len());
-                    order.ensure(prefix);
-                    Ok(assemble_entries(
+                    let k = *k;
+                    let sel = k.min(n);
+                    let bounds = vec![
+                        (bmin.to_bits(), bspan.to_bits()),
+                        (cmin.to_bits(), cspan.to_bits()),
+                    ];
+                    Ok(rank_incremental_policy(
                         source,
-                        &scores,
-                        &order,
-                        prefix,
-                        |pos, _| (pos < *k, DecisionNote::QuotaRank { rank: pos + 1 }),
-                        |_| (false, DecisionNote::QuotaBeyondPrefix),
+                        3,
+                        bounds,
+                        sel,
+                        || (0..n).map(quota_row).collect(),
+                        quota_row,
+                        |pos, _, _| (pos < k, DecisionNote::QuotaRank { rank: pos + 1 }),
+                        |_, _| DecisionNote::QuotaBeyondPrefix,
+                        TailNoteSpec::Quota,
+                        delta,
                     ))
                 }
                 (None, Some(budget)) => {
+                    let scores: Vec<f64> = (0..n).map(quota_row).collect();
                     let order = RankOrder::new(&scores, source);
-                    Ok(budget_scan(
-                        source,
-                        &scores,
-                        cost_col,
-                        order,
-                        *budget,
-                        usize::MAX,
-                        BudgetNotes::Bare,
+                    Ok((
+                        RankedEntries::eager(budget_scan(
+                            source,
+                            &scores,
+                            cost_col,
+                            order,
+                            *budget,
+                            usize::MAX,
+                            BudgetNotes::Bare,
+                        )),
+                        None,
+                        RankCycleStats {
+                            memo_fast: false,
+                            spliced_scores: 0,
+                            recomputed_scores: n,
+                        },
                     ))
                 }
                 (None, None) => Err(AutoCompError::InvalidConfig(
@@ -682,6 +1031,289 @@ pub fn rank_and_select_source<S: RankSource + ?Sized>(
             }
         }
     }
+}
+
+/// Resolves MOOP weights to their columns, normalization bounds and
+/// folded factors.
+fn weighted_parts<'a>(
+    matrix: &'a TraitMatrix,
+    weights: &[TraitWeight],
+) -> Result<Vec<WeightedCol<'a>>> {
+    weights
+        .iter()
+        .map(|w| {
+            let id = matrix
+                .trait_id(&w.trait_name)
+                .ok_or_else(|| AutoCompError::UnknownTrait(w.trait_name.clone()))?;
+            let direction = matrix
+                .direction(id)
+                .ok_or_else(|| AutoCompError::UnknownTrait(w.trait_name.clone()))?;
+            let col = matrix.col(id);
+            let (min, max) = column_min_max(col);
+            let sign = match direction {
+                crate::traits::TraitDirection::Benefit => 1.0,
+                crate::traits::TraitDirection::Cost => -1.0,
+            };
+            Ok(WeightedCol {
+                col,
+                min,
+                span: max - min,
+                factor: sign * w.weight,
+            })
+        })
+        .collect()
+}
+
+/// Fleet-wide weighted-sum scalarization over pre-resolved parts — the
+/// exact accumulation shape of [`moop_scores`], so results are
+/// bit-identical to it.
+fn weighted_full(parts: &[WeightedCol<'_>], rows: usize) -> Vec<f64> {
+    let mut scores = vec![0.0; rows];
+    for part in parts {
+        if part.span.abs() < f64::EPSILON {
+            for s in scores.iter_mut() {
+                *s += part.factor * 0.5;
+            }
+        } else {
+            for (s, v) in scores.iter_mut().zip(part.col) {
+                *s += part.factor * normalize(*v, part.min, part.span);
+            }
+        }
+    }
+    scores
+}
+
+/// One row's weighted-sum score, accumulated in the same per-weight
+/// order as [`weighted_full`] (bit-identical by construction).
+fn weighted_row(parts: &[WeightedCol<'_>], i: usize) -> f64 {
+    let mut score = 0.0;
+    for part in parts {
+        score += if part.span.abs() < f64::EPSILON {
+            part.factor * 0.5
+        } else {
+            part.factor * normalize(part.col[i], part.min, part.span)
+        };
+    }
+    score
+}
+
+/// Shared core of the incremental-capable policies (threshold, MOOP
+/// top-k, quota-aware top-k): score (splicing from the memo when the
+/// normalization bounds are bit-unchanged), select (maintaining the
+/// retained prefix when enough of it survived), and assemble the head +
+/// (lazy) tail, emitting the next memo when a delta is wired in.
+#[allow(clippy::too_many_arguments)]
+fn rank_incremental_policy<S: RankSource + ?Sized>(
+    source: &S,
+    kind: u8,
+    bounds: Vec<(u64, u64)>,
+    sel: usize,
+    score_full: impl Fn() -> Vec<f64>,
+    score_row: impl Fn(usize) -> f64,
+    prefix_entry: impl Fn(usize, usize, &[f64]) -> (bool, DecisionNote),
+    tail_note: impl Fn(usize, &[f64]) -> DecisionNote,
+    tail_spec: TailNoteSpec,
+    delta: Option<&RankDelta<'_>>,
+) -> (RankedEntries, Option<RankMemo>, RankCycleStats) {
+    let n = source.len();
+    let needed = sel.max(RANKED_PREFIX_MIN).min(n);
+    // Retained-prefix size: enough slack that the expected dirty set
+    // cannot knock the stable membership below `needed` every cycle.
+    let memo_target = needed.saturating_add(needed.max(64)).min(n);
+    let mut stats = RankCycleStats::default();
+
+    // The memo splices only when the policy shape and every
+    // normalization bound are bit-identical: scores are then pure
+    // per-row functions of (unchanged) trait values.
+    let memo = delta
+        .and_then(|d| d.memo)
+        .filter(|m| m.kind == kind && m.bounds == bounds);
+
+    // Score pass: splice quiet rows, recompute the rest. The same walk
+    // maps the retained prefix (prior generation rows) onto current rows
+    // — a member is *stable* when it survived as a spliced row
+    // (identical score by the bounds check above).
+    let mut fresh_rows: Vec<u32> = Vec::new();
+    let mut stable_slots: Vec<u32> = Vec::new();
+    let scores: Vec<f64> = match (delta, memo) {
+        (Some(d), Some(m)) => {
+            let mut prefix_pos = vec![NO_PRIOR_ROW; m.scores.len()];
+            for (pos, g) in m.prefix.iter().enumerate() {
+                prefix_pos[*g as usize] = pos as u32;
+            }
+            stable_slots = vec![NO_PRIOR_ROW; m.prefix.len()];
+            let mut scores = Vec::with_capacity(n);
+            for i in 0..n {
+                let g = d.prior_rows[i] as usize;
+                if d.prior_rows[i] != NO_PRIOR_ROW && g < m.scores.len() && m.has[g] {
+                    stats.spliced_scores += 1;
+                    scores.push(m.scores[g]);
+                    let pos = prefix_pos[g];
+                    if pos != NO_PRIOR_ROW {
+                        stable_slots[pos as usize] = i as u32;
+                    }
+                } else {
+                    stats.recomputed_scores += 1;
+                    fresh_rows.push(i as u32);
+                    scores.push(score_row(i));
+                }
+            }
+            scores
+        }
+        _ => {
+            stats.recomputed_scores = n;
+            score_full()
+        }
+    };
+
+    // Rank comparator: score descending (NaN last, ±0 tied), ties by
+    // candidate id — identical to `RankOrder`'s.
+    let before = |a: u32, b: u32| {
+        sort_key(scores[b as usize])
+            .total_cmp(&sort_key(scores[a as usize]))
+            .then_with(|| source.cmp_ids(a as usize, b as usize))
+            == std::cmp::Ordering::Less
+    };
+
+    // Selection: maintain the retained prefix when possible, otherwise
+    // run the fleet-wide lazy partial selection.
+    let mut order_rows: Option<Vec<u32>> = None;
+    if memo.is_some() {
+        let stable: Vec<u32> = stable_slots
+            .into_iter()
+            .filter(|r| *r != NO_PRIOR_ROW)
+            .collect();
+        // Exactness guard: every row outside the pool ranked after all
+        // retained-prefix members last cycle and is unchanged, so the
+        // merged top-j is the true top-j for every j ≤ |stable|. Fewer
+        // survivors than `needed` ⇒ fleet-wide fallback.
+        if needed <= stable.len() {
+            fresh_rows.sort_unstable_by(|a, b| {
+                if before(*a, *b) {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Greater
+                }
+            });
+            let take = memo_target.min(stable.len());
+            let mut merged = Vec::with_capacity(take);
+            let (mut si, mut fi) = (0usize, 0usize);
+            while merged.len() < take {
+                match (stable.get(si), fresh_rows.get(fi)) {
+                    (Some(s), Some(f)) => {
+                        if before(*f, *s) {
+                            merged.push(*f);
+                            fi += 1;
+                        } else {
+                            merged.push(*s);
+                            si += 1;
+                        }
+                    }
+                    (Some(s), None) => {
+                        merged.push(*s);
+                        si += 1;
+                    }
+                    (None, Some(f)) => {
+                        merged.push(*f);
+                        fi += 1;
+                    }
+                    (None, None) => break,
+                }
+            }
+            stats.memo_fast = true;
+            order_rows = Some(merged);
+        }
+    }
+    let order_rows = match order_rows {
+        Some(rows) => rows,
+        None => {
+            let mut order = RankOrder::new(&scores, source);
+            let prefix = if delta.is_some() {
+                memo_target.max(needed)
+            } else {
+                needed
+            };
+            order.ensure(prefix);
+            order.indices[..prefix].to_vec()
+        }
+    };
+
+    // Head assembly: exactly `needed` rank-ordered rows (the extra
+    // ordered rows beyond `needed` only feed the next memo's prefix).
+    let mut in_head = vec![false; n];
+    let mut head = Vec::with_capacity(needed);
+    for (pos, row) in order_rows.iter().take(needed).enumerate() {
+        let index = *row as usize;
+        in_head[index] = true;
+        let (selected, note) = prefix_entry(pos, index, &scores);
+        head.push(RankedEntry {
+            id: source.id(index),
+            index,
+            score: scores[index],
+            selected,
+            note,
+        });
+    }
+
+    // Next cycle's memo, aligned to the generation being installed. In
+    // the steady state (identity generation mapping) the arrays are
+    // bulk copies, not per-row scatters.
+    let memo_out = delta.map(|d| {
+        let (gen_scores, has) = if d.gen_identity {
+            debug_assert_eq!(d.gen_len, n);
+            (scores.clone(), vec![true; d.gen_len])
+        } else {
+            let mut gen_scores = vec![0.0; d.gen_len];
+            let mut has = vec![false; d.gen_len];
+            for (i, score) in scores.iter().enumerate() {
+                let g = d.gen_rows[i] as usize;
+                gen_scores[g] = *score;
+                has[g] = true;
+            }
+            (gen_scores, has)
+        };
+        RankMemo {
+            kind,
+            bounds,
+            scores: gen_scores,
+            has,
+            prefix: order_rows.iter().map(|r| d.gen_rows[*r as usize]).collect(),
+        }
+    });
+
+    let entries = match source.tail_identity() {
+        Some((scope, uids)) => {
+            debug_assert_eq!(uids.len(), n);
+            RankedEntries {
+                head,
+                tail: Some(LazyTail {
+                    scores,
+                    uids,
+                    scope,
+                    in_head,
+                    note: tail_spec,
+                }),
+            }
+        }
+        None => {
+            let mut all = head;
+            all.reserve(n - all.len());
+            for index in 0..n {
+                if in_head[index] {
+                    continue;
+                }
+                all.push(RankedEntry {
+                    id: source.id(index),
+                    index,
+                    score: scores[index],
+                    selected: false,
+                    note: tail_note(index, &scores),
+                });
+            }
+            RankedEntries::eager(all)
+        }
+    };
+    (entries, memo_out, stats)
 }
 
 /// Which note flavor a budget scan writes for unselected candidates: the

@@ -1,0 +1,179 @@
+//! Shared deterministic async-platform test doubles for the job-runtime
+//! suites.
+//!
+//! [`ScriptedPlatform`] is the one platform model behind both the
+//! lifecycle tests (`tests/job_runtime.rs`, formerly `FakePlatform`) and
+//! the tracked-parity property harness (`tests/incremental_parity.rs`,
+//! formerly `ParityPlatform`): `execute` schedules a job that settles
+//! `duration_ms` later, `poll` reports due jobs, and whether a given
+//! submission conflicts is decided by a pluggable [`ConflictRule`] —
+//! purely as a function of the call sequence, so cold and incremental
+//! pipelines driving identical submissions see identical outcomes.
+
+#![allow(dead_code)]
+
+use std::collections::BTreeMap;
+
+use autocomp::{
+    Candidate, CompactionExecutor, ExecutionResult, JobOutcome, JobOutcomeStatus, Prediction,
+    TrackedExecutor,
+};
+
+/// When a submission's eventual settle conflicts.
+#[derive(Debug, Clone, Default)]
+pub enum ConflictRule {
+    /// Every job commits.
+    #[default]
+    Never,
+    /// A table's first `count` submissions conflict, later ones succeed
+    /// (the lifecycle suites' scripted-conflict shape).
+    FirstN(BTreeMap<u64, u64>),
+    /// Submission `n` against table `uid` conflicts when
+    /// `(uid + n) % modulus == 0` (the parity harness's shape: conflict
+    /// retries, suppression windows and settles occur across the fleet
+    /// without any per-table scripting).
+    UidPlusAttemptModulo(u64),
+}
+
+/// Values a successful settle reports.
+#[derive(Debug, Clone, Copy)]
+pub enum OutcomeModel {
+    /// Fixed per-settle values.
+    Fixed {
+        /// Achieved file-count reduction.
+        reduction: i64,
+        /// Compute actually consumed.
+        gbhr: f64,
+    },
+    /// Uid-derived values (`6 + uid % 9`, `0.5 + (uid % 4)/4`), so
+    /// feedback records differ per table.
+    PerUid,
+}
+
+/// Deterministic async compaction platform with a pluggable conflict
+/// rule: `execute` schedules (job settles `duration_ms` later), `poll`
+/// settles due jobs.
+pub struct ScriptedPlatform {
+    duration_ms: u64,
+    next_job: u64,
+    running: Vec<(u64, u64, u64, u64)>, // (job_id, uid, due_ms, submission #)
+    submissions: BTreeMap<u64, u64>,
+    conflict: ConflictRule,
+    outcome: OutcomeModel,
+}
+
+impl ScriptedPlatform {
+    /// Platform where jobs settle `duration_ms` after submission and
+    /// every job succeeds with fixed outcome values (the lifecycle
+    /// suites' default; add conflicts with
+    /// [`with_conflicts`](Self::with_conflicts)).
+    pub fn new(duration_ms: u64) -> Self {
+        ScriptedPlatform {
+            duration_ms,
+            next_job: 0,
+            running: Vec::new(),
+            submissions: BTreeMap::new(),
+            conflict: ConflictRule::Never,
+            outcome: OutcomeModel::Fixed {
+                reduction: 8,
+                gbhr: 1.5,
+            },
+        }
+    }
+
+    /// The parity harness's shape: submission `n` against table `uid`
+    /// conflicts when `(uid + n) % 3 == 0`, outcomes are uid-derived.
+    pub fn parity(duration_ms: u64) -> Self {
+        ScriptedPlatform {
+            conflict: ConflictRule::UidPlusAttemptModulo(3),
+            outcome: OutcomeModel::PerUid,
+            ..ScriptedPlatform::new(duration_ms)
+        }
+    }
+
+    /// Scripts `uid`'s first `count` submissions to conflict (switching
+    /// the rule to [`ConflictRule::FirstN`] if needed).
+    pub fn with_conflicts(mut self, uid: u64, count: u64) -> Self {
+        match &mut self.conflict {
+            ConflictRule::FirstN(map) => {
+                map.insert(uid, count);
+            }
+            _ => {
+                self.conflict = ConflictRule::FirstN([(uid, count)].into_iter().collect());
+            }
+        }
+        self
+    }
+
+    fn conflicted(&self, uid: u64, submission: u64) -> bool {
+        match &self.conflict {
+            ConflictRule::Never => false,
+            ConflictRule::FirstN(map) => submission <= map.get(&uid).copied().unwrap_or(0),
+            ConflictRule::UidPlusAttemptModulo(m) => (uid + submission).is_multiple_of(*m),
+        }
+    }
+
+    fn success_values(&self, uid: u64) -> (i64, f64) {
+        match self.outcome {
+            OutcomeModel::Fixed { reduction, gbhr } => (reduction, gbhr),
+            OutcomeModel::PerUid => (6 + (uid % 9) as i64, 0.5 + (uid % 4) as f64 * 0.25),
+        }
+    }
+
+    fn conflict_gbhr(&self, uid: u64) -> f64 {
+        // Conflicts still burn compute (§2 counts wasted resources).
+        match self.outcome {
+            OutcomeModel::Fixed { gbhr, .. } => gbhr,
+            OutcomeModel::PerUid => 0.5 + (uid % 4) as f64 * 0.25,
+        }
+    }
+}
+
+impl CompactionExecutor for ScriptedPlatform {
+    fn execute(&mut self, c: &Candidate, p: &Prediction, now: u64) -> ExecutionResult {
+        self.next_job += 1;
+        let n = self.submissions.entry(c.id.table_uid).or_insert(0);
+        *n += 1;
+        let due = now + self.duration_ms;
+        self.running.push((self.next_job, c.id.table_uid, due, *n));
+        ExecutionResult {
+            scheduled: true,
+            job_id: Some(self.next_job),
+            gbhr: p.gbhr,
+            commit_due_ms: Some(due),
+            error: None,
+        }
+    }
+}
+
+impl TrackedExecutor for ScriptedPlatform {
+    fn poll(&mut self, now: u64) -> Vec<JobOutcome> {
+        let (due, rest): (Vec<_>, Vec<_>) = self
+            .running
+            .drain(..)
+            .partition(|(_, _, due, _)| *due <= now);
+        self.running = rest;
+        due.into_iter()
+            .map(|(job_id, uid, due_ms, submission)| {
+                let conflicted = self.conflicted(uid, submission);
+                let (reduction, gbhr) = if conflicted {
+                    (0, self.conflict_gbhr(uid))
+                } else {
+                    self.success_values(uid)
+                };
+                JobOutcome {
+                    job_id,
+                    table_uid: uid,
+                    status: if conflicted {
+                        JobOutcomeStatus::Conflicted
+                    } else {
+                        JobOutcomeStatus::Succeeded
+                    },
+                    finished_at_ms: due_ms,
+                    actual_reduction: reduction,
+                    actual_gbhr: gbhr,
+                }
+            })
+            .collect()
+    }
+}

@@ -23,13 +23,16 @@ use std::sync::Mutex;
 use autocomp::{
     AutoComp, AutoCompConfig, Candidate, CandidateStats, ChangeCursor, CompactionDisabledFilter,
     CompactionExecutor, ComputeCostGbhr, CycleReport, ExecutionResult, FeedbackRecord,
-    FileCountReduction, FleetObserver, IntermediateTableFilter, JobOutcome, JobOutcomeStatus,
-    JobRuntimeConfig, LakeConnector, MinSizeFilter, Prediction, QuotaSignal, RankingPolicy,
-    RecentWriteActivityFilter, ScopeStrategy, TableRef, TrackedExecutor, TraitWeight, Untracked,
+    FileCountReduction, FleetObserver, IntermediateTableFilter, JobRuntimeConfig, LakeConnector,
+    MinSizeFilter, Prediction, QuotaSignal, RankingPolicy, RecentWriteActivityFilter,
+    ScopeStrategy, TableRef, TraitWeight, Untracked,
 };
 use proptest::collection;
 use proptest::prelude::*;
 use proptest::test_runner::TestCaseError;
+
+mod common;
+use common::ScriptedPlatform;
 
 const DATABASES: u64 = 4;
 
@@ -156,78 +159,17 @@ impl CompactionExecutor for SeqExecutor {
     }
 }
 
-/// Deterministic async platform for the tracked-parity property: jobs
-/// settle `duration_ms` after submission, and submission `n` against
-/// table `uid` conflicts when `(uid + n) % 3 == 0` — so conflict
-/// retries, suppression windows, and settle events all occur, purely as
-/// a function of the call sequence.
-struct ParityPlatform {
-    duration_ms: u64,
-    next_job: u64,
-    running: Vec<(u64, u64, u64, u64)>, // (job_id, uid, due_ms, submission #)
-    submissions: std::collections::BTreeMap<u64, u64>,
-}
-
-impl ParityPlatform {
-    fn new(duration_ms: u64) -> Self {
-        ParityPlatform {
-            duration_ms,
-            next_job: 0,
-            running: Vec::new(),
-            submissions: std::collections::BTreeMap::new(),
-        }
-    }
-}
-
-impl CompactionExecutor for ParityPlatform {
-    fn execute(&mut self, c: &Candidate, p: &Prediction, now: u64) -> ExecutionResult {
-        self.next_job += 1;
-        let n = self.submissions.entry(c.id.table_uid).or_insert(0);
-        *n += 1;
-        let due = now + self.duration_ms;
-        self.running.push((self.next_job, c.id.table_uid, due, *n));
-        ExecutionResult {
-            scheduled: true,
-            job_id: Some(self.next_job),
-            gbhr: p.gbhr,
-            commit_due_ms: Some(due),
-            error: None,
-        }
-    }
-}
-
-impl TrackedExecutor for ParityPlatform {
-    fn poll(&mut self, now: u64) -> Vec<JobOutcome> {
-        let (due, rest): (Vec<_>, Vec<_>) = self
-            .running
-            .drain(..)
-            .partition(|(_, _, due, _)| *due <= now);
-        self.running = rest;
-        due.into_iter()
-            .map(|(job_id, uid, due_ms, n)| {
-                let conflicted = (uid + n) % 3 == 0;
-                JobOutcome {
-                    job_id,
-                    table_uid: uid,
-                    status: if conflicted {
-                        JobOutcomeStatus::Conflicted
-                    } else {
-                        JobOutcomeStatus::Succeeded
-                    },
-                    finished_at_ms: due_ms,
-                    actual_reduction: if conflicted { 0 } else { 6 + (uid % 9) as i64 },
-                    actual_gbhr: 0.5 + (uid % 4) as f64 * 0.25,
-                }
-            })
-            .collect()
-    }
-}
-
 /// One step of a randomized scenario.
 #[derive(Debug, Clone)]
 enum Op {
     /// Write to a table (changelog-visible; bumps the table version).
     Write(u64),
+    /// Burst of writes to one table: a large version jump that swings
+    /// its stats across their modular range, so fleet-wide min–max
+    /// normalization bounds frequently move mid-sequence — the rank
+    /// memo's fallback path must recompute and still match cold cycles
+    /// bit-for-bit.
+    Spike(u64),
     /// Out-of-band quota edit (changelog-invisible; the incremental
     /// driver must force-dirty the database's tables to stay exact).
     QuotaEdit(u64, u64),
@@ -242,6 +184,7 @@ enum Op {
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
         (0u64..1_000_000).prop_map(Op::Write),
+        (0u64..1_000_000).prop_map(Op::Spike),
         (0u64..DATABASES, 1u64..60).prop_map(|(db, delta)| Op::QuotaEdit(db, delta)),
         (0u8..4).prop_map(Op::SwitchPolicy),
         (1u64..200, 1u64..200).prop_map(|(p, a)| Op::Feedback(p, a)),
@@ -310,7 +253,9 @@ fn reports_identical(a: &CycleReport, b: &CycleReport, ctx: &str) -> Result<(), 
     prop_assert_eq!(a.generated, b.generated, "{}: generated", ctx);
     prop_assert_eq!(&a.dropped, &b.dropped, "{}: dropped", ctx);
     prop_assert_eq!(a.ranked.len(), b.ranked.len(), "{}: ranked len", ctx);
-    for (x, y) in a.ranked.iter().zip(&b.ranked) {
+    // Iterate the full output — head plus (possibly lazily generated)
+    // tail — so lazy-tail cycles are held to the same bit-parity bar.
+    for (x, y) in a.ranked.iter().zip(b.ranked.iter()) {
         prop_assert_eq!(&x.id, &y.id, "{}: rank order", ctx);
         prop_assert_eq!(
             x.score.to_bits(),
@@ -402,6 +347,11 @@ fn run_scenario(
     for (i, op) in ops.iter().enumerate() {
         match op {
             Op::Write(raw) => lake.write(raw % n),
+            Op::Spike(raw) => {
+                for _ in 0..16 {
+                    lake.write(raw % n);
+                }
+            }
             Op::QuotaEdit(db, delta) => {
                 lake.quota_edit(*db, *delta);
                 // The documented recipe for changelog-invisible shared
@@ -505,13 +455,18 @@ fn run_tracked_scenario(
         .with_cycle_cache(false)
         .with_job_tracker(runtime.clone());
     let mut incremental = pipeline(scope, p0, false).with_job_tracker(runtime);
-    let mut cold_platform = ParityPlatform::new(1_500);
-    let mut incr_platform = ParityPlatform::new(1_500);
+    let mut cold_platform = ScriptedPlatform::parity(1_500);
+    let mut incr_platform = ScriptedPlatform::parity(1_500);
     let mut observer = FleetObserver::new();
     let mut now = 1_000u64;
     for (i, op) in ops.iter().enumerate().chain([(usize::MAX, &Op::Cycle)]) {
         match op {
             Op::Write(raw) => lake.write(raw % n),
+            Op::Spike(raw) => {
+                for _ in 0..16 {
+                    lake.write(raw % n);
+                }
+            }
             Op::QuotaEdit(db, delta) => {
                 lake.quota_edit(*db, *delta);
                 for uid in 0..n {
@@ -566,7 +521,7 @@ fn tracked_harness_actually_exercises_the_ledger() {
         retry_backoff_cap_ms: 2_400,
         ..JobRuntimeConfig::default()
     });
-    let mut platform = ParityPlatform::new(1_500);
+    let mut platform = ScriptedPlatform::parity(1_500);
     let mut observer = FleetObserver::new();
     let mut saw = (false, false, false, false); // submit, suppress, settle, retry
     let mut now = 1_000u64;
@@ -650,4 +605,221 @@ fn harness_scenarios_actually_splice() {
         "only the written table recomputes"
     );
     assert_eq!(stats.spliced_tables, n as usize - 1);
+}
+
+// ---------------------------------------------------------------------
+// O(dirty + k) steady-state pins: the fast paths must engage on quiet
+// cycles, fall back exactly when normalization bounds move, and stay
+// bit-identical to cold cycles throughout.
+// ---------------------------------------------------------------------
+
+/// Lake where table 0 uniquely controls the fleet-wide maximum of the
+/// ranked trait: writing it is guaranteed to move the min–max bounds.
+struct BoundLake {
+    tables: Vec<TableRef>,
+    versions: Mutex<Vec<u64>>,
+    log: Mutex<Vec<(u64, u64)>>,
+    seq: AtomicU64,
+}
+
+impl BoundLake {
+    fn new(n: u64) -> Self {
+        BoundLake {
+            tables: (0..n)
+                .map(|i| TableRef {
+                    table_uid: i,
+                    database: "db".into(),
+                    name: format!("t{i}").into(),
+                    partitioned: false,
+                    compaction_enabled: true,
+                    is_intermediate: false,
+                })
+                .collect(),
+            versions: Mutex::new(vec![0; n as usize]),
+            log: Mutex::new(Vec::new()),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    fn write(&self, uid: u64) {
+        let seq = self.seq.fetch_add(1, Ordering::SeqCst);
+        self.log.lock().unwrap().push((seq, uid));
+        self.versions.lock().unwrap()[uid as usize] += 1;
+    }
+
+    fn small_files(&self, uid: u64) -> u64 {
+        let v = self.versions.lock().unwrap()[uid as usize];
+        if uid == 0 {
+            // Unique fleet maximum; every write moves it.
+            1_000 + v * 500
+        } else {
+            // Version-independent mid-range values: writes dirty the
+            // table but leave the bounds untouched.
+            100 + uid
+        }
+    }
+}
+
+impl LakeConnector for BoundLake {
+    fn list_tables(&self) -> Vec<TableRef> {
+        self.tables.clone()
+    }
+    fn table_stats(&self, uid: u64) -> Option<CandidateStats> {
+        (uid < self.tables.len() as u64).then(|| CandidateStats {
+            file_count: self.small_files(uid) + 5,
+            small_file_count: self.small_files(uid),
+            small_bytes: 1 << 30,
+            total_bytes: 10 << 30,
+            target_file_size: 512 << 20,
+            ..CandidateStats::default()
+        })
+    }
+    fn partition_stats(&self, _uid: u64) -> Vec<(String, CandidateStats)> {
+        Vec::new()
+    }
+    fn fleet_cursor(&self) -> Option<ChangeCursor> {
+        Some(ChangeCursor(self.seq.load(Ordering::SeqCst)))
+    }
+    fn changes_since(&self, cursor: ChangeCursor) -> Option<Vec<u64>> {
+        Some(
+            self.log
+                .lock()
+                .unwrap()
+                .iter()
+                .filter(|(seq, _)| *seq >= cursor.0)
+                .map(|(_, uid)| *uid)
+                .collect(),
+        )
+    }
+    fn listing_epoch(&self) -> Option<u64> {
+        Some(0)
+    }
+}
+
+fn bound_pipeline() -> AutoComp {
+    AutoComp::new(AutoCompConfig {
+        scope: ScopeStrategy::Table,
+        policy: RankingPolicy::Moop {
+            weights: vec![TraitWeight::new("file_count_reduction", 1.0)],
+            k: 3,
+        },
+        trigger_label: "bounds".into(),
+        calibrate: false,
+    })
+    .with_trait(Box::new(FileCountReduction::default()))
+}
+
+/// Normalization-bound movement mid-sequence: quiet cycles must run the
+/// maintained (memo-fast) rank path, a bound-moving write must force the
+/// fleet-wide fallback, and every report must stay bit-identical to an
+/// always-cold pipeline either way.
+#[test]
+fn bound_movement_forces_rank_fallback_and_stays_bit_identical() {
+    let n = 24u64;
+    let lake = BoundLake::new(n);
+    let mut cold = bound_pipeline().with_cycle_cache(false);
+    let mut incremental = bound_pipeline();
+    let mut observer = FleetObserver::new();
+    let compare = |cold: &mut AutoComp,
+                   incremental: &mut AutoComp,
+                   observer: &mut FleetObserver,
+                   now: u64,
+                   label: &str| {
+        let a = cold
+            .run_cycle(&lake, &mut SeqExecutor::default(), now)
+            .unwrap();
+        let b = incremental
+            .run_cycle_incremental(observer, &lake, &mut SeqExecutor::default(), now)
+            .unwrap();
+        reports_identical(&a, &b, label).unwrap();
+    };
+
+    // Cycle 1 (cold fill) and 2 (quiet): the second must run the
+    // maintained path end to end — zero recomputed scores.
+    compare(&mut cold, &mut incremental, &mut observer, 1_000, "fill");
+    compare(&mut cold, &mut incremental, &mut observer, 2_000, "quiet");
+    let quiet = incremental.rank_memo_stats();
+    assert!(quiet.memo_fast, "quiet cycle keeps the maintained order");
+    assert_eq!(quiet.recomputed_scores, 0);
+    assert_eq!(quiet.spliced_scores, n as usize);
+
+    // A write that leaves the bounds untouched: only the dirty row
+    // recomputes, selection is still maintained.
+    lake.write(5);
+    compare(
+        &mut cold,
+        &mut incremental,
+        &mut observer,
+        3_000,
+        "in-bounds write",
+    );
+    let stats = incremental.rank_memo_stats();
+    assert!(stats.memo_fast, "stable bounds keep the maintained order");
+    assert_eq!(stats.recomputed_scores, 1, "only the dirty row rescores");
+
+    // A bound-moving write: the maintained order is unusable — the rank
+    // phase must recompute fleet-wide (and still match cold exactly).
+    lake.write(0);
+    compare(
+        &mut cold,
+        &mut incremental,
+        &mut observer,
+        4_000,
+        "bound move",
+    );
+    let stats = incremental.rank_memo_stats();
+    assert!(!stats.memo_fast, "moved bounds force the fallback");
+    assert_eq!(stats.recomputed_scores, n as usize);
+
+    // The fallback re-seeds the memo: the next quiet cycle is fast again.
+    compare(
+        &mut cold,
+        &mut incremental,
+        &mut observer,
+        5_000,
+        "re-seeded",
+    );
+    assert!(incremental.rank_memo_stats().memo_fast);
+}
+
+/// The dirty-overwrite observe assembly touches O(dirty) positions: a
+/// quiet cycle shares the prior observation's entry table outright (one
+/// refcount bump — zero positions touched), and a dirty cycle re-fetches
+/// and patches exactly the dirty set while sharing the listing.
+#[test]
+fn observe_assembly_touches_only_dirty_positions() {
+    let n = 30u64;
+    let lake = ModelLake::new(n);
+    let mut observer = FleetObserver::new();
+    let cold = observer.observe(&lake, ScopeStrategy::Table).clone();
+    assert_eq!(cold.fetched_tables(), n as usize);
+
+    let quiet = observer.observe(&lake, ScopeStrategy::Table).clone();
+    assert_eq!(quiet.fetched_tables(), 0);
+    assert!(
+        quiet.entries_shared_with(&cold),
+        "quiet assembly is one Arc bump, no per-position work"
+    );
+    assert_eq!(
+        quiet.tables().as_ptr(),
+        cold.tables().as_ptr(),
+        "listing shared under an unchanged epoch"
+    );
+
+    lake.write(7);
+    lake.write(19);
+    lake.write(19);
+    let dirty = observer.observe(&lake, ScopeStrategy::Table).clone();
+    assert!(!dirty.entries_shared_with(&quiet));
+    assert_eq!(dirty.fetched_tables(), 2, "dedup'd dirty set only");
+    let fresh: Vec<u64> = (0..n).filter(|i| dirty.is_fresh(*i as usize)).collect();
+    assert_eq!(fresh, vec![7, 19], "patched positions are the dirty set");
+    assert_eq!(
+        dirty.tables().as_ptr(),
+        cold.tables().as_ptr(),
+        "listing still shared across the chain"
+    );
+    // Values stay exact: the patched observation equals a cold one.
+    let reference = lake.observe(&autocomp::ObserveRequest::fresh(ScopeStrategy::Table));
+    assert_eq!(dirty.to_candidates(), reference.to_candidates());
 }

@@ -146,7 +146,7 @@ fn assert_reports_identical(a: &CycleReport, b: &CycleReport, context: &str) {
     assert_eq!(a.generated, b.generated, "{context}: generated");
     assert_eq!(a.dropped, b.dropped, "{context}: dropped");
     assert_eq!(a.ranked.len(), b.ranked.len(), "{context}: ranked len");
-    for (x, y) in a.ranked.iter().zip(&b.ranked) {
+    for (x, y) in a.ranked.iter().zip(b.ranked.iter()) {
         assert_eq!(x.id, y.id, "{context}: rank order");
         assert_eq!(x.score.to_bits(), y.score.to_bits(), "{context}: score");
         assert_eq!(x.selected, y.selected, "{context}: selection");

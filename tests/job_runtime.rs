@@ -9,15 +9,18 @@
 //! backoff until it lands. `JobLedgerSummary` counts pin every
 //! transition.
 
-use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use autocomp::{
     AutoComp, AutoCompConfig, Candidate, CandidateStats, ChangeCursor, CompactionExecutor,
-    ComputeCostGbhr, CycleReport, ExecutionResult, FileCountReduction, FleetObserver, JobOutcome,
-    JobOutcomeStatus, JobRuntimeConfig, LakeConnector, Prediction, RankingPolicy, ScopeStrategy,
-    TableRef, TrackedExecutor, TraitWeight, Untracked,
+    ComputeCostGbhr, CycleReport, ExecutionResult, FileCountReduction, FleetObserver,
+    JobRuntimeConfig, LakeConnector, Prediction, RankingPolicy, ScopeStrategy, TableRef,
+    TraitComputer, TraitWeight, Untracked,
 };
+
+mod common;
+use common::ScriptedPlatform;
 
 // ---------------------------------------------------------------------
 // Synthetic lake + platform.
@@ -76,78 +79,6 @@ impl LakeConnector for ScriptLake {
     }
 }
 
-/// Deterministic async platform: `execute` schedules a job that settles
-/// `duration_ms` later; `poll` reports due jobs. A table's first
-/// `conflicts_for(uid)` submissions conflict, the rest succeed.
-struct FakePlatform {
-    duration_ms: u64,
-    next_job: u64,
-    running: Vec<(u64, u64, u64, u32)>, // (job_id, uid, due_ms, submission #)
-    submissions: BTreeMap<u64, u32>,
-    conflicts: BTreeMap<u64, u32>,
-}
-
-impl FakePlatform {
-    fn new(duration_ms: u64) -> Self {
-        FakePlatform {
-            duration_ms,
-            next_job: 0,
-            running: Vec::new(),
-            submissions: BTreeMap::new(),
-            conflicts: BTreeMap::new(),
-        }
-    }
-
-    fn with_conflicts(mut self, uid: u64, count: u32) -> Self {
-        self.conflicts.insert(uid, count);
-        self
-    }
-}
-
-impl CompactionExecutor for FakePlatform {
-    fn execute(&mut self, c: &Candidate, p: &Prediction, now: u64) -> ExecutionResult {
-        self.next_job += 1;
-        let n = self.submissions.entry(c.id.table_uid).or_insert(0);
-        *n += 1;
-        let due = now + self.duration_ms;
-        self.running.push((self.next_job, c.id.table_uid, due, *n));
-        ExecutionResult {
-            scheduled: true,
-            job_id: Some(self.next_job),
-            gbhr: p.gbhr,
-            commit_due_ms: Some(due),
-            error: None,
-        }
-    }
-}
-
-impl TrackedExecutor for FakePlatform {
-    fn poll(&mut self, now: u64) -> Vec<JobOutcome> {
-        let (due, rest): (Vec<_>, Vec<_>) = self
-            .running
-            .drain(..)
-            .partition(|(_, _, due, _)| *due <= now);
-        self.running = rest;
-        due.into_iter()
-            .map(|(job_id, uid, due_ms, submission)| {
-                let conflicted = submission <= self.conflicts.get(&uid).copied().unwrap_or(0);
-                JobOutcome {
-                    job_id,
-                    table_uid: uid,
-                    status: if conflicted {
-                        JobOutcomeStatus::Conflicted
-                    } else {
-                        JobOutcomeStatus::Succeeded
-                    },
-                    finished_at_ms: due_ms,
-                    actual_reduction: if conflicted { 0 } else { 8 },
-                    actual_gbhr: 1.5,
-                }
-            })
-            .collect()
-    }
-}
-
 /// Executor that never schedules anything (the quiet-ledger reference).
 #[derive(Default)]
 struct InertExecutor;
@@ -192,7 +123,7 @@ fn dropped_reasons_for(report: &CycleReport, uid: u64) -> Vec<String> {
 fn in_flight_targets_are_suppressed_until_settled() {
     let lake = ScriptLake::new(4);
     let mut ac = pipeline(1).with_job_tracker(JobRuntimeConfig::default());
-    let mut platform = FakePlatform::new(10_000);
+    let mut platform = ScriptedPlatform::new(10_000);
     let mut observer = FleetObserver::new();
 
     // Cycle 1: t0 (most fragmented) selected and submitted.
@@ -246,7 +177,7 @@ fn admission_defers_in_rank_order_when_fleet_slots_run_out() {
         max_in_flight: 1,
         ..JobRuntimeConfig::default()
     });
-    let mut platform = FakePlatform::new(10_000);
+    let mut platform = ScriptedPlatform::new(10_000);
     let mut observer = FleetObserver::new();
     let report = ac
         .run_cycle_tracked_incremental(&mut observer, &lake, &mut platform, 0)
@@ -274,7 +205,7 @@ fn admission_enforces_per_database_slots_and_gbhr_budget() {
         max_in_flight_per_database: 1,
         ..JobRuntimeConfig::default()
     });
-    let mut platform = FakePlatform::new(10_000);
+    let mut platform = ScriptedPlatform::new(10_000);
     let mut observer = FleetObserver::new();
     let report = ac
         .run_cycle_tracked_incremental(&mut observer, &lake, &mut platform, 0)
@@ -291,7 +222,7 @@ fn admission_enforces_per_database_slots_and_gbhr_budget() {
         gbhr_budget: Some(-1.0),
         ..JobRuntimeConfig::default()
     });
-    let mut platform = FakePlatform::new(10_000);
+    let mut platform = ScriptedPlatform::new(10_000);
     let mut observer = FleetObserver::new();
     let report = ac
         .run_cycle_tracked_incremental(&mut observer, &lake, &mut platform, 0)
@@ -315,7 +246,7 @@ fn conflicted_job_retries_with_backoff_then_succeeds() {
         ..JobRuntimeConfig::default()
     });
     // First submission of t0 conflicts; the second succeeds.
-    let mut platform = FakePlatform::new(1_000).with_conflicts(0, 1);
+    let mut platform = ScriptedPlatform::new(1_000).with_conflicts(0, 1);
     let mut observer = FleetObserver::new();
 
     let c1 = ac
@@ -371,7 +302,7 @@ fn retry_budget_exhausts_and_the_table_frees_up() {
         ..JobRuntimeConfig::default()
     });
     // t0 conflicts forever.
-    let mut platform = FakePlatform::new(500).with_conflicts(0, u32::MAX);
+    let mut platform = ScriptedPlatform::new(500).with_conflicts(0, u64::MAX);
     let mut observer = FleetObserver::new();
 
     ac.run_cycle_tracked_incremental(&mut observer, &lake, &mut platform, 0)
@@ -398,6 +329,136 @@ fn retry_budget_exhausts_and_the_table_frees_up() {
     assert_eq!(c3.executed.len(), 1);
     assert_eq!(c3.executed[0].id.table_uid, 0);
     assert_eq!(ac.feedback().records().len(), 0, "conflicts feed nothing");
+}
+
+/// Single-table lake whose fragmentation can be edited between cycles
+/// (changelog-visible), for pinning retry re-ranking.
+struct MutableLake {
+    table: TableRef,
+    small: Mutex<u64>,
+    log: Mutex<Vec<(u64, u64)>>,
+    seq: AtomicU64,
+}
+
+impl MutableLake {
+    fn new(small: u64) -> Self {
+        MutableLake {
+            table: TableRef {
+                table_uid: 0,
+                database: "db0".into(),
+                name: "t0".into(),
+                partitioned: false,
+                compaction_enabled: true,
+                is_intermediate: false,
+            },
+            small: Mutex::new(small),
+            log: Mutex::new(Vec::new()),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    fn set_small(&self, small: u64) {
+        *self.small.lock().unwrap() = small;
+        let seq = self.seq.fetch_add(1, Ordering::SeqCst);
+        self.log.lock().unwrap().push((seq, 0));
+    }
+}
+
+impl LakeConnector for MutableLake {
+    fn list_tables(&self) -> Vec<TableRef> {
+        vec![self.table.clone()]
+    }
+    fn table_stats(&self, uid: u64) -> Option<CandidateStats> {
+        let small = *self.small.lock().unwrap();
+        (uid == 0).then(|| CandidateStats {
+            file_count: small + 10,
+            small_file_count: small,
+            small_bytes: small << 20,
+            total_bytes: 10 << 30,
+            target_file_size: 512 << 20,
+            ..CandidateStats::default()
+        })
+    }
+    fn partition_stats(&self, _uid: u64) -> Vec<(String, CandidateStats)> {
+        Vec::new()
+    }
+    fn fleet_cursor(&self) -> Option<ChangeCursor> {
+        Some(ChangeCursor(self.seq.load(Ordering::SeqCst)))
+    }
+    fn changes_since(&self, cursor: ChangeCursor) -> Option<Vec<u64>> {
+        Some(
+            self.log
+                .lock()
+                .unwrap()
+                .iter()
+                .filter(|(seq, _)| *seq >= cursor.0)
+                .map(|(_, uid)| *uid)
+                .collect(),
+        )
+    }
+    fn listing_epoch(&self) -> Option<u64> {
+        Some(0)
+    }
+}
+
+#[test]
+fn retry_resubmission_is_rescored_against_current_stats() {
+    // A pending retry must not resubmit with its original prediction:
+    // the conflicting write changed the table, so admission should be
+    // charged an estimate computed from the *current* cycle's stats.
+    let lake = MutableLake::new(400);
+    let mut ac = pipeline(1).with_job_tracker(JobRuntimeConfig {
+        max_retries: 2,
+        retry_backoff_ms: 5_000,
+        retry_backoff_cap_ms: 60_000,
+        ..JobRuntimeConfig::default()
+    });
+    let mut platform = ScriptedPlatform::new(1_000).with_conflicts(0, 1);
+    let mut observer = FleetObserver::new();
+
+    // Cycle 1: submitted with the original 400-small-file prediction.
+    let c1 = ac
+        .run_cycle_tracked_incremental(&mut observer, &lake, &mut platform, 0)
+        .unwrap();
+    assert_eq!(c1.executed.len(), 1);
+    let original = c1.executed[0].prediction.clone();
+    assert_eq!(original.reduction, 400);
+
+    // The conflicting writer reshapes the table before the retry runs.
+    lake.set_small(120);
+
+    // Cycle 2: the conflict settles; a backoff retry is queued.
+    let c2 = ac
+        .run_cycle_tracked_incremental(&mut observer, &lake, &mut platform, 2_000)
+        .unwrap();
+    assert_eq!(c2.ledger.conflicted, 1);
+    assert_eq!(c2.ledger.retry_pending, 1);
+
+    // Cycle 3 (backoff elapsed): the resubmission is re-scored from the
+    // current observation — 120 small files, not the stale 400 — so the
+    // GBHr the budget window is charged is honest too.
+    let c3 = ac
+        .run_cycle_tracked_incremental(&mut observer, &lake, &mut platform, 7_000)
+        .unwrap();
+    assert_eq!(c3.ledger.retries_submitted, 1);
+    assert_eq!(c3.retried.len(), 1);
+    let rescored = &c3.retried[0].prediction;
+    assert_eq!(rescored.reduction, 120, "re-scored from current stats");
+    assert!(
+        rescored.gbhr < original.gbhr,
+        "honest (smaller) GBHr charge"
+    );
+    let expected_gbhr = ComputeCostGbhr::default().compute(&lake.table_stats(0).unwrap());
+    assert_eq!(rescored.gbhr.to_bits(), expected_gbhr.to_bits());
+
+    // The retry lands; its feedback reflects the re-scored prediction.
+    let c4 = ac
+        .run_cycle_tracked_incremental(&mut observer, &lake, &mut platform, 20_000)
+        .unwrap();
+    assert_eq!(c4.ledger.succeeded, 1);
+    let records = ac.feedback().records();
+    assert_eq!(records.len(), 1);
+    assert_eq!(records[0].predicted_reduction, 120);
 }
 
 // ---------------------------------------------------------------------
