@@ -19,8 +19,8 @@ use autocomp::{
     AlreadyCompactFilter, AutoComp, AutoCompConfig, BatchLakeConnector, Candidate, CandidateStats,
     ChangeCursor, CompactionDisabledFilter, CompactionExecutor, ComputeCostGbhr, ExecutionResult,
     FileCountReduction, FleetObserver, JobOutcome, JobOutcomeStatus, JobRuntimeConfig,
-    LakeConnector, ObserveRequest, Prediction, RankingPolicy, ScopeStrategy, SizeBucket, TableRef,
-    TrackedExecutor, TraitWeight,
+    LakeConnector, ObserveRequest, Prediction, RankingPolicy, ScopeStrategy, SizeBucket,
+    SnapshotContext, TableRef, TrackedExecutor, TraitWeight,
 };
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -483,5 +483,59 @@ fn bench_observe(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_observe);
+/// Crash-recovery cost at fleet scale: a restart that warm-restores a
+/// boundary snapshot pays snapshot decode + the 1% dirty re-fetch; a
+/// cold restart pays the fleet-wide observe. Same pass, same lake —
+/// `BENCH_ooda.json` records the pair under `snapshot_restore/*`.
+fn bench_snapshot_restore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshot_restore");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let n = 100_000u64;
+    let lake = SyntheticLake::new(n);
+    let batch = SessionLake(&lake);
+
+    // Prime a pipeline through one cycle and capture its boundary
+    // snapshot — the durable artifact both restart paths start from.
+    let mut primed = full_cycle_pipeline();
+    let mut primed_observer = FleetObserver::new();
+    let mut exec = NullExecutor;
+    primed
+        .run_cycle_incremental_batch(&mut primed_observer, &batch, &mut exec, 0)
+        .expect("prime cycle runs");
+    let ctx = SnapshotContext::default();
+    let snapshot = primed
+        .encode_snapshot(&primed_observer, &ctx)
+        .expect("boundary snapshot encodes");
+
+    // Warm restart: decode + validate the snapshot, then run the first
+    // post-restore cycle — only the 1% dirty set re-fetches.
+    group.bench_with_input(BenchmarkId::new("restore_warm", n), &n, |b, _| {
+        b.iter(|| {
+            let mut ac = full_cycle_pipeline();
+            let mut observer = FleetObserver::new();
+            let recovery = ac.restore_snapshot(&mut observer, &snapshot);
+            assert!(recovery.is_warm(), "bench snapshot must restore warm");
+            let mut exec = NullExecutor;
+            ac.run_cycle_incremental_batch(&mut observer, &batch, &mut exec, 577)
+                .expect("cycle runs")
+        })
+    });
+
+    // Cold restart companion: no snapshot — the first cycle re-observes
+    // the whole fleet.
+    group.bench_with_input(BenchmarkId::new("cold_restart", n), &n, |b, _| {
+        b.iter(|| {
+            let mut ac = full_cycle_pipeline();
+            let mut observer = FleetObserver::new();
+            let mut exec = NullExecutor;
+            ac.run_cycle_incremental_batch(&mut observer, &batch, &mut exec, 577)
+                .expect("cycle runs")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_observe, bench_snapshot_restore);
 criterion_main!(benches);

@@ -73,6 +73,24 @@ impl LakesimExecutor {
         }
     }
 
+    /// The outcome-delivery cursor: maintenance-log position up to which
+    /// [`poll`](TrackedExecutor::poll) has already reported outcomes.
+    /// Record it in a snapshot so a restarted executor can resume
+    /// delivery exactly where the crashed one stood.
+    pub fn log_cursor(&self) -> usize {
+        self.log_cursor
+    }
+
+    /// Rewinds (or advances) the outcome-delivery cursor — the restore
+    /// half of the [`log_cursor`](Self::log_cursor) contract. After a
+    /// crash, set the cursor from the snapshot and the next `poll`
+    /// re-delivers every outcome the crashed process saw but did not
+    /// durably settle; the tracker's settled-id dedupe makes the overlap
+    /// harmless.
+    pub fn set_log_cursor(&mut self, cursor: usize) {
+        self.log_cursor = cursor;
+    }
+
     fn plan_for(&self, candidate: &Candidate) -> Option<RewritePlan> {
         let env = self.env.borrow();
         let id = TableId(candidate.id.table_uid);

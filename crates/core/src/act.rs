@@ -215,7 +215,9 @@ pub struct JobRuntimeConfig {
     /// has not been reported within this span of its submission is
     /// evicted (slots and suppression freed, counted in
     /// [`JobLedgerSummary::leases_expired`]; a late outcome for an
-    /// evicted job is ignored). `None` (the default) never expires —
+    /// evicted job settles once — feedback and dirty mark, no slot
+    /// release — then further duplicates are ignored). `None` (the
+    /// default) never expires —
     /// correct when every scheduled job's outcome is eventually polled;
     /// set a lease when driving a tracker through executors whose
     /// outcome reporting may be lossy (or that never poll at all), where
@@ -283,6 +285,10 @@ pub struct JobLedgerSummary {
     /// [`job_lease_ms`](JobRuntimeConfig::job_lease_ms) elapsed without
     /// an outcome.
     pub leases_expired: usize,
+    /// Outcomes settled this cycle for jobs the lease had already
+    /// evicted: feedback and dirty marks land once, concurrency slots
+    /// (already released by the eviction) are left alone.
+    pub late_settled: usize,
 }
 
 impl JobLedgerSummary {
@@ -314,6 +320,9 @@ impl fmt::Display for JobLedgerSummary {
         if self.leases_expired > 0 {
             write!(f, " lease-expired={}", self.leases_expired)?;
         }
+        if self.late_settled > 0 {
+            write!(f, " late-settled={}", self.late_settled)?;
+        }
         Ok(())
     }
 }
@@ -339,6 +348,15 @@ struct RetryEntry {
     attempts: u32,
 }
 
+/// How many settled job ids the duplicate-delivery dedupe remembers.
+/// Platform job ids are monotone in practice, so the window only needs to
+/// cover the re-delivery horizon (one poll batch, one journal replay) —
+/// 4096 is orders of magnitude beyond either.
+const SETTLED_RECENT_CAP: usize = 4096;
+
+/// How many lease-evicted entries are retained for late settlement.
+const EVICTED_RETAINED_CAP: usize = 1024;
+
 /// The cross-cycle in-flight ledger + admission controller + retry queue.
 /// Owned by [`AutoComp`](crate::pipeline::AutoComp); see the module docs
 /// for the lifecycle it manages.
@@ -363,6 +381,18 @@ pub struct JobTracker {
     gbhr_window_sum: f64,
     /// Tables settled since the incremental observer last drained them.
     dirty_pending: BTreeSet<u64>,
+    /// Lease-evicted entries retained so a late outcome can still settle
+    /// (feedback + dirty mark) without double-releasing slots. Bounded
+    /// FIFO by job id order is irrelevant here: entries leave when their
+    /// outcome arrives or when the map outgrows
+    /// [`EVICTED_RETAINED_CAP`] (oldest job id dropped first).
+    evicted: BTreeMap<u64, TrackedJob>,
+    /// Recently settled job ids, insertion-ordered, so duplicate outcome
+    /// delivery (at-least-once platforms, journal replay after a crash)
+    /// is a no-op instead of a double count.
+    settled_recent: VecDeque<u64>,
+    /// Membership index over [`settled_recent`](Self::settled_recent).
+    settled_recent_set: BTreeSet<u64>,
     /// Counters since the last report.
     counters: JobLedgerSummary,
     /// Shared drop/defer reasons (one allocation each, refcounted into
@@ -389,6 +419,9 @@ impl JobTracker {
             gbhr_window: VecDeque::new(),
             gbhr_window_sum: 0.0,
             dirty_pending: BTreeSet::new(),
+            evicted: BTreeMap::new(),
+            settled_recent: VecDeque::new(),
+            settled_recent_set: BTreeSet::new(),
             counters: JobLedgerSummary::default(),
             reason_in_flight: Arc::from("in-flight: table has a live compaction job"),
             reason_retry_wait: Arc::from("in-flight: table awaiting a conflict retry"),
@@ -562,9 +595,11 @@ impl JobTracker {
     /// Evicts running entries whose [`job_lease_ms`](JobRuntimeConfig)
     /// elapsed without an outcome — the safety valve against lossy (or
     /// absent) outcome reporting pinning tables in the ledger forever.
-    /// Evicted entries free their slots and suppression immediately; a
-    /// late outcome for an evicted job is ignored by `settle`. No-op
-    /// without a configured lease.
+    /// Evicted entries free their slots and suppression immediately, but
+    /// are retained (bounded) so a late outcome — typically a journal
+    /// replay after a crash — can still settle once: feedback and the
+    /// dirty mark land, the already-released slots are left alone, and a
+    /// second delivery is a no-op. No-op without a configured lease.
     pub(crate) fn expire_leases(&mut self, now_ms: u64) {
         let Some(lease) = self.config.job_lease_ms else {
             return;
@@ -583,6 +618,11 @@ impl JobTracker {
             // table so the next cycle sees whatever actually happened.
             self.dirty_pending.insert(uid);
             self.counters.leases_expired += 1;
+            self.evicted.insert(job_id, job);
+            while self.evicted.len() > EVICTED_RETAINED_CAP {
+                let oldest = *self.evicted.keys().next().expect("non-empty");
+                self.evicted.remove(&oldest);
+            }
         }
     }
 
@@ -657,13 +697,24 @@ impl JobTracker {
     /// successes yield feedback records (returned for ingestion),
     /// conflicts schedule a backoff retry (or exhaust), and every settled
     /// table is queued for dirty re-observation. Outcomes for jobs the
-    /// tracker never registered are ignored.
+    /// tracker never registered are ignored; outcomes for job ids already
+    /// settled (duplicate delivery, journal replay) are no-ops; outcomes
+    /// for lease-evicted jobs settle late exactly once (see
+    /// [`expire_leases`](Self::expire_leases)).
     pub(crate) fn settle(&mut self, outcomes: Vec<JobOutcome>) -> Vec<FeedbackRecord> {
         let mut feedback = Vec::new();
         for outcome in outcomes {
+            if self.settled_recent_set.contains(&outcome.job_id) {
+                continue;
+            }
             let Some(job) = self.jobs.remove(&outcome.job_id) else {
+                if let Some(job) = self.evicted.remove(&outcome.job_id) {
+                    self.note_settled_id(outcome.job_id);
+                    self.settle_evicted(job, &outcome, &mut feedback);
+                }
                 continue;
             };
+            self.note_settled_id(outcome.job_id);
             let uid = job.candidate.id.table_uid;
             self.release_slots(&job);
             self.counters.settled += 1;
@@ -698,6 +749,44 @@ impl JobTracker {
             }
         }
         feedback
+    }
+
+    /// Remembers a settled job id in the bounded duplicate-delivery
+    /// window.
+    fn note_settled_id(&mut self, job_id: u64) {
+        if self.settled_recent_set.insert(job_id) {
+            self.settled_recent.push_back(job_id);
+            while self.settled_recent.len() > SETTLED_RECENT_CAP {
+                let dropped = self.settled_recent.pop_front().expect("non-empty");
+                self.settled_recent_set.remove(&dropped);
+            }
+        }
+    }
+
+    /// Settles a late outcome for a lease-evicted job: feedback and the
+    /// dirty mark land as they would have in time, but the eviction
+    /// already released the slots and suppression, so nothing else moves.
+    /// Conflicts do not re-enter the retry queue — the eviction freed the
+    /// table, so it competes again through ordinary ranking off its
+    /// re-observed (dirty) stats.
+    fn settle_evicted(
+        &mut self,
+        job: TrackedJob,
+        outcome: &JobOutcome,
+        feedback: &mut Vec<FeedbackRecord>,
+    ) {
+        self.counters.late_settled += 1;
+        self.dirty_pending.insert(job.candidate.id.table_uid);
+        if outcome.status == JobOutcomeStatus::Succeeded {
+            feedback.push(FeedbackRecord {
+                candidate: job.candidate.id.clone(),
+                at_ms: outcome.finished_at_ms,
+                predicted_reduction: job.prediction.reduction,
+                actual_reduction: outcome.actual_reduction,
+                predicted_gbhr: job.prediction.gbhr,
+                actual_gbhr: outcome.actual_gbhr,
+            });
+        }
     }
 
     /// Retries whose backoff has elapsed, in scheduling order. The caller
@@ -756,6 +845,211 @@ impl JobTracker {
         summary.in_flight = self.jobs.len();
         summary.retry_pending = self.retries.len();
         summary
+    }
+}
+
+/// Snapshot + crash-recovery surface (see [`crate::durability`]).
+impl JobTracker {
+    /// Re-adopts a journaled submission after a restore: registers it
+    /// exactly as the original `execute` did unless the ledger already
+    /// knows the job (still running, already settled, or lease-evicted),
+    /// in which case the replay is a no-op. Returns whether the job was
+    /// adopted.
+    pub(crate) fn readopt(
+        &mut self,
+        job_id: u64,
+        candidate: &Candidate,
+        prediction: &Prediction,
+        attempts: u32,
+        now_ms: u64,
+    ) -> bool {
+        if self.jobs.contains_key(&job_id)
+            || self.settled_recent_set.contains(&job_id)
+            || self.evicted.contains_key(&job_id)
+        {
+            return false;
+        }
+        self.register(job_id, candidate, prediction, attempts, now_ms);
+        true
+    }
+
+    /// Whether `job_id` sits in the recently-settled dedupe window — a
+    /// replayed settlement for it would be dropped, so journal replay
+    /// counts it as ignored rather than applied.
+    pub(crate) fn already_settled(&self, job_id: u64) -> bool {
+        self.settled_recent_set.contains(&job_id)
+    }
+
+    /// Writes the complete cross-cycle ledger state into a snapshot. The
+    /// derived indexes (`tables_running`, `db_running`, `tables_retrying`,
+    /// the settled-id set) are rebuilt on restore rather than persisted;
+    /// `gbhr_window_sum` travels as raw IEEE-754 bits because its
+    /// incrementally accumulated value differs in the low bits from a
+    /// fresh re-sum, and admission comparisons must stay bit-identical
+    /// across a restore.
+    pub(crate) fn snapshot_write(&self, enc: &mut lakesim_storage::Encoder) {
+        use crate::durability::{put_candidate, put_prediction};
+        let c = &self.config;
+        enc.put_u64(c.max_in_flight as u64);
+        enc.put_u64(c.max_in_flight_per_database as u64);
+        match c.gbhr_budget {
+            Some(budget) => {
+                enc.put_bool(true);
+                enc.put_f64(budget);
+            }
+            None => enc.put_bool(false),
+        }
+        enc.put_u64(c.gbhr_window_ms);
+        enc.put_u32(c.max_retries);
+        enc.put_u64(c.retry_backoff_ms);
+        enc.put_u64(c.retry_backoff_cap_ms);
+        enc.put_opt_u64(c.job_lease_ms);
+        for jobs in [&self.jobs, &self.evicted] {
+            enc.put_u64(jobs.len() as u64);
+            for (job_id, job) in jobs.iter() {
+                enc.put_u64(*job_id);
+                put_candidate(enc, &job.candidate);
+                put_prediction(enc, &job.prediction);
+                enc.put_u32(job.attempts);
+                enc.put_u64(job.submitted_ms);
+            }
+        }
+        enc.put_u64(self.retries.len() as u64);
+        for entry in &self.retries {
+            put_candidate(enc, &entry.candidate);
+            put_prediction(enc, &entry.prediction);
+            enc.put_u64(entry.due_ms);
+            enc.put_u32(entry.attempts);
+        }
+        enc.put_u64(self.gbhr_window.len() as u64);
+        for (at_ms, gbhr) in &self.gbhr_window {
+            enc.put_u64(*at_ms);
+            enc.put_f64(*gbhr);
+        }
+        enc.put_f64(self.gbhr_window_sum);
+        enc.put_u64(self.dirty_pending.len() as u64);
+        for uid in &self.dirty_pending {
+            enc.put_u64(*uid);
+        }
+        enc.put_u64(self.settled_recent.len() as u64);
+        for job_id in &self.settled_recent {
+            enc.put_u64(*job_id);
+        }
+        for counter in [
+            self.counters.settled,
+            self.counters.succeeded,
+            self.counters.conflicted,
+            self.counters.failed,
+            self.counters.retries_submitted,
+            self.counters.retries_exhausted,
+            self.counters.suppressed,
+            self.counters.deferred,
+            self.counters.leases_expired,
+            self.counters.late_settled,
+        ] {
+            enc.put_u64(counter as u64);
+        }
+    }
+
+    /// Restores a tracker from a snapshot, rebuilding the derived
+    /// suppression/admission indexes from the decoded ledger.
+    pub(crate) fn snapshot_read(
+        dec: &mut lakesim_storage::Decoder<'_>,
+    ) -> Result<JobTracker, lakesim_storage::CodecError> {
+        use crate::durability::{take_candidate, take_prediction};
+        use lakesim_storage::CodecError;
+        let config = JobRuntimeConfig {
+            max_in_flight: dec.take_u64("max_in_flight")? as usize,
+            max_in_flight_per_database: dec.take_u64("max_in_flight_per_database")? as usize,
+            gbhr_budget: dec
+                .take_bool("gbhr_budget present")?
+                .then(|| dec.take_f64("gbhr_budget"))
+                .transpose()?,
+            gbhr_window_ms: dec.take_u64("gbhr_window_ms")?,
+            max_retries: dec.take_u32("max_retries")?,
+            retry_backoff_ms: dec.take_u64("retry_backoff_ms")?,
+            retry_backoff_cap_ms: dec.take_u64("retry_backoff_cap_ms")?,
+            job_lease_ms: dec.take_opt_u64("job_lease_ms")?,
+        };
+        let mut tracker = JobTracker::new(config);
+        for evicted in [false, true] {
+            for _ in 0..dec.take_len(16, "ledger jobs")? {
+                let job_id = dec.take_u64("job id")?;
+                let job = TrackedJob {
+                    candidate: take_candidate(dec)?,
+                    prediction: take_prediction(dec)?,
+                    attempts: dec.take_u32("job attempts")?,
+                    submitted_ms: dec.take_u64("job submitted_ms")?,
+                };
+                let map = if evicted {
+                    &mut tracker.evicted
+                } else {
+                    &mut tracker.jobs
+                };
+                if map.insert(job_id, job).is_some() {
+                    return Err(CodecError::Invalid("duplicate ledger job id"));
+                }
+            }
+        }
+        for _ in 0..dec.take_len(16, "retry queue")? {
+            tracker.retries.push_back(RetryEntry {
+                candidate: take_candidate(dec)?,
+                prediction: take_prediction(dec)?,
+                due_ms: dec.take_u64("retry due_ms")?,
+                attempts: dec.take_u32("retry attempts")?,
+            });
+        }
+        for _ in 0..dec.take_len(16, "gbhr window")? {
+            let at_ms = dec.take_u64("window at_ms")?;
+            let gbhr = dec.take_f64("window gbhr")?;
+            tracker.gbhr_window.push_back((at_ms, gbhr));
+        }
+        tracker.gbhr_window_sum = dec.take_f64("gbhr window sum")?;
+        for _ in 0..dec.take_len(8, "dirty pending")? {
+            tracker.dirty_pending.insert(dec.take_u64("dirty uid")?);
+        }
+        for _ in 0..dec.take_len(8, "settled recent")? {
+            let job_id = dec.take_u64("settled job id")?;
+            if tracker.settled_recent_set.insert(job_id) {
+                tracker.settled_recent.push_back(job_id);
+            }
+        }
+        let mut counters = [0u64; 10];
+        for counter in &mut counters {
+            *counter = dec.take_u64("ledger counter")?;
+        }
+        tracker.counters = JobLedgerSummary {
+            in_flight: 0,
+            retry_pending: 0,
+            settled: counters[0] as usize,
+            succeeded: counters[1] as usize,
+            conflicted: counters[2] as usize,
+            failed: counters[3] as usize,
+            retries_submitted: counters[4] as usize,
+            retries_exhausted: counters[5] as usize,
+            suppressed: counters[6] as usize,
+            deferred: counters[7] as usize,
+            leases_expired: counters[8] as usize,
+            late_settled: counters[9] as usize,
+        };
+        // Rebuild the derived indexes from the restored ledger. Evicted
+        // entries are excluded: their slots were released at eviction.
+        for job in tracker.jobs.values() {
+            *tracker
+                .tables_running
+                .entry(job.candidate.id.table_uid)
+                .or_insert(0) += 1;
+            *tracker
+                .db_running
+                .entry(job.candidate.database.clone())
+                .or_insert(0) += 1;
+        }
+        tracker.tables_retrying = tracker
+            .retries
+            .iter()
+            .map(|e| e.candidate.id.table_uid)
+            .collect();
+        Ok(tracker)
     }
 }
 
@@ -964,12 +1258,18 @@ mod tests {
         assert!(t.suppression_reason(1).is_none());
         assert!(t.admit("db", 1, 0.5, 10_000).is_ok(), "slots freed");
         assert_eq!(t.take_settled_dirty(), vec![1], "table re-observed");
-        // A late outcome for the evicted job is ignored.
+        // A late outcome for the evicted job settles once: feedback and
+        // the dirty mark land, nothing double-releases.
+        let fb = t.settle(vec![outcome(1, 1, JobOutcomeStatus::Succeeded, 11_000)]);
+        assert_eq!(fb.len(), 1, "late success still yields feedback");
+        assert_eq!(t.take_settled_dirty(), vec![1]);
+        // ...and a duplicate of that late outcome is a no-op.
         let fb = t.settle(vec![outcome(1, 1, JobOutcomeStatus::Succeeded, 11_000)]);
         assert!(fb.is_empty());
         let s = t.take_summary();
         assert_eq!(s.leases_expired, 1);
-        assert_eq!(s.settled, 0);
+        assert_eq!(s.late_settled, 1);
+        assert_eq!(s.settled, 0, "late settles are counted separately");
         // Without a lease, nothing ever expires.
         let mut t = JobTracker::new(JobRuntimeConfig::default());
         t.register(1, &candidate(1, "db"), &prediction(), 1, 0);

@@ -310,6 +310,178 @@ impl CycleCache {
     pub(crate) fn clear(&mut self) {
         self.stored = None;
     }
+
+    /// Writes the retained generation into a snapshot, but only when it
+    /// is still live: its epoch matches the pipeline's current epoch and
+    /// its table listing is literally the observation's
+    /// (`Arc::ptr_eq` — the restore reconstructs one shared listing, so
+    /// a generation computed against a different listing could not be
+    /// descriptor-verified after restore). A generation that fails
+    /// either condition is persisted as absent — the rest of the
+    /// snapshot stays warm and only filter/orient go cold.
+    pub(crate) fn snapshot_write(
+        &self,
+        enc: &mut lakesim_storage::Encoder,
+        current_epoch: u64,
+        observation_tables: &Arc<Vec<TableRef>>,
+    ) {
+        let live = self.stored.as_ref().filter(|s| {
+            s.epoch == current_epoch && Arc::ptr_eq(&s.tables, observation_tables)
+        });
+        let Some(s) = live else {
+            enc.put_bool(false);
+            return;
+        };
+        enc.put_bool(true);
+        crate::durability::put_scope(enc, s.scope);
+        enc.put_u64(s.cursor.0);
+        enc.put_u64(s.now_ms);
+        enc.put_u64(s.width as u64);
+        let gen = &s.gen;
+        enc.put_u64(gen.uids.len() as u64);
+        for uid in &gen.uids {
+            enc.put_u64(*uid);
+        }
+        for arr in [&gen.cand_start, &gen.kept_start, &gen.drop_start] {
+            // `len = tables + 1` with a leading 0 — re-derived on read.
+            debug_assert_eq!(arr.len(), gen.uids.len() + 1);
+            for v in &arr[1..] {
+                enc.put_u32(*v);
+            }
+        }
+        enc.put_u64(gen.verdicts.len() as u64);
+        for v in &gen.verdicts {
+            enc.put_bool(*v);
+        }
+        enc.put_u64(gen.rows.len() as u64);
+        for row in &gen.rows {
+            enc.put_f64(*row);
+        }
+        // Reasons are interned: the distinct strings once, then indexes,
+        // so restore re-shares one `Arc<str>` per distinct reason like
+        // the original fill did.
+        let mut distinct: Vec<&str> = Vec::new();
+        let mut index_of = std::collections::BTreeMap::new();
+        for reason in &gen.reasons {
+            index_of.entry(&**reason).or_insert_with(|| {
+                distinct.push(reason);
+                (distinct.len() - 1) as u32
+            });
+        }
+        enc.put_u64(distinct.len() as u64);
+        for reason in &distinct {
+            enc.put_str(reason);
+        }
+        enc.put_u64(gen.reasons.len() as u64);
+        for reason in &gen.reasons {
+            enc.put_u32(index_of[&**reason]);
+        }
+    }
+
+    /// Restores the retained generation from a snapshot under the given
+    /// keys, re-validating the structural invariants (prefix-array
+    /// monotonicity is re-derived, counts must reconcile) before
+    /// installing anything. Returns whether a generation was restored.
+    pub(crate) fn snapshot_read(
+        &mut self,
+        dec: &mut lakesim_storage::Decoder<'_>,
+        epoch: u64,
+        tables: &Arc<Vec<TableRef>>,
+    ) -> Result<bool, lakesim_storage::CodecError> {
+        use lakesim_storage::CodecError;
+        if !dec.take_bool("cache present")? {
+            self.stored = None;
+            return Ok(false);
+        }
+        let scope = crate::durability::take_scope(dec)?;
+        let cursor = ChangeCursor(dec.take_u64("cache cursor")?);
+        let now_ms = dec.take_u64("cache now_ms")?;
+        let width = dec.take_u64("cache width")? as usize;
+        let table_count = dec.take_len(8, "cache uids")?;
+        if table_count != tables.len() {
+            return Err(CodecError::Invalid("cache table count mismatch"));
+        }
+        let mut uids = Vec::with_capacity(table_count);
+        for _ in 0..table_count {
+            uids.push(dec.take_u64("cache uid")?);
+        }
+        let mut prefix_arrays: Vec<Vec<u32>> = Vec::with_capacity(3);
+        for _ in 0..3 {
+            let packed = dec.take_raw(table_count * 4, "cache prefix bytes")?;
+            let mut arr = Vec::with_capacity(table_count + 1);
+            arr.push(0u32);
+            for word in packed.chunks_exact(4) {
+                arr.push(u32::from_le_bytes(word.try_into().unwrap()));
+            }
+            prefix_arrays.push(arr);
+        }
+        let candidates = dec.take_len(1, "cache verdicts")?;
+        let packed = dec.take_raw(candidates, "cache verdict bytes")?;
+        let mut verdicts = Vec::with_capacity(candidates);
+        for byte in packed {
+            verdicts.push(match byte {
+                0 => false,
+                1 => true,
+                _ => return Err(CodecError::Invalid("cache verdict")),
+            });
+        }
+        let row_values = dec.take_len(8, "cache rows")?;
+        let packed = dec.take_raw(row_values * 8, "cache row bytes")?;
+        let mut rows = Vec::with_capacity(row_values);
+        for word in packed.chunks_exact(8) {
+            rows.push(f64::from_bits(u64::from_le_bytes(word.try_into().unwrap())));
+        }
+        let distinct_count = dec.take_len(8, "cache reason table")?;
+        let mut distinct: Vec<Arc<str>> = Vec::with_capacity(distinct_count);
+        for _ in 0..distinct_count {
+            distinct.push(Arc::from(dec.take_str("cache reason")?));
+        }
+        let reason_count = dec.take_len(4, "cache reasons")?;
+        let mut reasons = Vec::with_capacity(reason_count);
+        for _ in 0..reason_count {
+            let idx = dec.take_u32("cache reason index")? as usize;
+            reasons.push(
+                distinct
+                    .get(idx)
+                    .cloned()
+                    .ok_or(CodecError::Invalid("cache reason index out of bounds"))?,
+            );
+        }
+        let gen = CacheGen {
+            uids,
+            cand_start: prefix_arrays.remove(0),
+            kept_start: prefix_arrays.remove(0),
+            drop_start: prefix_arrays.remove(0),
+            verdicts,
+            rows,
+            reasons,
+        };
+        // Structural reconciliation: spans must be monotone and add up.
+        let kept_total = gen.verdicts.iter().filter(|v| **v).count();
+        let dropped_total = gen.verdicts.len() - kept_total;
+        let spans_ok = gen.cand_start[table_count] as usize == gen.verdicts.len()
+            && gen.drop_start[table_count] as usize == dropped_total
+            && gen.kept_start[table_count] as usize == kept_total
+            && gen.cand_start.windows(2).all(|w| w[0] <= w[1])
+            && gen.kept_start.windows(2).all(|w| w[0] <= w[1])
+            && gen.drop_start.windows(2).all(|w| w[0] <= w[1])
+            && gen.reasons.len() == dropped_total
+            && (width == 0 || gen.rows.len() == kept_total * width)
+            && (width > 0 || gen.rows.is_empty());
+        if !spans_ok {
+            return Err(CodecError::Invalid("cache generation spans inconsistent"));
+        }
+        self.stored = Some(StoredGen {
+            epoch,
+            scope,
+            cursor,
+            now_ms,
+            width,
+            tables: Arc::clone(tables),
+            gen,
+        });
+        Ok(true)
+    }
 }
 
 #[cfg(test)]

@@ -126,6 +126,45 @@ impl EstimationFeedback {
     }
 }
 
+impl EstimationFeedback {
+    /// Writes the calibration aggregates into a snapshot. The raw
+    /// [`records`](Self::records) history is deliberately **not**
+    /// persisted: it is audit-only (nothing downstream reads it back),
+    /// unbounded, and the calibration the pipeline applies is a pure
+    /// function of these running means — persisting the sums as raw
+    /// IEEE-754 bits keeps post-restore calibration bit-identical.
+    pub(crate) fn snapshot_write(&self, enc: &mut lakesim_storage::Encoder) {
+        for mean in [
+            &self.reduction_bias,
+            &self.cost_bias,
+            &self.reduction_ratio,
+            &self.cost_ratio,
+        ] {
+            enc.put_f64(mean.sum);
+            enc.put_u64(mean.n);
+        }
+    }
+
+    /// Restores the calibration aggregates from a snapshot (leaving the
+    /// audit history empty).
+    pub(crate) fn snapshot_read(
+        dec: &mut lakesim_storage::Decoder<'_>,
+    ) -> Result<Self, lakesim_storage::CodecError> {
+        let mut means = [RunningMean::default(); 4];
+        for mean in &mut means {
+            mean.sum = dec.take_f64("feedback mean sum")?;
+            mean.n = dec.take_u64("feedback mean count")?;
+        }
+        Ok(EstimationFeedback {
+            records: Vec::new(),
+            reduction_bias: means[0],
+            cost_bias: means[1],
+            reduction_ratio: means[2],
+            cost_ratio: means[3],
+        })
+    }
+}
+
 /// Clamp individual ratios to a sane band so one pathological job cannot
 /// swing the calibration.
 fn clamp_ratio(ratio: f64) -> f64 {

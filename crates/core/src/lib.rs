@@ -79,9 +79,13 @@
 //!   [`rank::DecisionNote`] enum rendered on `Display`, so the fleet tail
 //!   never pays `format!` costs.
 //!
-//! This crate depends only on `std`: it talks to a concrete lake purely
-//! through the connector traits, which is what lets the same pipeline run
-//! against the simulated lake here, or any other LST/catalog (NFR3).
+//! This crate depends on `std` plus the workspace's `lakesim_storage`
+//! codec layer (for the [`durability`] snapshot/journal formats): it
+//! talks to a concrete lake purely through the connector traits, which is
+//! what lets the same pipeline run against the simulated lake here, or
+//! any other LST/catalog (NFR3). [`durability`] makes the retained
+//! cross-cycle state (observation chain, cycle cache, rank memo, job
+//! ledger, calibration) survive a process restart.
 
 #![warn(missing_docs)]
 
@@ -89,6 +93,7 @@ pub mod act;
 pub mod cache;
 pub mod candidate;
 pub mod connector;
+pub mod durability;
 pub mod error;
 pub mod feedback;
 pub mod filter;
@@ -113,6 +118,10 @@ pub use candidate::{Candidate, CandidateId, CandidateView, ScopeKind, TableRef};
 pub use connector::{
     BatchAsLake, BatchLakeConnector, CompactionExecutor, ExecutionError, ExecutionResult,
     LakeConnector, Prediction, SyncAsBatch,
+};
+pub use durability::{
+    JournalEvent, JournalingExecutor, RecoveryReport, ReplayExecutor, ReplaySummary,
+    SnapshotContext,
 };
 pub use error::AutoCompError;
 pub use feedback::{EstimationFeedback, FeedbackRecord};

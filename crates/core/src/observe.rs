@@ -547,6 +547,153 @@ impl FleetObservation {
     }
 }
 
+impl FleetObservation {
+    /// Writes the observation into a snapshot: scope, cursor keys, the
+    /// table listing (database names interned) and every entry's stats
+    /// in positional order. Arena chunking is representation, not
+    /// content, so entries are flattened — the restored observation
+    /// holds one chunk.
+    pub(crate) fn snapshot_write(&self, enc: &mut lakesim_storage::Encoder) {
+        use crate::durability::{put_scope, put_stats};
+        put_scope(enc, self.scope);
+        enc.put_opt_u64(self.listing_epoch);
+        enc.put_opt_u64(self.cursor.map(|c| c.0));
+        // Distinct database names once, then per-table indexes.
+        let mut databases: Vec<&str> = Vec::new();
+        let mut db_index: HashMap<&str, u32> = HashMap::new();
+        for table in self.tables.iter() {
+            let next = databases.len() as u32;
+            db_index.entry(&table.database).or_insert_with(|| {
+                databases.push(&table.database);
+                next
+            });
+        }
+        enc.put_u64(databases.len() as u64);
+        for db in &databases {
+            enc.put_str(db);
+        }
+        enc.put_u64(self.tables.len() as u64);
+        for table in self.tables.iter() {
+            enc.put_u64(table.table_uid);
+            enc.put_u32(db_index[&*table.database]);
+            // The three descriptor booleans pack into one flags byte so
+            // the fixed head of a table record is a single 13-byte read
+            // on restore.
+            enc.put_u8(
+                table.partitioned as u8
+                    | (table.compaction_enabled as u8) << 1
+                    | (table.is_intermediate as u8) << 2,
+            );
+            enc.put_str(&table.name);
+        }
+        for index in 0..self.tables.len() {
+            match self.entry(index) {
+                TableObservation::Missing => enc.put_u8(0),
+                TableObservation::Table(stats) => {
+                    enc.put_u8(1);
+                    put_stats(enc, stats);
+                }
+                TableObservation::Partitions(parts) => {
+                    enc.put_u8(2);
+                    enc.put_u64(parts.len() as u64);
+                    for (label, stats) in parts {
+                        enc.put_str(label);
+                        put_stats(enc, stats);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Restores an observation from a snapshot. The result is marked
+    /// nowhere-fresh (`fresh_chunk = None`, `prior_cursor = None`): its
+    /// entries are reused state, not a new fetch, and the *next*
+    /// incremental observe derives freshness from the changelog against
+    /// the restored cursor exactly as it would have against the
+    /// original.
+    pub(crate) fn snapshot_restore(
+        dec: &mut lakesim_storage::Decoder<'_>,
+    ) -> Result<FleetObservation, lakesim_storage::CodecError> {
+        use crate::durability::{take_scope, take_stats};
+        use lakesim_storage::CodecError;
+        let scope = take_scope(dec)?;
+        let listing_epoch = dec.take_opt_u64("listing epoch")?;
+        let cursor = dec.take_opt_u64("observation cursor")?.map(ChangeCursor);
+        let db_count = dec.take_len(8, "database table")?;
+        let mut databases: Vec<Arc<str>> = Vec::with_capacity(db_count);
+        for _ in 0..db_count {
+            databases.push(Arc::from(dec.take_str("database name")?));
+        }
+        // The fleet-scale loops below preallocate exactly and decode
+        // each record's fixed head with one bounds check — restore cost
+        // is what the warm-vs-cold tradeoff hinges on, so the decode
+        // side is kept at memcpy-like cost where the layout allows.
+        let table_count = dec.take_len(14, "table listing")?;
+        let mut tables = Vec::with_capacity(table_count);
+        for _ in 0..table_count {
+            let head = dec.take_raw(13, "table record")?;
+            let table_uid = u64::from_le_bytes(head[..8].try_into().unwrap());
+            let db = u32::from_le_bytes(head[8..12].try_into().unwrap()) as usize;
+            let flags = head[12];
+            if flags > 0b111 {
+                return Err(CodecError::Invalid("table flags"));
+            }
+            let database = databases
+                .get(db)
+                .cloned()
+                .ok_or(CodecError::Invalid("table database index out of bounds"))?;
+            // Table names are near-unique across a fleet, so they are
+            // allocated directly; interning them (as the listing path
+            // does for databases) would cost a map lookup per table
+            // for no sharing. Database names share through the
+            // snapshot's own distinct-name table above.
+            let name = Arc::from(dec.take_str("table name")?);
+            tables.push(TableRef {
+                table_uid,
+                database,
+                name,
+                partitioned: flags & 1 != 0,
+                compaction_enabled: flags & 2 != 0,
+                is_intermediate: flags & 4 != 0,
+            });
+        }
+        let mut stats = Vec::with_capacity(table_count);
+        for _ in 0..table_count {
+            stats.push(match dec.take_u8("entry tag")? {
+                0 => TableObservation::Missing,
+                1 => TableObservation::Table(take_stats(dec)?),
+                2 => {
+                    let parts = (0..dec.take_len(8, "partition entries")?)
+                        .map(|_| {
+                            Ok((dec.take_str("partition label")?.to_string(), take_stats(dec)?))
+                        })
+                        .collect::<Result<Vec<_>, CodecError>>()?;
+                    TableObservation::Partitions(parts)
+                }
+                _ => return Err(CodecError::Invalid("entry tag")),
+            });
+        }
+        let reused = tables.len();
+        Ok(FleetObservation {
+            scope,
+            entries: Arc::new(
+                (0..reused as u32)
+                    .map(|offset| EntryRef { chunk: 0, offset })
+                    .collect(),
+            ),
+            tables: Arc::new(tables),
+            listing_epoch,
+            chunks: vec![Arc::new(stats)],
+            uid_index: Arc::new(OnceLock::new()),
+            cursor,
+            fresh_chunk: None,
+            prior_cursor: None,
+            fetched: 0,
+            reused,
+        })
+    }
+}
+
 /// Appends the candidate(s) of one consumed `(table, stat)` pair,
 /// moving the table descriptor and stats payload.
 fn push_candidate(
@@ -649,6 +796,20 @@ impl FleetObserver {
         self.pending_dirty.clear();
         self.prior = Some(observation);
         self.prior.as_ref().expect("just set")
+    }
+
+    /// Tables marked dirty but not yet folded into an observe — captured
+    /// by snapshots so a restore re-fetches exactly what a crash-free run
+    /// would have.
+    pub(crate) fn pending_dirty(&self) -> &BTreeSet<u64> {
+        &self.pending_dirty
+    }
+
+    /// Installs a snapshot-restored observation (and its not-yet-consumed
+    /// dirty marks) as the prior for the next incremental observe.
+    pub(crate) fn restore_prior(&mut self, observation: FleetObservation, dirty: BTreeSet<u64>) {
+        self.prior = Some(observation);
+        self.pending_dirty = dirty;
     }
 }
 

@@ -41,6 +41,7 @@ use crate::candidate::{Candidate, CandidateId, CandidateView, ScopeKind, TableRe
 use crate::connector::{
     BatchLakeConnector, CompactionExecutor, ExecutionResult, LakeConnector, Prediction,
 };
+use crate::durability::{JournalEvent, RecoveryReport, ReplaySummary, SnapshotContext};
 use crate::error::AutoCompError;
 use crate::feedback::{EstimationFeedback, FeedbackRecord};
 use crate::filter::{chain_time_sensitive, evaluate_chain, CandidateFilter};
@@ -926,6 +927,277 @@ impl AutoComp {
             total_predicted_reduction,
             total_predicted_gbhr,
         })
+    }
+}
+
+/// Snapshot/restore + journal-replay surface. See [`crate::durability`]
+/// for the format, the validation contract, and the two recovery modes
+/// (rewind-and-re-drive vs direct replay).
+impl AutoComp {
+    /// FNV-1a 64 fingerprint of everything a snapshot's retained state is
+    /// a function of: scope, policy, trigger label, calibration flag,
+    /// filter and trait names (in registration order), scheduler name,
+    /// and the job-runtime config (or its absence). A snapshot restores
+    /// warm only into a pipeline with the same fingerprint — the caller
+    /// is responsible for rebuilding filters/traits/scheduler with
+    /// identical *behavior*; names are the strongest identity the
+    /// component traits expose.
+    pub fn config_fingerprint(&self) -> u64 {
+        use fmt::Write as _;
+        let mut key = String::new();
+        let _ = write!(
+            key,
+            "scope={:?}|policy={:?}|trigger={}|calibrate={}",
+            self.config.scope, self.config.policy, self.config.trigger_label, self.config.calibrate
+        );
+        for filter in &self.filters {
+            let _ = write!(key, "|filter={}", filter.name());
+        }
+        for computer in &self.traits {
+            let _ = write!(key, "|trait={}", computer.name());
+        }
+        let _ = write!(key, "|scheduler={}", self.scheduler.name());
+        match &self.tracker {
+            Some(t) => {
+                let _ = write!(key, "|tracker={:?}", t.config());
+            }
+            None => key.push_str("|tracker=none"),
+        }
+        lakesim_storage::fnv1a64(key.as_bytes())
+    }
+
+    /// Encodes the pipeline's full retained state — the observer's prior
+    /// observation and pending dirty marks, the cycle cache, the rank
+    /// memo, the job ledger, and the feedback calibration — into one
+    /// sealed, checksummed frame for a
+    /// [`SnapshotStore`](lakesim_storage::SnapshotStore). Returns `None`
+    /// before the first observation (there is nothing durable to
+    /// capture yet). Cache and memo are persisted only while still valid
+    /// for the captured observation (same epoch, same cursor, same
+    /// shared listing), so a restore can never resurrect stale splice
+    /// state.
+    pub fn encode_snapshot(&self, observer: &FleetObserver, ctx: &SnapshotContext) -> Option<Vec<u8>> {
+        let observation = observer.last()?;
+        let mut enc = lakesim_storage::Encoder::new();
+        enc.put_u64(self.config_fingerprint());
+        enc.put_u64(ctx.cycle);
+        enc.put_u64(ctx.executor_cursor);
+        enc.put_u64(ctx.journal_watermark);
+        observation.snapshot_write(&mut enc);
+        let dirty = observer.pending_dirty();
+        enc.put_u64(dirty.len() as u64);
+        for uid in dirty {
+            enc.put_u64(*uid);
+        }
+        self.cache
+            .snapshot_write(&mut enc, self.epoch, &observation.tables_shared());
+        let memo = self.rank_memo.as_ref().filter(|s| {
+            s.epoch == self.epoch
+                && s.scope == observation.scope()
+                && Some(s.cursor) == observation.cursor()
+        });
+        match memo {
+            Some(stored) => {
+                enc.put_bool(true);
+                enc.put_u64(stored.width as u64);
+                stored.memo.snapshot_write(&mut enc);
+            }
+            None => enc.put_bool(false),
+        }
+        match &self.tracker {
+            Some(tracker) => {
+                enc.put_bool(true);
+                tracker.snapshot_write(&mut enc);
+            }
+            None => enc.put_bool(false),
+        }
+        self.feedback.snapshot_write(&mut enc);
+        Some(lakesim_storage::seal_frame(
+            crate::durability::SNAPSHOT_KIND,
+            crate::durability::SNAPSHOT_VERSION,
+            &enc.into_bytes(),
+        ))
+    }
+
+    /// Restores a snapshot produced by [`encode_snapshot`](Self::encode_snapshot)
+    /// into this pipeline and the given observer. Validation follows the
+    /// [`crate::durability`] contract: the frame must open (magic, kind,
+    /// version ceiling, checksum), the configuration fingerprint must
+    /// match, and the restored observation must carry the change cursor
+    /// the retained structures are keyed by. Any failure resets the
+    /// incremental state to a verbatim cold start and reports the first
+    /// failed condition — this method never panics on untrusted bytes
+    /// and never installs a partially-restored warm state.
+    pub fn restore_snapshot(
+        &mut self,
+        observer: &mut FleetObserver,
+        bytes: &[u8],
+    ) -> RecoveryReport {
+        match self.try_restore(observer, bytes) {
+            Ok(report) => report,
+            Err(reason) => {
+                // Degrade to a coherent cold start: drop every retained
+                // structure a partial decode may have been meant for.
+                observer.reset();
+                self.cache.clear();
+                self.rank_memo = None;
+                RecoveryReport::ColdStart { reason }
+            }
+        }
+    }
+
+    fn try_restore(
+        &mut self,
+        observer: &mut FleetObserver,
+        bytes: &[u8],
+    ) -> std::result::Result<RecoveryReport, String> {
+        fn cerr(e: lakesim_storage::CodecError) -> String {
+            format!("snapshot payload corrupt: {e}")
+        }
+        let frame = lakesim_storage::open_frame(
+            bytes,
+            crate::durability::SNAPSHOT_KIND,
+            crate::durability::SNAPSHOT_VERSION,
+        )
+        .map_err(|e| format!("snapshot frame rejected: {e}"))?;
+        let mut dec = lakesim_storage::Decoder::new(frame.payload);
+
+        // Decode everything into temporaries first; nothing is installed
+        // until the whole payload has validated.
+        let fingerprint = dec.take_u64("config fingerprint").map_err(cerr)?;
+        if fingerprint != self.config_fingerprint() {
+            return Err(
+                "configuration fingerprint mismatch: snapshot was taken under a different \
+                 pipeline configuration"
+                    .to_string(),
+            );
+        }
+        let ctx = SnapshotContext {
+            cycle: dec.take_u64("cycle").map_err(cerr)?,
+            executor_cursor: dec.take_u64("executor cursor").map_err(cerr)?,
+            journal_watermark: dec.take_u64("journal watermark").map_err(cerr)?,
+        };
+        let observation = FleetObservation::snapshot_restore(&mut dec).map_err(cerr)?;
+        let Some(cursor) = observation.cursor() else {
+            return Err("snapshot observation carries no change cursor".to_string());
+        };
+        let mut dirty = std::collections::BTreeSet::new();
+        for _ in 0..dec.take_len(8, "pending dirty").map_err(cerr)? {
+            dirty.insert(dec.take_u64("dirty uid").map_err(cerr)?);
+        }
+        let mut cache = CycleCache::new(self.cache.enabled());
+        let cache_restored = cache
+            .snapshot_read(&mut dec, self.epoch, &observation.tables_shared())
+            .map_err(cerr)?;
+        let memo = if dec.take_bool("rank memo present").map_err(cerr)? {
+            let width = dec.take_u64("rank memo width").map_err(cerr)? as usize;
+            Some((width, RankMemo::snapshot_read(&mut dec).map_err(cerr)?))
+        } else {
+            None
+        };
+        let tracker = if dec.take_bool("tracker present").map_err(cerr)? {
+            Some(JobTracker::snapshot_read(&mut dec).map_err(cerr)?)
+        } else {
+            None
+        };
+        let feedback = EstimationFeedback::snapshot_read(&mut dec).map_err(cerr)?;
+        dec.finish().map_err(cerr)?;
+
+        // Validated end-to-end: install atomically. The cache and memo
+        // are re-keyed to this pipeline's current epoch — the fingerprint
+        // established the configurations agree, and the epoch is a local
+        // mutation counter, not part of the durable identity.
+        let tables = observation.tables().len();
+        let memo_restored = memo.is_some();
+        self.cache = cache;
+        self.rank_memo = memo.map(|(width, memo)| StoredRankMemo {
+            epoch: self.epoch,
+            scope: observation.scope(),
+            cursor,
+            width,
+            memo,
+        });
+        let (jobs_in_flight, retries_pending) = tracker
+            .as_ref()
+            .map(|t| (t.in_flight(), t.retry_pending()))
+            .unwrap_or((0, 0));
+        if let Some(tracker) = tracker {
+            self.tracker = Some(tracker);
+        }
+        self.feedback = feedback;
+        observer.restore_prior(observation, dirty);
+        Ok(RecoveryReport::Warm {
+            cycle: ctx.cycle,
+            executor_cursor: ctx.executor_cursor,
+            journal_watermark: ctx.journal_watermark,
+            tables,
+            jobs_in_flight,
+            retries_pending,
+            cache_restored,
+            memo_restored,
+        })
+    }
+
+    /// Direct journal replay — recovery mode 2 of [`crate::durability`]:
+    /// apply every decodable journal record from `from_record` on to the
+    /// restored ledger *without* re-driving the interrupted cycle.
+    /// Scheduled submissions are re-adopted into the in-flight ledger
+    /// (idempotently — jobs already known, settled or lease-evicted are
+    /// skipped), settlements settle idempotently (late outcomes for
+    /// lease-evicted jobs included), and everything else — unscheduled
+    /// submissions, cycle markers, torn records — is counted as ignored.
+    /// Do **not** combine with rewind-and-re-drive over the same journal
+    /// span: the re-driven cycle performs its own registrations and the
+    /// ledger would see each submission twice (the re-adoption guard
+    /// would drop the second, but admission/budget charges would not be
+    /// bit-identical).
+    pub fn replay_journal(
+        &mut self,
+        journal: &lakesim_storage::Journal,
+        from_record: u64,
+    ) -> ReplaySummary {
+        let mut summary = ReplaySummary::default();
+        for record in journal.iter_from(from_record) {
+            let Ok(event) = JournalEvent::decode(record) else {
+                summary.ignored += 1;
+                continue;
+            };
+            match event {
+                JournalEvent::Submitted {
+                    candidate,
+                    prediction,
+                    attempts,
+                    result,
+                    now_ms,
+                } => {
+                    let adopted = match (&mut self.tracker, result.scheduled, result.job_id) {
+                        (Some(tracker), true, Some(job_id)) => {
+                            tracker.readopt(job_id, &candidate, &prediction, attempts, now_ms)
+                        }
+                        _ => false,
+                    };
+                    if adopted {
+                        summary.readopted += 1;
+                    } else {
+                        summary.ignored += 1;
+                    }
+                }
+                JournalEvent::Settled { outcome } => {
+                    let duplicate = self
+                        .tracker
+                        .as_ref()
+                        .is_none_or(|t| t.already_settled(outcome.job_id));
+                    if duplicate {
+                        summary.ignored += 1;
+                    } else {
+                        self.settle_polled(vec![outcome]);
+                        summary.settled += 1;
+                    }
+                }
+                JournalEvent::CycleCommit { .. } => summary.ignored += 1,
+            }
+        }
+        summary
     }
 }
 

@@ -766,6 +766,64 @@ pub(crate) struct RankMemo {
     prefix: Vec<u32>,
 }
 
+impl RankMemo {
+    /// Writes the memo into a snapshot, scores as raw IEEE-754 bits so a
+    /// restored memo splices bit-identically.
+    pub(crate) fn snapshot_write(&self, enc: &mut lakesim_storage::Encoder) {
+        enc.put_u8(self.kind);
+        enc.put_u64(self.bounds.len() as u64);
+        for (lo, hi) in &self.bounds {
+            enc.put_u64(*lo);
+            enc.put_u64(*hi);
+        }
+        enc.put_u64(self.scores.len() as u64);
+        for score in &self.scores {
+            enc.put_f64(*score);
+        }
+        debug_assert_eq!(self.scores.len(), self.has.len());
+        for has in &self.has {
+            enc.put_bool(*has);
+        }
+        enc.put_u64(self.prefix.len() as u64);
+        for row in &self.prefix {
+            enc.put_u32(*row);
+        }
+    }
+
+    /// Restores a memo from a snapshot, re-validating the structural
+    /// invariants (`has` row-aligned with `scores`, prefix rows in
+    /// bounds) so a corrupt payload is rejected instead of spliced.
+    pub(crate) fn snapshot_read(
+        dec: &mut lakesim_storage::Decoder<'_>,
+    ) -> std::result::Result<Self, lakesim_storage::CodecError> {
+        use lakesim_storage::CodecError;
+        let kind = dec.take_u8("memo kind")?;
+        let bounds = (0..dec.take_len(16, "memo bounds")?)
+            .map(|_| Ok((dec.take_u64("memo bound lo")?, dec.take_u64("memo bound hi")?)))
+            .collect::<std::result::Result<Vec<_>, CodecError>>()?;
+        let rows = dec.take_len(8, "memo scores")?;
+        let scores = (0..rows)
+            .map(|_| dec.take_f64("memo score"))
+            .collect::<std::result::Result<Vec<_>, CodecError>>()?;
+        let has = (0..rows)
+            .map(|_| dec.take_bool("memo has"))
+            .collect::<std::result::Result<Vec<_>, CodecError>>()?;
+        let prefix = (0..dec.take_len(4, "memo prefix")?)
+            .map(|_| dec.take_u32("memo prefix row"))
+            .collect::<std::result::Result<Vec<_>, CodecError>>()?;
+        if prefix.iter().any(|r| *r as usize >= rows) {
+            return Err(CodecError::Invalid("memo prefix row out of bounds"));
+        }
+        Ok(RankMemo {
+            kind,
+            bounds,
+            scores,
+            has,
+            prefix,
+        })
+    }
+}
+
 /// Inputs wiring one cycle's splice mapping into the rank phase.
 pub(crate) struct RankDelta<'a> {
     /// The prior cycle's memo, already validated by the caller against

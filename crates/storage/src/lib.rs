@@ -35,6 +35,7 @@
 
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod error;
 pub mod file;
 pub mod fs;
@@ -42,9 +43,16 @@ pub mod histogram;
 pub mod metrics;
 pub mod namenode;
 pub mod namespace;
+pub mod snapshot;
 pub mod units;
 
+pub use codec::{
+    fnv1a64, frame_checksum64, open_frame, seal_frame, CodecError, Decoder, Encoder, Frame,
+};
 pub use error::StorageError;
+pub use snapshot::{
+    DirSnapshotMedium, Journal, MemSnapshotMedium, SnapshotMedium, SnapshotStore,
+};
 pub use file::{FileId, FileKind, FileMeta};
 pub use fs::{FsConfig, SimFileSystem};
 pub use histogram::SizeHistogram;

@@ -1,0 +1,256 @@
+//! Deterministic, seed-driven fault injection for the durability suites.
+//!
+//! Every adapter here is a pure function of its seed and the call
+//! sequence (no wall clock, no global RNG), so a faulty run replays
+//! bit-identically under the same seed — the property the
+//! crash-recovery soak and the fault-injection invariant tests both
+//! build on. Three fault surfaces are covered:
+//!
+//! * [`FaultyExecutor`] — submit-side transient/permanent errors plus
+//!   delivery-side lost and duplicated outcomes, each with an
+//!   independent per-mille rate;
+//! * [`CrashingExecutor`] — scripted process-death points (panic before
+//!   the Nth submission or the Nth poll), for `catch_unwind`-based
+//!   crash/restore soaks;
+//! * [`TornMedium`] — a [`SnapshotMedium`] wrapper that truncates the
+//!   next slot write, modelling a crash mid-snapshot-write.
+
+use autocomp::{
+    Candidate, CompactionExecutor, ExecutionError, ExecutionResult, JobOutcome, Prediction,
+    TrackedExecutor,
+};
+use lakesim_storage::SnapshotMedium;
+
+/// SplitMix64: tiny, deterministic, seedable — the standard mixer for
+/// test-side randomness (never used by the production pipeline).
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)` (`0` when `bound == 0`).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+
+    /// True with probability `permille / 1000`.
+    pub fn chance(&mut self, permille: u32) -> bool {
+        self.below(1000) < permille as u64
+    }
+}
+
+/// Per-mille rates for each injected fault class. All-zero (the
+/// [`Default`]) injects nothing — the wrapper is then a transparent
+/// pass-through.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultRates {
+    /// Submission fails with a retryable [`ExecutionError::Transient`].
+    pub transient_permille: u32,
+    /// Submission fails with a final [`ExecutionError::Permanent`].
+    pub permanent_permille: u32,
+    /// A polled outcome is dropped (never delivered by this executor) —
+    /// the lossy-reporting shape `job_lease_ms` exists for.
+    pub lose_outcome_permille: u32,
+    /// A polled outcome is delivered twice in the same batch — the
+    /// at-least-once shape the ledger's settled-id dedupe exists for.
+    pub duplicate_outcome_permille: u32,
+}
+
+/// Counters of what was actually injected, for test assertions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Transient submit errors injected.
+    pub transient: u64,
+    /// Permanent submit errors injected.
+    pub permanent: u64,
+    /// Outcomes dropped.
+    pub lost: u64,
+    /// Outcomes duplicated.
+    pub duplicated: u64,
+}
+
+/// Wraps a [`TrackedExecutor`] with seed-driven fault injection on both
+/// the submit path and the outcome-delivery path.
+pub struct FaultyExecutor<E> {
+    inner: E,
+    rng: SplitMix64,
+    rates: FaultRates,
+    counts: FaultCounts,
+}
+
+impl<E> FaultyExecutor<E> {
+    /// Wraps `inner`, injecting faults at `rates` driven by `seed`.
+    pub fn new(inner: E, seed: u64, rates: FaultRates) -> Self {
+        FaultyExecutor {
+            inner,
+            rng: SplitMix64::new(seed),
+            rates,
+            counts: FaultCounts::default(),
+        }
+    }
+
+    /// What was injected so far.
+    pub fn counts(&self) -> FaultCounts {
+        self.counts
+    }
+
+    /// The wrapped executor.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+}
+
+impl<E: CompactionExecutor> CompactionExecutor for FaultyExecutor<E> {
+    fn execute(&mut self, c: &Candidate, p: &Prediction, now: u64) -> ExecutionResult {
+        if self.rng.chance(self.rates.transient_permille) {
+            self.counts.transient += 1;
+            return ExecutionResult {
+                error: Some(ExecutionError::transient("injected: storage timeout")),
+                ..ExecutionResult::default()
+            };
+        }
+        if self.rng.chance(self.rates.permanent_permille) {
+            self.counts.permanent += 1;
+            return ExecutionResult {
+                error: Some(ExecutionError::permanent("injected: table dropped")),
+                ..ExecutionResult::default()
+            };
+        }
+        self.inner.execute(c, p, now)
+    }
+}
+
+impl<E: TrackedExecutor> TrackedExecutor for FaultyExecutor<E> {
+    fn poll(&mut self, now: u64) -> Vec<JobOutcome> {
+        let mut delivered = Vec::new();
+        for outcome in self.inner.poll(now) {
+            if self.rng.chance(self.rates.lose_outcome_permille) {
+                self.counts.lost += 1;
+                continue;
+            }
+            if self.rng.chance(self.rates.duplicate_outcome_permille) {
+                self.counts.duplicated += 1;
+                delivered.push(outcome.clone());
+            }
+            delivered.push(outcome);
+        }
+        delivered
+    }
+}
+
+/// Where a scripted crash fires. `None` fields never fire.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CrashPoint {
+    /// Panic *before* the Nth `execute` call (1-based) reaches the inner
+    /// executor. Because the journaling wrapper sits inside this one,
+    /// the platform submit and its journal record are never torn apart.
+    pub before_execute: Option<u64>,
+    /// Panic *before* the Nth `poll` call (1-based).
+    pub before_poll: Option<u64>,
+}
+
+/// Marker payload of scripted-crash panics, so soaks can tell an
+/// intentional kill from a real bug.
+pub const SCRIPTED_CRASH: &str = "scripted crash";
+
+/// Wraps a [`TrackedExecutor`] and panics at a scripted call index —
+/// the process-death injector for `catch_unwind` crash soaks.
+pub struct CrashingExecutor<E> {
+    inner: E,
+    crash: CrashPoint,
+    executes: u64,
+    polls: u64,
+}
+
+impl<E> CrashingExecutor<E> {
+    /// Wraps `inner` with a crash script.
+    pub fn new(inner: E, crash: CrashPoint) -> Self {
+        CrashingExecutor {
+            inner,
+            crash,
+            executes: 0,
+            polls: 0,
+        }
+    }
+}
+
+impl<E: CompactionExecutor> CompactionExecutor for CrashingExecutor<E> {
+    fn execute(&mut self, c: &Candidate, p: &Prediction, now: u64) -> ExecutionResult {
+        self.executes += 1;
+        if Some(self.executes) == self.crash.before_execute {
+            panic!("{SCRIPTED_CRASH}: before execute #{}", self.executes);
+        }
+        self.inner.execute(c, p, now)
+    }
+}
+
+impl<E: TrackedExecutor> TrackedExecutor for CrashingExecutor<E> {
+    fn poll(&mut self, now: u64) -> Vec<JobOutcome> {
+        self.polls += 1;
+        if Some(self.polls) == self.crash.before_poll {
+            panic!("{SCRIPTED_CRASH}: before poll #{}", self.polls);
+        }
+        self.inner.poll(now)
+    }
+}
+
+/// [`SnapshotMedium`] wrapper that tears the next slot write at a byte
+/// offset — a crash mid-snapshot-write. The dual-slot store must fall
+/// back to the other slot's older generation.
+pub struct TornMedium<M> {
+    inner: M,
+    /// When set, the next `write_slot` keeps only this many bytes.
+    tear_next_at: Option<usize>,
+}
+
+impl<M> TornMedium<M> {
+    /// Wraps `inner` with no tear armed.
+    pub fn new(inner: M) -> Self {
+        TornMedium {
+            inner,
+            tear_next_at: None,
+        }
+    }
+
+    /// Arms a tear: the next write keeps only the first `keep` bytes.
+    pub fn tear_next_write_at(&mut self, keep: usize) {
+        self.tear_next_at = Some(keep);
+    }
+
+    /// The wrapped medium.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+}
+
+impl<M: SnapshotMedium> SnapshotMedium for TornMedium<M> {
+    fn read_slot(&self, slot: usize) -> Option<Vec<u8>> {
+        self.inner.read_slot(slot)
+    }
+
+    fn write_slot(&mut self, slot: usize, bytes: &[u8]) -> std::io::Result<()> {
+        match self.tear_next_at.take() {
+            Some(keep) => self.inner.write_slot(slot, &bytes[..keep.min(bytes.len())]),
+            None => self.inner.write_slot(slot, bytes),
+        }
+    }
+}

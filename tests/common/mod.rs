@@ -12,6 +12,8 @@
 
 #![allow(dead_code)]
 
+pub mod faults;
+
 use std::collections::BTreeMap;
 
 use autocomp::{
@@ -52,11 +54,22 @@ pub enum OutcomeModel {
 
 /// Deterministic async compaction platform with a pluggable conflict
 /// rule: `execute` schedules (job settles `duration_ms` later), `poll`
-/// settles due jobs.
+/// settles due jobs into an append-only outcome log and delivers from a
+/// rewindable cursor.
+///
+/// The log/cursor split models a real platform's outcome feed across a
+/// client crash: outcomes are computed exactly once when the job comes
+/// due (so redelivery is bit-identical), and
+/// [`set_cursor`](Self::set_cursor) rewinds delivery to a
+/// snapshot-recorded position so a restored run re-receives everything
+/// the crashed run saw but did not durably settle.
+#[derive(Clone)]
 pub struct ScriptedPlatform {
     duration_ms: u64,
     next_job: u64,
     running: Vec<(u64, u64, u64, u64)>, // (job_id, uid, due_ms, submission #)
+    settled: Vec<JobOutcome>,
+    cursor: usize,
     submissions: BTreeMap<u64, u64>,
     conflict: ConflictRule,
     outcome: OutcomeModel,
@@ -72,6 +85,8 @@ impl ScriptedPlatform {
             duration_ms,
             next_job: 0,
             running: Vec::new(),
+            settled: Vec::new(),
+            cursor: 0,
             submissions: BTreeMap::new(),
             conflict: ConflictRule::Never,
             outcome: OutcomeModel::Fixed {
@@ -79,6 +94,20 @@ impl ScriptedPlatform {
                 gbhr: 1.5,
             },
         }
+    }
+
+    /// Outcome-delivery cursor: position in the settled log up to which
+    /// [`poll`](TrackedExecutor::poll) has delivered. Record it alongside
+    /// a snapshot.
+    pub fn cursor(&self) -> usize {
+        self.cursor
+    }
+
+    /// Rewinds (or advances) outcome delivery — the crash-restore half of
+    /// the [`cursor`](Self::cursor) contract. Redelivered outcomes are
+    /// byte-identical to the original delivery.
+    pub fn set_cursor(&mut self, cursor: usize) {
+        self.cursor = cursor.min(self.settled.len());
     }
 
     /// The parity harness's shape: submission `n` against table `uid`
@@ -148,32 +177,44 @@ impl CompactionExecutor for ScriptedPlatform {
 
 impl TrackedExecutor for ScriptedPlatform {
     fn poll(&mut self, now: u64) -> Vec<JobOutcome> {
+        // Settle newly due jobs into the append-only log exactly once.
+        // Submission order implies non-decreasing due times (fixed
+        // duration), so the log stays sorted by `finished_at_ms`.
         let (due, rest): (Vec<_>, Vec<_>) = self
             .running
             .drain(..)
             .partition(|(_, _, due, _)| *due <= now);
         self.running = rest;
-        due.into_iter()
-            .map(|(job_id, uid, due_ms, submission)| {
-                let conflicted = self.conflicted(uid, submission);
-                let (reduction, gbhr) = if conflicted {
-                    (0, self.conflict_gbhr(uid))
+        for (job_id, uid, due_ms, submission) in due {
+            let conflicted = self.conflicted(uid, submission);
+            let (reduction, gbhr) = if conflicted {
+                (0, self.conflict_gbhr(uid))
+            } else {
+                self.success_values(uid)
+            };
+            self.settled.push(JobOutcome {
+                job_id,
+                table_uid: uid,
+                status: if conflicted {
+                    JobOutcomeStatus::Conflicted
                 } else {
-                    self.success_values(uid)
-                };
-                JobOutcome {
-                    job_id,
-                    table_uid: uid,
-                    status: if conflicted {
-                        JobOutcomeStatus::Conflicted
-                    } else {
-                        JobOutcomeStatus::Succeeded
-                    },
-                    finished_at_ms: due_ms,
-                    actual_reduction: reduction,
-                    actual_gbhr: gbhr,
-                }
-            })
-            .collect()
+                    JobOutcomeStatus::Succeeded
+                },
+                finished_at_ms: due_ms,
+                actual_reduction: reduction,
+                actual_gbhr: gbhr,
+            });
+        }
+        // Deliver the contiguous log prefix due at `now` — after a
+        // cursor rewind this replays exactly what the original polls
+        // delivered, no more (later-due outcomes stay undelivered when
+        // an interrupted cycle is re-driven from its start time).
+        let mut end = self.cursor;
+        while end < self.settled.len() && self.settled[end].finished_at_ms <= now {
+            end += 1;
+        }
+        let delivered = self.settled[self.cursor..end].to_vec();
+        self.cursor = end;
+        delivered
     }
 }

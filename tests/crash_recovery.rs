@@ -1,0 +1,954 @@
+//! Crash-recovery and fault-injection suites for the durability layer.
+//!
+//! The centerpiece is a crash-restart soak: a tracked OODA loop runs
+//! over a deterministic changelog lake with snapshots at every cycle
+//! boundary and a submit/settle journal in between, gets killed at
+//! scripted points (cycle start, mid-act-wave, and — via a torn
+//! snapshot write — mid-snapshot), restores from the newest valid
+//! snapshot generation, re-drives the interrupted span through a
+//! [`ReplayExecutor`], and must reconverge to `CycleReport`s
+//! **bit-identical** to an uninterrupted twin run.
+//!
+//! Around it: a corruption property test (truncate/bit-flip a valid
+//! snapshot anywhere → always a clean `ColdStart` or a faithful warm
+//! restore, never a panic or silently-wrong state), direct journal
+//! replay with lease-evicted late settles, duplicate-delivery
+//! idempotence, and lost-outcome reclamation under seeded fault
+//! injection.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, Once};
+
+use autocomp::durability::{SNAPSHOT_KIND, SNAPSHOT_VERSION};
+use autocomp::{
+    AutoComp, AutoCompConfig, Candidate, CandidateStats, ChangeCursor, CompactionExecutor,
+    ComputeCostGbhr, CycleReport, ExecutionResult, FileCountReduction, FleetObserver, JournalEvent,
+    JournalingExecutor, JobRuntimeConfig, LakeConnector, MinSizeFilter, Prediction, RankingPolicy,
+    RecoveryReport, ReplayExecutor, ReplaySummary, ScopeStrategy, TableRef, TraitWeight, Untracked,
+};
+use lakesim_storage::{seal_frame, Journal, MemSnapshotMedium, SnapshotStore};
+use proptest::prelude::*;
+
+mod common;
+use common::faults::{CrashPoint, CrashingExecutor, FaultRates, FaultyExecutor, TornMedium, SCRIPTED_CRASH};
+use common::ScriptedPlatform;
+
+const TABLES: u64 = 24;
+const CYCLES: usize = 8;
+const JOB_DURATION_MS: u64 = 1_500;
+
+fn now(cycle: usize) -> u64 {
+    (cycle as u64 + 1) * 1_000
+}
+
+/// Keeps scripted-crash panics from spamming stderr while letting every
+/// other panic print normally. Installed once per test binary.
+fn silence_scripted_crashes() {
+    static SILENCE: Once = Once::new();
+    SILENCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let scripted = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|s| s.contains(SCRIPTED_CRASH));
+            if !scripted {
+                default(info);
+            }
+        }));
+    });
+}
+
+// ---------------------------------------------------------------------
+// Deterministic changelog lake (per-table stats are pure functions of
+// the table's version, so a restored run re-observes exactly what an
+// uninterrupted one did).
+// ---------------------------------------------------------------------
+
+struct CrashLake {
+    tables: Vec<TableRef>,
+    versions: Mutex<Vec<u64>>,
+    log: Mutex<Vec<(u64, u64)>>, // (seq, uid)
+    seq: AtomicU64,
+}
+
+impl CrashLake {
+    fn new(n: u64) -> Self {
+        CrashLake {
+            tables: (0..n)
+                .map(|i| TableRef {
+                    table_uid: i,
+                    database: format!("db{}", i % 3).into(),
+                    name: format!("t{i}").into(),
+                    partitioned: false,
+                    compaction_enabled: true,
+                    is_intermediate: false,
+                })
+                .collect(),
+            versions: Mutex::new(vec![0; n as usize]),
+            log: Mutex::new(Vec::new()),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    fn write(&self, uid: u64) {
+        let seq = self.seq.fetch_add(1, Ordering::SeqCst);
+        self.log.lock().unwrap().push((seq, uid));
+        self.versions.lock().unwrap()[uid as usize] += 1;
+    }
+
+    /// Pure stats: f(uid, version).
+    fn stats_for(&self, uid: u64) -> CandidateStats {
+        let v = self.versions.lock().unwrap()[uid as usize];
+        CandidateStats {
+            file_count: 40 + (uid * 13 + v * 7) % 120,
+            small_file_count: (uid * 11 + v * 5) % 100,
+            small_bytes: (((uid + v) % 32) + 1) << 20,
+            total_bytes: ((((uid * 3 + v) % 64) + 8) << 20).max(1 << 22),
+            target_file_size: 512 << 20,
+            last_write_ms: (v > 0).then_some(v * 40),
+            write_frequency_per_hour: (v % 5) as f64,
+            ..CandidateStats::default()
+        }
+    }
+}
+
+impl LakeConnector for CrashLake {
+    fn list_tables(&self) -> Vec<TableRef> {
+        self.tables.clone()
+    }
+    fn table_stats(&self, uid: u64) -> Option<CandidateStats> {
+        (uid < self.tables.len() as u64).then(|| self.stats_for(uid))
+    }
+    fn partition_stats(&self, _uid: u64) -> Vec<(String, CandidateStats)> {
+        Vec::new()
+    }
+    fn fleet_cursor(&self) -> Option<ChangeCursor> {
+        Some(ChangeCursor(self.seq.load(Ordering::SeqCst)))
+    }
+    fn changes_since(&self, cursor: ChangeCursor) -> Option<Vec<u64>> {
+        Some(
+            self.log
+                .lock()
+                .unwrap()
+                .iter()
+                .filter(|(seq, _)| *seq >= cursor.0)
+                .map(|(_, uid)| *uid)
+                .collect(),
+        )
+    }
+    fn listing_epoch(&self) -> Option<u64> {
+        Some(0)
+    }
+}
+
+/// Executor that never schedules anything (quiet tracked cycles).
+#[derive(Default)]
+struct InertExecutor;
+
+impl CompactionExecutor for InertExecutor {
+    fn execute(&mut self, _c: &Candidate, _p: &Prediction, _now: u64) -> ExecutionResult {
+        ExecutionResult::default()
+    }
+}
+
+fn soak_pipeline() -> AutoComp {
+    AutoComp::new(AutoCompConfig {
+        scope: ScopeStrategy::Table,
+        policy: RankingPolicy::Moop {
+            weights: vec![
+                TraitWeight::new("file_count_reduction", 0.7),
+                TraitWeight::new("compute_cost_gbhr", 0.3),
+            ],
+            k: 6,
+        },
+        trigger_label: "crash-soak".into(),
+        calibrate: true,
+    })
+    .with_filter(Box::new(MinSizeFilter {
+        min_total_bytes: 1 << 20,
+        min_file_count: 0,
+    }))
+    .with_trait(Box::new(FileCountReduction::default()))
+    .with_trait(Box::new(ComputeCostGbhr::default()))
+    .with_job_tracker(JobRuntimeConfig {
+        max_in_flight: 8,
+        max_in_flight_per_database: 4,
+        max_retries: 2,
+        retry_backoff_ms: 1_000,
+        retry_backoff_cap_ms: 4_000,
+        ..JobRuntimeConfig::default()
+    })
+}
+
+/// Scripted per-window writes: pure function of the cycle index.
+fn scripted_writes(cycle: usize) -> Vec<u64> {
+    if cycle == 0 {
+        return Vec::new();
+    }
+    (0..3u64).map(|i| ((cycle as u64) * 7 + i * 5) % TABLES).collect()
+}
+
+/// Bit-level report comparison (the same fields the parity harness
+/// pins, assert-flavored).
+fn assert_reports_identical(a: &CycleReport, b: &CycleReport, ctx: &str) {
+    assert_eq!(a.generated, b.generated, "{ctx}: generated");
+    assert_eq!(a.dropped, b.dropped, "{ctx}: dropped");
+    assert_eq!(a.ranked.len(), b.ranked.len(), "{ctx}: ranked len");
+    for (x, y) in a.ranked.iter().zip(b.ranked.iter()) {
+        assert_eq!(x.id, y.id, "{ctx}: rank order");
+        assert_eq!(
+            x.score.to_bits(),
+            y.score.to_bits(),
+            "{ctx}: score of {} not bit-identical",
+            x.id
+        );
+        assert_eq!(x.selected, y.selected, "{ctx}: selection of {}", x.id);
+        assert_eq!(x.note, y.note, "{ctx}: note of {}", x.id);
+    }
+    assert_eq!(a.executed, b.executed, "{ctx}: executed jobs");
+    assert_eq!(a.deferred, b.deferred, "{ctx}: deferred");
+    assert_eq!(a.retried, b.retried, "{ctx}: retried");
+    assert_eq!(a.ledger, b.ledger, "{ctx}: ledger");
+    assert_eq!(
+        a.total_predicted_reduction, b.total_predicted_reduction,
+        "{ctx}: predicted reduction"
+    );
+    assert_eq!(
+        a.total_predicted_gbhr.to_bits(),
+        b.total_predicted_gbhr.to_bits(),
+        "{ctx}: predicted GBHr"
+    );
+    assert_eq!(a.to_string(), b.to_string(), "{ctx}: rendered report");
+}
+
+// ---------------------------------------------------------------------
+// Crash-restart soak.
+// ---------------------------------------------------------------------
+
+/// The uninterrupted twin: same lake script, same platform model, no
+/// journaling, no snapshots, no crash.
+fn run_uninterrupted(cycles: usize, writes: &dyn Fn(usize) -> Vec<u64>) -> Vec<CycleReport> {
+    let lake = CrashLake::new(TABLES);
+    let mut platform = ScriptedPlatform::parity(JOB_DURATION_MS);
+    let mut ac = soak_pipeline();
+    let mut observer = FleetObserver::new();
+    (0..cycles)
+        .map(|i| {
+            for uid in writes(i) {
+                lake.write(uid);
+            }
+            ac.run_cycle_tracked_incremental(&mut observer, &lake, &mut platform, now(i))
+                .unwrap()
+        })
+        .collect()
+}
+
+#[derive(Debug, Clone, Copy)]
+struct KillSpec {
+    /// Cycle index the scripted crash fires in.
+    cycle: usize,
+    /// Where within the cycle it fires.
+    crash: CrashPoint,
+    /// Tear the snapshot write at the *preceding* cycle boundary, so
+    /// recovery must fall back a generation and re-drive two cycles.
+    torn_prior_snapshot: bool,
+}
+
+fn before_poll(n: u64) -> CrashPoint {
+    CrashPoint {
+        before_poll: Some(n),
+        before_execute: None,
+    }
+}
+
+fn before_execute(n: u64) -> CrashPoint {
+    CrashPoint {
+        before_execute: Some(n),
+        before_poll: None,
+    }
+}
+
+/// Appends the cycle-commit marker and saves a boundary snapshot.
+fn commit_boundary(
+    ac: &AutoComp,
+    observer: &FleetObserver,
+    platform: &ScriptedPlatform,
+    journal: &mut Journal,
+    store: &mut SnapshotStore<TornMedium<MemSnapshotMedium>>,
+    cycle: usize,
+) {
+    journal.append(&JournalEvent::CycleCommit { cycle: cycle as u64 }.encode());
+    let ctx = autocomp::SnapshotContext {
+        cycle: cycle as u64,
+        executor_cursor: platform.cursor() as u64,
+        journal_watermark: journal.records(),
+    };
+    let bytes = ac
+        .encode_snapshot(observer, &ctx)
+        .expect("boundary snapshot should encode once an observation exists");
+    store.save(&bytes).expect("snapshot save");
+}
+
+/// The interrupted run: journals and snapshots like a durable service,
+/// dies at the scripted kill point, restores from the newest valid
+/// snapshot, re-drives the interrupted span through a [`ReplayExecutor`]
+/// over the rewound platform, then finishes the remaining cycles live.
+/// Already-completed re-driven cycles are compared against their
+/// pre-crash reports in place.
+fn run_interrupted(
+    cycles: usize,
+    writes: &dyn Fn(usize) -> Vec<u64>,
+    spec: KillSpec,
+) -> Vec<CycleReport> {
+    silence_scripted_crashes();
+    let lake = CrashLake::new(TABLES);
+    let mut platform = ScriptedPlatform::parity(JOB_DURATION_MS);
+    let mut journal = Journal::new();
+    let mut store = SnapshotStore::new(TornMedium::new(MemSnapshotMedium::new()));
+    let mut reports: Vec<CycleReport> = Vec::new();
+
+    // Phase 1: run normally until the scripted crash fires. The
+    // crash wrapper sits *outside* the journaling wrapper, so a platform
+    // submit and its journal record are never torn apart.
+    let mut ac = soak_pipeline();
+    let mut observer = FleetObserver::new();
+    let mut crashed_at = None;
+    for i in 0..cycles {
+        for uid in writes(i) {
+            lake.write(uid);
+        }
+        let crash = if i == spec.cycle {
+            spec.crash
+        } else {
+            CrashPoint::default()
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let journaling = JournalingExecutor::new(&mut platform, &mut journal);
+            let mut crashing = CrashingExecutor::new(journaling, crash);
+            ac.run_cycle_tracked_incremental(&mut observer, &lake, &mut crashing, now(i))
+                .unwrap()
+        }));
+        match outcome {
+            Ok(report) => {
+                reports.push(report);
+                if spec.torn_prior_snapshot && i + 1 == spec.cycle {
+                    store.medium_mut().tear_next_write_at(24);
+                }
+                commit_boundary(&ac, &observer, &platform, &mut journal, &mut store, i);
+            }
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .unwrap_or_default();
+                assert!(
+                    msg.contains(SCRIPTED_CRASH),
+                    "unexpected panic during soak: {msg}"
+                );
+                crashed_at = Some(i);
+                break;
+            }
+        }
+    }
+    let crashed_at = match crashed_at {
+        Some(i) => i,
+        None => panic!("kill point never fired: {spec:?}"),
+    };
+    drop(ac);
+    drop(observer);
+
+    // Phase 2: recover. Rebuild an identically-configured pipeline,
+    // restore the newest valid snapshot generation, rewind the
+    // platform's outcome delivery, and re-drive the interrupted span
+    // through the journal.
+    let mut ac = soak_pipeline();
+    let mut observer = FleetObserver::new();
+    let (_seq, bytes) = store
+        .load()
+        .expect("a valid snapshot generation must survive the crash");
+    let recovery = ac.restore_snapshot(&mut observer, &bytes);
+    let RecoveryReport::Warm {
+        cycle: snapshot_cycle,
+        executor_cursor,
+        journal_watermark,
+        ..
+    } = recovery
+    else {
+        panic!("expected a warm restore, got: {recovery}");
+    };
+    if spec.torn_prior_snapshot {
+        assert_eq!(
+            snapshot_cycle as usize,
+            spec.cycle - 2,
+            "torn boundary write must fall back one snapshot generation"
+        );
+    } else {
+        assert_eq!(snapshot_cycle as usize, crashed_at - 1);
+    }
+    platform.set_cursor(executor_cursor as usize);
+    {
+        let mut replay = ReplayExecutor::new(&mut platform, &mut journal, journal_watermark);
+        for i in (snapshot_cycle as usize + 1)..=crashed_at {
+            let report = ac
+                .run_cycle_tracked_incremental(&mut observer, &lake, &mut replay, now(i))
+                .unwrap();
+            if i < crashed_at {
+                // A cycle that completed before the crash but whose
+                // snapshot was lost: the re-drive must reproduce it
+                // bit-for-bit from the older snapshot plus the journal.
+                assert_reports_identical(
+                    &reports[i],
+                    &report,
+                    &format!("re-driven completed cycle {i}"),
+                );
+            } else {
+                reports.push(report);
+            }
+        }
+        assert_eq!(
+            replay.pending(),
+            0,
+            "the journaled submission prefix must be fully consumed"
+        );
+    }
+    commit_boundary(&ac, &observer, &platform, &mut journal, &mut store, crashed_at);
+
+    // Phase 3: finish the remaining cycles as a normal durable run.
+    for i in (crashed_at + 1)..cycles {
+        for uid in writes(i) {
+            lake.write(uid);
+        }
+        let report = {
+            let mut journaling = JournalingExecutor::new(&mut platform, &mut journal);
+            ac.run_cycle_tracked_incremental(&mut observer, &lake, &mut journaling, now(i))
+                .unwrap()
+        };
+        reports.push(report);
+        commit_boundary(&ac, &observer, &platform, &mut journal, &mut store, i);
+    }
+    reports
+}
+
+#[test]
+fn crash_restart_soak_reconverges_bit_identically() {
+    let twin = run_uninterrupted(CYCLES, &scripted_writes);
+    assert_eq!(twin.len(), CYCLES);
+    let specs = [
+        // Cycle start: killed before the settle poll ran.
+        KillSpec {
+            cycle: 2,
+            crash: before_poll(1),
+            torn_prior_snapshot: false,
+        },
+        // After settle + observe, before the first submission.
+        KillSpec {
+            cycle: 2,
+            crash: before_execute(1),
+            torn_prior_snapshot: false,
+        },
+        // Mid-act-wave: some submissions journaled, some never made.
+        KillSpec {
+            cycle: 3,
+            crash: before_execute(2),
+            torn_prior_snapshot: false,
+        },
+        KillSpec {
+            cycle: 4,
+            crash: before_execute(3),
+            torn_prior_snapshot: false,
+        },
+        // Late-run cycle start.
+        KillSpec {
+            cycle: 6,
+            crash: before_poll(1),
+            torn_prior_snapshot: false,
+        },
+    ];
+    for spec in specs {
+        let resumed = run_interrupted(CYCLES, &scripted_writes, spec);
+        assert_eq!(resumed.len(), twin.len(), "{spec:?}: cycle count");
+        for (i, (a, b)) in twin.iter().zip(resumed.iter()).enumerate() {
+            assert_reports_identical(a, b, &format!("{spec:?} cycle {i}"));
+        }
+    }
+}
+
+/// Torn writes script: the kill window stays quiet so the re-driven
+/// older cycle observes the same lake state it originally did.
+fn torn_writes(cycle: usize) -> Vec<u64> {
+    if cycle == 4 {
+        Vec::new()
+    } else {
+        scripted_writes(cycle)
+    }
+}
+
+#[test]
+fn torn_snapshot_write_recovers_from_prior_generation() {
+    let twin = run_uninterrupted(CYCLES, &torn_writes);
+    let spec = KillSpec {
+        cycle: 4,
+        crash: before_poll(1),
+        torn_prior_snapshot: true,
+    };
+    let resumed = run_interrupted(CYCLES, &torn_writes, spec);
+    assert_eq!(resumed.len(), twin.len());
+    for (i, (a, b)) in twin.iter().zip(resumed.iter()).enumerate() {
+        assert_reports_identical(a, b, &format!("torn-snapshot cycle {i}"));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Snapshot corruption: never a panic, never a wrong warm state.
+// ---------------------------------------------------------------------
+
+/// A valid snapshot plus the recovery report a pristine restore yields.
+fn corruption_corpus() -> (Vec<u8>, RecoveryReport) {
+    let lake = CrashLake::new(6);
+    let mut platform = ScriptedPlatform::parity(JOB_DURATION_MS);
+    let mut ac = soak_pipeline();
+    let mut observer = FleetObserver::new();
+    for i in 0..3 {
+        if i > 0 {
+            lake.write(i as u64);
+        }
+        ac.run_cycle_tracked_incremental(&mut observer, &lake, &mut platform, now(i))
+            .unwrap();
+    }
+    let ctx = autocomp::SnapshotContext {
+        cycle: 2,
+        executor_cursor: platform.cursor() as u64,
+        journal_watermark: 17,
+    };
+    let bytes = ac.encode_snapshot(&observer, &ctx).unwrap();
+    let mut pristine = soak_pipeline();
+    let mut pristine_observer = FleetObserver::new();
+    let report = pristine.restore_snapshot(&mut pristine_observer, &bytes);
+    assert!(report.is_warm(), "corpus must restore warm, got: {report}");
+    (bytes, report)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn corrupted_snapshots_cold_start_never_panic(
+        offset in 0u64..1_000_000,
+        mode in 0u8..2,
+    ) {
+        let (bytes, pristine) = corruption_corpus();
+        let mut mutated = bytes.clone();
+        if mode == 0 {
+            mutated.truncate(offset as usize % mutated.len());
+        } else {
+            let bit = offset as usize % (mutated.len() * 8);
+            mutated[bit / 8] ^= 1 << (bit % 8);
+        }
+        let mut ac = soak_pipeline();
+        let mut observer = FleetObserver::new();
+        // Must not panic, and must not install a wrong warm state: the
+        // only acceptable outcomes are a reasoned cold start or (in the
+        // astronomically-unlikely event a flip survives the checksum) a
+        // warm restore identical to the pristine one.
+        let report = ac.restore_snapshot(&mut observer, &mutated);
+        match &report {
+            RecoveryReport::ColdStart { reason } => prop_assert!(!reason.is_empty()),
+            warm => prop_assert_eq!(warm.clone(), pristine),
+        }
+    }
+}
+
+#[test]
+fn restore_rejects_newer_versions_and_foreign_configs() {
+    // A frame from a "future" build: rejected by version ceiling.
+    let mut ac = soak_pipeline();
+    let mut observer = FleetObserver::new();
+    let future = seal_frame(SNAPSHOT_KIND, SNAPSHOT_VERSION + 1, &[1, 2, 3, 4]);
+    let report = ac.restore_snapshot(&mut observer, &future);
+    let reason = report.cold_reason().expect("newer version must cold-start");
+    assert!(reason.contains("rejected"), "reason: {reason}");
+
+    // Empty input: cold start, not a panic.
+    let report = ac.restore_snapshot(&mut observer, &[]);
+    assert!(!report.is_warm());
+
+    // A valid snapshot restored into a differently-configured pipeline:
+    // fingerprint mismatch.
+    let (bytes, _) = corruption_corpus();
+    let mut other = AutoComp::new(AutoCompConfig {
+        scope: ScopeStrategy::Table,
+        policy: RankingPolicy::Threshold {
+            trait_name: "file_count_reduction".into(),
+            min_value: 10.0,
+            max_k: Some(4),
+        },
+        trigger_label: "crash-soak".into(),
+        calibrate: true,
+    })
+    .with_trait(Box::new(FileCountReduction::default()));
+    let mut other_observer = FleetObserver::new();
+    let report = other.restore_snapshot(&mut other_observer, &bytes);
+    let reason = report.cold_reason().expect("foreign config must cold-start");
+    assert!(reason.contains("fingerprint"), "reason: {reason}");
+}
+
+// ---------------------------------------------------------------------
+// Direct journal replay: late settles for lease-evicted jobs, and
+// idempotence under repeated replay.
+// ---------------------------------------------------------------------
+
+#[test]
+fn journal_replay_settles_lease_evicted_jobs_once() {
+    let lake = CrashLake::new(8);
+    let mut platform = ScriptedPlatform::new(JOB_DURATION_MS);
+    let mut journal = Journal::new();
+    let mut ac = AutoComp::new(AutoCompConfig {
+        scope: ScopeStrategy::Table,
+        policy: RankingPolicy::Moop {
+            weights: vec![
+                TraitWeight::new("file_count_reduction", 0.7),
+                TraitWeight::new("compute_cost_gbhr", 0.3),
+            ],
+            k: 3,
+        },
+        trigger_label: "replay".into(),
+        calibrate: true,
+    })
+    .with_trait(Box::new(FileCountReduction::default()))
+    .with_trait(Box::new(ComputeCostGbhr::default()))
+    .with_job_tracker(JobRuntimeConfig {
+        max_in_flight: 4,
+        job_lease_ms: Some(10_000),
+        ..JobRuntimeConfig::default()
+    });
+    let mut observer = FleetObserver::new();
+
+    // Cycle 0 submits the first wave; snapshot at the boundary.
+    {
+        let mut journaling = JournalingExecutor::new(&mut platform, &mut journal);
+        ac.run_cycle_tracked_incremental(&mut observer, &lake, &mut journaling, 1_000)
+            .unwrap();
+    }
+    let submitted = ac.job_tracker().unwrap().in_flight();
+    assert!(submitted > 0, "first wave must submit");
+    journal.append(&JournalEvent::CycleCommit { cycle: 0 }.encode());
+    let watermark = journal.records();
+    let ctx = autocomp::SnapshotContext {
+        cycle: 0,
+        executor_cursor: platform.cursor() as u64,
+        journal_watermark: watermark,
+    };
+    let snapshot = ac.encode_snapshot(&observer, &ctx).unwrap();
+
+    // Cycle 1 settles that wave (journaled) and submits a second one
+    // (journaled) — then the process "dies" with that state unsnapshotted.
+    let second_wave = {
+        let mut journaling = JournalingExecutor::new(&mut platform, &mut journal);
+        let report = ac
+            .run_cycle_tracked_incremental(&mut observer, &lake, &mut journaling, 3_000)
+            .unwrap();
+        assert_eq!(report.ledger.settled, submitted, "first wave settles");
+        report.executed.len()
+    };
+    assert!(second_wave > 0, "second wave must submit");
+    drop(ac);
+    drop(observer);
+
+    // Restart on a non-rewindable path: restore the snapshot (first
+    // wave back in flight), let the lease evict it, then replay the
+    // journal directly.
+    let mut ac = AutoComp::new(AutoCompConfig {
+        scope: ScopeStrategy::Table,
+        policy: RankingPolicy::Moop {
+            weights: vec![
+                TraitWeight::new("file_count_reduction", 0.7),
+                TraitWeight::new("compute_cost_gbhr", 0.3),
+            ],
+            k: 3,
+        },
+        trigger_label: "replay".into(),
+        calibrate: true,
+    })
+    .with_trait(Box::new(FileCountReduction::default()))
+    .with_trait(Box::new(ComputeCostGbhr::default()))
+    .with_job_tracker(JobRuntimeConfig {
+        max_in_flight: 4,
+        job_lease_ms: Some(10_000),
+        ..JobRuntimeConfig::default()
+    });
+    let mut observer = FleetObserver::new();
+    let recovery = ac.restore_snapshot(&mut observer, &snapshot);
+    assert!(recovery.is_warm(), "restore failed: {recovery}");
+    assert_eq!(ac.job_tracker().unwrap().in_flight(), submitted);
+
+    // A quiet cycle far past the lease evicts the restored wave.
+    let report = ac
+        .run_cycle_tracked_incremental(&mut observer, &lake, &mut Untracked(InertExecutor), 50_000)
+        .unwrap();
+    assert_eq!(
+        report.ledger.leases_expired, submitted,
+        "restored wave must lease-evict"
+    );
+    let feedback_before = ac.feedback().records().len();
+
+    // Direct replay: journaled settlements land once (as late settles on
+    // the evicted entries), journaled second-wave submissions re-adopt.
+    let summary = ac.replay_journal(&journal, watermark);
+    assert_eq!(summary.settled as usize, submitted, "late settles applied");
+    assert_eq!(summary.readopted as usize, second_wave, "second wave re-adopted");
+    assert_eq!(
+        ac.feedback().records().len(),
+        feedback_before + submitted,
+        "each late settle feeds back exactly once"
+    );
+    assert_eq!(ac.job_tracker().unwrap().in_flight(), second_wave);
+
+    // Replaying the same span again is a no-op: everything deduped.
+    let again = ac.replay_journal(&journal, watermark);
+    assert_eq!(
+        again,
+        ReplaySummary {
+            readopted: 0,
+            settled: 0,
+            ignored: summary.readopted + summary.settled + summary.ignored,
+        },
+        "second replay must be fully idempotent"
+    );
+    assert_eq!(ac.feedback().records().len(), feedback_before + submitted);
+
+    // The late settles surface in the next cycle's ledger counters.
+    let report = ac
+        .run_cycle_tracked_incremental(&mut observer, &lake, &mut Untracked(InertExecutor), 51_000)
+        .unwrap();
+    assert_eq!(report.ledger.late_settled, submitted);
+}
+
+// ---------------------------------------------------------------------
+// Fault injection: duplicate delivery, lost outcomes, submit errors.
+// ---------------------------------------------------------------------
+
+#[test]
+fn duplicate_outcome_delivery_is_bit_identical_to_clean_delivery() {
+    let run = |duplicate_everything: bool| -> Vec<CycleReport> {
+        let lake = CrashLake::new(TABLES);
+        let mut executor = FaultyExecutor::new(
+            ScriptedPlatform::parity(JOB_DURATION_MS),
+            42,
+            FaultRates {
+                duplicate_outcome_permille: if duplicate_everything { 1000 } else { 0 },
+                ..FaultRates::default()
+            },
+        );
+        let mut ac = soak_pipeline();
+        let mut observer = FleetObserver::new();
+        let reports = (0..CYCLES)
+            .map(|i| {
+                for uid in scripted_writes(i) {
+                    lake.write(uid);
+                }
+                ac.run_cycle_tracked_incremental(&mut observer, &lake, &mut executor, now(i))
+                    .unwrap()
+            })
+            .collect();
+        if duplicate_everything {
+            assert!(
+                executor.counts().duplicated > 0,
+                "the duplicating run must actually duplicate"
+            );
+        }
+        reports
+    };
+    let clean = run(false);
+    let duplicated = run(true);
+    for (i, (a, b)) in clean.iter().zip(duplicated.iter()).enumerate() {
+        assert_reports_identical(a, b, &format!("duplicate-delivery cycle {i}"));
+    }
+}
+
+#[test]
+fn lost_outcomes_are_reclaimed_by_the_lease_path() {
+    let lake = CrashLake::new(TABLES);
+    // Every outcome is lost: the only way slots ever free is the lease.
+    let mut executor = FaultyExecutor::new(
+        ScriptedPlatform::parity(JOB_DURATION_MS),
+        7,
+        FaultRates {
+            lose_outcome_permille: 1000,
+            ..FaultRates::default()
+        },
+    );
+    let mut ac = AutoComp::new(AutoCompConfig {
+        scope: ScopeStrategy::Table,
+        policy: RankingPolicy::Moop {
+            weights: vec![
+                TraitWeight::new("file_count_reduction", 0.7),
+                TraitWeight::new("compute_cost_gbhr", 0.3),
+            ],
+            k: 4,
+        },
+        trigger_label: "lossy".into(),
+        calibrate: false,
+    })
+    .with_trait(Box::new(FileCountReduction::default()))
+    .with_trait(Box::new(ComputeCostGbhr::default()))
+    .with_job_tracker(JobRuntimeConfig {
+        max_in_flight: 4,
+        max_in_flight_per_database: 4,
+        job_lease_ms: Some(2_500),
+        ..JobRuntimeConfig::default()
+    });
+    let mut observer = FleetObserver::new();
+    let mut total_executed = 0;
+    let mut total_evicted = 0;
+    let mut late_executed = 0;
+    for i in 0..12 {
+        let report = ac
+            .run_cycle_tracked_incremental(&mut observer, &lake, &mut executor, now(i))
+            .unwrap();
+        total_executed += report.executed.len();
+        total_evicted += report.ledger.leases_expired;
+        if i >= 8 {
+            late_executed += report.executed.len();
+        }
+    }
+    assert!(executor.counts().lost > 0, "faults must inject");
+    assert!(total_evicted > 0, "leases must reclaim the lost jobs");
+    assert!(
+        total_executed > 4,
+        "scheduling must continue past the first stuck wave"
+    );
+    assert!(
+        late_executed > 0,
+        "slots must still recycle in late cycles (no leaked admission)"
+    );
+}
+
+#[test]
+fn injected_submit_errors_drive_retry_and_failure_paths() {
+    let lake = CrashLake::new(TABLES);
+    let mut executor = FaultyExecutor::new(
+        ScriptedPlatform::parity(JOB_DURATION_MS),
+        9,
+        FaultRates {
+            transient_permille: 250,
+            permanent_permille: 150,
+            ..FaultRates::default()
+        },
+    );
+    let mut ac = soak_pipeline();
+    let mut observer = FleetObserver::new();
+    let mut retries_submitted = 0;
+    let mut permanent_abandons = 0;
+    for i in 0..12 {
+        for uid in scripted_writes(i) {
+            lake.write(uid);
+        }
+        let report = ac
+            .run_cycle_tracked_incremental(&mut observer, &lake, &mut executor, now(i))
+            .unwrap();
+        retries_submitted += report.ledger.retries_submitted;
+        // Permanent submit errors are final on any attempt: visible in
+        // the report's execution trail, never in the retry queue.
+        permanent_abandons += report
+            .executed
+            .iter()
+            .chain(report.retried.iter())
+            .filter(|job| job.result.error.as_ref().is_some_and(|e| !e.is_transient()))
+            .count();
+    }
+    let counts = executor.counts();
+    assert!(counts.transient > 0, "transient faults must inject");
+    assert!(counts.permanent > 0, "permanent faults must inject");
+    assert!(
+        retries_submitted > 0,
+        "transient submit errors must feed the retry path"
+    );
+    assert!(
+        permanent_abandons as u64 >= counts.permanent,
+        "permanent submit errors must surface in the execution trail"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Warm restore skips the fleet-wide cold re-observe.
+// ---------------------------------------------------------------------
+
+#[test]
+fn warm_restore_resumes_incremental_observe() {
+    let lake = CrashLake::new(40);
+    let untracked_pipeline = || {
+        AutoComp::new(AutoCompConfig {
+            scope: ScopeStrategy::Table,
+            policy: RankingPolicy::Moop {
+                weights: vec![
+                    TraitWeight::new("file_count_reduction", 0.7),
+                    TraitWeight::new("compute_cost_gbhr", 0.3),
+                ],
+                k: 5,
+            },
+            trigger_label: "warm".into(),
+            calibrate: true,
+        })
+        .with_trait(Box::new(FileCountReduction::default()))
+        .with_trait(Box::new(ComputeCostGbhr::default()))
+    };
+    let mut ac = untracked_pipeline();
+    let mut observer = FleetObserver::new();
+    let mut exec = InertExecutor;
+    ac.run_cycle_incremental(&mut observer, &lake, &mut exec, 1_000)
+        .unwrap();
+    lake.write(3);
+    ac.run_cycle_incremental(&mut observer, &lake, &mut exec, 2_000)
+        .unwrap();
+    let ctx = autocomp::SnapshotContext {
+        cycle: 1,
+        executor_cursor: 0,
+        journal_watermark: 0,
+    };
+    let bytes = ac.encode_snapshot(&observer, &ctx).unwrap();
+
+    let mut restored = untracked_pipeline();
+    let mut restored_observer = FleetObserver::new();
+    let recovery = restored.restore_snapshot(&mut restored_observer, &bytes);
+    match &recovery {
+        RecoveryReport::Warm { tables, .. } => assert_eq!(*tables, 40),
+        cold => panic!("expected warm restore, got: {cold}"),
+    }
+
+    // One table changes while we were down; the restored run's first
+    // cycle re-fetches only that — no fleet-wide cold observe.
+    lake.write(5);
+    let restored_report = restored
+        .run_cycle_incremental(&mut restored_observer, &lake, &mut exec, 3_000)
+        .unwrap();
+    let observation = restored_observer.last().unwrap();
+    assert_eq!(observation.fetched_tables(), 1, "only the dirty table refetches");
+    assert_eq!(observation.reused_tables(), 39);
+
+    // And the warm resume is bit-identical to never having stopped.
+    let twin_report = ac
+        .run_cycle_incremental(&mut observer, &lake, &mut exec, 3_000)
+        .unwrap();
+    assert_reports_identical(&twin_report, &restored_report, "warm resume");
+}
+
+// ---------------------------------------------------------------------
+// Torn snapshot media at the store layer.
+// ---------------------------------------------------------------------
+
+#[test]
+fn torn_store_writes_fall_back_then_self_heal() {
+    let mut store = SnapshotStore::new(TornMedium::new(MemSnapshotMedium::new()));
+    let gen1 = store.save(b"generation one").unwrap();
+    store.medium_mut().tear_next_write_at(9);
+    let _gen2 = store.save(b"generation two").unwrap();
+    let (seq, payload) = store.load().expect("older generation survives the tear");
+    assert_eq!(seq, gen1);
+    assert_eq!(payload, b"generation one");
+    // The next save overwrites the torn slot and becomes newest.
+    let gen3 = store.save(b"generation three").unwrap();
+    let (seq, payload) = store.load().unwrap();
+    assert_eq!(seq, gen3);
+    assert_eq!(payload, b"generation three");
+}
