@@ -1,0 +1,71 @@
+//! Criterion: sustained ingest at fleet scale through the event-driven
+//! continuous runtime vs. the fixed-cadence polled driver.
+//!
+//! One iteration = one simulated hour: ~1.08M commits (200ms ticks × 60
+//! commits) against a 100K-table fleet. `runtime_ingest/event_loop/100000`
+//! drives commits/completions/timers through `ContinuousRuntime`
+//! (5K-table dirty watermark + 10-minute staleness backstop);
+//! `runtime_ingest/polled/100000` replays the identical seeded commit
+//! schedule through 15s-cadence `run_cycle_tracked_incremental` calls.
+//! Decision-latency percentiles (commit event → covering round, simulated
+//! clock) are printed per mode and recorded in `BENCH_ooda.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lakesim_workload::{
+    run_sustained_ingest, run_sustained_polled, IngestReport, SustainedIngestConfig,
+};
+
+fn describe(mode: &str, report: &IngestReport) {
+    eprintln!(
+        "RUNTIME_INGEST {mode}: tables={} commits={} ({:.0}/h) rounds={} deferred={} \
+         backlog_max={} executed={} settled={} snapshots={} latency_ms p50={} p95={} p99={} max={}",
+        report.tables,
+        report.commits,
+        report.commits_per_hour,
+        report.rounds,
+        report.deferred_rounds,
+        report.max_dirty_backlog,
+        report.executed,
+        report.settled,
+        report.snapshots_saved,
+        report.decision_p50_ms,
+        report.decision_p95_ms,
+        report.decision_p99_ms,
+        report.decision_max_ms,
+    );
+}
+
+fn bench_runtime_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime_ingest");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let cfg = SustainedIngestConfig::default();
+    let n = cfg.tables;
+
+    // Acceptance sanity once per run (outside the timed loop): the
+    // schedule sustains ≥1M simulated commits/hour and every commit gets
+    // a latency sample.
+    let event = run_sustained_ingest(&cfg);
+    assert!(
+        event.commits_per_hour >= 1_000_000.0,
+        "arrival rate {} below 1M/h",
+        event.commits_per_hour
+    );
+    assert_eq!(event.latency_samples, event.commits);
+    describe("event_loop", &event);
+    let polled = run_sustained_polled(&cfg);
+    assert_eq!(polled.commits, event.commits, "same seeded schedule");
+    describe("polled", &polled);
+
+    group.bench_with_input(BenchmarkId::new("event_loop", n), &n, |b, _| {
+        b.iter(|| run_sustained_ingest(&cfg))
+    });
+    group.bench_with_input(BenchmarkId::new("polled", n), &n, |b, _| {
+        b.iter(|| run_sustained_polled(&cfg))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_runtime_ingest);
+criterion_main!(benches);

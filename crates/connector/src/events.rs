@@ -1,0 +1,186 @@
+//! Commit-event bridge: turns the engine's bounded commit changelog into
+//! [`RuntimeEvent::Commit`]s for the continuous runtime's event loop.
+//!
+//! The [`hooks`](crate::hooks) module is the *push* half of §5's
+//! optimize-after-write mode — a caller who already knows which tables a
+//! write touched marks them dirty directly. [`CommitEventBridge`] is the
+//! *pull-to-push* adapter for callers who only have the environment: it
+//! tails [`lakesim_engine::SimEnv::changes_since`] from its own cursor and emits one
+//! commit event per newly-written distinct table, stamped with the drain
+//! time (the event loop's simulated clock). A production deployment would
+//! drain a catalog notification stream the same way.
+//!
+//! If the bridge falls behind the bounded changelog's retention
+//! (`changes_since` returns `None`), it cannot know *which* tables
+//! changed — it emits a single [`RuntimeEvent::Flush`] instead, forcing a
+//! covering decision round; the observer's own change-cursor chain makes
+//! that round a full observe, so no dirtiness is lost.
+
+use autocomp::RuntimeEvent;
+
+use crate::SharedEnv;
+
+/// Tails the engine changelog into runtime commit events.
+#[derive(Debug, Clone)]
+pub struct CommitEventBridge {
+    cursor: u64,
+}
+
+impl CommitEventBridge {
+    /// A bridge starting at the environment's current change cursor:
+    /// only commits applied after construction produce events.
+    pub fn new(env: &SharedEnv) -> Self {
+        let cursor = env.borrow().change_cursor();
+        CommitEventBridge { cursor }
+    }
+
+    /// A bridge starting at an explicit cursor (e.g. the cursor recorded
+    /// alongside a snapshot, so a restarted bridge re-emits commits the
+    /// crashed loop saw but never covered with a round).
+    pub fn at_cursor(cursor: u64) -> Self {
+        CommitEventBridge { cursor }
+    }
+
+    /// The changelog position up to which commits were already emitted.
+    pub fn cursor(&self) -> u64 {
+        self.cursor
+    }
+
+    /// Drains commits applied since the last drain into events stamped
+    /// `at_ms`, advancing the cursor. When the cursor has fallen out of
+    /// the bounded changelog's retention, returns a single
+    /// [`RuntimeEvent::Flush`] (see the module docs).
+    pub fn drain(&mut self, env: &SharedEnv, at_ms: u64) -> Vec<RuntimeEvent> {
+        let env = env.borrow();
+        let next = env.change_cursor();
+        let events = match env.changes_since(self.cursor) {
+            Some(tables) => tables
+                .into_iter()
+                .map(|table| RuntimeEvent::Commit {
+                    at_ms,
+                    table_uid: table.0,
+                })
+                .collect(),
+            None => vec![RuntimeEvent::Flush { at_ms }],
+        };
+        self.cursor = next;
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::share;
+    use lakesim_catalog::TablePolicy;
+    use lakesim_engine::{EnvConfig, FileSizePlan, SimEnv, WriteSpec};
+    use lakesim_lst::{
+        ColumnType, Field, PartitionKey, PartitionSpec, PartitionValue, Schema, TableId,
+        TableProperties, Transform,
+    };
+    use lakesim_storage::MB;
+
+    fn setup(tables: usize) -> (SharedEnv, Vec<TableId>) {
+        let mut env = SimEnv::new(EnvConfig {
+            seed: 11,
+            ..EnvConfig::default()
+        });
+        env.create_database("db", "tenant", None).unwrap();
+        let schema = Schema::new(vec![
+            Field::new(1, "k", ColumnType::Int64, true),
+            Field::new(2, "ds", ColumnType::Date, true),
+        ])
+        .unwrap();
+        let ids = (0..tables)
+            .map(|i| {
+                env.create_table(
+                    "db",
+                    &format!("t{i}"),
+                    schema.clone(),
+                    PartitionSpec::single(2, Transform::Month, "m"),
+                    TableProperties::default(),
+                    TablePolicy::default(),
+                )
+                .unwrap()
+            })
+            .collect();
+        (share(env), ids)
+    }
+
+    fn write(env: &SharedEnv, table: TableId, at_ms: u64) {
+        let spec = WriteSpec::insert(
+            table,
+            PartitionKey::single(PartitionValue::Date(0)),
+            8 * MB,
+            FileSizePlan::trickle(),
+            "query",
+        );
+        env.borrow_mut().submit_write(&spec, at_ms).unwrap();
+        env.borrow_mut().drain_all();
+    }
+
+    #[test]
+    fn drains_distinct_commits_once() {
+        let (env, ids) = setup(3);
+        let mut bridge = CommitEventBridge::new(&env);
+        assert_eq!(bridge.drain(&env, 0), Vec::<RuntimeEvent>::new());
+
+        write(&env, ids[0], 1_000);
+        write(&env, ids[2], 2_000);
+        write(&env, ids[0], 3_000);
+        let events = bridge.drain(&env, 5_000);
+        let uids: Vec<u64> = events
+            .iter()
+            .map(|e| match e {
+                RuntimeEvent::Commit { at_ms, table_uid } => {
+                    assert_eq!(*at_ms, 5_000);
+                    *table_uid
+                }
+                other => panic!("unexpected event {other:?}"),
+            })
+            .collect();
+        // Distinct tables in first-change order, duplicates collapsed.
+        assert_eq!(uids, vec![ids[0].0, ids[2].0]);
+
+        // Nothing new: the cursor advanced past everything drained.
+        assert_eq!(bridge.drain(&env, 6_000), Vec::<RuntimeEvent>::new());
+        write(&env, ids[1], 7_000);
+        assert_eq!(
+            bridge.drain(&env, 8_000),
+            vec![RuntimeEvent::Commit {
+                at_ms: 8_000,
+                table_uid: ids[1].0
+            }]
+        );
+    }
+
+    #[test]
+    fn stale_cursor_degrades_to_flush() {
+        // A cursor below the changelog floor is unrepresentable through
+        // normal draining; simulate a bridge restored from an ancient
+        // snapshot by flooding the changelog past its retention cap
+        // (2^16 entries). Writes round-robin across tables so no single
+        // table's file list grows commit costs quadratic.
+        let (env, ids) = setup(64);
+        let mut bridge = CommitEventBridge::at_cursor(0);
+        {
+            let mut env = env.borrow_mut();
+            for i in 0..((1 << 16) + 64u64) {
+                let spec = WriteSpec::insert(
+                    ids[(i % 64) as usize],
+                    PartitionKey::single(PartitionValue::Date(0)),
+                    MB,
+                    FileSizePlan::trickle(),
+                    "query",
+                );
+                env.submit_write(&spec, 2_000 + i).unwrap();
+            }
+            env.drain_all();
+        }
+        let events = bridge.drain(&env, 1_000_000);
+        assert_eq!(events, vec![RuntimeEvent::Flush { at_ms: 1_000_000 }]);
+        // The flush drain still advanced the cursor: the next drain is
+        // incremental again.
+        assert_eq!(bridge.drain(&env, 1_000_001), Vec::<RuntimeEvent>::new());
+    }
+}

@@ -195,6 +195,14 @@ impl TrackedExecutor for LakesimExecutor {
             })
             .collect()
     }
+
+    /// The maintenance-log delivery cursor (see
+    /// [`log_cursor`](LakesimExecutor::log_cursor)) — rewindable via
+    /// [`set_log_cursor`](LakesimExecutor::set_log_cursor) after a
+    /// restore.
+    fn delivery_cursor(&self) -> u64 {
+        self.log_cursor as u64
+    }
 }
 
 #[cfg(test)]

@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod events;
 pub mod executor;
 pub mod feedback;
 pub mod hooks;
@@ -59,6 +60,7 @@ use std::rc::Rc;
 use lakesim_engine::SimEnv;
 
 pub use batch::{share_sync, BatchLakesimConnector, SyncSharedEnv};
+pub use events::CommitEventBridge;
 pub use executor::{ExecutorOptions, LakesimExecutor};
 pub use feedback::FeedbackBridge;
 pub use hooks::{evaluate_hook, mark_database_dirty, mark_dirty_from_actions};

@@ -164,6 +164,50 @@ pub trait TrackedExecutor: CompactionExecutor {
     /// charged against the GBHr budget window but gets no in-flight
     /// entry — no suppression, no settle, no retry, no feedback.
     fn poll(&mut self, now_ms: u64) -> Vec<JobOutcome>;
+
+    /// Outcome-delivery cursor: an opaque position in the platform's
+    /// settled-outcome stream up to which [`poll`](Self::poll) has
+    /// delivered. Recorded into snapshot boundaries
+    /// ([`SnapshotContext::executor_cursor`](crate::durability::SnapshotContext::executor_cursor))
+    /// so a crash-restore can rewind delivery to the snapshot's position
+    /// on platforms that support seeking. The default (`0`, never
+    /// advancing) is correct for executors without a rewindable stream —
+    /// recovery then relies on direct journal replay instead.
+    fn delivery_cursor(&self) -> u64 {
+        0
+    }
+}
+
+/// Push-style counterpart to [`TrackedExecutor::poll`]: a sink that
+/// accepts job-completion *events* as they arrive, instead of being
+/// polled at cycle boundaries. The event-driven runtime
+/// ([`ContinuousRuntime`](crate::runtime::ContinuousRuntime)) implements
+/// this; platforms that deliver completion callbacks push straight into
+/// it, and poll-only platforms are adapted with [`pump_completions`].
+pub trait CompletionSink {
+    /// Accepts one settled-job outcome. Implementations must tolerate
+    /// duplicate delivery (at-least-once platforms) — the job ledger's
+    /// settled-id dedupe makes duplicates harmless downstream.
+    fn on_completion(&mut self, at_ms: u64, outcome: JobOutcome);
+}
+
+/// Poll-adapter bridging a poll-style [`TrackedExecutor`] into a
+/// [`CompletionSink`]: polls `executor` once at `now_ms` and pushes every
+/// delivered outcome into `sink` as a completion event. Returns how many
+/// outcomes were pumped. Drive this from timer ticks (or after known
+/// settle points) to feed an event loop from an executor that can only
+/// answer polls.
+pub fn pump_completions(
+    executor: &mut dyn TrackedExecutor,
+    sink: &mut dyn CompletionSink,
+    now_ms: u64,
+) -> usize {
+    let outcomes = executor.poll(now_ms);
+    let pumped = outcomes.len();
+    for outcome in outcomes {
+        sink.on_completion(now_ms, outcome);
+    }
+    pumped
 }
 
 /// Adapts any plain [`CompactionExecutor`] to the [`TrackedExecutor`]

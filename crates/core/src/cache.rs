@@ -325,9 +325,10 @@ impl CycleCache {
         current_epoch: u64,
         observation_tables: &Arc<Vec<TableRef>>,
     ) {
-        let live = self.stored.as_ref().filter(|s| {
-            s.epoch == current_epoch && Arc::ptr_eq(&s.tables, observation_tables)
-        });
+        let live = self
+            .stored
+            .as_ref()
+            .filter(|s| s.epoch == current_epoch && Arc::ptr_eq(&s.tables, observation_tables));
         let Some(s) = live else {
             enc.put_bool(false);
             return;

@@ -2,7 +2,7 @@
 //!
 //! Every structure behind the O(dirty + k) steady state — the retained
 //! [`FleetObservation`](crate::observe::FleetObservation) chain, the
-//! [`CycleCache`](crate::cache::CycleCache), the rank memo, the
+//! cycle cache (`crate::cache::CycleCache`), the rank memo, the
 //! [`JobTracker`](crate::act::JobTracker) ledger and the feedback
 //! calibration means — is process-lifetime only without this module: a
 //! restart meant a fleet-wide cold re-observe and a ledger that forgot
@@ -16,7 +16,7 @@
 //!    [`SnapshotStore`](lakesim_storage::SnapshotStore) so a torn write
 //!    costs one generation, never everything.
 //! 2. **A submit/settle journal** ([`JournalEvent`] records appended by
-//!    [`JournalingExecutor`] to a [`Journal`](lakesim_storage::Journal)):
+//!    [`JournalingExecutor`] to a [`Journal`]):
 //!    the append-only record of act-phase effects *between* snapshots,
 //!    which is what lets a restarted runtime either re-drive the
 //!    interrupted cycle deterministically ([`ReplayExecutor`]) or
@@ -202,8 +202,9 @@ pub enum JournalEvent {
     /// A submission handed to the platform (journaled whether or not a
     /// job was actually scheduled — the `result` says which).
     Submitted {
-        /// The submitted candidate.
-        candidate: Candidate,
+        /// The submitted candidate (boxed: it dwarfs the other variants
+        /// and journal events travel through `Vec<JournalEvent>`s).
+        candidate: Box<Candidate>,
         /// The prediction attached to the submission.
         prediction: Prediction,
         /// Ledger attempt count, when known (the executor-level journal
@@ -268,7 +269,7 @@ impl JournalEvent {
         let mut dec = Decoder::new(bytes);
         let event = match dec.take_u8("journal event tag")? {
             EVENT_SUBMITTED => JournalEvent::Submitted {
-                candidate: take_candidate(&mut dec)?,
+                candidate: Box::new(take_candidate(&mut dec)?),
                 prediction: take_prediction(&mut dec)?,
                 attempts: dec.take_u32("attempts")?,
                 result: take_exec_result(&mut dec)?,
@@ -321,7 +322,7 @@ impl<E: CompactionExecutor> CompactionExecutor for JournalingExecutor<'_, E> {
         let result = self.inner.execute(c, p, now_ms);
         self.journal.append(
             &JournalEvent::Submitted {
-                candidate: c.clone(),
+                candidate: Box::new(c.clone()),
                 prediction: p.clone(),
                 attempts: 1,
                 result: result.clone(),
@@ -345,6 +346,10 @@ impl<E: TrackedExecutor> TrackedExecutor for JournalingExecutor<'_, E> {
             );
         }
         outcomes
+    }
+
+    fn delivery_cursor(&self) -> u64 {
+        self.inner.delivery_cursor()
     }
 }
 
@@ -413,7 +418,7 @@ impl<E: CompactionExecutor> CompactionExecutor for ReplayExecutor<'_, E> {
         let result = self.inner.execute(c, p, now_ms);
         self.journal.append(
             &JournalEvent::Submitted {
-                candidate: c.clone(),
+                candidate: Box::new(c.clone()),
                 prediction: p.clone(),
                 attempts: 1,
                 result: result.clone(),
@@ -437,6 +442,10 @@ impl<E: TrackedExecutor> TrackedExecutor for ReplayExecutor<'_, E> {
             );
         }
         outcomes
+    }
+
+    fn delivery_cursor(&self) -> u64 {
+        self.inner.delivery_cursor()
     }
 }
 
@@ -755,7 +764,7 @@ mod tests {
     fn journal_events_round_trip() {
         let events = vec![
             JournalEvent::Submitted {
-                candidate: sample_candidate(),
+                candidate: Box::new(sample_candidate()),
                 prediction: Prediction {
                     reduction: 64,
                     gbhr: 1.75,
@@ -772,7 +781,7 @@ mod tests {
                 now_ms: 8_000,
             },
             JournalEvent::Submitted {
-                candidate: sample_candidate(),
+                candidate: Box::new(sample_candidate()),
                 prediction: Prediction {
                     reduction: 1,
                     gbhr: 0.5,

@@ -103,6 +103,7 @@ mod par;
 pub mod pipeline;
 pub mod rank;
 pub mod report;
+pub mod runtime;
 pub mod schedule;
 pub mod scope;
 pub mod stats;
@@ -110,8 +111,8 @@ pub mod traits;
 pub mod trigger;
 
 pub use act::{
-    JobLedgerSummary, JobOutcome, JobOutcomeStatus, JobRuntimeConfig, JobTracker, TrackedExecutor,
-    Untracked,
+    pump_completions, CompletionSink, JobLedgerSummary, JobOutcome, JobOutcomeStatus,
+    JobRuntimeConfig, JobTracker, TrackedExecutor, Untracked,
 };
 pub use cache::CycleCacheStats;
 pub use candidate::{Candidate, CandidateId, CandidateView, ScopeKind, TableRef};
@@ -137,6 +138,9 @@ pub use pipeline::{AutoComp, AutoCompConfig, CycleReport};
 pub use rank::{
     DecisionNote, RankCycleStats, RankSource, RankedEntries, RankedEntry, RankingPolicy,
     TraitWeight, RANKED_PREFIX_MIN,
+};
+pub use runtime::{
+    ContinuousRuntime, RoundReport, RuntimeConfig, RuntimeEvent, RuntimeStats, TriggerCause,
 };
 pub use schedule::{
     AllParallelScheduler, ParallelTablesScheduler, ScheduledJob, Scheduler,

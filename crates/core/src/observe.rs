@@ -665,7 +665,10 @@ impl FleetObservation {
                 2 => {
                     let parts = (0..dec.take_len(8, "partition entries")?)
                         .map(|_| {
-                            Ok((dec.take_str("partition label")?.to_string(), take_stats(dec)?))
+                            Ok((
+                                dec.take_str("partition label")?.to_string(),
+                                take_stats(dec)?,
+                            ))
                         })
                         .collect::<Result<Vec<_>, CodecError>>()?;
                     TableObservation::Partitions(parts)

@@ -976,7 +976,11 @@ impl AutoComp {
     /// for the captured observation (same epoch, same cursor, same
     /// shared listing), so a restore can never resurrect stale splice
     /// state.
-    pub fn encode_snapshot(&self, observer: &FleetObserver, ctx: &SnapshotContext) -> Option<Vec<u8>> {
+    pub fn encode_snapshot(
+        &self,
+        observer: &FleetObserver,
+        ctx: &SnapshotContext,
+    ) -> Option<Vec<u8>> {
         let observation = observer.last()?;
         let mut enc = lakesim_storage::Encoder::new();
         enc.put_u64(self.config_fingerprint());

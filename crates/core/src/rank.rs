@@ -799,7 +799,12 @@ impl RankMemo {
         use lakesim_storage::CodecError;
         let kind = dec.take_u8("memo kind")?;
         let bounds = (0..dec.take_len(16, "memo bounds")?)
-            .map(|_| Ok((dec.take_u64("memo bound lo")?, dec.take_u64("memo bound hi")?)))
+            .map(|_| {
+                Ok((
+                    dec.take_u64("memo bound lo")?,
+                    dec.take_u64("memo bound hi")?,
+                ))
+            })
             .collect::<std::result::Result<Vec<_>, CodecError>>()?;
         let rows = dec.take_len(8, "memo scores")?;
         let scores = (0..rows)

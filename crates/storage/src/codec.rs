@@ -399,7 +399,9 @@ pub fn open_frame(
     max_version: u32,
 ) -> Result<Frame<'_>, CodecError> {
     if bytes.len() < FRAME_OVERHEAD {
-        return Err(CodecError::UnexpectedEof { what: "frame header" });
+        return Err(CodecError::UnexpectedEof {
+            what: "frame header",
+        });
     }
     let mut dec = Decoder::new(bytes);
     let magic = dec.take_u32("frame magic")?;
@@ -423,7 +425,9 @@ pub fn open_frame(
     }
     let header = 4 + 4 + 2 + 8;
     if len != (bytes.len() - FRAME_OVERHEAD) as u64 {
-        return Err(CodecError::UnexpectedEof { what: "frame payload" });
+        return Err(CodecError::UnexpectedEof {
+            what: "frame payload",
+        });
     }
     let body_end = bytes.len() - 8;
     let stored = u64::from_le_bytes(bytes[body_end..].try_into().unwrap());
@@ -462,10 +466,7 @@ mod tests {
         assert_eq!(dec.take_u32("d").unwrap(), 70_000);
         assert_eq!(dec.take_u64("e").unwrap(), 1 << 40);
         assert_eq!(dec.take_i64("f").unwrap(), -42);
-        assert_eq!(
-            dec.take_f64("g").unwrap().to_bits(),
-            0x7ff8_0000_0000_0001
-        );
+        assert_eq!(dec.take_f64("g").unwrap().to_bits(), 0x7ff8_0000_0000_0001);
         assert_eq!(dec.take_opt_u64("h").unwrap(), Some(9));
         assert_eq!(dec.take_opt_u64("i").unwrap(), None);
         assert_eq!(dec.take_str("j").unwrap(), "héllo");

@@ -50,15 +50,13 @@ pub use codec::{
     fnv1a64, frame_checksum64, open_frame, seal_frame, CodecError, Decoder, Encoder, Frame,
 };
 pub use error::StorageError;
-pub use snapshot::{
-    DirSnapshotMedium, Journal, MemSnapshotMedium, SnapshotMedium, SnapshotStore,
-};
 pub use file::{FileId, FileKind, FileMeta};
 pub use fs::{FsConfig, SimFileSystem};
 pub use histogram::SizeHistogram;
 pub use metrics::StorageMetrics;
 pub use namenode::{NameNode, RpcCounters, RpcKind, RpcTicket};
 pub use namespace::QuotaUsage;
+pub use snapshot::{DirSnapshotMedium, Journal, MemSnapshotMedium, SnapshotMedium, SnapshotStore};
 pub use units::{GB, KB, MB, TB};
 
 /// Crate-level result alias.

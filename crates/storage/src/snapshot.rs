@@ -159,7 +159,11 @@ impl<M: SnapshotMedium> SnapshotStore<M> {
         let mut enc = Encoder::new();
         enc.put_u64(seq);
         enc.put_bytes(payload);
-        let frame = seal_frame(SNAPSHOT_FRAME_KIND, SNAPSHOT_FRAME_VERSION, &enc.into_bytes());
+        let frame = seal_frame(
+            SNAPSHOT_FRAME_KIND,
+            SNAPSHOT_FRAME_VERSION,
+            &enc.into_bytes(),
+        );
         self.medium.write_slot(target, &frame)?;
         Ok(seq)
     }
@@ -219,7 +223,8 @@ impl Journal {
         self.offsets.push(self.bytes.len());
         self.bytes
             .extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        self.bytes.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+        self.bytes
+            .extend_from_slice(&fnv1a64(payload).to_le_bytes());
         self.bytes.extend_from_slice(payload);
         index
     }
@@ -290,10 +295,7 @@ mod tests {
 
     #[test]
     fn dir_medium_round_trips() {
-        let dir = std::env::temp_dir().join(format!(
-            "lakesim-snap-test-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("lakesim-snap-test-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let mut store = SnapshotStore::new(DirSnapshotMedium::new(&dir).unwrap());
         store.save(b"alpha").unwrap();

@@ -14,7 +14,7 @@
 //! carries the tick series and [`StreamStats::ledger_totals`] aggregates
 //! it.
 
-use autocomp::JobLedgerSummary;
+use autocomp::{CycleCacheStats, JobLedgerSummary, RankCycleStats};
 use lakesim_engine::{EngineError, ReadSpec, SimEnv, WriteSpec};
 
 /// One operation to execute.
@@ -49,6 +49,11 @@ pub struct LedgerTick {
     pub gbhr_window_used: f64,
     /// The configured GBHr budget, if any, for pressure reporting.
     pub gbhr_budget: Option<f64>,
+    /// Cycle-cache splice effectiveness of the tick's cycle (how many
+    /// retained trait rows were reused vs recomputed).
+    pub cache: CycleCacheStats,
+    /// Rank-memo splice effectiveness of the tick's cycle.
+    pub memo: RankCycleStats,
 }
 
 /// Builds a [`LedgerTick`] from a tracked cycle's report and the
@@ -66,6 +71,8 @@ pub fn sample_ledger(
             .map(|t| t.gbhr_window_usage())
             .unwrap_or(0.0),
         gbhr_budget: pipeline.job_tracker().and_then(|t| t.config().gbhr_budget),
+        cache: pipeline.cycle_cache_stats(),
+        memo: pipeline.rank_memo_stats(),
     }
 }
 
@@ -441,6 +448,17 @@ mod tests {
             .ledger_ticks
             .iter()
             .all(|t| t.gbhr_budget == Some(1_000.0)));
+        // Splice effectiveness is observable per tick: every cycle's two
+        // tables show up as either spliced or recomputed (settles dirty
+        // their tables, so steady state here recomputes rather than
+        // splices — the split itself is the observable signal).
+        let last = stats.ledger_ticks.last().unwrap();
+        assert_eq!(
+            last.cache.spliced_tables + last.cache.recomputed_tables,
+            2,
+            "{:?}",
+            last.cache
+        );
         // Untracked runs report no ledger.
         let quiet = run_stream(&mut env, &[], 60_000, 120_000, |_, _| {});
         assert!(quiet.ledger_totals().is_none());

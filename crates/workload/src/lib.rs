@@ -20,6 +20,10 @@
 //! * [`driver`] — the deterministic stream runner interleaving scheduled
 //!   queries with periodic callbacks (where the bench layer plugs in
 //!   AutoComp cycles) and commit draining.
+//! * [`sustained`] — the sustained-ingest harness: ≥1M commits per
+//!   simulated hour against a 100K-table fleet through the event-driven
+//!   continuous runtime (plus a fixed-cadence polled companion),
+//!   measuring commit → decision-round latency percentiles.
 
 #![warn(missing_docs)]
 
@@ -27,6 +31,7 @@ pub mod cab;
 pub mod driver;
 pub mod fleet;
 pub mod ingestion;
+pub mod sustained;
 pub mod tpcds;
 pub mod tpch;
 
@@ -37,5 +42,8 @@ pub use driver::{
 };
 pub use fleet::{Archetype, Fleet, FleetConfig};
 pub use ingestion::{sample_raw_sizes, sample_user_derived_sizes, RawPipeline, RawPipelineConfig};
+pub use sustained::{
+    run_sustained_ingest, run_sustained_polled, IngestReport, SustainedIngestConfig,
+};
 pub use tpcds::{TpcdsConfig, TpcdsDatabase};
 pub use tpch::{TpchConfig, TpchDatabase};

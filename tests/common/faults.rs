@@ -155,6 +155,10 @@ impl<E: TrackedExecutor> TrackedExecutor for FaultyExecutor<E> {
         }
         delivered
     }
+
+    fn delivery_cursor(&self) -> u64 {
+        self.inner.delivery_cursor()
+    }
 }
 
 /// Where a scripted crash fires. `None` fields never fire.
@@ -191,6 +195,17 @@ impl<E> CrashingExecutor<E> {
             polls: 0,
         }
     }
+
+    /// The wrapped executor.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+
+    /// Unwraps the crashed wrapper, salvaging the platform (which models
+    /// the remote system that survives the client process's death).
+    pub fn into_inner(self) -> E {
+        self.inner
+    }
 }
 
 impl<E: CompactionExecutor> CompactionExecutor for CrashingExecutor<E> {
@@ -210,6 +225,10 @@ impl<E: TrackedExecutor> TrackedExecutor for CrashingExecutor<E> {
             panic!("{SCRIPTED_CRASH}: before poll #{}", self.polls);
         }
         self.inner.poll(now)
+    }
+
+    fn delivery_cursor(&self) -> u64 {
+        self.inner.delivery_cursor()
     }
 }
 

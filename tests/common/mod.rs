@@ -217,4 +217,8 @@ impl TrackedExecutor for ScriptedPlatform {
         self.cursor = end;
         delivered
     }
+
+    fn delivery_cursor(&self) -> u64 {
+        self.cursor as u64
+    }
 }

@@ -23,15 +23,18 @@ use std::sync::{Mutex, Once};
 use autocomp::durability::{SNAPSHOT_KIND, SNAPSHOT_VERSION};
 use autocomp::{
     AutoComp, AutoCompConfig, Candidate, CandidateStats, ChangeCursor, CompactionExecutor,
-    ComputeCostGbhr, CycleReport, ExecutionResult, FileCountReduction, FleetObserver, JournalEvent,
-    JournalingExecutor, JobRuntimeConfig, LakeConnector, MinSizeFilter, Prediction, RankingPolicy,
-    RecoveryReport, ReplayExecutor, ReplaySummary, ScopeStrategy, TableRef, TraitWeight, Untracked,
+    ComputeCostGbhr, CycleReport, ExecutionResult, FileCountReduction, FleetObserver,
+    JobRuntimeConfig, JournalEvent, JournalingExecutor, LakeConnector, MinSizeFilter, Prediction,
+    RankingPolicy, RecoveryReport, ReplayExecutor, ReplaySummary, ScopeStrategy, TableRef,
+    TraitWeight, Untracked,
 };
 use lakesim_storage::{seal_frame, Journal, MemSnapshotMedium, SnapshotStore};
 use proptest::prelude::*;
 
 mod common;
-use common::faults::{CrashPoint, CrashingExecutor, FaultRates, FaultyExecutor, TornMedium, SCRIPTED_CRASH};
+use common::faults::{
+    CrashPoint, CrashingExecutor, FaultRates, FaultyExecutor, TornMedium, SCRIPTED_CRASH,
+};
 use common::ScriptedPlatform;
 
 const TABLES: u64 = 24;
@@ -187,7 +190,9 @@ fn scripted_writes(cycle: usize) -> Vec<u64> {
     if cycle == 0 {
         return Vec::new();
     }
-    (0..3u64).map(|i| ((cycle as u64) * 7 + i * 5) % TABLES).collect()
+    (0..3u64)
+        .map(|i| ((cycle as u64) * 7 + i * 5) % TABLES)
+        .collect()
 }
 
 /// Bit-level report comparison (the same fields the parity harness
@@ -279,7 +284,12 @@ fn commit_boundary(
     store: &mut SnapshotStore<TornMedium<MemSnapshotMedium>>,
     cycle: usize,
 ) {
-    journal.append(&JournalEvent::CycleCommit { cycle: cycle as u64 }.encode());
+    journal.append(
+        &JournalEvent::CycleCommit {
+            cycle: cycle as u64,
+        }
+        .encode(),
+    );
     let ctx = autocomp::SnapshotContext {
         cycle: cycle as u64,
         executor_cursor: platform.cursor() as u64,
@@ -413,7 +423,14 @@ fn run_interrupted(
             "the journaled submission prefix must be fully consumed"
         );
     }
-    commit_boundary(&ac, &observer, &platform, &mut journal, &mut store, crashed_at);
+    commit_boundary(
+        &ac,
+        &observer,
+        &platform,
+        &mut journal,
+        &mut store,
+        crashed_at,
+    );
 
     // Phase 3: finish the remaining cycles as a normal durable run.
     for i in (crashed_at + 1)..cycles {
@@ -589,7 +606,9 @@ fn restore_rejects_newer_versions_and_foreign_configs() {
     .with_trait(Box::new(FileCountReduction::default()));
     let mut other_observer = FleetObserver::new();
     let report = other.restore_snapshot(&mut other_observer, &bytes);
-    let reason = report.cold_reason().expect("foreign config must cold-start");
+    let reason = report
+        .cold_reason()
+        .expect("foreign config must cold-start");
     assert!(reason.contains("fingerprint"), "reason: {reason}");
 }
 
@@ -696,7 +715,10 @@ fn journal_replay_settles_lease_evicted_jobs_once() {
     // the evicted entries), journaled second-wave submissions re-adopt.
     let summary = ac.replay_journal(&journal, watermark);
     assert_eq!(summary.settled as usize, submitted, "late settles applied");
-    assert_eq!(summary.readopted as usize, second_wave, "second wave re-adopted");
+    assert_eq!(
+        summary.readopted as usize, second_wave,
+        "second wave re-adopted"
+    );
     assert_eq!(
         ac.feedback().records().len(),
         feedback_before + submitted,
@@ -923,7 +945,11 @@ fn warm_restore_resumes_incremental_observe() {
         .run_cycle_incremental(&mut restored_observer, &lake, &mut exec, 3_000)
         .unwrap();
     let observation = restored_observer.last().unwrap();
-    assert_eq!(observation.fetched_tables(), 1, "only the dirty table refetches");
+    assert_eq!(
+        observation.fetched_tables(),
+        1,
+        "only the dirty table refetches"
+    );
     assert_eq!(observation.reused_tables(), 39);
 
     // And the warm resume is bit-identical to never having stopped.
