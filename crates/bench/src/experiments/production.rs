@@ -80,6 +80,7 @@ pub fn auto_cycle(fleet: &Fleet, pipeline: &mut AutoComp, use_planned: bool) -> 
         ObserveOptions {
             compute_planned_estimates: use_planned,
             small_file_fraction: 0.75,
+            transform_signals: false,
         },
     );
     let mut executor = LakesimExecutor::new(fleet.env.clone());

@@ -34,7 +34,7 @@ pub mod usage;
 pub use crate::catalog::{Catalog, CatalogTable};
 pub use database::DatabaseEntry;
 pub use error::CatalogError;
-pub use maintenance::{AccuracySummary, JobStatus, MaintenanceLog, MaintenanceRecord};
+pub use maintenance::{AccuracySummary, JobStatus, MaintenanceLog, MaintenanceRecord, RewriteKind};
 pub use policy::TablePolicy;
 pub use telemetry::TelemetryStore;
 pub use usage::TableUsage;

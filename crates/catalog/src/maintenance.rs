@@ -34,6 +34,40 @@ impl fmt::Display for JobStatus {
     }
 }
 
+/// The transformation a rewrite job embedded (the engine-side twin of
+/// the framework's `JobKind` — the two layers stay decoupled through
+/// the connector, which maps between them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RewriteKind {
+    /// Size-based bin-packing merge (the paper's compaction job).
+    #[default]
+    Merge,
+    /// Sort data files by the table's sort column.
+    Sort,
+    /// Rebalance bytes evenly across partitions.
+    Relayout,
+    /// Apply and drop merge-on-read delete files.
+    Purge,
+}
+
+impl RewriteKind {
+    /// Stable human label, matching the framework's `JobKind::label`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RewriteKind::Merge => "merge",
+            RewriteKind::Sort => "sort-by-column",
+            RewriteKind::Relayout => "partition-relayout",
+            RewriteKind::Purge => "deletion-vector-purge",
+        }
+    }
+}
+
+impl fmt::Display for RewriteKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// One executed maintenance (compaction) job.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MaintenanceRecord {
@@ -51,6 +85,8 @@ pub struct MaintenanceRecord {
     pub finished_at_ms: u64,
     /// Terminal status.
     pub status: JobStatus,
+    /// The transformation the rewrite embedded.
+    pub kind: RewriteKind,
     /// Predicted file-count reduction (the decide-phase ΔF).
     pub predicted_reduction: i64,
     /// Actual file-count reduction achieved.
@@ -177,6 +213,7 @@ mod tests {
             scheduled_at_ms: 0,
             finished_at_ms: 10,
             status,
+            kind: RewriteKind::Merge,
             predicted_reduction: pred_red,
             actual_reduction: act_red,
             predicted_gbhr: pred_c,

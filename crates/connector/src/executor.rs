@@ -11,8 +11,8 @@
 //! [`FeedbackBridge`](crate::FeedbackBridge) plumbing.
 
 use autocomp::{
-    Candidate, CompactionExecutor, ExecutionError, ExecutionResult, JobOutcome, JobOutcomeStatus,
-    Prediction, ScopeKind, TrackedExecutor,
+    Candidate, CompactionExecutor, ExecutionError, ExecutionResult, JobKind, JobOutcome,
+    JobOutcomeStatus, Prediction, ScopeKind, TrackedExecutor,
 };
 use lakesim_catalog::JobStatus;
 use lakesim_engine::{EngineError, RewriteOptions};
@@ -127,17 +127,6 @@ impl CompactionExecutor for LakesimExecutor {
         // Apply commits completed by now before planning, so the plan's
         // inputs are never already-replaced files.
         self.env.borrow_mut().drain_due(now_ms);
-        let Some(plan) = self.plan_for(candidate) else {
-            // The table (or partition) vanished: retrying cannot help.
-            return ExecutionResult {
-                scheduled: false,
-                error: Some(ExecutionError::permanent("candidate no longer resolvable")),
-                ..ExecutionResult::default()
-            };
-        };
-        if plan.is_empty() {
-            return ExecutionResult::default();
-        }
         let opts = RewriteOptions {
             cluster: self.options.cluster.clone(),
             parallelism: self.options.parallelism,
@@ -145,8 +134,42 @@ impl CompactionExecutor for LakesimExecutor {
             predicted_reduction: prediction.reduction,
             predicted_gbhr: prediction.gbhr,
         };
-        let mut env = self.env.borrow_mut();
-        match env.submit_rewrite(&plan, &opts, now_ms) {
+        // Non-merge kinds are whole-table transformations: they bypass
+        // bin-packing and route to the engine's transform entry points.
+        let submitted = match prediction.kind {
+            JobKind::Merge => {
+                let Some(plan) = self.plan_for(candidate) else {
+                    // The table (or partition) vanished: retrying cannot
+                    // help.
+                    return ExecutionResult {
+                        scheduled: false,
+                        error: Some(ExecutionError::permanent("candidate no longer resolvable")),
+                        ..ExecutionResult::default()
+                    };
+                };
+                if plan.is_empty() {
+                    return ExecutionResult::default();
+                }
+                self.env.borrow_mut().submit_rewrite(&plan, &opts, now_ms)
+            }
+            JobKind::SortByColumn => {
+                let id = TableId(candidate.id.table_uid);
+                self.env.borrow_mut().submit_sort_rewrite(id, &opts, now_ms)
+            }
+            JobKind::PartitionRelayout => {
+                let id = TableId(candidate.id.table_uid);
+                self.env
+                    .borrow_mut()
+                    .submit_partition_relayout(id, &opts, now_ms)
+            }
+            JobKind::DeletionVectorPurge => {
+                let id = TableId(candidate.id.table_uid);
+                self.env
+                    .borrow_mut()
+                    .submit_deletion_purge(id, &opts, now_ms)
+            }
+        };
+        match submitted {
             Ok(Some(job)) => ExecutionResult {
                 scheduled: true,
                 job_id: Some(job.job_id),
@@ -161,6 +184,9 @@ impl CompactionExecutor for LakesimExecutor {
                 // §7 failure mode) may clear by the next attempt; every
                 // other engine error is structural.
                 error: Some(match &e {
+                    EngineError::Catalog(_) => {
+                        ExecutionError::permanent("candidate no longer resolvable")
+                    }
                     EngineError::Storage(_) => ExecutionError::transient(e.to_string()),
                     _ => ExecutionError::permanent(e.to_string()),
                 }),
@@ -262,6 +288,7 @@ mod tests {
             reduction: 10,
             gbhr: 0.5,
             trigger: "test".into(),
+            kind: JobKind::Merge,
         }
     }
 
@@ -320,6 +347,59 @@ mod tests {
         let compacted = other.iter().find(|(l, _)| *l == label).unwrap();
         let untouched = other.iter().find(|(l, _)| *l != label).unwrap();
         assert!(compacted.1.file_count < untouched.1.file_count);
+    }
+
+    #[test]
+    fn non_merge_predictions_route_to_transform_rewrites() {
+        let (env, uid) = setup();
+        let connector = LakesimConnector::new(env.clone());
+        let tables = connector.list_tables();
+        let candidate = autocomp::Candidate::new(
+            CandidateId::table(uid),
+            &tables[0],
+            connector.table_stats(uid).unwrap(),
+        );
+        let mut exec = LakesimExecutor::new(env.clone());
+        let sort = Prediction {
+            kind: JobKind::SortByColumn,
+            ..prediction()
+        };
+        let result = exec.execute(&candidate, &sort, 1_000_000);
+        assert!(result.scheduled, "{:?}", result.error);
+        env.borrow_mut().drain_all();
+        let rec = env.borrow().maintenance.records().last().unwrap().clone();
+        assert_eq!(rec.kind, lakesim_catalog::RewriteKind::Sort);
+        assert_eq!(rec.trigger, "test");
+        // Everything now sorted: a second sort prediction is a quiet no-op.
+        let now = env.borrow().clock.now();
+        let again = exec.execute(&candidate, &sort, now + 1);
+        assert!(!again.scheduled);
+        assert!(again.error.is_none());
+    }
+
+    #[test]
+    fn non_merge_prediction_on_missing_table_is_permanent() {
+        let (env, _) = setup();
+        let mut exec = LakesimExecutor::new(env);
+        let ghost = autocomp::Candidate {
+            id: CandidateId::table(999),
+            database: "db".into(),
+            table_name: "ghost".into(),
+            compaction_enabled: true,
+            is_intermediate: false,
+            stats: CandidateStats::default(),
+        };
+        let purge = Prediction {
+            kind: JobKind::DeletionVectorPurge,
+            ..prediction()
+        };
+        let result = exec.execute(&ghost, &purge, 0);
+        assert!(!result.scheduled);
+        let err = result.error.unwrap();
+        assert!(
+            matches!(err, ExecutionError::Permanent(_)),
+            "missing table must not be retried"
+        );
     }
 
     #[test]

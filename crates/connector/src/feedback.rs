@@ -90,6 +90,7 @@ mod tests {
                 scheduled_at_ms: 0,
                 finished_at_ms: i as u64,
                 status: *status,
+                kind: lakesim_catalog::RewriteKind::Merge,
                 predicted_reduction: 10,
                 actual_reduction: 8,
                 predicted_gbhr: 1.0,

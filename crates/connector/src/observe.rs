@@ -24,6 +24,12 @@ pub struct ObserveOptions {
     /// Fraction of the target size below which a file counts as rewrite
     /// input for the planned estimate (Iceberg default 0.75).
     pub small_file_fraction: f64,
+    /// Emit the transformation-classification custom metrics
+    /// (`transforms_enabled`, sort disorder, partition skew) so the
+    /// decide phase can label candidates with non-merge
+    /// [`autocomp::JobKind`]s. Off by default: pre-existing pipelines
+    /// keep classifying everything as merge, bit-for-bit.
+    pub transform_signals: bool,
 }
 
 impl Default for ObserveOptions {
@@ -31,6 +37,7 @@ impl Default for ObserveOptions {
         ObserveOptions {
             compute_planned_estimates: false,
             small_file_fraction: 0.75,
+            transform_signals: false,
         }
     }
 }
@@ -203,6 +210,7 @@ mod tests {
             ObserveOptions {
                 compute_planned_estimates: true,
                 small_file_fraction: 0.75,
+                transform_signals: false,
             },
         );
         let stats = connector.table_stats(uid).unwrap();
@@ -212,6 +220,41 @@ mod tests {
         // Partition-aware estimate never exceeds the naive count.
         assert!(planned <= stats.small_file_count as f64);
         assert!(planned > 0.0);
+    }
+
+    #[test]
+    fn transform_signals_are_opt_in() {
+        let (env, uid) = setup();
+        let plain = LakesimConnector::new(env.clone());
+        let stats = plain.table_stats(uid).unwrap();
+        assert!(stats
+            .custom_metric(autocomp::TRANSFORMS_ENABLED_METRIC)
+            .is_none());
+        let connector = LakesimConnector::with_options(
+            env,
+            ObserveOptions {
+                transform_signals: true,
+                ..ObserveOptions::default()
+            },
+        );
+        let stats = connector.table_stats(uid).unwrap();
+        assert_eq!(
+            stats.custom_metric(autocomp::TRANSFORMS_ENABLED_METRIC),
+            Some(1.0)
+        );
+        // Every ingest write is unsorted, so disorder is 1.0; the three
+        // equal partitions carry no skew above the mean.
+        assert_eq!(
+            stats.custom_metric(autocomp::SORT_DISORDER_METRIC),
+            Some(1.0)
+        );
+        let skew = stats
+            .custom_metric(autocomp::PARTITION_SKEW_METRIC)
+            .unwrap();
+        assert!(
+            (1.0..1.5).contains(&skew),
+            "even partitions ⇒ skew ≈ 1: {skew}"
+        );
     }
 
     #[test]

@@ -20,7 +20,11 @@ use lakesim_lst::{plan_partition_rewrite, plan_table_rewrite, BinPackConfig, Tab
 
 use crate::observe::ObserveOptions;
 
-/// Converts lakesim's [`TableStats`] into the standardized layout.
+/// Converts lakesim's [`TableStats`] into the standardized layout. With
+/// `transform_signals`, the custom metrics driving transformation-aware
+/// job classification ([`autocomp::JobKind::classify`]) are emitted:
+/// `transforms_enabled`, the unsorted-bytes fraction, and (for tables
+/// with ≥ 2 partitions) the max/mean partition-size ratio.
 pub(crate) fn convert(
     table_stats: &TableStats,
     created_at_ms: u64,
@@ -28,6 +32,7 @@ pub(crate) fn convert(
     write_frequency: f64,
     quota: Option<QuotaSignal>,
     planned_reduction: Option<f64>,
+    transform_signals: bool,
 ) -> CandidateStats {
     let mut histogram: Vec<SizeBucket> = table_stats
         .histogram
@@ -66,6 +71,23 @@ pub(crate) fn convert(
     };
     if let Some(planned) = planned_reduction {
         stats = stats.with_custom(autocomp::traits::PLANNED_REDUCTION_METRIC, planned);
+    }
+    if transform_signals {
+        stats = stats.with_custom(autocomp::TRANSFORMS_ENABLED_METRIC, 1.0);
+        if table_stats.total_bytes > 0 {
+            stats = stats.with_custom(
+                autocomp::SORT_DISORDER_METRIC,
+                table_stats.unsorted_data_bytes as f64 / table_stats.total_bytes as f64,
+            );
+            if table_stats.partition_count >= 2 {
+                // max/mean ratio: mean partition bytes = total/count.
+                stats = stats.with_custom(
+                    autocomp::PARTITION_SKEW_METRIC,
+                    table_stats.max_partition_bytes as f64 * table_stats.partition_count as f64
+                        / table_stats.total_bytes as f64,
+                );
+            }
+        }
     }
     stats
 }
@@ -121,6 +143,7 @@ pub(crate) fn table_stats(
         entry.usage.write_frequency_per_hour_at(now),
         quota,
         planned,
+        options.transform_signals,
     ))
 }
 
@@ -152,7 +175,15 @@ pub(crate) fn partition_stats(
             });
             (
                 key.to_string(),
-                convert(&stats, created, last_write, freq, quota, planned),
+                convert(
+                    &stats,
+                    created,
+                    last_write,
+                    freq,
+                    quota,
+                    planned,
+                    options.transform_signals,
+                ),
             )
         })
         .collect()
@@ -188,6 +219,8 @@ pub(crate) fn snapshot_stats(
         snapshot_count: entry.table.snapshots().len() as u64,
         histogram: histogram.clone(),
         target_file_size: target,
+        unsorted_data_bytes: 0,
+        max_partition_bytes: 0,
     };
     let mut partitions = std::collections::BTreeSet::new();
     for f in entry.table.live_files() {
@@ -216,6 +249,10 @@ pub(crate) fn snapshot_stats(
         entry.usage.write_frequency_per_hour_at(now),
         quota,
         None,
+        // Snapshot-window candidates never carry transform signals: the
+        // window is a file subset, so whole-table sort/skew/purge
+        // classification would mislabel it.
+        false,
     ))
 }
 

@@ -93,6 +93,7 @@ use std::sync::Arc;
 use crate::candidate::Candidate;
 use crate::connector::{CompactionExecutor, ExecutionResult, Prediction};
 use crate::feedback::FeedbackRecord;
+use crate::kind::JobKind;
 
 /// Terminal status of one settled compaction job, as surfaced by
 /// [`TrackedExecutor::poll`]. Mirrors the engine-side maintenance status
@@ -333,6 +334,14 @@ pub struct JobLedgerSummary {
     /// evicted: feedback and dirty marks land once, concurrency slots
     /// (already released by the eviction) are left alone.
     pub late_settled: usize,
+    /// Sort-by-column rewrites registered this cycle (merge submissions
+    /// are the unlabeled remainder — merge-only ledgers render exactly
+    /// as before these counters existed).
+    pub sorts_submitted: usize,
+    /// Partition-relayout rewrites registered this cycle.
+    pub relayouts_submitted: usize,
+    /// Deletion-vector-purge rewrites registered this cycle.
+    pub purges_submitted: usize,
 }
 
 impl JobLedgerSummary {
@@ -366,6 +375,13 @@ impl fmt::Display for JobLedgerSummary {
         }
         if self.late_settled > 0 {
             write!(f, " late-settled={}", self.late_settled)?;
+        }
+        if self.sorts_submitted > 0 || self.relayouts_submitted > 0 || self.purges_submitted > 0 {
+            write!(
+                f,
+                " kinds=(sort={} relayout={} purge={})",
+                self.sorts_submitted, self.relayouts_submitted, self.purges_submitted,
+            )?;
         }
         Ok(())
     }
@@ -411,10 +427,15 @@ pub struct JobTracker {
     jobs: BTreeMap<u64, TrackedJob>,
     /// Running-job count per table (suppression index).
     tables_running: BTreeMap<u64, u32>,
+    /// Kind of the most recent running job per table — drives the
+    /// kind-labeled suppression wording; merge labels reuse the shared
+    /// [`Arc`] reasons so merge-only reports stay bit-identical.
+    tables_running_kind: BTreeMap<u64, JobKind>,
     /// Running-job count per database (admission index).
     db_running: BTreeMap<Arc<str>, u32>,
-    /// Tables with a retry pending (suppression index).
-    tables_retrying: BTreeSet<u64>,
+    /// Tables with a retry pending (suppression index), with the kind
+    /// of the rewrite awaiting retry.
+    tables_retrying: BTreeMap<u64, JobKind>,
     /// Retry queue in scheduling order (drained front-to-back, stable).
     retries: VecDeque<RetryEntry>,
     /// `(submitted_at_ms, predicted_gbhr)` of recent admissions, for the
@@ -457,8 +478,9 @@ impl JobTracker {
             config,
             jobs: BTreeMap::new(),
             tables_running: BTreeMap::new(),
+            tables_running_kind: BTreeMap::new(),
             db_running: BTreeMap::new(),
-            tables_retrying: BTreeSet::new(),
+            tables_retrying: BTreeMap::new(),
             retries: VecDeque::new(),
             gbhr_window: VecDeque::new(),
             gbhr_window_sum: 0.0,
@@ -510,20 +532,46 @@ impl JobTracker {
     }
 
     /// Drop reason if `table_uid` currently has work in flight (running
-    /// job or pending retry); `None` when the table is clear.
+    /// job or pending retry); `None` when the table is clear. Non-merge
+    /// jobs name their kind in the reason; merge wording is byte-for-byte
+    /// the pre-kind ledger's.
     pub fn suppression_reason(&self, table_uid: u64) -> Option<Arc<str>> {
         if self.tables_running.contains_key(&table_uid) {
-            Some(self.reason_in_flight.clone())
-        } else if self.tables_retrying.contains(&table_uid) {
-            Some(self.reason_retry_wait.clone())
+            Some(
+                match self
+                    .tables_running_kind
+                    .get(&table_uid)
+                    .copied()
+                    .unwrap_or_default()
+                {
+                    JobKind::Merge => self.reason_in_flight.clone(),
+                    kind => Arc::from(format!("in-flight: table has a live {} job", kind.label())),
+                },
+            )
         } else {
-            None
+            self.tables_retrying.get(&table_uid).map(|kind| match kind {
+                JobKind::Merge => self.reason_retry_wait.clone(),
+                kind => Arc::from(format!(
+                    "in-flight: table awaiting a {} conflict retry",
+                    kind.label()
+                )),
+            })
         }
     }
 
     /// Counts one suppressed candidate (the pipeline pushes the reason).
     pub(crate) fn note_suppressed(&mut self) {
         self.counters.suppressed += 1;
+    }
+
+    /// Labels a shared deferral reason with the submission's kind.
+    /// Merge clones the shared [`Arc`] (bit-identical to the pre-kind
+    /// ledger); other kinds append their label.
+    fn kind_reason(base: &Arc<str>, kind: JobKind) -> Arc<str> {
+        match kind {
+            JobKind::Merge => base.clone(),
+            kind => Arc::from(format!("{base} ({})", kind.label())),
+        }
     }
 
     /// Admission check for one submission. `Ok(())` admits; `Err(reason)`
@@ -534,34 +582,35 @@ impl JobTracker {
         database: &str,
         table_uid: u64,
         predicted_gbhr: f64,
+        kind: JobKind,
         now_ms: u64,
     ) -> Result<(), Arc<str>> {
         if self.tables_running.contains_key(&table_uid) {
             // Same-cycle double submission (two candidates of one table
             // admitted in different waves before the first settles).
-            return Err(self.reason_table.clone());
+            return Err(Self::kind_reason(&self.reason_table, kind));
         }
-        if self.tables_retrying.contains(&table_uid) {
+        if self.tables_retrying.contains_key(&table_uid) {
             // A retry is pending for this table (e.g. a wave-1 submission
             // failed transiently, or an inter-wave settle conflicted):
             // submitting more work for it now would race the retry — the
             // whole-table serialization the ledger exists to enforce.
-            return Err(self.reason_retry_pending.clone());
+            return Err(Self::kind_reason(&self.reason_retry_pending, kind));
         }
         if self.jobs.len() >= self.config.max_in_flight {
-            return Err(self.reason_fleet.clone());
+            return Err(Self::kind_reason(&self.reason_fleet, kind));
         }
         if self
             .db_running
             .get(database)
             .is_some_and(|n| *n as usize >= self.config.max_in_flight_per_database)
         {
-            return Err(self.reason_db.clone());
+            return Err(Self::kind_reason(&self.reason_db, kind));
         }
         if let Some(budget) = self.config.gbhr_budget {
             self.prune_gbhr_window(now_ms);
             if self.gbhr_window_sum + predicted_gbhr > budget {
-                return Err(self.reason_gbhr.clone());
+                return Err(Self::kind_reason(&self.reason_gbhr, kind));
             }
         }
         Ok(())
@@ -620,6 +669,14 @@ impl JobTracker {
             .tables_running
             .entry(candidate.id.table_uid)
             .or_insert(0) += 1;
+        self.tables_running_kind
+            .insert(candidate.id.table_uid, prediction.kind);
+        match prediction.kind {
+            JobKind::Merge => {}
+            JobKind::SortByColumn => self.counters.sorts_submitted += 1,
+            JobKind::PartitionRelayout => self.counters.relayouts_submitted += 1,
+            JobKind::DeletionVectorPurge => self.counters.purges_submitted += 1,
+        }
         *self
             .db_running
             .entry(candidate.database.clone())
@@ -680,6 +737,7 @@ impl JobTracker {
             *n -= 1;
             if *n == 0 {
                 self.tables_running.remove(&uid);
+                self.tables_running_kind.remove(&uid);
             }
         }
         if let Some(n) = self.db_running.get_mut(&job.candidate.database) {
@@ -728,7 +786,8 @@ impl JobTracker {
         due_ms: u64,
         attempts: u32,
     ) {
-        self.tables_retrying.insert(candidate.id.table_uid);
+        self.tables_retrying
+            .insert(candidate.id.table_uid, prediction.kind);
         self.retries.push_back(RetryEntry {
             candidate,
             prediction,
@@ -852,7 +911,7 @@ impl JobTracker {
         self.tables_retrying = self
             .retries
             .iter()
-            .map(|e| e.candidate.id.table_uid)
+            .map(|e| (e.candidate.id.table_uid, e.prediction.kind))
             .collect();
         due
     }
@@ -990,6 +1049,9 @@ impl JobTracker {
             self.counters.deferred,
             self.counters.leases_expired,
             self.counters.late_settled,
+            self.counters.sorts_submitted,
+            self.counters.relayouts_submitted,
+            self.counters.purges_submitted,
         ] {
             enc.put_u64(counter as u64);
         }
@@ -1058,7 +1120,7 @@ impl JobTracker {
                 tracker.settled_recent.push_back(job_id);
             }
         }
-        let mut counters = [0u64; 10];
+        let mut counters = [0u64; 13];
         for counter in &mut counters {
             *counter = dec.take_u64("ledger counter")?;
         }
@@ -1075,6 +1137,9 @@ impl JobTracker {
             deferred: counters[7] as usize,
             leases_expired: counters[8] as usize,
             late_settled: counters[9] as usize,
+            sorts_submitted: counters[10] as usize,
+            relayouts_submitted: counters[11] as usize,
+            purges_submitted: counters[12] as usize,
         };
         // Rebuild the derived indexes from the restored ledger. Evicted
         // entries are excluded: their slots were released at eviction.
@@ -1083,6 +1148,9 @@ impl JobTracker {
                 .tables_running
                 .entry(job.candidate.id.table_uid)
                 .or_insert(0) += 1;
+            tracker
+                .tables_running_kind
+                .insert(job.candidate.id.table_uid, job.prediction.kind);
             *tracker
                 .db_running
                 .entry(job.candidate.database.clone())
@@ -1091,7 +1159,7 @@ impl JobTracker {
         tracker.tables_retrying = tracker
             .retries
             .iter()
-            .map(|e| e.candidate.id.table_uid)
+            .map(|e| (e.candidate.id.table_uid, e.prediction.kind))
             .collect();
         Ok(tracker)
     }
@@ -1120,6 +1188,14 @@ mod tests {
             reduction: 10,
             gbhr: 1.0,
             trigger: "test".into(),
+            kind: JobKind::Merge,
+        }
+    }
+
+    fn kind_prediction(kind: JobKind) -> Prediction {
+        Prediction {
+            kind,
+            ..prediction()
         }
     }
 
@@ -1208,22 +1284,35 @@ mod tests {
             ..JobRuntimeConfig::default()
         };
         let mut t = JobTracker::new(config);
-        assert!(t.admit("db_a", 1, 1.0, 0).is_ok());
+        let merge = JobKind::Merge;
+        assert!(t.admit("db_a", 1, 1.0, merge, 0).is_ok());
         t.register(1, &candidate(1, "db_a"), &prediction(), 1, 0);
         // Same table: blocked; same database: blocked; other db fine.
-        assert!(t.admit("db_a", 1, 1.0, 0).unwrap_err().contains("table"));
-        assert!(t.admit("db_a", 2, 1.0, 0).unwrap_err().contains("database"));
-        assert!(t.admit("db_b", 3, 1.0, 0).is_ok());
+        assert!(t
+            .admit("db_a", 1, 1.0, merge, 0)
+            .unwrap_err()
+            .contains("table"));
+        assert!(t
+            .admit("db_a", 2, 1.0, merge, 0)
+            .unwrap_err()
+            .contains("database"));
+        assert!(t.admit("db_b", 3, 1.0, merge, 0).is_ok());
         t.register(2, &candidate(3, "db_b"), &prediction(), 1, 0);
         // Fleet slots exhausted.
-        assert!(t.admit("db_c", 4, 0.1, 0).unwrap_err().contains("fleet"));
+        assert!(t
+            .admit("db_c", 4, 0.1, merge, 0)
+            .unwrap_err()
+            .contains("fleet"));
         // Settle one job: fleet + db slots free, but the GBHr window
         // still remembers both submissions (2.0 spent of 2.5).
         t.settle(vec![outcome(1, 1, JobOutcomeStatus::Succeeded, 100)]);
-        assert!(t.admit("db_a", 5, 1.0, 200).unwrap_err().contains("GBHr"));
-        assert!(t.admit("db_a", 5, 0.4, 200).is_ok());
+        assert!(t
+            .admit("db_a", 5, 1.0, merge, 200)
+            .unwrap_err()
+            .contains("GBHr"));
+        assert!(t.admit("db_a", 5, 0.4, merge, 200).is_ok());
         // Window rolls past the submissions: budget replenishes.
-        assert!(t.admit("db_a", 5, 1.0, 20_001).is_ok());
+        assert!(t.admit("db_a", 5, 1.0, merge, 20_001).is_ok());
     }
 
     #[test]
@@ -1242,13 +1331,20 @@ mod tests {
             ..ExecutionResult::default()
         };
         t.note_unscheduled(&candidate(1, "db"), &prediction(), 1, &failed, 0);
-        assert!(t.admit("db", 1, 0.5, 0).unwrap_err().contains("retry"));
-        assert!(t.admit("db", 2, 0.5, 0).is_ok(), "other tables unaffected");
+        let merge = JobKind::Merge;
+        assert!(t
+            .admit("db", 1, 0.5, merge, 0)
+            .unwrap_err()
+            .contains("retry"));
+        assert!(
+            t.admit("db", 2, 0.5, merge, 0).is_ok(),
+            "other tables unaffected"
+        );
         // Once the retry is taken for resubmission the table admits
         // again (the resubmission itself is what re-registers it).
         let due = t.take_due_retries(10_000);
         assert_eq!(due.len(), 1);
-        assert!(t.admit("db", 1, 0.5, 10_000).is_ok());
+        assert!(t.admit("db", 1, 0.5, merge, 10_000).is_ok());
     }
 
     #[test]
@@ -1276,13 +1372,13 @@ mod tests {
         }
         assert_eq!(t.gbhr_window.len(), 50);
         assert!((t.gbhr_window_sum - 50.0).abs() < 1e-9, "running sum kept");
-        assert!(t.admit("db", 999, 0.0, 10_000).is_ok());
+        assert!(t.admit("db", 999, 0.0, JobKind::Merge, 10_000).is_ok());
         assert!(t.gbhr_window.is_empty(), "stale entries pruned on admit");
         assert_eq!(t.gbhr_window_sum, 0.0, "sum re-zeroed with the window");
         // An id-less scheduled submission still charges the budget.
         t.charge_gbhr_window(99.5, 10_000);
         assert!(t
-            .admit("db", 999, 1.0, 10_000)
+            .admit("db", 999, 1.0, JobKind::Merge, 10_000)
             .unwrap_err()
             .contains("GBHr"));
     }
@@ -1300,7 +1396,10 @@ mod tests {
         t.expire_leases(10_000);
         assert_eq!(t.in_flight(), 0, "stuck entry evicted");
         assert!(t.suppression_reason(1).is_none());
-        assert!(t.admit("db", 1, 0.5, 10_000).is_ok(), "slots freed");
+        assert!(
+            t.admit("db", 1, 0.5, JobKind::Merge, 10_000).is_ok(),
+            "slots freed"
+        );
         assert_eq!(t.take_settled_dirty(), vec![1], "table re-observed");
         // A late outcome for the evicted job settles once: feedback and
         // the dirty mark land, nothing double-releases.
@@ -1354,6 +1453,51 @@ mod tests {
         t.note_unscheduled(&candidate(3, "db"), &p, 2, &transient, 0);
         assert_eq!(t.retry_pending(), 1);
         assert_eq!(t.take_summary().retries_exhausted, 1);
+    }
+
+    #[test]
+    fn non_merge_kinds_label_reasons_and_count() {
+        let mut t = JobTracker::new(JobRuntimeConfig::default());
+        let sort = kind_prediction(JobKind::SortByColumn);
+        t.register(1, &candidate(1, "db"), &sort, 1, 0);
+        assert_eq!(
+            &*t.suppression_reason(1).unwrap(),
+            "in-flight: table has a live sort-by-column job"
+        );
+        assert_eq!(
+            &*t.admit("db", 1, 0.5, JobKind::SortByColumn, 0).unwrap_err(),
+            "deferred: table job submitted earlier this cycle (sort-by-column)"
+        );
+        // A conflicted sort waits out its retry with a labeled reason.
+        t.settle(vec![outcome(1, 1, JobOutcomeStatus::Conflicted, 100)]);
+        assert_eq!(
+            &*t.suppression_reason(1).unwrap(),
+            "in-flight: table awaiting a sort-by-column conflict retry"
+        );
+        t.register(
+            2,
+            &candidate(2, "db"),
+            &kind_prediction(JobKind::PartitionRelayout),
+            1,
+            0,
+        );
+        t.register(
+            3,
+            &candidate(3, "db"),
+            &kind_prediction(JobKind::DeletionVectorPurge),
+            1,
+            0,
+        );
+        t.register(4, &candidate(4, "db"), &prediction(), 1, 0);
+        let s = t.take_summary();
+        assert_eq!(s.sorts_submitted, 1);
+        assert_eq!(s.relayouts_submitted, 1);
+        assert_eq!(s.purges_submitted, 1);
+        assert!(s.to_string().contains("kinds=(sort=1 relayout=1 purge=1)"));
+        // Merge-only ledgers never render the kinds segment.
+        let mut t = JobTracker::new(JobRuntimeConfig::default());
+        t.register(9, &candidate(9, "db"), &prediction(), 1, 0);
+        assert!(!t.take_summary().to_string().contains("kinds="));
     }
 
     #[test]

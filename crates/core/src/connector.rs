@@ -271,6 +271,10 @@ pub struct Prediction {
     pub gbhr: f64,
     /// Trigger label for the maintenance log.
     pub trigger: String,
+    /// The transformation the rewrite should embed
+    /// ([`JobKind::classify`](crate::kind::JobKind::classify)d from the
+    /// candidate's observed stats; preserved verbatim across retries).
+    pub kind: crate::kind::JobKind,
 }
 
 /// Why a submission failed, classified for the job runtime's retry
@@ -442,6 +446,7 @@ mod tests {
                 reduction: 7,
                 gbhr: 0.5,
                 trigger: "test".into(),
+                kind: crate::kind::JobKind::Merge,
             },
             0,
         );

@@ -108,7 +108,7 @@ pub const SNAPSHOT_KIND: u16 = 7;
 /// Newest pipeline-snapshot payload version this build reads and writes.
 /// Bumped on any incompatible layout change; see the module docs for the
 /// compatibility policy.
-pub const SNAPSHOT_VERSION: u32 = 1;
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// What a restore attempt produced.
 #[derive(Debug, Clone, PartialEq)]
@@ -651,6 +651,7 @@ pub(crate) fn put_prediction(enc: &mut Encoder, p: &Prediction) {
     enc.put_i64(p.reduction);
     enc.put_f64(p.gbhr);
     enc.put_str(&p.trigger);
+    enc.put_u8(p.kind.code());
 }
 
 pub(crate) fn take_prediction(dec: &mut Decoder<'_>) -> Result<Prediction, CodecError> {
@@ -658,6 +659,8 @@ pub(crate) fn take_prediction(dec: &mut Decoder<'_>) -> Result<Prediction, Codec
         reduction: dec.take_i64("predicted reduction")?,
         gbhr: dec.take_f64("predicted gbhr")?,
         trigger: dec.take_str("prediction trigger")?.to_string(),
+        kind: crate::kind::JobKind::from_code(dec.take_u8("prediction kind tag")?)
+            .ok_or(CodecError::Invalid("prediction kind tag"))?,
     })
 }
 
@@ -769,6 +772,7 @@ mod tests {
                     reduction: 64,
                     gbhr: 1.75,
                     trigger: "periodic".into(),
+                    kind: crate::kind::JobKind::SortByColumn,
                 },
                 attempts: 2,
                 result: ExecutionResult {
@@ -786,6 +790,7 @@ mod tests {
                     reduction: 1,
                     gbhr: 0.5,
                     trigger: "hook".into(),
+                    kind: crate::kind::JobKind::Merge,
                 },
                 attempts: 1,
                 result: ExecutionResult {

@@ -1,0 +1,244 @@
+//! Rewrite kinds: which transformation a compaction job embeds.
+//!
+//! The paper's jobs are size-based bin-packing **merges**. Production
+//! compaction frameworks fold further table transformations into the
+//! same rewrite machinery — sorting, clustering and layout changes ride
+//! the job that is already rewriting the files (Mycelium), and
+//! merge-on-read deletion vectors are purged by exactly the same
+//! replace-files commit. [`JobKind`] makes those transformations
+//! first-class in the act phase: every [`Prediction`] carries the kind
+//! the decide phase classified, the job ledger counts and labels
+//! per-kind activity, and platform executors dispatch each kind to its
+//! own rewrite path.
+//!
+//! # Cost-model contract (benefit definition per kind)
+//!
+//! Each kind values its own GBHr-style benefit; the orient-phase trait
+//! computers that express them are opt-in (see
+//! [`DeleteDebt`](crate::traits::DeleteDebt),
+//! [`SortDisorder`](crate::traits::SortDisorder) and
+//! [`PartitionSkewExcess`](crate::traits::PartitionSkewExcess)):
+//!
+//! * [`Merge`](JobKind::Merge) — benefit is file-count reduction ΔF
+//!   (§4.2), cost the paper's `GBHr = mem × bytes/throughput`; both
+//!   unchanged from the seed pipeline.
+//! * [`SortByColumn`](JobKind::SortByColumn) — benefit is the unsorted
+//!   data volume the rewrite organizes (the
+//!   [`SORT_DISORDER_METRIC`] fraction × total bytes); the engine
+//!   charges a sort premium on rewrite work.
+//! * [`PartitionRelayout`](JobKind::PartitionRelayout) — benefit is the
+//!   skew removed: how far the largest partition sits above the
+//!   per-partition mean ([`PARTITION_SKEW_METRIC`], a max/mean ratio).
+//! * [`DeletionVectorPurge`](JobKind::DeletionVectorPurge) — benefit is
+//!   the merge-on-read debt retired: delete files dropped plus the data
+//!   bytes they masked.
+//!
+//! # Classification and fallback conditions
+//!
+//! [`JobKind::classify`] is a pure function of [`CandidateStats`] — the
+//! same purity contract as trait computers, so cached rows stay
+//! spliceable and cold/incremental cycles classify bit-identically.
+//! Fallbacks, in order:
+//!
+//! 1. Unless the connector opted the candidate into transformation
+//!    signals (the [`TRANSFORMS_ENABLED_METRIC`] custom metric ≥ 1.0),
+//!    classification is **always** [`Merge`](JobKind::Merge): pipelines
+//!    over pre-existing connectors keep today's behavior bit-for-bit.
+//! 2. With signals present, kinds are tested most-urgent first: purge
+//!    (delete-file debt both deep, ≥ [`PURGE_MIN_DELETE_FILES`], and
+//!    broad, ≥ 1/[`PURGE_FILE_RATIO`] of all files), then relayout
+//!    (skew ratio ≥ [`RELAYOUT_MIN_SKEW`]), then sort (unsorted
+//!    fraction ≥ [`SORT_MIN_DISORDER`]).
+//! 3. Any missing or sub-threshold signal falls through to the next
+//!    test and ultimately to [`Merge`](JobKind::Merge) — a candidate is
+//!    never dropped by classification, only re-labeled.
+//!
+//! [`Prediction`]: crate::connector::Prediction
+
+use std::fmt;
+
+use crate::stats::CandidateStats;
+
+/// Custom metric a connector emits (value ≥ 1.0) to opt a candidate
+/// into transformation-aware classification.
+pub const TRANSFORMS_ENABLED_METRIC: &str = "transforms_enabled";
+
+/// Custom metric: fraction of data bytes not yet sorted (0.0–1.0).
+pub const SORT_DISORDER_METRIC: &str = "sort_disorder";
+
+/// Custom metric: largest-partition bytes over the per-partition mean
+/// (1.0 = perfectly even; grows with skew).
+pub const PARTITION_SKEW_METRIC: &str = "partition_skew";
+
+/// Purge needs at least this many delete files (depth of MoR debt).
+pub const PURGE_MIN_DELETE_FILES: u64 = 4;
+
+/// ...and delete files must be at least 1/this of all live files
+/// (breadth of MoR debt).
+pub const PURGE_FILE_RATIO: u64 = 5;
+
+/// Relayout fires at or above this max/mean partition-size ratio.
+pub const RELAYOUT_MIN_SKEW: f64 = 3.0;
+
+/// Sort fires at or above this unsorted-bytes fraction.
+pub const SORT_MIN_DISORDER: f64 = 0.5;
+
+/// The transformation a rewrite job embeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum JobKind {
+    /// Size-based bin-packing merge — the paper's compaction job.
+    #[default]
+    Merge,
+    /// Rewrite that sorts data files by the table's sort column.
+    SortByColumn,
+    /// Rewrite that rebalances bytes across partitions.
+    PartitionRelayout,
+    /// Rewrite that applies and drops merge-on-read delete files.
+    DeletionVectorPurge,
+}
+
+impl JobKind {
+    /// Every kind, in codec/display order.
+    pub const ALL: [JobKind; 4] = [
+        JobKind::Merge,
+        JobKind::SortByColumn,
+        JobKind::PartitionRelayout,
+        JobKind::DeletionVectorPurge,
+    ];
+
+    /// Stable human label (used in report reasons and ledger lines).
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobKind::Merge => "merge",
+            JobKind::SortByColumn => "sort-by-column",
+            JobKind::PartitionRelayout => "partition-relayout",
+            JobKind::DeletionVectorPurge => "deletion-vector-purge",
+        }
+    }
+
+    /// Stable one-byte codec tag (see [`crate::durability`]).
+    pub fn code(&self) -> u8 {
+        match self {
+            JobKind::Merge => 0,
+            JobKind::SortByColumn => 1,
+            JobKind::PartitionRelayout => 2,
+            JobKind::DeletionVectorPurge => 3,
+        }
+    }
+
+    /// Inverse of [`code`](Self::code); `None` for unknown tags.
+    pub fn from_code(code: u8) -> Option<JobKind> {
+        JobKind::ALL.into_iter().find(|k| k.code() == code)
+    }
+
+    /// Classifies the transformation a rewrite of this candidate should
+    /// embed. Pure in the statistics; see the module docs for the
+    /// threshold order and fallback conditions.
+    pub fn classify(stats: &CandidateStats) -> JobKind {
+        if stats
+            .custom_metric(TRANSFORMS_ENABLED_METRIC)
+            .is_none_or(|v| v < 1.0)
+        {
+            return JobKind::Merge;
+        }
+        if stats.delete_file_count >= PURGE_MIN_DELETE_FILES
+            && stats.delete_file_count * PURGE_FILE_RATIO >= stats.file_count
+        {
+            return JobKind::DeletionVectorPurge;
+        }
+        if stats
+            .custom_metric(PARTITION_SKEW_METRIC)
+            .is_some_and(|skew| skew >= RELAYOUT_MIN_SKEW)
+        {
+            return JobKind::PartitionRelayout;
+        }
+        if stats
+            .custom_metric(SORT_DISORDER_METRIC)
+            .is_some_and(|d| d >= SORT_MIN_DISORDER)
+        {
+            return JobKind::SortByColumn;
+        }
+        JobKind::Merge
+    }
+}
+
+impl fmt::Display for JobKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn transform_stats() -> CandidateStats {
+        CandidateStats {
+            file_count: 100,
+            ..CandidateStats::default()
+        }
+        .with_custom(TRANSFORMS_ENABLED_METRIC, 1.0)
+    }
+
+    #[test]
+    fn codes_round_trip() {
+        for kind in JobKind::ALL {
+            assert_eq!(JobKind::from_code(kind.code()), Some(kind));
+        }
+        assert_eq!(JobKind::from_code(200), None);
+    }
+
+    #[test]
+    fn classification_defaults_to_merge_without_opt_in() {
+        // Even a candidate drowning in delete files stays a merge when
+        // the connector never opted into transformation signals.
+        let stats = CandidateStats {
+            file_count: 10,
+            delete_file_count: 10,
+            ..CandidateStats::default()
+        }
+        .with_custom(SORT_DISORDER_METRIC, 1.0)
+        .with_custom(PARTITION_SKEW_METRIC, 10.0);
+        assert_eq!(JobKind::classify(&stats), JobKind::Merge);
+    }
+
+    #[test]
+    fn purge_needs_deep_and_broad_delete_debt() {
+        let mut stats = transform_stats();
+        stats.delete_file_count = 3; // deep enough? no (< 4)
+        stats.file_count = 10;
+        assert_eq!(JobKind::classify(&stats), JobKind::Merge);
+        stats.delete_file_count = 4; // 4*5 >= 10: broad and deep
+        assert_eq!(JobKind::classify(&stats), JobKind::DeletionVectorPurge);
+        stats.file_count = 1000; // deep but narrow: 4*5 < 1000
+        assert_eq!(JobKind::classify(&stats), JobKind::Merge);
+    }
+
+    #[test]
+    fn priority_is_purge_then_relayout_then_sort() {
+        let all_signals = |stats: CandidateStats| {
+            stats
+                .with_custom(TRANSFORMS_ENABLED_METRIC, 1.0)
+                .with_custom(PARTITION_SKEW_METRIC, 5.0)
+                .with_custom(SORT_DISORDER_METRIC, 0.9)
+        };
+        let purge = all_signals(CandidateStats {
+            file_count: 10,
+            delete_file_count: 8,
+            ..CandidateStats::default()
+        });
+        assert_eq!(JobKind::classify(&purge), JobKind::DeletionVectorPurge);
+        let relayout = all_signals(CandidateStats {
+            file_count: 10,
+            ..CandidateStats::default()
+        });
+        assert_eq!(JobKind::classify(&relayout), JobKind::PartitionRelayout);
+        let sort = transform_stats().with_custom(SORT_DISORDER_METRIC, 0.9);
+        assert_eq!(JobKind::classify(&sort), JobKind::SortByColumn);
+        // Sub-threshold everything: merge.
+        let calm = transform_stats()
+            .with_custom(PARTITION_SKEW_METRIC, 1.2)
+            .with_custom(SORT_DISORDER_METRIC, 0.1);
+        assert_eq!(JobKind::classify(&calm), JobKind::Merge);
+    }
+}

@@ -97,6 +97,7 @@ pub mod durability;
 pub mod error;
 pub mod feedback;
 pub mod filter;
+pub mod kind;
 pub mod matrix;
 pub mod observe;
 mod par;
@@ -130,6 +131,7 @@ pub use filter::{
     AlreadyCompactFilter, CandidateFilter, CompactionDisabledFilter, FilterDecision,
     IntermediateTableFilter, MinSizeFilter, RecentWriteActivityFilter, RecentlyCreatedFilter,
 };
+pub use kind::{JobKind, PARTITION_SKEW_METRIC, SORT_DISORDER_METRIC, TRANSFORMS_ENABLED_METRIC};
 pub use matrix::{TraitId, TraitMatrix};
 pub use observe::{
     ChangeCursor, FleetObservation, FleetObserver, NameInterner, ObserveRequest, TableObservation,
@@ -148,7 +150,10 @@ pub use schedule::{
 };
 pub use scope::ScopeStrategy;
 pub use stats::{CandidateStats, QuotaSignal, SizeBucket};
-pub use traits::{ComputeCostGbhr, FileCountReduction, FileEntropy, TraitComputer, TraitDirection};
+pub use traits::{
+    ComputeCostGbhr, DeleteDebt, FileCountReduction, FileEntropy, PartitionSkewExcess,
+    SortDisorder, TraitComputer, TraitDirection,
+};
 pub use trigger::{AfterWriteHook, HookAction, HookMode, PeriodicTrigger};
 
 /// Crate-level result alias.

@@ -768,6 +768,9 @@ impl AutoComp {
                         reduction: (raw_reduction * reduction_cal).round() as i64,
                         gbhr: raw_gbhr * cost_cal,
                         trigger: prediction.trigger,
+                        // The retry resubmits the job it is retrying: the
+                        // kind never re-classifies from fresher stats.
+                        kind: prediction.kind,
                     };
                     candidate.stats = stats.clone();
                 }
@@ -775,6 +778,7 @@ impl AutoComp {
                     &candidate.database,
                     candidate.id.table_uid,
                     prediction.gbhr,
+                    prediction.kind,
                     now_ms,
                 ) {
                     Err(reason) => {
@@ -839,6 +843,7 @@ impl AutoComp {
                     reduction: (raw_reduction * reduction_cal).round() as i64,
                     gbhr: raw_gbhr * cost_cal,
                     trigger: self.config.trigger_label.clone(),
+                    kind: crate::kind::JobKind::classify(&candidate.stats),
                 };
                 // Admission control: a denied submission is deferred —
                 // reported, left unexecuted, and regenerated next cycle.
@@ -851,6 +856,7 @@ impl AutoComp {
                         &candidate.database,
                         candidate.id.table_uid,
                         prediction.gbhr,
+                        prediction.kind,
                         now_ms,
                     ) {
                         tracker.note_deferred();

@@ -168,6 +168,76 @@ impl TraitComputer for ComputeCostGbhr {
     }
 }
 
+/// Merge-on-read delete-file debt (benefit for
+/// [`DeletionVectorPurge`](crate::kind::JobKind::DeletionVectorPurge)
+/// candidates): the number of live delete files a purge rewrite would
+/// retire. Zero when the table carries no deletion vectors, so mixing
+/// this trait into a MOOP objective is a no-op for insert-only fleets.
+#[derive(Debug, Clone, Default)]
+pub struct DeleteDebt;
+
+impl TraitComputer for DeleteDebt {
+    fn name(&self) -> &str {
+        "delete_debt"
+    }
+    fn direction(&self) -> TraitDirection {
+        TraitDirection::Benefit
+    }
+    fn compute(&self, stats: &CandidateStats) -> f64 {
+        stats.delete_file_count as f64
+    }
+}
+
+/// Unsorted data volume (benefit for
+/// [`SortByColumn`](crate::kind::JobKind::SortByColumn) candidates): the
+/// connector's [`SORT_DISORDER_METRIC`](crate::kind::SORT_DISORDER_METRIC)
+/// fraction scaled by total bytes, expressed in GB so its magnitude is
+/// commensurable with GBHr-style traits. Falls back to 0.0 when the
+/// connector never emitted the signal — opt-in, like classification.
+#[derive(Debug, Clone, Default)]
+pub struct SortDisorder;
+
+impl TraitComputer for SortDisorder {
+    fn name(&self) -> &str {
+        crate::kind::SORT_DISORDER_METRIC
+    }
+    fn direction(&self) -> TraitDirection {
+        TraitDirection::Benefit
+    }
+    fn compute(&self, stats: &CandidateStats) -> f64 {
+        let fraction = stats
+            .custom_metric(crate::kind::SORT_DISORDER_METRIC)
+            .unwrap_or(0.0)
+            .clamp(0.0, 1.0);
+        fraction * (stats.total_bytes as f64 / (1u64 << 30) as f64)
+    }
+}
+
+/// Partition-skew excess (benefit for
+/// [`PartitionRelayout`](crate::kind::JobKind::PartitionRelayout)
+/// candidates): how far the largest partition's max/mean byte ratio
+/// ([`PARTITION_SKEW_METRIC`](crate::kind::PARTITION_SKEW_METRIC)) sits
+/// above 1.0 (perfectly even). Falls back to 0.0 when the signal is
+/// absent or reports no excess.
+#[derive(Debug, Clone, Default)]
+pub struct PartitionSkewExcess;
+
+impl TraitComputer for PartitionSkewExcess {
+    fn name(&self) -> &str {
+        crate::kind::PARTITION_SKEW_METRIC
+    }
+    fn direction(&self) -> TraitDirection {
+        TraitDirection::Benefit
+    }
+    fn compute(&self, stats: &CandidateStats) -> f64 {
+        (stats
+            .custom_metric(crate::kind::PARTITION_SKEW_METRIC)
+            .unwrap_or(1.0)
+            - 1.0)
+            .max(0.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -237,6 +307,39 @@ mod tests {
         assert!(e.compute(&tiny) <= 1.0);
         // Degenerate inputs.
         assert_eq!(e.compute(&CandidateStats::default()), 0.0);
+    }
+
+    #[test]
+    fn kind_traits_fall_back_to_zero_without_signals() {
+        let bare = CandidateStats {
+            total_bytes: 10 << 30,
+            ..CandidateStats::default()
+        };
+        assert_eq!(DeleteDebt.compute(&bare), 0.0);
+        assert_eq!(SortDisorder.compute(&bare), 0.0);
+        assert_eq!(PartitionSkewExcess.compute(&bare), 0.0);
+    }
+
+    #[test]
+    fn kind_traits_value_their_signals() {
+        let stats = CandidateStats {
+            total_bytes: 10 << 30,
+            delete_file_count: 7,
+            ..CandidateStats::default()
+        }
+        .with_custom(crate::kind::SORT_DISORDER_METRIC, 0.5)
+        .with_custom(crate::kind::PARTITION_SKEW_METRIC, 4.0);
+        assert_eq!(DeleteDebt.compute(&stats), 7.0);
+        // Half of 10 GB unsorted = 5.0 GB of disorder.
+        assert!((SortDisorder.compute(&stats) - 5.0).abs() < 1e-9);
+        assert!((PartitionSkewExcess.compute(&stats) - 3.0).abs() < 1e-9);
+        for t in [
+            DeleteDebt.direction(),
+            SortDisorder.direction(),
+            PartitionSkewExcess.direction(),
+        ] {
+            assert_eq!(t, TraitDirection::Benefit);
+        }
     }
 
     #[test]

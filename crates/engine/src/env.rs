@@ -472,6 +472,7 @@ impl SimEnv {
                     job_id,
                     scope,
                     trigger,
+                    kind,
                     predicted_reduction,
                     predicted_gbhr,
                 } = &commit.kind
@@ -484,6 +485,7 @@ impl SimEnv {
                         scheduled_at_ms: commit.submitted_ms,
                         finished_at_ms: due_ms,
                         status: JobStatus::Failed,
+                        kind: *kind,
                         predicted_reduction: *predicted_reduction,
                         actual_reduction: 0,
                         predicted_gbhr: *predicted_gbhr,
@@ -549,6 +551,7 @@ impl SimEnv {
                 job_id,
                 scope,
                 trigger,
+                kind,
                 predicted_reduction,
                 predicted_gbhr,
             } => {
@@ -567,6 +570,7 @@ impl SimEnv {
                     scheduled_at_ms: commit.submitted_ms,
                     finished_at_ms: due_ms,
                     status: JobStatus::Succeeded,
+                    kind: *kind,
                     predicted_reduction: *predicted_reduction,
                     actual_reduction,
                     predicted_gbhr: *predicted_gbhr,
@@ -651,6 +655,7 @@ impl SimEnv {
                 job_id,
                 scope,
                 trigger,
+                kind,
                 predicted_reduction,
                 predicted_gbhr,
             } => {
@@ -670,6 +675,7 @@ impl SimEnv {
                     scheduled_at_ms: commit.submitted_ms,
                     finished_at_ms: due_ms,
                     status: JobStatus::Conflicted,
+                    kind: *kind,
                     predicted_reduction: *predicted_reduction,
                     actual_reduction: 0,
                     predicted_gbhr: *predicted_gbhr,

@@ -43,6 +43,7 @@ pub mod pending;
 pub mod query;
 pub mod rewrite;
 pub mod rng;
+pub mod transform;
 pub mod writer;
 
 pub use clock::{SimClock, MS_PER_DAY, MS_PER_HOUR, MS_PER_MIN, MS_PER_SEC};

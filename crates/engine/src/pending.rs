@@ -37,6 +37,8 @@ pub enum PendingKind {
         scope: String,
         /// What triggered the job.
         trigger: String,
+        /// The transformation the rewrite embeds.
+        kind: lakesim_catalog::RewriteKind,
         /// Decide-phase predicted file-count reduction.
         predicted_reduction: i64,
         /// Decide-phase predicted cost (GBHr).

@@ -154,6 +154,7 @@ impl SimEnv {
                     job_id,
                     scope,
                     trigger: opts.trigger.clone(),
+                    kind: lakesim_catalog::RewriteKind::Merge,
                     predicted_reduction: opts.predicted_reduction,
                     predicted_gbhr: opts.predicted_gbhr,
                 },

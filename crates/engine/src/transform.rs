@@ -1,0 +1,498 @@
+//! Transformation-embedding rewrites: sort, partition relayout, and
+//! deletion-vector purge.
+//!
+//! The paper's compaction jobs are size-based bin-packing merges
+//! ([`SimEnv::submit_rewrite`]). Production frameworks fold further
+//! table transformations into the same replace-files machinery — a job
+//! that is already rewriting files may as well sort them, rebalance
+//! them across partitions, or apply accumulated merge-on-read delete
+//! files. These submissions share the merge path's physics: the
+//! transaction begins at submission (opening its optimistic-concurrency
+//! window), the cluster is charged real work (with a per-kind cost
+//! premium over a plain merge), and the commit resolves through
+//! [`SimEnv::drain_due`] with the same conflict semantics. Each records
+//! a [`MaintenanceRecord`](lakesim_catalog::MaintenanceRecord) tagged
+//! with its [`RewriteKind`], so fleet-level outcome accounting can
+//! split benefit by transformation.
+
+use std::collections::BTreeMap;
+
+use crate::cluster::AppKind;
+use crate::env::SimEnv;
+use crate::pending::{PendingCommit, PendingKind};
+use crate::rewrite::{RewriteJobOutcome, RewriteOptions};
+use crate::Result;
+use lakesim_catalog::RewriteKind;
+use lakesim_lst::{synthesize_outputs, DataFile, OpKind, PartitionKey, TableId, Transaction};
+use lakesim_storage::{FileId, FileKind};
+
+/// Work multiplier over a plain merge for a sort-embedding rewrite
+/// (the shuffle + ordered write).
+const SORT_WORK_FACTOR: f64 = 1.6;
+
+/// Work multiplier for a partition relayout (cross-partition shuffle).
+const RELAYOUT_WORK_FACTOR: f64 = 1.3;
+
+/// Work multiplier for a deletion-vector purge (anti-join is roughly a
+/// merge-shaped scan+write).
+const PURGE_WORK_FACTOR: f64 = 1.0;
+
+/// One output the transform will synthesize files for.
+struct PlannedOutput {
+    partition: PartitionKey,
+    bytes: u64,
+    sorted: bool,
+}
+
+/// A fully planned transform rewrite, ready for submission.
+struct TransformPlan {
+    inputs: Vec<FileId>,
+    input_bytes: u64,
+    outputs: Vec<PlannedOutput>,
+    kind: RewriteKind,
+    work_factor: f64,
+}
+
+impl SimEnv {
+    /// Submits a rewrite that sorts every unsorted data file by the
+    /// table's sort column, partition by partition. Returns `None` when
+    /// the table holds no unsorted data.
+    pub fn submit_sort_rewrite(
+        &mut self,
+        table: TableId,
+        opts: &RewriteOptions,
+        now_ms: u64,
+    ) -> Result<Option<RewriteJobOutcome>> {
+        self.clock.advance_to(now_ms);
+        let _ = self.drain_due(now_ms);
+        let plan = {
+            let entry = self.catalog.table(table)?;
+            let mut per_partition: BTreeMap<PartitionKey, u64> = BTreeMap::new();
+            let mut inputs = Vec::new();
+            let mut input_bytes = 0u64;
+            for f in entry.table.live_files() {
+                if f.content.is_deletes() || f.sorted {
+                    continue;
+                }
+                inputs.push(f.file_id);
+                input_bytes += f.file_size_bytes;
+                *per_partition.entry(f.partition.clone()).or_insert(0) += f.file_size_bytes;
+            }
+            TransformPlan {
+                inputs,
+                input_bytes,
+                outputs: per_partition
+                    .into_iter()
+                    .map(|(partition, bytes)| PlannedOutput {
+                        partition,
+                        bytes,
+                        sorted: true,
+                    })
+                    .collect(),
+                kind: RewriteKind::Sort,
+                work_factor: SORT_WORK_FACTOR,
+            }
+        };
+        self.submit_transform(table, plan, opts, now_ms)
+    }
+
+    /// Submits a rewrite that redistributes the table's data bytes
+    /// evenly across its live partitions, consuming any delete files
+    /// along the way (the shuffled rewrite applies them). Returns
+    /// `None` for tables with fewer than two live partitions.
+    pub fn submit_partition_relayout(
+        &mut self,
+        table: TableId,
+        opts: &RewriteOptions,
+        now_ms: u64,
+    ) -> Result<Option<RewriteJobOutcome>> {
+        self.clock.advance_to(now_ms);
+        let _ = self.drain_due(now_ms);
+        let plan = {
+            let entry = self.catalog.table(table)?;
+            let mut partitions: Vec<PartitionKey> = Vec::new();
+            let mut inputs = Vec::new();
+            let mut input_bytes = 0u64;
+            let mut data_bytes = 0u64;
+            for f in entry.table.live_files() {
+                inputs.push(f.file_id);
+                input_bytes += f.file_size_bytes;
+                if !f.content.is_deletes() {
+                    data_bytes += f.file_size_bytes;
+                    if !partitions.contains(&f.partition) {
+                        partitions.push(f.partition.clone());
+                    }
+                }
+            }
+            partitions.sort();
+            if partitions.len() < 2 {
+                return Ok(None);
+            }
+            let share = data_bytes / partitions.len() as u64;
+            let mut remainder = data_bytes - share * partitions.len() as u64;
+            TransformPlan {
+                inputs,
+                input_bytes,
+                outputs: partitions
+                    .into_iter()
+                    .map(|partition| {
+                        let extra = std::mem::take(&mut remainder);
+                        PlannedOutput {
+                            partition,
+                            bytes: share + extra,
+                            sorted: false,
+                        }
+                    })
+                    .collect(),
+                kind: RewriteKind::Relayout,
+                work_factor: RELAYOUT_WORK_FACTOR,
+            }
+        };
+        self.submit_transform(table, plan, opts, now_ms)
+    }
+
+    /// Submits a rewrite that applies and drops the table's merge-on-read
+    /// delete files: every partition carrying deletes has its data files
+    /// rewritten minus the masked bytes. Returns `None` when the table
+    /// has no delete files.
+    pub fn submit_deletion_purge(
+        &mut self,
+        table: TableId,
+        opts: &RewriteOptions,
+        now_ms: u64,
+    ) -> Result<Option<RewriteJobOutcome>> {
+        self.clock.advance_to(now_ms);
+        let _ = self.drain_due(now_ms);
+        let plan = {
+            let entry = self.catalog.table(table)?;
+            let mut delete_bytes: BTreeMap<PartitionKey, u64> = BTreeMap::new();
+            let mut inputs = Vec::new();
+            let mut input_bytes = 0u64;
+            for f in entry.table.live_files() {
+                if f.content.is_deletes() {
+                    inputs.push(f.file_id);
+                    input_bytes += f.file_size_bytes;
+                    *delete_bytes.entry(f.partition.clone()).or_insert(0) += f.file_size_bytes;
+                }
+            }
+            if delete_bytes.is_empty() {
+                return Ok(None);
+            }
+            let mut data_bytes: BTreeMap<PartitionKey, u64> = BTreeMap::new();
+            for f in entry.table.live_files() {
+                if !f.content.is_deletes() && delete_bytes.contains_key(&f.partition) {
+                    inputs.push(f.file_id);
+                    input_bytes += f.file_size_bytes;
+                    *data_bytes.entry(f.partition.clone()).or_insert(0) += f.file_size_bytes;
+                }
+            }
+            TransformPlan {
+                inputs,
+                input_bytes,
+                outputs: data_bytes
+                    .into_iter()
+                    .filter_map(|(partition, bytes)| {
+                        let masked = delete_bytes.get(&partition).copied().unwrap_or(0);
+                        let remaining = bytes.saturating_sub(masked);
+                        (remaining > 0).then_some(PlannedOutput {
+                            partition,
+                            bytes: remaining,
+                            sorted: false,
+                        })
+                    })
+                    .collect(),
+                kind: RewriteKind::Purge,
+                work_factor: PURGE_WORK_FACTOR,
+            }
+        };
+        self.submit_transform(table, plan, opts, now_ms)
+    }
+
+    /// Shared submission path: stages the replace-files transaction,
+    /// charges the cluster the kind-weighted rewrite work, and enqueues
+    /// the deferred commit exactly as a merge would. Empty plans (no
+    /// inputs) are no-ops.
+    fn submit_transform(
+        &mut self,
+        table_id: TableId,
+        plan: TransformPlan,
+        opts: &RewriteOptions,
+        now_ms: u64,
+    ) -> Result<Option<RewriteJobOutcome>> {
+        if plan.inputs.is_empty() {
+            return Ok(None);
+        }
+        let (database, row_width, target_size, base) = {
+            let entry = self.catalog.table(table_id)?;
+            (
+                entry.table.database().to_string(),
+                entry.table.schema().estimated_row_width(),
+                entry.table.properties().target_file_size,
+                entry.table.current_snapshot_id(),
+            )
+        };
+        let mut txn = Transaction::new(base, OpKind::RewriteFiles);
+        let mut outputs: Vec<FileId> = Vec::new();
+        let mut output_files = 0u64;
+        for id in &plan.inputs {
+            txn.remove_file(*id);
+        }
+        for out in &plan.outputs {
+            for size in synthesize_outputs(out.bytes, target_size) {
+                let created = self.fs.create_file(&database, FileKind::Data, size, now_ms);
+                let id = match created {
+                    Ok(id) => id,
+                    Err(e) => {
+                        self.metrics.quota_failures += 1;
+                        for orphan in &outputs {
+                            let _ = self.fs.delete_file(*orphan, now_ms);
+                        }
+                        return Err(e.into());
+                    }
+                };
+                outputs.push(id);
+                output_files += 1;
+                let rows = (size / row_width).max(1);
+                let file = if out.sorted {
+                    DataFile::data_sorted(id, out.partition.clone(), rows, size)
+                } else {
+                    DataFile::data(id, out.partition.clone(), rows, size)
+                };
+                txn.add_file(file);
+            }
+        }
+        let congestion = self.fs.congestion_factor();
+        let work_ms = self.cost().rewrite_work_ms(
+            plan.input_bytes,
+            plan.inputs.len() as u64,
+            output_files,
+            congestion,
+        ) * plan.work_factor
+            + self.cost().task_startup_ms;
+        let parallelism = opts.parallelism.max(1);
+        let outcome = self.cluster_mut(&opts.cluster)?.submit(
+            now_ms,
+            work_ms,
+            parallelism,
+            AppKind::Compaction,
+        );
+        let commit_due = outcome.finished_ms + self.cost().commit_ms;
+        let job_id = self.maintenance.next_job_id();
+        let input_files = plan.inputs.len() as u64;
+        let input_bytes = plan.input_bytes;
+        self.enqueue(
+            commit_due,
+            PendingCommit {
+                table: table_id,
+                txn,
+                kind: PendingKind::Rewrite {
+                    job_id,
+                    scope: "table".to_string(),
+                    trigger: opts.trigger.clone(),
+                    kind: plan.kind,
+                    predicted_reduction: opts.predicted_reduction,
+                    predicted_gbhr: opts.predicted_gbhr,
+                },
+                written_files: outputs,
+                inputs_to_delete: plan.inputs,
+                submitted_ms: now_ms,
+                gbhr: outcome.gbhr,
+            },
+        );
+        Ok(Some(RewriteJobOutcome {
+            job_id,
+            scheduled_at_ms: now_ms,
+            commit_due_ms: commit_due,
+            gbhr: outcome.gbhr,
+            input_files,
+            output_files,
+            input_bytes,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::EnvConfig;
+    use crate::query::{FileSizePlan, WriteOp, WriteSpec};
+    use lakesim_catalog::{JobStatus, TablePolicy};
+    use lakesim_lst::{
+        ColumnType, Field, PartitionSpec, PartitionValue, Schema, TableProperties, Transform,
+    };
+    use lakesim_storage::MB;
+
+    fn opts(trigger: &str) -> RewriteOptions {
+        RewriteOptions {
+            cluster: "compaction".into(),
+            parallelism: 3,
+            trigger: trigger.into(),
+            predicted_reduction: 0,
+            predicted_gbhr: 1.0,
+        }
+    }
+
+    fn setup_partitioned() -> (SimEnv, TableId) {
+        let mut env = SimEnv::new(EnvConfig {
+            seed: 11,
+            ..EnvConfig::default()
+        });
+        env.create_database("db", "tenant", None).unwrap();
+        let schema = Schema::new(vec![
+            Field::new(1, "k", ColumnType::Int64, true),
+            Field::new(2, "ds", ColumnType::Date, true),
+        ])
+        .unwrap();
+        let t = env
+            .create_table(
+                "db",
+                "t",
+                schema,
+                PartitionSpec::single(2, Transform::Month, "m"),
+                TableProperties::default(),
+                TablePolicy::default(),
+            )
+            .unwrap();
+        // Skewed layout: partition 1 gets 512 MB, partition 2 gets 32 MB.
+        for (p, bytes) in [(1, 512 * MB), (2, 32 * MB)] {
+            let spec = WriteSpec::insert(
+                t,
+                PartitionKey::single(PartitionValue::Date(p)),
+                bytes,
+                FileSizePlan::trickle(),
+                "query",
+            );
+            env.submit_write(&spec, (p as u64) * 100_000).unwrap();
+        }
+        env.drain_all();
+        (env, t)
+    }
+
+    #[test]
+    fn sort_rewrite_sorts_everything_once() {
+        let (mut env, t) = setup_partitioned();
+        let job = env
+            .submit_sort_rewrite(t, &opts("test"), 1_000_000)
+            .unwrap()
+            .unwrap();
+        env.drain_due(job.commit_due_ms);
+        let rec = env.maintenance.records().last().unwrap().clone();
+        assert_eq!(rec.status, JobStatus::Succeeded);
+        assert_eq!(rec.kind, RewriteKind::Sort);
+        let entry = env.catalog.table(t).unwrap();
+        assert!(entry.table.live_files().all(|f| f.sorted));
+        assert_eq!(entry.table.stats(512 * MB).unsorted_data_bytes, 0);
+        // Everything already sorted: the second submission is a no-op.
+        assert!(env
+            .submit_sort_rewrite(t, &opts("test"), 2_000_000)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn relayout_flattens_partition_skew() {
+        let (mut env, t) = setup_partitioned();
+        let before = env.catalog.table(t).unwrap().table.stats(512 * MB);
+        assert!(before.max_partition_bytes * 2 > before.total_bytes);
+        let job = env
+            .submit_partition_relayout(t, &opts("test"), 1_000_000)
+            .unwrap()
+            .unwrap();
+        env.drain_due(job.commit_due_ms);
+        let after = env.catalog.table(t).unwrap().table.stats(512 * MB);
+        assert_eq!(after.partition_count, 2);
+        // Even split: max partition holds about half the bytes.
+        assert!(after.max_partition_bytes <= after.total_bytes / 2 + MB);
+        let rec = env.maintenance.records().last().unwrap();
+        assert_eq!(rec.kind, RewriteKind::Relayout);
+    }
+
+    #[test]
+    fn relayout_needs_two_partitions() {
+        let mut env = SimEnv::new(EnvConfig {
+            seed: 12,
+            ..EnvConfig::default()
+        });
+        env.create_database("db", "tenant", None).unwrap();
+        let schema = Schema::new(vec![Field::new(1, "k", ColumnType::Int64, true)]).unwrap();
+        let t = env
+            .create_table(
+                "db",
+                "t",
+                schema,
+                PartitionSpec::unpartitioned(),
+                TableProperties::default(),
+                TablePolicy::default(),
+            )
+            .unwrap();
+        let spec = WriteSpec::insert(
+            t,
+            PartitionKey::unpartitioned(),
+            64 * MB,
+            FileSizePlan::trickle(),
+            "query",
+        );
+        env.submit_write(&spec, 0).unwrap();
+        env.drain_all();
+        assert!(env
+            .submit_partition_relayout(t, &opts("test"), 1_000_000)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn purge_retires_delete_files_and_masked_bytes() {
+        let (mut env, t) = setup_partitioned();
+        // Accumulate MoR debt on partition 1.
+        let delta = WriteSpec {
+            op: WriteOp::MergeOnReadDelta,
+            ..WriteSpec::insert(
+                t,
+                PartitionKey::single(PartitionValue::Date(1)),
+                16 * MB,
+                FileSizePlan::trickle(),
+                "query",
+            )
+        };
+        env.submit_write(&delta, 500_000).unwrap();
+        env.drain_all();
+        let before = env.catalog.table(t).unwrap().table.stats(512 * MB);
+        assert!(before.delete_file_count > 0);
+        let job = env
+            .submit_deletion_purge(t, &opts("test"), 1_000_000)
+            .unwrap()
+            .unwrap();
+        env.drain_due(job.commit_due_ms);
+        let after = env.catalog.table(t).unwrap().table.stats(512 * MB);
+        assert_eq!(after.delete_file_count, 0, "debt fully retired");
+        assert!(after.total_bytes < before.total_bytes, "masked bytes gone");
+        let rec = env.maintenance.records().last().unwrap();
+        assert_eq!(rec.kind, RewriteKind::Purge);
+        assert_eq!(rec.status, JobStatus::Succeeded);
+        // No debt left: purge becomes a no-op.
+        assert!(env
+            .submit_deletion_purge(t, &opts("test"), 2_000_000)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn sort_costs_more_than_purge_for_the_same_bytes() {
+        let (mut env_a, t_a) = setup_partitioned();
+        let (mut env_b, t_b) = setup_partitioned();
+        let sort = env_a
+            .submit_sort_rewrite(t_a, &opts("test"), 1_000_000)
+            .unwrap()
+            .unwrap();
+        let relayout = env_b
+            .submit_partition_relayout(t_b, &opts("test"), 1_000_000)
+            .unwrap()
+            .unwrap();
+        assert!(
+            sort.gbhr > relayout.gbhr,
+            "sort premium ({}) must exceed relayout ({})",
+            sort.gbhr,
+            relayout.gbhr
+        );
+    }
+}

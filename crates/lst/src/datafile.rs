@@ -35,6 +35,10 @@ pub struct DataFile {
     pub record_count: u64,
     /// Physical size in bytes.
     pub file_size_bytes: u64,
+    /// Whether the rows are sorted by the table's sort column. Only a
+    /// sort-embedding rewrite produces sorted files; ordinary ingest
+    /// writes land unsorted.
+    pub sorted: bool,
 }
 
 impl DataFile {
@@ -51,6 +55,22 @@ impl DataFile {
             partition,
             record_count,
             file_size_bytes,
+            sorted: false,
+        }
+    }
+
+    /// Convenience constructor for a row-data file whose rows are sorted
+    /// by the table's sort column (the product of a sort-embedding
+    /// rewrite).
+    pub fn data_sorted(
+        file_id: FileId,
+        partition: PartitionKey,
+        record_count: u64,
+        file_size_bytes: u64,
+    ) -> Self {
+        DataFile {
+            sorted: true,
+            ..DataFile::data(file_id, partition, record_count, file_size_bytes)
         }
     }
 
@@ -67,6 +87,7 @@ impl DataFile {
             partition,
             record_count,
             file_size_bytes,
+            sorted: false,
         }
     }
 

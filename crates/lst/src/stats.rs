@@ -35,6 +35,12 @@ pub struct TableStats {
     pub histogram: SizeHistogram,
     /// The target size the small-file metrics were computed against.
     pub target_file_size: u64,
+    /// Bytes in data files not sorted by the table's sort column
+    /// (candidates for a sort-embedding rewrite).
+    pub unsorted_data_bytes: u64,
+    /// Bytes in the largest partition in scope (skew signal for
+    /// partition relayout).
+    pub max_partition_bytes: u64,
 }
 
 impl TableStats {
@@ -82,7 +88,9 @@ impl Table {
         let mut small_bytes = 0;
         let mut total_bytes = 0;
         let mut delete_file_count = 0;
-        let mut partitions: BTreeSet<&PartitionKey> = BTreeSet::new();
+        let mut unsorted_data_bytes = 0;
+        let mut partition_bytes: std::collections::BTreeMap<&PartitionKey, u64> =
+            Default::default();
         for f in self.live_files() {
             if let Some(keys) = scope {
                 if !keys.contains(&f.partition) {
@@ -91,7 +99,7 @@ impl Table {
             }
             file_count += 1;
             total_bytes += f.file_size_bytes;
-            partitions.insert(&f.partition);
+            *partition_bytes.entry(&f.partition).or_insert(0) += f.file_size_bytes;
             if f.content.is_deletes() {
                 delete_file_count += 1;
             } else {
@@ -99,6 +107,9 @@ impl Table {
                 if f.is_small(target_file_size) {
                     small_file_count += 1;
                     small_bytes += f.file_size_bytes;
+                }
+                if !f.sorted {
+                    unsorted_data_bytes += f.file_size_bytes;
                 }
             }
         }
@@ -108,11 +119,13 @@ impl Table {
             small_bytes,
             total_bytes,
             delete_file_count,
-            partition_count: partitions.len() as u64,
+            partition_count: partition_bytes.len() as u64,
             manifest_count: self.manifests().len() as u64,
             snapshot_count: self.snapshots().len() as u64,
             histogram,
             target_file_size,
+            unsorted_data_bytes,
+            max_partition_bytes: partition_bytes.values().copied().max().unwrap_or(0),
         }
     }
 }
@@ -170,6 +183,20 @@ mod tests {
         assert_eq!(s.histogram.total(), 3); // data files only
         assert!((s.small_file_fraction() - 2.0 / 3.0).abs() < 1e-12);
         assert_eq!(s.avg_file_size(), (64 + 600 + 32) * MB / 3);
+        // Ingest writes are unsorted; partition 1 holds the most bytes.
+        assert_eq!(s.unsorted_data_bytes, (64 + 600 + 32) * MB);
+        assert_eq!(s.max_partition_bytes, (64 + 600) * MB);
+    }
+
+    #[test]
+    fn sorted_files_leave_the_unsorted_pool() {
+        let mut t = build();
+        let mut txn = t.begin(OpKind::Append);
+        txn.add_file(DataFile::data_sorted(FileId(9), pkey(3), 10, 128 * MB));
+        t.commit(txn, 2).unwrap();
+        let s = t.stats(512 * MB);
+        assert_eq!(s.unsorted_data_bytes, (64 + 600 + 32) * MB);
+        assert_eq!(s.total_bytes, (64 + 600 + 32 + 128) * MB + MB);
     }
 
     #[test]

@@ -17,6 +17,10 @@
 //!   Fig. 1's "raw" distribution.
 //! * [`fleet`] — a LinkedIn-fleet synthesizer (databases, tenant quotas,
 //!   table archetypes, daily write cycles) behind Figs. 2, 10 and 11.
+//! * [`scenarios`] — the adversarial design-space matrix: seeded
+//!   commit-storm / flash-crowd / quota-churn / mass-delete /
+//!   mixed-transform generators runnable through both the polled driver
+//!   and the event-driven runtime with bit-identical outcomes.
 //! * [`driver`] — the deterministic stream runner interleaving scheduled
 //!   queries with periodic callbacks (where the bench layer plugs in
 //!   AutoComp cycles) and commit draining.
@@ -31,6 +35,7 @@ pub mod cab;
 pub mod driver;
 pub mod fleet;
 pub mod ingestion;
+pub mod scenarios;
 pub mod sustained;
 pub mod tpcds;
 pub mod tpch;
@@ -42,6 +47,10 @@ pub use driver::{
 };
 pub use fleet::{Archetype, Fleet, FleetConfig};
 pub use ingestion::{sample_raw_sizes, sample_user_derived_sizes, RawPipeline, RawPipelineConfig};
+pub use scenarios::{
+    policy_name, run_scenario_event, run_scenario_polled, scenario_policy, Scenario,
+    ScenarioOutcome,
+};
 pub use sustained::{
     run_sustained_ingest, run_sustained_polled, IngestReport, SustainedIngestConfig,
 };

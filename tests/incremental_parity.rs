@@ -9,23 +9,33 @@
 //! strategies and all four ranking policies.
 //!
 //! The model lake keeps every stat a pure function of
-//! `(uid, per-table version, per-database quota knob)`, so a reused entry
-//! is exactly what a fresh fetch would produce for a quiet table — the
-//! precondition for bit parity. Quota edits are *not* in the changelog
-//! (they model the shared-signal staleness of the observe contract); the
-//! incremental driver follows the documented recipe and force-dirties
-//! every table of the edited database, which must invalidate the
-//! corresponding cycle-cache rows too.
+//! `(uid, per-table version, per-database quota + transform knobs)`, so a
+//! reused entry is exactly what a fresh fetch would produce for a quiet
+//! table — the precondition for bit parity. Quota edits and transform
+//! shifts are *not* in the changelog (they model the shared-signal
+//! staleness of the observe contract); the incremental driver follows the
+//! documented recipe and force-dirties every table of the edited
+//! database, which must invalidate the corresponding cycle-cache rows
+//! too.
+//!
+//! The op alphabet also carries the adversarial-matrix shapes from
+//! `lakesim_workload::scenarios`: flash-crowd [`Op::Burst`]s that dirty a
+//! whole database at once, and [`Op::TransformShift`]s that swing the
+//! transform signals (`transforms_enabled` / `sort_disorder` /
+//! `partition_skew` / delete debt) across every [`JobKind::classify`]
+//! threshold — so parity is proven across *kind re-classifications* of
+//! cached candidates, not just merge-only stats deltas.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use autocomp::{
     AutoComp, AutoCompConfig, Candidate, CandidateStats, ChangeCursor, CompactionDisabledFilter,
-    CompactionExecutor, ComputeCostGbhr, CycleReport, ExecutionResult, FeedbackRecord,
-    FileCountReduction, FleetObserver, IntermediateTableFilter, JobRuntimeConfig, LakeConnector,
-    MinSizeFilter, Prediction, QuotaSignal, RankingPolicy, RecentWriteActivityFilter,
-    ScopeStrategy, TableRef, TraitWeight, Untracked,
+    CompactionExecutor, ComputeCostGbhr, CycleReport, DeleteDebt, ExecutionResult, FeedbackRecord,
+    FileCountReduction, FleetObserver, IntermediateTableFilter, JobKind, JobRuntimeConfig,
+    LakeConnector, MinSizeFilter, PartitionSkewExcess, Prediction, QuotaSignal, RankingPolicy,
+    RecentWriteActivityFilter, ScopeStrategy, SortDisorder, TableRef, TraitWeight, Untracked,
+    PARTITION_SKEW_METRIC, SORT_DISORDER_METRIC, TRANSFORMS_ENABLED_METRIC,
 };
 use proptest::collection;
 use proptest::prelude::*;
@@ -42,6 +52,7 @@ struct ModelLake {
     tables: Vec<TableRef>,
     versions: Mutex<Vec<u64>>,
     quota_knobs: Mutex<[u64; DATABASES as usize]>,
+    transform_knobs: Mutex<[u64; DATABASES as usize]>,
     log: Mutex<Vec<(u64, u64)>>, // (seq, uid)
     seq: AtomicU64,
 }
@@ -61,6 +72,7 @@ impl ModelLake {
                 .collect(),
             versions: Mutex::new(vec![0; n as usize]),
             quota_knobs: Mutex::new([0; DATABASES as usize]),
+            transform_knobs: Mutex::new([0; DATABASES as usize]),
             log: Mutex::new(Vec::new()),
             seq: AtomicU64::new(0),
         }
@@ -76,15 +88,24 @@ impl ModelLake {
         self.quota_knobs.lock().unwrap()[db as usize] += delta;
     }
 
-    /// Pure stats: f(uid, version, quota knob of the owning database).
+    fn transform_shift(&self, db: u64, delta: u64) {
+        self.transform_knobs.lock().unwrap()[db as usize] += delta;
+    }
+
+    /// Pure stats: f(uid, version, quota + transform knobs of the owning
+    /// database). The transform knob swings enablement, disorder, skew
+    /// and delete debt across every [`JobKind::classify`] threshold, so
+    /// cycles rank and execute a moving mix of rewrite kinds.
     fn stats_for(&self, uid: u64, part: u64) -> CandidateStats {
         let v = self.versions.lock().unwrap()[uid as usize];
         let knob = self.quota_knobs.lock().unwrap()[(uid % DATABASES) as usize];
+        let t = self.transform_knobs.lock().unwrap()[(uid % DATABASES) as usize];
         CandidateStats {
             file_count: 5 + (uid * 13 + v * 7 + part) % 97,
             small_file_count: (uid * 11 + v * 3 + part * 5) % 90,
             small_bytes: ((uid * 29 + v + part) % 64) << 20,
             total_bytes: (((uid * 37 + v) % 128) + 1 + part) << 20,
+            delete_file_count: (uid * 3 + v * 2 + t) % 9,
             target_file_size: 512 << 20,
             last_write_ms: (v > 0).then_some(v * 40),
             write_frequency_per_hour: (v % 5) as f64,
@@ -94,6 +115,15 @@ impl ModelLake {
             }),
             ..CandidateStats::default()
         }
+        .with_custom(TRANSFORMS_ENABLED_METRIC, ((uid + t) % 2) as f64)
+        .with_custom(
+            SORT_DISORDER_METRIC,
+            ((uid * 7 + v * 5 + t * 11) % 100) as f64 / 100.0,
+        )
+        .with_custom(
+            PARTITION_SKEW_METRIC,
+            1.0 + ((uid * 5 + v * 3 + t * 13) % 48) as f64 / 8.0,
+        )
     }
 
     fn partition_count(&self, uid: u64) -> u64 {
@@ -173,6 +203,18 @@ enum Op {
     /// Out-of-band quota edit (changelog-invisible; the incremental
     /// driver must force-dirty the database's tables to stay exact).
     QuotaEdit(u64, u64),
+    /// Scenario-style flash-crowd burst: every table of one database
+    /// takes a write in a single step (changelog-visible), mirroring the
+    /// workload matrix's flash-crowd generator — the dirty set jumps
+    /// from O(1) to a whole database between cycles.
+    Burst(u64),
+    /// Out-of-band transform-policy shift for one database (changelog-
+    /// invisible, like a quota edit): swings the transform-enablement,
+    /// sort-disorder, partition-skew and delete-debt signals that drive
+    /// [`JobKind::classify`], so cached verdicts and rank rows must be
+    /// invalidated across a *kind* re-classification, not just a stats
+    /// delta.
+    TransformShift(u64, u64),
     /// Switch the ranking policy on both pipelines (config epoch bump).
     SwitchPolicy(u8),
     /// Ingest one identical feedback record into both pipelines.
@@ -186,6 +228,8 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         (0u64..1_000_000).prop_map(Op::Write),
         (0u64..1_000_000).prop_map(Op::Spike),
         (0u64..DATABASES, 1u64..60).prop_map(|(db, delta)| Op::QuotaEdit(db, delta)),
+        (0u64..DATABASES).prop_map(Op::Burst),
+        (0u64..DATABASES, 1u64..10).prop_map(|(db, delta)| Op::TransformShift(db, delta)),
         (0u8..4).prop_map(Op::SwitchPolicy),
         (1u64..200, 1u64..200).prop_map(|(p, a)| Op::Feedback(p, a)),
         (0u8..2).prop_map(|_| Op::Cycle),
@@ -238,7 +282,10 @@ fn pipeline(scope: ScopeStrategy, p: u8, time_sensitive_chain: bool) -> AutoComp
         min_file_count: 0,
     }))
     .with_trait(Box::new(FileCountReduction::default()))
-    .with_trait(Box::new(ComputeCostGbhr::default()));
+    .with_trait(Box::new(ComputeCostGbhr::default()))
+    .with_trait(Box::new(DeleteDebt))
+    .with_trait(Box::new(SortDisorder))
+    .with_trait(Box::new(PartitionSkewExcess));
     if time_sensitive_chain {
         ac = ac.with_filter(Box::new(RecentWriteActivityFilter {
             quiet_ms: 10_000,
@@ -363,6 +410,24 @@ fn run_scenario(
                     }
                 }
             }
+            Op::Burst(db) => {
+                for uid in 0..n {
+                    if uid % DATABASES == *db {
+                        lake.write(uid);
+                    }
+                }
+            }
+            Op::TransformShift(db, delta) => {
+                lake.transform_shift(*db, *delta);
+                // Same shared-signal recipe as quota edits: the shift is
+                // changelog-invisible, so the affected tables must be
+                // force-dirtied or cached kinds/verdicts would go stale.
+                for uid in 0..n {
+                    if uid % DATABASES == *db {
+                        observer.mark_dirty(uid);
+                    }
+                }
+            }
             Op::SwitchPolicy(p) => {
                 cold.config_mut().policy = policy(*p);
                 incremental.config_mut().policy = policy(*p);
@@ -475,6 +540,21 @@ fn run_tracked_scenario(
                     }
                 }
             }
+            Op::Burst(db) => {
+                for uid in 0..n {
+                    if uid % DATABASES == *db {
+                        lake.write(uid);
+                    }
+                }
+            }
+            Op::TransformShift(db, delta) => {
+                lake.transform_shift(*db, *delta);
+                for uid in 0..n {
+                    if uid % DATABASES == *db {
+                        observer.mark_dirty(uid);
+                    }
+                }
+            }
             Op::SwitchPolicy(p) => {
                 cold.config_mut().policy = policy(*p);
                 incremental.config_mut().policy = policy(*p);
@@ -540,6 +620,72 @@ fn tracked_harness_actually_exercises_the_ledger() {
     assert!(saw.1, "in-flight suppression happened");
     assert!(saw.2, "settle events happened");
     assert!(saw.3, "conflict retries happened");
+}
+
+/// Deterministic companion for the kind dimension: a scripted burst +
+/// transform-shift sequence runs through the exact parity machinery for
+/// every scope (asserting bit parity along the way), and the same script
+/// on a plain incremental pipeline demonstrably executes several
+/// distinct rewrite kinds — so the properties above exercise kind
+/// re-classification, not an all-merge fleet.
+#[test]
+fn transform_shifts_drive_multiple_kinds_through_the_parity_harness() {
+    let script = vec![
+        Op::Cycle,
+        Op::TransformShift(1, 3),
+        Op::Burst(1),
+        Op::Cycle,
+        Op::TransformShift(0, 7),
+        Op::Burst(0),
+        Op::Cycle,
+        Op::TransformShift(2, 5),
+        Op::Burst(2),
+        Op::Cycle,
+    ];
+    for scope in SCOPES {
+        run_scenario(24, 0, &script, scope, false).unwrap();
+    }
+
+    // Replay on one incremental pipeline and record the executed kinds.
+    let n = 24u64;
+    let lake = ModelLake::new(n);
+    let mut ac = pipeline(ScopeStrategy::Table, 0, false);
+    let mut observer = FleetObserver::new();
+    let mut now = 1_000u64;
+    let mut kinds = std::collections::BTreeSet::new();
+    for op in &script {
+        match op {
+            Op::Burst(db) => {
+                for uid in 0..n {
+                    if uid % DATABASES == *db {
+                        lake.write(uid);
+                    }
+                }
+            }
+            Op::TransformShift(db, delta) => {
+                lake.transform_shift(*db, *delta);
+                for uid in 0..n {
+                    if uid % DATABASES == *db {
+                        observer.mark_dirty(uid);
+                    }
+                }
+            }
+            Op::Cycle => {
+                let report = ac
+                    .run_cycle_incremental(&mut observer, &lake, &mut SeqExecutor::default(), now)
+                    .unwrap();
+                for job in &report.executed {
+                    kinds.insert(format!("{:?}", job.prediction.kind));
+                }
+                now += 577;
+            }
+            _ => unreachable!("script uses bursts, shifts and cycles only"),
+        }
+    }
+    assert!(
+        kinds.contains(&format!("{:?}", JobKind::Merge)) && kinds.len() >= 3,
+        "script must execute merge plus at least two transform kinds, got {kinds:?}"
+    );
 }
 
 proptest! {

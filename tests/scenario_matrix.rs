@@ -1,0 +1,142 @@
+//! End-to-end outcome pins for the adversarial compaction design-space
+//! matrix (`lakesim_workload::scenarios`).
+//!
+//! Every scenario × policy cell runs the full stack — seeded write
+//! injection into a real lakesim fleet, transform-signal observe,
+//! kind-classified decide, engine rewrites with optimistic-concurrency
+//! conflicts — and must land exactly on the golden trajectory summary:
+//! cumulative GBHr, the fleet file-count curve, the per-kind job mix,
+//! conflicts, and debt-drain time. The same cells re-run through the
+//! event-driven [`ContinuousRuntime`](autocomp::ContinuousRuntime) and
+//! must produce bit-identical outcomes (the flush-cadence parity the
+//! scenarios module documents).
+//!
+//! When a deliberate behaviour change moves a pin, regenerate with:
+//! `cargo test --test scenario_matrix -- --ignored --nocapture`.
+
+use lakesim_workload::{
+    policy_name, run_scenario_event, run_scenario_polled, Scenario, ScenarioOutcome,
+};
+
+const SEED: u64 = 42;
+
+/// Golden end-to-end summaries: one per scenario × policy cell, matrix
+/// order (scenario-major, policy 0..=3).
+const GOLDEN: [(&str, &str); 20] = [
+    ("zipf-storm/threshold", "commits=360 gbhr=12.819 files=[231,459,461,636,230] kinds=[merge=2 sort=9 relayout=0 purge=0] conflicts=17 drain_ms=30000"),
+    ("zipf-storm/moop", "commits=360 gbhr=21.244 files=[215,288,279,288,54] kinds=[merge=41 sort=53 relayout=0 purge=0] conflicts=55 drain_ms=390000"),
+    ("zipf-storm/budgeted-moop", "commits=360 gbhr=21.834 files=[215,283,279,293,54] kinds=[merge=40 sort=53 relayout=0 purge=0] conflicts=59 drain_ms=390000"),
+    ("zipf-storm/quota-aware", "commits=360 gbhr=21.127 files=[214,315,315,333,53] kinds=[merge=27 sort=46 relayout=0 purge=0] conflicts=49 drain_ms=390000"),
+    ("flash-crowd/threshold", "commits=328 gbhr=5.682 files=[52,401,309,155,155] kinds=[merge=0 sort=6 relayout=0 purge=0] conflicts=8 drain_ms=0"),
+    ("flash-crowd/moop", "commits=328 gbhr=8.315 files=[53,364,283,101,49] kinds=[merge=27 sort=42 relayout=0 purge=0] conflicts=22 drain_ms=390000"),
+    ("flash-crowd/budgeted-moop", "commits=328 gbhr=8.310 files=[53,368,284,101,48] kinds=[merge=29 sort=45 relayout=0 purge=0] conflicts=23 drain_ms=390000"),
+    ("flash-crowd/quota-aware", "commits=328 gbhr=8.315 files=[52,369,317,101,48] kinds=[merge=24 sort=38 relayout=0 purge=0] conflicts=20 drain_ms=390000"),
+    ("quota-churn/threshold", "commits=240 gbhr=0.639 files=[132,264,390,517,480] kinds=[merge=0 sort=1 relayout=0 purge=0] conflicts=1 drain_ms=60000"),
+    ("quota-churn/moop", "commits=240 gbhr=11.693 files=[109,145,170,190,56] kinds=[merge=55 sort=64 relayout=0 purge=0] conflicts=40 drain_ms=390000"),
+    ("quota-churn/budgeted-moop", "commits=240 gbhr=12.443 files=[108,144,174,202,55] kinds=[merge=58 sort=71 relayout=0 purge=0] conflicts=40 drain_ms=390000"),
+    ("quota-churn/quota-aware", "commits=240 gbhr=10.306 files=[117,153,171,191,62] kinds=[merge=46 sort=57 relayout=0 purge=0] conflicts=27 drain_ms=390000"),
+    ("mass-delete/threshold", "commits=242 gbhr=0.000 files=[103,228,351,451,451] kinds=[merge=0 sort=0 relayout=0 purge=0] conflicts=0 drain_ms=0"),
+    ("mass-delete/moop", "commits=242 gbhr=8.915 files=[91,146,166,149,53] kinds=[merge=46 sort=59 relayout=1 purge=5] conflicts=32 drain_ms=390000"),
+    ("mass-delete/budgeted-moop", "commits=242 gbhr=9.573 files=[89,149,168,154,54] kinds=[merge=49 sort=65 relayout=1 purge=5] conflicts=34 drain_ms=390000"),
+    ("mass-delete/quota-aware", "commits=242 gbhr=7.812 files=[93,144,181,180,58] kinds=[merge=36 sort=54 relayout=1 purge=6] conflicts=26 drain_ms=390000"),
+    ("mixed-transform/threshold", "commits=300 gbhr=0.614 files=[187,385,551,687,646] kinds=[merge=0 sort=2 relayout=0 purge=0] conflicts=0 drain_ms=30000"),
+    ("mixed-transform/moop", "commits=300 gbhr=16.664 files=[172,220,237,220,42] kinds=[merge=42 sort=69 relayout=3 purge=18] conflicts=52 drain_ms=390000"),
+    ("mixed-transform/budgeted-moop", "commits=300 gbhr=17.220 files=[171,216,232,210,42] kinds=[merge=45 sort=73 relayout=3 purge=18] conflicts=53 drain_ms=390000"),
+    ("mixed-transform/quota-aware", "commits=300 gbhr=13.903 files=[176,228,215,222,57] kinds=[merge=28 sort=56 relayout=3 purge=15] conflicts=40 drain_ms=390000"),
+];
+
+fn cell_label(s: Scenario, p: u8) -> String {
+    format!("{}/{}", s.name(), policy_name(p))
+}
+
+fn matrix() -> impl Iterator<Item = (usize, Scenario, u8)> {
+    Scenario::ALL
+        .into_iter()
+        .enumerate()
+        .flat_map(|(i, s)| (0..4u8).map(move |p| (i * 4 + p as usize, s, p)))
+}
+
+#[test]
+fn polled_matrix_matches_golden_summaries() {
+    for (idx, s, p) in matrix() {
+        let cell = cell_label(s, p);
+        assert_eq!(GOLDEN[idx].0, cell, "golden table order");
+        let out = run_scenario_polled(s, p, SEED);
+        assert_eq!(out.summary(), GOLDEN[idx].1, "cell {cell}");
+    }
+}
+
+#[test]
+fn event_driver_matches_polled_bit_for_bit() {
+    for (_, s, p) in matrix() {
+        let polled = run_scenario_polled(s, p, SEED);
+        let event = run_scenario_event(s, p, SEED);
+        assert_eq!(polled, event, "cell {}", cell_label(s, p));
+    }
+}
+
+#[test]
+fn matrix_is_seed_deterministic_and_seed_sensitive() {
+    let s = Scenario::MixedTransform;
+    let a = run_scenario_polled(s, 1, SEED);
+    let b = run_scenario_polled(s, 1, SEED);
+    assert_eq!(a, b, "same seed, same trajectory");
+    let c = run_scenario_polled(s, 1, SEED + 1);
+    assert_ne!(a.summary(), c.summary(), "a different seed diverges");
+}
+
+/// Structural claims the pins encode, asserted directly so a golden
+/// regeneration cannot silently erase them.
+#[test]
+fn trajectories_show_policy_and_kind_structure() {
+    let parse = |p: u8, s: Scenario| -> ScenarioOutcome { run_scenario_polled(s, p, SEED) };
+
+    // Active policies drain the fleet: drain-end file count far below the
+    // injection-end peak.
+    let moop = parse(1, Scenario::ZipfStorm);
+    assert!(
+        moop.file_counts[4] * 3 < moop.file_counts[3],
+        "MOOP drains the zipf fleet: {:?}",
+        moop.file_counts
+    );
+
+    // The mass-delete wave produces purge jobs under every MOOP-family
+    // policy, and the mixed scenario exercises at least three kinds.
+    for p in 1..4u8 {
+        assert!(
+            parse(p, Scenario::MassDelete).jobs_by_kind[3] > 0,
+            "policy {p} purges the delete wave"
+        );
+        let mixed = parse(p, Scenario::MixedTransform);
+        assert!(
+            mixed.jobs_by_kind.iter().filter(|&&n| n > 0).count() >= 3,
+            "policy {p} mixes kinds: {:?}",
+            mixed.jobs_by_kind
+        );
+    }
+
+    // The unconstrained threshold policy acts rarely (its bar is a 40-file
+    // reduction), so its fleet stays far more fragmented than MOOP's.
+    let threshold = parse(0, Scenario::MixedTransform);
+    let moop_mixed = parse(1, Scenario::MixedTransform);
+    assert!(
+        threshold.file_counts[4] > 4 * moop_mixed.file_counts[4],
+        "threshold leaves fragmentation on the table: {} vs {}",
+        threshold.file_counts[4],
+        moop_mixed.file_counts[4]
+    );
+
+    // Conflicts are real in every storm cell: compaction raced user
+    // commits and lost at least once.
+    assert!(parse(1, Scenario::ZipfStorm).jobs_conflicted > 0);
+}
+
+/// Regeneration helper: prints the GOLDEN table body.
+#[test]
+#[ignore]
+fn print_goldens() {
+    for (_, s, p) in matrix() {
+        let out = run_scenario_polled(s, p, SEED);
+        println!("    (\"{}\", \"{}\"),", cell_label(s, p), out.summary());
+    }
+}
