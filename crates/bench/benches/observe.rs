@@ -20,10 +20,12 @@ use autocomp::{
     ChangeCursor, CompactionDisabledFilter, CompactionExecutor, ComputeCostGbhr, ExecutionResult,
     FileCountReduction, FleetObserver, JobOutcome, JobOutcomeStatus, JobRuntimeConfig,
     LakeConnector, ObserveRequest, Prediction, RankingPolicy, ScopeStrategy, SizeBucket,
-    SnapshotContext, TableRef, TrackedExecutor, TraitWeight,
+    SnapshotContext, TableRef, TelemetrySink, TrackedExecutor, TraitWeight,
 };
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Catalog-session work per chatty round-trip (resolve table, auth,
 /// route) — the per-call overhead the batched protocol amortizes.
@@ -393,11 +395,32 @@ fn bench_observe(c: &mut Criterion) {
         })
     });
     group.bench_with_input(BenchmarkId::new("full_cycle_incremental", n), &n, |b, _| {
-        let mut ac = full_cycle_pipeline();
+        // Sink explicitly disabled: this is the uninstrumented baseline
+        // of the telemetry-overhead pair below.
+        let mut ac = full_cycle_pipeline().with_telemetry(TelemetrySink::disabled());
         let mut observer = FleetObserver::new();
         let mut exec = NullExecutor;
         // Prime: one cold cycle fills the observer + cache; every
         // measured cycle then reuses 99% of the fleet.
+        ac.run_cycle_incremental_batch(&mut observer, &batch, &mut exec, 0)
+            .expect("prime cycle runs");
+        b.iter(|| {
+            ac.run_cycle_incremental_batch(&mut observer, &batch, &mut exec, 0)
+                .expect("cycle runs")
+        })
+    });
+
+    // Telemetry-overhead pair: the identical incremental cycle with the
+    // sink *enabled* and driven by a real microsecond clock — spans,
+    // per-phase histograms and cache/memo gauges all record every cycle.
+    // Acceptance (BENCH_ooda.json, CI smoke gate): within 3% of the
+    // same-pass `full_cycle_incremental`.
+    group.bench_with_input(BenchmarkId::new("full_cycle_telemetry", n), &n, |b, _| {
+        let epoch = Instant::now();
+        let sink = TelemetrySink::with_clock(Arc::new(move || epoch.elapsed().as_micros() as u64));
+        let mut ac = full_cycle_pipeline().with_telemetry(sink);
+        let mut observer = FleetObserver::new();
+        let mut exec = NullExecutor;
         ac.run_cycle_incremental_batch(&mut observer, &batch, &mut exec, 0)
             .expect("prime cycle runs");
         b.iter(|| {

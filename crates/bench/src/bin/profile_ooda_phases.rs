@@ -1,19 +1,28 @@
-//! Phase-level timing probe for one OODA cycle over a synthetic 100K-table
-//! lake: where does the framework overhead actually go? Prints per-phase
-//! wall times so decide-path optimization targets facts, not guesses.
+//! Phase-level timing probe for OODA cycles over a synthetic 100K-table
+//! lake: where does the framework overhead actually go?
+//!
+//! Timing comes from the pipeline's own telemetry phase spans — the same
+//! single implementation every instrumented cycle uses — with an
+//! `Instant`-based microsecond clock installed on the sink (this binary
+//! genuinely profiles, so the wall clock is the right clock; see the
+//! clock-injection rule in `autocomp::telemetry`). Each round prints the
+//! span breakdown for its cycle, and the run ends with the sink's
+//! [`autocomp::FleetHealthReport`] roll-up.
 
+use std::sync::Arc;
 use std::time::Instant;
 
-use autocomp::rank::rank_and_select;
-use autocomp::scope::generate_candidates;
+use autocomp::telemetry::{names, phase};
 use autocomp::{
-    filter::apply_filters, AlreadyCompactFilter, CandidateFilter, CandidateStats,
-    CompactionDisabledFilter, ComputeCostGbhr, FileCountReduction, LakeConnector, RankingPolicy,
-    ScopeStrategy, TableRef, TraitComputer, TraitMatrix, TraitWeight,
+    AlreadyCompactFilter, AutoComp, AutoCompConfig, Candidate, CandidateStats, ChangeCursor,
+    CompactionDisabledFilter, CompactionExecutor, ComputeCostGbhr, ExecutionResult,
+    FileCountReduction, FleetObserver, LakeConnector, Prediction, RankingPolicy, ScopeStrategy,
+    TableRef, TelemetrySink, TraitWeight,
 };
 
 struct SyntheticLake {
     tables: Vec<TableRef>,
+    dirty: Vec<u64>,
 }
 
 impl SyntheticLake {
@@ -29,6 +38,8 @@ impl SyntheticLake {
                     is_intermediate: i % 23 == 0,
                 })
                 .collect(),
+            // 1% dirty window, so incremental rounds show the splice.
+            dirty: (0..n / 100).map(|i| i * 100 % n.max(1)).collect(),
         }
     }
 }
@@ -50,6 +61,29 @@ impl LakeConnector for SyntheticLake {
     fn partition_stats(&self, _uid: u64) -> Vec<(String, CandidateStats)> {
         Vec::new()
     }
+    fn fleet_cursor(&self) -> Option<ChangeCursor> {
+        Some(ChangeCursor(0))
+    }
+    fn changes_since(&self, _cursor: ChangeCursor) -> Option<Vec<u64>> {
+        Some(self.dirty.clone())
+    }
+    fn listing_epoch(&self) -> Option<u64> {
+        Some(0)
+    }
+}
+
+struct NullExecutor;
+
+impl CompactionExecutor for NullExecutor {
+    fn execute(&mut self, _c: &Candidate, _p: &Prediction, now: u64) -> ExecutionResult {
+        ExecutionResult {
+            scheduled: true,
+            job_id: Some(1),
+            gbhr: 0.0,
+            commit_due_ms: Some(now),
+            error: None,
+        }
+    }
 }
 
 fn main() {
@@ -58,63 +92,75 @@ fn main() {
         .and_then(|a| a.parse().ok())
         .unwrap_or(100_000);
     let lake = SyntheticLake::new(n);
-    let filters: Vec<Box<dyn CandidateFilter>> = vec![
-        Box::new(CompactionDisabledFilter),
-        Box::new(AlreadyCompactFilter {
-            min_small_files: 2,
-            min_small_fraction: 0.0,
-        }),
-    ];
-    let computers: Vec<Box<dyn TraitComputer>> = vec![
-        Box::new(FileCountReduction::default()),
-        Box::new(ComputeCostGbhr::default()),
-    ];
-    let policy = RankingPolicy::Moop {
-        weights: vec![
-            TraitWeight::new("file_count_reduction", 0.7),
-            TraitWeight::new("compute_cost_gbhr", 0.3),
-        ],
-        k: 100,
-    };
 
+    let epoch = Instant::now();
+    let sink = TelemetrySink::with_clock(Arc::new(move || epoch.elapsed().as_micros() as u64));
+    let mut ac = AutoComp::new(AutoCompConfig {
+        scope: ScopeStrategy::Table,
+        policy: RankingPolicy::Moop {
+            weights: vec![
+                TraitWeight::new("file_count_reduction", 0.7),
+                TraitWeight::new("compute_cost_gbhr", 0.3),
+            ],
+            k: 100,
+        },
+        trigger_label: "profile".to_string(),
+        calibrate: false,
+    })
+    .with_filter(Box::new(CompactionDisabledFilter))
+    .with_filter(Box::new(AlreadyCompactFilter {
+        min_small_files: 2,
+        min_small_fraction: 0.0,
+    }))
+    .with_trait(Box::new(FileCountReduction::default()))
+    .with_trait(Box::new(ComputeCostGbhr::default()))
+    .with_telemetry(sink);
+
+    let mut observer = FleetObserver::new();
+    let mut exec = NullExecutor;
     for round in 0..5 {
-        let t0 = Instant::now();
-        let candidates = generate_candidates(&lake, ScopeStrategy::Table);
-        let t1 = Instant::now();
-        // Sub-probe: predicate evaluation alone vs the partition move.
-        let eval_only = Instant::now();
-        let n_drop = candidates
+        let report = ac
+            .run_cycle_incremental(&mut observer, &lake, &mut exec, round)
+            .expect("cycle runs");
+        let cycle = ac.telemetry().current_cycle();
+        let line: Vec<String> = ac
+            .telemetry()
+            .recent_spans()
             .iter()
-            .filter(|c| {
-                filters
-                    .iter()
-                    .any(|f| f.evaluate(&c.view(), 0) != autocomp::FilterDecision::Keep)
-            })
-            .count();
-        let eval_ms = eval_only.elapsed();
-        let (kept, dropped) = apply_filters(candidates, &filters, 0);
-        assert_eq!(n_drop, dropped.len());
-        let t2 = Instant::now();
-        let mut matrix = TraitMatrix::new(kept.len());
-        for t in &computers {
-            let id = matrix.intern(t.name(), Some(t.direction()));
-            let col = matrix.col_mut(id);
-            for (slot, c) in col.iter_mut().zip(&kept) {
-                *slot = t.compute(&c.stats);
-            }
-        }
-        let t3 = Instant::now();
-        let ranked = rank_and_select(&kept, &matrix, &policy).unwrap();
-        let t4 = Instant::now();
+            .filter(|s| s.cycle == cycle)
+            .map(|s| format!("{}={}us", s.phase, s.duration))
+            .collect();
         println!(
-            "round {round}: generate={:>7.2?} filter={:>7.2?} (seq-eval={eval_ms:>7.2?}) orient(seq)={:>7.2?} decide={:>7.2?} | kept={} dropped={} ranked={}",
-            t1 - t0,
-            (t2 - t1) - eval_ms,
-            t3 - t2,
-            t4 - t3,
-            kept.len(),
-            dropped.len(),
-            ranked.len(),
+            "round {round} ({}): {} | generated={} dropped={} executed={}",
+            if round == 0 { "cold" } else { "incremental" },
+            line.join(" "),
+            report.generated,
+            report.dropped.len(),
+            report.executed.len(),
         );
     }
+
+    println!("\nper-phase histograms over all rounds (us):");
+    if let Some(reg) = ac.telemetry().registry() {
+        for name in phase::ALL {
+            if let Some(snap) = reg.histogram_snapshot(autocomp::telemetry::MetricKey::labelled(
+                names::PIPELINE_PHASE_DURATION_US,
+                names::LABEL_PHASE,
+                name,
+            )) {
+                let (p50, p95, p99) = snap.p50_p95_p99();
+                println!(
+                    "  {name:<13} n={} mean={:.0} p50={} p95={} p99={} max={}",
+                    snap.count,
+                    snap.mean(),
+                    p50,
+                    p95,
+                    p99,
+                    snap.max
+                );
+            }
+        }
+    }
+
+    println!("\n{}", ac.telemetry().health_report());
 }

@@ -423,6 +423,11 @@ const EVICTED_RETAINED_CAP: usize = 1024;
 #[derive(Debug, Clone)]
 pub struct JobTracker {
     config: JobRuntimeConfig,
+    /// Telemetry handle for the per-kind admission/deferral/retry/
+    /// conflict counters (see [`crate::telemetry::names`]). Disabled
+    /// until the owning pipeline attaches its sink; never part of the
+    /// durable snapshot (the pipeline re-attaches after restore).
+    telemetry: crate::telemetry::TelemetrySink,
     /// Running jobs by platform job id.
     jobs: BTreeMap<u64, TrackedJob>,
     /// Running-job count per table (suppression index).
@@ -476,6 +481,7 @@ impl JobTracker {
     pub fn new(config: JobRuntimeConfig) -> Self {
         JobTracker {
             config,
+            telemetry: crate::telemetry::TelemetrySink::disabled(),
             jobs: BTreeMap::new(),
             tables_running: BTreeMap::new(),
             tables_running_kind: BTreeMap::new(),
@@ -502,6 +508,14 @@ impl JobTracker {
     /// The runtime policy.
     pub fn config(&self) -> &JobRuntimeConfig {
         &self.config
+    }
+
+    /// Attaches the pipeline's telemetry sink so ledger events land in
+    /// the shared registry. Counters are recorded against the sink
+    /// installed at the time of the event; attaching never alters
+    /// ledger decisions.
+    pub(crate) fn set_telemetry(&mut self, sink: crate::telemetry::TelemetrySink) {
+        self.telemetry = sink;
     }
 
     /// Jobs currently running on the platform.
@@ -576,8 +590,31 @@ impl JobTracker {
 
     /// Admission check for one submission. `Ok(())` admits; `Err(reason)`
     /// defers (the caller reports the candidate, which re-enters ranking
-    /// next cycle). Prunes the GBHr window as a side effect.
+    /// next cycle). Prunes the GBHr window as a side effect, and counts
+    /// the verdict into the per-kind admission/deferral telemetry.
     pub(crate) fn admit(
+        &mut self,
+        database: &str,
+        table_uid: u64,
+        predicted_gbhr: f64,
+        kind: JobKind,
+        now_ms: u64,
+    ) -> Result<(), Arc<str>> {
+        let verdict = self.admit_inner(database, table_uid, predicted_gbhr, kind, now_ms);
+        let name = match verdict {
+            Ok(()) => crate::telemetry::names::ACT_ADMITTED_TOTAL,
+            Err(_) => crate::telemetry::names::ACT_DEFERRED_TOTAL,
+        };
+        self.telemetry.counter_add_labelled(
+            name,
+            crate::telemetry::names::LABEL_KIND,
+            kind.label(),
+            1,
+        );
+        verdict
+    }
+
+    fn admit_inner(
         &mut self,
         database: &str,
         table_uid: u64,
@@ -836,6 +873,12 @@ impl JobTracker {
                 }
                 JobOutcomeStatus::Conflicted => {
                     self.counters.conflicted += 1;
+                    self.telemetry.counter_add_labelled(
+                        crate::telemetry::names::ACT_CONFLICTS_TOTAL,
+                        crate::telemetry::names::LABEL_KIND,
+                        job.prediction.kind.label(),
+                        1,
+                    );
                     // The conflicting writer changed the table; re-observe
                     // it even if the changelog is quiet on this connector.
                     self.dirty_pending.insert(uid);
@@ -928,9 +971,15 @@ impl JobTracker {
         self.schedule_retry(candidate, prediction, now_ms, attempts);
     }
 
-    /// Counts one executed retry submission.
-    pub(crate) fn note_retry_submitted(&mut self) {
+    /// Counts one executed retry submission (per-kind in telemetry).
+    pub(crate) fn note_retry_submitted(&mut self, kind: JobKind) {
         self.counters.retries_submitted += 1;
+        self.telemetry.counter_add_labelled(
+            crate::telemetry::names::ACT_RETRIES_TOTAL,
+            crate::telemetry::names::LABEL_KIND,
+            kind.label(),
+            1,
+        );
     }
 
     /// Tables settled since the last drain — the incremental observer

@@ -302,25 +302,55 @@ pub struct ReplaySummary {
     pub ignored: u64,
 }
 
+/// Appends one encoded record to `journal`, counting the append and its
+/// byte size into the telemetry registry (no-ops on a disabled sink).
+/// The single write path for journal traffic accounting — the runtime's
+/// direct appends and [`JournalingExecutor`] both go through it.
+pub(crate) fn append_counted(
+    journal: &mut Journal,
+    telemetry: &crate::telemetry::TelemetrySink,
+    record: &[u8],
+) {
+    journal.append(record);
+    telemetry.counter_add(crate::telemetry::names::DURABILITY_JOURNAL_APPENDS_TOTAL, 1);
+    telemetry.counter_add(
+        crate::telemetry::names::DURABILITY_JOURNAL_BYTES_TOTAL,
+        record.len() as u64,
+    );
+}
+
 /// Executor adapter that journals every submit and every delivered
 /// outcome — the write side of the crash-recovery protocol. Wrap the
 /// real executor in this for every cycle between snapshots.
 pub struct JournalingExecutor<'a, E> {
     inner: &'a mut E,
     journal: &'a mut Journal,
+    telemetry: crate::telemetry::TelemetrySink,
 }
 
 impl<'a, E> JournalingExecutor<'a, E> {
     /// Wraps `inner`, appending [`JournalEvent`]s to `journal`.
     pub fn new(inner: &'a mut E, journal: &'a mut Journal) -> Self {
-        JournalingExecutor { inner, journal }
+        JournalingExecutor {
+            inner,
+            journal,
+            telemetry: crate::telemetry::TelemetrySink::disabled(),
+        }
+    }
+
+    /// Counts journal appends/bytes into `sink` (builder style).
+    pub fn with_telemetry(mut self, sink: crate::telemetry::TelemetrySink) -> Self {
+        self.telemetry = sink;
+        self
     }
 }
 
 impl<E: CompactionExecutor> CompactionExecutor for JournalingExecutor<'_, E> {
     fn execute(&mut self, c: &Candidate, p: &Prediction, now_ms: u64) -> ExecutionResult {
         let result = self.inner.execute(c, p, now_ms);
-        self.journal.append(
+        append_counted(
+            self.journal,
+            &self.telemetry,
             &JournalEvent::Submitted {
                 candidate: Box::new(c.clone()),
                 prediction: p.clone(),
@@ -338,7 +368,9 @@ impl<E: TrackedExecutor> TrackedExecutor for JournalingExecutor<'_, E> {
     fn poll(&mut self, now_ms: u64) -> Vec<JobOutcome> {
         let outcomes = self.inner.poll(now_ms);
         for outcome in &outcomes {
-            self.journal.append(
+            append_counted(
+                self.journal,
+                &self.telemetry,
                 &JournalEvent::Settled {
                     outcome: outcome.clone(),
                 }

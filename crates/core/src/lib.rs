@@ -108,6 +108,7 @@ pub mod runtime;
 pub mod schedule;
 pub mod scope;
 pub mod stats;
+pub mod telemetry;
 pub mod traits;
 pub mod trigger;
 
@@ -150,6 +151,10 @@ pub use schedule::{
 };
 pub use scope::ScopeStrategy;
 pub use stats::{CandidateStats, QuotaSignal, SizeBucket};
+pub use telemetry::{
+    FleetHealthReport, HistogramSnapshot, Log2Histogram, PhaseSpan, TelemetryRegistry,
+    TelemetrySink,
+};
 pub use traits::{
     ComputeCostGbhr, DeleteDebt, FileCountReduction, FileEntropy, PartitionSkewExcess,
     SortDisorder, TraitComputer, TraitDirection,

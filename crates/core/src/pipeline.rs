@@ -56,6 +56,7 @@ use crate::report::{decision_rows, render_table};
 use crate::schedule::{waves, ParallelTablesScheduler, Scheduler};
 use crate::scope::ScopeStrategy;
 use crate::stats::CandidateStats;
+use crate::telemetry::{names as tnames, phase as tphase, TelemetrySink};
 use crate::traits::TraitComputer;
 use crate::Result;
 
@@ -192,6 +193,11 @@ pub struct AutoComp {
     /// Act-phase job runtime (in-flight ledger + admission + retries);
     /// `None` keeps the historical fire-and-forget act phase.
     tracker: Option<JobTracker>,
+    /// Shared observability handle (see [`crate::telemetry`]): phase
+    /// spans, cache/memo gauges, and — cloned into the tracker — the
+    /// act-ledger counters. Enabled under the null clock by default;
+    /// recording never changes cycle results.
+    telemetry: TelemetrySink,
 }
 
 /// A [`RankMemo`] plus the validity keys it was installed under — the
@@ -222,6 +228,7 @@ impl AutoComp {
             rank_memo: None,
             rank_stats: RankCycleStats::default(),
             tracker: None,
+            telemetry: TelemetrySink::default(),
         }
     }
 
@@ -235,8 +242,31 @@ impl AutoComp {
     /// not invalidate the cycle cache — ledger state is checked after
     /// the splice (see [`crate::act`]).
     pub fn with_job_tracker(mut self, config: JobRuntimeConfig) -> Self {
-        self.tracker = Some(JobTracker::new(config));
+        let mut tracker = JobTracker::new(config);
+        tracker.set_telemetry(self.telemetry.clone());
+        self.tracker = Some(tracker);
         self
+    }
+
+    /// Replaces the telemetry sink (builder style). The default is an
+    /// enabled sink under the null clock; pass
+    /// [`TelemetrySink::disabled`] to opt out entirely, or
+    /// [`TelemetrySink::with_clock`] to give spans real durations.
+    /// Telemetry never alters cycle results — instrumented cycles are
+    /// bit-identical to uninstrumented ones
+    /// (`tests/incremental_parity.rs`).
+    pub fn with_telemetry(mut self, sink: TelemetrySink) -> Self {
+        if let Some(tracker) = self.tracker.as_mut() {
+            tracker.set_telemetry(sink.clone());
+        }
+        self.telemetry = sink;
+        self
+    }
+
+    /// The pipeline's telemetry sink (clone it to read the registry from
+    /// outside the cycle loop).
+    pub fn telemetry(&self) -> &TelemetrySink {
+        &self.telemetry
     }
 
     /// The attached job runtime, if any.
@@ -365,7 +395,10 @@ impl AutoComp {
         executor: &mut dyn CompactionExecutor,
         now_ms: u64,
     ) -> Result<CycleReport> {
+        self.telemetry.begin_cycle();
+        let t = self.telemetry.span_start();
         let observation = connector.observe(&ObserveRequest::fresh(self.config.scope));
+        self.telemetry.span_end(tphase::OBSERVE, t);
         // The observation is dropped right here, so no future cycle can
         // splice against it: skip the cache fill entirely (always-cold
         // drivers pay zero cache overhead).
@@ -381,7 +414,10 @@ impl AutoComp {
         executor: &mut dyn CompactionExecutor,
         now_ms: u64,
     ) -> Result<CycleReport> {
+        self.telemetry.begin_cycle();
+        let t = self.telemetry.span_start();
         let observation = connector.observe(&ObserveRequest::fresh(self.config.scope));
+        self.telemetry.span_end(tphase::OBSERVE, t);
         // One-shot observation (see run_cycle): no cache fill.
         self.cycle_observed_inner(&observation, ExecRef::Plain(executor), now_ms, false)
     }
@@ -398,8 +434,11 @@ impl AutoComp {
         executor: &mut dyn CompactionExecutor,
         now_ms: u64,
     ) -> Result<CycleReport> {
+        self.telemetry.begin_cycle();
+        let t = self.telemetry.span_start();
         let observation = observer.observe(connector, self.config.scope);
-        self.run_cycle_observed(observation, executor, now_ms)
+        self.telemetry.span_end(tphase::OBSERVE, t);
+        self.cycle_observed_inner(observation, ExecRef::Plain(executor), now_ms, true)
     }
 
     /// Like [`run_cycle_incremental`](Self::run_cycle_incremental) for
@@ -411,8 +450,11 @@ impl AutoComp {
         executor: &mut dyn CompactionExecutor,
         now_ms: u64,
     ) -> Result<CycleReport> {
+        self.telemetry.begin_cycle();
+        let t = self.telemetry.span_start();
         let observation = observer.observe_batch(connector, self.config.scope);
-        self.run_cycle_observed(observation, executor, now_ms)
+        self.telemetry.span_end(tphase::OBSERVE, t);
+        self.cycle_observed_inner(observation, ExecRef::Plain(executor), now_ms, true)
     }
 
     /// Runs the filter → orient → decide → act phases over an
@@ -430,6 +472,7 @@ impl AutoComp {
         executor: &mut dyn CompactionExecutor,
         now_ms: u64,
     ) -> Result<CycleReport> {
+        self.telemetry.begin_cycle();
         self.cycle_observed_inner(observation, ExecRef::Plain(executor), now_ms, true)
     }
 
@@ -446,8 +489,13 @@ impl AutoComp {
         executor: &mut dyn TrackedExecutor,
         now_ms: u64,
     ) -> Result<CycleReport> {
+        self.telemetry.begin_cycle();
+        let t = self.telemetry.span_start();
         self.settle_polled(executor.poll(now_ms));
+        self.telemetry.span_end(tphase::SETTLE, t);
+        let t = self.telemetry.span_start();
         let observation = connector.observe(&ObserveRequest::fresh(self.config.scope));
+        self.telemetry.span_end(tphase::OBSERVE, t);
         self.cycle_observed_inner(&observation, ExecRef::Tracked(executor), now_ms, false)
     }
 
@@ -463,9 +511,14 @@ impl AutoComp {
         executor: &mut dyn TrackedExecutor,
         now_ms: u64,
     ) -> Result<CycleReport> {
+        self.telemetry.begin_cycle();
+        let t = self.telemetry.span_start();
         self.settle_polled(executor.poll(now_ms));
         self.mark_settled_dirty(observer);
+        self.telemetry.span_end(tphase::SETTLE, t);
+        let t = self.telemetry.span_start();
         let observation = observer.observe(connector, self.config.scope);
+        self.telemetry.span_end(tphase::OBSERVE, t);
         self.cycle_observed_inner(observation, ExecRef::Tracked(executor), now_ms, true)
     }
 
@@ -478,9 +531,14 @@ impl AutoComp {
         executor: &mut dyn TrackedExecutor,
         now_ms: u64,
     ) -> Result<CycleReport> {
+        self.telemetry.begin_cycle();
+        let t = self.telemetry.span_start();
         self.settle_polled(executor.poll(now_ms));
         self.mark_settled_dirty(observer);
+        self.telemetry.span_end(tphase::SETTLE, t);
+        let t = self.telemetry.span_start();
         let observation = observer.observe_batch(connector, self.config.scope);
+        self.telemetry.span_end(tphase::OBSERVE, t);
         self.cycle_observed_inner(observation, ExecRef::Tracked(executor), now_ms, true)
     }
 
@@ -539,6 +597,7 @@ impl AutoComp {
         // Filter (+ cache splice): one walk over the observation decides
         // keep/drop per candidate, splicing quiet tables' verdicts from
         // the prior generation, and records the next generation.
+        let span_t = self.telemetry.span_start();
         let time_sensitive = chain_time_sensitive(&self.filters);
         let fill_cache = allow_cache_fill && self.cache.enabled() && observation.cursor().is_some();
         let old_gen = self.cache.usable_gen(
@@ -564,6 +623,7 @@ impl AutoComp {
             spliced,
             recomputed,
         } = walk;
+        self.telemetry.span_end(tphase::FILTER_SPLICE, span_t);
         let mut gen = gen;
         // Rank-memo row bookkeeping: `gen_rows[i]` is row i's index in
         // the generation being installed this cycle (identity before the
@@ -577,6 +637,7 @@ impl AutoComp {
         // access per candidate — then the scratch is transposed into the
         // matrix's contiguous columns. The fill is position-stable, so
         // results are identical to the sequential path.
+        let span_t = self.telemetry.span_start();
         let mut scratch = vec![0.0; kept_slots.len() * width];
         let computers = &self.traits;
         let old_rows: &[f64] = old_gen.map(|(g, _)| g.rows.as_slice()).unwrap_or(&[]);
@@ -610,6 +671,20 @@ impl AutoComp {
             );
         }
         self.cache.record_cycle(spliced, recomputed);
+        self.telemetry.span_end(tphase::ORIENT, span_t);
+        let splice_total = spliced + recomputed;
+        self.telemetry.gauge_set(
+            tnames::PIPELINE_CACHE_HIT_RATIO,
+            if splice_total > 0 {
+                spliced as f64 / splice_total as f64
+            } else {
+                0.0
+            },
+        );
+        self.telemetry
+            .gauge_set(tnames::PIPELINE_CACHE_SPLICED, spliced as f64);
+        self.telemetry
+            .gauge_set(tnames::PIPELINE_CACHE_RECOMPUTED, recomputed as f64);
 
         // In-flight suppression (job runtime): candidates whose table
         // has a live job — running, or waiting out a conflict-retry
@@ -657,6 +732,7 @@ impl AutoComp {
         // incremental maintenance (score splice + retained-prefix
         // selection) whenever the retained memo lines up with the same
         // cursor chain + epoch the cycle cache splices under.
+        let span_t = self.telemetry.span_start();
         let uniform_tail = matches!(
             observation.scope(),
             ScopeStrategy::Table | ScopeStrategy::Snapshot { .. }
@@ -696,10 +772,25 @@ impl AutoComp {
                 memo,
             });
         }
+        self.telemetry.span_end(tphase::RANK, span_t);
+        let score_total = rank_stats.spliced_scores + rank_stats.recomputed_scores;
+        self.telemetry.gauge_set(
+            tnames::PIPELINE_MEMO_HIT_RATIO,
+            if score_total > 0 {
+                rank_stats.spliced_scores as f64 / score_total as f64
+            } else {
+                0.0
+            },
+        );
+        if rank_stats.memo_fast {
+            self.telemetry
+                .counter_add(tnames::PIPELINE_MEMO_FAST_TOTAL, 1);
+        }
 
         // Act: only the selected candidates are materialized; entries
         // carry their candidate index, so job planning needs no id-keyed
         // lookup tables.
+        let span_t = self.telemetry.span_start();
         let selected_entries: Vec<&RankedEntry> = ranked.selected().collect();
         let selected: Vec<Candidate> = selected_entries
             .iter()
@@ -789,7 +880,7 @@ impl AutoComp {
                     Ok(()) => {
                         let attempts = attempts + 1;
                         let result = exec.execute(&candidate, &prediction, now_ms);
-                        tracker.note_retry_submitted();
+                        tracker.note_retry_submitted(prediction.kind);
                         if result.scheduled {
                             total_predicted_reduction += prediction.reduction;
                             total_predicted_gbhr += prediction.gbhr;
@@ -913,6 +1004,15 @@ impl AutoComp {
         for record in pending_feedback {
             self.feedback.record(record);
         }
+        self.telemetry.span_end(tphase::ACT, span_t);
+        if let Some(tracker) = self.tracker.as_ref() {
+            self.telemetry
+                .gauge_set(tnames::ACT_GBHR_WINDOW_USED, tracker.gbhr_window_usage());
+            if let Some(budget) = tracker.config().gbhr_budget {
+                self.telemetry
+                    .gauge_set(tnames::ACT_GBHR_WINDOW_BUDGET, budget);
+            }
+        }
         let ledger = self
             .tracker
             .as_mut()
@@ -988,6 +1088,7 @@ impl AutoComp {
         ctx: &SnapshotContext,
     ) -> Option<Vec<u8>> {
         let observation = observer.last()?;
+        let span_t = self.telemetry.span_start();
         let mut enc = lakesim_storage::Encoder::new();
         enc.put_u64(self.config_fingerprint());
         enc.put_u64(ctx.cycle);
@@ -1022,11 +1123,18 @@ impl AutoComp {
             None => enc.put_bool(false),
         }
         self.feedback.snapshot_write(&mut enc);
-        Some(lakesim_storage::seal_frame(
+        let frame = lakesim_storage::seal_frame(
             crate::durability::SNAPSHOT_KIND,
             crate::durability::SNAPSHOT_VERSION,
             &enc.into_bytes(),
-        ))
+        );
+        self.telemetry.observe(
+            tnames::DURABILITY_SNAPSHOT_SAVE_US,
+            self.telemetry.now().saturating_sub(span_t),
+        );
+        self.telemetry
+            .observe(tnames::DURABILITY_SNAPSHOT_BYTES, frame.len() as u64);
+        Some(frame)
     }
 
     /// Restores a snapshot produced by [`encode_snapshot`](Self::encode_snapshot)
@@ -1043,7 +1151,8 @@ impl AutoComp {
         observer: &mut FleetObserver,
         bytes: &[u8],
     ) -> RecoveryReport {
-        match self.try_restore(observer, bytes) {
+        let span_t = self.telemetry.span_start();
+        let report = match self.try_restore(observer, bytes) {
             Ok(report) => report,
             Err(reason) => {
                 // Degrade to a coherent cold start: drop every retained
@@ -1053,7 +1162,12 @@ impl AutoComp {
                 self.rank_memo = None;
                 RecoveryReport::ColdStart { reason }
             }
-        }
+        };
+        self.telemetry.observe(
+            tnames::DURABILITY_RESTORE_US,
+            self.telemetry.now().saturating_sub(span_t),
+        );
+        report
     }
 
     fn try_restore(
@@ -1131,7 +1245,11 @@ impl AutoComp {
             .as_ref()
             .map(|t| (t.in_flight(), t.retry_pending()))
             .unwrap_or((0, 0));
-        if let Some(tracker) = tracker {
+        if let Some(mut tracker) = tracker {
+            // `snapshot_read` builds a fresh tracker with a disabled
+            // sink; re-attach this pipeline's so ledger counters keep
+            // flowing after a restore.
+            tracker.set_telemetry(self.telemetry.clone());
             self.tracker = Some(tracker);
         }
         self.feedback = feedback;

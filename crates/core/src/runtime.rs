@@ -103,6 +103,7 @@ use crate::durability::{JournalEvent, JournalingExecutor, RecoveryReport, Snapsh
 use crate::observe::FleetObserver;
 use crate::pipeline::{AutoComp, CycleReport};
 use crate::rank::RankCycleStats;
+use crate::telemetry::names as tnames;
 use crate::Result;
 
 /// One event consumed by the continuous runtime. Events must be fed in
@@ -171,14 +172,22 @@ pub enum TriggerCause {
     Flush,
 }
 
-impl fmt::Display for TriggerCause {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
+impl TriggerCause {
+    /// Interned label, used both for `Display` and as the telemetry
+    /// `{cause=...}` label value.
+    pub fn label(&self) -> &'static str {
+        match self {
             TriggerCause::DirtyWatermark => "dirty-watermark",
             TriggerCause::StalenessDeadline => "staleness-deadline",
             TriggerCause::GbhrHeadroom => "gbhr-headroom",
             TriggerCause::Flush => "flush",
-        })
+        }
+    }
+}
+
+impl fmt::Display for TriggerCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
     }
 }
 
@@ -276,6 +285,12 @@ pub struct RoundReport {
     pub gbhr_window_used: f64,
     /// Whether this round saved a boundary snapshot.
     pub snapshot_saved: bool,
+    /// Cumulative event-loop counters as of this round, including the
+    /// backpressure signals (`deferred_rounds`, `max_dirty_backlog`,
+    /// `max_watermark_overshoot`) — so per-round consumers can surface
+    /// backpressure without a separate [`ContinuousRuntime::stats`]
+    /// read.
+    pub runtime: RuntimeStats,
 }
 
 /// The durable half of the runtime: snapshot store + journal, both owned
@@ -557,6 +572,9 @@ impl<M: SnapshotMedium> ContinuousRuntime<M> {
         if let Some(last) = self.last_round_ms {
             if now.saturating_sub(last) < self.config.min_round_interval_ms {
                 self.stats.deferred_rounds += 1;
+                self.pipeline
+                    .telemetry()
+                    .counter_add(tnames::RUNTIME_DEFERRED_ROUNDS_TOTAL, 1);
                 return None;
             }
         }
@@ -619,7 +637,7 @@ impl<M: SnapshotMedium> ContinuousRuntime<M> {
         while let Some(uid) = self.dirty.pop_first() {
             self.observer.mark_dirty(uid);
         }
-        let commit_latencies_ms = self
+        let commit_latencies_ms: Vec<u64> = self
             .pending_commits
             .drain(..)
             .map(|at| now.saturating_sub(at))
@@ -628,7 +646,8 @@ impl<M: SnapshotMedium> ContinuousRuntime<M> {
 
         let report = match self.durable.as_mut() {
             Some(durable) => {
-                let mut journaling = JournalingExecutor::new(executor, &mut durable.journal);
+                let mut journaling = JournalingExecutor::new(executor, &mut durable.journal)
+                    .with_telemetry(self.pipeline.telemetry().clone());
                 let mut exec = BufferedCompletions {
                     inner: &mut journaling,
                     buffered,
@@ -659,14 +678,42 @@ impl<M: SnapshotMedium> ContinuousRuntime<M> {
         self.last_round_ms = Some(now);
         let mut snapshot_saved = false;
         if let Some(durable) = self.durable.as_mut() {
-            durable
-                .journal
-                .append(&JournalEvent::CycleCommit { cycle: self.rounds }.encode());
+            crate::durability::append_counted(
+                &mut durable.journal,
+                self.pipeline.telemetry(),
+                &JournalEvent::CycleCommit { cycle: self.rounds }.encode(),
+            );
             let every = self.config.snapshot_every_rounds;
             if every > 0 && self.rounds.is_multiple_of(every) {
                 snapshot_saved = self.save_boundary_snapshot(executor);
             }
         }
+
+        // Fold the round into the shared telemetry registry: trigger
+        // cause, backpressure gauges, and the decision-latency histogram
+        // (one sample per covered commit event).
+        let telemetry = self.pipeline.telemetry();
+        telemetry.counter_add_labelled(
+            tnames::RUNTIME_ROUNDS_TOTAL,
+            tnames::LABEL_CAUSE,
+            cause.label(),
+            1,
+        );
+        telemetry.gauge_set(tnames::RUNTIME_DIRTY_BACKLOG, dirty_consumed as f64);
+        telemetry.gauge_set(
+            tnames::RUNTIME_MAX_DIRTY_BACKLOG,
+            self.stats.max_dirty_backlog as f64,
+        );
+        telemetry.gauge_set(
+            tnames::RUNTIME_MAX_WATERMARK_OVERSHOOT,
+            self.stats.max_watermark_overshoot as f64,
+        );
+        if let Some(hist) = telemetry.histogram_handle(tnames::RUNTIME_DECISION_LATENCY_MS) {
+            for latency in &commit_latencies_ms {
+                hist.record(*latency);
+            }
+        }
+
         Ok(RoundReport {
             round: self.rounds,
             at_ms: now,
@@ -681,6 +728,7 @@ impl<M: SnapshotMedium> ContinuousRuntime<M> {
                 .map(|t| t.gbhr_window_usage())
                 .unwrap_or(0.0),
             snapshot_saved,
+            runtime: self.stats,
             report,
         })
     }
@@ -703,6 +751,9 @@ impl<M: SnapshotMedium> ContinuousRuntime<M> {
         };
         if durable.store.save(&bytes).is_ok() {
             self.stats.snapshots_saved += 1;
+            self.pipeline
+                .telemetry()
+                .counter_add(tnames::DURABILITY_SNAPSHOT_SAVES_TOTAL, 1);
             true
         } else {
             false
@@ -719,7 +770,9 @@ impl<M: SnapshotMedium> CompletionSink for ContinuousRuntime<M> {
         self.now_ms = self.now_ms.max(at_ms);
         self.stats.completion_events += 1;
         if let Some(durable) = self.durable.as_mut() {
-            durable.journal.append(
+            crate::durability::append_counted(
+                &mut durable.journal,
+                self.pipeline.telemetry(),
                 &JournalEvent::Settled {
                     outcome: outcome.clone(),
                 }

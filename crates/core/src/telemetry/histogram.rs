@@ -1,0 +1,216 @@
+//! Lock-free log2-bucketed histogram with exact-count percentile readout.
+//!
+//! Values land in bucket `b = 64 - v.leading_zeros()` (zero in bucket 0),
+//! i.e. bucket `b ≥ 1` covers `[2^(b-1), 2^b - 1]`. Percentile readout
+//! walks the cumulative bucket counts to the bucket holding the requested
+//! rank and reports that bucket's **upper edge, clamped to the exact
+//! observed maximum** — so every readout lands in the same bucket as the
+//! exact sorted-slice percentile (the "within one bucket" contract pinned
+//! by `tests/telemetry.rs`), readouts are monotone in `p`, and
+//! `quantile(1.0)` is the exact max. Count, sum, min and max are tracked
+//! exactly alongside the buckets.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: one for zero plus one per significant-bit count.
+pub const BUCKETS: usize = 65;
+
+/// Index of the log2 bucket that `value` falls into.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// Inclusive upper edge of bucket `index` (`0` for the zero bucket).
+#[inline]
+pub fn bucket_upper_edge(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else if index >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << index) - 1
+    }
+}
+
+/// Shared-writer log2 histogram (see module docs for the bucket scheme).
+///
+/// All mutation is relaxed-atomic: recording is wait-free and safe from
+/// any thread holding a shared reference. Readout goes through
+/// [`Log2Histogram::snapshot`], which copies the cells once so percentile
+/// walks see a stable view.
+#[derive(Debug)]
+pub struct Log2Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    /// Stored as `!min` so the zero default means "no samples yet".
+    inv_min: AtomicU64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Log2Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            inv_min: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+        self.inv_min.fetch_max(!value, Ordering::Relaxed);
+    }
+
+    /// Copies the current cells into an immutable [`HistogramSnapshot`].
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (slot, cell) in buckets.iter_mut().zip(self.buckets.iter()) {
+            *slot = cell.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            min: !self.inv_min.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Clone for Log2Histogram {
+    fn clone(&self) -> Self {
+        let snap = self.snapshot();
+        let out = Self::new();
+        for (cell, v) in out.buckets.iter().zip(snap.buckets.iter()) {
+            cell.store(*v, Ordering::Relaxed);
+        }
+        out.count.store(snap.count, Ordering::Relaxed);
+        out.sum.store(snap.sum, Ordering::Relaxed);
+        out.max.store(snap.max, Ordering::Relaxed);
+        out.inv_min.store(!snap.min, Ordering::Relaxed);
+        out
+    }
+}
+
+/// Immutable copy of a [`Log2Histogram`]'s cells, used for all readout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts, indexed by [`bucket_index`].
+    pub buckets: [u64; BUCKETS],
+    /// Total samples recorded.
+    pub count: u64,
+    /// Exact sum of all samples (wrapping on overflow).
+    pub sum: u64,
+    /// Exact maximum sample, `0` when empty.
+    pub max: u64,
+    /// Exact minimum sample, `u64::MAX` when empty.
+    pub min: u64,
+}
+
+impl HistogramSnapshot {
+    /// Percentile readout for `p in [0, 1]`.
+    ///
+    /// Rank selection matches a nearest-rank sorted-slice readout
+    /// (`sorted[round((count - 1) * p)]`); the reported value is the
+    /// holding bucket's upper edge clamped to the exact observed max, so
+    /// it always lands in the same log2 bucket as the exact percentile.
+    /// Returns `0` when empty.
+    pub fn quantile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count - 1) as f64 * p.clamp(0.0, 1.0)).round() as u64;
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen > rank {
+                return bucket_upper_edge(idx).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Convenience trio: `(p50, p95, p99)`.
+    pub fn p50_p95_p99(&self) -> (u64, u64, u64) {
+        (
+            self.quantile(0.50),
+            self.quantile(0.95),
+            self.quantile(0.99),
+        )
+    }
+
+    /// Mean of the recorded samples, `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_cover_the_line() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for v in [0u64, 1, 2, 3, 7, 8, 1023, 1024, 1200, 2800, u64::MAX] {
+            let b = bucket_index(v);
+            assert!(v <= bucket_upper_edge(b));
+            if b > 0 {
+                assert!(v > bucket_upper_edge(b - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_max_exact() {
+        let h = Log2Histogram::new();
+        for v in [3u64, 9, 17, 1200, 2400, 2600, 2800] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 7);
+        assert_eq!(s.max, 2800);
+        assert_eq!(s.min, 3);
+        let (p50, p95, p99) = s.p50_p95_p99();
+        assert!(p50 <= p95 && p95 <= p99 && p99 <= s.max);
+        assert_eq!(s.quantile(1.0), 2800);
+    }
+
+    #[test]
+    fn empty_reads_zero() {
+        let s = Log2Histogram::new().snapshot();
+        assert!(s.is_empty());
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+}

@@ -1,0 +1,338 @@
+//! Metric registry: interned-name counters, gauges and histograms with a
+//! stable-ordered Prometheus text exposition.
+//!
+//! Keys are `&'static str` metric names plus at most one optional
+//! `&'static str` label pair — enough for the per-kind / per-cause /
+//! per-phase series the pipeline emits, without a general label-set
+//! engine. The map itself is behind a `Mutex`, but each cell is an
+//! `Arc`'d atomic (or [`Log2Histogram`]), so the lock is held only for
+//! the name lookup, never across a render or a histogram walk.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use super::histogram::{bucket_upper_edge, HistogramSnapshot, Log2Histogram, BUCKETS};
+
+/// Interned metric identity: name plus at most one label pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    /// Metric name (see the module docs for the naming convention).
+    pub name: &'static str,
+    /// Optional `(label_name, label_value)` pair.
+    pub label: Option<(&'static str, &'static str)>,
+}
+
+impl MetricKey {
+    /// Unlabelled key.
+    pub fn plain(name: &'static str) -> Self {
+        Self { name, label: None }
+    }
+
+    /// Key carrying one label pair.
+    pub fn labelled(name: &'static str, label: &'static str, value: &'static str) -> Self {
+        Self {
+            name,
+            label: Some((label, value)),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum MetricCell {
+    Counter(Arc<AtomicU64>),
+    /// Gauge payload is an `f64` stored as its bit pattern.
+    Gauge(Arc<AtomicU64>),
+    Histogram(Arc<Log2Histogram>),
+}
+
+/// Read-side value of one metric series, as captured by
+/// [`TelemetryRegistry::snapshot`].
+#[derive(Debug, Clone)]
+pub enum MetricValue {
+    /// Monotonic counter total.
+    Counter(u64),
+    /// Last-set gauge value.
+    Gauge(f64),
+    /// Full histogram cell copy (boxed: the bucket array dwarfs the
+    /// scalar variants).
+    Histogram(Box<HistogramSnapshot>),
+}
+
+/// The process-wide metric table (one per [`super::TelemetrySink`]).
+#[derive(Debug, Default)]
+pub struct TelemetryRegistry {
+    metrics: Mutex<BTreeMap<MetricKey, MetricCell>>,
+}
+
+impl TelemetryRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the counter series `key`, creating it at zero.
+    pub fn counter_add(&self, key: MetricKey, delta: u64) {
+        let cell = {
+            let mut map = self.metrics.lock().expect("telemetry registry poisoned");
+            match map
+                .entry(key)
+                .or_insert_with(|| MetricCell::Counter(Arc::new(AtomicU64::new(0))))
+            {
+                MetricCell::Counter(c) => Arc::clone(c),
+                // Name collided with another metric type: drop the write
+                // rather than corrupt the existing series.
+                _ => return,
+            }
+        };
+        cell.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Sets the gauge series `key` to `value`.
+    pub fn gauge_set(&self, key: MetricKey, value: f64) {
+        let cell = {
+            let mut map = self.metrics.lock().expect("telemetry registry poisoned");
+            match map
+                .entry(key)
+                .or_insert_with(|| MetricCell::Gauge(Arc::new(AtomicU64::new(0))))
+            {
+                MetricCell::Gauge(g) => Arc::clone(g),
+                _ => return,
+            }
+        };
+        cell.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Records one sample into the histogram series `key`.
+    pub fn observe(&self, key: MetricKey, value: u64) {
+        let cell = {
+            let mut map = self.metrics.lock().expect("telemetry registry poisoned");
+            match map
+                .entry(key)
+                .or_insert_with(|| MetricCell::Histogram(Arc::new(Log2Histogram::new())))
+            {
+                MetricCell::Histogram(h) => Arc::clone(h),
+                _ => return,
+            }
+        };
+        cell.record(value);
+    }
+
+    /// Returns the histogram cell for `key`, creating it if absent, so
+    /// hot loops can record without re-locking the name table.
+    pub fn histogram_handle(&self, key: MetricKey) -> Option<Arc<Log2Histogram>> {
+        let mut map = self.metrics.lock().expect("telemetry registry poisoned");
+        match map
+            .entry(key)
+            .or_insert_with(|| MetricCell::Histogram(Arc::new(Log2Histogram::new())))
+        {
+            MetricCell::Histogram(h) => Some(Arc::clone(h)),
+            _ => None,
+        }
+    }
+
+    /// Copies every series into an ordered read-side snapshot.
+    pub fn snapshot(&self) -> Vec<(MetricKey, MetricValue)> {
+        let map = self.metrics.lock().expect("telemetry registry poisoned");
+        map.iter()
+            .map(|(key, cell)| {
+                let value = match cell {
+                    MetricCell::Counter(c) => MetricValue::Counter(c.load(Ordering::Relaxed)),
+                    MetricCell::Gauge(g) => {
+                        MetricValue::Gauge(f64::from_bits(g.load(Ordering::Relaxed)))
+                    }
+                    MetricCell::Histogram(h) => MetricValue::Histogram(Box::new(h.snapshot())),
+                };
+                (*key, value)
+            })
+            .collect()
+    }
+
+    /// Reads one counter total (0 when absent or not a counter).
+    pub fn counter_value(&self, key: MetricKey) -> u64 {
+        let map = self.metrics.lock().expect("telemetry registry poisoned");
+        match map.get(&key) {
+            Some(MetricCell::Counter(c)) => c.load(Ordering::Relaxed),
+            _ => 0,
+        }
+    }
+
+    /// Reads one gauge value (`None` when absent or not a gauge).
+    pub fn gauge_value(&self, key: MetricKey) -> Option<f64> {
+        let map = self.metrics.lock().expect("telemetry registry poisoned");
+        match map.get(&key) {
+            Some(MetricCell::Gauge(g)) => Some(f64::from_bits(g.load(Ordering::Relaxed))),
+            _ => None,
+        }
+    }
+
+    /// Reads one histogram snapshot (`None` when absent or mistyped).
+    pub fn histogram_snapshot(&self, key: MetricKey) -> Option<HistogramSnapshot> {
+        let map = self.metrics.lock().expect("telemetry registry poisoned");
+        match map.get(&key) {
+            Some(MetricCell::Histogram(h)) => Some(h.snapshot()),
+            _ => None,
+        }
+    }
+
+    /// Renders every series in Prometheus text exposition format.
+    ///
+    /// Output is deterministic: series are emitted in `BTreeMap` key
+    /// order, one `# TYPE` line per metric name, histograms as
+    /// cumulative `_bucket{le=...}` series (up to the highest non-empty
+    /// bucket, then `le="+Inf"`) plus `_sum` and `_count`. Label values
+    /// are escaped per the exposition rules (`\\`, `\"`, `\n`).
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_name = "";
+        for (key, value) in self.snapshot() {
+            if key.name != last_name {
+                let kind = match value {
+                    MetricValue::Counter(_) => "counter",
+                    MetricValue::Gauge(_) => "gauge",
+                    MetricValue::Histogram(_) => "histogram",
+                };
+                let _ = writeln!(out, "# TYPE {} {}", key.name, kind);
+                last_name = key.name;
+            }
+            match value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "{}{} {}", key.name, render_label(key.label), v);
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(
+                        out,
+                        "{}{} {}",
+                        key.name,
+                        render_label(key.label),
+                        render_f64(v)
+                    );
+                }
+                MetricValue::Histogram(h) => render_histogram(&mut out, key, h.as_ref()),
+            }
+        }
+        out
+    }
+}
+
+fn render_histogram(out: &mut String, key: MetricKey, snap: &HistogramSnapshot) {
+    let top = snap
+        .buckets
+        .iter()
+        .rposition(|&n| n > 0)
+        .map(|i| i + 1)
+        .unwrap_or(0)
+        .min(BUCKETS - 1);
+    let mut cumulative = 0u64;
+    for idx in 0..top {
+        cumulative += snap.buckets[idx];
+        let _ = writeln!(
+            out,
+            "{}_bucket{} {}",
+            key.name,
+            render_label_with_le(key.label, &bucket_upper_edge(idx).to_string()),
+            cumulative
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{}_bucket{} {}",
+        key.name,
+        render_label_with_le(key.label, "+Inf"),
+        snap.count
+    );
+    let _ = writeln!(
+        out,
+        "{}_sum{} {}",
+        key.name,
+        render_label(key.label),
+        snap.sum
+    );
+    let _ = writeln!(
+        out,
+        "{}_count{} {}",
+        key.name,
+        render_label(key.label),
+        snap.count
+    );
+}
+
+/// Escapes a label value per the Prometheus exposition format.
+fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for ch in value.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn render_label(label: Option<(&'static str, &'static str)>) -> String {
+    match label {
+        None => String::new(),
+        Some((k, v)) => format!("{{{}=\"{}\"}}", k, escape_label_value(v)),
+    }
+}
+
+fn render_label_with_le(label: Option<(&'static str, &'static str)>, le: &str) -> String {
+    match label {
+        None => format!("{{le=\"{}\"}}", le),
+        Some((k, v)) => format!("{{{}=\"{}\",le=\"{}\"}}", k, escape_label_value(v), le),
+    }
+}
+
+/// Formats a gauge value: integral values print without a fraction so
+/// golden snapshots stay stable across float formatting quirks.
+fn render_f64(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{}", v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_and_histograms_round_trip() {
+        let reg = TelemetryRegistry::new();
+        reg.counter_add(MetricKey::plain("a_total"), 2);
+        reg.counter_add(MetricKey::plain("a_total"), 3);
+        reg.gauge_set(MetricKey::plain("g"), 1.5);
+        reg.observe(MetricKey::plain("h"), 7);
+        assert_eq!(reg.counter_value(MetricKey::plain("a_total")), 5);
+        assert_eq!(reg.gauge_value(MetricKey::plain("g")), Some(1.5));
+        assert_eq!(
+            reg.histogram_snapshot(MetricKey::plain("h")).unwrap().count,
+            1
+        );
+    }
+
+    #[test]
+    fn type_collisions_drop_writes() {
+        let reg = TelemetryRegistry::new();
+        reg.counter_add(MetricKey::plain("x"), 1);
+        reg.gauge_set(MetricKey::plain("x"), 9.0);
+        assert_eq!(reg.counter_value(MetricKey::plain("x")), 1);
+        assert_eq!(reg.gauge_value(MetricKey::plain("x")), None);
+    }
+
+    #[test]
+    fn render_is_stable_and_escaped() {
+        let reg = TelemetryRegistry::new();
+        reg.counter_add(MetricKey::labelled("b_total", "kind", "merge"), 1);
+        reg.counter_add(MetricKey::labelled("b_total", "kind", "we\"ird\\\n"), 2);
+        reg.gauge_set(MetricKey::plain("a_gauge"), 2.0);
+        let text = reg.render_prometheus();
+        assert!(text.starts_with("# TYPE a_gauge gauge\na_gauge 2\n# TYPE b_total counter\n"));
+        assert!(text.contains("b_total{kind=\"merge\"} 1"));
+        assert!(text.contains("b_total{kind=\"we\\\"ird\\\\\\n\"} 2"));
+    }
+}

@@ -1,0 +1,268 @@
+//! Human-readable roll-up of the registry: the `FleetHealthReport`.
+//!
+//! The report is a point-in-time copy (registry snapshot + span ring)
+//! rendered through `Display` — one screen an operator can read top to
+//! bottom: cycle/round volume, decision latency, backpressure, the act
+//! ledger by job kind, cache/memo efficiency, per-phase timings over
+//! the retained span window, and durability traffic. Sections with no
+//! recorded data are omitted, so a freshly started fleet prints only
+//! its header.
+
+use std::fmt;
+
+use super::histogram::HistogramSnapshot;
+use super::registry::{MetricKey, MetricValue};
+use super::span::PhaseSpan;
+use super::{names, phase, TelemetrySink};
+
+/// Point-in-time fleet health summary; render with `{}`.
+#[derive(Debug, Clone)]
+pub struct FleetHealthReport {
+    enabled: bool,
+    snapshot: Vec<(MetricKey, MetricValue)>,
+    spans: Vec<PhaseSpan>,
+}
+
+impl FleetHealthReport {
+    /// Captures the sink's registry and span ring.
+    pub fn from_sink(sink: &TelemetrySink) -> Self {
+        Self {
+            enabled: sink.is_enabled(),
+            snapshot: sink.registry().map(|r| r.snapshot()).unwrap_or_default(),
+            spans: sink.recent_spans(),
+        }
+    }
+
+    fn counter(&self, name: &str) -> u64 {
+        self.snapshot
+            .iter()
+            .find_map(|(k, v)| match v {
+                MetricValue::Counter(c) if k.name == name && k.label.is_none() => Some(*c),
+                _ => None,
+            })
+            .unwrap_or(0)
+    }
+
+    fn gauge(&self, name: &str) -> Option<f64> {
+        self.snapshot.iter().find_map(|(k, v)| match v {
+            MetricValue::Gauge(g) if k.name == name && k.label.is_none() => Some(*g),
+            _ => None,
+        })
+    }
+
+    fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.snapshot.iter().find_map(|(k, v)| match v {
+            MetricValue::Histogram(h) if k.name == name && k.label.is_none() => Some(h.as_ref()),
+            _ => None,
+        })
+    }
+
+    /// All `(label_value, count)` series under a labelled counter name,
+    /// in registry (deterministic) order.
+    fn labelled_counters(&self, name: &str) -> Vec<(&'static str, u64)> {
+        self.snapshot
+            .iter()
+            .filter_map(|(k, v)| match v {
+                MetricValue::Counter(c) if k.name == name => k.label.map(|(_, value)| (value, *c)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Number of distinct cycles covered by the retained span window.
+    fn span_window_cycles(&self) -> u64 {
+        let mut last = 0u64;
+        let mut n = 0u64;
+        for span in &self.spans {
+            if span.cycle != last {
+                last = span.cycle;
+                n += 1;
+            }
+        }
+        n
+    }
+}
+
+fn write_kind_row(
+    f: &mut fmt::Formatter<'_>,
+    label: &str,
+    series: &[(&'static str, u64)],
+) -> fmt::Result {
+    if series.iter().all(|(_, n)| *n == 0) {
+        return Ok(());
+    }
+    write!(f, "  {:<10}", label)?;
+    for (kind, n) in series {
+        if *n > 0 {
+            write!(f, " {}={}", kind, n)?;
+        }
+    }
+    writeln!(f)
+}
+
+fn write_histogram_row(
+    f: &mut fmt::Formatter<'_>,
+    label: &str,
+    unit: &str,
+    h: &HistogramSnapshot,
+) -> fmt::Result {
+    let (p50, p95, p99) = h.p50_p95_p99();
+    writeln!(
+        f,
+        "  {:<24} p50={} p95={} p99={} max={} {} (n={})",
+        label, p50, p95, p99, h.max, unit, h.count
+    )
+}
+
+impl fmt::Display for FleetHealthReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.enabled {
+            return writeln!(f, "fleet health: telemetry disabled");
+        }
+        let cycles = self.counter(names::PIPELINE_CYCLES_TOTAL);
+        writeln!(
+            f,
+            "=== fleet health: {} cycles, span window covers last {} ===",
+            cycles,
+            self.span_window_cycles()
+        )?;
+
+        let causes = self.labelled_counters(names::RUNTIME_ROUNDS_TOTAL);
+        if !causes.is_empty() {
+            write!(f, "  rounds    ")?;
+            for (cause, n) in &causes {
+                write!(f, " {}={}", cause, n)?;
+            }
+            let deferred = self.counter(names::RUNTIME_DEFERRED_ROUNDS_TOTAL);
+            writeln!(f, " deferred={}", deferred)?;
+        }
+        if let Some(h) = self.histogram(names::RUNTIME_DECISION_LATENCY_MS) {
+            if !h.is_empty() {
+                write_histogram_row(f, "decision latency", "ms", h)?;
+            }
+        }
+        if let Some(backlog) = self.gauge(names::RUNTIME_DIRTY_BACKLOG) {
+            writeln!(
+                f,
+                "  backlog    dirty={} max={} overshoot_max={}",
+                backlog,
+                self.gauge(names::RUNTIME_MAX_DIRTY_BACKLOG).unwrap_or(0.0),
+                self.gauge(names::RUNTIME_MAX_WATERMARK_OVERSHOOT)
+                    .unwrap_or(0.0),
+            )?;
+        }
+
+        write_kind_row(
+            f,
+            "admitted",
+            &self.labelled_counters(names::ACT_ADMITTED_TOTAL),
+        )?;
+        write_kind_row(
+            f,
+            "deferred",
+            &self.labelled_counters(names::ACT_DEFERRED_TOTAL),
+        )?;
+        write_kind_row(
+            f,
+            "retries",
+            &self.labelled_counters(names::ACT_RETRIES_TOTAL),
+        )?;
+        write_kind_row(
+            f,
+            "conflicts",
+            &self.labelled_counters(names::ACT_CONFLICTS_TOTAL),
+        )?;
+        if let Some(used) = self.gauge(names::ACT_GBHR_WINDOW_USED) {
+            match self.gauge(names::ACT_GBHR_WINDOW_BUDGET) {
+                Some(budget) => {
+                    writeln!(f, "  gbhr window used={:.1} of budget={:.1}", used, budget)?
+                }
+                None => writeln!(f, "  gbhr window used={:.1} (unlimited)", used)?,
+            }
+        }
+
+        if let Some(ratio) = self.gauge(names::PIPELINE_CACHE_HIT_RATIO) {
+            writeln!(
+                f,
+                "  cache hit ratio={:.3} memo hit ratio={:.3} memo-fast cycles={}",
+                ratio,
+                self.gauge(names::PIPELINE_MEMO_HIT_RATIO).unwrap_or(0.0),
+                self.counter(names::PIPELINE_MEMO_FAST_TOTAL),
+            )?;
+        }
+
+        if !self.spans.is_empty() {
+            writeln!(f, "  phases over span window (us):")?;
+            for name in phase::ALL {
+                let mut n = 0u64;
+                let mut sum = 0u64;
+                let mut max = 0u64;
+                for span in self.spans.iter().filter(|s| s.phase == name) {
+                    n += 1;
+                    sum += span.duration;
+                    max = max.max(span.duration);
+                }
+                if n > 0 {
+                    writeln!(
+                        f,
+                        "    {:<13} mean={:<8.1} max={:<8} (n={})",
+                        name,
+                        sum as f64 / n as f64,
+                        max,
+                        n
+                    )?;
+                }
+            }
+        }
+
+        let saves = self.counter(names::DURABILITY_SNAPSHOT_SAVES_TOTAL);
+        let appends = self.counter(names::DURABILITY_JOURNAL_APPENDS_TOTAL);
+        if saves > 0 || appends > 0 {
+            writeln!(
+                f,
+                "  durability snapshots={} journal appends={} journal bytes={}",
+                saves,
+                appends,
+                self.counter(names::DURABILITY_JOURNAL_BYTES_TOTAL)
+            )?;
+            if let Some(h) = self.histogram(names::DURABILITY_SNAPSHOT_SAVE_US) {
+                if !h.is_empty() {
+                    write_histogram_row(f, "snapshot save", "us", h)?;
+                }
+            }
+            if let Some(h) = self.histogram(names::DURABILITY_SNAPSHOT_BYTES) {
+                if !h.is_empty() {
+                    write_histogram_row(f, "snapshot size", "bytes", h)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_report_says_so() {
+        let report = TelemetrySink::disabled().health_report();
+        assert_eq!(format!("{}", report), "fleet health: telemetry disabled\n");
+    }
+
+    #[test]
+    fn sections_appear_once_data_exists() {
+        let sink = TelemetrySink::new();
+        sink.begin_cycle();
+        sink.counter_add_labelled(names::ACT_ADMITTED_TOTAL, names::LABEL_KIND, "merge", 3);
+        sink.observe(names::RUNTIME_DECISION_LATENCY_MS, 1200);
+        let t = sink.span_start();
+        sink.span_end(phase::ORIENT, t);
+        let text = format!("{}", sink.health_report());
+        assert!(text.contains("1 cycles"));
+        assert!(text.contains("admitted   merge=3"));
+        assert!(text.contains("decision latency"));
+        assert!(text.contains("orient"));
+        assert!(!text.contains("durability"));
+    }
+}

@@ -1,0 +1,110 @@
+//! Phase spans: per-cycle OODA phase timings in a bounded ring buffer.
+//!
+//! A span is one `(cycle, phase, started, duration)` record. The sink
+//! keeps the most recent [`SpanRing::capacity`] spans so profilers and
+//! the fleet-health report can show "the last N rounds" without the
+//! buffer growing with uptime. Timestamps come from the sink's injected
+//! clock (microseconds by convention) — with no clock installed every
+//! span records `started = duration = 0`, which is what keeps
+//! deterministic scenario and parity runs reproducible.
+
+use std::collections::VecDeque;
+
+/// The canonical OODA phase names, in pipeline execution order.
+pub mod phase {
+    /// Observe: connector stats fetch / observation assembly.
+    pub const OBSERVE: &str = "observe";
+    /// Filter + cache splice walk over the observation.
+    pub const FILTER_SPLICE: &str = "filter_splice";
+    /// Orient: trait-matrix column fill.
+    pub const ORIENT: &str = "orient";
+    /// Decide: rank + top-k selection (memo fast path included).
+    pub const RANK: &str = "rank";
+    /// Act: admission, scheduling and submission waves.
+    pub const ACT: &str = "act";
+    /// Settle: completion ingestion + ledger settlement.
+    pub const SETTLE: &str = "settle";
+
+    /// All phase names in execution order.
+    pub const ALL: [&str; 6] = [OBSERVE, FILTER_SPLICE, ORIENT, RANK, ACT, SETTLE];
+}
+
+/// One recorded phase timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseSpan {
+    /// Monotonic cycle index assigned by the sink.
+    pub cycle: u64,
+    /// Phase name (one of [`phase::ALL`]).
+    pub phase: &'static str,
+    /// Clock reading when the phase started.
+    pub started: u64,
+    /// Clock delta over the phase (`0` under the null clock).
+    pub duration: u64,
+}
+
+/// Bounded ring of the most recent [`PhaseSpan`]s.
+#[derive(Debug)]
+pub struct SpanRing {
+    buf: VecDeque<PhaseSpan>,
+    capacity: usize,
+}
+
+impl SpanRing {
+    /// Creates a ring bounded at `capacity` spans.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            buf: VecDeque::with_capacity(capacity.min(1024)),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Appends a span, evicting the oldest when full.
+    pub fn push(&mut self, span: PhaseSpan) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(span);
+    }
+
+    /// Most-recent-last copy of the retained spans.
+    pub fn to_vec(&self) -> Vec<PhaseSpan> {
+        self.buf.iter().copied().collect()
+    }
+
+    /// Number of retained spans.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Maximum number of retained spans.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_bounded_and_ordered() {
+        let mut ring = SpanRing::new(3);
+        for i in 0..5u64 {
+            ring.push(PhaseSpan {
+                cycle: i,
+                phase: phase::ORIENT,
+                started: i * 10,
+                duration: 1,
+            });
+        }
+        let spans = ring.to_vec();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].cycle, 2);
+        assert_eq!(spans[2].cycle, 4);
+    }
+}

@@ -28,9 +28,9 @@ use std::sync::Arc;
 use autocomp::{
     pump_completions, AutoComp, AutoCompConfig, Candidate, CandidateStats, ChangeCursor,
     CompactionExecutor, ComputeCostGbhr, ContinuousRuntime, ExecutionResult, FileCountReduction,
-    FleetObserver, JobOutcome, JobOutcomeStatus, JobRuntimeConfig, LakeConnector, Prediction,
-    RankingPolicy, RoundReport, RuntimeConfig, RuntimeEvent, ScopeStrategy, TableRef,
-    TrackedExecutor, TraitWeight,
+    FleetObserver, JobOutcome, JobOutcomeStatus, JobRuntimeConfig, LakeConnector, Log2Histogram,
+    Prediction, RankingPolicy, RoundReport, RuntimeConfig, RuntimeEvent, RuntimeStats,
+    ScopeStrategy, TableRef, TrackedExecutor, TraitWeight,
 };
 use lakesim_engine::MS_PER_HOUR;
 use lakesim_storage::{Journal, MemSnapshotMedium, SnapshotStore, GB, MB};
@@ -113,14 +113,17 @@ pub struct IngestReport {
     /// Decision-latency samples collected (equals `commits` when every
     /// commit was covered by a round).
     pub latency_samples: u64,
-    /// Decision-latency percentiles over every commit, exact (sorted
-    /// sample, simulated clock).
+    /// Decision-latency percentiles over every commit, read from the
+    /// shared telemetry [`Log2Histogram`] (simulated clock): within one
+    /// log2 bucket of the exact sorted-sample percentile, pinned by the
+    /// `histogram_percentiles_pin_previous_exact_readout` test.
     pub decision_p50_ms: u64,
-    /// 95th percentile.
+    /// 95th percentile (same histogram contract).
     pub decision_p95_ms: u64,
-    /// 99th percentile.
+    /// 99th percentile (same histogram contract).
     pub decision_p99_ms: u64,
-    /// Worst decision latency.
+    /// Worst decision latency — exact (the histogram tracks max
+    /// alongside the buckets).
     pub decision_max_ms: u64,
     /// Normalized arrival rate.
     pub commits_per_hour: f64,
@@ -289,9 +292,14 @@ fn build_pipeline(cfg: &SustainedIngestConfig) -> AutoComp {
     })
 }
 
-/// Collects per-round outputs into report accumulators.
+/// Collects per-round outputs into report accumulators. Decision
+/// latencies fold into a shared telemetry [`Log2Histogram`] instead of a
+/// sorted sample vector: percentile readout is the holding bucket's
+/// upper edge clamped to the exact max, so the reported values stay
+/// within one log2 bucket of the previous exact readout (pinned by
+/// `histogram_percentiles_pin_previous_exact_readout`).
 struct Accumulator {
-    latencies: Vec<u64>,
+    latency: Log2Histogram,
     ticks: Vec<LedgerTick>,
     executed: usize,
     settled: usize,
@@ -300,7 +308,7 @@ struct Accumulator {
 impl Accumulator {
     fn new() -> Self {
         Accumulator {
-            latencies: Vec::new(),
+            latency: Log2Histogram::new(),
             ticks: Vec::new(),
             executed: 0,
             settled: 0,
@@ -308,7 +316,9 @@ impl Accumulator {
     }
 
     fn absorb(&mut self, round: RoundReport) {
-        self.latencies.extend(&round.commit_latencies_ms);
+        for &latency_ms in &round.commit_latencies_ms {
+            self.latency.record(latency_ms);
+        }
         self.executed += round.report.executed.len();
         self.settled += round.report.ledger.settled;
         self.ticks.push(LedgerTick {
@@ -318,11 +328,14 @@ impl Accumulator {
             gbhr_budget: Some(50_000.0),
             cache: round.cache,
             memo: round.memo,
+            deferred_rounds: round.runtime.deferred_rounds,
+            max_dirty_backlog: round.runtime.max_dirty_backlog,
+            max_watermark_overshoot: round.runtime.max_watermark_overshoot,
         });
     }
 
     fn into_report(
-        mut self,
+        self,
         cfg: &SustainedIngestConfig,
         commits: u64,
         rounds: u64,
@@ -330,14 +343,8 @@ impl Accumulator {
         max_dirty_backlog: usize,
         snapshots_saved: u64,
     ) -> IngestReport {
-        self.latencies.sort_unstable();
-        let pct = |p: f64| -> u64 {
-            if self.latencies.is_empty() {
-                0
-            } else {
-                self.latencies[((self.latencies.len() - 1) as f64 * p).round() as usize]
-            }
-        };
+        let snap = self.latency.snapshot();
+        let (p50, p95, p99) = snap.p50_p95_p99();
         IngestReport {
             tables: cfg.tables,
             commits,
@@ -347,11 +354,11 @@ impl Accumulator {
             executed: self.executed,
             settled: self.settled,
             snapshots_saved,
-            latency_samples: self.latencies.len() as u64,
-            decision_p50_ms: pct(0.50),
-            decision_p95_ms: pct(0.95),
-            decision_p99_ms: pct(0.99),
-            decision_max_ms: self.latencies.last().copied().unwrap_or(0),
+            latency_samples: snap.count,
+            decision_p50_ms: p50,
+            decision_p95_ms: p95,
+            decision_p99_ms: p99,
+            decision_max_ms: snap.max,
             commits_per_hour: commits as f64 * MS_PER_HOUR as f64 / cfg.duration_ms as f64,
             ledger_ticks: self.ticks,
         }
@@ -470,6 +477,7 @@ pub fn run_sustained_polled(cfg: &SustainedIngestConfig) -> IngestReport {
     let mut cycle = |now: u64,
                      pending: &mut Vec<u64>,
                      distinct: &mut BTreeSet<u64>,
+                     backlog_so_far: usize,
                      platform: &mut FleetPlatform,
                      acc: &mut Accumulator| {
         let dirty_consumed = distinct.len();
@@ -493,6 +501,12 @@ pub fn run_sustained_polled(cfg: &SustainedIngestConfig) -> IngestReport {
                 .map(|t| t.gbhr_window_usage())
                 .unwrap_or(0.0),
             snapshot_saved: false,
+            // No event loop in the polled twin: only the dirty-backlog
+            // gauge is meaningful, the other counters stay zero.
+            runtime: RuntimeStats {
+                max_dirty_backlog: backlog_so_far,
+                ..RuntimeStats::default()
+            },
             report,
         });
     };
@@ -512,6 +526,7 @@ pub fn run_sustained_polled(cfg: &SustainedIngestConfig) -> IngestReport {
                 now,
                 &mut pending,
                 &mut pending_distinct,
+                max_backlog,
                 &mut platform,
                 &mut acc,
             );
@@ -523,6 +538,7 @@ pub fn run_sustained_polled(cfg: &SustainedIngestConfig) -> IngestReport {
             ticks * cfg.tick_ms,
             &mut pending,
             &mut pending_distinct,
+            max_backlog,
             &mut platform,
             &mut acc,
         );
@@ -573,6 +589,11 @@ mod tests {
         assert!(report.decision_p95_ms <= report.decision_p99_ms);
         assert!(report.decision_p99_ms <= report.decision_max_ms);
         assert_eq!(report.ledger_ticks.len() as u64, report.rounds);
+        // Backpressure gauges ride along on every tick; the final tick
+        // carries the run's cumulative high-water marks.
+        let last = report.ledger_ticks.last().unwrap();
+        assert_eq!(last.max_dirty_backlog, report.max_dirty_backlog);
+        assert_eq!(last.deferred_rounds, report.deferred_rounds);
     }
 
     #[test]
@@ -616,6 +637,51 @@ mod tests {
         assert_eq!(report.rounds, plain.rounds);
         assert_eq!(report.decision_p99_ms, plain.decision_p99_ms);
         assert_eq!(report.executed, plain.executed);
+    }
+
+    /// Satellite pin: swapping the sorted sample vector for the shared
+    /// telemetry log2 histogram must keep every reported percentile in
+    /// the same log2 bucket as the previous exact readout, and the max
+    /// exactly equal. The exact values were captured from the
+    /// vector-sort implementation on this same seeded config:
+    /// event loop p50=1200 p95=2400 p99=2600 max=2800;
+    /// polled p50=7400 p95=14200 p99=14800 max=14800.
+    #[test]
+    fn histogram_percentiles_pin_previous_exact_readout() {
+        use autocomp::telemetry::bucket_index;
+
+        let cfg = small_cfg();
+        let event = run_sustained_ingest(&cfg);
+        let polled = run_sustained_polled(&cfg);
+
+        let same_bucket = |got: u64, exact: u64| bucket_index(got) == bucket_index(exact);
+        assert!(same_bucket(event.decision_p50_ms, 1200), "{event:?}");
+        assert!(same_bucket(event.decision_p95_ms, 2400), "{event:?}");
+        assert!(same_bucket(event.decision_p99_ms, 2600), "{event:?}");
+        assert_eq!(event.decision_max_ms, 2800, "max stays exact");
+        assert!(same_bucket(polled.decision_p50_ms, 7400), "{polled:?}");
+        assert!(same_bucket(polled.decision_p95_ms, 14200), "{polled:?}");
+        assert!(same_bucket(polled.decision_p99_ms, 14800), "{polled:?}");
+        assert_eq!(polled.decision_max_ms, 14800, "max stays exact");
+
+        // The readout itself is deterministic: bucket upper edges
+        // clamped to the exact max.
+        assert_eq!(
+            (
+                event.decision_p50_ms,
+                event.decision_p95_ms,
+                event.decision_p99_ms
+            ),
+            (2047, 2800, 2800)
+        );
+        assert_eq!(
+            (
+                polled.decision_p50_ms,
+                polled.decision_p95_ms,
+                polled.decision_p99_ms
+            ),
+            (8191, 14800, 14800)
+        );
     }
 
     #[test]

@@ -622,6 +622,60 @@ fn tracked_harness_actually_exercises_the_ledger() {
     assert!(saw.3, "conflict retries happened");
 }
 
+/// PR-9 telemetry pin: instrumentation must never change decisions. Two
+/// tracked pipelines run the same write-heavy script over one shared
+/// lake — one under the default *enabled* sink, one with the sink
+/// explicitly disabled — and every cycle's report must stay bit
+/// identical while the enabled sink demonstrably records.
+#[test]
+fn instrumented_cycles_match_uninstrumented_cycles() {
+    use autocomp::telemetry::{names, MetricKey};
+    use autocomp::TelemetrySink;
+
+    let lake = ModelLake::new(12);
+    let runtime = JobRuntimeConfig {
+        retry_backoff_ms: 600,
+        retry_backoff_cap_ms: 2_400,
+        ..JobRuntimeConfig::default()
+    };
+    let mut on = pipeline(ScopeStrategy::Table, 0, false).with_job_tracker(runtime.clone());
+    let mut off = pipeline(ScopeStrategy::Table, 0, false)
+        .with_job_tracker(runtime)
+        .with_telemetry(TelemetrySink::disabled());
+    assert!(on.telemetry().is_enabled(), "telemetry is on by default");
+    assert!(!off.telemetry().is_enabled());
+    let mut on_platform = ScriptedPlatform::parity(1_500);
+    let mut off_platform = ScriptedPlatform::parity(1_500);
+    let mut on_observer = FleetObserver::new();
+    let mut off_observer = FleetObserver::new();
+    let mut now = 1_000u64;
+    for round in 0..12u64 {
+        lake.write(round % 12);
+        let a = on
+            .run_cycle_tracked_incremental(&mut on_observer, &lake, &mut on_platform, now)
+            .unwrap();
+        let b = off
+            .run_cycle_tracked_incremental(&mut off_observer, &lake, &mut off_platform, now)
+            .unwrap();
+        reports_identical(&a, &b, &format!("telemetry round {round}")).unwrap();
+        now += 577;
+    }
+    let reg = on
+        .telemetry()
+        .registry()
+        .expect("enabled sink has a registry");
+    assert_eq!(
+        reg.counter_value(MetricKey::plain(names::PIPELINE_CYCLES_TOTAL)),
+        12
+    );
+    let render = reg.render_prometheus();
+    assert!(
+        render.contains(names::ACT_ADMITTED_TOTAL),
+        "act-layer counters recorded: {render}"
+    );
+    assert!(off.telemetry().render_prometheus().is_empty());
+}
+
 /// Deterministic companion for the kind dimension: a scripted burst +
 /// transform-shift sequence runs through the exact parity machinery for
 /// every scope (asserting bit parity along the way), and the same script
