@@ -19,9 +19,10 @@ use autocomp::{
     AlreadyCompactFilter, AutoComp, AutoCompConfig, BatchLakeConnector, Candidate, CandidateStats,
     ChangeCursor, CompactionDisabledFilter, CompactionExecutor, ComputeCostGbhr, ExecutionResult,
     FileCountReduction, FleetObserver, JobOutcome, JobOutcomeStatus, JobRuntimeConfig,
-    LakeConnector, ObserveRequest, Prediction, RankingPolicy, ScopeStrategy, SizeBucket,
-    SnapshotContext, TableRef, TelemetrySink, TrackedExecutor, TraitWeight,
+    LakeConnector, ObserveFault, ObserveRequest, Prediction, RankingPolicy, ScopeStrategy,
+    SizeBucket, SnapshotContext, TableRef, TelemetrySink, TrackedExecutor, TraitWeight,
 };
+use autocomp_lakesim::ObserveFaultScript;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -160,6 +161,70 @@ impl BatchLakeConnector for SessionLake<'_> {
     }
     fn changes_since(&self, _cursor: ChangeCursor) -> Option<Vec<u64>> {
         Some(self.0.dirty_set())
+    }
+}
+
+/// The batch tier with explicit fallible reads: same stats as
+/// [`SessionLake`], but every `try_*` override consults an attached
+/// (empty) fault script before the real read — the exact read discipline
+/// of the production fault-capable connectors. With no faults armed this
+/// measures the fallible boundary's overhead: script check + `Result`
+/// wrapping per read, against the same-pass `full_cycle_incremental`
+/// whose connector uses the infallible `try_*` defaults.
+struct FaultCapableLake<'a> {
+    inner: SessionLake<'a>,
+    faults: Arc<ObserveFaultScript>,
+}
+
+impl BatchLakeConnector for FaultCapableLake<'_> {
+    fn list_tables(&self) -> Vec<TableRef> {
+        self.inner.list_tables()
+    }
+    fn listing_epoch(&self) -> Option<u64> {
+        self.inner.listing_epoch()
+    }
+    fn table_stats(&self, uid: u64) -> Option<CandidateStats> {
+        self.inner.table_stats(uid)
+    }
+    fn partition_stats(&self, uid: u64) -> Vec<(String, CandidateStats)> {
+        self.inner.partition_stats(uid)
+    }
+    fn fleet_cursor(&self) -> Option<ChangeCursor> {
+        self.inner.fleet_cursor()
+    }
+    fn changes_since(&self, cursor: ChangeCursor) -> Option<Vec<u64>> {
+        self.inner.changes_since(cursor)
+    }
+    fn try_list_tables(&self) -> Result<Vec<TableRef>, ObserveFault> {
+        match self.faults.pop_listing() {
+            Some(fault) => Err(fault),
+            None => Ok(self.list_tables()),
+        }
+    }
+    fn try_table_stats(&self, uid: u64) -> Result<Option<CandidateStats>, ObserveFault> {
+        match self.faults.pop_stats(uid) {
+            Some(fault) => Err(fault),
+            None => Ok(self.table_stats(uid)),
+        }
+    }
+    fn try_partition_stats(&self, uid: u64) -> Result<Vec<(String, CandidateStats)>, ObserveFault> {
+        match self.faults.pop_stats(uid) {
+            Some(fault) => Err(fault),
+            None => Ok(self.partition_stats(uid)),
+        }
+    }
+    fn try_snapshot_stats(
+        &self,
+        uid: u64,
+        window_ms: u64,
+    ) -> Result<Option<CandidateStats>, ObserveFault> {
+        match self.faults.pop_stats(uid) {
+            Some(fault) => Err(fault),
+            None => Ok(self.snapshot_stats(uid, window_ms)),
+        }
+    }
+    fn try_changes_since(&self, cursor: ChangeCursor) -> Result<Option<Vec<u64>>, ObserveFault> {
+        Ok(self.changes_since(cursor))
     }
 }
 
@@ -409,6 +474,33 @@ fn bench_observe(c: &mut Criterion) {
                 .expect("cycle runs")
         })
     });
+
+    // Fault-boundary overhead pair: the identical incremental cycle
+    // through a connector whose `try_*` reads are real overrides
+    // (per-read fault-script check + `Result` wrapping, the production
+    // fault-capable discipline) with no faults armed. Acceptance
+    // (BENCH_ooda.json, CI smoke gate): within noise of the same-pass
+    // `full_cycle_incremental` — resilience must be free when nothing
+    // faults.
+    group.bench_with_input(
+        BenchmarkId::new("full_cycle_faulty_observe", n),
+        &n,
+        |b, _| {
+            let faulty = FaultCapableLake {
+                inner: SessionLake(&lake),
+                faults: ObserveFaultScript::new(),
+            };
+            let mut ac = full_cycle_pipeline().with_telemetry(TelemetrySink::disabled());
+            let mut observer = FleetObserver::new();
+            let mut exec = NullExecutor;
+            ac.run_cycle_incremental_batch(&mut observer, &faulty, &mut exec, 0)
+                .expect("prime cycle runs");
+            b.iter(|| {
+                ac.run_cycle_incremental_batch(&mut observer, &faulty, &mut exec, 0)
+                    .expect("cycle runs")
+            })
+        },
+    );
 
     // Telemetry-overhead pair: the identical incremental cycle with the
     // sink *enabled* and driven by a real microsecond clock — spans,

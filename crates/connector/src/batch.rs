@@ -17,9 +17,12 @@
 
 use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard};
 
-use autocomp::{BatchLakeConnector, CandidateStats, ChangeCursor, NameInterner, TableRef};
+use autocomp::{
+    BatchLakeConnector, CandidateStats, ChangeCursor, NameInterner, ObserveFault, TableRef,
+};
 use lakesim_engine::SimEnv;
 
+use crate::faults::ObserveFaultScript;
 use crate::observe::ObserveOptions;
 use crate::stats::{self, QuotaCache};
 
@@ -40,6 +43,9 @@ pub struct BatchLakesimConnector {
     options: ObserveOptions,
     interner: Mutex<NameInterner>,
     quota: Mutex<QuotaCache>,
+    /// Optional scripted fault schedule consumed by the `try_*` reads
+    /// (see [`crate::faults`]); `None` never faults.
+    faults: Option<Arc<ObserveFaultScript>>,
 }
 
 impl BatchLakesimConnector {
@@ -55,7 +61,19 @@ impl BatchLakesimConnector {
             options,
             interner: Mutex::new(NameInterner::new()),
             quota: Mutex::new(QuotaCache::default()),
+            faults: None,
         }
+    }
+
+    /// Attaches a scripted fault schedule (builder style); see
+    /// [`crate::LakesimConnector::with_fault_script`].
+    pub fn with_fault_script(mut self, script: Arc<ObserveFaultScript>) -> Self {
+        self.faults = Some(script);
+        self
+    }
+
+    fn injected_stats_fault(&self, table_uid: u64) -> Option<ObserveFault> {
+        self.faults.as_ref().and_then(|s| s.pop_stats(table_uid))
     }
 
     fn env(&self) -> RwLockReadGuard<'_, SimEnv> {
@@ -105,6 +123,52 @@ impl BatchLakeConnector for BatchLakesimConnector {
         self.env()
             .changes_since(cursor.0)
             .map(|tables| tables.into_iter().map(|t| t.0).collect())
+    }
+
+    // Fallible tier — same injection-before-read discipline as the
+    // sequential connector, so vanish keeps surfacing as `Ok(None)`.
+
+    fn try_list_tables(&self) -> Result<Vec<TableRef>, ObserveFault> {
+        if let Some(fault) = self.faults.as_ref().and_then(|s| s.pop_listing()) {
+            return Err(fault);
+        }
+        Ok(self.list_tables())
+    }
+
+    fn try_table_stats(&self, table_uid: u64) -> Result<Option<CandidateStats>, ObserveFault> {
+        if let Some(fault) = self.injected_stats_fault(table_uid) {
+            return Err(fault);
+        }
+        Ok(self.table_stats(table_uid))
+    }
+
+    fn try_partition_stats(
+        &self,
+        table_uid: u64,
+    ) -> Result<Vec<(String, CandidateStats)>, ObserveFault> {
+        if let Some(fault) = self.injected_stats_fault(table_uid) {
+            return Err(fault);
+        }
+        Ok(self.partition_stats(table_uid))
+    }
+
+    fn try_snapshot_stats(
+        &self,
+        table_uid: u64,
+        window_ms: u64,
+    ) -> Result<Option<CandidateStats>, ObserveFault> {
+        if let Some(fault) = self.injected_stats_fault(table_uid) {
+            return Err(fault);
+        }
+        Ok(self.snapshot_stats(table_uid, window_ms))
+    }
+
+    fn try_changes_since(&self, cursor: ChangeCursor) -> Result<Option<Vec<u64>>, ObserveFault> {
+        match self.faults.as_ref().and_then(|s| s.pop_changelog()) {
+            Some(crate::faults::ChangelogEvent::Fault(fault)) => Err(fault),
+            Some(crate::faults::ChangelogEvent::Overflow) => Ok(None),
+            None => Ok(self.changes_since(cursor)),
+        }
     }
 }
 

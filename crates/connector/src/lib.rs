@@ -49,6 +49,7 @@
 pub mod batch;
 pub mod events;
 pub mod executor;
+pub mod faults;
 pub mod feedback;
 pub mod hooks;
 pub mod observe;
@@ -62,6 +63,7 @@ use lakesim_engine::SimEnv;
 pub use batch::{share_sync, BatchLakesimConnector, SyncSharedEnv};
 pub use events::CommitEventBridge;
 pub use executor::{ExecutorOptions, LakesimExecutor};
+pub use faults::{ChangelogEvent, ObserveFaultScript};
 pub use feedback::FeedbackBridge;
 pub use hooks::{evaluate_hook, mark_database_dirty, mark_dirty_from_actions};
 pub use observe::{LakesimConnector, ObserveOptions};

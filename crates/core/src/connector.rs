@@ -28,6 +28,30 @@
 //! returned by `observe` — one batched round-trip per cycle instead of
 //! one call per table, which is what lets the OODA cadence survive
 //! 100K-table fleets (§6–§7).
+//!
+//! # The fallible `try_*` surface
+//!
+//! Production metastores time out, throttle, and lose sessions; an
+//! always-on scheduler must survive its inputs failing. Every read
+//! primitive therefore has a fallible twin (`try_list_tables`,
+//! `try_table_stats`, `try_partition_stats`, `try_snapshot_stats`,
+//! `try_changes_since`) returning `Result<_, `[`ObserveFault`]`>`. The
+//! defaults delegate to the infallible methods, so existing connectors
+//! compile unchanged and never fault; connectors backed by real
+//! networks override the `try_*` twins and report faults structurally.
+//! The observe drivers ([`pull_observe`](crate::observe::pull_observe),
+//! [`batch_observe`](crate::observe::batch_observe)) consume only the
+//! `try_*` surface and degrade per the recovery policy documented in
+//! [`crate::observe`] — retry with capped-exponential backoff for
+//! listing/changelog faults, carry-forward + quarantine for per-table
+//! stats faults — instead of panicking or silently corrupting fleet
+//! state.
+//!
+//! The `Option`/`Result` split is deliberate and load-bearing:
+//! `Ok(None)` still means *the table vanished* (a real state change —
+//! the table drops out of candidates exactly as before), while
+//! `Err(fault)` means *the read failed* (the table's last known state
+//! is carried forward). Faults never masquerade as drops.
 
 use std::fmt;
 use std::sync::Arc;
@@ -35,6 +59,58 @@ use std::sync::Arc;
 use crate::candidate::{Candidate, TableRef};
 use crate::observe::{self, ChangeCursor, FleetObservation, ObserveRequest};
 use crate::stats::CandidateStats;
+
+/// Why a connector read failed, classified for the observe drivers'
+/// recovery policy: [`Transient`](Self::Transient) faults are retried
+/// (listing/changelog) or carried forward with quarantine (per-table
+/// stats); [`Permanent`](Self::Permanent) faults skip the retry budget
+/// and degrade immediately — no string matching involved. The detail is
+/// a shared `Arc<str>` so connectors can reuse one allocation per fault
+/// site across a whole storm of failures (the [`ExecutionError`] idiom,
+/// applied to the read side).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ObserveFault {
+    /// Likely to succeed if re-read later: a catalog timeout, a
+    /// throttled stats endpoint, a dropped session.
+    Transient(Arc<str>),
+    /// Re-reading cannot help until something external changes: an
+    /// authorization revocation, a decommissioned endpoint, a
+    /// structurally invalid response.
+    Permanent(Arc<str>),
+}
+
+impl ObserveFault {
+    /// A transient (retryable) fault.
+    pub fn transient(detail: impl Into<Arc<str>>) -> Self {
+        ObserveFault::Transient(detail.into())
+    }
+
+    /// A permanent (non-retryable) fault.
+    pub fn permanent(detail: impl Into<Arc<str>>) -> Self {
+        ObserveFault::Permanent(detail.into())
+    }
+
+    /// Whether the observe drivers may retry this read.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, ObserveFault::Transient(_))
+    }
+
+    /// Human-readable detail.
+    pub fn detail(&self) -> &str {
+        match self {
+            ObserveFault::Transient(d) | ObserveFault::Permanent(d) => d,
+        }
+    }
+}
+
+impl fmt::Display for ObserveFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObserveFault::Transient(d) => write!(f, "transient: {d}"),
+            ObserveFault::Permanent(d) => write!(f, "permanent: {d}"),
+        }
+    }
+}
 
 /// Read-side connector, single-threaded tier: lists tables and produces
 /// candidate statistics one table at a time, with a batched
@@ -82,6 +158,56 @@ pub trait LakeConnector {
     /// observe. Default: `None`.
     fn changes_since(&self, _cursor: ChangeCursor) -> Option<Vec<u64>> {
         None
+    }
+
+    /// Fallible listing. Default: delegates to
+    /// [`list_tables`](Self::list_tables) and never faults. Connectors
+    /// over real catalogs override this to report listing failures
+    /// structurally; the observe drivers retry transient faults with
+    /// capped-exponential backoff and then fall back to the prior
+    /// listing (degraded) rather than failing the round.
+    fn try_list_tables(&self) -> Result<Vec<TableRef>, ObserveFault> {
+        Ok(self.list_tables())
+    }
+
+    /// Fallible table-scope stats. `Ok(None)` still means *vanished*
+    /// (the table drops out of candidates); `Err` means *the read
+    /// failed* (the prior entry is carried forward and the table is
+    /// quarantined). Default: delegates to
+    /// [`table_stats`](Self::table_stats) and never faults.
+    fn try_table_stats(&self, table_uid: u64) -> Result<Option<CandidateStats>, ObserveFault> {
+        Ok(self.table_stats(table_uid))
+    }
+
+    /// Fallible per-partition stats; same vanish-vs-fault split as
+    /// [`try_table_stats`](Self::try_table_stats) with an empty `Vec`
+    /// in the vanished/unpartitioned role. Default: delegates to
+    /// [`partition_stats`](Self::partition_stats) and never faults.
+    #[allow(clippy::type_complexity)]
+    fn try_partition_stats(
+        &self,
+        table_uid: u64,
+    ) -> Result<Vec<(String, CandidateStats)>, ObserveFault> {
+        Ok(self.partition_stats(table_uid))
+    }
+
+    /// Fallible snapshot-window stats. Default: delegates to
+    /// [`snapshot_stats`](Self::snapshot_stats) and never faults.
+    fn try_snapshot_stats(
+        &self,
+        table_uid: u64,
+        window_ms: u64,
+    ) -> Result<Option<CandidateStats>, ObserveFault> {
+        Ok(self.snapshot_stats(table_uid, window_ms))
+    }
+
+    /// Fallible changelog read. `Ok(None)` still means *cannot answer*
+    /// (unsupported, or retention overflow — full observe follows);
+    /// `Err` means the changelog endpoint itself failed (retried, then
+    /// full observe). Default: delegates to
+    /// [`changes_since`](Self::changes_since) and never faults.
+    fn try_changes_since(&self, cursor: ChangeCursor) -> Result<Option<Vec<u64>>, ObserveFault> {
+        Ok(self.changes_since(cursor))
     }
 
     /// Batched observe: one call captures the whole fleet's descriptors
@@ -136,6 +262,48 @@ pub trait BatchLakeConnector: Sync {
         None
     }
 
+    /// Fallible listing; see [`LakeConnector::try_list_tables`].
+    /// Default: delegates to [`list_tables`](Self::list_tables).
+    fn try_list_tables(&self) -> Result<Vec<TableRef>, ObserveFault> {
+        Ok(self.list_tables())
+    }
+
+    /// Fallible table-scope stats; see
+    /// [`LakeConnector::try_table_stats`] for the vanish-vs-fault
+    /// split. Default: delegates to [`table_stats`](Self::table_stats).
+    fn try_table_stats(&self, table_uid: u64) -> Result<Option<CandidateStats>, ObserveFault> {
+        Ok(self.table_stats(table_uid))
+    }
+
+    /// Fallible per-partition stats; see
+    /// [`LakeConnector::try_partition_stats`]. Default: delegates to
+    /// [`partition_stats`](Self::partition_stats).
+    #[allow(clippy::type_complexity)]
+    fn try_partition_stats(
+        &self,
+        table_uid: u64,
+    ) -> Result<Vec<(String, CandidateStats)>, ObserveFault> {
+        Ok(self.partition_stats(table_uid))
+    }
+
+    /// Fallible snapshot-window stats; see
+    /// [`LakeConnector::try_snapshot_stats`]. Default: delegates to
+    /// [`snapshot_stats`](Self::snapshot_stats).
+    fn try_snapshot_stats(
+        &self,
+        table_uid: u64,
+        window_ms: u64,
+    ) -> Result<Option<CandidateStats>, ObserveFault> {
+        Ok(self.snapshot_stats(table_uid, window_ms))
+    }
+
+    /// Fallible changelog read; see
+    /// [`LakeConnector::try_changes_since`]. Default: delegates to
+    /// [`changes_since`](Self::changes_since).
+    fn try_changes_since(&self, cursor: ChangeCursor) -> Result<Option<Vec<u64>>, ObserveFault> {
+        Ok(self.changes_since(cursor))
+    }
+
     /// Batched observe with parallel stats fan-out. Position-stable: the
     /// result is bit-identical to the sequential tier's over the same
     /// lake state, regardless of thread count (NFR2).
@@ -166,6 +334,28 @@ impl<C: LakeConnector + ?Sized> LakeConnector for &C {
     fn changes_since(&self, cursor: ChangeCursor) -> Option<Vec<u64>> {
         (**self).changes_since(cursor)
     }
+    fn try_list_tables(&self) -> Result<Vec<TableRef>, ObserveFault> {
+        (**self).try_list_tables()
+    }
+    fn try_table_stats(&self, table_uid: u64) -> Result<Option<CandidateStats>, ObserveFault> {
+        (**self).try_table_stats(table_uid)
+    }
+    fn try_partition_stats(
+        &self,
+        table_uid: u64,
+    ) -> Result<Vec<(String, CandidateStats)>, ObserveFault> {
+        (**self).try_partition_stats(table_uid)
+    }
+    fn try_snapshot_stats(
+        &self,
+        table_uid: u64,
+        window_ms: u64,
+    ) -> Result<Option<CandidateStats>, ObserveFault> {
+        (**self).try_snapshot_stats(table_uid, window_ms)
+    }
+    fn try_changes_since(&self, cursor: ChangeCursor) -> Result<Option<Vec<u64>>, ObserveFault> {
+        (**self).try_changes_since(cursor)
+    }
     fn observe(&self, request: &ObserveRequest<'_>) -> FleetObservation {
         (**self).observe(request)
     }
@@ -192,6 +382,28 @@ impl<C: BatchLakeConnector + ?Sized> BatchLakeConnector for &C {
     }
     fn changes_since(&self, cursor: ChangeCursor) -> Option<Vec<u64>> {
         (**self).changes_since(cursor)
+    }
+    fn try_list_tables(&self) -> Result<Vec<TableRef>, ObserveFault> {
+        (**self).try_list_tables()
+    }
+    fn try_table_stats(&self, table_uid: u64) -> Result<Option<CandidateStats>, ObserveFault> {
+        (**self).try_table_stats(table_uid)
+    }
+    fn try_partition_stats(
+        &self,
+        table_uid: u64,
+    ) -> Result<Vec<(String, CandidateStats)>, ObserveFault> {
+        (**self).try_partition_stats(table_uid)
+    }
+    fn try_snapshot_stats(
+        &self,
+        table_uid: u64,
+        window_ms: u64,
+    ) -> Result<Option<CandidateStats>, ObserveFault> {
+        (**self).try_snapshot_stats(table_uid, window_ms)
+    }
+    fn try_changes_since(&self, cursor: ChangeCursor) -> Result<Option<Vec<u64>>, ObserveFault> {
+        (**self).try_changes_since(cursor)
     }
     fn observe(&self, request: &ObserveRequest<'_>) -> FleetObservation {
         (**self).observe(request)
@@ -226,6 +438,28 @@ impl<C: BatchLakeConnector> LakeConnector for BatchAsLake<C> {
     fn changes_since(&self, cursor: ChangeCursor) -> Option<Vec<u64>> {
         self.0.changes_since(cursor)
     }
+    fn try_list_tables(&self) -> Result<Vec<TableRef>, ObserveFault> {
+        self.0.try_list_tables()
+    }
+    fn try_table_stats(&self, table_uid: u64) -> Result<Option<CandidateStats>, ObserveFault> {
+        self.0.try_table_stats(table_uid)
+    }
+    fn try_partition_stats(
+        &self,
+        table_uid: u64,
+    ) -> Result<Vec<(String, CandidateStats)>, ObserveFault> {
+        self.0.try_partition_stats(table_uid)
+    }
+    fn try_snapshot_stats(
+        &self,
+        table_uid: u64,
+        window_ms: u64,
+    ) -> Result<Option<CandidateStats>, ObserveFault> {
+        self.0.try_snapshot_stats(table_uid, window_ms)
+    }
+    fn try_changes_since(&self, cursor: ChangeCursor) -> Result<Option<Vec<u64>>, ObserveFault> {
+        self.0.try_changes_since(cursor)
+    }
     fn observe(&self, request: &ObserveRequest<'_>) -> FleetObservation {
         self.0.observe(request)
     }
@@ -258,6 +492,28 @@ impl<C: LakeConnector + Sync> BatchLakeConnector for SyncAsBatch<C> {
     }
     fn changes_since(&self, cursor: ChangeCursor) -> Option<Vec<u64>> {
         self.0.changes_since(cursor)
+    }
+    fn try_list_tables(&self) -> Result<Vec<TableRef>, ObserveFault> {
+        self.0.try_list_tables()
+    }
+    fn try_table_stats(&self, table_uid: u64) -> Result<Option<CandidateStats>, ObserveFault> {
+        self.0.try_table_stats(table_uid)
+    }
+    fn try_partition_stats(
+        &self,
+        table_uid: u64,
+    ) -> Result<Vec<(String, CandidateStats)>, ObserveFault> {
+        self.0.try_partition_stats(table_uid)
+    }
+    fn try_snapshot_stats(
+        &self,
+        table_uid: u64,
+        window_ms: u64,
+    ) -> Result<Option<CandidateStats>, ObserveFault> {
+        self.0.try_snapshot_stats(table_uid, window_ms)
+    }
+    fn try_changes_since(&self, cursor: ChangeCursor) -> Result<Option<Vec<u64>>, ObserveFault> {
+        self.0.try_changes_since(cursor)
     }
 }
 
@@ -463,6 +719,41 @@ mod tests {
         assert_eq!(obs.table_count(), 1);
         assert_eq!(obs.candidate_count(), 1);
         assert!(obs.cursor().is_none());
+    }
+
+    #[test]
+    fn try_defaults_delegate_and_never_fault() {
+        let lake = one_table_lake();
+        let dyn_lake: &dyn LakeConnector = &lake;
+        assert_eq!(dyn_lake.try_list_tables().unwrap().len(), 1);
+        // Vanish stays Ok(None): the Option is the state signal, the
+        // Result is the fault signal.
+        assert!(dyn_lake.try_table_stats(1).unwrap().is_some());
+        assert!(dyn_lake.try_table_stats(2).unwrap().is_none());
+        assert!(dyn_lake.try_partition_stats(1).unwrap().is_empty());
+        assert!(dyn_lake.try_snapshot_stats(1, 1000).unwrap().is_none());
+        assert!(dyn_lake.try_changes_since(ChangeCursor(0)).unwrap().is_none());
+
+        // The batch tier and both adapters forward the try surface.
+        let batch = SyncAsBatch(one_table_lake());
+        assert!(batch.try_table_stats(1).unwrap().is_some());
+        let back = BatchAsLake(SyncAsBatch(one_table_lake()));
+        assert!(back.try_table_stats(2).unwrap().is_none());
+        assert_eq!((&back).try_list_tables().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn observe_fault_classifies_and_displays() {
+        let t = ObserveFault::transient("catalog timeout");
+        let p = ObserveFault::permanent("auth revoked");
+        assert!(t.is_transient());
+        assert!(!p.is_transient());
+        assert_eq!(t.detail(), "catalog timeout");
+        assert_eq!(format!("{t}"), "transient: catalog timeout");
+        assert_eq!(format!("{p}"), "permanent: auth revoked");
+        // Shared Arc<str> detail: clones are refcount bumps.
+        let t2 = t.clone();
+        assert_eq!(t, t2);
     }
 
     #[test]

@@ -120,7 +120,7 @@ pub use cache::CycleCacheStats;
 pub use candidate::{Candidate, CandidateId, CandidateView, ScopeKind, TableRef};
 pub use connector::{
     BatchAsLake, BatchLakeConnector, CompactionExecutor, ExecutionError, ExecutionResult,
-    LakeConnector, Prediction, SyncAsBatch,
+    LakeConnector, ObserveFault, Prediction, SyncAsBatch,
 };
 pub use durability::{
     JournalEvent, JournalingExecutor, RecoveryReport, ReplayExecutor, ReplaySummary,
@@ -135,7 +135,8 @@ pub use filter::{
 pub use kind::{JobKind, PARTITION_SKEW_METRIC, SORT_DISORDER_METRIC, TRANSFORMS_ENABLED_METRIC};
 pub use matrix::{TraitId, TraitMatrix};
 pub use observe::{
-    ChangeCursor, FleetObservation, FleetObserver, NameInterner, ObserveRequest, TableObservation,
+    ChangeCursor, DegradeReason, FallbackCause, FleetObservation, FleetObserver, NameInterner,
+    ObserveDegradation, ObserveRecoveryPolicy, ObserveRequest, Quarantined, TableObservation,
 };
 pub use pipeline::{AutoComp, AutoCompConfig, CycleReport};
 pub use rank::{
@@ -143,7 +144,8 @@ pub use rank::{
     TraitWeight, RANKED_PREFIX_MIN,
 };
 pub use runtime::{
-    ContinuousRuntime, RoundReport, RuntimeConfig, RuntimeEvent, RuntimeStats, TriggerCause,
+    ContinuousRuntime, FleetHealth, RoundReport, RuntimeConfig, RuntimeEvent, RuntimeStats,
+    TriggerCause, STALL_AFTER_STALE_LISTINGS,
 };
 pub use schedule::{
     AllParallelScheduler, ParallelTablesScheduler, ScheduledJob, Scheduler,

@@ -100,16 +100,71 @@
 //! how many cycles run. The compaction chunk is distinct from the fresh
 //! chunk, so relocated entries do not read as freshly fetched.
 //!
+//! # Degradation contract (fault-tolerant observe)
+//!
+//! Both drivers consume only the fallible `try_*` connector surface
+//! ([`ObserveFault`]`{Transient, Permanent}`) and **never fail the
+//! round**: every fault degrades along a documented path, recorded on
+//! the observation's [`ObserveDegradation`] so the runtime's health
+//! state machine and telemetry can surface it. The exact conditions,
+//! in the order they are evaluated:
+//!
+//! * **Listing fault** (`try_list_tables`): transient faults retry with
+//!   capped-exponential backoff — the act-phase shape, notional (the
+//!   drivers never sleep; the accumulated wait is charged against
+//!   [`ObserveRecoveryPolicy::retry_deadline_ms`]). On a permanent
+//!   fault or an exhausted budget, the *prior listing is reused*
+//!   (`listing_stale_passes` increments; the recorded listing epoch
+//!   stays the prior's, so a healed listing re-lists). With no prior to
+//!   carry, the pass returns an empty **stalled husk** observation —
+//!   the loop is blind and says so (`stalled`).
+//! * **Changelog fault** (`try_changes_since`): same retry budget; on
+//!   exhaustion/permanent the pass falls back to a **full observe**
+//!   (`fallback = `[`FallbackCause::ChangelogFault`]). A mid-stream
+//!   `Ok(None)` under a prior that carried a cursor is **retention
+//!   overflow** ([`FallbackCause::ChangelogOverflow`]) — no retry
+//!   (overflow is definitive), one full observe resynchronizes.
+//! * **Per-table stats fault** (`try_table_stats` /
+//!   `try_partition_stats` / `try_snapshot_stats`): no in-pass retry.
+//!   The *prior entry is spliced* (carry-forward: stale but
+//!   self-consistent values), the table enters the **quarantine set**
+//!   with capped-exponential backoff *in passes*
+//!   ([`ObserveRecoveryPolicy::quarantine_release`]), and once the
+//!   backoff expires the table is re-force-dirtied automatically. Each
+//!   consecutive faulted re-fetch increments the quarantine attempt
+//!   count; past [`ObserveRecoveryPolicy::max_carry_attempts`] the
+//!   entry is **retired** to [`TableObservation::Missing`] (the table
+//!   leaves the candidate set until it heals) — so a carried entry's
+//!   staleness is bounded by the sum of the first `max_carry_attempts`
+//!   quarantine backoffs. A successful re-fetch clears the record.
+//! * **Vanish is never a fault**: `Ok(None)` from a stats read still
+//!   means the table vanished and yields `Missing` exactly as before —
+//!   see the connector module docs' vanish-vs-fault split.
+//! * **Fallback/reset conditions**: a scope change drops carry and
+//!   quarantine state (prior entries have the wrong shape); snapshot
+//!   restore resets all degradation bookkeeping (the restored
+//!   observation is a clean baseline); [`FleetObserver::reset`] starts
+//!   a fresh chain.
+//!
+//! Reconvergence is the contract the chaos suite
+//! (`tests/connector_faults.rs`) pins: after faults heal, quarantined
+//! tables are re-fetched as their backoffs expire and cycles become
+//! bit-identical to a never-faulted twin's. Degradation metadata is
+//! excluded from [`FleetObservation`] equality for the same reason
+//! arena chunking is: it describes *how* the snapshot was obtained, not
+//! fleet content.
+//!
 //! [`to_candidates`]: FleetObservation::to_candidates
 //! [`HookAction::MarkDirty`]: crate::trigger::HookAction::MarkDirty
 //! [`LakeConnector`]: crate::connector::LakeConnector
 //! [`BatchLakeConnector`]: crate::connector::BatchLakeConnector
+//! [`ObserveFault`]: crate::connector::ObserveFault
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::{Arc, OnceLock};
 
 use crate::candidate::{Candidate, CandidateId, ScopeKind, TableRef};
-use crate::connector::{BatchLakeConnector, LakeConnector};
+use crate::connector::{BatchLakeConnector, LakeConnector, ObserveFault};
 use crate::par;
 use crate::scope::ScopeStrategy;
 use crate::stats::CandidateStats;
@@ -139,6 +194,9 @@ pub struct ObserveRequest<'a> {
     /// Tables to re-fetch regardless of the changelog (externally known
     /// dirty tables, e.g. §5 after-write hooks in `MarkDirty` mode).
     pub force_dirty: Vec<u64>,
+    /// Recovery policy applied when connector reads fault (see the
+    /// module docs' degradation contract).
+    pub recovery: ObserveRecoveryPolicy,
 }
 
 impl<'a> ObserveRequest<'a> {
@@ -148,6 +206,7 @@ impl<'a> ObserveRequest<'a> {
             scope,
             prior: None,
             force_dirty: Vec::new(),
+            recovery: ObserveRecoveryPolicy::default(),
         }
     }
 
@@ -159,6 +218,7 @@ impl<'a> ObserveRequest<'a> {
             scope,
             prior: Some(prior),
             force_dirty: Vec::new(),
+            recovery: ObserveRecoveryPolicy::default(),
         }
     }
 
@@ -166,6 +226,243 @@ impl<'a> ObserveRequest<'a> {
     pub fn with_force_dirty(mut self, uids: impl IntoIterator<Item = u64>) -> Self {
         self.force_dirty.extend(uids);
         self
+    }
+
+    /// Overrides the fault-recovery policy (builder style).
+    pub fn with_recovery(mut self, recovery: ObserveRecoveryPolicy) -> Self {
+        self.recovery = recovery;
+        self
+    }
+}
+
+/// Why an observe pass abandoned the incremental path and fell back to
+/// a full fetch. Recorded on [`ObserveDegradation::fallback`] and
+/// counted under `autocomp_observe_full_fallback_total{cause=...}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackCause {
+    /// The connector supports a changelog (the prior pass obtained a
+    /// cursor) but answered `None` mid-stream: the cursor predates its
+    /// retention. Definitive — not retried; one full observe
+    /// resynchronizes the chain.
+    ChangelogOverflow,
+    /// The changelog read faulted permanently or exhausted the retry
+    /// budget. One full observe resynchronizes the chain.
+    ChangelogFault,
+}
+
+impl FallbackCause {
+    /// Interned telemetry label for this cause.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FallbackCause::ChangelogOverflow => "changelog-overflow",
+            FallbackCause::ChangelogFault => "changelog-fault",
+        }
+    }
+}
+
+/// One cause of observe-side degradation, labelled for telemetry and
+/// for the runtime health state machine's `Degraded{reasons}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DegradeReason {
+    /// At least one entry is a carried-forward stale splice.
+    CarryForward,
+    /// At least one table sits in the quarantine set.
+    Quarantine,
+    /// At least one quarantined table exhausted its carry budget and
+    /// reads as [`TableObservation::Missing`] until it heals.
+    Retired,
+    /// The changelog degraded (overflow or fault) and the pass fell
+    /// back to a full observe.
+    ChangelogFallback,
+    /// The listing read faulted transiently and was retried.
+    ListingRetry,
+    /// The changelog read faulted transiently and was retried.
+    ChangelogRetry,
+    /// The listing read kept faulting; the prior listing was reused.
+    ListingStale,
+}
+
+impl DegradeReason {
+    /// Interned telemetry label for this reason.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DegradeReason::CarryForward => "carry-forward",
+            DegradeReason::Quarantine => "quarantine",
+            DegradeReason::Retired => "retired",
+            DegradeReason::ChangelogFallback => "changelog-fallback",
+            DegradeReason::ListingRetry => "listing-retry",
+            DegradeReason::ChangelogRetry => "changelog-retry",
+            DegradeReason::ListingStale => "listing-stale",
+        }
+    }
+}
+
+/// Per-source recovery policy of the observe drivers (see the module
+/// docs' degradation contract): capped-exponential retry-with-deadline
+/// for listing/changelog reads, carry-forward + quarantine for
+/// per-table stats reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObserveRecoveryPolicy {
+    /// Extra attempts after a transient listing/changelog fault.
+    pub max_retries: u32,
+    /// Base of the capped-exponential retry backoff (the act-phase
+    /// shape). Notional: the drivers never sleep — the accumulated wait
+    /// is charged against [`retry_deadline_ms`](Self::retry_deadline_ms)
+    /// so retry behavior stays deterministic.
+    pub retry_backoff_ms: u64,
+    /// Ceiling of one retry's backoff.
+    pub retry_backoff_cap_ms: u64,
+    /// Cumulative notional-backoff budget per read; a retry whose
+    /// backoff would exceed it gives up instead.
+    pub retry_deadline_ms: u64,
+    /// Consecutive faulted fetches a table's stale prior entry may be
+    /// carried before the entry is retired to `Missing`.
+    pub max_carry_attempts: u32,
+    /// Base quarantine backoff, measured in observe *passes* (the
+    /// observe path carries no wall clock).
+    pub quarantine_backoff_passes: u64,
+    /// Ceiling of the quarantine backoff, in passes.
+    pub quarantine_backoff_cap_passes: u64,
+}
+
+impl Default for ObserveRecoveryPolicy {
+    fn default() -> Self {
+        ObserveRecoveryPolicy {
+            max_retries: 3,
+            retry_backoff_ms: 250,
+            retry_backoff_cap_ms: 2_000,
+            retry_deadline_ms: 4_000,
+            max_carry_attempts: 8,
+            quarantine_backoff_passes: 1,
+            quarantine_backoff_cap_passes: 8,
+        }
+    }
+}
+
+impl ObserveRecoveryPolicy {
+    /// Notional backoff before retry `attempt` (1-based): the act-phase
+    /// capped-exponential shape.
+    pub fn backoff_ms(&self, attempt: u32) -> u64 {
+        let shift = attempt.saturating_sub(1).min(16);
+        self.retry_backoff_ms
+            .saturating_mul(1u64 << shift)
+            .min(self.retry_backoff_cap_ms)
+    }
+
+    /// Pass at which a table quarantined after `attempts` consecutive
+    /// faults is re-force-dirtied: capped-exponential in passes, never
+    /// sooner than the next pass.
+    pub fn quarantine_release(&self, pass: u64, attempts: u32) -> u64 {
+        let shift = attempts.saturating_sub(1).min(16);
+        let wait = self
+            .quarantine_backoff_passes
+            .saturating_mul(1u64 << shift)
+            .min(self.quarantine_backoff_cap_passes)
+            .max(1);
+        pass.saturating_add(wait)
+    }
+}
+
+/// Quarantine record of one table whose stats read faulted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Quarantined {
+    /// Consecutive faulted fetch attempts.
+    pub attempts: u32,
+    /// Pass at which the backoff expires and the table is
+    /// re-force-dirtied automatically.
+    pub release_pass: u64,
+    /// `true` while the entry is the carried-forward stale splice;
+    /// `false` once it was retired to `Missing` (carry budget spent, or
+    /// nothing to carry).
+    pub carried: bool,
+}
+
+/// Degradation metadata of one observe pass: what faulted, what was
+/// carried, and what the recovery machinery is tracking. Rides on the
+/// [`FleetObservation`] but is excluded from its equality — it
+/// describes how the snapshot was obtained, not fleet content.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ObserveDegradation {
+    /// Monotone observe-pass counter along the observation chain.
+    /// Quarantine backoffs are measured against it. Resets with a fresh
+    /// chain (no prior) and on snapshot restore.
+    pub pass: u64,
+    /// Quarantined tables by uid: consecutive fault attempts, backoff
+    /// release pass, and whether the entry is carried or retired.
+    pub quarantine: BTreeMap<u64, Quarantined>,
+    /// Stats reads that faulted this pass.
+    pub stats_faults: u32,
+    /// Transient listing-read retries spent this pass.
+    pub listing_retries: u32,
+    /// Transient changelog-read retries spent this pass.
+    pub changelog_retries: u32,
+    /// Consecutive passes the table listing has been reused because the
+    /// listing read kept faulting (`0` = listing current).
+    pub listing_stale_passes: u32,
+    /// Why this pass abandoned the incremental path, if it did.
+    pub fallback: Option<FallbackCause>,
+    /// The listing read faulted with no prior to carry: this
+    /// observation is an empty husk and the loop is blind until the
+    /// listing heals.
+    pub stalled: bool,
+}
+
+impl ObserveDegradation {
+    /// Entries currently carried forward (stale splices).
+    pub fn carried_entries(&self) -> usize {
+        self.quarantine.values().filter(|q| q.carried).count()
+    }
+
+    /// Entries retired to `Missing` after exhausting their carry budget.
+    pub fn retired_entries(&self) -> usize {
+        self.quarantine.values().filter(|q| !q.carried).count()
+    }
+
+    /// Number of quarantined tables.
+    pub fn quarantine_depth(&self) -> usize {
+        self.quarantine.len()
+    }
+
+    /// Whether this pass ran (or is still running) degraded in any way.
+    pub fn is_degraded(&self) -> bool {
+        self.stalled || !self.reasons().is_empty()
+    }
+
+    /// Active degradation reasons, in a fixed deterministic order.
+    pub fn reasons(&self) -> Vec<DegradeReason> {
+        let mut out = Vec::new();
+        if self.carried_entries() > 0 {
+            out.push(DegradeReason::CarryForward);
+        }
+        if !self.quarantine.is_empty() {
+            out.push(DegradeReason::Quarantine);
+        }
+        if self.retired_entries() > 0 {
+            out.push(DegradeReason::Retired);
+        }
+        if self.fallback.is_some() {
+            out.push(DegradeReason::ChangelogFallback);
+        }
+        if self.listing_retries > 0 {
+            out.push(DegradeReason::ListingRetry);
+        }
+        if self.changelog_retries > 0 {
+            out.push(DegradeReason::ChangelogRetry);
+        }
+        if self.listing_stale_passes > 0 {
+            out.push(DegradeReason::ListingStale);
+        }
+        out
+    }
+
+    /// Uids whose quarantine backoff has expired by `pass` (due for a
+    /// forced re-fetch).
+    pub fn due_for_retry(&self, pass: u64) -> Vec<u64> {
+        self.quarantine
+            .iter()
+            .filter(|(_, q)| q.release_pass <= pass)
+            .map(|(uid, _)| *uid)
+            .collect()
     }
 }
 
@@ -232,6 +529,10 @@ pub struct FleetObservation {
     prior_cursor: Option<ChangeCursor>,
     fetched: usize,
     reused: usize,
+    /// Fault/degradation metadata of the pass that produced this
+    /// observation (see the module docs' degradation contract). Not part
+    /// of logical equality.
+    degradation: ObserveDegradation,
 }
 
 /// An imported arena chunk is rewritten (its live entries cloned into a
@@ -305,6 +606,7 @@ impl FleetObservation {
             prior_cursor: None,
             fetched,
             reused: 0,
+            degradation: ObserveDegradation::default(),
         }
     }
 
@@ -403,6 +705,13 @@ impl FleetObservation {
     /// its rows were computed against.
     pub fn prior_cursor(&self) -> Option<ChangeCursor> {
         self.prior_cursor
+    }
+
+    /// Degradation metadata of the pass that produced this observation:
+    /// carried/quarantined tables, retries spent, fallback cause,
+    /// listing staleness. Empty on a fault-free pass.
+    pub fn degradation(&self) -> &ObserveDegradation {
+        &self.degradation
     }
 
     /// Number of arena chunks currently backing the observation.
@@ -693,6 +1002,9 @@ impl FleetObservation {
             prior_cursor: None,
             fetched: 0,
             reused,
+            // A restored observation is a clean baseline: quarantine and
+            // carry bookkeeping do not survive a restore.
+            degradation: ObserveDegradation::default(),
         })
     }
 }
@@ -733,12 +1045,19 @@ fn push_candidate(
 pub struct FleetObserver {
     prior: Option<FleetObservation>,
     pending_dirty: BTreeSet<u64>,
+    recovery: ObserveRecoveryPolicy,
 }
 
 impl FleetObserver {
     /// A fresh observer; its first observe is always a full fetch.
     pub fn new() -> Self {
         FleetObserver::default()
+    }
+
+    /// Overrides the fault-recovery policy applied to every observe this
+    /// observer drives.
+    pub fn set_recovery(&mut self, recovery: ObserveRecoveryPolicy) {
+        self.recovery = recovery;
     }
 
     /// Marks a table dirty so the next observe re-fetches its stats even
@@ -792,6 +1111,7 @@ impl FleetObserver {
             scope,
             prior: self.prior.as_ref(),
             force_dirty: self.pending_dirty.iter().copied().collect(),
+            recovery: self.recovery,
         }
     }
 
@@ -864,91 +1184,120 @@ enum FetchPlan {
     Reuse(usize),
 }
 
-/// Unifies the two connector tiers' stats methods for the shared drivers.
+/// Unifies the two connector tiers' fallible stats methods for the
+/// shared drivers. The drivers consume only this `try_*` surface;
+/// infallible connectors flow through the trait defaults' `Ok`
+/// wrapping at zero behavioral cost.
 trait StatsSource {
-    fn table_stats(&self, table_uid: u64) -> Option<CandidateStats>;
-    fn partition_stats(&self, table_uid: u64) -> Vec<(String, CandidateStats)>;
-    fn snapshot_stats(&self, table_uid: u64, window_ms: u64) -> Option<CandidateStats>;
+    fn try_table_stats(&self, table_uid: u64) -> Result<Option<CandidateStats>, ObserveFault>;
+    #[allow(clippy::type_complexity)]
+    fn try_partition_stats(
+        &self,
+        table_uid: u64,
+    ) -> Result<Vec<(String, CandidateStats)>, ObserveFault>;
+    fn try_snapshot_stats(
+        &self,
+        table_uid: u64,
+        window_ms: u64,
+    ) -> Result<Option<CandidateStats>, ObserveFault>;
 }
 
 struct SeqSource<'a, C: ?Sized>(&'a C);
 
 impl<C: LakeConnector + ?Sized> StatsSource for SeqSource<'_, C> {
-    fn table_stats(&self, table_uid: u64) -> Option<CandidateStats> {
-        self.0.table_stats(table_uid)
+    fn try_table_stats(&self, table_uid: u64) -> Result<Option<CandidateStats>, ObserveFault> {
+        self.0.try_table_stats(table_uid)
     }
-    fn partition_stats(&self, table_uid: u64) -> Vec<(String, CandidateStats)> {
-        self.0.partition_stats(table_uid)
+    fn try_partition_stats(
+        &self,
+        table_uid: u64,
+    ) -> Result<Vec<(String, CandidateStats)>, ObserveFault> {
+        self.0.try_partition_stats(table_uid)
     }
-    fn snapshot_stats(&self, table_uid: u64, window_ms: u64) -> Option<CandidateStats> {
-        self.0.snapshot_stats(table_uid, window_ms)
+    fn try_snapshot_stats(
+        &self,
+        table_uid: u64,
+        window_ms: u64,
+    ) -> Result<Option<CandidateStats>, ObserveFault> {
+        self.0.try_snapshot_stats(table_uid, window_ms)
     }
 }
 
 struct BatchSource<'a, C: ?Sized>(&'a C);
 
 impl<C: BatchLakeConnector + ?Sized> StatsSource for BatchSource<'_, C> {
-    fn table_stats(&self, table_uid: u64) -> Option<CandidateStats> {
-        self.0.table_stats(table_uid)
+    fn try_table_stats(&self, table_uid: u64) -> Result<Option<CandidateStats>, ObserveFault> {
+        self.0.try_table_stats(table_uid)
     }
-    fn partition_stats(&self, table_uid: u64) -> Vec<(String, CandidateStats)> {
-        self.0.partition_stats(table_uid)
+    fn try_partition_stats(
+        &self,
+        table_uid: u64,
+    ) -> Result<Vec<(String, CandidateStats)>, ObserveFault> {
+        self.0.try_partition_stats(table_uid)
     }
-    fn snapshot_stats(&self, table_uid: u64, window_ms: u64) -> Option<CandidateStats> {
-        self.0.snapshot_stats(table_uid, window_ms)
+    fn try_snapshot_stats(
+        &self,
+        table_uid: u64,
+        window_ms: u64,
+    ) -> Result<Option<CandidateStats>, ObserveFault> {
+        self.0.try_snapshot_stats(table_uid, window_ms)
     }
 }
 
 /// Fetches one table's stats under `scope` — the exact per-scope calls of
 /// the historical per-table pull protocol, preserved verbatim so batched
-/// observations stay bit-identical to it.
+/// observations stay bit-identical to it. `Ok(None)` from a stats read
+/// still means *vanished* and yields `Missing`; only `Err` (the read
+/// failed) propagates for the carry-forward machinery to absorb.
 fn fetch_one(
     source: &impl StatsSource,
     table: &TableRef,
     scope: ScopeStrategy,
-) -> TableObservation {
-    match scope {
-        ScopeStrategy::Table => match source.table_stats(table.table_uid) {
+) -> Result<TableObservation, ObserveFault> {
+    Ok(match scope {
+        ScopeStrategy::Table => match source.try_table_stats(table.table_uid)? {
             Some(stats) => TableObservation::Table(stats),
             None => TableObservation::Missing,
         },
         ScopeStrategy::Partition => {
-            TableObservation::Partitions(source.partition_stats(table.table_uid))
+            TableObservation::Partitions(source.try_partition_stats(table.table_uid)?)
         }
         ScopeStrategy::Hybrid => {
             if table.partitioned {
-                TableObservation::Partitions(source.partition_stats(table.table_uid))
+                TableObservation::Partitions(source.try_partition_stats(table.table_uid)?)
             } else {
-                match source.table_stats(table.table_uid) {
+                match source.try_table_stats(table.table_uid)? {
                     Some(stats) => TableObservation::Table(stats),
                     None => TableObservation::Missing,
                 }
             }
         }
         ScopeStrategy::Snapshot { window_ms } => {
-            match source.snapshot_stats(table.table_uid, window_ms) {
+            match source.try_snapshot_stats(table.table_uid, window_ms)? {
                 Some(stats) => TableObservation::Table(stats),
                 None => TableObservation::Missing,
             }
         }
-    }
+    })
 }
 
 /// Gate of the dirty-overwrite fast path: engaged only when the prior
 /// observation's listing is literally shared (`Arc::ptr_eq` — unchanged
-/// listing epoch), the scope matches, and the connector answers the
-/// changelog query. Returns the combined dirty uid set (changelog hits
-/// plus `force_dirty`); `None` falls back to the planning path.
+/// listing epoch), the scope matches, and the changelog answered
+/// (`changes` resolved by the driver, retries already spent). Returns
+/// the combined dirty uid set (changelog hits plus `force_dirty`);
+/// `None` falls back to the planning path.
 fn fast_path_dirty(
     tables: &Arc<Vec<TableRef>>,
     request: &ObserveRequest<'_>,
-    changes_since: impl FnOnce(ChangeCursor) -> Option<Vec<u64>>,
+    changes: Option<&Vec<u64>>,
 ) -> Option<Vec<u64>> {
     let prior = request.prior?;
     if prior.scope() != request.scope || !Arc::ptr_eq(tables, &prior.tables) {
         return None;
     }
-    let mut dirty = changes_since(prior.cursor()?)?;
+    prior.cursor()?;
+    let mut dirty = changes?.clone();
     dirty.extend(request.force_dirty.iter().copied());
     Some(dirty)
 }
@@ -963,14 +1312,14 @@ fn fast_path_dirty(
 fn make_plans(
     tables: &[TableRef],
     request: &ObserveRequest<'_>,
-    changes_since: impl FnOnce(ChangeCursor) -> Option<Vec<u64>>,
+    changes: Option<&Vec<u64>>,
 ) -> Option<Vec<FetchPlan>> {
     let prior = request.prior?;
     if prior.scope() != request.scope {
         return None;
     }
-    let prior_cursor = prior.cursor()?;
-    let mut dirty: Vec<u64> = changes_since(prior_cursor)?;
+    prior.cursor()?;
+    let mut dirty: Vec<u64> = changes?.clone();
     dirty.extend(request.force_dirty.iter().copied());
     dirty.sort_unstable();
     dirty.dedup();
@@ -1166,6 +1515,7 @@ fn assemble_incremental(
         prior_cursor: prior.cursor(),
         fetched,
         reused,
+        degradation: ObserveDegradation::default(),
     }
 }
 
@@ -1184,16 +1534,7 @@ fn assemble_incremental(
 /// the fresh chunk, so relocated entries do not read as fetched). The
 /// rebuild is O(n) but runs once per ~`1/dirty_fraction` cycles, keeping
 /// the soak-test bounds intact with O(dirty) amortized cost.
-fn fast_incremental_observe(
-    scope: ScopeStrategy,
-    tables: Arc<Vec<TableRef>>,
-    listing_epoch: Option<u64>,
-    prior: &FleetObservation,
-    mut dirty: Vec<u64>,
-    cursor: Option<ChangeCursor>,
-    fetch: impl FnOnce(&[u32]) -> Vec<TableObservation>,
-) -> FleetObservation {
-    debug_assert!(Arc::ptr_eq(&tables, &prior.tables));
+fn dirty_positions(prior: &FleetObservation, mut dirty: Vec<u64>) -> Vec<u32> {
     dirty.sort_unstable();
     dirty.dedup();
     let index = prior.uid_index();
@@ -1205,38 +1546,64 @@ fn fast_incremental_observe(
         .filter_map(|uid| index.get(uid).copied())
         .collect();
     positions.sort_unstable();
+    positions
+}
+
+/// Quiet pass of the dirty-overwrite assembly: nothing to patch — the
+/// prior's entry table is shared outright (one `Arc` bump).
+fn fast_observe_quiet(
+    scope: ScopeStrategy,
+    tables: Arc<Vec<TableRef>>,
+    listing_epoch: Option<u64>,
+    prior: &FleetObservation,
+    cursor: Option<ChangeCursor>,
+) -> FleetObservation {
+    debug_assert!(Arc::ptr_eq(&tables, &prior.tables));
+    let n = tables.len();
+    FleetObservation {
+        scope,
+        tables,
+        listing_epoch,
+        entries: Arc::clone(&prior.entries),
+        chunks: prior.chunks.clone(),
+        uid_index: Arc::clone(&prior.uid_index),
+        cursor,
+        fresh_chunk: None,
+        prior_cursor: prior.cursor(),
+        fetched: 0,
+        reused: n,
+        degradation: ObserveDegradation::default(),
+    }
+}
+
+/// Patch pass of the dirty-overwrite assembly: `patch` holds the
+/// positions whose fetches succeeded (or retired to `Missing`), in
+/// ascending position order, each with its replacement entry. Positions
+/// whose fault was absorbed by carry-forward are simply absent — their
+/// entries keep pointing at the prior chunk and read as reused.
+fn fast_observe_patch(
+    scope: ScopeStrategy,
+    tables: Arc<Vec<TableRef>>,
+    listing_epoch: Option<u64>,
+    prior: &FleetObservation,
+    cursor: Option<ChangeCursor>,
+    patch: Vec<(u32, TableObservation)>,
+) -> FleetObservation {
+    debug_assert!(Arc::ptr_eq(&tables, &prior.tables));
     let n = tables.len();
     let uid_index = Arc::clone(&prior.uid_index);
-
-    if positions.is_empty() {
-        // Quiet pass: nothing to patch — share the prior's entry table.
-        return FleetObservation {
-            scope,
-            tables,
-            listing_epoch,
-            entries: Arc::clone(&prior.entries),
-            chunks: prior.chunks.clone(),
-            uid_index,
-            cursor,
-            fresh_chunk: None,
-            prior_cursor: prior.cursor(),
-            fetched: 0,
-            reused: n,
-        };
-    }
-
-    let fetched_stats = fetch(&positions);
-    debug_assert_eq!(fetched_stats.len(), positions.len());
     let mut entries: Vec<EntryRef> = (*prior.entries).clone();
     let mut chunks = prior.chunks.clone();
     let fresh_idx = chunks.len() as u32;
-    for (i, pos) in positions.iter().enumerate() {
-        entries[*pos as usize] = EntryRef {
+    let fetched = patch.len();
+    let mut fetched_stats: Vec<TableObservation> = Vec::with_capacity(fetched);
+    for (i, (pos, stat)) in patch.into_iter().enumerate() {
+        entries[pos as usize] = EntryRef {
             chunk: fresh_idx,
             offset: i as u32,
         };
+        fetched_stats.push(stat);
     }
-    let fetched = positions.len();
     chunks.push(Arc::new(fetched_stats));
 
     // Amortized arena hygiene: rebuild once the bounds the soak suite
@@ -1273,6 +1640,7 @@ fn fast_incremental_observe(
             prior_cursor: prior.cursor(),
             fetched,
             reused: n - fetched,
+            degradation: ObserveDegradation::default(),
         };
     }
 
@@ -1288,118 +1656,454 @@ fn fast_incremental_observe(
         prior_cursor: prior.cursor(),
         fetched,
         reused: n - fetched,
+        degradation: ObserveDegradation::default(),
     }
+}
+
+/// Runs one fallible listing/changelog read under the recovery policy:
+/// transient faults retry until the retry count or the notional-backoff
+/// deadline is spent; permanent faults fail immediately. Returns the
+/// final result plus the retries consumed.
+fn retry_read<T>(
+    policy: &ObserveRecoveryPolicy,
+    mut attempt: impl FnMut() -> Result<T, ObserveFault>,
+) -> (Result<T, ObserveFault>, u32) {
+    let mut retries = 0u32;
+    let mut waited = 0u64;
+    loop {
+        match attempt() {
+            Ok(value) => return (Ok(value), retries),
+            Err(fault) => {
+                if !fault.is_transient() || retries >= policy.max_retries {
+                    return (Err(fault), retries);
+                }
+                waited = waited.saturating_add(policy.backoff_ms(retries + 1));
+                if waited > policy.retry_deadline_ms {
+                    return (Err(fault), retries);
+                }
+                retries += 1;
+            }
+        }
+    }
+}
+
+/// The fallible front half both drivers share: listing and changelog
+/// answers resolved under the recovery policy.
+struct ResolvedReads {
+    tables: Arc<Vec<TableRef>>,
+    listing_epoch: Option<u64>,
+    /// Changelog answer (dirty uids since the prior cursor, plus
+    /// quarantined tables whose backoff expired); `None` forces the
+    /// full-fetch fallback.
+    changes: Option<Vec<u64>>,
+    deg: ObserveDegradation,
+    /// Listing unavailable with nothing to carry: produce a husk.
+    stalled: bool,
+}
+
+/// Resolves the table listing and (when an incremental pass is
+/// structurally possible) the changelog answer, spending retries per
+/// the policy and recording every degradation on the pass's
+/// [`ObserveDegradation`]. Quarantined tables whose backoff expired are
+/// folded into the dirty set here, so healing re-fetches happen
+/// automatically on whichever path the pass takes.
+fn resolve_reads(
+    request: &ObserveRequest<'_>,
+    connector_epoch: Option<u64>,
+    try_list: impl FnMut() -> Result<Vec<TableRef>, ObserveFault>,
+    mut try_changes: impl FnMut(ChangeCursor) -> Result<Option<Vec<u64>>, ObserveFault>,
+) -> ResolvedReads {
+    let policy = &request.recovery;
+    let prior = request.prior;
+    let mut deg = ObserveDegradation {
+        pass: prior.map_or(0, |p| p.degradation.pass + 1),
+        ..ObserveDegradation::default()
+    };
+    let mut listing_epoch = connector_epoch;
+    // Listing reuse under an unchanged epoch costs no listing read at
+    // all; otherwise the read retries transient faults and, exhausted,
+    // carries the prior listing (keeping the prior's epoch so a healed
+    // listing is re-read next pass).
+    let tables = match (connector_epoch, prior) {
+        (Some(e), Some(p)) if p.listing_epoch() == Some(e) => Some(p.tables_shared()),
+        _ => {
+            let (res, retries) = retry_read(policy, try_list);
+            deg.listing_retries = retries;
+            match res {
+                Ok(listed) => Some(Arc::new(listed)),
+                Err(_) => match prior {
+                    Some(p) => {
+                        deg.listing_stale_passes =
+                            p.degradation.listing_stale_passes.saturating_add(1);
+                        listing_epoch = p.listing_epoch();
+                        Some(p.tables_shared())
+                    }
+                    None => None,
+                },
+            }
+        }
+    };
+    let Some(tables) = tables else {
+        deg.stalled = true;
+        return ResolvedReads {
+            tables: Arc::new(Vec::new()),
+            listing_epoch: None,
+            changes: None,
+            deg,
+            stalled: true,
+        };
+    };
+    let mut changes = None;
+    if let Some(p) = prior {
+        if p.scope() == request.scope {
+            if let Some(cursor) = p.cursor() {
+                let (res, retries) = retry_read(policy, || try_changes(cursor));
+                deg.changelog_retries = retries;
+                match res {
+                    Ok(Some(dirty)) => changes = Some(dirty),
+                    // The prior pass obtained a cursor, so the connector
+                    // has a change stream: `None` now means the cursor
+                    // predates retention — definitive, no retry; one
+                    // full observe resynchronizes.
+                    Ok(None) => deg.fallback = Some(FallbackCause::ChangelogOverflow),
+                    Err(_) => deg.fallback = Some(FallbackCause::ChangelogFault),
+                }
+            }
+            if let Some(dirty) = &mut changes {
+                dirty.extend(p.degradation.due_for_retry(deg.pass));
+            }
+        }
+    }
+    ResolvedReads {
+        tables,
+        listing_epoch,
+        changes,
+        deg,
+        stalled: false,
+    }
+}
+
+/// Applies the carry-forward/quarantine policy to one faulted stats
+/// fetch. Returns `None` when the stale prior entry is carried (leave
+/// it in place), or `Some(Missing)` when the entry retires — carry
+/// budget spent, or nothing to carry.
+fn absorb_stats_fault(
+    uid: u64,
+    can_carry: bool,
+    policy: &ObserveRecoveryPolicy,
+    prior_deg: &ObserveDegradation,
+    deg: &mut ObserveDegradation,
+) -> Option<TableObservation> {
+    deg.stats_faults += 1;
+    let attempts = prior_deg
+        .quarantine
+        .get(&uid)
+        .map_or(0, |q| q.attempts)
+        .saturating_add(1);
+    let carried = can_carry && attempts <= policy.max_carry_attempts;
+    deg.quarantine.insert(
+        uid,
+        Quarantined {
+            attempts,
+            release_pass: policy.quarantine_release(deg.pass, attempts),
+            carried,
+        },
+    );
+    if carried {
+        None
+    } else {
+        Some(TableObservation::Missing)
+    }
+}
+
+/// Carries prior quarantine records forward: tables still listed, not
+/// refreshed and not re-faulted this pass keep their records unchanged
+/// (their entries still read the carried or retired value, awaiting
+/// their backoff).
+fn carry_quarantine(
+    prior: &FleetObservation,
+    refreshed: &BTreeSet<u64>,
+    tables: &[TableRef],
+    deg: &mut ObserveDegradation,
+) {
+    if prior.degradation.quarantine.is_empty() {
+        return;
+    }
+    let listed: BTreeSet<u64> = tables.iter().map(|t| t.table_uid).collect();
+    for (uid, q) in &prior.degradation.quarantine {
+        if deg.quarantine.contains_key(uid) || refreshed.contains(uid) || !listed.contains(uid) {
+            continue;
+        }
+        deg.quarantine.insert(*uid, *q);
+    }
+}
+
+/// Splits fallible fast-path fetch results into the entry patch
+/// (successes plus retirements); faults absorbed by carry-forward are
+/// dropped from the patch, so their entries keep pointing at the prior
+/// chunk and read as reused.
+fn fixup_fast_fetch(
+    tables: &[TableRef],
+    prior: &FleetObservation,
+    policy: &ObserveRecoveryPolicy,
+    positions: &[u32],
+    results: Vec<Result<TableObservation, ObserveFault>>,
+    deg: &mut ObserveDegradation,
+) -> Vec<(u32, TableObservation)> {
+    debug_assert_eq!(results.len(), positions.len());
+    let mut refreshed = BTreeSet::new();
+    let mut patch = Vec::with_capacity(results.len());
+    for (pos, result) in positions.iter().zip(results) {
+        let uid = tables[*pos as usize].table_uid;
+        match result {
+            Ok(stat) => {
+                refreshed.insert(uid);
+                patch.push((*pos, stat));
+            }
+            // The prior entry always exists on the fast path (identical
+            // listing), so a fault can always carry until the budget
+            // runs out.
+            Err(_) => {
+                if let Some(stat) = absorb_stats_fault(uid, true, policy, &prior.degradation, deg)
+                {
+                    patch.push((*pos, stat));
+                }
+            }
+        }
+    }
+    carry_quarantine(prior, &refreshed, tables, deg);
+    patch
+}
+
+/// Walks the plan/result pair of the planning path: successful fetches
+/// keep their plan, faulted ones convert to `Reuse` of the prior entry
+/// (carry-forward) or stay `Fetch` with a retired `Missing` entry.
+/// Returns the compact fetched vector `assemble_incremental` expects.
+fn fixup_planned_fetch(
+    tables: &[TableRef],
+    prior: &FleetObservation,
+    policy: &ObserveRecoveryPolicy,
+    plans: &mut [FetchPlan],
+    results: Vec<Result<TableObservation, ObserveFault>>,
+    deg: &mut ObserveDegradation,
+) -> Vec<TableObservation> {
+    let mut refreshed = BTreeSet::new();
+    let mut out = Vec::with_capacity(results.len());
+    let mut results = results.into_iter();
+    for (pos, plan) in plans.iter_mut().enumerate() {
+        if !matches!(plan, FetchPlan::Fetch) {
+            continue;
+        }
+        let uid = tables[pos].table_uid;
+        match results.next().expect("one result per fetch plan") {
+            Ok(stat) => {
+                refreshed.insert(uid);
+                out.push(stat);
+            }
+            Err(_) => {
+                let prior_idx = prior.position_of_uid(uid);
+                match absorb_stats_fault(uid, prior_idx.is_some(), policy, &prior.degradation, deg)
+                {
+                    None => {
+                        *plan = FetchPlan::Reuse(prior_idx.expect("carry implies a prior entry"))
+                    }
+                    Some(stat) => out.push(stat),
+                }
+            }
+        }
+    }
+    carry_quarantine(prior, &refreshed, tables, deg);
+    out
+}
+
+/// Post-processes a cold (full-fetch) pass's fallible results. With a
+/// same-scope prior (e.g. a changelog-fallback full observe), faulted
+/// tables carry their prior entry — cloned into the cold chunk, values
+/// identical so downstream results match a reuse. Without one, faults
+/// retire to `Missing` and heal through quarantine like any other.
+fn fixup_cold_fetch(
+    tables: &[TableRef],
+    scope: ScopeStrategy,
+    prior: Option<&FleetObservation>,
+    policy: &ObserveRecoveryPolicy,
+    results: Vec<Result<TableObservation, ObserveFault>>,
+    deg: &mut ObserveDegradation,
+) -> Vec<TableObservation> {
+    // A scope change drops carry/quarantine state: prior entries have
+    // the wrong shape for the new scope.
+    let carry_prior = prior.filter(|p| p.scope() == scope);
+    let empty = ObserveDegradation::default();
+    let prior_deg = carry_prior.map_or(&empty, |p| &p.degradation);
+    let mut refreshed = BTreeSet::new();
+    let mut out = Vec::with_capacity(results.len());
+    for (table, result) in tables.iter().zip(results) {
+        let uid = table.table_uid;
+        match result {
+            Ok(stat) => {
+                refreshed.insert(uid);
+                out.push(stat);
+            }
+            Err(_) => {
+                let prior_idx = carry_prior.and_then(|p| p.position_of_uid(uid));
+                match absorb_stats_fault(uid, prior_idx.is_some(), policy, prior_deg, deg) {
+                    None => {
+                        let p = carry_prior.expect("carry implies a prior");
+                        out.push(p.entry(prior_idx.expect("carry implies a position")).clone());
+                    }
+                    Some(stat) => out.push(stat),
+                }
+            }
+        }
+    }
+    if let Some(p) = carry_prior {
+        carry_quarantine(p, &refreshed, tables, deg);
+    }
+    out
 }
 
 /// The sequential observe driver: list, plan, then fetch (or reuse) one
 /// table at a time. This is the default every [`LakeConnector`] inherits,
-/// so pre-batch connectors keep working unchanged.
+/// so pre-batch connectors keep working unchanged. Consumes only the
+/// fallible `try_*` connector surface and degrades per the module docs'
+/// contract instead of failing.
 pub fn pull_observe<C: LakeConnector + ?Sized>(
     connector: &C,
     request: &ObserveRequest<'_>,
 ) -> FleetObservation {
-    let listing_epoch = connector.listing_epoch();
-    // Listing reuse: when the connector reports an unchanged listing
-    // epoch, share the prior observation's table vector (one `Arc` bump)
-    // instead of re-materializing every descriptor.
-    let tables: Arc<Vec<TableRef>> = match (listing_epoch, request.prior) {
-        (Some(e), Some(p)) if p.listing_epoch() == Some(e) => p.tables_shared(),
-        _ => Arc::new(connector.list_tables()),
-    };
+    let ResolvedReads {
+        tables,
+        listing_epoch,
+        changes,
+        mut deg,
+        stalled,
+    } = resolve_reads(
+        request,
+        connector.listing_epoch(),
+        || connector.try_list_tables(),
+        |c| connector.try_changes_since(c),
+    );
     let cursor = connector.fleet_cursor();
+    let scope = request.scope;
+    if stalled {
+        let mut obs = FleetObservation::assemble_cold(scope, tables, None, Vec::new(), cursor);
+        obs.degradation = deg;
+        return obs;
+    }
     let source = SeqSource(connector);
+    let policy = &request.recovery;
     // Dirty-overwrite fast path: shared listing + changelog answer —
     // patch the prior observation instead of planning the whole fleet.
-    if let Some(dirty) = fast_path_dirty(&tables, request, |c| connector.changes_since(c)) {
+    if let Some(dirty) = fast_path_dirty(&tables, request, changes.as_ref()) {
         let prior = request.prior.expect("fast path implies a prior");
-        let scope = request.scope;
-        return fast_incremental_observe(
-            scope,
-            tables,
-            listing_epoch,
-            prior,
-            dirty,
-            cursor,
-            |positions| {
-                positions
-                    .iter()
-                    .map(|pos| fetch_one(&source, &prior.tables[*pos as usize], scope))
-                    .collect()
-            },
-        );
-    }
-    let plans = make_plans(&tables, request, |c| connector.changes_since(c));
-    match plans {
-        None => {
-            let stats = tables
+        let positions = dirty_positions(prior, dirty);
+        let patch = if positions.is_empty() {
+            carry_quarantine(prior, &BTreeSet::new(), &tables, &mut deg);
+            Vec::new()
+        } else {
+            let results: Vec<_> = positions
                 .iter()
-                .map(|t| fetch_one(&source, t, request.scope))
+                .map(|pos| fetch_one(&source, &prior.tables[*pos as usize], scope))
                 .collect();
-            FleetObservation::assemble_cold(request.scope, tables, listing_epoch, stats, cursor)
+            fixup_fast_fetch(&tables, prior, policy, &positions, results, &mut deg)
+        };
+        let mut obs = if patch.is_empty() {
+            fast_observe_quiet(scope, tables, listing_epoch, prior, cursor)
+        } else {
+            fast_observe_patch(scope, tables, listing_epoch, prior, cursor, patch)
+        };
+        obs.degradation = deg;
+        return obs;
+    }
+    match make_plans(&tables, request, changes.as_ref()) {
+        None => {
+            let results: Vec<_> = tables.iter().map(|t| fetch_one(&source, t, scope)).collect();
+            let stats = fixup_cold_fetch(&tables, scope, request.prior, policy, results, &mut deg);
+            let mut obs =
+                FleetObservation::assemble_cold(scope, tables, listing_epoch, stats, cursor);
+            obs.degradation = deg;
+            obs
         }
-        Some(plans) => {
+        Some(mut plans) => {
             let prior = request.prior.expect("plans imply a prior");
-            let fetched: Vec<TableObservation> = tables
+            let results: Vec<_> = tables
                 .iter()
                 .zip(&plans)
                 .filter(|(_, plan)| matches!(plan, FetchPlan::Fetch))
-                .map(|(t, _)| fetch_one(&source, t, request.scope))
+                .map(|(t, _)| fetch_one(&source, t, scope))
                 .collect();
-            assemble_incremental(
-                request.scope,
-                tables,
-                listing_epoch,
-                &plans,
-                fetched,
-                prior,
-                cursor,
-            )
+            let fetched = fixup_planned_fetch(&tables, prior, policy, &mut plans, results, &mut deg);
+            let mut obs =
+                assemble_incremental(scope, tables, listing_epoch, &plans, fetched, prior, cursor);
+            obs.degradation = deg;
+            obs
         }
     }
 }
 
 /// The parallel observe driver: stats production fans out over scoped
 /// threads in position-stable chunks, so the result is bit-identical to
-/// [`pull_observe`] over the same lake state regardless of thread count.
+/// [`pull_observe`] over the same lake state regardless of thread count
+/// — fault handling included: results come back positional, and the
+/// carry/quarantine fixup runs serially on them.
 pub fn batch_observe<C: BatchLakeConnector + ?Sized>(
     connector: &C,
     request: &ObserveRequest<'_>,
 ) -> FleetObservation {
-    let listing_epoch = connector.listing_epoch();
-    let tables: Arc<Vec<TableRef>> = match (listing_epoch, request.prior) {
-        (Some(e), Some(p)) if p.listing_epoch() == Some(e) => p.tables_shared(),
-        _ => Arc::new(connector.list_tables()),
-    };
+    let ResolvedReads {
+        tables,
+        listing_epoch,
+        changes,
+        mut deg,
+        stalled,
+    } = resolve_reads(
+        request,
+        connector.listing_epoch(),
+        || connector.try_list_tables(),
+        |c| connector.try_changes_since(c),
+    );
     let cursor = connector.fleet_cursor();
-    let source = BatchSource(connector);
     let scope = request.scope;
+    if stalled {
+        let mut obs = FleetObservation::assemble_cold(scope, tables, None, Vec::new(), cursor);
+        obs.degradation = deg;
+        return obs;
+    }
+    let source = BatchSource(connector);
+    let policy = &request.recovery;
     // Dirty-overwrite fast path (see `pull_observe`), with the dirty
     // fetches fanned out position-stable like the planning path's.
-    if let Some(dirty) = fast_path_dirty(&tables, request, |c| connector.changes_since(c)) {
+    if let Some(dirty) = fast_path_dirty(&tables, request, changes.as_ref()) {
         let prior = request.prior.expect("fast path implies a prior");
-        return fast_incremental_observe(
-            scope,
-            tables,
-            listing_epoch,
-            prior,
-            dirty,
-            cursor,
-            |positions| {
-                par::par_map(positions, par::PAR_OBSERVE_MIN_LEN, |_, pos| {
-                    fetch_one(&source, &prior.tables[*pos as usize], scope)
-                })
-            },
-        );
+        let positions = dirty_positions(prior, dirty);
+        let patch = if positions.is_empty() {
+            carry_quarantine(prior, &BTreeSet::new(), &tables, &mut deg);
+            Vec::new()
+        } else {
+            let results = par::par_map(&positions, par::PAR_OBSERVE_MIN_LEN, |_, pos| {
+                fetch_one(&source, &prior.tables[*pos as usize], scope)
+            });
+            fixup_fast_fetch(&tables, prior, policy, &positions, results, &mut deg)
+        };
+        let mut obs = if patch.is_empty() {
+            fast_observe_quiet(scope, tables, listing_epoch, prior, cursor)
+        } else {
+            fast_observe_patch(scope, tables, listing_epoch, prior, cursor, patch)
+        };
+        obs.degradation = deg;
+        return obs;
     }
-    let plans = make_plans(&tables, request, |c| connector.changes_since(c));
-    match plans {
+    match make_plans(&tables, request, changes.as_ref()) {
         None => {
-            let stats = par::par_map(&tables, par::PAR_OBSERVE_MIN_LEN, |_, t| {
+            let results = par::par_map(&tables, par::PAR_OBSERVE_MIN_LEN, |_, t| {
                 fetch_one(&source, t, scope)
             });
-            FleetObservation::assemble_cold(scope, tables, listing_epoch, stats, cursor)
+            let stats = fixup_cold_fetch(&tables, scope, request.prior, policy, results, &mut deg);
+            let mut obs =
+                FleetObservation::assemble_cold(scope, tables, listing_epoch, stats, cursor);
+            obs.degradation = deg;
+            obs
         }
-        Some(plans) => {
+        Some(mut plans) => {
             let prior = request.prior.expect("plans imply a prior");
             // Fan out only over the dirty positions (position-stable, so
             // still bit-identical to the sequential path).
@@ -1409,10 +2113,14 @@ pub fn batch_observe<C: BatchLakeConnector + ?Sized>(
                 .filter(|(_, p)| matches!(p, FetchPlan::Fetch))
                 .map(|(i, _)| i as u32)
                 .collect();
-            let fetched = par::par_map(&fetch_positions, par::PAR_OBSERVE_MIN_LEN, |_, pos| {
+            let results = par::par_map(&fetch_positions, par::PAR_OBSERVE_MIN_LEN, |_, pos| {
                 fetch_one(&source, &tables[*pos as usize], scope)
             });
-            assemble_incremental(scope, tables, listing_epoch, &plans, fetched, prior, cursor)
+            let fetched = fixup_planned_fetch(&tables, prior, policy, &mut plans, results, &mut deg);
+            let mut obs =
+                assemble_incremental(scope, tables, listing_epoch, &plans, fetched, prior, cursor);
+            obs.degradation = deg;
+            obs
         }
     }
 }
@@ -1761,5 +2469,309 @@ mod tests {
         let c = interner.get_or_intern("db2");
         assert!(!Arc::ptr_eq(&a, &c));
         assert!(!interner.is_empty());
+    }
+
+    /// `ChangeLake` wrapper with scripted fault queues on the `try_*`
+    /// surface: each fallible read pops its queue (empty = healthy).
+    struct FaultyLake {
+        inner: ChangeLake,
+        listing_faults: Mutex<Vec<ObserveFault>>,
+        changelog_faults: Mutex<Vec<ObserveFault>>,
+        changelog_overflows: AtomicU64,
+        stats_faults: Mutex<BTreeMap<u64, Vec<ObserveFault>>>,
+    }
+
+    impl FaultyLake {
+        fn new(n: u64) -> Self {
+            FaultyLake {
+                inner: ChangeLake::new(n),
+                listing_faults: Mutex::new(Vec::new()),
+                changelog_faults: Mutex::new(Vec::new()),
+                changelog_overflows: AtomicU64::new(0),
+                stats_faults: Mutex::new(BTreeMap::new()),
+            }
+        }
+
+        fn fault_listing(&self, faults: impl IntoIterator<Item = ObserveFault>) {
+            self.listing_faults.lock().unwrap().extend(faults);
+        }
+
+        fn fault_changelog(&self, faults: impl IntoIterator<Item = ObserveFault>) {
+            self.changelog_faults.lock().unwrap().extend(faults);
+        }
+
+        fn fault_stats(&self, uid: u64, faults: impl IntoIterator<Item = ObserveFault>) {
+            self.stats_faults
+                .lock()
+                .unwrap()
+                .entry(uid)
+                .or_default()
+                .extend(faults);
+        }
+
+        fn pop(queue: &Mutex<Vec<ObserveFault>>) -> Option<ObserveFault> {
+            let mut q = queue.lock().unwrap();
+            if q.is_empty() {
+                None
+            } else {
+                Some(q.remove(0))
+            }
+        }
+
+        fn pop_stats(&self, uid: u64) -> Option<ObserveFault> {
+            let mut map = self.stats_faults.lock().unwrap();
+            let q = map.get_mut(&uid)?;
+            if q.is_empty() {
+                None
+            } else {
+                Some(q.remove(0))
+            }
+        }
+    }
+
+    impl LakeConnector for FaultyLake {
+        fn list_tables(&self) -> Vec<TableRef> {
+            self.inner.list_tables()
+        }
+        fn table_stats(&self, uid: u64) -> Option<CandidateStats> {
+            self.inner.table_stats(uid)
+        }
+        fn partition_stats(&self, uid: u64) -> Vec<(String, CandidateStats)> {
+            self.inner.partition_stats(uid)
+        }
+        fn snapshot_stats(&self, uid: u64, window_ms: u64) -> Option<CandidateStats> {
+            self.inner.snapshot_stats(uid, window_ms)
+        }
+        fn fleet_cursor(&self) -> Option<ChangeCursor> {
+            self.inner.fleet_cursor()
+        }
+        fn changes_since(&self, cursor: ChangeCursor) -> Option<Vec<u64>> {
+            self.inner.changes_since(cursor)
+        }
+        fn try_list_tables(&self) -> Result<Vec<TableRef>, ObserveFault> {
+            match Self::pop(&self.listing_faults) {
+                Some(fault) => Err(fault),
+                None => Ok(self.inner.list_tables()),
+            }
+        }
+        fn try_table_stats(&self, uid: u64) -> Result<Option<CandidateStats>, ObserveFault> {
+            match self.pop_stats(uid) {
+                Some(fault) => Err(fault),
+                None => Ok(self.inner.table_stats(uid)),
+            }
+        }
+        fn try_partition_stats(
+            &self,
+            uid: u64,
+        ) -> Result<Vec<(String, CandidateStats)>, ObserveFault> {
+            match self.pop_stats(uid) {
+                Some(fault) => Err(fault),
+                None => Ok(self.inner.partition_stats(uid)),
+            }
+        }
+        fn try_snapshot_stats(
+            &self,
+            uid: u64,
+            window_ms: u64,
+        ) -> Result<Option<CandidateStats>, ObserveFault> {
+            match self.pop_stats(uid) {
+                Some(fault) => Err(fault),
+                None => Ok(self.inner.snapshot_stats(uid, window_ms)),
+            }
+        }
+        fn try_changes_since(&self, cursor: ChangeCursor) -> Result<Option<Vec<u64>>, ObserveFault> {
+            if self
+                .changelog_overflows
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                .is_ok()
+            {
+                return Ok(None);
+            }
+            match Self::pop(&self.changelog_faults) {
+                Some(fault) => Err(fault),
+                None => Ok(self.inner.changes_since(cursor)),
+            }
+        }
+    }
+
+    #[test]
+    fn transient_listing_fault_is_retried_within_the_pass() {
+        let lake = FaultyLake::new(6);
+        lake.fault_listing([
+            ObserveFault::transient("catalog timeout"),
+            ObserveFault::transient("catalog timeout"),
+        ]);
+        let obs = lake.observe(&ObserveRequest::fresh(ScopeStrategy::Table));
+        assert_eq!(obs.table_count(), 6, "retries recovered the listing");
+        assert_eq!(obs.degradation().listing_retries, 2);
+        assert!(!obs.degradation().stalled);
+        assert_eq!(
+            obs.to_candidates(),
+            lake.inner
+                .observe(&ObserveRequest::fresh(ScopeStrategy::Table))
+                .to_candidates()
+        );
+    }
+
+    #[test]
+    fn exhausted_listing_fault_carries_the_prior_listing() {
+        let lake = FaultyLake::new(5);
+        let mut observer = FleetObserver::new();
+        observer.observe(&lake, ScopeStrategy::Table);
+        // Permanent fault: no retry, prior listing reused.
+        lake.fault_listing([ObserveFault::permanent("catalog gone")]);
+        let obs = observer.observe(&lake, ScopeStrategy::Table);
+        assert_eq!(obs.table_count(), 5);
+        assert_eq!(obs.degradation().listing_stale_passes, 1);
+        assert_eq!(obs.degradation().listing_retries, 0);
+        // Healed: staleness clears.
+        let obs = observer.observe(&lake, ScopeStrategy::Table);
+        assert_eq!(obs.degradation().listing_stale_passes, 0);
+        assert!(!obs.degradation().is_degraded());
+    }
+
+    #[test]
+    fn listing_fault_with_no_prior_stalls_into_a_husk() {
+        let lake = FaultyLake::new(4);
+        lake.fault_listing([ObserveFault::permanent("catalog gone")]);
+        let obs = lake.observe(&ObserveRequest::fresh(ScopeStrategy::Table));
+        assert_eq!(obs.table_count(), 0);
+        assert!(obs.degradation().stalled);
+        assert!(obs.degradation().is_degraded());
+        // The husk is a valid prior: once the listing heals, the next
+        // pass observes the fleet fully.
+        let healed = lake.observe(&ObserveRequest::incremental(ScopeStrategy::Table, &obs));
+        assert_eq!(healed.table_count(), 4);
+        assert!(!healed.degradation().stalled);
+    }
+
+    #[test]
+    fn changelog_fault_falls_back_to_a_full_observe() {
+        let lake = FaultyLake::new(8);
+        let mut observer = FleetObserver::new();
+        observer.observe(&lake, ScopeStrategy::Table);
+        lake.inner.write(3);
+        lake.fault_changelog(vec![ObserveFault::permanent("stream down")]);
+        let before = lake.inner.calls();
+        let obs = observer.observe(&lake, ScopeStrategy::Table);
+        assert_eq!(
+            obs.degradation().fallback,
+            Some(FallbackCause::ChangelogFault)
+        );
+        assert_eq!(lake.inner.calls() - before, 8, "full fetch");
+        assert_eq!(obs.fetched_tables(), 8);
+        // The fallback resynchronized the chain: the next pass is
+        // incremental again.
+        let obs = observer.observe(&lake, ScopeStrategy::Table);
+        assert!(!obs.degradation().is_degraded());
+        assert_eq!(obs.fetched_tables(), 0);
+    }
+
+    #[test]
+    fn changelog_overflow_records_its_own_cause() {
+        let lake = FaultyLake::new(7);
+        let mut observer = FleetObserver::new();
+        observer.observe(&lake, ScopeStrategy::Table);
+        lake.changelog_overflows.store(1, Ordering::SeqCst);
+        let obs = observer.observe(&lake, ScopeStrategy::Table);
+        assert_eq!(
+            obs.degradation().fallback,
+            Some(FallbackCause::ChangelogOverflow)
+        );
+        assert_eq!(obs.fetched_tables(), 7);
+        assert_eq!(obs.degradation().changelog_retries, 0, "no retry: definitive");
+    }
+
+    #[test]
+    fn stats_fault_carries_the_prior_entry_and_quarantines() {
+        let lake = FaultyLake::new(10);
+        let mut observer = FleetObserver::new();
+        let cold = observer
+            .observe(&lake, ScopeStrategy::Table)
+            .to_candidates();
+        lake.inner.write(4);
+        lake.fault_stats(4, [ObserveFault::transient("store hiccup")]);
+        let obs = observer.observe(&lake, ScopeStrategy::Table);
+        // The faulted table's entry is the stale prior value.
+        assert_eq!(obs.to_candidates(), cold, "carried entry keeps prior stats");
+        assert_eq!(obs.degradation().carried_entries(), 1);
+        let q = obs.degradation().quarantine.get(&4).copied().unwrap();
+        assert_eq!(q.attempts, 1);
+        assert!(q.carried);
+        assert_eq!(q.release_pass, obs.degradation().pass + 1);
+        // Next pass: backoff expired, the table is re-force-dirtied and
+        // heals — values converge on the written state.
+        let obs = observer.observe(&lake, ScopeStrategy::Table);
+        assert!(obs.degradation().quarantine.is_empty());
+        assert!(!obs.degradation().is_degraded());
+        let fresh = lake
+            .inner
+            .observe(&ObserveRequest::fresh(ScopeStrategy::Table));
+        assert_eq!(obs.to_candidates(), fresh.to_candidates());
+    }
+
+    #[test]
+    fn carry_budget_exhaustion_retires_the_entry_to_missing() {
+        let lake = FaultyLake::new(3);
+        let policy = ObserveRecoveryPolicy {
+            max_carry_attempts: 1,
+            quarantine_backoff_passes: 1,
+            quarantine_backoff_cap_passes: 1,
+            ..ObserveRecoveryPolicy::default()
+        };
+        let mut observer = FleetObserver::new();
+        observer.set_recovery(policy);
+        observer.observe(&lake, ScopeStrategy::Table);
+        // Two consecutive faulted re-fetches: carry, then retire.
+        lake.fault_stats(1, vec![ObserveFault::transient("flaky"); 2]);
+        lake.inner.write(1);
+        let obs = observer.observe(&lake, ScopeStrategy::Table);
+        assert_eq!(obs.degradation().carried_entries(), 1);
+        let obs = observer.observe(&lake, ScopeStrategy::Table);
+        assert_eq!(obs.degradation().carried_entries(), 0);
+        assert_eq!(obs.degradation().retired_entries(), 1);
+        let pos = obs.position_of_uid(1).unwrap();
+        assert_eq!(*obs.entry(pos), TableObservation::Missing);
+        assert!(obs
+            .degradation()
+            .reasons()
+            .contains(&DegradeReason::Retired));
+        // Healing re-fetch restores the table.
+        let obs = observer.observe(&lake, ScopeStrategy::Table);
+        assert!(obs.degradation().quarantine.is_empty());
+        assert_ne!(*obs.entry(pos), TableObservation::Missing);
+    }
+
+    #[test]
+    fn faulted_batch_observe_matches_pull_observe() {
+        let pull = FaultyLake::new(12);
+        let batch = FaultyLake::new(12);
+        for lake in [&pull, &batch] {
+            lake.inner.write(2);
+            lake.inner.write(9);
+            lake.fault_stats(2, [ObserveFault::transient("store hiccup")]);
+        }
+        let mut seq_observer = FleetObserver::new();
+        seq_observer.observe(&pull, ScopeStrategy::Hybrid);
+        let seq = seq_observer.observe(&pull, ScopeStrategy::Hybrid);
+        let mut batch_observer = FleetObserver::new();
+        let wrapped = SyncAsBatch(batch);
+        batch_observer.observe_batch(&wrapped, ScopeStrategy::Hybrid);
+        let par = batch_observer.observe_batch(&wrapped, ScopeStrategy::Hybrid);
+        assert_eq!(seq, par);
+        assert_eq!(seq.degradation(), par.degradation());
+    }
+
+    #[test]
+    fn vanish_is_not_a_fault() {
+        // A table that vanishes (stats read answers `Ok(None)`) yields
+        // `Missing` with no quarantine entry — state signal, not fault.
+        let lake = FaultyLake::new(3);
+        let mut observer = FleetObserver::new();
+        observer.observe(&lake, ScopeStrategy::Table);
+        observer.mark_dirty(99); // never listed
+        let obs = observer.observe(&lake, ScopeStrategy::Table);
+        assert!(obs.degradation().quarantine.is_empty());
+        assert!(!obs.degradation().is_degraded());
     }
 }

@@ -563,6 +563,55 @@ impl AutoComp {
         }
     }
 
+    /// Folds the observation's degradation record into telemetry: the
+    /// three degradation gauges mirror the *current* cycle's state (they
+    /// drop back to zero once the fleet heals, so recovery is visible),
+    /// while the fault/retry counters accumulate only when events
+    /// actually occurred this pass.
+    fn record_observe_degradation(&self, observation: &FleetObservation) {
+        let deg = observation.degradation();
+        self.telemetry.gauge_set(
+            tnames::OBSERVE_CARRIED_FORWARD_ENTRIES,
+            deg.carried_entries() as f64,
+        );
+        self.telemetry.gauge_set(
+            tnames::OBSERVE_QUARANTINE_DEPTH,
+            deg.quarantine_depth() as f64,
+        );
+        self.telemetry.gauge_set(
+            tnames::OBSERVE_LISTING_STALENESS_PASSES,
+            deg.listing_stale_passes as f64,
+        );
+        if let Some(cause) = deg.fallback {
+            self.telemetry.counter_add_labelled(
+                tnames::OBSERVE_FULL_FALLBACK_TOTAL,
+                tnames::LABEL_CAUSE,
+                cause.label(),
+                1,
+            );
+        }
+        if deg.stats_faults > 0 {
+            self.telemetry
+                .counter_add(tnames::OBSERVE_STATS_FAULTS_TOTAL, deg.stats_faults as u64);
+        }
+        if deg.listing_retries > 0 {
+            self.telemetry.counter_add_labelled(
+                tnames::OBSERVE_READ_RETRIES_TOTAL,
+                tnames::LABEL_KIND,
+                "listing",
+                deg.listing_retries as u64,
+            );
+        }
+        if deg.changelog_retries > 0 {
+            self.telemetry.counter_add_labelled(
+                tnames::OBSERVE_READ_RETRIES_TOTAL,
+                tnames::LABEL_KIND,
+                "changelog",
+                deg.changelog_retries as u64,
+            );
+        }
+    }
+
     /// [`run_cycle_observed`](Self::run_cycle_observed) with an explicit
     /// cache-fill switch: one-shot cold entry points pass `false` (their
     /// observation is dropped immediately, so a filled generation could
@@ -577,6 +626,7 @@ impl AutoComp {
         if self.traits.is_empty() {
             return Err(AutoCompError::NoTraits);
         }
+        self.record_observe_degradation(observation);
         let scope_label = observation.scope().label();
         let single_scope = observation.single_scope();
         let generated = observation.candidate_count();

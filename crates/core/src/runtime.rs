@@ -59,6 +59,23 @@
 //! round, on the simulated clock) is reported per round in
 //! [`RoundReport::commit_latencies_ms`].
 //!
+//! # Fleet health
+//!
+//! Every round re-classifies the fleet into a [`FleetHealth`] state from
+//! the round's observe-side degradation record
+//! ([`ObserveDegradation`](crate::observe::ObserveDegradation)):
+//! `Healthy` when the observe pass ran clean, `Degraded{reasons}` when
+//! the pass absorbed faults but produced a usable observation (retried
+//! reads, carried-forward entries, quarantined tables, retirements, a
+//! full-observe fallback), and `Stalled` when the pass could not produce
+//! a usable listing at all or the carried listing has been stale for
+//! [`STALL_AFTER_STALE_LISTINGS`] consecutive passes. The state rides on
+//! [`RoundReport::health`] and [`ContinuousRuntime::health`], is exported
+//! as the `autocomp_runtime_health_state` gauge plus
+//! `autocomp_runtime_degraded_rounds_total{cause=...}` counters, and is
+//! the signal the ROADMAP item-4 service tier's readiness probe will
+//! read.
+//!
 //! # Event-vs-poll completion semantics
 //!
 //! A completion *event* ([`CompletionSink::on_completion`]) is buffered
@@ -100,7 +117,7 @@ use crate::act::{CompletionSink, JobOutcome, TrackedExecutor};
 use crate::cache::CycleCacheStats;
 use crate::connector::{CompactionExecutor, ExecutionResult, LakeConnector, Prediction};
 use crate::durability::{JournalEvent, JournalingExecutor, RecoveryReport, SnapshotContext};
-use crate::observe::FleetObserver;
+use crate::observe::{DegradeReason, FleetObserver, ObserveDegradation};
 use crate::pipeline::{AutoComp, CycleReport};
 use crate::rank::RankCycleStats;
 use crate::telemetry::names as tnames;
@@ -188,6 +205,96 @@ impl TriggerCause {
 impl fmt::Display for TriggerCause {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.label())
+    }
+}
+
+/// Consecutive stale-listing passes after which a degraded fleet is
+/// classified [`FleetHealth::Stalled`]: the carried listing is too old
+/// to keep trusting for placement decisions.
+pub const STALL_AFTER_STALE_LISTINGS: u32 = 3;
+
+/// Fleet health as classified from the most recent round's observe-side
+/// degradation record — the runtime-owned state machine the service
+/// tier's readiness probe reads (ROADMAP item 4).
+///
+/// Transitions are memoryless re-classifications per round; the
+/// degradation record itself carries the cross-pass state (quarantine
+/// ages, listing staleness), so the machine needs no history of its own:
+///
+/// * `Healthy` — the observe pass ran entirely clean.
+/// * `Degraded` — the pass absorbed faults but produced a usable
+///   observation: retried reads, carried-forward entries, quarantined
+///   tables, retirements, or a full-observe fallback. `reasons` lists
+///   every active cause in a fixed deterministic order.
+/// * `Stalled` — the pass could not produce a usable listing (a listing
+///   fault with no prior to carry), or the carried listing has been
+///   stale for [`STALL_AFTER_STALE_LISTINGS`] consecutive passes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetHealth {
+    /// Clean observe pass; decisions run on fresh data.
+    Healthy,
+    /// Faults were absorbed; the observation is usable but partly stale.
+    Degraded {
+        /// Active degradation causes, deterministically ordered.
+        reasons: Vec<DegradeReason>,
+    },
+    /// No usable listing — decisions would run blind or on data too old
+    /// to trust.
+    Stalled,
+}
+
+impl FleetHealth {
+    /// Interned label: `"healthy"` / `"degraded"` / `"stalled"`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FleetHealth::Healthy => "healthy",
+            FleetHealth::Degraded { .. } => "degraded",
+            FleetHealth::Stalled => "stalled",
+        }
+    }
+
+    /// Value of the `autocomp_runtime_health_state` gauge: `0` healthy,
+    /// `1` degraded, `2` stalled.
+    pub fn gauge_value(&self) -> f64 {
+        match self {
+            FleetHealth::Healthy => 0.0,
+            FleetHealth::Degraded { .. } => 1.0,
+            FleetHealth::Stalled => 2.0,
+        }
+    }
+
+    /// Classifies an observe degradation record (`None` — no observation
+    /// yet — is healthy: nothing has failed).
+    pub fn classify(deg: Option<&ObserveDegradation>, stall_after: u32) -> Self {
+        let Some(deg) = deg else {
+            return FleetHealth::Healthy;
+        };
+        if deg.stalled || (stall_after > 0 && deg.listing_stale_passes >= stall_after) {
+            return FleetHealth::Stalled;
+        }
+        let reasons = deg.reasons();
+        if reasons.is_empty() {
+            FleetHealth::Healthy
+        } else {
+            FleetHealth::Degraded { reasons }
+        }
+    }
+}
+
+impl fmt::Display for FleetHealth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())?;
+        if let FleetHealth::Degraded { reasons } = self {
+            write!(f, "(")?;
+            for (i, reason) in reasons.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                f.write_str(reason.label())?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
     }
 }
 
@@ -285,6 +392,9 @@ pub struct RoundReport {
     pub gbhr_window_used: f64,
     /// Whether this round saved a boundary snapshot.
     pub snapshot_saved: bool,
+    /// Fleet health as classified from this round's observe-side
+    /// degradation record (see the module docs' fleet-health section).
+    pub health: FleetHealth,
     /// Cumulative event-loop counters as of this round, including the
     /// backpressure signals (`deferred_rounds`, `max_dirty_backlog`,
     /// `max_watermark_overshoot`) — so per-round consumers can surface
@@ -348,6 +458,8 @@ pub struct ContinuousRuntime<M: SnapshotMedium = MemSnapshotMedium> {
     last_round_ms: Option<u64>,
     rounds: u64,
     stats: RuntimeStats,
+    /// Health classification as of the last round.
+    health: FleetHealth,
 }
 
 impl ContinuousRuntime<MemSnapshotMedium> {
@@ -367,6 +479,7 @@ impl ContinuousRuntime<MemSnapshotMedium> {
             last_round_ms: None,
             rounds: 0,
             stats: RuntimeStats::default(),
+            health: FleetHealth::Healthy,
         }
     }
 }
@@ -396,6 +509,7 @@ impl<M: SnapshotMedium> ContinuousRuntime<M> {
             last_round_ms: self.last_round_ms,
             rounds: self.rounds,
             stats: self.stats,
+            health: self.health,
         }
     }
 
@@ -417,6 +531,12 @@ impl<M: SnapshotMedium> ContinuousRuntime<M> {
     /// Event-loop counters so far.
     pub fn stats(&self) -> RuntimeStats {
         self.stats
+    }
+
+    /// Fleet health as of the last round ([`FleetHealth::Healthy`]
+    /// before the first round fires — nothing has failed yet).
+    pub fn health(&self) -> &FleetHealth {
+        &self.health
     }
 
     /// Distinct tables currently dirty (awaiting a covering round).
@@ -714,6 +834,38 @@ impl<M: SnapshotMedium> ContinuousRuntime<M> {
             }
         }
 
+        // Health state machine: re-classify from the retained
+        // observation's degradation record and fold the result into the
+        // registry (gauge = current state; counters accumulate degraded
+        // rounds by cause, "stalled" counting as its own cause).
+        let health = FleetHealth::classify(
+            self.observer.last().map(|o| o.degradation()),
+            STALL_AFTER_STALE_LISTINGS,
+        );
+        telemetry.gauge_set(tnames::RUNTIME_HEALTH_STATE, health.gauge_value());
+        match &health {
+            FleetHealth::Healthy => {}
+            FleetHealth::Degraded { reasons } => {
+                for reason in reasons {
+                    telemetry.counter_add_labelled(
+                        tnames::RUNTIME_DEGRADED_ROUNDS_TOTAL,
+                        tnames::LABEL_CAUSE,
+                        reason.label(),
+                        1,
+                    );
+                }
+            }
+            FleetHealth::Stalled => {
+                telemetry.counter_add_labelled(
+                    tnames::RUNTIME_DEGRADED_ROUNDS_TOTAL,
+                    tnames::LABEL_CAUSE,
+                    "stalled",
+                    1,
+                );
+            }
+        }
+        self.health = health.clone();
+
         Ok(RoundReport {
             round: self.rounds,
             at_ms: now,
@@ -728,6 +880,7 @@ impl<M: SnapshotMedium> ContinuousRuntime<M> {
                 .map(|t| t.gbhr_window_usage())
                 .unwrap_or(0.0),
             snapshot_saved,
+            health,
             runtime: self.stats,
             report,
         })

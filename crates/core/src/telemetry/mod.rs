@@ -14,7 +14,8 @@
 //! Every metric name is an interned `&'static str` of the form
 //! `autocomp_<layer>_<metric>[_<unit>][_total]`:
 //!
-//! * `<layer>` is one of `pipeline`, `runtime`, `act`, `durability`.
+//! * `<layer>` is one of `pipeline`, `observe`, `runtime`, `act`,
+//!   `durability`.
 //! * Monotonic counters end in `_total`; gauges and histograms do not.
 //! * Histogram and duration names carry their unit suffix (`_us` for
 //!   clock microseconds, `_ms` for simulated milliseconds, `_bytes`).
@@ -85,8 +86,26 @@ pub mod names {
     pub const PIPELINE_MEMO_HIT_RATIO: &str = "autocomp_pipeline_memo_hit_ratio";
     /// Cycles resolved on the memo fast path (counter).
     pub const PIPELINE_MEMO_FAST_TOTAL: &str = "autocomp_pipeline_memo_fast_cycles_total";
+    /// Full-observe fallbacks, labelled `{cause=...}` — changelog
+    /// overflow or changelog fault (counter).
+    pub const OBSERVE_FULL_FALLBACK_TOTAL: &str = "autocomp_observe_full_fallback_total";
+    /// Per-table stats reads that faulted (counter).
+    pub const OBSERVE_STATS_FAULTS_TOTAL: &str = "autocomp_observe_stats_faults_total";
+    /// Listing/changelog retries spent, labelled `{kind=...}` (counter).
+    pub const OBSERVE_READ_RETRIES_TOTAL: &str = "autocomp_observe_read_retries_total";
+    /// Entries currently carried forward as stale splices (gauge).
+    pub const OBSERVE_CARRIED_FORWARD_ENTRIES: &str = "autocomp_observe_carried_forward_entries";
+    /// Tables currently quarantined awaiting their backoff (gauge).
+    pub const OBSERVE_QUARANTINE_DEPTH: &str = "autocomp_observe_quarantine_depth";
+    /// Consecutive passes the table listing has been stale (gauge).
+    pub const OBSERVE_LISTING_STALENESS_PASSES: &str =
+        "autocomp_observe_listing_staleness_passes";
     /// Decision rounds fired, labelled `{cause=...}` (counter).
     pub const RUNTIME_ROUNDS_TOTAL: &str = "autocomp_runtime_rounds_total";
+    /// Rounds run degraded, labelled `{cause=...}` (counter).
+    pub const RUNTIME_DEGRADED_ROUNDS_TOTAL: &str = "autocomp_runtime_degraded_rounds_total";
+    /// Fleet health state: 0 healthy, 1 degraded, 2 stalled (gauge).
+    pub const RUNTIME_HEALTH_STATE: &str = "autocomp_runtime_health_state";
     /// Rounds deferred by the round-interval gate (counter).
     pub const RUNTIME_DEFERRED_ROUNDS_TOTAL: &str = "autocomp_runtime_deferred_rounds_total";
     /// Dirty tables consumed by the last round (gauge).

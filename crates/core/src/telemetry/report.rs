@@ -151,6 +151,35 @@ impl fmt::Display for FleetHealthReport {
                     .unwrap_or(0.0),
             )?;
         }
+        if let Some(state) = self.gauge(names::RUNTIME_HEALTH_STATE) {
+            let label = match state as u64 {
+                0 => "healthy",
+                1 => "degraded",
+                _ => "stalled",
+            };
+            write!(f, "  health     state={}", label)?;
+            for (cause, n) in self.labelled_counters(names::RUNTIME_DEGRADED_ROUNDS_TOTAL) {
+                if n > 0 {
+                    write!(f, " {}={}", cause, n)?;
+                }
+            }
+            let carried = self.gauge(names::OBSERVE_CARRIED_FORWARD_ENTRIES);
+            let quarantine = self.gauge(names::OBSERVE_QUARANTINE_DEPTH);
+            let stale = self.gauge(names::OBSERVE_LISTING_STALENESS_PASSES);
+            if carried.unwrap_or(0.0) > 0.0
+                || quarantine.unwrap_or(0.0) > 0.0
+                || stale.unwrap_or(0.0) > 0.0
+            {
+                write!(
+                    f,
+                    " carried={} quarantined={} listing_stale={}",
+                    carried.unwrap_or(0.0),
+                    quarantine.unwrap_or(0.0),
+                    stale.unwrap_or(0.0)
+                )?;
+            }
+            writeln!(f)?;
+        }
 
         write_kind_row(
             f,

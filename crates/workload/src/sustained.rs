@@ -501,6 +501,10 @@ pub fn run_sustained_polled(cfg: &SustainedIngestConfig) -> IngestReport {
                 .map(|t| t.gbhr_window_usage())
                 .unwrap_or(0.0),
             snapshot_saved: false,
+            health: autocomp::FleetHealth::classify(
+                observer.last().map(|o| o.degradation()),
+                autocomp::STALL_AFTER_STALE_LISTINGS,
+            ),
             // No event loop in the polled twin: only the dirty-backlog
             // gauge is meaningful, the other counters stay zero.
             runtime: RuntimeStats {

@@ -4,7 +4,7 @@
 //! sequence (no wall clock, no global RNG), so a faulty run replays
 //! bit-identically under the same seed — the property the
 //! crash-recovery soak and the fault-injection invariant tests both
-//! build on. Three fault surfaces are covered:
+//! build on. Four fault surfaces are covered:
 //!
 //! * [`FaultyExecutor`] — submit-side transient/permanent errors plus
 //!   delivery-side lost and duplicated outcomes, each with an
@@ -13,12 +13,17 @@
 //!   the Nth submission or the Nth poll), for `catch_unwind`-based
 //!   crash/restore soaks;
 //! * [`TornMedium`] — a [`SnapshotMedium`] wrapper that truncates the
-//!   next slot write, modelling a crash mid-snapshot-write.
+//!   next slot write, modelling a crash mid-snapshot-write;
+//! * [`ObserveFaultSchedule`] — scripted (or seed-driven random)
+//!   per-pass listing/stats/changelog fault schedules armed into the
+//!   lakesim connectors' [`ObserveFaultScript`], for the observe-side
+//!   degradation and reconvergence suites (`tests/connector_faults.rs`).
 
 use autocomp::{
-    Candidate, CompactionExecutor, ExecutionError, ExecutionResult, JobOutcome, Prediction,
-    TrackedExecutor,
+    Candidate, CompactionExecutor, ExecutionError, ExecutionResult, JobOutcome, ObserveFault,
+    Prediction, TrackedExecutor,
 };
+use autocomp_lakesim::ObserveFaultScript;
 use lakesim_storage::SnapshotMedium;
 
 /// SplitMix64: tiny, deterministic, seedable — the standard mixer for
@@ -271,5 +276,117 @@ impl<M: SnapshotMedium> SnapshotMedium for TornMedium<M> {
             Some(keep) => self.inner.write_slot(slot, &bytes[..keep.min(bytes.len())]),
             None => self.inner.write_slot(slot, bytes),
         }
+    }
+}
+
+/// One scripted observe-side fault event; the variant carries the
+/// injected payload. Listing and changelog events drain one per `try_*`
+/// call, stats events one per stats read of the named table.
+#[derive(Debug, Clone)]
+pub enum ObserveFaultKind {
+    /// `try_list_tables` fails.
+    Listing(ObserveFault),
+    /// `try_changes_since` fails (a read fault — retried).
+    Changelog(ObserveFault),
+    /// `try_changes_since` answers `None` mid-stream (retention
+    /// overflow — definitive, forces one full observe).
+    ChangelogOverflow,
+    /// The named table's next stats read fails.
+    Stats(u64, ObserveFault),
+}
+
+/// A deterministic per-pass observe fault schedule: `(pass, event)`
+/// pairs, armed into a connector's [`ObserveFaultScript`] right before
+/// the matching observe pass runs ([`arm`](Self::arm)). Replays
+/// bit-identically: the schedule is data, the script drains FIFO, and
+/// nothing reads a clock.
+#[derive(Debug, Clone, Default)]
+pub struct ObserveFaultSchedule {
+    events: Vec<(u64, ObserveFaultKind)>,
+}
+
+impl ObserveFaultSchedule {
+    /// An empty (never-faulting) schedule.
+    pub fn new() -> Self {
+        ObserveFaultSchedule::default()
+    }
+
+    /// Appends an event for observe pass `pass` (builder style).
+    pub fn at(mut self, pass: u64, event: ObserveFaultKind) -> Self {
+        self.events.push((pass, event));
+        self
+    }
+
+    /// Arms every event scheduled for `pass` into `script`, in schedule
+    /// order.
+    pub fn arm(&self, pass: u64, script: &ObserveFaultScript) {
+        for (_, event) in self.events.iter().filter(|(p, _)| *p == pass) {
+            match event {
+                ObserveFaultKind::Listing(f) => script.fault_listing(f.clone()),
+                ObserveFaultKind::Changelog(f) => script.fault_changelog(f.clone()),
+                ObserveFaultKind::ChangelogOverflow => script.overflow_changelog(),
+                ObserveFaultKind::Stats(uid, f) => script.fault_stats(*uid, f.clone()),
+            }
+        }
+    }
+
+    /// Last pass with any scheduled event — the healing horizon (`None`
+    /// for an empty schedule).
+    pub fn last_pass(&self) -> Option<u64> {
+        self.events.iter().map(|(p, _)| *p).max()
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Seed-driven random schedule over `passes` observe passes and the
+    /// given table uids: per pass, each fault surface (listing,
+    /// changelog, each table's stats) independently fires with
+    /// probability `permille / 1000`, with a deterministic
+    /// transient/permanent/overflow mix. Pure function of the arguments
+    /// — the chaos property's generator.
+    pub fn random(seed: u64, passes: u64, uids: &[u64], permille: u32) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let mut events = Vec::new();
+        for pass in 0..passes {
+            if rng.chance(permille) {
+                let fault = if rng.chance(600) {
+                    ObserveFault::transient("injected: catalog listing timeout")
+                } else {
+                    ObserveFault::permanent("injected: catalog listing denied")
+                };
+                events.push((pass, ObserveFaultKind::Listing(fault)));
+            }
+            if rng.chance(permille) {
+                let event = match rng.below(3) {
+                    0 => ObserveFaultKind::ChangelogOverflow,
+                    1 => ObserveFaultKind::Changelog(ObserveFault::transient(
+                        "injected: changelog tail timeout",
+                    )),
+                    _ => ObserveFaultKind::Changelog(ObserveFault::permanent(
+                        "injected: changelog unavailable",
+                    )),
+                };
+                events.push((pass, event));
+            }
+            for &uid in uids {
+                if rng.chance(permille) {
+                    let fault = if rng.chance(700) {
+                        ObserveFault::transient("injected: stats endpoint 503")
+                    } else {
+                        ObserveFault::permanent("injected: stats acl revoked")
+                    };
+                    events.push((pass, ObserveFaultKind::Stats(uid, fault)));
+                }
+            }
+        }
+        ObserveFaultSchedule { events }
     }
 }
